@@ -1,0 +1,141 @@
+//! ATLAS beam layout.
+//!
+//! ATLAS splits its laser into six beams arranged as three pairs. Each
+//! pair has one **strong** (~4× energy) and one **weak** beam, ~90 m apart
+//! across-track; pairs are ~3.3 km apart. The paper uses only the three
+//! strong beams (Section III-A-2).
+
+use serde::{Deserialize, Serialize};
+
+/// Relative beam energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BeamStrength {
+    /// Strong beam (~4× weak-beam energy; 10–200 m ATL07 segments).
+    Strong,
+    /// Weak beam (20–400 m ATL07 segments).
+    Weak,
+}
+
+/// The six ATLAS ground tracks. Naming follows the ATL03 HDF5 groups
+/// (`gt1l`, `gt1r`, …). In the default (forward) spacecraft orientation
+/// the *left* beam of each pair is the strong one; we fix that orientation
+/// for the whole synthetic mission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Beam {
+    Gt1l,
+    Gt1r,
+    Gt2l,
+    Gt2r,
+    Gt3l,
+    Gt3r,
+}
+
+impl Beam {
+    /// All six beams in across-track order.
+    pub const ALL: [Beam; 6] = [
+        Beam::Gt1l,
+        Beam::Gt1r,
+        Beam::Gt2l,
+        Beam::Gt2r,
+        Beam::Gt3l,
+        Beam::Gt3r,
+    ];
+
+    /// The three strong beams, the only ones the paper processes.
+    pub const STRONG: [Beam; 3] = [Beam::Gt1l, Beam::Gt2l, Beam::Gt3l];
+
+    /// Beam strength under the fixed forward orientation.
+    pub fn strength(self) -> BeamStrength {
+        match self {
+            Beam::Gt1l | Beam::Gt2l | Beam::Gt3l => BeamStrength::Strong,
+            Beam::Gt1r | Beam::Gt2r | Beam::Gt3r => BeamStrength::Weak,
+        }
+    }
+
+    /// Across-track offset from the reference ground track, metres.
+    /// Pairs at −3300, 0, +3300 m; the weak beam sits 90 m right of the
+    /// strong beam of its pair.
+    pub fn across_track_offset_m(self) -> f64 {
+        match self {
+            Beam::Gt1l => -3_300.0,
+            Beam::Gt1r => -3_210.0,
+            Beam::Gt2l => 0.0,
+            Beam::Gt2r => 90.0,
+            Beam::Gt3l => 3_300.0,
+            Beam::Gt3r => 3_390.0,
+        }
+    }
+
+    /// HDF5-style group name (`"gt2l"` etc.).
+    pub fn name(self) -> &'static str {
+        match self {
+            Beam::Gt1l => "gt1l",
+            Beam::Gt1r => "gt1r",
+            Beam::Gt2l => "gt2l",
+            Beam::Gt2r => "gt2r",
+            Beam::Gt3l => "gt3l",
+            Beam::Gt3r => "gt3r",
+        }
+    }
+
+    /// Parses an HDF5-style group name.
+    pub fn from_name(s: &str) -> Option<Beam> {
+        Beam::ALL.iter().copied().find(|b| b.name() == s)
+    }
+
+    /// Dense index in `0..6` (across-track order).
+    pub fn index(self) -> usize {
+        Beam::ALL.iter().position(|&b| b == self).unwrap()
+    }
+}
+
+impl std::fmt::Display for Beam {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_set_matches_strength() {
+        for b in Beam::ALL {
+            assert_eq!(
+                Beam::STRONG.contains(&b),
+                b.strength() == BeamStrength::Strong,
+                "{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_spacing_is_90_m() {
+        assert!((Beam::Gt1r.across_track_offset_m() - Beam::Gt1l.across_track_offset_m() - 90.0).abs() < 1e-12);
+        assert!((Beam::Gt2r.across_track_offset_m() - Beam::Gt2l.across_track_offset_m() - 90.0).abs() < 1e-12);
+        assert!((Beam::Gt3r.across_track_offset_m() - Beam::Gt3l.across_track_offset_m() - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_separation_is_3300_m() {
+        assert!((Beam::Gt2l.across_track_offset_m() - Beam::Gt1l.across_track_offset_m() - 3_300.0).abs() < 1e-12);
+        assert!((Beam::Gt3l.across_track_offset_m() - Beam::Gt2l.across_track_offset_m() - 3_300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for b in Beam::ALL {
+            assert_eq!(Beam::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Beam::from_name("gt4x"), None);
+    }
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, b) in Beam::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+    }
+}

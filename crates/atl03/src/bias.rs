@@ -1,0 +1,224 @@
+//! First-photon bias model and correction.
+//!
+//! Single-photon detectors go blind for a dead time (~3 ns ≈ 0.45 m of
+//! range) after each detection. Over a bright, flat surface several
+//! photons of one pulse arrive within the return's ~σ-wide spread, the
+//! detector records the *first* (highest) one and swallows the rest, so
+//! the recorded mean height is biased high. The bias grows with the
+//! per-pulse photon rate and with σ. The paper applies a first-photon bias
+//! correction during 2 m resampling; this module provides:
+//!
+//! - [`expected_bias_m`] — an analytic approximation to the bias as a
+//!   function of per-pulse rate and return width,
+//! - [`monte_carlo_bias_m`] — a brute-force estimate used to validate the
+//!   approximation and to calibrate correction tables.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Analytic approximation of the first-photon bias, metres.
+///
+/// Model: given `n` detectable photons per pulse, Gaussian return of width
+/// `sigma_m`, and a dead time long compared to `sigma_m`, the detector
+/// keeps only the maximum of `n` draws. The expected maximum of `n`
+/// standard normals is well-approximated by the Blom formula
+/// `Φ⁻¹((n − α)/(n − 2α + 1))`, α = 0.375. For fractional mean rates we
+/// average over the Poisson occupancy (ignoring n = 0, which records
+/// nothing). When the dead time is *shorter* than the return width the
+/// suppression is partial and we scale by `min(1, dead_time/ (2σ))`.
+pub fn expected_bias_m(rate_per_pulse: f64, sigma_m: f64, dead_time_m: f64) -> f64 {
+    if rate_per_pulse <= 0.0 || sigma_m <= 0.0 || dead_time_m <= 0.0 {
+        return 0.0;
+    }
+    // Average E[max of n] over n ~ Poisson(rate) conditioned on n >= 1.
+    let mut acc = 0.0;
+    let mut norm = 0.0;
+    let mut p = (-rate_per_pulse).exp(); // P(n=0)
+    for n in 1..=32usize {
+        p *= rate_per_pulse / n as f64;
+        acc += p * blom_expected_max(n);
+        norm += p;
+    }
+    if norm <= 0.0 {
+        return 0.0;
+    }
+    let e_max_sigma = acc / norm;
+    let suppression = (dead_time_m / (2.0 * sigma_m)).min(1.0);
+    e_max_sigma * sigma_m * suppression
+}
+
+/// Blom approximation to `E[max of n iid N(0,1)]`.
+fn blom_expected_max(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let alpha = 0.375;
+    let q = (n as f64 - alpha) / (n as f64 - 2.0 * alpha + 1.0);
+    inverse_normal_cdf(q)
+}
+
+/// Acklam's rational approximation of the standard normal quantile,
+/// |error| < 1.15e-9 over (0, 1).
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile domain");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inverse_normal_cdf(1.0 - p)
+    }
+}
+
+/// Monte-Carlo estimate of the first-photon bias, metres: simulates
+/// `pulses` pulses of Poisson(`rate_per_pulse`) photons with N(0, σ²)
+/// heights, applies top-down dead-time suppression, and returns the mean
+/// recorded height (truth surface is 0).
+pub fn monte_carlo_bias_m(
+    rate_per_pulse: f64,
+    sigma_m: f64,
+    dead_time_m: f64,
+    pulses: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut sum = 0.0;
+    let mut n_recorded = 0usize;
+    let mut heights: Vec<f64> = Vec::new();
+    for _ in 0..pulses {
+        let n = sample_poisson(&mut rng, rate_per_pulse);
+        heights.clear();
+        for _ in 0..n {
+            let u1: f64 = rng.random::<f64>().max(1e-300);
+            let u2: f64 = rng.random::<f64>();
+            heights.push(sigma_m * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos());
+        }
+        heights.sort_by(|a, b| b.total_cmp(a));
+        let mut last_kept = f64::INFINITY;
+        for &h in heights.iter() {
+            if last_kept - h >= dead_time_m || last_kept == f64::INFINITY {
+                sum += h;
+                n_recorded += 1;
+                last_kept = h;
+            }
+        }
+    }
+    if n_recorded == 0 {
+        0.0
+    } else {
+        sum / n_recorded as f64
+    }
+}
+
+fn sample_poisson<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let (mut k, mut p) = (0usize, 1.0f64);
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l || k > 1000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_matches_known_values() {
+        assert!((inverse_normal_cdf(0.5)).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.025) + 1.959_964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.8413447) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile domain")]
+    fn quantile_rejects_out_of_domain() {
+        let _ = inverse_normal_cdf(0.0);
+    }
+
+    #[test]
+    fn bias_zero_without_dead_time_or_signal() {
+        assert_eq!(expected_bias_m(3.0, 0.1, 0.0), 0.0);
+        assert_eq!(expected_bias_m(0.0, 0.1, 0.45), 0.0);
+        assert_eq!(expected_bias_m(3.0, 0.0, 0.45), 0.0);
+    }
+
+    #[test]
+    fn bias_increases_with_rate() {
+        let b1 = expected_bias_m(1.0, 0.1, 0.45);
+        let b2 = expected_bias_m(3.0, 0.1, 0.45);
+        let b4 = expected_bias_m(6.0, 0.1, 0.45);
+        assert!(b1 < b2 && b2 < b4, "{b1} {b2} {b4}");
+        // Scale: a few cm at ATL03-like parameters.
+        assert!(b2 > 0.02 && b2 < 0.2, "b2 = {b2}");
+    }
+
+    #[test]
+    fn analytic_matches_monte_carlo() {
+        for &(rate, sigma) in &[(2.0, 0.1), (4.0, 0.12), (6.0, 0.08)] {
+            let analytic = expected_bias_m(rate, sigma, 0.45);
+            let mc = monte_carlo_bias_m(rate, sigma, 0.45, 200_000, 99);
+            assert!(
+                (analytic - mc).abs() < 0.02,
+                "rate {rate} sigma {sigma}: analytic {analytic} vs MC {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_no_dead_time_is_unbiased() {
+        let mc = monte_carlo_bias_m(4.0, 0.1, 0.0, 200_000, 3);
+        assert!(mc.abs() < 0.002, "bias without dead time: {mc}");
+    }
+
+    #[test]
+    fn partial_suppression_when_dead_time_short() {
+        // Dead time much shorter than the return width suppresses less.
+        let full = expected_bias_m(4.0, 0.1, 0.45);
+        let partial = expected_bias_m(4.0, 0.1, 0.05);
+        assert!(partial < full);
+        assert!(partial > 0.0);
+    }
+}

@@ -1,0 +1,456 @@
+//! Physics-based synthetic ATL03 photon generator.
+//!
+//! For every laser pulse along a beam's ground track the generator:
+//!
+//! 1. samples the truth [`Scene`] at the bounce point (class, elevation,
+//!    reflectance),
+//! 2. draws a Poisson number of **signal photons** with mean proportional
+//!    to surface reflectance (×4 for strong beams), each at the surface
+//!    elevation plus Gaussian ranging noise whose σ depends on the surface
+//!    roughness class,
+//! 3. draws **background photons** (solar + detector) uniform over the
+//!    telemetry height window,
+//! 4. applies **detector dead-time**: after any detected photon, photons
+//!    arriving within the dead-time range gate are suppressed. Because the
+//!    first photon comes from the *top* of the return distribution, this
+//!    biases the recorded mean height upward — the first-photon bias the
+//!    paper corrects during preprocessing,
+//! 5. assigns signal-confidence flags with a small, realistic error rate.
+//!
+//! Determinism: each pulse gets its own ChaCha8 stream keyed by
+//! `(seed, beam, pulse index)`, so generation parallelises over pulses
+//! with `rayon` yet produces identical granules at any thread count.
+
+use icesat_scene::{Scene, SurfaceClass};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::beam::{Beam, BeamStrength};
+use crate::granule::{BeamData, Granule, GranuleMeta};
+use crate::photon::{Photon, SignalConfidence};
+use crate::track::{GroundTrack, TrackConfig};
+
+/// Generator physics parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Mean signal photons per strong-beam pulse at reflectance 1.0.
+    /// ATL03 strong beams see ~1–4 photons/shot over snow-covered ice.
+    pub strong_rate_per_pulse: f64,
+    /// Weak-beam rate as a fraction of the strong rate (~1/4).
+    pub weak_rate_factor: f64,
+    /// Ranging noise σ over calm open water, metres.
+    pub sigma_water_m: f64,
+    /// Ranging noise σ over thin ice, metres.
+    pub sigma_thin_m: f64,
+    /// Ranging noise σ over thick/snow-covered ice, metres (surface
+    /// roughness within the ~11 m footprint dominates).
+    pub sigma_thick_m: f64,
+    /// Mean background photons per pulse over the full telemetry window.
+    pub background_rate_per_pulse: f64,
+    /// Telemetry window half-height around the reference surface, metres.
+    pub window_half_height_m: f64,
+    /// Detector dead time expressed in range units, metres (~3 ns ≈ 0.45 m).
+    /// Set to 0 to disable the first-photon bias.
+    pub dead_time_m: f64,
+    /// Independent detector channels per beam. ATLAS strong beams spread
+    /// the return over multiple PMT pixels, so several photons per shot
+    /// survive dead time; a single channel would clamp bright surfaces to
+    /// ~1 recorded photon per pulse and destroy the photon-rate contrast
+    /// the classifier relies on.
+    pub n_channels: usize,
+    /// Pulse repetition interval, seconds (ATLAS: 1/10 kHz).
+    pub pulse_interval_s: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 0,
+            strong_rate_per_pulse: 3.4,
+            weak_rate_factor: 0.25,
+            sigma_water_m: 0.035,
+            sigma_thin_m: 0.055,
+            sigma_thick_m: 0.12,
+            background_rate_per_pulse: 0.8,
+            window_half_height_m: 15.0,
+            dead_time_m: 0.45,
+            n_channels: 6,
+            pulse_interval_s: 1.0e-4,
+        }
+    }
+}
+
+/// Synthesises ATL03 granules from a truth scene.
+pub struct Atl03Generator<'a> {
+    scene: &'a Scene,
+    config: GeneratorConfig,
+}
+
+impl<'a> Atl03Generator<'a> {
+    /// Creates a generator over `scene` with physics `config`.
+    pub fn new(scene: &'a Scene, config: GeneratorConfig) -> Self {
+        Self { scene, config }
+    }
+
+    /// The truth scene backing this generator.
+    pub fn scene(&self) -> &Scene {
+        self.scene
+    }
+
+    /// Generates a full granule: the listed beams along `track`, with
+    /// `meta` controlling the acquisition epoch (and thus ice drift).
+    pub fn generate(&self, meta: GranuleMeta, track: &TrackConfig, beams: &[Beam]) -> Granule {
+        let beams = beams
+            .iter()
+            .map(|&b| self.generate_beam(&meta, track, b))
+            .collect();
+        Granule { meta, beams }
+    }
+
+    /// Generates a single beam.
+    pub fn generate_beam(&self, meta: &GranuleMeta, track: &TrackConfig, beam: Beam) -> BeamData {
+        let gt = GroundTrack::for_beam(track, beam);
+        let n = gt.n_pulses();
+        let rate_factor = match beam.strength() {
+            BeamStrength::Strong => 1.0,
+            BeamStrength::Weak => self.config.weak_rate_factor,
+        };
+        let mut photons: Vec<Photon> = (0..n)
+            .into_par_iter()
+            .flat_map_iter(|i| self.generate_pulse(meta, &gt, beam, i, rate_factor))
+            .collect();
+        // Pulses are emitted in order; photons within a pulse share the
+        // along-track coordinate, so the concatenation is already sorted.
+        // Sort defensively anyway (stable for equal keys, cheap when
+        // already ordered).
+        photons.sort_by(|a, b| a.along_track_m.total_cmp(&b.along_track_m));
+        BeamData { beam, photons }
+    }
+
+    /// All photons of one pulse, dead-time suppression applied.
+    fn generate_pulse(
+        &self,
+        meta: &GranuleMeta,
+        gt: &GroundTrack,
+        beam: Beam,
+        pulse: usize,
+        rate_factor: f64,
+    ) -> Vec<Photon> {
+        let cfg = &self.config;
+        let mut rng = pulse_rng(cfg.seed, beam, pulse);
+        let pos = gt.pulse_position(pulse);
+        let delta_time_s = pulse as f64 * cfg.pulse_interval_s;
+        let t_min = meta.epoch_offset_min + delta_time_s / 60.0;
+        let truth = self.scene.sample(pos, t_min);
+
+        let sigma = match truth.class {
+            SurfaceClass::OpenWater => cfg.sigma_water_m,
+            SurfaceClass::ThinIce => cfg.sigma_thin_m,
+            SurfaceClass::ThickIce => cfg.sigma_thick_m,
+        };
+        let mean_signal = cfg.strong_rate_per_pulse * rate_factor * truth.reflectance;
+
+        // (height, is_signal, channel) candidates for this pulse.
+        let n_channels = cfg.n_channels.max(1);
+        let mut cand: Vec<(f64, bool, usize)> = Vec::with_capacity(8);
+        let n_sig = poisson(&mut rng, mean_signal);
+        for _ in 0..n_sig {
+            let ch = rng.random_range(0..n_channels);
+            cand.push((truth.elevation_m + sigma * gauss(&mut rng), true, ch));
+        }
+        let n_bg = poisson(&mut rng, cfg.background_rate_per_pulse);
+        for _ in 0..n_bg {
+            let h = truth.ssh_m + rng.random_range(-cfg.window_half_height_m..cfg.window_half_height_m);
+            let ch = rng.random_range(0..n_channels);
+            cand.push((h, false, ch));
+        }
+        if cand.is_empty() {
+            return Vec::new();
+        }
+
+        // Dead time, per detector channel: photons arrive top-down
+        // (highest elevation first); within a channel, any photon arriving
+        // within `dead_time_m` *below* the last detected one is lost. This
+        // preferentially keeps the earliest (highest) photon of a dense
+        // surface return — the first-photon bias.
+        cand.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut kept: Vec<(f64, bool)> = Vec::with_capacity(cand.len());
+        let mut last_per_channel = vec![f64::INFINITY; n_channels];
+        for (h, is_sig, ch) in cand {
+            if cfg.dead_time_m > 0.0 {
+                let last_h = last_per_channel[ch];
+                if last_h.is_finite() && last_h - h < cfg.dead_time_m {
+                    continue;
+                }
+            }
+            last_per_channel[ch] = h;
+            kept.push((h, is_sig));
+        }
+
+        let geo = gt.pulse_geo(pulse);
+        let along = gt.pulse_along_track_m(pulse);
+        kept.into_iter()
+            .map(|(h, is_sig)| {
+                let confidence = assign_confidence(&mut rng, is_sig, h, truth.elevation_m);
+                Photon {
+                    delta_time_s,
+                    lat: geo.lat,
+                    lon: geo.lon,
+                    height_m: h,
+                    along_track_m: along,
+                    confidence,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-pulse deterministic RNG stream.
+fn pulse_rng(seed: u64, beam: Beam, pulse: usize) -> ChaCha8Rng {
+    let mut z = seed
+        .wrapping_add((beam.index() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((pulse as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ChaCha8Rng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Knuth Poisson sampler (rates here are ≤ ~5, so the multiplicative
+/// algorithm is fine).
+fn poisson<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k; // numerically impossible at our rates; guard anyway
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Signal-confidence assignment with a realistic error rate: true surface
+/// returns are mostly High, background photons are Noise/Buffer unless
+/// they happen to fall near the surface (where the upstream classifier
+/// can't tell them apart).
+fn assign_confidence<R: Rng>(rng: &mut R, is_signal: bool, h: f64, surface_h: f64) -> SignalConfidence {
+    if is_signal {
+        match rng.random::<f64>() {
+            x if x < 0.88 => SignalConfidence::High,
+            x if x < 0.97 => SignalConfidence::Medium,
+            _ => SignalConfidence::Low,
+        }
+    } else if (h - surface_h).abs() < 1.0 {
+        // Background photon inside the surface buffer: sometimes promoted.
+        match rng.random::<f64>() {
+            x if x < 0.25 => SignalConfidence::Medium,
+            x if x < 0.55 => SignalConfidence::Buffer,
+            _ => SignalConfidence::Noise,
+        }
+    } else if rng.random::<f64>() < 0.05 {
+        SignalConfidence::Buffer
+    } else {
+        SignalConfidence::Noise
+    }
+}
+
+/// Convenience: build the paper's standard granule — three strong beams
+/// crossing the scene centre on a `length_m` track.
+pub fn standard_granule(scene: &Scene, gen_cfg: GeneratorConfig, meta: GranuleMeta, length_m: f64) -> Granule {
+    let track = TrackConfig::crossing(scene.config().center, length_m);
+    Atl03Generator::new(scene, gen_cfg).generate(meta, &track, &Beam::STRONG)
+}
+
+/// Convenience metadata for tests and examples.
+pub fn test_meta(epoch_offset_min: f64) -> GranuleMeta {
+    GranuleMeta {
+        acquisition: "20191104195311".into(),
+        rgt: 594,
+        cycle: 5,
+        release: 6,
+        epoch_offset_min,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icesat_scene::SceneConfig;
+
+    fn small_granule(seed: u64, length_m: f64) -> (Scene, Granule) {
+        let scene = Scene::generate(SceneConfig::ross_sea(seed));
+        let cfg = GeneratorConfig { seed, ..GeneratorConfig::default() };
+        let g = standard_granule(&scene, cfg, test_meta(0.0), length_m);
+        (scene, g)
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_runs() {
+        let (_, a) = small_granule(7, 500.0);
+        let (_, b) = small_granule(7, 500.0);
+        assert_eq!(a.n_photons(), b.n_photons());
+        let pa = &a.beams[0].photons;
+        let pb = &b.beams[0].photons;
+        assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(pb) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn photon_rate_is_plausible() {
+        let (_, g) = small_granule(3, 2_000.0);
+        for b in &g.beams {
+            let pulses = (2_000.0f64 / 0.7).floor() + 1.0;
+            let rate = b.photons.len() as f64 / pulses;
+            // Strong beam over mixed ice: roughly 1–5 photons per pulse
+            // including background.
+            assert!(rate > 0.8 && rate < 6.0, "rate {rate} on {}", b.beam);
+        }
+    }
+
+    #[test]
+    fn photons_sorted_and_in_window() {
+        let (scene, g) = small_granule(11, 1_000.0);
+        let amp = scene.config().ssh_amplitude_m;
+        for b in &g.beams {
+            assert!(b.is_sorted());
+            for p in &b.photons {
+                // Telemetry window is ±15 m around the local sea surface.
+                assert!(p.height_m.abs() < 15.0 + amp + 1.0, "h={}", p.height_m);
+            }
+        }
+    }
+
+    #[test]
+    fn high_conf_photons_cluster_at_surface() {
+        let (scene, g) = small_granule(19, 3_000.0);
+        let b = &g.beams[0];
+        let track = TrackConfig::crossing(scene.config().center, 3_000.0);
+        let gt = GroundTrack::for_beam(&track, b.beam);
+        let mut err_sum = 0.0;
+        let mut n = 0usize;
+        for p in &b.photons {
+            if p.confidence == SignalConfidence::High {
+                let i = (p.along_track_m / gt.pulse_spacing_m()).round() as usize;
+                let truth = scene.sample(gt.pulse_position(i), 0.0);
+                err_sum += (p.height_m - truth.elevation_m).abs();
+                n += 1;
+            }
+        }
+        assert!(n > 1000, "too few high-conf photons: {n}");
+        let mae = err_sum / n as f64;
+        // Mean absolute error should be close to the ranging noise scale;
+        // a loose bound still catches geometry or indexing bugs.
+        assert!(mae < 0.5, "high-conf photons far from surface: MAE {mae}");
+    }
+
+    #[test]
+    fn weak_beam_sees_fewer_photons() {
+        let scene = Scene::generate(SceneConfig::ross_sea(23));
+        let cfg = GeneratorConfig { seed: 23, ..GeneratorConfig::default() };
+        let track = TrackConfig::crossing(scene.config().center, 2_000.0);
+        let gen = Atl03Generator::new(&scene, cfg);
+        let g = gen.generate(test_meta(0.0), &track, &[Beam::Gt1l, Beam::Gt1r]);
+        let strong = g.beam(Beam::Gt1l).unwrap().n_signal();
+        let weak = g.beam(Beam::Gt1r).unwrap().n_signal();
+        assert!(
+            (weak as f64) < 0.6 * strong as f64,
+            "weak {weak} vs strong {strong}"
+        );
+    }
+
+    #[test]
+    fn dead_time_enforces_min_separation_within_pulse() {
+        // Single-channel configuration: separation must hold across the
+        // whole pulse (with multiple channels it only holds per channel).
+        let scene = Scene::generate(SceneConfig::ross_sea(31));
+        let cfg = GeneratorConfig { seed: 31, n_channels: 1, ..GeneratorConfig::default() };
+        let g = standard_granule(&scene, cfg, test_meta(0.0), 1_000.0);
+        let b = &g.beams[0];
+        let mut i = 0;
+        while i < b.photons.len() {
+            let mut j = i;
+            while j < b.photons.len() && b.photons[j].along_track_m == b.photons[i].along_track_m {
+                j += 1;
+            }
+            let mut hs: Vec<f64> = b.photons[i..j].iter().map(|p| p.height_m).collect();
+            hs.sort_by(|a, b| b.total_cmp(a));
+            for w in hs.windows(2) {
+                assert!(
+                    w[0] - w[1] >= 0.45 - 1e-9,
+                    "dead-time violation: {} vs {}",
+                    w[0],
+                    w[1]
+                );
+            }
+            i = j;
+        }
+    }
+
+    #[test]
+    fn disabling_dead_time_removes_bias() {
+        // With dead time on, the mean recorded signal height sits above
+        // truth; with it off, the bias vanishes. This is the physical
+        // effect the preprocessor's first-photon correction removes.
+        let scene = Scene::generate(SceneConfig::ross_sea(47));
+        let meta = test_meta(0.0);
+        let track = TrackConfig::crossing(scene.config().center, 4_000.0);
+        let bias_of = |dead: f64| {
+            let cfg = GeneratorConfig {
+                seed: 47,
+                dead_time_m: dead,
+                background_rate_per_pulse: 0.0,
+                strong_rate_per_pulse: 6.0, // dense returns amplify the effect
+                n_channels: 1,              // single channel maximises it
+                ..GeneratorConfig::default()
+            };
+            let g = Atl03Generator::new(&scene, cfg).generate(meta.clone(), &track, &[Beam::Gt2l]);
+            let b = g.beam(Beam::Gt2l).unwrap();
+            let gt = GroundTrack::for_beam(&track, Beam::Gt2l);
+            let mut sum = 0.0;
+            let mut n = 0;
+            for p in &b.photons {
+                let i = (p.along_track_m / gt.pulse_spacing_m()).round() as usize;
+                let truth = scene.sample(gt.pulse_position(i), 0.0);
+                sum += p.height_m - truth.elevation_m;
+                n += 1;
+            }
+            sum / n as f64
+        };
+        let with_dead = bias_of(0.45);
+        let without = bias_of(0.0);
+        assert!(without.abs() < 0.02, "unbiased case has bias {without}");
+        assert!(with_dead > 0.015, "dead time should bias upward, got {with_dead}");
+        assert!(with_dead > without + 0.01);
+    }
+
+    #[test]
+    fn confidence_mix_is_realistic() {
+        let (_, g) = small_granule(5, 2_000.0);
+        let b = &g.beams[0];
+        let high = b.photons.iter().filter(|p| p.confidence == SignalConfidence::High).count();
+        let noise = b.photons.iter().filter(|p| p.confidence == SignalConfidence::Noise).count();
+        assert!(high > 0 && noise > 0);
+        // Most photons over sea ice are surface returns.
+        assert!(high as f64 > 0.4 * b.photons.len() as f64);
+    }
+}

@@ -1,0 +1,157 @@
+//! Granule container: metadata plus per-beam photon arrays.
+
+use serde::{Deserialize, Serialize};
+
+use crate::beam::Beam;
+use crate::photon::Photon;
+
+/// Granule-level metadata, mirroring the fields of an ATL03 filename
+/// (`ATL03_20191104195311_05940510_006_01.h5` → acquisition timestamp,
+/// RGT, cycle, release).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GranuleMeta {
+    /// Acquisition timestamp, `YYYYMMDDHHMMSS` as in ATL03 filenames.
+    pub acquisition: String,
+    /// Reference ground track number (1–1387).
+    pub rgt: u16,
+    /// 91-day repeat cycle number.
+    pub cycle: u8,
+    /// Product release (paper uses release 006).
+    pub release: u8,
+    /// Minutes from the scene reference epoch to this acquisition; drives
+    /// the drift displacement relative to the coincident S2 scene.
+    pub epoch_offset_min: f64,
+}
+
+impl GranuleMeta {
+    /// ATL03-style granule id, e.g. `"20191104195311_05940510"`.
+    pub fn granule_id(&self) -> String {
+        format!("{}_{:04}{:02}10", self.acquisition, self.rgt, self.cycle)
+    }
+}
+
+/// Photons of a single beam, ordered by along-track distance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BeamData {
+    /// Which ATLAS beam.
+    pub beam: Beam,
+    /// Photon events, ascending `along_track_m`.
+    pub photons: Vec<Photon>,
+}
+
+impl BeamData {
+    /// Number of photons with at least low signal confidence.
+    pub fn n_signal(&self) -> usize {
+        self.photons.iter().filter(|p| p.is_signal()).count()
+    }
+
+    /// `true` when photons are sorted by along-track distance (a granule
+    /// invariant the preprocessor relies on).
+    pub fn is_sorted(&self) -> bool {
+        self.photons
+            .windows(2)
+            .all(|w| w[0].along_track_m <= w[1].along_track_m)
+    }
+}
+
+/// One synthetic ATL03 granule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Granule {
+    /// Filename-level metadata.
+    pub meta: GranuleMeta,
+    /// Per-beam photon arrays (any subset of the six beams).
+    pub beams: Vec<BeamData>,
+}
+
+impl Granule {
+    /// Returns the data for `beam`, if present.
+    pub fn beam(&self, beam: Beam) -> Option<&BeamData> {
+        self.beams.iter().find(|b| b.beam == beam)
+    }
+
+    /// The strong beams present, in across-track order.
+    pub fn strong_beams(&self) -> Vec<&BeamData> {
+        Beam::STRONG
+            .iter()
+            .filter_map(|&b| self.beam(b))
+            .collect()
+    }
+
+    /// Total photon count across beams.
+    pub fn n_photons(&self) -> usize {
+        self.beams.iter().map(|b| b.photons.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::photon::SignalConfidence;
+
+    fn photon(at: f64, conf: SignalConfidence) -> Photon {
+        Photon {
+            delta_time_s: at / 7000.0,
+            lat: -74.0,
+            lon: -170.0,
+            height_m: 0.1,
+            along_track_m: at,
+            confidence: conf,
+        }
+    }
+
+    #[test]
+    fn granule_id_format() {
+        let m = GranuleMeta {
+            acquisition: "20191104195311".into(),
+            rgt: 594,
+            cycle: 5,
+            release: 6,
+            epoch_offset_min: 0.0,
+        };
+        assert_eq!(m.granule_id(), "20191104195311_05940510");
+    }
+
+    #[test]
+    fn beam_lookup_and_strong_selection() {
+        let g = Granule {
+            meta: GranuleMeta {
+                acquisition: "20191104195311".into(),
+                rgt: 594,
+                cycle: 5,
+                release: 6,
+                epoch_offset_min: 0.0,
+            },
+            beams: vec![
+                BeamData { beam: Beam::Gt1l, photons: vec![photon(0.0, SignalConfidence::High)] },
+                BeamData { beam: Beam::Gt1r, photons: vec![] },
+                BeamData { beam: Beam::Gt2l, photons: vec![] },
+            ],
+        };
+        assert!(g.beam(Beam::Gt1l).is_some());
+        assert!(g.beam(Beam::Gt3l).is_none());
+        let strong = g.strong_beams();
+        assert_eq!(strong.len(), 2);
+        assert!(strong.iter().all(|b| b.beam.strength() == crate::BeamStrength::Strong));
+        assert_eq!(g.n_photons(), 1);
+    }
+
+    #[test]
+    fn signal_count_and_sortedness() {
+        let b = BeamData {
+            beam: Beam::Gt2l,
+            photons: vec![
+                photon(0.0, SignalConfidence::Noise),
+                photon(0.7, SignalConfidence::High),
+                photon(1.4, SignalConfidence::Medium),
+            ],
+        };
+        assert_eq!(b.n_signal(), 2);
+        assert!(b.is_sorted());
+
+        let unsorted = BeamData {
+            beam: Beam::Gt2l,
+            photons: vec![photon(1.4, SignalConfidence::High), photon(0.0, SignalConfidence::High)],
+        };
+        assert!(!unsorted.is_sorted());
+    }
+}

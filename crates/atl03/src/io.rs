@@ -1,0 +1,251 @@
+//! Compact binary granule format (`.a3g`).
+//!
+//! The paper's scalability tables measure a distinct **load** phase
+//! (reading granules into the cluster) ahead of map-reduce processing; to
+//! reproduce it we need granules that exist as real bytes, not just
+//! in-memory structs. The format is deliberately simple: a magic tag, a
+//! version, the metadata, then per-beam packed little-endian photon
+//! records. Everything goes through [`bytes`] buffers so encode/decode is
+//! allocation-frugal and endian-stable.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::beam::Beam;
+use crate::granule::{BeamData, Granule, GranuleMeta};
+use crate::photon::{Photon, SignalConfidence};
+
+/// Magic bytes at the start of every granule file.
+pub const MAGIC: &[u8; 4] = b"A3GR";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Errors from decoding a granule buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Buffer ended prematurely or a length field is inconsistent.
+    Truncated,
+    /// A field held an invalid value (beam id, confidence level, …).
+    InvalidField(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not an A3GR granule (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported granule version {v}"),
+            DecodeError::Truncated => write!(f, "granule buffer truncated"),
+            DecodeError::InvalidField(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Bytes per encoded photon record: 5 × f64 + confidence byte.
+pub const PHOTON_RECORD_BYTES: usize = 5 * 8 + 1;
+
+/// Encodes a granule to an owned byte buffer.
+pub fn encode(granule: &Granule) -> Bytes {
+    let photon_bytes: usize = granule
+        .beams
+        .iter()
+        .map(|b| b.photons.len() * PHOTON_RECORD_BYTES)
+        .sum();
+    let mut buf = BytesMut::with_capacity(64 + granule.meta.acquisition.len() + photon_bytes);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+
+    let m = &granule.meta;
+    buf.put_u16_le(m.acquisition.len() as u16);
+    buf.put_slice(m.acquisition.as_bytes());
+    buf.put_u16_le(m.rgt);
+    buf.put_u8(m.cycle);
+    buf.put_u8(m.release);
+    buf.put_f64_le(m.epoch_offset_min);
+
+    buf.put_u8(granule.beams.len() as u8);
+    for beam in &granule.beams {
+        buf.put_u8(beam.beam.index() as u8);
+        buf.put_u64_le(beam.photons.len() as u64);
+        for p in &beam.photons {
+            buf.put_f64_le(p.delta_time_s);
+            buf.put_f64_le(p.lat);
+            buf.put_f64_le(p.lon);
+            buf.put_f64_le(p.height_m);
+            buf.put_f64_le(p.along_track_m);
+            buf.put_u8(p.confidence.level());
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a granule from a byte buffer.
+pub fn decode(mut buf: &[u8]) -> Result<Granule, DecodeError> {
+    if buf.remaining() < 6 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let acq_len = buf.get_u16_le() as usize;
+    if buf.remaining() < acq_len + 2 + 1 + 1 + 8 + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let acquisition = String::from_utf8(buf[..acq_len].to_vec())
+        .map_err(|_| DecodeError::InvalidField("acquisition utf8"))?;
+    buf.advance(acq_len);
+    let meta = GranuleMeta {
+        acquisition,
+        rgt: buf.get_u16_le(),
+        cycle: buf.get_u8(),
+        release: buf.get_u8(),
+        epoch_offset_min: buf.get_f64_le(),
+    };
+
+    let n_beams = buf.get_u8() as usize;
+    let mut beams = Vec::with_capacity(n_beams);
+    for _ in 0..n_beams {
+        if buf.remaining() < 1 + 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let beam_idx = buf.get_u8() as usize;
+        let beam = *Beam::ALL
+            .get(beam_idx)
+            .ok_or(DecodeError::InvalidField("beam index"))?;
+        let n = buf.get_u64_le() as usize;
+        if buf.remaining() < n * PHOTON_RECORD_BYTES {
+            return Err(DecodeError::Truncated);
+        }
+        let mut photons = Vec::with_capacity(n);
+        for _ in 0..n {
+            let delta_time_s = buf.get_f64_le();
+            let lat = buf.get_f64_le();
+            let lon = buf.get_f64_le();
+            let height_m = buf.get_f64_le();
+            let along_track_m = buf.get_f64_le();
+            let confidence = SignalConfidence::from_level(buf.get_u8())
+                .ok_or(DecodeError::InvalidField("confidence level"))?;
+            photons.push(Photon {
+                delta_time_s,
+                lat,
+                lon,
+                height_m,
+                along_track_m,
+                confidence,
+            });
+        }
+        beams.push(BeamData { beam, photons });
+    }
+    Ok(Granule { meta, beams })
+}
+
+/// Writes a granule to `path` in `.a3g` format.
+pub fn write_file(granule: &Granule, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(granule))
+}
+
+/// Reads a granule from `path`.
+pub fn read_file(path: &std::path::Path) -> std::io::Result<Granule> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{standard_granule, test_meta, GeneratorConfig};
+    use icesat_scene::{Scene, SceneConfig};
+
+    fn sample_granule() -> Granule {
+        let scene = Scene::generate(SceneConfig::ross_sea(5));
+        standard_granule(
+            &scene,
+            GeneratorConfig { seed: 5, ..GeneratorConfig::default() },
+            test_meta(12.5),
+            300.0,
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample_granule();
+        let decoded = decode(&encode(&g)).unwrap();
+        assert_eq!(decoded.meta, g.meta);
+        assert_eq!(decoded.beams.len(), g.beams.len());
+        for (a, b) in g.beams.iter().zip(&decoded.beams) {
+            assert_eq!(a.beam, b.beam);
+            assert_eq!(a.photons, b.photons);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample_granule();
+        let dir = std::env::temp_dir().join("atl03_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}.a3g", g.meta.granule_id()));
+        write_file(&g, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.meta, g.meta);
+        assert_eq!(back.n_photons(), g.n_photons());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut b = encode(&sample_granule()).to_vec();
+        b[0] = b'X';
+        assert!(matches!(decode(&b), Err(DecodeError::BadMagic)));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut b = encode(&sample_granule()).to_vec();
+        b[4] = 99;
+        assert!(matches!(decode(&b), Err(DecodeError::BadVersion(_))));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let full = encode(&sample_granule()).to_vec();
+        // Chop at a few representative places, plus near the end.
+        for cut in [0, 3, 5, 8, 20, full.len() / 2, full.len() - 1] {
+            let r = decode(&full[..cut]);
+            assert!(r.is_err(), "cut at {cut} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn empty_granule_roundtrips() {
+        let g = Granule {
+            meta: test_meta(0.0),
+            beams: vec![],
+        };
+        let d = decode(&encode(&g)).unwrap();
+        assert_eq!(d.meta, g.meta);
+        assert!(d.beams.is_empty());
+    }
+
+    #[test]
+    fn encoded_size_is_predictable() {
+        let g = sample_granule();
+        let n: usize = g.beams.iter().map(|b| b.photons.len()).sum();
+        let header = 4 + 2 + 2 + g.meta.acquisition.len() + 2 + 1 + 1 + 8 + 1;
+        let beams = g.beams.len() * (1 + 8);
+        assert_eq!(encode(&g).len(), header + beams + n * PHOTON_RECORD_BYTES);
+    }
+}

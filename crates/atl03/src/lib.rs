@@ -1,0 +1,44 @@
+//! ICESat-2 ATL03 substrate.
+//!
+//! ATL03 is the level-2 *global geolocated photon* product: every detected
+//! photon event with its time, geodetic position, height above the WGS 84
+//! ellipsoid, and a signal-confidence flag. The paper consumes ATL03
+//! granules over the Ross Sea; we synthesise statistically equivalent
+//! granules from an [`icesat_scene::Scene`] truth model instead (see
+//! DESIGN.md for the substitution argument).
+//!
+//! Pipeline-facing pieces:
+//!
+//! - [`beam`] / [`photon`] / [`granule`] — the data model (six beams,
+//!   strong/weak, confidence flags, granule metadata).
+//! - [`track`] — reference-ground-track geometry across a scene.
+//! - [`generator`] — the physics-based synthetic photon generator
+//!   (per-pulse Poisson signal counts driven by surface reflectance,
+//!   Gaussian ranging noise, solar background photons, detector dead-time
+//!   producing the first-photon bias).
+//! - [`io`] — a compact binary granule format (the "load" phase of the
+//!   paper's Tables II and V).
+//! - [`preprocess`] — strong-beam selection, confidence filtering,
+//!   background factor, geographic correction, ineffective reference
+//!   photon removal (paper Section III-A-2).
+//! - [`resample`] — the 2 m along-track resampler producing the per-window
+//!   statistics the classifier consumes.
+//! - [`bias`] — first-photon bias estimation and correction.
+
+pub mod beam;
+pub mod bias;
+pub mod generator;
+pub mod granule;
+pub mod io;
+pub mod photon;
+pub mod preprocess;
+pub mod resample;
+pub mod track;
+
+pub use beam::{Beam, BeamStrength};
+pub use generator::{Atl03Generator, GeneratorConfig};
+pub use granule::{BeamData, Granule, GranuleMeta};
+pub use photon::{Photon, SignalConfidence};
+pub use preprocess::{preprocess_beam, PreprocessConfig, PreprocessReport};
+pub use resample::{resample_2m, Segment, ResampleConfig};
+pub use track::{GroundTrack, TrackConfig};

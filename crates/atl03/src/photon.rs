@@ -1,0 +1,112 @@
+//! Photon events and signal confidence.
+
+use icesat_geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// ATL03 signal classification confidence for the sea-ice surface type,
+/// mirroring the product's `signal_conf_ph` levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum SignalConfidence {
+    /// Likely solar background or detector noise.
+    Noise = 0,
+    /// Buffer region around signal (kept for slope analysis upstream).
+    Buffer = 1,
+    /// Low-confidence signal.
+    Low = 2,
+    /// Medium-confidence signal.
+    Medium = 3,
+    /// High-confidence surface return.
+    High = 4,
+}
+
+impl SignalConfidence {
+    /// Numeric level (0–4) as stored in the product.
+    pub fn level(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a numeric level.
+    pub fn from_level(v: u8) -> Option<SignalConfidence> {
+        match v {
+            0 => Some(SignalConfidence::Noise),
+            1 => Some(SignalConfidence::Buffer),
+            2 => Some(SignalConfidence::Low),
+            3 => Some(SignalConfidence::Medium),
+            4 => Some(SignalConfidence::High),
+            _ => None,
+        }
+    }
+}
+
+/// One geolocated photon event. Field set follows the subset of ATL03 the
+/// paper lists (height, latitude, longitude, elevation, time, confidence).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Photon {
+    /// Seconds since the granule reference epoch.
+    pub delta_time_s: f64,
+    /// Geodetic latitude, degrees.
+    pub lat: f64,
+    /// Longitude, degrees.
+    pub lon: f64,
+    /// Height above the WGS 84 ellipsoid, metres.
+    pub height_m: f64,
+    /// Along-track distance from the granule start, metres.
+    pub along_track_m: f64,
+    /// Signal confidence for the sea-ice surface type.
+    pub confidence: SignalConfidence,
+}
+
+impl Photon {
+    /// Geographic position of the photon.
+    pub fn geo(&self) -> GeoPoint {
+        GeoPoint::new(self.lat, self.lon)
+    }
+
+    /// `true` if the photon passes the paper's high-confidence gate
+    /// (medium or high for counting; high only for the "high-confidence
+    /// photon" feature).
+    pub fn is_signal(&self) -> bool {
+        self.confidence >= SignalConfidence::Low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_level_roundtrip() {
+        for v in 0..=4u8 {
+            assert_eq!(SignalConfidence::from_level(v).unwrap().level(), v);
+        }
+        assert_eq!(SignalConfidence::from_level(5), None);
+    }
+
+    #[test]
+    fn confidence_is_ordered() {
+        assert!(SignalConfidence::High > SignalConfidence::Medium);
+        assert!(SignalConfidence::Medium > SignalConfidence::Low);
+        assert!(SignalConfidence::Low > SignalConfidence::Buffer);
+        assert!(SignalConfidence::Buffer > SignalConfidence::Noise);
+    }
+
+    #[test]
+    fn signal_gate() {
+        let mut p = Photon {
+            delta_time_s: 0.0,
+            lat: -74.0,
+            lon: -170.0,
+            height_m: 0.3,
+            along_track_m: 0.0,
+            confidence: SignalConfidence::Noise,
+        };
+        assert!(!p.is_signal());
+        p.confidence = SignalConfidence::Buffer;
+        assert!(!p.is_signal());
+        p.confidence = SignalConfidence::Low;
+        assert!(p.is_signal());
+        p.confidence = SignalConfidence::High;
+        assert!(p.is_signal());
+    }
+}

@@ -1,0 +1,334 @@
+//! ATL03 preprocessing (paper Section III-A-2).
+//!
+//! For each strong beam the paper: collects photons by signal-confidence,
+//! computes background factors, applies the geographic corrections of the
+//! ATL03 ATBD, and removes *ineffective reference photons* (returns that
+//! survive the confidence gate but are physically implausible — far from
+//! the local surface). The output splits each beam into a cleaned signal
+//! stream and the background stream (the latter is still needed per-window
+//! for the classifier's background-rate features).
+
+use serde::{Deserialize, Serialize};
+
+use crate::granule::BeamData;
+use crate::photon::{Photon, SignalConfidence};
+
+/// Preprocessing knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PreprocessConfig {
+    /// Minimum confidence to treat a photon as surface signal.
+    pub min_confidence: SignalConfidence,
+    /// Half-width of the running-median neighbourhood used for outlier
+    /// rejection, metres along-track.
+    pub median_window_m: f64,
+    /// Photons farther than this from the local running median are
+    /// "ineffective reference photons" and dropped, metres.
+    pub max_deviation_m: f64,
+    /// Telemetry window height used to convert background counts into a
+    /// per-metre rate, metres (must match the generator's window).
+    pub window_height_m: f64,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            min_confidence: SignalConfidence::Medium,
+            median_window_m: 50.0,
+            max_deviation_m: 5.0,
+            window_height_m: 30.0,
+        }
+    }
+}
+
+/// Counters describing what preprocessing did to one beam.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreprocessReport {
+    /// Photons in the raw beam.
+    pub n_input: usize,
+    /// Photons passing the confidence gate.
+    pub n_confident: usize,
+    /// Photons surviving outlier rejection (the final signal stream).
+    pub n_signal: usize,
+    /// Photons classified as background (below the confidence gate).
+    pub n_background: usize,
+    /// Mean background photons per pulse (the paper's "background factor").
+    pub background_rate_per_pulse: f64,
+    /// Background photon density per pulse per metre of window height.
+    pub background_factor_per_m: f64,
+}
+
+/// A preprocessed beam: signal and background streams plus the report.
+#[derive(Debug, Clone)]
+pub struct PreprocessedBeam {
+    /// Cleaned surface-signal photons, ascending along-track.
+    pub signal: Vec<Photon>,
+    /// Background photons (needed for per-window background features).
+    pub background: Vec<Photon>,
+    /// What happened.
+    pub report: PreprocessReport,
+}
+
+/// Geographic correction callback: given (lat, lon) returns a height
+/// correction in metres to *subtract* from every photon. The ATL03 ATBD
+/// applies geoid/tide/inverted-barometer adjustments here; synthetic
+/// granules are generated post-adjustment, so the default is zero, but the
+/// hook is exercised by tests and available for calibration studies.
+pub type GeoCorrection<'a> = &'a dyn Fn(f64, f64) -> f64;
+
+/// Preprocesses one beam with the default (zero) geographic correction.
+pub fn preprocess_beam(beam: &BeamData, cfg: &PreprocessConfig) -> PreprocessedBeam {
+    preprocess_beam_with_correction(beam, cfg, &|_, _| 0.0)
+}
+
+/// Preprocesses one beam, applying `correction` to every photon height.
+pub fn preprocess_beam_with_correction(
+    beam: &BeamData,
+    cfg: &PreprocessConfig,
+    correction: GeoCorrection<'_>,
+) -> PreprocessedBeam {
+    assert!(beam.is_sorted(), "beam photons must be along-track sorted");
+    let n_input = beam.photons.len();
+
+    // 1. Confidence gate + geographic correction.
+    let mut confident: Vec<Photon> = Vec::new();
+    let mut background: Vec<Photon> = Vec::new();
+    for p in &beam.photons {
+        let mut q = *p;
+        q.height_m -= correction(p.lat, p.lon);
+        if q.confidence >= cfg.min_confidence {
+            confident.push(q);
+        } else {
+            background.push(q);
+        }
+    }
+    let n_confident = confident.len();
+
+    // 2. Ineffective-reference-photon removal: compare each photon to the
+    //    running median height of its along-track neighbourhood.
+    let signal = reject_outliers(&confident, cfg.median_window_m, cfg.max_deviation_m);
+    let n_signal = signal.len();
+
+    // 3. Background factor. Pulses ≈ track length / 0.7 m; use the photon
+    //    extent so partial beams report sensible rates.
+    let extent = beam
+        .photons
+        .last()
+        .map(|p| p.along_track_m - beam.photons[0].along_track_m)
+        .unwrap_or(0.0);
+    let n_pulses = (extent / 0.7).max(1.0);
+    let background_rate_per_pulse = background.len() as f64 / n_pulses;
+    let background_factor_per_m = background_rate_per_pulse / cfg.window_height_m;
+
+    let report = PreprocessReport {
+        n_input,
+        n_confident,
+        n_signal,
+        n_background: background.len(),
+        background_rate_per_pulse,
+        background_factor_per_m,
+    };
+    PreprocessedBeam {
+        signal,
+        background,
+        report,
+    }
+}
+
+/// Drops photons deviating more than `max_dev` from the median height of
+/// all photons within ±`half_window` metres along-track. Two-pointer sweep
+/// keeps it O(n·w) with small constants (windows hold a few hundred
+/// photons at ATL03 densities).
+fn reject_outliers(photons: &[Photon], half_window: f64, max_dev: f64) -> Vec<Photon> {
+    if photons.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(photons.len());
+    let mut lo = 0usize;
+    let mut hi = 0usize;
+    let mut heights: Vec<f64> = Vec::new();
+    for (i, p) in photons.iter().enumerate() {
+        let center = p.along_track_m;
+        while hi < photons.len() && photons[hi].along_track_m <= center + half_window {
+            hi += 1;
+        }
+        while photons[lo].along_track_m < center - half_window {
+            lo += 1;
+        }
+        heights.clear();
+        heights.extend(photons[lo..hi].iter().map(|q| q.height_m));
+        let med = median_in_place(&mut heights);
+        if (photons[i].height_m - med).abs() <= max_dev {
+            out.push(*p);
+        }
+    }
+    out
+}
+
+/// Median of a scratch slice (sorts it).
+pub fn median_in_place(v: &mut [f64]) -> f64 {
+    assert!(!v.is_empty(), "median of empty slice");
+    v.sort_by(|a, b| a.total_cmp(b));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::Beam;
+
+    fn photon(at: f64, h: f64, conf: SignalConfidence) -> Photon {
+        Photon {
+            delta_time_s: at / 7000.0,
+            lat: -74.0,
+            lon: -170.0,
+            height_m: h,
+            along_track_m: at,
+            confidence: conf,
+        }
+    }
+
+    fn flat_beam(n: usize) -> BeamData {
+        // Surface at 0.3 m with one wild outlier and sparse noise photons.
+        let mut photons = Vec::new();
+        for i in 0..n {
+            let at = i as f64 * 0.7;
+            photons.push(photon(at, 0.3, SignalConfidence::High));
+            if i % 7 == 0 {
+                photons.push(photon(at, -9.0 + (i % 13) as f64, SignalConfidence::Noise));
+            }
+        }
+        // An "ineffective reference photon": confident but 8 m off.
+        photons.push(photon(35.0, 8.3, SignalConfidence::High));
+        photons.sort_by(|a, b| a.along_track_m.total_cmp(&b.along_track_m));
+        BeamData { beam: Beam::Gt2l, photons }
+    }
+
+    #[test]
+    fn confidence_gate_splits_streams() {
+        let beam = flat_beam(200);
+        let pre = preprocess_beam(&beam, &PreprocessConfig::default());
+        assert_eq!(pre.report.n_input, beam.photons.len());
+        assert_eq!(
+            pre.report.n_confident + pre.report.n_background,
+            pre.report.n_input
+        );
+        assert!(pre.background.iter().all(|p| p.confidence < SignalConfidence::Medium));
+        assert!(pre.signal.iter().all(|p| p.confidence >= SignalConfidence::Medium));
+    }
+
+    #[test]
+    fn outlier_is_removed() {
+        let beam = flat_beam(200);
+        let pre = preprocess_beam(&beam, &PreprocessConfig::default());
+        assert!(pre.signal.iter().all(|p| (p.height_m - 0.3).abs() < 5.0));
+        assert_eq!(pre.report.n_signal, pre.report.n_confident - 1);
+    }
+
+    #[test]
+    fn background_rate_is_sensible() {
+        let beam = flat_beam(700);
+        let pre = preprocess_beam(&beam, &PreprocessConfig::default());
+        // One noise photon every 7 pulses => rate ≈ 1/7.
+        assert!(
+            (pre.report.background_rate_per_pulse - 1.0 / 7.0).abs() < 0.05,
+            "rate {}",
+            pre.report.background_rate_per_pulse
+        );
+        assert!(
+            (pre.report.background_factor_per_m - pre.report.background_rate_per_pulse / 30.0)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn geographic_correction_shifts_heights() {
+        let beam = flat_beam(50);
+        let cfg = PreprocessConfig::default();
+        let pre = preprocess_beam_with_correction(&beam, &cfg, &|_, _| 0.1);
+        for p in &pre.signal {
+            assert!((p.height_m - 0.2).abs() < 1e-9, "h = {}", p.height_m);
+        }
+    }
+
+    #[test]
+    fn empty_beam_is_handled() {
+        let beam = BeamData { beam: Beam::Gt2l, photons: vec![] };
+        let pre = preprocess_beam(&beam, &PreprocessConfig::default());
+        assert_eq!(pre.report.n_input, 0);
+        assert!(pre.signal.is_empty() && pre.background.is_empty());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median_in_place(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_in_place(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median_in_place(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "median of empty slice")]
+    fn median_empty_panics() {
+        let _ = median_in_place(&mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "along-track sorted")]
+    fn unsorted_beam_panics() {
+        let beam = BeamData {
+            beam: Beam::Gt2l,
+            photons: vec![
+                photon(10.0, 0.0, SignalConfidence::High),
+                photon(0.0, 0.0, SignalConfidence::High),
+            ],
+        };
+        let _ = preprocess_beam(&beam, &PreprocessConfig::default());
+    }
+
+    #[test]
+    fn step_surface_keeps_both_levels() {
+        // A genuine surface step (ice edge -> water) must NOT be rejected
+        // by the outlier filter: deviations stay within max_deviation_m.
+        let mut photons = Vec::new();
+        for i in 0..400 {
+            let at = i as f64 * 0.7;
+            let h = if i < 200 { 0.4 } else { 0.0 };
+            photons.push(photon(at, h, SignalConfidence::High));
+        }
+        let beam = BeamData { beam: Beam::Gt1l, photons };
+        let pre = preprocess_beam(&beam, &PreprocessConfig::default());
+        assert_eq!(pre.report.n_signal, 400);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Preprocessing never invents photons and preserves ordering.
+            #[test]
+            fn conservation_and_order(n in 1usize..300, seed in 0u64..100) {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                let mut photons: Vec<Photon> = (0..n).map(|i| {
+                    let conf = SignalConfidence::from_level(rng.random_range(0..5)).unwrap();
+                    photon(i as f64 * 0.7, rng.random_range(-12.0..12.0), conf)
+                }).collect();
+                photons.sort_by(|a, b| a.along_track_m.total_cmp(&b.along_track_m));
+                let beam = BeamData { beam: Beam::Gt2l, photons };
+                let pre = preprocess_beam(&beam, &PreprocessConfig::default());
+                prop_assert!(pre.report.n_signal <= pre.report.n_confident);
+                prop_assert!(pre.report.n_confident <= pre.report.n_input);
+                prop_assert!(pre.signal.windows(2).all(|w| w[0].along_track_m <= w[1].along_track_m));
+                prop_assert!(pre.background.windows(2).all(|w| w[0].along_track_m <= w[1].along_track_m));
+            }
+        }
+    }
+}

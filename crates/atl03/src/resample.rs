@@ -1,0 +1,382 @@
+//! 2 m along-track resampling (the paper's key resolution move).
+//!
+//! ATL07/ATL10 aggregate 150 signal photons (10–200 m for strong beams);
+//! the paper instead fixes a **2 m window** and computes photon statistics
+//! per window: mean/median/std height, photon counts and rates, and
+//! background counts/rates. The classifier's six features and the
+//! freeboard product are all built on these [`Segment`]s.
+//!
+//! The resampler also applies the first-photon bias correction
+//! (`crate::bias`) to each window's height statistics, using the window's
+//! own observed photon rate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bias::expected_bias_m;
+use crate::photon::{Photon, SignalConfidence};
+use crate::preprocess::{median_in_place, PreprocessedBeam};
+
+/// Resampler knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ResampleConfig {
+    /// Window length along-track, metres (paper: 2 m).
+    pub window_m: f64,
+    /// Minimum signal photons for a window to produce a segment.
+    pub min_photons: usize,
+    /// Apply the first-photon bias correction to height statistics.
+    pub correct_first_photon_bias: bool,
+    /// Detector dead time for the bias model, metres.
+    pub dead_time_m: f64,
+    /// Detector channels assumed by the bias model (must match the
+    /// instrument/generator; the bias acts per channel).
+    pub n_channels: usize,
+}
+
+impl Default for ResampleConfig {
+    fn default() -> Self {
+        ResampleConfig {
+            window_m: 2.0,
+            min_photons: 1,
+            correct_first_photon_bias: true,
+            dead_time_m: 0.45,
+            n_channels: 6,
+        }
+    }
+}
+
+/// Statistics of one 2 m window. This is the record the rest of the
+/// pipeline (labeling, features, classification, freeboard) consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Window index along the beam (`floor(along_track / window_m)`).
+    pub index: u32,
+    /// Window-centre along-track distance, metres.
+    pub along_track_m: f64,
+    /// Mean photon latitude, degrees.
+    pub lat: f64,
+    /// Mean photon longitude, degrees.
+    pub lon: f64,
+    /// Signal photons in the window.
+    pub n_photons: u32,
+    /// High-confidence photons in the window.
+    pub n_high_conf: u32,
+    /// Background photons in the window.
+    pub n_background: u32,
+    /// Mean signal height, metres (bias-corrected if configured).
+    pub mean_h_m: f64,
+    /// Median signal height, metres (bias-corrected if configured).
+    pub median_h_m: f64,
+    /// Height standard deviation, metres (0 for single-photon windows).
+    pub std_h_m: f64,
+    /// Signal photons per pulse within the window.
+    pub photon_rate: f64,
+    /// Background photons per pulse within the window.
+    pub background_rate: f64,
+    /// First-photon bias that was subtracted, metres (0 if uncorrected).
+    pub fpb_correction_m: f64,
+}
+
+impl Segment {
+    /// Estimated height error variance for this segment, metres², used by
+    /// the NASA sea-surface equations: ranging σ shrinks with √n.
+    pub fn height_error_var(&self) -> f64 {
+        let per_photon = self.std_h_m.max(0.02);
+        (per_photon * per_photon) / self.n_photons.max(1) as f64
+    }
+}
+
+/// Resamples a preprocessed beam into fixed windows.
+pub fn resample_2m(pre: &PreprocessedBeam, cfg: &ResampleConfig) -> Vec<Segment> {
+    assert!(cfg.window_m > 0.0, "window must be positive");
+    let mut segments = Vec::new();
+    if pre.signal.is_empty() {
+        return segments;
+    }
+
+    let pulses_per_window = (cfg.window_m / 0.7).max(1.0);
+    let mut bg_iter = pre.background.iter().peekable();
+
+    let mut i = 0usize;
+    while i < pre.signal.len() {
+        let win_idx = (pre.signal[i].along_track_m / cfg.window_m).floor() as u32;
+        let win_start = win_idx as f64 * cfg.window_m;
+        let win_end = win_start + cfg.window_m;
+        let mut j = i;
+        while j < pre.signal.len() && pre.signal[j].along_track_m < win_end {
+            j += 1;
+        }
+        let window = &pre.signal[i..j];
+        i = j;
+
+        // Count background photons belonging to windows up to this one.
+        let mut n_background = 0u32;
+        while let Some(&bg) = bg_iter.peek() {
+            if bg.along_track_m < win_start {
+                bg_iter.next();
+            } else if bg.along_track_m < win_end {
+                n_background += 1;
+                bg_iter.next();
+            } else {
+                break;
+            }
+        }
+
+        if window.len() < cfg.min_photons.max(1) {
+            continue;
+        }
+        segments.push(make_segment(
+            win_idx,
+            win_start,
+            window,
+            n_background,
+            pulses_per_window,
+            cfg,
+        ));
+    }
+    segments
+}
+
+fn make_segment(
+    index: u32,
+    win_start: f64,
+    window: &[Photon],
+    n_background: u32,
+    pulses_per_window: f64,
+    cfg: &ResampleConfig,
+) -> Segment {
+    let n = window.len();
+    let inv_n = 1.0 / n as f64;
+    let mut mean_h = 0.0;
+    let mut lat = 0.0;
+    let mut lon = 0.0;
+    let mut n_high = 0u32;
+    for p in window {
+        mean_h += p.height_m;
+        lat += p.lat;
+        lon += p.lon;
+        if p.confidence == SignalConfidence::High {
+            n_high += 1;
+        }
+    }
+    mean_h *= inv_n;
+    lat *= inv_n;
+    lon *= inv_n;
+
+    let var = window
+        .iter()
+        .map(|p| (p.height_m - mean_h).powi(2))
+        .sum::<f64>()
+        * inv_n;
+    let std_h = var.sqrt();
+
+    let mut scratch: Vec<f64> = window.iter().map(|p| p.height_m).collect();
+    let median_h = median_in_place(&mut scratch);
+
+    let photon_rate = n as f64 / pulses_per_window;
+    let background_rate = n_background as f64 / pulses_per_window;
+
+    let fpb = if cfg.correct_first_photon_bias {
+        // Dead time acts per detector channel, so the effective rate the
+        // bias model sees is the per-channel rate.
+        let rate_per_channel = photon_rate / cfg.n_channels.max(1) as f64;
+        expected_bias_m(rate_per_channel, std_h.max(0.02), cfg.dead_time_m)
+    } else {
+        0.0
+    };
+
+    Segment {
+        index,
+        along_track_m: win_start + cfg.window_m / 2.0,
+        lat,
+        lon,
+        n_photons: n as u32,
+        n_high_conf: n_high,
+        n_background,
+        mean_h_m: mean_h - fpb,
+        median_h_m: median_h - fpb,
+        std_h_m: std_h,
+        photon_rate,
+        background_rate,
+        fpb_correction_m: fpb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::Beam;
+    use crate::granule::BeamData;
+    use crate::preprocess::{preprocess_beam, PreprocessConfig};
+
+    fn photon(at: f64, h: f64, conf: SignalConfidence) -> Photon {
+        Photon {
+            delta_time_s: at / 7000.0,
+            lat: -74.0 + at * 1e-7,
+            lon: -170.0,
+            height_m: h,
+            along_track_m: at,
+            confidence: conf,
+        }
+    }
+
+    fn preprocessed(photons: Vec<Photon>) -> PreprocessedBeam {
+        let beam = BeamData { beam: Beam::Gt2l, photons };
+        preprocess_beam(&beam, &PreprocessConfig::default())
+    }
+
+    fn no_fpb() -> ResampleConfig {
+        ResampleConfig {
+            correct_first_photon_bias: false,
+            ..ResampleConfig::default()
+        }
+    }
+
+    #[test]
+    fn windows_partition_along_track() {
+        // Photons at 0.5, 1.5 (window 0), 2.5 (window 1), 5.9 (window 2).
+        let pre = preprocessed(vec![
+            photon(0.5, 0.1, SignalConfidence::High),
+            photon(1.5, 0.3, SignalConfidence::High),
+            photon(2.5, 0.2, SignalConfidence::High),
+            photon(5.9, 0.4, SignalConfidence::High),
+        ]);
+        let segs = resample_2m(&pre, &no_fpb());
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].index, 0);
+        assert_eq!(segs[0].n_photons, 2);
+        assert!((segs[0].along_track_m - 1.0).abs() < 1e-12);
+        assert_eq!(segs[1].index, 1);
+        assert_eq!(segs[2].index, 2);
+        assert!((segs[2].along_track_m - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let pre = preprocessed(vec![
+            photon(0.1, 1.0, SignalConfidence::High),
+            photon(0.9, 2.0, SignalConfidence::Medium),
+            photon(1.9, 3.0, SignalConfidence::High),
+        ]);
+        let segs = resample_2m(&pre, &no_fpb());
+        assert_eq!(segs.len(), 1);
+        let s = &segs[0];
+        assert_eq!(s.n_photons, 3);
+        assert_eq!(s.n_high_conf, 2);
+        assert!((s.mean_h_m - 2.0).abs() < 1e-12);
+        assert!((s.median_h_m - 2.0).abs() < 1e-12);
+        // Population std of {1,2,3} = sqrt(2/3).
+        assert!((s.std_h_m - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // 3 photons over 2m/0.7m pulses.
+        assert!((s.photon_rate - 3.0 / (2.0 / 0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_photons_counted_per_window() {
+        let mut photons = vec![
+            photon(0.5, 0.0, SignalConfidence::High),
+            photon(2.5, 0.0, SignalConfidence::High),
+        ];
+        // Background (noise) photons: two in window 0, one in window 1.
+        photons.push(photon(0.2, -7.0, SignalConfidence::Noise));
+        photons.push(photon(1.2, 6.0, SignalConfidence::Noise));
+        photons.push(photon(3.2, -5.0, SignalConfidence::Noise));
+        photons.sort_by(|a, b| a.along_track_m.total_cmp(&b.along_track_m));
+        let pre = preprocessed(photons);
+        let segs = resample_2m(&pre, &no_fpb());
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].n_background, 2);
+        assert_eq!(segs[1].n_background, 1);
+        assert!(segs[1].background_rate > 0.0);
+    }
+
+    #[test]
+    fn empty_windows_are_skipped() {
+        let pre = preprocessed(vec![
+            photon(0.5, 0.0, SignalConfidence::High),
+            photon(100.5, 0.0, SignalConfidence::High),
+        ]);
+        let segs = resample_2m(&pre, &no_fpb());
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].index, 0);
+        assert_eq!(segs[1].index, 50);
+    }
+
+    #[test]
+    fn min_photons_filter() {
+        let pre = preprocessed(vec![
+            photon(0.3, 0.0, SignalConfidence::High),
+            photon(0.9, 0.0, SignalConfidence::High),
+            photon(2.5, 0.0, SignalConfidence::High),
+        ]);
+        let cfg = ResampleConfig { min_photons: 2, ..no_fpb() };
+        let segs = resample_2m(&pre, &cfg);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].index, 0);
+    }
+
+    #[test]
+    fn fpb_correction_lowers_heights() {
+        let photons: Vec<Photon> = (0..20)
+            .map(|i| photon(i as f64 * 0.1, 0.5 + 0.05 * ((i % 5) as f64 - 2.0), SignalConfidence::High))
+            .collect();
+        let pre = preprocessed(photons);
+        let corrected = resample_2m(&pre, &ResampleConfig::default());
+        let raw = resample_2m(&pre, &no_fpb());
+        assert_eq!(corrected.len(), raw.len());
+        for (c, r) in corrected.iter().zip(&raw) {
+            assert!(c.fpb_correction_m > 0.0);
+            assert!((c.mean_h_m + c.fpb_correction_m - r.mean_h_m).abs() < 1e-12);
+            assert!(c.mean_h_m < r.mean_h_m);
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_no_segments() {
+        let pre = preprocessed(vec![]);
+        assert!(resample_2m(&pre, &ResampleConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn height_error_var_shrinks_with_n() {
+        let few = Segment {
+            index: 0, along_track_m: 1.0, lat: 0.0, lon: 0.0,
+            n_photons: 2, n_high_conf: 2, n_background: 0,
+            mean_h_m: 0.0, median_h_m: 0.0, std_h_m: 0.1,
+            photon_rate: 1.0, background_rate: 0.0, fpb_correction_m: 0.0,
+        };
+        let many = Segment { n_photons: 8, ..few };
+        assert!(many.height_error_var() < few.height_error_var());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Segment photon counts sum to the number of signal photons,
+            /// and every photon lies in its window.
+            #[test]
+            fn photons_conserved(n in 1usize..400, seed in 0u64..50) {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                let mut photons: Vec<Photon> = (0..n).map(|_| {
+                    photon(rng.random_range(0.0..200.0), rng.random_range(-0.5..0.5), SignalConfidence::High)
+                }).collect();
+                photons.sort_by(|a, b| a.along_track_m.total_cmp(&b.along_track_m));
+                let pre = preprocessed(photons);
+                let n_signal = pre.signal.len();
+                let segs = resample_2m(&pre, &no_fpb());
+                let total: u32 = segs.iter().map(|s| s.n_photons).sum();
+                prop_assert_eq!(total as usize, n_signal);
+                for s in &segs {
+                    prop_assert!(s.std_h_m >= 0.0);
+                    prop_assert!(s.n_high_conf <= s.n_photons);
+                }
+                // Indices strictly increasing.
+                prop_assert!(segs.windows(2).all(|w| w[0].index < w[1].index));
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Reference-ground-track geometry.
+//!
+//! A [`GroundTrack`] is the straight line (in the EPSG-3976 plane — at
+//! tens of km the ground track of a near-polar orbit is straight to well
+//! under a metre) that a beam's bounce points follow across a scene. The
+//! generator walks it at the 0.7 m per-pulse spacing of ATLAS; the
+//! resampler uses its along-track parametrisation.
+
+use icesat_geo::{GeoPoint, MapPoint, EPSG_3976};
+use serde::{Deserialize, Serialize};
+
+use crate::beam::Beam;
+
+/// Configuration for a ground track crossing a scene.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrackConfig {
+    /// Track origin (reference ground track, RGT) in EPSG-3976 metres.
+    pub origin: MapPoint,
+    /// Track heading in the projection plane, radians (0 = +x / grid east,
+    /// π/2 = +y / grid north). ICESat-2 ground tracks over the Ross Sea run
+    /// roughly grid north–south.
+    pub heading_rad: f64,
+    /// Track length, metres.
+    pub length_m: f64,
+    /// Pulse spacing along-track, metres (ATLAS: ~0.7 m at 10 kHz).
+    pub pulse_spacing_m: f64,
+}
+
+impl TrackConfig {
+    /// A track of `length_m` metres crossing the scene centre heading grid
+    /// north, starting south of the centre.
+    pub fn crossing(center: MapPoint, length_m: f64) -> Self {
+        TrackConfig {
+            origin: MapPoint::new(center.x, center.y - length_m / 2.0),
+            heading_rad: std::f64::consts::FRAC_PI_2,
+            length_m,
+            pulse_spacing_m: 0.7,
+        }
+    }
+}
+
+/// A realised ground track for one beam.
+#[derive(Debug, Clone, Copy)]
+pub struct GroundTrack {
+    origin: MapPoint,
+    dir: (f64, f64),
+    length_m: f64,
+    pulse_spacing_m: f64,
+}
+
+impl GroundTrack {
+    /// Builds the track for `beam`, offsetting the RGT by the beam's
+    /// across-track distance.
+    pub fn for_beam(cfg: &TrackConfig, beam: Beam) -> Self {
+        let dir = (cfg.heading_rad.cos(), cfg.heading_rad.sin());
+        // Across-track unit vector (90° clockwise from heading).
+        let across = (dir.1, -dir.0);
+        let off = beam.across_track_offset_m();
+        GroundTrack {
+            origin: MapPoint::new(cfg.origin.x + across.0 * off, cfg.origin.y + across.1 * off),
+            dir,
+            length_m: cfg.length_m,
+            pulse_spacing_m: cfg.pulse_spacing_m,
+        }
+    }
+
+    /// Number of laser pulses along the track.
+    pub fn n_pulses(&self) -> usize {
+        (self.length_m / self.pulse_spacing_m).floor() as usize + 1
+    }
+
+    /// Map position of pulse `i`'s bounce point.
+    pub fn pulse_position(&self, i: usize) -> MapPoint {
+        let d = i as f64 * self.pulse_spacing_m;
+        MapPoint::new(self.origin.x + self.dir.0 * d, self.origin.y + self.dir.1 * d)
+    }
+
+    /// Along-track distance of pulse `i`, metres.
+    pub fn pulse_along_track_m(&self, i: usize) -> f64 {
+        i as f64 * self.pulse_spacing_m
+    }
+
+    /// Geographic position of pulse `i` (inverse EPSG-3976).
+    pub fn pulse_geo(&self, i: usize) -> GeoPoint {
+        EPSG_3976.inverse(self.pulse_position(i))
+    }
+
+    /// Track length, metres.
+    pub fn length_m(&self) -> f64 {
+        self.length_m
+    }
+
+    /// Pulse spacing, metres.
+    pub fn pulse_spacing_m(&self) -> f64 {
+        self.pulse_spacing_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrackConfig {
+        TrackConfig::crossing(MapPoint::new(-300_000.0, -1_300_000.0), 10_000.0)
+    }
+
+    #[test]
+    fn pulse_count_matches_length() {
+        let t = GroundTrack::for_beam(&cfg(), Beam::Gt2l);
+        // 10 km at 0.7 m spacing.
+        assert_eq!(t.n_pulses(), (10_000.0f64 / 0.7).floor() as usize + 1);
+    }
+
+    #[test]
+    fn track_is_straight_and_uniform() {
+        let t = GroundTrack::for_beam(&cfg(), Beam::Gt2l);
+        let a = t.pulse_position(0);
+        let b = t.pulse_position(100);
+        let c = t.pulse_position(200);
+        // Midpoint of a..c is b (collinearity).
+        assert!(((a.x + c.x) / 2.0 - b.x).abs() < 1e-9);
+        assert!(((a.y + c.y) / 2.0 - b.y).abs() < 1e-9);
+        // Spacing.
+        assert!((a.dist(b) - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beams_offset_across_track() {
+        let c = cfg();
+        let strong = GroundTrack::for_beam(&c, Beam::Gt1l);
+        let weak = GroundTrack::for_beam(&c, Beam::Gt1r);
+        let rgt = GroundTrack::for_beam(&c, Beam::Gt2l);
+        // Same pulse index, offsets match the beam layout.
+        let d_pair = strong.pulse_position(0).dist(weak.pulse_position(0));
+        assert!((d_pair - 90.0).abs() < 1e-9);
+        let d_rgt = strong.pulse_position(0).dist(rgt.pulse_position(0));
+        assert!((d_rgt - 3_300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn along_track_parametrisation() {
+        let t = GroundTrack::for_beam(&cfg(), Beam::Gt3l);
+        assert_eq!(t.pulse_along_track_m(0), 0.0);
+        assert!((t.pulse_along_track_m(1000) - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geo_positions_are_in_antarctica() {
+        let t = GroundTrack::for_beam(&cfg(), Beam::Gt2l);
+        let g = t.pulse_geo(0);
+        assert!(g.lat < -60.0, "latitude {}", g.lat);
+    }
+}

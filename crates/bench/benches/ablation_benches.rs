@@ -1,0 +1,101 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! ring vs naive all-reduce, focal vs cross-entropy loss, LSTM context
+//! window length, and 2 m vs 150-photon aggregation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hvd_ring::{naive_allreduce, ring_allreduce};
+use icesat_atl03::{preprocess_beam, resample_2m, Beam, PreprocessConfig, ResampleConfig};
+use neurite::{Activation, Adam, CrossEntropy, Dense, FocalLoss, Loss, Lstm, Matrix, Sequential};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use seaice::atl07::atl07_segments;
+use seaice::pipeline::{Pipeline, PipelineConfig};
+
+/// Ring vs naive (parameter-server) all-reduce across worker counts.
+fn bench_allreduce_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_allreduce");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    let len = 60_000; // the paper LSTM's parameter count scale
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| {
+            b.iter(|| {
+                let buffers: Vec<Vec<f32>> = (0..n).map(|r| vec![r as f32; len]).collect();
+                ring_allreduce(buffers)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            b.iter(|| {
+                let buffers: Vec<Vec<f32>> = (0..n).map(|r| vec![r as f32; len]).collect();
+                naive_allreduce(buffers)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Focal loss vs cross-entropy: gradient computation cost.
+fn bench_loss_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_loss");
+    group.sample_size(40).measurement_time(Duration::from_secs(4));
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let logits = Matrix::glorot(512, 3, &mut rng);
+    let labels: Vec<usize> = (0..512).map(|i| i % 3).collect();
+    group.bench_function("cross_entropy", |b| {
+        b.iter(|| CrossEntropy.loss_and_grad(&logits, &labels));
+    });
+    let focal = FocalLoss::new(2.0);
+    group.bench_function("focal_gamma2", |b| {
+        b.iter(|| focal.loss_and_grad(&logits, &labels));
+    });
+    group.finish();
+}
+
+/// LSTM context-window ablation: forward+backward cost at sequence
+/// lengths 1, 3, 5 (the paper uses n±2 → 5).
+fn bench_context_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_context_window");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    for seq in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(seq), &seq, |b, &seq| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let mut model = Sequential::new()
+                .add(Lstm::new(6, 16, seq, Activation::Elu, &mut rng))
+                .add(Dense::new(16, 3, Activation::Linear, &mut rng));
+            let x = Matrix::glorot(32, seq * 6, &mut rng);
+            let y: Vec<usize> = (0..32).map(|i| i % 3).collect();
+            let mut opt = Adam::new(0.003);
+            b.iter(|| model.train_step(&x, &y, &CrossEntropy, &mut opt));
+        });
+    }
+    group.finish();
+}
+
+/// Resolution ablation: 2 m resampling vs 150-photon ATL07 aggregation
+/// over the same preprocessed beam.
+fn bench_resolution_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_resolution");
+    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    let pipeline = Pipeline::new(PipelineConfig::small(13));
+    let granule = pipeline.generate_granule();
+    let data = granule.beam(Beam::Gt2l).unwrap();
+    let pre = preprocess_beam(data, &PreprocessConfig::default());
+    group.bench_function("resample_2m", |b| {
+        b.iter(|| resample_2m(&pre, &ResampleConfig::default()));
+    });
+    group.bench_function("atl07_150photon", |b| {
+        b.iter(|| atl07_segments(&pre));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablation_benches,
+    bench_allreduce_ablation,
+    bench_loss_ablation,
+    bench_context_window,
+    bench_resolution_ablation
+);
+criterion_main!(ablation_benches);

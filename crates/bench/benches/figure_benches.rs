@@ -1,0 +1,114 @@
+//! Criterion benches for the figure-generating pipeline stages.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use icesat_atl03::Beam;
+use seaice::freeboard::FreeboardProduct;
+use seaice::models::{train_classifier, ModelKind, TrainConfig};
+use seaice::pipeline::{Pipeline, PipelineConfig};
+use seaice::seasurface::{SeaSurface, SeaSurfaceMethod, WindowConfig};
+use seaice::features::sequence_dataset;
+use icesat_scene::SurfaceClass;
+
+struct Workload {
+    segments: Vec<icesat_atl03::Segment>,
+    classes: Vec<SurfaceClass>,
+    surface: SeaSurface,
+    inference_x: neurite::Matrix,
+    classifier: seaice::models::TrainedClassifier,
+}
+
+fn workload() -> Workload {
+    let pipeline = Pipeline::new(PipelineConfig::small(91));
+    let granule = pipeline.generate_granule();
+    let segments = pipeline.segments_for_beam(&granule, Beam::Gt2l);
+    let pair = pipeline.coincident_pair();
+    let (labeled, _) = pipeline.autolabel(&segments, &pair);
+    let labels: Vec<usize> = labeled.iter().map(|l| l.label.unwrap().index()).collect();
+    let classes: Vec<SurfaceClass> = labels
+        .iter()
+        .map(|&i| SurfaceClass::from_index(i).unwrap())
+        .collect();
+    let surface = SeaSurface::compute(
+        &segments,
+        &classes,
+        SeaSurfaceMethod::NasaEquation,
+        &WindowConfig::default(),
+    );
+    let seq = sequence_dataset(&segments, &labels, true, &pipeline.cfg.features);
+    let classifier = train_classifier(
+        ModelKind::PaperLstm,
+        &seq,
+        &TrainConfig {
+            epochs: 2,
+            seed: 9,
+            ..TrainConfig::default()
+        },
+    );
+    Workload {
+        segments,
+        classes,
+        surface,
+        inference_x: seq.x,
+        classifier,
+    }
+}
+
+/// Figures 6/7 kernel: LSTM inference over every 2 m segment.
+fn bench_fig6_inference(c: &mut Criterion, w: &mut Workload) {
+    let mut group = c.benchmark_group("fig6_inference");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let x = w.inference_x.clone();
+    group.bench_function("lstm_full_track", |b| {
+        b.iter(|| w.classifier.predict(&x));
+    });
+    group.finish();
+}
+
+/// Figures 8/9 kernel: the four sea-surface methods.
+fn bench_fig8_seasurface(c: &mut Criterion, w: &Workload) {
+    let mut group = c.benchmark_group("fig8_seasurface");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for method in SeaSurfaceMethod::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &method| {
+                b.iter(|| {
+                    SeaSurface::compute(&w.segments, &w.classes, method, &WindowConfig::default())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figures 10/11 kernel: freeboard product + histogram + stats.
+fn bench_fig10_freeboard(c: &mut Criterion, w: &Workload) {
+    let mut group = c.benchmark_group("fig10_freeboard");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group.bench_function("product", |b| {
+        b.iter(|| FreeboardProduct::from_segments("bench", &w.segments, &w.classes, &w.surface));
+    });
+    let product = FreeboardProduct::from_segments("bench", &w.segments, &w.classes, &w.surface);
+    group.bench_function("histogram_and_stats", |b| {
+        b.iter(|| {
+            let h = product.histogram(-0.2, 1.2, 56);
+            let s = product.stats();
+            (h, s)
+        });
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let mut w = workload();
+    bench_fig6_inference(c, &mut w);
+    bench_fig8_seasurface(c, &w);
+    bench_fig10_freeboard(c, &w);
+}
+
+criterion_group!(figure_benches, benches);
+criterion_main!(figure_benches);

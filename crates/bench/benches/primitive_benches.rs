@@ -1,0 +1,137 @@
+//! Benches for the hot substrate primitives: projection, photon
+//! generation, preprocessing, S2 segmentation, and matrix multiply.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use icesat_atl03::generator::test_meta;
+use icesat_atl03::{
+    preprocess_beam, Atl03Generator, Beam, GeneratorConfig, PreprocessConfig, TrackConfig,
+};
+use icesat_geo::{GeoPoint, MapPoint, EPSG_3976};
+use icesat_scene::{Scene, SceneConfig};
+use icesat_sentinel2::{render_scene, segment_image, RenderConfig, SegmentationConfig};
+use neurite::Matrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geo_projection");
+    group.measurement_time(Duration::from_secs(3));
+    let points: Vec<GeoPoint> = (0..1000)
+        .map(|i| GeoPoint::new(-78.0 + (i % 80) as f64 * 0.1, -180.0 + (i % 400) as f64 * 0.1))
+        .collect();
+    group.bench_function("forward_1k", |b| {
+        b.iter(|| points.iter().map(|&p| EPSG_3976.forward(p)).collect::<Vec<_>>());
+    });
+    let map_points: Vec<MapPoint> = points.iter().map(|&p| EPSG_3976.forward(p)).collect();
+    group.bench_function("inverse_1k", |b| {
+        b.iter(|| map_points.iter().map(|&m| EPSG_3976.inverse(m)).collect::<Vec<_>>());
+    });
+    group.finish();
+}
+
+fn bench_scene_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scene_sampling");
+    group.measurement_time(Duration::from_secs(3));
+    let scene = Scene::generate(SceneConfig::ross_sea(5));
+    let center = scene.config().center;
+    group.bench_function("sample_1k", |b| {
+        b.iter(|| {
+            (0..1000)
+                .map(|i| {
+                    scene.sample(
+                        MapPoint::new(center.x + (i % 100) as f64 * 37.0, center.y + i as f64),
+                        0.0,
+                    )
+                })
+                .count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_photon_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atl03_generation");
+    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    let mut sc = SceneConfig::ross_sea(9);
+    sc.half_extent_m = 3_000.0;
+    let scene = Scene::generate(sc);
+    for length in [1_000.0f64, 4_000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}m", length as u64)),
+            &length,
+            |b, &length| {
+                let track = TrackConfig::crossing(scene.config().center, length);
+                let gen = Atl03Generator::new(
+                    &scene,
+                    GeneratorConfig { seed: 9, ..GeneratorConfig::default() },
+                );
+                b.iter(|| gen.generate_beam(&test_meta(0.0), &track, Beam::Gt2l));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atl03_preprocess");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let mut sc = SceneConfig::ross_sea(11);
+    sc.half_extent_m = 3_000.0;
+    let scene = Scene::generate(sc);
+    let track = TrackConfig::crossing(scene.config().center, 4_000.0);
+    let beam = Atl03Generator::new(&scene, GeneratorConfig { seed: 11, ..GeneratorConfig::default() })
+        .generate_beam(&test_meta(0.0), &track, Beam::Gt2l);
+    group.bench_function("preprocess_4km_beam", |b| {
+        b.iter(|| preprocess_beam(&beam, &PreprocessConfig::default()));
+    });
+    group.finish();
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("s2_segmentation");
+    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    let mut sc = SceneConfig::ross_sea(13);
+    sc.half_extent_m = 2_000.0;
+    let scene = Scene::generate(sc);
+    let img = render_scene(
+        &scene,
+        &RenderConfig {
+            seed: 13,
+            pixel_size_m: 20.0,
+            cloud_cover: 0.3,
+            ..RenderConfig::default()
+        },
+    );
+    group.bench_function("segment_200x200", |b| {
+        b.iter(|| segment_image(&img, &SegmentationConfig::default()));
+    });
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_matmul");
+    group.measurement_time(Duration::from_secs(3));
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    for n in [32usize, 128] {
+        let a = Matrix::glorot(n, n, &mut rng);
+        let b_m = Matrix::glorot(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| a.matmul(&b_m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    primitive_benches,
+    bench_projection,
+    bench_scene_sampling,
+    bench_photon_generation,
+    bench_preprocess,
+    bench_segmentation,
+    bench_matmul
+);
+criterion_main!(primitive_benches);

@@ -1,0 +1,186 @@
+//! Criterion benches for the kernels behind the paper's five tables.
+//!
+//! Each bench measures the *inner loop* of its experiment (drift search,
+//! one cluster sweep point, one training epoch, one all-reduce wave, one
+//! freeboard reduction) rather than the full table, so `cargo bench`
+//! stays minutes-scale while still exposing regressions in exactly the
+//! code paths the tables time.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hvd_ring::{ring_allreduce, DistributedTrainer, TrainerConfig};
+use neurite::FocalLoss;
+use seaice::features::sequence_dataset;
+use seaice::labeling::{estimate_drift, AutoLabelConfig};
+use seaice::models::{build_model, train_classifier, ModelKind, TrainConfig};
+use seaice::pipeline::{
+    scaled_autolabel_run, scaled_freeboard_run, write_granule_fleet, Pipeline, PipelineConfig,
+};
+use sparklite::Cluster;
+
+struct Workload {
+    pipeline: Pipeline,
+    sources: Vec<(std::path::PathBuf, icesat_atl03::Beam)>,
+    raster: Arc<icesat_sentinel2::LabelRaster>,
+    segments: Vec<icesat_atl03::Segment>,
+    seq_data: neurite::Dataset,
+}
+
+fn workload() -> Workload {
+    let pipeline = Pipeline::new(PipelineConfig::small(77));
+    let dir = std::env::temp_dir().join("seaice_bench_fleet");
+    let sources = write_granule_fleet(&pipeline, &dir, 3).expect("fleet");
+    let pair = pipeline.coincident_pair();
+    let raster = Arc::new(pair.labels.clone());
+    let granule = pipeline.generate_granule();
+    let segments = pipeline.segments_for_beam(&granule, icesat_atl03::Beam::Gt2l);
+    let (labeled, _) = pipeline.autolabel(&segments, &pair);
+    let labels: Vec<usize> = labeled.iter().map(|l| l.label.unwrap().index()).collect();
+    let seq_data = sequence_dataset(&segments, &labels, true, &pipeline.cfg.features);
+    Workload {
+        pipeline,
+        sources,
+        raster,
+        segments,
+        seq_data,
+    }
+}
+
+fn bench_table1_drift_search(c: &mut Criterion, w: &Workload) {
+    let pair = w.pipeline.coincident_pair();
+    let mut group = c.benchmark_group("table1_drift_search");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    // The paper's 50 m grid and a coarser variant.
+    for step in [100.0f64, 50.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(step as u64), &step, |b, &step| {
+            let cfg = AutoLabelConfig {
+                shift_search_step_m: step,
+                shift_search_radius_m: 400.0,
+                ..AutoLabelConfig::default()
+            };
+            b.iter(|| estimate_drift(&w.segments, &pair.labels, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_table2_autolabel_topologies(c: &mut Criterion, w: &Workload) {
+    let mut group = c.benchmark_group("table2_autolabel");
+    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    for &(e, k) in &[(1usize, 1usize), (2, 2), (4, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{e}x{k}")),
+            &(e, k),
+            |b, &(e, k)| {
+                b.iter(|| {
+                    scaled_autolabel_run(
+                        &Cluster::new(e, k),
+                        &w.sources,
+                        Arc::clone(&w.raster),
+                        &w.pipeline.cfg.preprocess,
+                        &w.pipeline.cfg.resample,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_table3_training_epoch(c: &mut Criterion, w: &Workload) {
+    let mut group = c.benchmark_group("table3_training_epoch");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for kind in [ModelKind::PaperMlp, ModelKind::PaperLstm] {
+        let data = match kind {
+            ModelKind::PaperLstm => w.seq_data.clone(),
+            ModelKind::PaperMlp => {
+                // Rebuild pointwise layout from the same segments.
+                let labels = w.seq_data.y.clone();
+                sequence_dataset(&w.segments, &labels, false, &w.pipeline.cfg.features)
+            }
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &data, |b, data| {
+            let cfg = TrainConfig {
+                epochs: 1,
+                seed: 5,
+                ..TrainConfig::default()
+            };
+            b.iter(|| train_classifier(kind, data, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_table4_distributed_step(c: &mut Criterion, w: &Workload) {
+    let mut group = c.benchmark_group("table4_horovod");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    // One ring all-reduce wave at the paper's gradient size.
+    let grad_len = build_model(ModelKind::PaperLstm, 0).n_params();
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("allreduce", n), &n, |b, &n| {
+            b.iter(|| {
+                let buffers: Vec<Vec<f32>> = (0..n).map(|r| vec![r as f32; grad_len]).collect();
+                ring_allreduce(buffers)
+            });
+        });
+    }
+    // One short distributed training run.
+    for n in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("train_1epoch", n), &n, |b, &n| {
+            b.iter(|| {
+                DistributedTrainer::train(
+                    |rank| build_model(ModelKind::PaperLstm, rank as u64),
+                    || Box::new(neurite::Adam::new(0.003)),
+                    &FocalLoss::new(2.0),
+                    &w.seq_data,
+                    &TrainerConfig {
+                        n_workers: n,
+                        batch_size: 32,
+                        epochs: 1,
+                        seed: 3,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table5_freeboard_topologies(c: &mut Criterion, w: &Workload) {
+    let mut group = c.benchmark_group("table5_freeboard");
+    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    for &(e, k) in &[(1usize, 1usize), (2, 2), (4, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{e}x{k}")),
+            &(e, k),
+            |b, &(e, k)| {
+                b.iter(|| {
+                    scaled_freeboard_run(
+                        &Cluster::new(e, k),
+                        &w.sources,
+                        &w.pipeline.cfg.preprocess,
+                        &w.pipeline.cfg.resample,
+                        &w.pipeline.cfg.window,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let w = workload();
+    bench_table1_drift_search(c, &w);
+    bench_table2_autolabel_topologies(c, &w);
+    bench_table3_training_epoch(c, &w);
+    bench_table4_distributed_step(c, &w);
+    bench_table5_freeboard_topologies(c, &w);
+    let _ = std::fs::remove_dir_all(std::env::temp_dir().join("seaice_bench_fleet"));
+}
+
+criterion_group!(table_benches, benches);
+criterion_main!(table_benches);

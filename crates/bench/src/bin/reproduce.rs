@@ -1,0 +1,65 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [all|table1|table2|table3|table4|table5|fig2|fig4|fig6|fig8|fig10|ablation] [--quick]
+//! ```
+//!
+//! Run with `--release`; the training experiments are compute-bound.
+//! `--quick` switches to the reduced workloads the criterion benches use.
+
+use seaice_bench::common::Scale;
+use seaice_bench::{figures, tables, ExperimentOutput};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |id: &str| targets.is_empty() || targets.contains(&"all") || targets.contains(&id);
+
+    let mut ran = 0usize;
+    let runners: Vec<(&str, fn(Scale) -> ExperimentOutput)> = vec![
+        ("table1", tables::table1),
+        ("table2", tables::table2),
+        ("table3", tables::table3),
+        ("table4", tables::table4),
+        ("table5", tables::table5),
+        ("fig2", figures::fig2),
+        ("fig4", figures::fig4),
+        ("fig6", figures::fig6),
+        ("fig8", figures::fig8),
+        ("fig10", figures::fig10),
+        ("ablation", figures::resolution_ablation),
+    ];
+    for (id, runner) in runners {
+        if !want(id) {
+            continue;
+        }
+        ran += 1;
+        let start = std::time::Instant::now();
+        let out = runner(scale);
+        println!("{}", "=".repeat(78));
+        println!("{}", out.report);
+        println!(
+            "[{}] done in {:.1}s — metrics: {}",
+            out.id,
+            start.elapsed().as_secs_f64(),
+            out.metrics
+                .iter()
+                .map(|(k, v)| format!("{k}={v:.4}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+    }
+    if ran == 0 {
+        eprintln!(
+            "unknown experiment '{}'. Options: all table1..table5 fig2 fig4 fig6 fig8 fig10 ablation",
+            targets.join(" ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,358 @@
+//! Runners for the paper's five tables.
+
+use std::sync::Arc;
+
+use hvd_ring::costmodel::{render_table4, DgxCostModel};
+use hvd_ring::{DistributedTrainer, TrainerConfig};
+use icesat_atl03::generator::test_meta;
+use icesat_atl03::{
+    preprocess_beam, resample_2m, Atl03Generator, Beam, GeneratorConfig, PreprocessConfig,
+    ResampleConfig, TrackConfig,
+};
+use icesat_geo::point::compass_direction;
+use icesat_scene::{DriftModel, Scene, SceneConfig};
+use icesat_sentinel2::{CoincidentPair, PairConfig, RenderConfig, SegmentationConfig};
+use neurite::FocalLoss;
+use seaice::features::sequence_dataset;
+use seaice::labeling::{estimate_drift, AutoLabelConfig};
+use seaice::models::build_model;
+use seaice::pipeline::{
+    scaled_autolabel_run, scaled_freeboard_run, write_granule_fleet, Pipeline, PipelineConfig,
+};
+use seaice::ModelKind;
+use sparklite::scaling::PAPER_GRID;
+use sparklite::{Cluster, ScalingTable, SimCluster, SimCost};
+
+use crate::common::{compare_line, shared_products, ExperimentOutput, Scale};
+
+/// The paper's Table I rows: (time difference minutes, shift metres,
+/// shift compass direction; "-" for the 0 m rows).
+pub const TABLE1_PAPER: [(f64, f64, &str); 8] = [
+    (9.55, 550.0, "NW"),
+    (7.7, 0.0, "-"),
+    (35.9, 200.0, "W"),
+    (43.23, 0.0, "-"),
+    (47.57, 530.0, "NW"),
+    (45.62, 400.0, "NW"),
+    (32.07, 150.0, "E"),
+    (24.75, 350.0, "SW"),
+];
+
+fn unit_vector(dir: &str) -> (f64, f64) {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    match dir {
+        "N" => (0.0, 1.0),
+        "NE" => (s, s),
+        "E" => (1.0, 0.0),
+        "SE" => (s, -s),
+        "S" => (0.0, -1.0),
+        "SW" => (-s, -s),
+        "W" => (-1.0, 0.0),
+        "NW" => (-s, s),
+        _ => (0.0, 0.0),
+    }
+}
+
+/// Table I: IS2×S2 coincident pairs — drift estimation for each of the
+/// eight paper rows, with the paper's shifts as ground truth drift.
+pub fn table1(scale: Scale) -> ExperimentOutput {
+    let (track_len, pixel) = match scale {
+        Scale::Quick => (4_000.0, 40.0),
+        Scale::Full => (8_000.0, 25.0),
+    };
+    let mut report = String::from(
+        "TABLE I — IS2/S2 coincident pairs: true vs estimated S2 shift\n\
+         pair  dt(min)  true shift     estimated shift   error(m)\n",
+    );
+    let mut metrics = Vec::new();
+    let mut worst = 0.0f64;
+    for (i, &(dt, mag, dir)) in TABLE1_PAPER.iter().enumerate() {
+        // The paper's shift re-aligns S2 to IS2, i.e. the ice moved by
+        // −shift between the acquisitions.
+        let (ux, uy) = unit_vector(dir);
+        let drift = if mag == 0.0 {
+            DriftModel::STILL
+        } else {
+            DriftModel::from_displacement(-ux * mag, -uy * mag, dt)
+        };
+        let mut sc = SceneConfig::ross_sea_with_drift(7_000 + i as u64, drift);
+        sc.half_extent_m = track_len / 2.0 + 1_000.0;
+        let scene = Scene::generate(sc);
+        let track = TrackConfig::crossing(scene.config().center, track_len);
+        let granule = Atl03Generator::new(
+            &scene,
+            GeneratorConfig { seed: 9_000 + i as u64, ..GeneratorConfig::default() },
+        )
+        .generate(test_meta(0.0), &track, &[Beam::Gt2l]);
+        let pre = preprocess_beam(granule.beam(Beam::Gt2l).unwrap(), &PreprocessConfig::default());
+        let segments = resample_2m(&pre, &ResampleConfig::default());
+        let pair = CoincidentPair::build(
+            &scene,
+            &PairConfig {
+                render: RenderConfig {
+                    seed: 11_000 + i as u64,
+                    pixel_size_m: pixel,
+                    acquisition_offset_min: dt,
+                    ..RenderConfig::default()
+                },
+                segmentation: SegmentationConfig::default(),
+            },
+        );
+        let est = estimate_drift(&segments, &pair.labels, &AutoLabelConfig::default());
+        let est_mag = est.dx_m.hypot(est.dy_m);
+        let est_dir = if est_mag < 25.0 {
+            "-"
+        } else {
+            compass_direction(est.dx_m, est.dy_m)
+        };
+        let err = ((est.dx_m - ux * mag).powi(2) + (est.dy_m - uy * mag).powi(2)).sqrt();
+        worst = worst.max(err);
+        report.push_str(&format!(
+            "{:>4}  {:>7.2}  {:>6.0} m / {:<3}  {:>6.0} m / {:<3}   {:>7.0}\n",
+            i + 1,
+            dt,
+            mag,
+            dir,
+            est_mag,
+            est_dir,
+            err
+        ));
+        metrics.push((format!("pair{}_error_m", i + 1), err));
+    }
+    metrics.push(("worst_error_m".into(), worst));
+    ExperimentOutput { id: "table1", report, metrics }
+}
+
+fn fleet_pipeline(scale: Scale, seed: u64) -> (Pipeline, usize) {
+    match scale {
+        Scale::Quick => {
+            let cfg = PipelineConfig::small(seed);
+            (Pipeline::new(cfg), 2)
+        }
+        Scale::Full => {
+            let mut cfg = PipelineConfig::ross_sea(seed);
+            cfg.track_length_m = 12_000.0;
+            cfg.scene.half_extent_m = 7_000.0;
+            (Pipeline::new(cfg), 11) // 33 beam-partitions over 16 slots
+        }
+    }
+}
+
+/// Table II: PySpark-style auto-labeling scalability — a real threaded
+/// sweep over the executors × cores grid plus the calibrated simulation.
+pub fn table2(scale: Scale) -> ExperimentOutput {
+    let (pipeline, n_granules) = fleet_pipeline(scale, 21);
+    let dir = std::env::temp_dir().join(format!("seaice_table2_{n_granules}"));
+    let sources = write_granule_fleet(&pipeline, &dir, n_granules).expect("fleet");
+    let pair = pipeline.coincident_pair();
+    let raster = Arc::new(pair.labels.clone());
+
+    let grid: &[(usize, usize)] = match scale {
+        Scale::Quick => &[(1, 1), (2, 2)],
+        Scale::Full => &PAPER_GRID,
+    };
+    let mut reference: Option<[usize; 4]> = None;
+    let table = ScalingTable::sweep("TABLE II — IS2 auto-labeling scalability (measured)", grid, |e, c| {
+        let (counts, report) = scaled_autolabel_run(
+            &Cluster::new(e, c),
+            &sources,
+            Arc::clone(&raster),
+            &pipeline.cfg.preprocess,
+            &pipeline.cfg.resample,
+        );
+        match &reference {
+            None => reference = Some(counts),
+            Some(r) => assert_eq!(*r, counts, "topology changed the labels"),
+        }
+        report
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Calibrated simulation reproducing the paper's absolute numbers.
+    let sim_load: Vec<f64> = vec![108.0 / 320.0; 320];
+    let sim_reduce: Vec<f64> = vec![390.0 / 320.0; 320];
+    let sim = ScalingTable::sweep(
+        "TABLE II — simulated at paper calibration (108 s load / 390 s reduce)",
+        &PAPER_GRID,
+        |e, c| SimCluster::new(e, c, SimCost::default()).simulate_pipeline(&sim_load, &sim_reduce),
+    );
+
+    let mut report = table.render();
+    report.push('\n');
+    report.push_str(&sim.render());
+    report.push('\n');
+    report.push_str(&compare_line("max reduce speedup (paper 16.25x)", 16.25, sim.max_reduce_speedup()));
+    report.push_str(&compare_line("max load speedup (paper 9.0x)", 9.0, sim.max_load_speedup()));
+    let metrics = vec![
+        ("measured_max_reduce_speedup".into(), table.max_reduce_speedup()),
+        ("measured_max_load_speedup".into(), table.max_load_speedup()),
+        ("sim_max_reduce_speedup".into(), sim.max_reduce_speedup()),
+        ("sim_max_load_speedup".into(), sim.max_load_speedup()),
+    ];
+    ExperimentOutput { id: "table2", report, metrics }
+}
+
+/// Table III: MLP vs LSTM classification quality on the shared pipeline.
+pub fn table3(scale: Scale) -> ExperimentOutput {
+    let sp = shared_products(scale, 33);
+    let products = &sp.1;
+    let lstm = products.reports["LSTM"];
+    let mlp = products.reports["MLP"];
+    let mut report = String::from(
+        "TABLE III — DL sea-ice classification over IS2 ATL03 (held-out 20%)\n\
+         Model  Accuracy  Precision  Recall  F1\n",
+    );
+    for (name, r) in [("MLP", mlp), ("LSTM", lstm)] {
+        report.push_str(&format!(
+            "{name:<5}  {:>8.2}  {:>9.2}  {:>6.2}  {:>5.2}\n",
+            100.0 * r.accuracy,
+            100.0 * r.precision,
+            100.0 * r.recall,
+            100.0 * r.f1
+        ));
+    }
+    report.push('\n');
+    report.push_str(&compare_line("LSTM accuracy % (paper 96.56)", 96.56, 100.0 * lstm.accuracy));
+    report.push_str(&compare_line("MLP accuracy % (paper 91.80)", 91.80, 100.0 * mlp.accuracy));
+    report.push_str(&format!(
+        "  LSTM beats MLP: {}\n",
+        lstm.accuracy > mlp.accuracy
+    ));
+    let metrics = vec![
+        ("lstm_accuracy".into(), lstm.accuracy),
+        ("mlp_accuracy".into(), mlp.accuracy),
+        ("lstm_f1".into(), lstm.f1),
+        ("mlp_f1".into(), mlp.f1),
+        (
+            "lstm_minus_mlp".into(),
+            lstm.accuracy - mlp.accuracy,
+        ),
+    ];
+    ExperimentOutput { id: "table3", report, metrics }
+}
+
+/// Table IV (and Figure 5): Horovod-style distributed training — real
+/// threaded ring-allreduce training at 1..8 workers plus the calibrated
+/// DGX cost model.
+pub fn table4(scale: Scale) -> ExperimentOutput {
+    // Build a labelled dataset once (reuse the pipeline's stage 1; the
+    // Quick workload is enough — training itself dominates this table).
+    let sp = shared_products(Scale::Quick, 45);
+    let (pipeline, products) = (&sp.0, &sp.1);
+    let labels: Vec<usize> = products
+        .auto_labels
+        .iter()
+        .map(|l| l.label.unwrap().index())
+        .collect();
+    let data = sequence_dataset(&products.segments, &labels, true, &pipeline.cfg.features);
+    let epochs = match scale {
+        Scale::Quick => 2,
+        Scale::Full => 6,
+    };
+    let gpu_counts: &[usize] = match scale {
+        Scale::Quick => &[1, 2],
+        Scale::Full => &[1, 2, 4, 6, 8],
+    };
+
+    let mut report = String::from(
+        "TABLE IV — distributed LSTM training, measured on worker threads\n\
+         Workers  Time(s)  Time(s)/Epoch    Data/s  Speedup\n",
+    );
+    let mut base: Option<f64> = None;
+    let mut measured_final = 1.0;
+    let mut metrics = Vec::new();
+    for &n in gpu_counts {
+        let (_, stats) = DistributedTrainer::train(
+            |rank| build_model(ModelKind::PaperLstm, 45 ^ rank as u64),
+            || Box::new(neurite::Adam::new(0.003)),
+            &FocalLoss::new(2.0),
+            &data,
+            &TrainerConfig {
+                n_workers: n,
+                batch_size: 32,
+                epochs,
+                seed: 45,
+            },
+        );
+        let b = *base.get_or_insert(stats.total_s);
+        let speedup = b / stats.total_s;
+        measured_final = speedup;
+        report.push_str(&format!(
+            "{n:>7}  {:>7.2}  {:>13.3}  {:>8.1}  {:>7.2}\n",
+            stats.total_s, stats.per_epoch_s, stats.samples_per_s, speedup
+        ));
+        metrics.push((format!("measured_speedup_{n}"), speedup));
+    }
+
+    let model = DgxCostModel::paper_default();
+    let sim_rows = model.table4(&[1, 2, 4, 6, 8]);
+    report.push_str("\nTABLE IV — DGX A100 cost model at paper calibration\n");
+    report.push_str(&render_table4(&sim_rows));
+    report.push('\n');
+    report.push_str(&compare_line(
+        "8-GPU speedup (paper 7.25x)",
+        7.25,
+        sim_rows.last().unwrap().speedup,
+    ));
+    metrics.push(("sim_speedup_8".into(), sim_rows.last().unwrap().speedup));
+    metrics.push(("measured_final_speedup".into(), measured_final));
+    ExperimentOutput { id: "table4", report, metrics }
+}
+
+/// Table V: PySpark-style freeboard scalability.
+pub fn table5(scale: Scale) -> ExperimentOutput {
+    let (pipeline, n_granules) = fleet_pipeline(scale, 55);
+    let dir = std::env::temp_dir().join(format!("seaice_table5_{n_granules}"));
+    let sources = write_granule_fleet(&pipeline, &dir, n_granules).expect("fleet");
+
+    let grid: &[(usize, usize)] = match scale {
+        Scale::Quick => &[(1, 1), (2, 2)],
+        Scale::Full => &PAPER_GRID,
+    };
+    let mut reference: Option<(usize, f64)> = None;
+    let table = ScalingTable::sweep(
+        "TABLE V — IS2 freeboard computation scalability (measured)",
+        grid,
+        |e, c| {
+            let (result, report) = scaled_freeboard_run(
+                &Cluster::new(e, c),
+                &sources,
+                &pipeline.cfg.preprocess,
+                &pipeline.cfg.resample,
+                &pipeline.cfg.window,
+            );
+            match &reference {
+                None => reference = Some(result),
+                Some(r) => {
+                    assert_eq!(r.0, result.0, "topology changed the freeboard count")
+                }
+            }
+            report
+        },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let sim_load: Vec<f64> = vec![111.0 / 320.0; 320];
+    let sim_reduce: Vec<f64> = vec![392.0 / 320.0; 320];
+    let sim = ScalingTable::sweep(
+        "TABLE V — simulated at paper calibration (111 s load / 392 s reduce)",
+        &PAPER_GRID,
+        |e, c| SimCluster::new(e, c, SimCost::default()).simulate_pipeline(&sim_load, &sim_reduce),
+    );
+
+    let mut report = table.render();
+    report.push('\n');
+    report.push_str(&sim.render());
+    report.push('\n');
+    report.push_str(&compare_line("max reduce speedup (paper 15.68x)", 15.68, sim.max_reduce_speedup()));
+    report.push_str(&compare_line("max load speedup (paper 8.54x)", 8.54, sim.max_load_speedup()));
+    let (n_points, mean_fb) = reference.unwrap_or((0, 0.0));
+    let metrics = vec![
+        ("measured_max_reduce_speedup".into(), table.max_reduce_speedup()),
+        ("sim_max_reduce_speedup".into(), sim.max_reduce_speedup()),
+        ("sim_max_load_speedup".into(), sim.max_load_speedup()),
+        ("freeboard_points".into(), n_points as f64),
+        ("mean_freeboard_m".into(), mean_fb),
+    ];
+    ExperimentOutput { id: "table5", report, metrics }
+}

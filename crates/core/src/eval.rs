@@ -1,0 +1,247 @@
+//! Truth-referenced evaluation.
+//!
+//! The synthetic scene gives us what the paper could only approximate
+//! with manual inspection: exact ground truth at every photon. This
+//! module scores each pipeline product against it and provides the
+//! product-vs-product comparisons (density ratio, sea-surface gap) the
+//! paper's figures report.
+
+use icesat_atl03::Segment;
+use icesat_geo::{GeoPoint, EPSG_3976};
+use icesat_scene::{Scene, SurfaceClass};
+
+use crate::freeboard::FreeboardProduct;
+use crate::seasurface::SeaSurface;
+
+/// Fraction of segments whose predicted class matches the scene truth at
+/// the segment centre.
+pub fn classification_accuracy_vs_truth(
+    scene: &Scene,
+    segments: &[Segment],
+    classes: &[SurfaceClass],
+    t_minutes: f64,
+) -> f64 {
+    assert_eq!(segments.len(), classes.len(), "length mismatch");
+    if segments.is_empty() {
+        return 0.0;
+    }
+    let correct = segments
+        .iter()
+        .zip(classes)
+        .filter(|(s, &c)| {
+            let p = EPSG_3976.forward(GeoPoint::new(s.lat, s.lon));
+            scene.class_at(p, t_minutes) == c
+        })
+        .count();
+    correct as f64 / segments.len() as f64
+}
+
+/// RMSE of a derived sea surface against the scene's true SSH, evaluated
+/// at every segment position.
+pub fn sea_surface_rmse(scene: &Scene, segments: &[Segment], surface: &SeaSurface) -> f64 {
+    assert!(!segments.is_empty(), "no segments");
+    let mut sum = 0.0;
+    for s in segments {
+        let p = EPSG_3976.forward(GeoPoint::new(s.lat, s.lon));
+        let truth = scene.ssh_at(p);
+        let est = surface.href_at(s.along_track_m);
+        sum += (est - truth).powi(2);
+    }
+    (sum / segments.len() as f64).sqrt()
+}
+
+/// RMSE of ice freeboard against scene truth at each sample.
+pub fn freeboard_rmse_vs_truth(scene: &Scene, product: &FreeboardProduct, t_minutes: f64) -> f64 {
+    let ice: Vec<_> = product
+        .points
+        .iter()
+        .filter(|p| p.class != SurfaceClass::OpenWater)
+        .collect();
+    if ice.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for p in &ice {
+        let mp = EPSG_3976.forward(GeoPoint::new(p.lat, p.lon));
+        let truth = scene.sample(mp, t_minutes).freeboard_m;
+        sum += (p.freeboard_m - truth).powi(2);
+    }
+    (sum / ice.len() as f64).sqrt()
+}
+
+/// Mean |Δhref| between two sea surfaces, sampled at every segment — the
+/// paper's "little over 0.1 m" ATL03-vs-ATL07 comparison (Figs. 8b, 9b).
+pub fn mean_surface_gap(a: &SeaSurface, b: &SeaSurface, segments: &[Segment]) -> f64 {
+    assert!(!segments.is_empty(), "no segments");
+    segments
+        .iter()
+        .map(|s| (a.href_at(s.along_track_m) - b.href_at(s.along_track_m)).abs())
+        .sum::<f64>()
+        / segments.len() as f64
+}
+
+/// Density ratio between two freeboard products (ATL03 / baseline) —
+/// Figure 10(d)'s point-density comparison.
+pub fn density_ratio(high: &FreeboardProduct, low: &FreeboardProduct) -> f64 {
+    let d_low = low.density_per_km();
+    if d_low <= 0.0 {
+        return f64::INFINITY;
+    }
+    high.density_per_km() / d_low
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freeboard::FreeboardPoint;
+    use crate::seasurface::SeaSurfaceMethod;
+    use icesat_geo::MapPoint;
+    use icesat_scene::SceneConfig;
+
+    fn scene() -> Scene {
+        let mut sc = SceneConfig::ross_sea(3);
+        sc.half_extent_m = 4_000.0;
+        Scene::generate(sc)
+    }
+
+    /// Segments along a grid-north track starting at the scene centre
+    /// (northern half — away from the southern polynya belt) whose
+    /// latitude/longitude round-trip through EPSG 3976.
+    fn track_segments(scene: &Scene, n: usize) -> Vec<Segment> {
+        let c = scene.config().center;
+        (0..n)
+            .map(|i| {
+                let along = i as f64 * 2.0 + 1.0;
+                let p = MapPoint::new(c.x, c.y + 500.0 + along);
+                let g = EPSG_3976.inverse(p);
+                let truth = scene.sample(p, 0.0);
+                Segment {
+                    index: i as u32,
+                    along_track_m: along,
+                    lat: g.lat,
+                    lon: g.lon,
+                    n_photons: 5,
+                    n_high_conf: 4,
+                    n_background: 1,
+                    mean_h_m: truth.elevation_m,
+                    median_h_m: truth.elevation_m,
+                    std_h_m: 0.05,
+                    photon_rate: 2.0,
+                    background_rate: 0.2,
+                    fpb_correction_m: 0.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_classes_score_one() {
+        let scene = scene();
+        let segments = track_segments(&scene, 1500);
+        let truth: Vec<SurfaceClass> = segments
+            .iter()
+            .map(|s| scene.class_at(EPSG_3976.forward(GeoPoint::new(s.lat, s.lon)), 0.0))
+            .collect();
+        let acc = classification_accuracy_vs_truth(&scene, &segments, &truth, 0.0);
+        assert!(acc > 0.999, "accuracy {acc}");
+    }
+
+    #[test]
+    fn wrong_classes_score_low() {
+        let scene = scene();
+        let segments = track_segments(&scene, 500);
+        // Thick ice dominates, so calling everything open water is bad.
+        let wrong = vec![SurfaceClass::OpenWater; segments.len()];
+        let acc = classification_accuracy_vs_truth(&scene, &segments, &wrong, 0.0);
+        assert!(acc < 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn surface_rmse_small_for_truth_classes() {
+        let scene = scene();
+        let segments = track_segments(&scene, 3000);
+        let truth: Vec<SurfaceClass> = segments
+            .iter()
+            .map(|s| scene.class_at(EPSG_3976.forward(GeoPoint::new(s.lat, s.lon)), 0.0))
+            .collect();
+        if !truth.contains(&SurfaceClass::OpenWater) {
+            eprintln!("no water; skipping");
+            return;
+        }
+        let ss = SeaSurface::compute(
+            &segments,
+            &truth,
+            SeaSurfaceMethod::NasaEquation,
+            &crate::seasurface::WindowConfig {
+                window_m: 2_000.0,
+                step_m: 1_000.0,
+                ..Default::default()
+            },
+        );
+        let rmse = sea_surface_rmse(&scene, &segments, &ss);
+        assert!(rmse < 0.12, "sea surface RMSE {rmse}");
+    }
+
+    #[test]
+    fn freeboard_rmse_zero_for_exact_product() {
+        let scene = scene();
+        let segments = track_segments(&scene, 400);
+        let points: Vec<FreeboardPoint> = segments
+            .iter()
+            .map(|s| {
+                let mp = EPSG_3976.forward(GeoPoint::new(s.lat, s.lon));
+                let truth = scene.sample(mp, 0.0);
+                FreeboardPoint {
+                    along_track_m: s.along_track_m,
+                    lat: s.lat,
+                    lon: s.lon,
+                    freeboard_m: truth.freeboard_m,
+                    class: truth.class,
+                }
+            })
+            .collect();
+        let product = FreeboardProduct { name: "exact".into(), points };
+        let rmse = freeboard_rmse_vs_truth(&scene, &product, 0.0);
+        assert!(rmse < 1e-9, "rmse {rmse}");
+    }
+
+    #[test]
+    fn density_ratio_reflects_resolution() {
+        let mk = |spacing: f64, n: usize| FreeboardProduct {
+            name: "x".into(),
+            points: (0..n)
+                .map(|i| FreeboardPoint {
+                    along_track_m: i as f64 * spacing,
+                    lat: -74.0,
+                    lon: -170.0,
+                    freeboard_m: 0.3,
+                    class: SurfaceClass::ThickIce,
+                })
+                .collect(),
+        };
+        let fine = mk(2.0, 5000);
+        let coarse = mk(40.0, 250);
+        let ratio = density_ratio(&fine, &coarse);
+        assert!((ratio - 20.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn identical_surfaces_have_zero_gap() {
+        let scene = scene();
+        let segments = track_segments(&scene, 2000);
+        let truth: Vec<SurfaceClass> = segments
+            .iter()
+            .map(|s| scene.class_at(EPSG_3976.forward(GeoPoint::new(s.lat, s.lon)), 0.0))
+            .collect();
+        if !truth.contains(&SurfaceClass::OpenWater) {
+            return;
+        }
+        let cfg = crate::seasurface::WindowConfig {
+            window_m: 2_000.0,
+            step_m: 1_000.0,
+            ..Default::default()
+        };
+        let a = SeaSurface::compute(&segments, &truth, SeaSurfaceMethod::Average, &cfg);
+        assert_eq!(mean_surface_gap(&a, &a, &segments), 0.0);
+    }
+}

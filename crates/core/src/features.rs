@@ -1,0 +1,233 @@
+//! Classifier features over 2 m segments.
+//!
+//! The paper (Section III-B-1) identifies six effective per-point
+//! features: height/elevation, height standard deviation, high-confidence
+//! photon count, photon-rate change, background photons, and
+//! background-rate change. "Change" features are central differences
+//! against the along-track neighbours, which is what lets even the
+//! pointwise MLP see a whisper of context — and the LSTM consumes a full
+//! ±2-segment window (sequence length 5).
+
+use icesat_atl03::Segment;
+use neurite::{Dataset, Matrix};
+
+/// Features per segment/time-step.
+pub const N_FEATURES: usize = 6;
+/// LSTM sequence window: segments n−2 … n+2.
+pub const SEQ_LEN: usize = 5;
+
+/// Feature-extraction knobs.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct FeatureConfig {
+    /// Use the median height instead of the mean (more robust to residual
+    /// background photons).
+    pub use_median_height: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            use_median_height: false,
+        }
+    }
+}
+
+/// The six features of segment `i` within `segments`.
+fn features_at(segments: &[Segment], i: usize, cfg: &FeatureConfig) -> [f32; N_FEATURES] {
+    let s = &segments[i];
+    let h = if cfg.use_median_height {
+        s.median_h_m
+    } else {
+        s.mean_h_m
+    };
+    let prev = if i > 0 { &segments[i - 1] } else { s };
+    let next = if i + 1 < segments.len() {
+        &segments[i + 1]
+    } else {
+        s
+    };
+    let d_rate = 0.5 * ((s.photon_rate - prev.photon_rate) + (next.photon_rate - s.photon_rate));
+    let d_bg =
+        0.5 * ((s.background_rate - prev.background_rate) + (next.background_rate - s.background_rate));
+    [
+        h as f32,
+        s.std_h_m as f32,
+        s.n_high_conf as f32,
+        d_rate as f32,
+        s.n_background as f32,
+        d_bg as f32,
+    ]
+}
+
+/// Pointwise feature matrix, one row per segment (MLP input).
+pub fn segment_features(segments: &[Segment], cfg: &FeatureConfig) -> Matrix {
+    let mut data = Vec::with_capacity(segments.len() * N_FEATURES);
+    for i in 0..segments.len() {
+        data.extend_from_slice(&features_at(segments, i, cfg));
+    }
+    Matrix::from_vec(segments.len(), N_FEATURES, data)
+}
+
+/// Sequence feature matrix: row `i` is the flattened window
+/// `[f(i−2), f(i−1), f(i), f(i+1), f(i+2)]` (edge-clamped), the LSTM
+/// input layout (`SEQ_LEN × N_FEATURES` columns).
+pub fn sequence_features(segments: &[Segment], cfg: &FeatureConfig) -> Matrix {
+    let n = segments.len();
+    let mut data = Vec::with_capacity(n * SEQ_LEN * N_FEATURES);
+    let half = SEQ_LEN / 2;
+    for i in 0..n {
+        for k in 0..SEQ_LEN {
+            let j = (i + k).saturating_sub(half).min(n.saturating_sub(1));
+            data.extend_from_slice(&features_at(segments, j, cfg));
+        }
+    }
+    Matrix::from_vec(n, SEQ_LEN * N_FEATURES, data)
+}
+
+/// Builds a labelled dataset in the requested layout.
+///
+/// `sequence = true` produces the LSTM's windowed layout; `false` the
+/// MLP's pointwise layout. `labels` must parallel `segments`.
+pub fn sequence_dataset(
+    segments: &[Segment],
+    labels: &[usize],
+    sequence: bool,
+    cfg: &FeatureConfig,
+) -> Dataset {
+    assert_eq!(segments.len(), labels.len(), "segment/label length mismatch");
+    let x = if sequence {
+        sequence_features(segments, cfg)
+    } else {
+        segment_features(segments, cfg)
+    };
+    Dataset::new(x, labels.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(i: u32, h: f64, rate: f64, bg: f64) -> Segment {
+        Segment {
+            index: i,
+            along_track_m: i as f64 * 2.0 + 1.0,
+            lat: -74.0,
+            lon: -170.0,
+            n_photons: (rate * 2.857).round() as u32,
+            n_high_conf: (rate * 2.5).round() as u32,
+            n_background: (bg * 2.857).round() as u32,
+            mean_h_m: h,
+            median_h_m: h + 0.01,
+            std_h_m: 0.1,
+            photon_rate: rate,
+            background_rate: bg,
+            fpb_correction_m: 0.0,
+        }
+    }
+
+    fn track() -> Vec<Segment> {
+        (0..10)
+            .map(|i| seg(i, 0.3 + 0.01 * i as f64, 2.0 + 0.1 * i as f64, 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn pointwise_shape_and_values() {
+        let segs = track();
+        let x = segment_features(&segs, &FeatureConfig::default());
+        assert_eq!(x.rows(), 10);
+        assert_eq!(x.cols(), N_FEATURES);
+        // Feature 0 is the mean height.
+        assert!((x.get(3, 0) - 0.33).abs() < 1e-5);
+        // Interior rate change: central difference of +0.1 per segment.
+        assert!((x.get(5, 3) - 0.1).abs() < 1e-5);
+        // Constant background => zero bg change.
+        assert!(x.get(5, 5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_option_switches_height_source() {
+        let segs = track();
+        let cfg = FeatureConfig { use_median_height: true };
+        let x = segment_features(&segs, &cfg);
+        assert!((x.get(3, 0) - 0.34).abs() < 1e-5, "median = mean + 0.01");
+    }
+
+    #[test]
+    fn edge_segments_use_one_sided_differences() {
+        let segs = track();
+        let x = segment_features(&segs, &FeatureConfig::default());
+        // First segment: prev clamps to self => half the central diff.
+        assert!((x.get(0, 3) - 0.05).abs() < 1e-5);
+        assert!((x.get(9, 3) - 0.05).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sequence_layout_stacks_windows() {
+        let segs = track();
+        let cfg = FeatureConfig::default();
+        let xs = sequence_features(&segs, &cfg);
+        assert_eq!(xs.cols(), SEQ_LEN * N_FEATURES);
+        // Centre step of row 5 equals pointwise features of segment 5.
+        let xp = segment_features(&segs, &cfg);
+        let center_offset = (SEQ_LEN / 2) * N_FEATURES;
+        for f in 0..N_FEATURES {
+            assert_eq!(xs.get(5, center_offset + f), xp.get(5, f));
+        }
+        // First step of row 5 equals features of segment 3 (n−2).
+        for f in 0..N_FEATURES {
+            assert_eq!(xs.get(5, f), xp.get(3, f));
+        }
+    }
+
+    #[test]
+    fn sequence_edges_clamp() {
+        let segs = track();
+        let cfg = FeatureConfig::default();
+        let xs = sequence_features(&segs, &cfg);
+        let xp = segment_features(&segs, &cfg);
+        // Row 0: steps n−2, n−1 clamp to segment 0.
+        for f in 0..N_FEATURES {
+            assert_eq!(xs.get(0, f), xp.get(0, f));
+            assert_eq!(xs.get(0, N_FEATURES + f), xp.get(0, f));
+        }
+        // Last row: steps n+1, n+2 clamp to the last segment.
+        let n = segs.len() - 1;
+        for f in 0..N_FEATURES {
+            assert_eq!(xs.get(n, 4 * N_FEATURES + f), xp.get(n, f));
+        }
+    }
+
+    #[test]
+    fn dataset_builders() {
+        let segs = track();
+        let labels: Vec<usize> = (0..10).map(|i| i % 3).collect();
+        let cfg = FeatureConfig::default();
+        let d_mlp = sequence_dataset(&segs, &labels, false, &cfg);
+        let d_lstm = sequence_dataset(&segs, &labels, true, &cfg);
+        assert_eq!(d_mlp.dim(), N_FEATURES);
+        assert_eq!(d_lstm.dim(), SEQ_LEN * N_FEATURES);
+        assert_eq!(d_mlp.y, labels);
+        assert_eq!(d_lstm.y, labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn label_length_checked() {
+        let segs = track();
+        let _ = sequence_dataset(&segs, &[0, 1], false, &FeatureConfig::default());
+    }
+
+    #[test]
+    fn single_segment_track_works() {
+        let segs = vec![seg(0, 0.5, 2.0, 0.3)];
+        let cfg = FeatureConfig::default();
+        let x = sequence_features(&segs, &cfg);
+        assert_eq!(x.rows(), 1);
+        // All 5 steps clamp to the only segment; changes are zero.
+        for k in 0..SEQ_LEN {
+            assert!((x.get(0, k * N_FEATURES) - 0.5).abs() < 1e-6);
+            assert_eq!(x.get(0, k * N_FEATURES + 3), 0.0);
+        }
+    }
+}

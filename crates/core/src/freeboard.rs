@@ -1,0 +1,269 @@
+//! Freeboard retrieval: `hf = hs − href` (paper eq. 1, Figures 10–11).
+//!
+//! Freeboard is computed per 2 m segment against the local sea surface of
+//! [`crate::seasurface`]. The product carries the class label so the
+//! plots can separate ice freeboard from the (near-zero) water residual,
+//! and provides the histogram / density summaries the paper's Figures 10
+//! and 11 compare against ATL07/ATL10.
+
+use icesat_atl03::Segment;
+use icesat_scene::SurfaceClass;
+use serde::{Deserialize, Serialize};
+
+use crate::seasurface::SeaSurface;
+
+/// One freeboard sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreeboardPoint {
+    /// Along-track position, metres.
+    pub along_track_m: f64,
+    /// Latitude, degrees.
+    pub lat: f64,
+    /// Longitude, degrees.
+    pub lon: f64,
+    /// Freeboard, metres.
+    pub freeboard_m: f64,
+    /// Surface class of the segment.
+    pub class: SurfaceClass,
+}
+
+/// A freeboard product along one beam.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreeboardProduct {
+    /// Product name for plots ("ATL03 2 m", "ATL07/Koo", "ATL10").
+    pub name: String,
+    /// Samples in along-track order.
+    pub points: Vec<FreeboardPoint>,
+}
+
+impl FreeboardProduct {
+    /// Computes the 2 m freeboard product from labelled segments and a
+    /// sea surface.
+    pub fn from_segments(
+        name: &str,
+        segments: &[Segment],
+        labels: &[SurfaceClass],
+        surface: &SeaSurface,
+    ) -> FreeboardProduct {
+        assert_eq!(segments.len(), labels.len(), "segment/label length mismatch");
+        let points = segments
+            .iter()
+            .zip(labels)
+            .map(|(s, &class)| FreeboardPoint {
+                along_track_m: s.along_track_m,
+                lat: s.lat,
+                lon: s.lon,
+                freeboard_m: s.mean_h_m - surface.href_at(s.along_track_m),
+                class,
+            })
+            .collect();
+        FreeboardProduct {
+            name: name.to_string(),
+            points,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Samples per kilometre of track — the density axis of Figure 10(d)
+    /// (the paper's headline resolution claim).
+    pub fn density_per_km(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let span =
+            self.points.last().unwrap().along_track_m - self.points[0].along_track_m;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.points.len() as f64 / (span / 1000.0)
+    }
+
+    /// Ice-only freeboard values (what the distributions plot).
+    pub fn ice_freeboards(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.class != SurfaceClass::OpenWater)
+            .map(|p| p.freeboard_m)
+            .collect()
+    }
+
+    /// Histogram of ice freeboard over `[lo, hi)` with `bins` equal bins;
+    /// returns `(bin_center, count)` pairs. Out-of-range values clamp to
+    /// the edge bins (matching the paper's bounded plots).
+    pub fn histogram(&self, lo: f64, hi: f64, bins: usize) -> Vec<(f64, usize)> {
+        assert!(bins > 0 && hi > lo, "bad histogram spec");
+        let mut counts = vec![0usize; bins];
+        let w = (hi - lo) / bins as f64;
+        for v in self.ice_freeboards() {
+            let idx = (((v - lo) / w).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (lo + (i as f64 + 0.5) * w, c))
+            .collect()
+    }
+
+    /// Modal freeboard (histogram peak location) — Figures 10(c)/11(c)
+    /// check that the products share peak values.
+    pub fn modal_freeboard(&self, lo: f64, hi: f64, bins: usize) -> f64 {
+        self.histogram(lo, hi, bins)
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(center, _)| center)
+            .unwrap_or(0.0)
+    }
+
+    /// Summary statistics over ice freeboard: `(mean, median, p95)`.
+    pub fn stats(&self) -> (f64, f64, f64) {
+        let mut v = self.ice_freeboards();
+        if v.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        v.sort_by(|a, b| a.total_cmp(b));
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let median = v[v.len() / 2];
+        let p95 = v[((v.len() as f64 * 0.95) as usize).min(v.len() - 1)];
+        (mean, median, p95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seasurface::{SeaSurfaceMethod, WindowConfig};
+
+    fn make_track() -> (Vec<Segment>, Vec<SurfaceClass>) {
+        let mut segments = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..12_000usize {
+            let along = i as f64 * 2.0 + 1.0;
+            let water = along.rem_euclid(3_000.0) < 150.0;
+            let ssh = -0.02;
+            let h = if water { ssh } else { ssh + 0.35 };
+            segments.push(Segment {
+                index: i as u32,
+                along_track_m: along,
+                lat: -74.0,
+                lon: -170.0,
+                n_photons: 6,
+                n_high_conf: 5,
+                n_background: 1,
+                mean_h_m: h,
+                median_h_m: h,
+                std_h_m: if water { 0.03 } else { 0.12 },
+                photon_rate: if water { 0.4 } else { 2.4 },
+                background_rate: 0.3,
+                fpb_correction_m: 0.0,
+            });
+            labels.push(if water {
+                SurfaceClass::OpenWater
+            } else {
+                SurfaceClass::ThickIce
+            });
+        }
+        (segments, labels)
+    }
+
+    fn product() -> FreeboardProduct {
+        let (segments, labels) = make_track();
+        let ss = SeaSurface::compute(
+            &segments,
+            &labels,
+            SeaSurfaceMethod::NasaEquation,
+            &WindowConfig::default(),
+        );
+        FreeboardProduct::from_segments("ATL03 2m", &segments, &labels, &ss)
+    }
+
+    #[test]
+    fn ice_freeboard_matches_truth_and_water_is_zero() {
+        let p = product();
+        for pt in &p.points {
+            match pt.class {
+                SurfaceClass::OpenWater => {
+                    assert!(pt.freeboard_m.abs() < 0.05, "water fb {}", pt.freeboard_m)
+                }
+                _ => assert!(
+                    (pt.freeboard_m - 0.35).abs() < 0.05,
+                    "ice fb {}",
+                    pt.freeboard_m
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn density_is_2m_resolution() {
+        let p = product();
+        // 2 m segments => ~500 samples/km.
+        let d = p.density_per_km();
+        assert!((d - 500.0).abs() < 10.0, "density {d}");
+    }
+
+    #[test]
+    fn histogram_peaks_at_modal_freeboard() {
+        let p = product();
+        let modal = p.modal_freeboard(-0.2, 0.8, 50);
+        assert!((modal - 0.35).abs() < 0.05, "modal {modal}");
+        let hist = p.histogram(-0.2, 0.8, 50);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, p.ice_freeboards().len());
+    }
+
+    #[test]
+    fn stats_are_ordered() {
+        let p = product();
+        let (mean, median, p95) = p.stats();
+        assert!((mean - 0.35).abs() < 0.03);
+        assert!((median - 0.35).abs() < 0.03);
+        assert!(p95 >= median);
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let p = FreeboardProduct {
+            name: "t".into(),
+            points: vec![
+                FreeboardPoint {
+                    along_track_m: 0.0,
+                    lat: 0.0,
+                    lon: 0.0,
+                    freeboard_m: -5.0,
+                    class: SurfaceClass::ThickIce,
+                },
+                FreeboardPoint {
+                    along_track_m: 2.0,
+                    lat: 0.0,
+                    lon: 0.0,
+                    freeboard_m: 5.0,
+                    class: SurfaceClass::ThickIce,
+                },
+            ],
+        };
+        let hist = p.histogram(0.0, 1.0, 10);
+        assert_eq!(hist[0].1, 1);
+        assert_eq!(hist[9].1, 1);
+    }
+
+    #[test]
+    fn empty_product_is_safe() {
+        let p = FreeboardProduct {
+            name: "empty".into(),
+            points: vec![],
+        };
+        assert!(p.is_empty());
+        assert_eq!(p.density_per_km(), 0.0);
+        assert_eq!(p.stats(), (0.0, 0.0, 0.0));
+    }
+}

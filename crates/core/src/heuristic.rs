@@ -1,0 +1,247 @@
+//! Fast physics-threshold classification of 2 m segments.
+//!
+//! The deep models are the paper's answer for classification quality, but
+//! two places want a cheap, dependency-free classifier: the scaled
+//! freeboard runs (Table V consumes an already-classified product) and
+//! quick-look tooling. Pure photon-rate thresholds fail at 2 m windows —
+//! a window holds only ~6 photons, so Poisson noise smears the rate
+//! distributions together. This classifier therefore combines the rate
+//! with **relative elevation**: height above a rolling low percentile of
+//! the along-track height series (a proxy for the local sea level that
+//! needs no prior classification).
+
+use icesat_atl03::Segment;
+use icesat_scene::SurfaceClass;
+use serde::{Deserialize, Serialize};
+
+/// Heuristic thresholds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HeuristicConfig {
+    /// Half-width of the rolling window for the low-percentile floor,
+    /// metres along-track. Wide (5 km) so most windows contain at least
+    /// one lead; narrow windows over continuous pack ride the floor up
+    /// onto the ice and wreck the relative elevations.
+    pub floor_halfwidth_m: f64,
+    /// Percentile (0..=1) used as the local height floor.
+    pub floor_percentile: f64,
+    /// Relative elevation below which a *dark* segment is water, metres.
+    pub surface_band_m: f64,
+    /// Relative elevation above which a segment is thick ice regardless
+    /// of photon rate, metres.
+    pub thick_rel_m: f64,
+    /// Photon rate above which a segment is thick ice regardless of
+    /// relative elevation, photons per pulse (bright snow).
+    pub thick_rate_min: f64,
+    /// Photon rate separating dark water from thin ice inside the
+    /// surface band, photons per pulse.
+    pub water_rate_max: f64,
+}
+
+impl Default for HeuristicConfig {
+    fn default() -> Self {
+        HeuristicConfig {
+            floor_halfwidth_m: 5_000.0,
+            floor_percentile: 0.05,
+            surface_band_m: 0.07,
+            thick_rel_m: 0.18,
+            thick_rate_min: 1.9,
+            water_rate_max: 0.8,
+        }
+    }
+}
+
+/// Rolling low-percentile of segment heights, evaluated at every segment.
+/// Computed on a coarse grid (every ~250 segments) and linearly
+/// interpolated, which keeps the sweep `O(n·w/grid)` with tiny constants.
+fn height_floor(segments: &[Segment], cfg: &HeuristicConfig) -> Vec<f64> {
+    let n = segments.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let grid_step = (n / 64).clamp(1, 256);
+    let mut grid_idx: Vec<usize> = (0..n).step_by(grid_step).collect();
+    if *grid_idx.last().unwrap() != n - 1 {
+        grid_idx.push(n - 1);
+    }
+    let mut grid_val = Vec::with_capacity(grid_idx.len());
+    let mut scratch: Vec<f64> = Vec::new();
+    for &g in &grid_idx {
+        let center = segments[g].along_track_m;
+        let lo = segments.partition_point(|s| s.along_track_m < center - cfg.floor_halfwidth_m);
+        let hi = segments.partition_point(|s| s.along_track_m <= center + cfg.floor_halfwidth_m);
+        scratch.clear();
+        scratch.extend(segments[lo..hi].iter().map(|s| s.mean_h_m));
+        scratch.sort_by(|a, b| a.total_cmp(b));
+        let k = ((scratch.len() as f64 - 1.0) * cfg.floor_percentile).round() as usize;
+        grid_val.push(scratch[k.min(scratch.len() - 1)]);
+    }
+    // Interpolate back to every segment.
+    let mut out = Vec::with_capacity(n);
+    let mut gi = 0usize;
+    for i in 0..n {
+        while gi + 1 < grid_idx.len() && grid_idx[gi + 1] <= i {
+            gi += 1;
+        }
+        let v = if gi + 1 >= grid_idx.len() || grid_idx[gi] == i {
+            grid_val[gi]
+        } else {
+            let (a, b) = (grid_idx[gi], grid_idx[gi + 1]);
+            let t = (i - a) as f64 / (b - a) as f64;
+            grid_val[gi] + t * (grid_val[gi + 1] - grid_val[gi])
+        };
+        out.push(v);
+    }
+    out
+}
+
+/// Classifies segments with the relative-elevation + rate heuristic.
+pub fn heuristic_classes(segments: &[Segment], cfg: &HeuristicConfig) -> Vec<SurfaceClass> {
+    let floor = height_floor(segments, cfg);
+    segments
+        .iter()
+        .zip(&floor)
+        .map(|(s, &h0)| {
+            let rel = s.mean_h_m - h0;
+            // Bright OR clearly elevated => thick ice. The OR matters:
+            // 2 m windows hold ~6 photons, so either signal alone is
+            // noisy, but thick ice rarely fails both.
+            if s.photon_rate >= cfg.thick_rate_min || rel >= cfg.thick_rel_m {
+                SurfaceClass::ThickIce
+            } else if s.photon_rate < cfg.water_rate_max && rel < cfg.surface_band_m {
+                SurfaceClass::OpenWater
+            } else {
+                SurfaceClass::ThinIce
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use icesat_atl03::Beam;
+    use icesat_geo::{GeoPoint, EPSG_3976};
+
+    fn seg(i: usize, h: f64, rate: f64) -> Segment {
+        Segment {
+            index: i as u32,
+            along_track_m: i as f64 * 2.0 + 1.0,
+            lat: -74.0,
+            lon: -170.0,
+            n_photons: (rate * 2.857).round().max(1.0) as u32,
+            n_high_conf: 1,
+            n_background: 0,
+            mean_h_m: h,
+            median_h_m: h,
+            std_h_m: 0.05,
+            photon_rate: rate,
+            background_rate: 0.2,
+            fpb_correction_m: 0.0,
+        }
+    }
+
+    #[test]
+    fn classifies_clean_synthetic_track() {
+        // 3 km of thick ice with a 200 m water lead and thin margins.
+        let mut segments = Vec::new();
+        for i in 0..1500usize {
+            let along = i as f64 * 2.0;
+            let (h, rate) = if (700.0..900.0).contains(&along) {
+                (0.0, 0.4) // water
+            } else if (650.0..700.0).contains(&along) || (900.0..950.0).contains(&along) {
+                (0.07, 1.1) // thin margins
+            } else {
+                (0.35, 2.6) // thick
+            };
+            segments.push(seg(i, h, rate));
+        }
+        let classes = heuristic_classes(&segments, &HeuristicConfig::default());
+        let check = |along: f64, expect: SurfaceClass| {
+            let i = (along / 2.0) as usize;
+            assert_eq!(classes[i], expect, "at {along} m");
+        };
+        check(800.0, SurfaceClass::OpenWater);
+        check(670.0, SurfaceClass::ThinIce);
+        check(920.0, SurfaceClass::ThinIce);
+        check(200.0, SurfaceClass::ThickIce);
+        check(2_000.0, SurfaceClass::ThickIce);
+    }
+
+    #[test]
+    fn tracks_sloping_sea_level() {
+        // Same as above but the whole surface rides a 2 cm/km tilt (a
+        // strong real-world SSH gradient); relative elevation must
+        // absorb it.
+        let mut segments = Vec::new();
+        for i in 0..1500usize {
+            let along = i as f64 * 2.0;
+            let ssh = along / 3_000.0 * 0.06;
+            let (h, rate) = if (700.0..900.0).contains(&along) || (2_000.0..2_150.0).contains(&along)
+            {
+                (ssh, 0.4)
+            } else {
+                (ssh + 0.35, 2.6)
+            };
+            segments.push(seg(i, h, rate));
+        }
+        let classes = heuristic_classes(&segments, &HeuristicConfig::default());
+        assert_eq!(classes[(800.0f64 / 2.0) as usize], SurfaceClass::OpenWater);
+        assert_eq!(classes[(2_100.0f64 / 2.0) as usize], SurfaceClass::OpenWater);
+        assert_eq!(classes[(1_500.0f64 / 2.0) as usize], SurfaceClass::ThickIce);
+    }
+
+    #[test]
+    fn beats_pure_rate_thresholds_on_real_segments() {
+        let pipeline = Pipeline::new(PipelineConfig::small(31));
+        let granule = pipeline.generate_granule();
+        let segments = pipeline.segments_for_beam(&granule, Beam::Gt2l);
+        let heur = heuristic_classes(&segments, &HeuristicConfig::default());
+        let rate_only: Vec<SurfaceClass> = segments
+            .iter()
+            .map(|s| {
+                if s.photon_rate < 0.75 {
+                    SurfaceClass::OpenWater
+                } else if s.photon_rate < 1.9 {
+                    SurfaceClass::ThinIce
+                } else {
+                    SurfaceClass::ThickIce
+                }
+            })
+            .collect();
+        let acc = |classes: &[SurfaceClass]| {
+            let correct = segments
+                .iter()
+                .zip(classes)
+                .filter(|(s, &c)| {
+                    let p = EPSG_3976.forward(GeoPoint::new(s.lat, s.lon));
+                    pipeline.scene.class_at(p, 0.0) == c
+                })
+                .count();
+            correct as f64 / segments.len() as f64
+        };
+        let heur_acc = acc(&heur);
+        let rate_acc = acc(&rate_only);
+        assert!(
+            heur_acc > rate_acc + 0.1,
+            "heuristic {heur_acc:.3} vs rate-only {rate_acc:.3}"
+        );
+        assert!(heur_acc > 0.85, "heuristic accuracy {heur_acc:.3}");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(heuristic_classes(&[], &HeuristicConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn single_segment_is_fine() {
+        // Alone, a segment sits at its own floor (rel = 0), but a bright
+        // return is still thick ice via the rate arm of the rule.
+        let classes = heuristic_classes(&[seg(0, 0.3, 2.5)], &HeuristicConfig::default());
+        assert_eq!(classes, vec![SurfaceClass::ThickIce]);
+        // A dark lone segment falls in the surface band -> water.
+        let classes = heuristic_classes(&[seg(0, 0.0, 0.3)], &HeuristicConfig::default());
+        assert_eq!(classes, vec![SurfaceClass::OpenWater]);
+    }
+}

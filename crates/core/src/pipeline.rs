@@ -1,0 +1,567 @@
+//! The four-stage workflow, end to end, plus the sparklite-scaled runs
+//! behind the paper's Tables II and V.
+//!
+//! Stage 1 — data curation: synthetic granule → preprocessing → 2 m
+//! resampling → S2 coincident pair → drift correction → auto-labeling →
+//! simulated manual clean-up.
+//! Stage 2 — model training: the paper's LSTM and MLP on an 80/20 split.
+//! Stage 3 — inference over every 2 m segment.
+//! Stage 4 — local sea surface (four methods) and freeboard, with the
+//! ATL07/ATL10 emulation as the comparison product.
+
+use icesat_atl03::generator::standard_granule;
+use icesat_atl03::{
+    io as granule_io, preprocess_beam, resample_2m, Beam, GeneratorConfig, Granule, GranuleMeta,
+    PreprocessConfig, ResampleConfig, Segment,
+};
+use icesat_scene::{DriftModel, Scene, SceneConfig, SurfaceClass};
+use icesat_sentinel2::{CoincidentPair, PairConfig, RenderConfig, SegmentationConfig};
+use neurite::{ClassificationReport, ConfusionMatrix};
+use serde::{Deserialize, Serialize};
+use sparklite::{Cluster, ScalingTable, StageReport};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::atl07::{atl07_segments, classify_atl07, Atl10Freeboard, DecisionTreeConfig};
+use crate::eval;
+use crate::features::{sequence_dataset, FeatureConfig};
+use crate::freeboard::FreeboardProduct;
+use crate::labeling::{
+    autolabel_segments, estimate_drift, manual_correction, AutoLabelConfig, DriftEstimate,
+    LabeledSegment,
+};
+use crate::models::{train_classifier, ModelKind, TrainConfig, TrainedClassifier};
+use crate::seasurface::{SeaSurface, SeaSurfaceMethod, WindowConfig};
+
+/// Everything the workflow needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Truth scene configuration.
+    pub scene: SceneConfig,
+    /// Track length across the scene, metres.
+    pub track_length_m: f64,
+    /// Photon generator physics.
+    pub generator: GeneratorConfig,
+    /// Preprocessing gates.
+    pub preprocess: PreprocessConfig,
+    /// 2 m resampler settings.
+    pub resample: ResampleConfig,
+    /// S2 rendering/segmentation for the coincident pair.
+    pub pair: PairConfig,
+    /// Auto-labeling (drift search, manual pass) settings.
+    pub autolabel: AutoLabelConfig,
+    /// Classifier training hyper-parameters.
+    pub train: TrainConfig,
+    /// Sea-surface window geometry.
+    pub window: WindowConfig,
+    /// Feature extraction options.
+    pub features: FeatureConfig,
+}
+
+impl PipelineConfig {
+    /// Ross-Sea defaults: a 30 km track over a 40 km scene with moderate
+    /// drift and a 35-minute S2 offset (a mid-table row of Table I).
+    pub fn ross_sea(seed: u64) -> Self {
+        let drift = DriftModel::from_displacement(380.0, -270.0, 35.0);
+        let mut scene = SceneConfig::ross_sea_with_drift(seed, drift);
+        scene.half_extent_m = 16_000.0;
+        PipelineConfig {
+            seed,
+            scene,
+            track_length_m: 30_000.0,
+            generator: GeneratorConfig {
+                seed: seed ^ 0xA70_03,
+                ..GeneratorConfig::default()
+            },
+            preprocess: PreprocessConfig::default(),
+            resample: ResampleConfig::default(),
+            pair: PairConfig {
+                render: RenderConfig {
+                    seed: seed ^ 0x52_02,
+                    pixel_size_m: 20.0,
+                    cloud_cover: 0.25,
+                    acquisition_offset_min: 35.0,
+                    ..RenderConfig::default()
+                },
+                segmentation: SegmentationConfig::default(),
+            },
+            autolabel: AutoLabelConfig::default(),
+            train: TrainConfig {
+                seed: seed ^ 0x77_17,
+                ..TrainConfig::default()
+            },
+            window: WindowConfig::default(),
+            features: FeatureConfig::default(),
+        }
+    }
+
+    /// A small, fast variant for tests: 8 km track, 8 km scene, clear
+    /// sky, few epochs.
+    pub fn small(seed: u64) -> Self {
+        let mut cfg = PipelineConfig::ross_sea(seed);
+        cfg.scene.half_extent_m = 4_500.0;
+        cfg.track_length_m = 8_000.0;
+        cfg.pair.render.cloud_cover = 0.0;
+        cfg.pair.render.pixel_size_m = 30.0;
+        cfg.train.epochs = 6;
+        // Short tracks need proportionally shorter sea-surface windows to
+        // retain the sliding-window structure.
+        cfg.window = WindowConfig {
+            window_m: 3_000.0,
+            step_m: 1_500.0,
+            ..WindowConfig::default()
+        };
+        cfg
+    }
+}
+
+/// Everything the workflow produces (the figures' raw material).
+pub struct PipelineProducts {
+    /// 2 m segments of the processed beam.
+    pub segments: Vec<Segment>,
+    /// Auto-labels after drift correction and manual clean-up.
+    pub auto_labels: Vec<LabeledSegment>,
+    /// Estimated drift shift (Table I column).
+    pub drift: DriftEstimate,
+    /// Auto-label accuracy vs truth.
+    pub autolabel_accuracy: f64,
+    /// Trained LSTM.
+    pub lstm: TrainedClassifier,
+    /// Trained MLP.
+    pub mlp: TrainedClassifier,
+    /// Table III rows: per-model weighted reports.
+    pub reports: BTreeMap<&'static str, ClassificationReport>,
+    /// Figure 4: the LSTM's held-out confusion matrix.
+    pub lstm_confusion: ConfusionMatrix,
+    /// LSTM-inferred class per 2 m segment (Figures 6, 7).
+    pub classes: Vec<SurfaceClass>,
+    /// LSTM classification accuracy vs scene truth.
+    pub classification_accuracy_vs_truth: f64,
+    /// Local sea surfaces by method (Figures 8, 9).
+    pub sea_surfaces: BTreeMap<&'static str, SeaSurface>,
+    /// The 2 m freeboard product (Figures 10, 11).
+    pub freeboard_atl03: FreeboardProduct,
+    /// Emulated ATL07 classes over aggregate segments (Figures 6, 7).
+    pub atl07_classes: Vec<SurfaceClass>,
+    /// Emulated ATL10 freeboard (Figures 10, 11).
+    pub atl10: Atl10Freeboard,
+    /// Sea-surface gap |ATL03 − ATL07| mean, metres (paper: ≈0.1 m).
+    pub surface_gap_m: f64,
+}
+
+/// The assembled workflow.
+pub struct Pipeline {
+    /// Configuration (public for tweaking between stages).
+    pub cfg: PipelineConfig,
+    /// The truth scene (shared by the generator and the S2 renderer).
+    pub scene: Scene,
+}
+
+impl Pipeline {
+    /// Builds the pipeline, realising the truth scene.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        let scene = Scene::generate(cfg.scene.clone());
+        Pipeline { cfg, scene }
+    }
+
+    /// Granule metadata at the IS2 epoch.
+    pub fn meta(&self) -> GranuleMeta {
+        GranuleMeta {
+            acquisition: "20191104195311".into(),
+            rgt: 594,
+            cycle: 5,
+            release: 6,
+            epoch_offset_min: 0.0,
+        }
+    }
+
+    /// Generates the standard three-strong-beam granule.
+    pub fn generate_granule(&self) -> Granule {
+        standard_granule(
+            &self.scene,
+            self.cfg.generator,
+            self.meta(),
+            self.cfg.track_length_m,
+        )
+    }
+
+    /// Preprocesses and 2 m-resamples one beam of a granule.
+    pub fn segments_for_beam(&self, granule: &Granule, beam: Beam) -> Vec<Segment> {
+        let data = granule
+            .beam(beam)
+            .unwrap_or_else(|| panic!("beam {beam} missing from granule"));
+        let pre = preprocess_beam(data, &self.cfg.preprocess);
+        resample_2m(&pre, &self.cfg.resample)
+    }
+
+    /// Renders and segments the coincident S2 scene.
+    pub fn coincident_pair(&self) -> CoincidentPair {
+        CoincidentPair::build(&self.scene, &self.cfg.pair)
+    }
+
+    /// Stage 1 for one beam: auto-labels segments against the pair with
+    /// drift correction and the simulated manual pass.
+    pub fn autolabel(
+        &self,
+        segments: &[Segment],
+        pair: &CoincidentPair,
+    ) -> (Vec<LabeledSegment>, DriftEstimate) {
+        let est = estimate_drift(segments, &pair.labels, &self.cfg.autolabel);
+        let shifted = pair.labels.shifted(est.dx_m, est.dy_m);
+        let mut labeled = autolabel_segments(segments, &shifted);
+        manual_correction(&mut labeled, &self.scene, 0.0, &self.cfg.autolabel);
+        (labeled, est)
+    }
+
+    /// Runs all four stages on the central strong beam and returns the
+    /// full product set.
+    pub fn run(&self) -> PipelineProducts {
+        // ---- Stage 1: curation + auto-labeling.
+        let granule = self.generate_granule();
+        let segments = self.segments_for_beam(&granule, Beam::Gt2l);
+        let pair = self.coincident_pair();
+        let (auto_labels, drift) = self.autolabel(&segments, &pair);
+        let (autolabel_accuracy, _) =
+            crate::labeling::label_accuracy(&auto_labels, &self.scene, 0.0);
+
+        let labels_idx: Vec<usize> = auto_labels
+            .iter()
+            .map(|l| l.label.expect("manual pass fills all labels").index())
+            .collect();
+
+        // ---- Stage 2: training (80/20 split, both architectures).
+        let seq_data = sequence_dataset(&segments, &labels_idx, true, &self.cfg.features);
+        let pt_data = sequence_dataset(&segments, &labels_idx, false, &self.cfg.features);
+        let (seq_train, seq_test) = seq_data.split(0.8, self.cfg.train.seed);
+        let (pt_train, pt_test) = pt_data.split(0.8, self.cfg.train.seed);
+        let mut lstm = train_classifier(ModelKind::PaperLstm, &seq_train, &self.cfg.train);
+        let mut mlp = train_classifier(ModelKind::PaperMlp, &pt_train, &self.cfg.train);
+        let (lstm_report, lstm_confusion) = lstm.evaluate(&seq_test);
+        let (mlp_report, _) = mlp.evaluate(&pt_test);
+        let mut reports = BTreeMap::new();
+        reports.insert("LSTM", lstm_report);
+        reports.insert("MLP", mlp_report);
+
+        // ---- Stage 3: inference over every 2 m segment.
+        let all_seq = sequence_dataset(&segments, &labels_idx, true, &self.cfg.features);
+        let classes: Vec<SurfaceClass> = lstm
+            .predict(&all_seq.x)
+            .into_iter()
+            .map(|i| SurfaceClass::from_index(i).expect("3-way softmax"))
+            .collect();
+        let classification_accuracy_vs_truth =
+            eval::classification_accuracy_vs_truth(&self.scene, &segments, &classes, 0.0);
+
+        // ---- Stage 4: sea surfaces, freeboard, baseline products.
+        let mut sea_surfaces = BTreeMap::new();
+        for method in SeaSurfaceMethod::ALL {
+            sea_surfaces.insert(
+                method.name(),
+                SeaSurface::compute_with_floor_fallback(
+                    &segments,
+                    &classes,
+                    method,
+                    &self.cfg.window,
+                ),
+            );
+        }
+        let nasa = sea_surfaces["nasa-equation"].clone();
+        let freeboard_atl03 =
+            FreeboardProduct::from_segments("ATL03 2m", &segments, &classes, &nasa);
+
+        let data = granule.beam(Beam::Gt2l).expect("gt2l");
+        let pre = preprocess_beam(data, &self.cfg.preprocess);
+        let a07 = atl07_segments(&pre);
+        let atl07_classes = classify_atl07(&a07, &DecisionTreeConfig::default());
+        let atl10 = Atl10Freeboard::build(a07, atl07_classes.clone());
+        let surface_gap_m = eval::mean_surface_gap(&nasa, &atl10.surface, &segments);
+
+        PipelineProducts {
+            segments,
+            auto_labels,
+            drift,
+            autolabel_accuracy,
+            lstm,
+            mlp,
+            reports,
+            lstm_confusion,
+            classes,
+            classification_accuracy_vs_truth,
+            sea_surfaces,
+            freeboard_atl03,
+            atl07_classes,
+            atl10,
+            surface_gap_m,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scaled (sparklite) runs — Tables II and V.
+// ---------------------------------------------------------------------------
+
+/// Materialises `n_granules` granule files (three strong beams each)
+/// under `dir`, returning `(file, beam)` sources — one partition each.
+pub fn write_granule_fleet(
+    pipeline: &Pipeline,
+    dir: &Path,
+    n_granules: usize,
+) -> std::io::Result<Vec<(PathBuf, Beam)>> {
+    std::fs::create_dir_all(dir)?;
+    let mut sources = Vec::with_capacity(n_granules * 3);
+    for g in 0..n_granules {
+        let mut meta = pipeline.meta();
+        meta.rgt = 500 + g as u16;
+        let granule = standard_granule(
+            &pipeline.scene,
+            GeneratorConfig {
+                seed: pipeline.cfg.generator.seed ^ (g as u64 + 1),
+                ..pipeline.cfg.generator
+            },
+            meta,
+            pipeline.cfg.track_length_m,
+        );
+        let path = dir.join(format!("{}.a3g", granule.meta.granule_id()));
+        granule_io::write_file(&granule, &path)?;
+        for beam in Beam::STRONG {
+            sources.push((path.clone(), beam));
+        }
+    }
+    Ok(sources)
+}
+
+/// One (executors × cores) auto-labeling run over granule files.
+///
+/// Stage split mirrors the paper's: **load** reads and decodes the raw
+/// photon files; **map** lazily registers the per-beam transformation
+/// (preprocess → 2 m resample → label transfer against the shared
+/// raster); **reduce** executes it and aggregates per-class counts, and
+/// is where the compute lives — the 16.25× column of Table II.
+pub fn scaled_autolabel_run(
+    cluster: &Cluster,
+    sources: &[(PathBuf, Beam)],
+    raster: Arc<icesat_sentinel2::LabelRaster>,
+    preprocess: &PreprocessConfig,
+    resample: &ResampleConfig,
+) -> ([usize; 4], StageReport) {
+    let preprocess = *preprocess;
+    let resample = *resample;
+    let (counts, report) = cluster.run_pipeline(
+        sources.to_vec(),
+        // Load: file read + decode only — one whole raw beam per
+        // partition.
+        move |(path, beam)| {
+            let granule = granule_io::read_file(path).expect("granule file readable");
+            let data = granule.beam(*beam).expect("beam present");
+            vec![data.clone()]
+        },
+        // Map (lazy): the full per-beam compute chain.
+        move |rdd| {
+            let raster = Arc::clone(&raster);
+            rdd.map(move |beam_data: icesat_atl03::BeamData| {
+                let pre = preprocess_beam(&beam_data, &preprocess);
+                let segments = resample_2m(&pre, &resample);
+                segments
+                    .into_iter()
+                    .map(|seg| {
+                        let label = raster
+                            .sample(crate::labeling::segment_map_point(&seg))
+                            .and_then(|l| l.class());
+                        LabeledSegment { segment: seg, label }
+                    })
+                    .collect::<Vec<_>>()
+            })
+        },
+        // Reduce: executes the chain, folds per-class counts.
+        |part: Vec<Vec<LabeledSegment>>| {
+            let mut counts = [0usize; 4];
+            for l in part.into_iter().flatten() {
+                match l.label {
+                    Some(c) => counts[c.index()] += 1,
+                    None => counts[3] += 1,
+                }
+            }
+            counts
+        },
+        |mut a, b| {
+            for i in 0..4 {
+                a[i] += b[i];
+            }
+            a
+        },
+    );
+    (counts.unwrap_or([0; 4]), report)
+}
+
+/// One (executors × cores) freeboard run: load = read + preprocess +
+/// resample; map = decision-tree classification (partition-local); reduce
+/// = per-partition sea surface + freeboard, combined into global stats.
+pub fn scaled_freeboard_run(
+    cluster: &Cluster,
+    sources: &[(PathBuf, Beam)],
+    preprocess: &PreprocessConfig,
+    resample: &ResampleConfig,
+    window: &WindowConfig,
+) -> ((usize, f64), StageReport) {
+    let preprocess = *preprocess;
+    let resample = *resample;
+    let window = *window;
+    let heuristic = crate::heuristic::HeuristicConfig::default();
+    let (out, report) = cluster.run_pipeline(
+        sources.to_vec(),
+        // Load: file read + decode only.
+        move |(path, beam)| {
+            let granule = granule_io::read_file(path).expect("granule file readable");
+            let data = granule.beam(*beam).expect("beam present");
+            vec![data.clone()]
+        },
+        // Map (lazy): preprocess, resample, classify. One partition = one
+        // whole beam, so the partition-local sea surface in the reduce is
+        // a legitimate 10 km-window product.
+        move |rdd| {
+            rdd.map(move |beam_data: icesat_atl03::BeamData| {
+                let pre = preprocess_beam(&beam_data, &preprocess);
+                let segments = resample_2m(&pre, &resample);
+                // Fast physics-threshold classification (the scaled
+                // freeboard stage consumes an already-classified product
+                // in the paper; the heuristic stands in for stored
+                // classes).
+                let classes = crate::heuristic::heuristic_classes(&segments, &heuristic);
+                (segments, classes)
+            })
+        },
+        move |part: Vec<(Vec<Segment>, Vec<SurfaceClass>)>| {
+            let mut n = 0usize;
+            let mut sum = 0.0f64;
+            for (segments, classes) in part {
+                if segments.is_empty() || !classes.contains(&SurfaceClass::OpenWater) {
+                    continue;
+                }
+                let surface = SeaSurface::compute(
+                    &segments,
+                    &classes,
+                    SeaSurfaceMethod::NasaEquation,
+                    &window,
+                );
+                let product =
+                    FreeboardProduct::from_segments("scaled", &segments, &classes, &surface);
+                let ice = product.ice_freeboards();
+                n += ice.len();
+                sum += ice.iter().sum::<f64>();
+            }
+            (n, sum)
+        },
+        |a, b| (a.0 + b.0, a.1 + b.1),
+    );
+    let (n, sum) = out.unwrap_or((0, 0.0));
+    let mean = if n > 0 { sum / n as f64 } else { 0.0 };
+    ((n, mean), report)
+}
+
+/// Sweeps the paper's executors × cores grid for either scaled workload,
+/// producing a Table II / Table V-shaped [`ScalingTable`].
+pub fn scaled_table<F>(title: &str, grid: &[(usize, usize)], mut run: F) -> ScalingTable
+where
+    F: FnMut(&Cluster) -> StageReport,
+{
+    ScalingTable::sweep(title, grid, |e, c| run(&Cluster::new(e, c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_pipeline_runs_end_to_end() {
+        let pipeline = Pipeline::new(PipelineConfig::small(42));
+        let products = pipeline.run();
+
+        // Stage 1: labels exist and beat 85% against truth.
+        assert!(!products.segments.is_empty());
+        assert_eq!(products.auto_labels.len(), products.segments.len());
+        assert!(
+            products.autolabel_accuracy > 0.85,
+            "auto-label accuracy {}",
+            products.autolabel_accuracy
+        );
+
+        // Stage 2: both models trained; reports present.
+        assert!(products.reports["LSTM"].accuracy > 0.8);
+        assert!(products.reports["MLP"].accuracy > 0.7);
+
+        // Stage 3: classes parallel segments, decent truth accuracy.
+        assert_eq!(products.classes.len(), products.segments.len());
+        assert!(
+            products.classification_accuracy_vs_truth > 0.8,
+            "truth accuracy {}",
+            products.classification_accuracy_vs_truth
+        );
+
+        // Stage 4: four surfaces; 2 m product much denser than ATL10.
+        assert_eq!(products.sea_surfaces.len(), 4);
+        assert!(products.freeboard_atl03.density_per_km() > 5.0 * products.atl10.product.density_per_km());
+        // Paper: ATL03-vs-ATL07 surface gap is ~0.1 m.
+        assert!(
+            products.surface_gap_m < 0.25,
+            "surface gap {}",
+            products.surface_gap_m
+        );
+    }
+
+    #[test]
+    fn scaled_autolabel_is_topology_invariant() {
+        let pipeline = Pipeline::new(PipelineConfig::small(7));
+        let dir = std::env::temp_dir().join("seaice_scaled_autolabel_test");
+        let sources = write_granule_fleet(&pipeline, &dir, 2).unwrap();
+        let pair = pipeline.coincident_pair();
+        let raster = Arc::new(pair.labels.clone());
+
+        let (counts_1, report_1) = scaled_autolabel_run(
+            &Cluster::new(1, 1),
+            &sources,
+            Arc::clone(&raster),
+            &pipeline.cfg.preprocess,
+            &pipeline.cfg.resample,
+        );
+        let (counts_4, report_4) = scaled_autolabel_run(
+            &Cluster::new(2, 2),
+            &sources,
+            raster,
+            &pipeline.cfg.preprocess,
+            &pipeline.cfg.resample,
+        );
+        assert_eq!(counts_1, counts_4, "results must not depend on topology");
+        assert!(counts_1.iter().sum::<usize>() > 1000);
+        assert!(report_1.times.reduce_s >= 0.0 && report_4.times.reduce_s >= 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scaled_freeboard_is_topology_invariant() {
+        let pipeline = Pipeline::new(PipelineConfig::small(9));
+        let dir = std::env::temp_dir().join("seaice_scaled_freeboard_test");
+        let sources = write_granule_fleet(&pipeline, &dir, 2).unwrap();
+        let ((n1, m1), _) = scaled_freeboard_run(
+            &Cluster::new(1, 1),
+            &sources,
+            &pipeline.cfg.preprocess,
+            &pipeline.cfg.resample,
+            &pipeline.cfg.window,
+        );
+        let ((n4, m4), _) = scaled_freeboard_run(
+            &Cluster::new(4, 2),
+            &sources,
+            &pipeline.cfg.preprocess,
+            &pipeline.cfg.resample,
+            &pipeline.cfg.window,
+        );
+        assert_eq!(n1, n4);
+        assert!((m1 - m4).abs() < 1e-12);
+        assert!(n1 > 100, "freeboard points {n1}");
+        assert!(m1 > 0.0 && m1 < 1.0, "mean freeboard {m1}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,696 @@
+//! Local sea surface detection (paper Section III-D-1, Figures 8–9).
+//!
+//! The freeboard reference is computed over **10 km windows with 5 km
+//! overlap** (matching ATL10's swath logic): within each window the
+//! open-water segments propose a local sea level through one of four
+//! methods — minimum elevation, average elevation, nearest-minimum, or
+//! NASA's variance-weighted lead equations (ATBD eqs. 2–3). Windows with
+//! no open water are filled by linear interpolation from their
+//! neighbours. The paper selects the NASA method because it yields the
+//! smoothest surface; [`SeaSurface::roughness`] quantifies exactly that.
+
+use icesat_atl03::Segment;
+use icesat_scene::SurfaceClass;
+use serde::{Deserialize, Serialize};
+
+/// The four candidate estimators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeaSurfaceMethod {
+    /// Minimum open-water elevation in the window.
+    Minimum,
+    /// Mean open-water elevation in the window.
+    Average,
+    /// Minimum elevation of the lead nearest the window centre.
+    NearestMinimum,
+    /// NASA's weighted lead equations (the paper's pick).
+    NasaEquation,
+}
+
+impl SeaSurfaceMethod {
+    /// All four, in the paper's order.
+    pub const ALL: [SeaSurfaceMethod; 4] = [
+        SeaSurfaceMethod::Minimum,
+        SeaSurfaceMethod::Average,
+        SeaSurfaceMethod::NearestMinimum,
+        SeaSurfaceMethod::NasaEquation,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeaSurfaceMethod::Minimum => "minimum",
+            SeaSurfaceMethod::Average => "average",
+            SeaSurfaceMethod::NearestMinimum => "nearest-minimum",
+            SeaSurfaceMethod::NasaEquation => "nasa-equation",
+        }
+    }
+}
+
+/// Sliding-window geometry.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Full window length, metres (paper: 10 km).
+    pub window_m: f64,
+    /// Window step, metres (paper: 5 km overlap → 5 km step).
+    pub step_m: f64,
+    /// Along-track gap that still joins two water segments into one lead,
+    /// metres.
+    pub lead_join_gap_m: f64,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            window_m: 10_000.0,
+            step_m: 5_000.0,
+            lead_join_gap_m: 30.0,
+        }
+    }
+}
+
+/// A derived local sea surface along one beam.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeaSurface {
+    /// Method used.
+    pub method: SeaSurfaceMethod,
+    /// Window centres, metres along-track (ascending).
+    pub centers_m: Vec<f64>,
+    /// Reference height per window, metres.
+    pub href_m: Vec<f64>,
+    /// Whether each window's value came from open water (vs interpolated).
+    pub from_water: Vec<bool>,
+}
+
+impl SeaSurface {
+    /// Computes the sea surface from labelled 2 m segments.
+    /// `labels[i]` classifies `segments[i]`.
+    pub fn compute(
+        segments: &[Segment],
+        labels: &[SurfaceClass],
+        method: SeaSurfaceMethod,
+        cfg: &WindowConfig,
+    ) -> SeaSurface {
+        assert_eq!(segments.len(), labels.len(), "segment/label length mismatch");
+        assert!(cfg.window_m > 0.0 && cfg.step_m > 0.0, "bad window geometry");
+        assert!(!segments.is_empty(), "no segments");
+
+        let start = segments.first().unwrap().along_track_m;
+        let end = segments.last().unwrap().along_track_m;
+        let mut centers = Vec::new();
+        let mut c = start + cfg.window_m / 2.0;
+        loop {
+            centers.push(c);
+            if c + cfg.window_m / 2.0 >= end {
+                break;
+            }
+            c += cfg.step_m;
+        }
+
+        let mut href: Vec<Option<f64>> = Vec::with_capacity(centers.len());
+        for &center in &centers {
+            let lo = center - cfg.window_m / 2.0;
+            let hi = center + cfg.window_m / 2.0;
+            // Water segments inside the window, in along-track order.
+            let water: Vec<&Segment> = segments
+                .iter()
+                .zip(labels)
+                .filter(|(s, &l)| {
+                    l == SurfaceClass::OpenWater && s.along_track_m >= lo && s.along_track_m < hi
+                })
+                .map(|(s, _)| s)
+                .collect();
+            href.push(estimate_window(&water, center, method, cfg));
+        }
+
+        let (href_m, from_water) = interpolate_gaps(&centers, &href);
+        SeaSurface {
+            method,
+            centers_m: centers,
+            href_m,
+            from_water,
+        }
+    }
+
+    /// Like [`SeaSurface::compute`], but tolerates tracks where the
+    /// classifier found **no open water anywhere**: such tracks anchor
+    /// each window at the 5th percentile of all segment heights — the
+    /// standard "lowest level elevations" fallback altimetry products use
+    /// when no leads are available. `from_water` is all-false in that
+    /// case so consumers can see the product is degraded.
+    pub fn compute_with_floor_fallback(
+        segments: &[Segment],
+        labels: &[SurfaceClass],
+        method: SeaSurfaceMethod,
+        cfg: &WindowConfig,
+    ) -> SeaSurface {
+        if labels.contains(&SurfaceClass::OpenWater) {
+            return SeaSurface::compute(segments, labels, method, cfg);
+        }
+        assert_eq!(segments.len(), labels.len(), "segment/label length mismatch");
+        assert!(!segments.is_empty(), "no segments");
+        let start = segments.first().unwrap().along_track_m;
+        let end = segments.last().unwrap().along_track_m;
+        let mut centers = Vec::new();
+        let mut c = start + cfg.window_m / 2.0;
+        loop {
+            centers.push(c);
+            if c + cfg.window_m / 2.0 >= end {
+                break;
+            }
+            c += cfg.step_m;
+        }
+        let mut href: Vec<Option<f64>> = Vec::with_capacity(centers.len());
+        let mut scratch: Vec<f64> = Vec::new();
+        for &center in &centers {
+            let lo = center - cfg.window_m / 2.0;
+            let hi = center + cfg.window_m / 2.0;
+            scratch.clear();
+            scratch.extend(
+                segments
+                    .iter()
+                    .filter(|s| s.along_track_m >= lo && s.along_track_m < hi)
+                    .map(|s| s.mean_h_m),
+            );
+            if scratch.is_empty() {
+                href.push(None);
+                continue;
+            }
+            scratch.sort_by(|a, b| a.total_cmp(b));
+            let k = ((scratch.len() as f64 - 1.0) * 0.05).round() as usize;
+            href.push(Some(scratch[k]));
+        }
+        let (href_m, _) = interpolate_gaps(&centers, &href);
+        let n = centers.len();
+        SeaSurface {
+            method,
+            centers_m: centers,
+            href_m,
+            from_water: vec![false; n],
+        }
+    }
+
+    /// Reference height at an arbitrary along-track position: linear
+    /// interpolation between window centres, clamped at the ends.
+    pub fn href_at(&self, along_m: f64) -> f64 {
+        let c = &self.centers_m;
+        let h = &self.href_m;
+        if along_m <= c[0] {
+            return h[0];
+        }
+        if along_m >= *c.last().unwrap() {
+            return *h.last().unwrap();
+        }
+        let i = c.partition_point(|&x| x <= along_m) - 1;
+        let t = (along_m - c[i]) / (c[i + 1] - c[i]);
+        h[i] + t * (h[i + 1] - h[i])
+    }
+
+    /// Mean absolute second difference of the window heights — the
+    /// "smoothness" criterion by which the paper picks the NASA method
+    /// (smaller = smoother).
+    pub fn roughness(&self) -> f64 {
+        if self.href_m.len() < 3 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for w in self.href_m.windows(3) {
+            sum += (w[2] - 2.0 * w[1] + w[0]).abs();
+        }
+        sum / (self.href_m.len() - 2) as f64
+    }
+
+    /// Fraction of windows whose value came from observed open water.
+    pub fn water_coverage(&self) -> f64 {
+        if self.from_water.is_empty() {
+            return 0.0;
+        }
+        self.from_water.iter().filter(|&&b| b).count() as f64 / self.from_water.len() as f64
+    }
+}
+
+/// One window's estimate, or `None` without open water.
+fn estimate_window(
+    water: &[&Segment],
+    center: f64,
+    method: SeaSurfaceMethod,
+    cfg: &WindowConfig,
+) -> Option<f64> {
+    if water.is_empty() {
+        return None;
+    }
+    match method {
+        SeaSurfaceMethod::Minimum => water
+            .iter()
+            .map(|s| s.mean_h_m)
+            .min_by(|a, b| a.total_cmp(b)),
+        SeaSurfaceMethod::Average => {
+            Some(water.iter().map(|s| s.mean_h_m).sum::<f64>() / water.len() as f64)
+        }
+        SeaSurfaceMethod::NearestMinimum => {
+            let leads = group_leads(water, cfg.lead_join_gap_m);
+            let nearest = leads.iter().min_by(|a, b| {
+                lead_center(a)
+                    .map(|c| (c - center).abs())
+                    .unwrap_or(f64::INFINITY)
+                    .total_cmp(
+                        &lead_center(b)
+                            .map(|c| (c - center).abs())
+                            .unwrap_or(f64::INFINITY),
+                    )
+            })?;
+            nearest
+                .iter()
+                .map(|s| s.mean_h_m)
+                .min_by(|a, b| a.total_cmp(b))
+        }
+        SeaSurfaceMethod::NasaEquation => nasa_reference(water, cfg),
+    }
+}
+
+/// Groups water segments into leads: along-track runs whose internal gaps
+/// stay below `join_gap`.
+fn group_leads<'a>(water: &[&'a Segment], join_gap: f64) -> Vec<Vec<&'a Segment>> {
+    let mut leads: Vec<Vec<&Segment>> = Vec::new();
+    for &s in water {
+        match leads.last_mut() {
+            Some(lead)
+                if s.along_track_m - lead.last().unwrap().along_track_m <= join_gap =>
+            {
+                lead.push(s)
+            }
+            _ => leads.push(vec![s]),
+        }
+    }
+    leads
+}
+
+fn lead_center(lead: &[&Segment]) -> Option<f64> {
+    if lead.is_empty() {
+        return None;
+    }
+    Some(lead.iter().map(|s| s.along_track_m).sum::<f64>() / lead.len() as f64)
+}
+
+/// NASA ATBD equations 2–3: per-lead Gaussian-weighted height with error
+/// propagation, then inverse-variance combination across leads.
+fn nasa_reference(water: &[&Segment], cfg: &WindowConfig) -> Option<f64> {
+    let leads = group_leads(water, cfg.lead_join_gap_m);
+    let mut lead_estimates: Vec<(f64, f64)> = Vec::with_capacity(leads.len()); // (h, var)
+    for lead in &leads {
+        let h_min = lead
+            .iter()
+            .map(|s| s.mean_h_m)
+            .min_by(|a, b| a.total_cmp(b))?;
+        // w_i = exp(−((h_i − h_min)/σ_i)²)
+        let mut wsum = 0.0;
+        let mut weights = Vec::with_capacity(lead.len());
+        for s in lead.iter() {
+            let sigma = s.height_error_var().sqrt().max(1e-3);
+            let z = (s.mean_h_m - h_min) / sigma;
+            let w = (-(z * z)).exp();
+            weights.push(w);
+            wsum += w;
+        }
+        if wsum <= 0.0 {
+            continue;
+        }
+        let mut h_lead = 0.0;
+        let mut var_lead = 0.0;
+        for (s, w) in lead.iter().zip(&weights) {
+            let a = w / wsum;
+            h_lead += a * s.mean_h_m;
+            var_lead += a * a * s.height_error_var();
+        }
+        lead_estimates.push((h_lead, var_lead.max(1e-9)));
+    }
+    if lead_estimates.is_empty() {
+        return None;
+    }
+    // α_i ∝ 1/σ²_lead.
+    let inv_sum: f64 = lead_estimates.iter().map(|(_, v)| 1.0 / v).sum();
+    Some(
+        lead_estimates
+            .iter()
+            .map(|(h, v)| (1.0 / v) / inv_sum * h)
+            .sum(),
+    )
+}
+
+/// Fills `None` windows by linear interpolation between observed
+/// neighbours (constant extrapolation at the ends).
+fn interpolate_gaps(centers: &[f64], href: &[Option<f64>]) -> (Vec<f64>, Vec<bool>) {
+    let n = href.len();
+    assert!(
+        href.iter().any(|h| h.is_some()),
+        "no window contains open water; cannot anchor the sea surface"
+    );
+    let mut out = vec![0.0; n];
+    let mut from_water = vec![false; n];
+    // Indices of observed windows.
+    let observed: Vec<usize> = (0..n).filter(|&i| href[i].is_some()).collect();
+    for i in 0..n {
+        if let Some(h) = href[i] {
+            out[i] = h;
+            from_water[i] = true;
+            continue;
+        }
+        // Nearest observed neighbours on each side.
+        let left = observed.iter().rev().find(|&&j| j < i);
+        let right = observed.iter().find(|&&j| j > i);
+        out[i] = match (left, right) {
+            (Some(&l), Some(&r)) => {
+                let t = (centers[i] - centers[l]) / (centers[r] - centers[l]);
+                href[l].unwrap() + t * (href[r].unwrap() - href[l].unwrap())
+            }
+            (Some(&l), None) => href[l].unwrap(),
+            (None, Some(&r)) => href[r].unwrap(),
+            (None, None) => unreachable!("guarded above"),
+        };
+    }
+    (out, from_water)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Track with water pockets every 4 km over a sloping true sea level.
+    fn synthetic_track(
+        n: usize,
+        ssh: impl Fn(f64) -> f64,
+        water_noise: f64,
+    ) -> (Vec<Segment>, Vec<SurfaceClass>) {
+        let mut segments = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let along = i as f64 * 2.0 + 1.0;
+            // 200 m of water every 4 km.
+            let water = along.rem_euclid(4_000.0) < 200.0;
+            let noise = ((i as f64 * 0.7371).sin() * 1000.0).fract() * water_noise;
+            let h = if water {
+                ssh(along) + noise
+            } else {
+                ssh(along) + 0.3 + 0.1 * ((i as f64 * 0.913).sin())
+            };
+            segments.push(Segment {
+                index: i as u32,
+                along_track_m: along,
+                lat: -74.0,
+                lon: -170.0,
+                n_photons: 5,
+                n_high_conf: 4,
+                n_background: 1,
+                mean_h_m: h,
+                median_h_m: h,
+                std_h_m: if water { 0.03 } else { 0.12 },
+                photon_rate: if water { 0.4 } else { 2.5 },
+                background_rate: 0.3,
+                fpb_correction_m: 0.0,
+            });
+            labels.push(if water {
+                SurfaceClass::OpenWater
+            } else {
+                SurfaceClass::ThickIce
+            });
+        }
+        (segments, labels)
+    }
+
+    fn flat(_: f64) -> f64 {
+        -0.05
+    }
+
+    #[test]
+    fn all_methods_recover_flat_sea_level() {
+        let (segments, labels) = synthetic_track(10_000, flat, 0.01);
+        for method in SeaSurfaceMethod::ALL {
+            let ss = SeaSurface::compute(&segments, &labels, method, &WindowConfig::default());
+            for (&h, &fw) in ss.href_m.iter().zip(&ss.from_water) {
+                assert!(fw, "{method:?}: window without water");
+                assert!(
+                    (h - -0.05).abs() < 0.05,
+                    "{method:?}: href {h} vs truth -0.05"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sloping_sea_level_is_tracked() {
+        let slope = |x: f64| -0.1 + x * 1.0e-5; // 10 cm over 10 km
+        let (segments, labels) = synthetic_track(10_000, slope, 0.01);
+        let ss = SeaSurface::compute(
+            &segments,
+            &labels,
+            SeaSurfaceMethod::NasaEquation,
+            &WindowConfig::default(),
+        );
+        for (&c, &h) in ss.centers_m.iter().zip(&ss.href_m) {
+            assert!((h - slope(c)).abs() < 0.05, "at {c}: {h} vs {}", slope(c));
+        }
+        // href_at interpolates between windows.
+        let mid = (ss.centers_m[0] + ss.centers_m[1]) / 2.0;
+        let expect = (ss.href_m[0] + ss.href_m[1]) / 2.0;
+        assert!((ss.href_at(mid) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimum_biases_low_average_unbiased() {
+        let (segments, labels) = synthetic_track(10_000, flat, 0.08);
+        let min_ss =
+            SeaSurface::compute(&segments, &labels, SeaSurfaceMethod::Minimum, &WindowConfig::default());
+        let avg_ss =
+            SeaSurface::compute(&segments, &labels, SeaSurfaceMethod::Average, &WindowConfig::default());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&min_ss.href_m) < mean(&avg_ss.href_m) - 0.01,
+            "minimum should sit below average"
+        );
+    }
+
+    #[test]
+    fn nasa_is_smoothest_under_contamination() {
+        // Realistic water-height errors: small Gaussian ranging noise
+        // plus sparse *upward* contamination (snow-covered brash and
+        // mislabelled ice edges inside lead masks). The NASA equations
+        // anchor on the lead minimum and exponentially downweight the
+        // high outliers, which is exactly why the paper picks them.
+        let mut segments = Vec::new();
+        let mut labels = Vec::new();
+        let gauss = |i: usize| {
+            // Deterministic pseudo-Gaussian: sum of 4 decorrelated
+            // hash-sines (CLT is plenty here).
+            let x = i as f64;
+            0.5 * ((x * 12.9898).sin() + (x * 78.233).sin() + (x * 3.71).sin() + (x * 0.917).sin())
+        };
+        for i in 0..20_000usize {
+            let along = i as f64 * 2.0 + 1.0;
+            let water = along.rem_euclid(4_000.0) < 240.0;
+            let h = if water {
+                // Pseudo-random contamination placement and magnitude so
+                // the per-window contamination load actually varies.
+                let hash = i.wrapping_mul(2654435761) >> 16;
+                let contaminated = hash % 7 == 0;
+                let magnitude = 0.15 + 0.3 * ((hash >> 3) % 100) as f64 / 100.0;
+                -0.05 + 0.02 * gauss(i) + if contaminated { magnitude } else { 0.0 }
+            } else {
+                0.30 + 0.05 * gauss(i)
+            };
+            segments.push(Segment {
+                index: i as u32,
+                along_track_m: along,
+                lat: -74.0,
+                lon: -170.0,
+                n_photons: 5,
+                n_high_conf: 4,
+                n_background: 1,
+                mean_h_m: h,
+                median_h_m: h,
+                std_h_m: if water { 0.03 } else { 0.12 },
+                photon_rate: if water { 0.4 } else { 2.5 },
+                background_rate: 0.3,
+                fpb_correction_m: 0.0,
+            });
+            labels.push(if water {
+                SurfaceClass::OpenWater
+            } else {
+                SurfaceClass::ThickIce
+            });
+        }
+        let mut rough = std::collections::HashMap::new();
+        let mut bias = std::collections::HashMap::new();
+        for method in SeaSurfaceMethod::ALL {
+            let ss = SeaSurface::compute(&segments, &labels, method, &WindowConfig::default());
+            rough.insert(method.name(), ss.roughness());
+            let mean = ss.href_m.iter().sum::<f64>() / ss.href_m.len() as f64;
+            bias.insert(method.name(), mean - -0.05);
+        }
+        let nasa = rough["nasa-equation"];
+        assert!(
+            nasa <= rough["average"] + 1e-12,
+            "nasa {nasa} vs average {}",
+            rough["average"]
+        );
+        assert!(
+            nasa <= rough["nearest-minimum"] + 1e-12,
+            "nasa {nasa} vs nearest-minimum {}",
+            rough["nearest-minimum"]
+        );
+        // Average is pulled up by the contamination; NASA is not.
+        assert!(bias["average"] > 0.01, "average bias {}", bias["average"]);
+        assert!(
+            bias["nasa-equation"].abs() < bias["average"].abs(),
+            "nasa bias {} vs average {}",
+            bias["nasa-equation"],
+            bias["average"]
+        );
+    }
+
+    #[test]
+    fn waterless_windows_interpolate() {
+        // Water only in the first and last 200 m of a 30 km track.
+        let n = 15_000;
+        let mut segments = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let along = i as f64 * 2.0 + 1.0;
+            let water = along < 200.0 || along > 29_800.0;
+            let h = if water {
+                if along < 200.0 {
+                    0.0
+                } else {
+                    0.3
+                }
+            } else {
+                0.5
+            };
+            segments.push(Segment {
+                index: i as u32,
+                along_track_m: along,
+                lat: -74.0,
+                lon: -170.0,
+                n_photons: 5,
+                n_high_conf: 4,
+                n_background: 0,
+                mean_h_m: h,
+                median_h_m: h,
+                std_h_m: 0.05,
+                photon_rate: 1.0,
+                background_rate: 0.1,
+                fpb_correction_m: 0.0,
+            });
+            labels.push(if water {
+                SurfaceClass::OpenWater
+            } else {
+                SurfaceClass::ThickIce
+            });
+        }
+        let ss = SeaSurface::compute(
+            &segments,
+            &labels,
+            SeaSurfaceMethod::Average,
+            &WindowConfig::default(),
+        );
+        assert!(ss.water_coverage() < 1.0, "some windows must be interpolated");
+        assert!(ss.water_coverage() > 0.0);
+        // Interpolated values sit between the two anchors.
+        for (&h, &fw) in ss.href_m.iter().zip(&ss.from_water) {
+            if !fw {
+                assert!((-0.01..=0.31).contains(&h), "interpolated {h} out of range");
+            }
+        }
+        // Monotone ramp between 0.0 and 0.3.
+        let interp: Vec<f64> = ss
+            .href_m
+            .iter()
+            .zip(&ss.from_water)
+            .filter(|(_, &fw)| !fw)
+            .map(|(&h, _)| h)
+            .collect();
+        assert!(interp.windows(2).all(|w| w[1] >= w[0] - 1e-9), "ramp not monotone");
+    }
+
+    #[test]
+    fn href_at_clamps_at_ends() {
+        let (segments, labels) = synthetic_track(10_000, flat, 0.01);
+        let ss = SeaSurface::compute(
+            &segments,
+            &labels,
+            SeaSurfaceMethod::Average,
+            &WindowConfig::default(),
+        );
+        assert_eq!(ss.href_at(-1e9), ss.href_m[0]);
+        assert_eq!(ss.href_at(1e9), *ss.href_m.last().unwrap());
+    }
+
+    #[test]
+    fn lead_grouping_splits_on_gaps() {
+        let (segments, _) = synthetic_track(5_000, flat, 0.0);
+        let water: Vec<&Segment> = segments
+            .iter()
+            .filter(|s| s.along_track_m.rem_euclid(4_000.0) < 200.0)
+            .collect();
+        let leads = group_leads(&water, 30.0);
+        // Water pockets every 4 km, 200 m long => 10 km track has 2–3 leads.
+        assert!(leads.len() >= 2, "leads {}", leads.len());
+        for lead in &leads {
+            for w in lead.windows(2) {
+                assert!(w[1].along_track_m - w[0].along_track_m <= 30.0);
+            }
+        }
+    }
+
+    #[test]
+    fn floor_fallback_handles_waterless_tracks() {
+        let (segments, _) = synthetic_track(5_000, flat, 0.0);
+        let labels = vec![SurfaceClass::ThickIce; segments.len()];
+        let ss = SeaSurface::compute_with_floor_fallback(
+            &segments,
+            &labels,
+            SeaSurfaceMethod::NasaEquation,
+            &WindowConfig::default(),
+        );
+        assert!(!ss.centers_m.is_empty());
+        assert!(ss.from_water.iter().all(|&b| !b), "degraded product flagged");
+        // Anchored near the lowest surface (the water pockets exist in
+        // the heights even though the labels missed them).
+        for &h in &ss.href_m {
+            assert!((-0.2..0.4).contains(&h), "floor anchor {h}");
+        }
+        // With water labels present, fallback defers to compute().
+        let (segments2, labels2) = synthetic_track(5_000, flat, 0.01);
+        let a = SeaSurface::compute_with_floor_fallback(
+            &segments2,
+            &labels2,
+            SeaSurfaceMethod::Average,
+            &WindowConfig::default(),
+        );
+        let b = SeaSurface::compute(&segments2, &labels2, SeaSurfaceMethod::Average, &WindowConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot anchor")]
+    fn all_ice_track_panics() {
+        let (segments, _) = synthetic_track(5_000, flat, 0.0);
+        let labels = vec![SurfaceClass::ThickIce; segments.len()];
+        let _ = SeaSurface::compute(
+            &segments,
+            &labels,
+            SeaSurfaceMethod::Average,
+            &WindowConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn label_length_checked() {
+        let (segments, _) = synthetic_track(100, flat, 0.0);
+        let _ = SeaSurface::compute(
+            &segments,
+            &[SurfaceClass::ThickIce],
+            SeaSurfaceMethod::Average,
+            &WindowConfig::default(),
+        );
+    }
+}

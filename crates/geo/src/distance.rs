@@ -1,0 +1,131 @@
+//! Great-circle and along-track distance helpers.
+//!
+//! The 2 m resampler and the 10 km sea-surface windows both key off
+//! *along-track distance*: the cumulative ground distance from the first
+//! photon of a beam. At Ross Sea latitudes a spherical haversine is accurate
+//! to ~0.5% which is ample for windowing, but an ellipsoidal (Lambert-style)
+//! correction is provided for tests and calibration.
+
+use crate::point::GeoPoint;
+use crate::wgs84;
+
+/// Spherical haversine distance between two geographic points, metres.
+pub fn haversine_m(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (la, lb) = (a.lat_rad(), b.lat_rad());
+    let dlat = lb - la;
+    let dlon = (b.lon - a.lon) * crate::DEG2RAD;
+    let s = (dlat / 2.0).sin().powi(2) + la.cos() * lb.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * wgs84::MEAN_RADIUS_M * s.sqrt().asin()
+}
+
+/// Lambert's ellipsoidal correction to the great-circle distance, metres.
+/// Accurate to ~10 m over thousands of km; named `vincenty_m` for
+/// familiarity although it is the cheaper Lambert formula (full Vincenty
+/// iteration is unnecessary at our scales).
+pub fn vincenty_m(a: GeoPoint, b: GeoPoint) -> f64 {
+    let f = wgs84::FLATTENING;
+    // Reduced latitudes.
+    let ba = ((1.0 - f) * a.lat_rad().tan()).atan();
+    let bb = ((1.0 - f) * b.lat_rad().tan()).atan();
+    // Central angle on the sphere through the reduced latitudes.
+    let dlon = (b.lon - a.lon) * crate::DEG2RAD;
+    let s = ((bb - ba) / 2.0).sin().powi(2) + ba.cos() * bb.cos() * (dlon / 2.0).sin().powi(2);
+    let sigma = 2.0 * s.sqrt().asin();
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    let p = (ba + bb) / 2.0;
+    let q = (bb - ba) / 2.0;
+    let x = (sigma - sigma.sin()) * (p.sin() * q.cos() / (sigma / 2.0).cos()).powi(2);
+    let y = (sigma + sigma.sin()) * (p.cos() * q.sin() / (sigma / 2.0).sin()).powi(2);
+    wgs84::SEMI_MAJOR_M * (sigma - f / 2.0 * (x + y))
+}
+
+/// Cumulative along-track distance for an ordered sequence of geographic
+/// points, metres. `out[0] == 0`, `out[i] = out[i-1] + d(p[i-1], p[i])`.
+pub fn along_track_distances(points: &[GeoPoint]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(points.len());
+    let mut acc = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            acc += haversine_m(points[i - 1], *p);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_one_degree_latitude() {
+        // One degree of latitude is ~111.2 km on the sphere.
+        let d = haversine_m(GeoPoint::new(-74.0, -170.0), GeoPoint::new(-73.0, -170.0));
+        assert!((d - 111_195.0).abs() < 200.0, "d = {d}");
+    }
+
+    #[test]
+    fn haversine_zero_for_identical_points() {
+        let p = GeoPoint::new(-74.0, -170.0);
+        assert_eq!(haversine_m(p, p), 0.0);
+    }
+
+    #[test]
+    fn lambert_close_to_haversine_at_high_latitude() {
+        let a = GeoPoint::new(-74.0, -170.0);
+        let b = GeoPoint::new(-74.5, -169.0);
+        let h = haversine_m(a, b);
+        let v = vincenty_m(a, b);
+        assert!((h - v).abs() / v < 0.01, "h={h} v={v}");
+    }
+
+    #[test]
+    fn lambert_zero_for_identical_points() {
+        let p = GeoPoint::new(-70.0, -150.0);
+        assert_eq!(vincenty_m(p, p), 0.0);
+    }
+
+    #[test]
+    fn along_track_is_monotone_and_additive() {
+        let pts: Vec<GeoPoint> = (0..100)
+            .map(|i| GeoPoint::new(-78.0 + i as f64 * 0.01, -170.0))
+            .collect();
+        let d = along_track_distances(&pts);
+        assert_eq!(d[0], 0.0);
+        assert!(d.windows(2).all(|w| w[1] > w[0]));
+        let direct = haversine_m(pts[0], *pts.last().unwrap());
+        // Collinear points: sum of segments equals the direct distance.
+        assert!((d.last().unwrap() - direct).abs() < 1.0);
+    }
+
+    #[test]
+    fn along_track_empty_and_single() {
+        assert!(along_track_distances(&[]).is_empty());
+        let one = along_track_distances(&[GeoPoint::new(-74.0, -160.0)]);
+        assert_eq!(one, vec![0.0]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Haversine is symmetric and satisfies the triangle inequality
+            /// for points in the study region.
+            #[test]
+            fn symmetric_triangle(
+                lat1 in -78.0f64..-70.0, lon1 in -180.0f64..-140.0,
+                lat2 in -78.0f64..-70.0, lon2 in -180.0f64..-140.0,
+                lat3 in -78.0f64..-70.0, lon3 in -180.0f64..-140.0,
+            ) {
+                let a = GeoPoint::new(lat1, lon1);
+                let b = GeoPoint::new(lat2, lon2);
+                let c = GeoPoint::new(lat3, lon3);
+                prop_assert!((haversine_m(a, b) - haversine_m(b, a)).abs() < 1e-6);
+                prop_assert!(haversine_m(a, c) <= haversine_m(a, b) + haversine_m(b, c) + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Geodetic substrate for the ICESat-2 sea-ice pipeline.
+//!
+//! The paper projects both the ICESat-2 ATL03 track and the Sentinel-2 label
+//! raster into **EPSG 3976** (WGS 84 / NSIDC Sea Ice Polar Stereographic
+//! South) so that photon segments can be matched against image pixels. This
+//! crate implements:
+//!
+//! - the [`wgs84`] ellipsoid constants,
+//! - the forward/inverse [`PolarStereographic`] projection (south aspect,
+//!   secant at 70° S, as used by EPSG 3976),
+//! - great-circle and along-track distance helpers in [`distance`],
+//! - a small set of strongly-typed coordinate wrappers ([`GeoPoint`],
+//!   [`MapPoint`]).
+//!
+//! Everything is pure math with no I/O; all functions are deterministic.
+
+pub mod distance;
+pub mod point;
+pub mod stereo;
+pub mod wgs84;
+
+pub use distance::{along_track_distances, haversine_m, vincenty_m};
+pub use point::{GeoPoint, MapPoint};
+pub use stereo::{PolarStereographic, EPSG_3976};
+
+/// Degrees-to-radians conversion factor.
+pub const DEG2RAD: f64 = std::f64::consts::PI / 180.0;
+/// Radians-to-degrees conversion factor.
+pub const RAD2DEG: f64 = 180.0 / std::f64::consts::PI;
+
+/// Region-of-interest bounding box in geographic coordinates.
+///
+/// The paper's study area is the Ross Sea: longitude −180°..−140°,
+/// latitude −78°..−70°.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BoundingBox {
+    /// Western edge, degrees.
+    pub lon_min: f64,
+    /// Eastern edge, degrees.
+    pub lon_max: f64,
+    /// Southern edge, degrees.
+    pub lat_min: f64,
+    /// Northern edge, degrees.
+    pub lat_max: f64,
+}
+
+impl BoundingBox {
+    /// The Ross Sea study region from the paper (Section III-A-1).
+    pub const ROSS_SEA: BoundingBox = BoundingBox {
+        lon_min: -180.0,
+        lon_max: -140.0,
+        lat_min: -78.0,
+        lat_max: -70.0,
+    };
+
+    /// Returns `true` when the geographic point lies inside the box
+    /// (inclusive on all edges).
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        p.lon >= self.lon_min
+            && p.lon <= self.lon_max
+            && p.lat >= self.lat_min
+            && p.lat <= self.lat_max
+    }
+
+    /// Geographic centre of the box.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new(
+            0.5 * (self.lat_min + self.lat_max),
+            0.5 * (self.lon_min + self.lon_max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ross_sea_contains_its_center() {
+        let b = BoundingBox::ROSS_SEA;
+        assert!(b.contains(b.center()));
+    }
+
+    #[test]
+    fn ross_sea_excludes_north_pole() {
+        assert!(!BoundingBox::ROSS_SEA.contains(GeoPoint::new(89.0, 0.0)));
+    }
+
+    #[test]
+    fn bounding_box_edges_inclusive() {
+        let b = BoundingBox::ROSS_SEA;
+        assert!(b.contains(GeoPoint::new(b.lat_min, b.lon_min)));
+        assert!(b.contains(GeoPoint::new(b.lat_max, b.lon_max)));
+    }
+}

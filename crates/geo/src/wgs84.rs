@@ -1,0 +1,80 @@
+//! WGS 84 reference ellipsoid constants and derived quantities.
+//!
+//! ATL03 heights are referenced to the WGS 84 ellipsoid (ITRF2014 frame);
+//! the EPSG-3976 projection in [`crate::stereo`] is defined on the same
+//! ellipsoid.
+
+/// Semi-major axis `a` of WGS 84, metres.
+pub const SEMI_MAJOR_M: f64 = 6_378_137.0;
+
+/// Inverse flattening `1/f` of WGS 84.
+pub const INV_FLATTENING: f64 = 298.257_223_563;
+
+/// Flattening `f`.
+pub const FLATTENING: f64 = 1.0 / INV_FLATTENING;
+
+/// Semi-minor axis `b = a(1 − f)`, metres.
+pub const SEMI_MINOR_M: f64 = SEMI_MAJOR_M * (1.0 - FLATTENING);
+
+/// First eccentricity squared `e² = f(2 − f)`.
+pub const ECC2: f64 = FLATTENING * (2.0 - FLATTENING);
+
+/// First eccentricity `e`.
+pub fn eccentricity() -> f64 {
+    ECC2.sqrt()
+}
+
+/// Meridional radius of curvature `M(φ)` at geodetic latitude `lat_rad`,
+/// metres.
+pub fn meridional_radius(lat_rad: f64) -> f64 {
+    let s = lat_rad.sin();
+    SEMI_MAJOR_M * (1.0 - ECC2) / (1.0 - ECC2 * s * s).powf(1.5)
+}
+
+/// Prime-vertical radius of curvature `N(φ)` at geodetic latitude
+/// `lat_rad`, metres.
+pub fn prime_vertical_radius(lat_rad: f64) -> f64 {
+    let s = lat_rad.sin();
+    SEMI_MAJOR_M / (1.0 - ECC2 * s * s).sqrt()
+}
+
+/// Mean Earth radius (IUGG `R1 = (2a + b) / 3`), metres. Used by the
+/// spherical haversine approximation.
+pub const MEAN_RADIUS_M: f64 = (2.0 * SEMI_MAJOR_M + SEMI_MINOR_M) / 3.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semi_minor_axis_matches_published_value() {
+        // NGA value: b = 6 356 752.3142 m.
+        assert!((SEMI_MINOR_M - 6_356_752.3142).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eccentricity_squared_matches_published_value() {
+        // e^2 = 0.00669437999014...
+        assert!((ECC2 - 0.006_694_379_990_14).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curvature_radii_bracket_axes() {
+        // At the equator M < N = a; at the pole M = N > a.
+        let m_eq = meridional_radius(0.0);
+        let n_eq = prime_vertical_radius(0.0);
+        assert!((n_eq - SEMI_MAJOR_M).abs() < 1e-6);
+        assert!(m_eq < n_eq);
+
+        let pole = std::f64::consts::FRAC_PI_2;
+        let m_pole = meridional_radius(pole);
+        let n_pole = prime_vertical_radius(pole);
+        assert!((m_pole - n_pole).abs() < 1e-3);
+        assert!(m_pole > SEMI_MAJOR_M);
+    }
+
+    #[test]
+    fn mean_radius_is_about_6371_km() {
+        assert!((MEAN_RADIUS_M - 6_371_008.77).abs() < 10.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Executor/core topology with real threaded execution.
+//!
+//! A [`Cluster`] mirrors the paper's Dataproc setup: `executors`
+//! independent workers, each running `cores` task slots. Partitions are
+//! assigned to executors round-robin (Spark's block placement for
+//! `parallelize`d data); inside an executor the task slots *pull* work
+//! dynamically from the executor-local queue, so a slow partition doesn't
+//! idle sibling cores. Actions combine per-partition results **in
+//! partition order**, making every topology produce identical results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::rdd::Rdd;
+use crate::stage::{StageReport, StageTimes};
+
+/// An executors × cores cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cluster {
+    executors: usize,
+    cores: usize,
+}
+
+impl Cluster {
+    /// Creates a cluster with `executors` workers of `cores` slots each.
+    pub fn new(executors: usize, cores: usize) -> Self {
+        assert!(executors > 0 && cores > 0, "cluster must have workers");
+        Cluster { executors, cores }
+    }
+
+    /// Executors in the cluster.
+    pub fn executors(&self) -> usize {
+        self.executors
+    }
+
+    /// Cores (task slots) per executor.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Total task slots.
+    pub fn parallelism(&self) -> usize {
+        self.executors * self.cores
+    }
+
+    /// Loads `sources` in parallel, one partition per source, returning
+    /// the materialised RDD and the load duration in seconds.
+    pub fn load<S, T, F>(&self, sources: Vec<S>, loader: F) -> (Rdd<T>, f64)
+    where
+        S: Send + Sync,
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&S) -> Vec<T> + Send + Sync,
+    {
+        let start = Instant::now();
+        let n = sources.len();
+        let slots: Vec<Mutex<Option<Vec<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        self.run_tasks(n, |task_idx| {
+            let loaded = loader(&sources[task_idx]);
+            *slots[task_idx].lock() = Some(loaded);
+        });
+        let parts: Vec<Vec<T>> = slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("load task did not run"))
+            .collect();
+        (Rdd::from_partitions(parts), start.elapsed().as_secs_f64())
+    }
+
+    /// Runs the action: computes every partition of `rdd` on the cluster,
+    /// folds each partition with `fold`, then combines the per-partition
+    /// results in partition order with `combine`. Returns the result and
+    /// the reduce duration in seconds.
+    pub fn fold<T, R, F, C>(&self, rdd: &Rdd<T>, fold: F, combine: C) -> (Option<R>, f64)
+    where
+        T: Send + Sync + 'static,
+        R: Send,
+        F: Fn(Vec<T>) -> R + Send + Sync,
+        C: Fn(R, R) -> R,
+    {
+        let start = Instant::now();
+        let n = rdd.n_partitions();
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        self.run_tasks(n, |i| {
+            let r = fold(rdd.compute_partition(i));
+            *slots[i].lock() = Some(r);
+        });
+        let mut acc: Option<R> = None;
+        for slot in slots {
+            let r = slot.into_inner().expect("fold task did not run");
+            acc = Some(match acc {
+                None => r,
+                Some(a) => combine(a, r),
+            });
+        }
+        (acc, start.elapsed().as_secs_f64())
+    }
+
+    /// Collects all elements in partition order.
+    pub fn collect<T>(&self, rdd: &Rdd<T>) -> (Vec<T>, f64)
+    where
+        T: Send + Sync + 'static,
+    {
+        let (out, secs) = self.fold(
+            rdd,
+            |p| p,
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        (out.unwrap_or_default(), secs)
+    }
+
+    /// Counts elements.
+    pub fn count<T>(&self, rdd: &Rdd<T>) -> (usize, f64)
+    where
+        T: Send + Sync + 'static,
+    {
+        let (n, secs) = self.fold(rdd, |p| p.len(), |a, b| a + b);
+        (n.unwrap_or(0), secs)
+    }
+
+    /// Full paper-style run: load sources, register the (lazy) plan via
+    /// `plan`, execute the action via `fold`/`combine`, and report the
+    /// three stage times.
+    pub fn run_pipeline<S, T, U, R, L, P, F, C>(
+        &self,
+        sources: Vec<S>,
+        loader: L,
+        plan: P,
+        fold: F,
+        combine: C,
+    ) -> (Option<R>, StageReport)
+    where
+        S: Send + Sync,
+        T: Clone + Send + Sync + 'static,
+        U: Send + Sync + 'static,
+        R: Send,
+        L: Fn(&S) -> Vec<T> + Send + Sync,
+        P: FnOnce(&Rdd<T>) -> Rdd<U>,
+        F: Fn(Vec<U>) -> R + Send + Sync,
+        C: Fn(R, R) -> R,
+    {
+        let (base, load_s) = self.load(sources, loader);
+        let map_start = Instant::now();
+        let planned = plan(&base);
+        let map_s = map_start.elapsed().as_secs_f64();
+        let (result, reduce_s) = self.fold(&planned, fold, combine);
+        let report = StageReport {
+            executors: self.executors,
+            cores: self.cores,
+            times: StageTimes { load_s, map_s, reduce_s },
+        };
+        (result, report)
+    }
+
+    /// Executes `n_tasks` tasks on the topology. Task `i` is pinned to
+    /// executor `i % executors` (round-robin placement); within an
+    /// executor, its `cores` threads pull the executor's tasks dynamically.
+    fn run_tasks<F>(&self, n_tasks: usize, task: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        if n_tasks == 0 {
+            return;
+        }
+        // Executor-local task lists (round-robin by task index).
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.executors];
+        for i in 0..n_tasks {
+            queues[i % self.executors].push(i);
+        }
+        let task = &task;
+        std::thread::scope(|scope| {
+            for queue in &queues {
+                let cursor = AtomicUsize::new(0);
+                // One scope per executor would serialise executors; instead
+                // spawn all executor threads into the same scope, each
+                // closing over its executor's queue and cursor.
+                let cursor = std::sync::Arc::new(cursor);
+                for _slot in 0..self.cores {
+                    let cursor = std::sync::Arc::clone(&cursor);
+                    scope.spawn(move || loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        match queue.get(k) {
+                            Some(&task_idx) => task(task_idx),
+                            None => break,
+                        }
+                    });
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_matches_sequential_reference() {
+        let data: Vec<i64> = (0..10_000).collect();
+        let rdd = Rdd::parallelize(data.clone(), 16).map(|x| x * 3).filter(|x| x % 2 == 0);
+        let reference: i64 = rdd.collect_sequential().iter().sum();
+        for (e, c) in [(1, 1), (1, 4), (2, 2), (4, 4), (3, 5)] {
+            let (sum, _) = Cluster::new(e, c).fold(&rdd, |p| p.iter().sum::<i64>(), |a, b| a + b);
+            assert_eq!(sum, Some(reference), "topology {e}x{c}");
+        }
+    }
+
+    #[test]
+    fn collect_preserves_partition_order() {
+        let data: Vec<i32> = (0..1000).collect();
+        let rdd = Rdd::parallelize(data.clone(), 7);
+        let (out, _) = Cluster::new(4, 2).collect(&rdd);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn count_counts() {
+        let rdd = Rdd::parallelize((0..999).collect::<Vec<i32>>(), 5).filter(|x| x % 3 == 0);
+        let (n, _) = Cluster::new(2, 3).count(&rdd);
+        assert_eq!(n, 333);
+    }
+
+    #[test]
+    fn load_materialises_one_partition_per_source() {
+        let sources: Vec<usize> = (0..6).collect();
+        let (rdd, _) = Cluster::new(2, 2).load(sources, |&s| vec![s * 10, s * 10 + 1]);
+        assert_eq!(rdd.n_partitions(), 6);
+        assert_eq!(rdd.compute_partition(4), vec![40, 41]);
+    }
+
+    #[test]
+    fn pipeline_reports_all_stages() {
+        let sources: Vec<u64> = (0..8).collect();
+        let (result, report) = Cluster::new(2, 2).run_pipeline(
+            sources,
+            |&s| (0..100u64).map(|i| s * 100 + i).collect::<Vec<u64>>(),
+            |rdd| rdd.map(|x| x as f64).filter(|x| *x >= 0.0),
+            |p| p.iter().sum::<f64>(),
+            |a, b| a + b,
+        );
+        let expect: f64 = (0..800u64).map(|x| x as f64).sum();
+        assert_eq!(result, Some(expect));
+        assert!(report.times.load_s >= 0.0);
+        assert!(report.times.map_s < 0.5, "plan registration should be ~instant");
+        assert!(report.times.reduce_s >= 0.0);
+        assert_eq!(report.parallelism(), 4);
+    }
+
+    #[test]
+    fn empty_rdd_folds_to_none() {
+        let rdd = Rdd::from_partitions(Vec::<Vec<i32>>::new());
+        let (r, _) = Cluster::new(2, 2).fold(&rdd, |p| p.len(), |a, b| a + b);
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn more_cores_than_tasks_is_fine() {
+        let rdd = Rdd::parallelize(vec![1, 2, 3], 2);
+        let (n, _) = Cluster::new(4, 4).count(&rdd);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn parallel_speedup_on_compute_bound_work() {
+        // A compute-heavy fold should speed up with more slots. Use a
+        // generous tolerance: CI machines share cores.
+        let rdd = Rdd::parallelize((0u64..512).collect::<Vec<u64>>(), 64);
+        let spin = |p: Vec<u64>| -> u64 {
+            p.into_iter()
+                .map(|x| {
+                    let mut acc = x;
+                    for i in 0..40_000u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    acc & 1
+                })
+                .sum()
+        };
+        let (_, t1) = Cluster::new(1, 1).fold(&rdd, &spin, |a, b| a + b);
+        let (_, t8) = Cluster::new(4, 2).fold(&rdd, &spin, |a, b| a + b);
+        assert!(
+            t1 > t8 * 2.0,
+            "8 slots not faster than 1: t1={t1:.3}s t8={t8:.3}s"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must have workers")]
+    fn zero_executors_panics() {
+        let _ = Cluster::new(0, 2);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Any topology gives the sequential answer.
+            #[test]
+            fn topology_invariance(
+                n in 1usize..500,
+                parts in 1usize..12,
+                execs in 1usize..5,
+                cores in 1usize..5,
+            ) {
+                let data: Vec<i64> = (0..n as i64).collect();
+                let rdd = Rdd::parallelize(data, parts).map(|x| x * 7 - 3);
+                let expect: i64 = rdd.collect_sequential().iter().sum();
+                let (got, _) = Cluster::new(execs, cores).fold(&rdd, |p| p.iter().sum::<i64>(), |a, b| a + b);
+                prop_assert_eq!(got, Some(expect));
+            }
+        }
+    }
+}

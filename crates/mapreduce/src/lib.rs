@@ -1,0 +1,37 @@
+//! `sparklite` — a miniature PySpark-shaped map-reduce engine.
+//!
+//! The paper scales IS2 auto-labeling (Table II) and freeboard computation
+//! (Table V) with PySpark on a Google Cloud Dataproc cluster, sweeping
+//! **executors × cores** over {1,2,4} × {1,2,4} and reporting load / map /
+//! reduce times plus speedups. This crate reproduces that execution model
+//! without a JVM:
+//!
+//! - [`cluster`] — an executor/core topology that really runs tasks on
+//!   that many OS threads, with Spark-style dynamic task pulling inside
+//!   each executor;
+//! - [`rdd`] — partitioned datasets with lazy `map`/`filter` registration
+//!   (the paper's sub-second "map time" is plan registration, not
+//!   execution) and eager actions (`reduce`, `collect`) that run the whole
+//!   pipeline;
+//! - [`stage`] — per-stage wall-clock timing reports;
+//! - [`sim`] — a deterministic cost-model scheduler that reproduces the
+//!   scalability *tables* bit-for-bit on any host (list scheduling with
+//!   per-task overhead and per-executor load bandwidth);
+//! - [`scaling`] — the sweep harness that renders paper-style scalability
+//!   tables with speedup columns.
+//!
+//! Reductions combine per-partition results in partition order, so any
+//! `(executors, cores)` topology produces identical results — only timing
+//! changes. Tests assert exactly that invariant.
+
+pub mod cluster;
+pub mod rdd;
+pub mod scaling;
+pub mod sim;
+pub mod stage;
+
+pub use cluster::Cluster;
+pub use rdd::Rdd;
+pub use scaling::{ScalingRow, ScalingTable};
+pub use sim::{SimCluster, SimCost, SimReport};
+pub use stage::{StageReport, StageTimes};

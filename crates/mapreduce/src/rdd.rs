@@ -1,0 +1,201 @@
+//! Partitioned datasets with lazy transformation plans.
+//!
+//! An [`Rdd<T>`] knows how to *compute* each of its partitions on demand.
+//! `map`/`filter` wrap the compute closure without touching data — that is
+//! the whole trick behind the paper's near-constant sub-second "map time"
+//! column: registering a transformation is O(1); only actions execute.
+
+use std::sync::Arc;
+
+/// Per-partition compute function: given a partition index, produce the
+/// partition's elements.
+pub(crate) type PartFn<T> = Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>;
+
+/// A lazily-computed, partitioned dataset.
+#[derive(Clone)]
+pub struct Rdd<T> {
+    n_partitions: usize,
+    pub(crate) compute: PartFn<T>,
+}
+
+impl<T: Send + Sync + 'static> Rdd<T> {
+    /// Creates an RDD from already-materialised partitions. Computing a
+    /// partition clones it out of the shared store (Spark semantics: the
+    /// base block is immutable and reusable across actions).
+    pub fn from_partitions(parts: Vec<Vec<T>>) -> Self
+    where
+        T: Clone,
+    {
+        let n = parts.len();
+        let store = Arc::new(parts);
+        Rdd {
+            n_partitions: n,
+            compute: Arc::new(move |i| store[i].clone()),
+        }
+    }
+
+    /// Splits `data` into `n_partitions` contiguous chunks of
+    /// near-equal size.
+    pub fn parallelize(data: Vec<T>, n_partitions: usize) -> Self
+    where
+        T: Clone,
+    {
+        assert!(n_partitions > 0, "need at least one partition");
+        let n = data.len();
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(n_partitions);
+        let base = n / n_partitions;
+        let extra = n % n_partitions;
+        let mut it = data.into_iter();
+        for p in 0..n_partitions {
+            let take = base + usize::from(p < extra);
+            parts.push(it.by_ref().take(take).collect());
+        }
+        Rdd::from_partitions(parts)
+    }
+
+    /// Number of partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.n_partitions
+    }
+
+    /// Lazily applies `f` to every element. O(1): no data is touched.
+    pub fn map<U, F>(&self, f: F) -> Rdd<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        let inner = Arc::clone(&self.compute);
+        let f = Arc::new(f);
+        Rdd {
+            n_partitions: self.n_partitions,
+            compute: Arc::new(move |i| inner(i).into_iter().map(|x| f(x)).collect()),
+        }
+    }
+
+    /// Lazily keeps elements satisfying `pred`. O(1).
+    pub fn filter<F>(&self, pred: F) -> Rdd<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        let inner = Arc::clone(&self.compute);
+        let pred = Arc::new(pred);
+        Rdd {
+            n_partitions: self.n_partitions,
+            compute: Arc::new(move |i| inner(i).into_iter().filter(|x| pred(x)).collect()),
+        }
+    }
+
+    /// Lazily expands each element into zero or more outputs. O(1).
+    pub fn flat_map<U, F, I>(&self, f: F) -> Rdd<U>
+    where
+        U: Send + Sync + 'static,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Send + Sync + 'static,
+    {
+        let inner = Arc::clone(&self.compute);
+        let f = Arc::new(f);
+        Rdd {
+            n_partitions: self.n_partitions,
+            compute: Arc::new(move |i| inner(i).into_iter().flat_map(|x| f(x)).collect()),
+        }
+    }
+
+    /// Lazily transforms whole partitions (gives the map access to
+    /// partition-local context, like Spark's `mapPartitions`). O(1).
+    pub fn map_partitions<U, F>(&self, f: F) -> Rdd<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    {
+        let inner = Arc::clone(&self.compute);
+        let f = Arc::new(f);
+        Rdd {
+            n_partitions: self.n_partitions,
+            compute: Arc::new(move |i| f(inner(i))),
+        }
+    }
+
+    /// Computes one partition (used by the cluster executor and tests).
+    pub fn compute_partition(&self, i: usize) -> Vec<T> {
+        assert!(i < self.n_partitions, "partition index out of range");
+        (self.compute)(i)
+    }
+
+    /// Computes every partition sequentially and concatenates — the
+    /// single-threaded reference semantics actions must match.
+    pub fn collect_sequential(&self) -> Vec<T> {
+        (0..self.n_partitions)
+            .flat_map(|i| self.compute_partition(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelize_balances_partitions() {
+        let rdd = Rdd::parallelize((0..10).collect::<Vec<i32>>(), 3);
+        assert_eq!(rdd.n_partitions(), 3);
+        let sizes: Vec<usize> = (0..3).map(|i| rdd.compute_partition(i).len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert_eq!(rdd.collect_sequential(), (0..10).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn parallelize_more_partitions_than_items() {
+        let rdd = Rdd::parallelize(vec![1, 2], 5);
+        assert_eq!(rdd.n_partitions(), 5);
+        assert_eq!(rdd.collect_sequential(), vec![1, 2]);
+        assert!(rdd.compute_partition(4).is_empty());
+    }
+
+    #[test]
+    fn map_filter_flatmap_compose() {
+        let rdd = Rdd::parallelize((1..=8).collect::<Vec<i64>>(), 2)
+            .map(|x| x * 10)
+            .filter(|x| x % 20 == 0)
+            .flat_map(|x| vec![x, x + 1]);
+        assert_eq!(rdd.collect_sequential(), vec![20, 21, 40, 41, 60, 61, 80, 81]);
+    }
+
+    #[test]
+    fn transformations_are_lazy() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let rdd = Rdd::parallelize(vec![1, 2, 3], 1).map(|x| {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            x + 1
+        });
+        assert_eq!(CALLS.load(Ordering::SeqCst), 0, "map ran eagerly");
+        let _ = rdd.collect_sequential();
+        assert_eq!(CALLS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn map_partitions_sees_whole_partition() {
+        let rdd = Rdd::parallelize((0..9).collect::<Vec<i32>>(), 3)
+            .map_partitions(|p| vec![p.iter().sum::<i32>()]);
+        assert_eq!(rdd.collect_sequential(), vec![0 + 1 + 2, 3 + 4 + 5, 6 + 7 + 8]);
+    }
+
+    #[test]
+    fn recompute_is_reproducible() {
+        let rdd = Rdd::parallelize((0..100).collect::<Vec<i32>>(), 7).map(|x| x * x);
+        assert_eq!(rdd.compute_partition(3), rdd.compute_partition(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_partition_index_panics() {
+        let rdd = Rdd::parallelize(vec![1], 1);
+        let _ = rdd.compute_partition(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let _ = Rdd::parallelize(vec![1], 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Scalability sweep harness: renders Tables II / V style reports.
+//!
+//! A [`ScalingTable`] runs a workload over the paper's executors × cores
+//! grid (default {1,2,4} × {1,2,4} restricted to the seven rows the paper
+//! prints), computes the speedup columns relative to the 1×1 baseline,
+//! and formats the familiar table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stage::StageReport;
+
+/// One table row: topology, stage times, and speedups vs the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Executors.
+    pub executors: usize,
+    /// Cores per executor.
+    pub cores: usize,
+    /// Load time, seconds.
+    pub load_s: f64,
+    /// Map (plan registration) time, seconds.
+    pub map_s: f64,
+    /// Reduce (action) time, seconds.
+    pub reduce_s: f64,
+    /// Load speedup vs the 1×1 row.
+    pub speedup_load: f64,
+    /// Reduce speedup vs the 1×1 row.
+    pub speedup_reduce: f64,
+}
+
+/// A full scalability table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingTable {
+    /// Table caption.
+    pub title: String,
+    /// Rows in sweep order (1×1 first).
+    pub rows: Vec<ScalingRow>,
+}
+
+/// The paper's sweep grid: (executors, cores) in Tables II and V order.
+pub const PAPER_GRID: [(usize, usize); 9] = [
+    (1, 1),
+    (1, 2),
+    (1, 4),
+    (2, 1),
+    (2, 2),
+    (2, 4),
+    (4, 1),
+    (4, 2),
+    (4, 4),
+];
+
+impl ScalingTable {
+    /// Builds a table by running `workload` for every grid topology.
+    /// `workload` must return the stage report for that topology. The
+    /// first grid entry is the baseline.
+    pub fn sweep<F>(title: &str, grid: &[(usize, usize)], mut workload: F) -> ScalingTable
+    where
+        F: FnMut(usize, usize) -> StageReport,
+    {
+        assert!(!grid.is_empty(), "empty sweep grid");
+        let mut rows = Vec::with_capacity(grid.len());
+        let mut base: Option<(f64, f64)> = None;
+        for &(e, c) in grid {
+            let report = workload(e, c);
+            let (bl, br) = *base.get_or_insert((report.times.load_s, report.times.reduce_s));
+            rows.push(ScalingRow {
+                executors: e,
+                cores: c,
+                load_s: report.times.load_s,
+                map_s: report.times.map_s,
+                reduce_s: report.times.reduce_s,
+                speedup_load: safe_ratio(bl, report.times.load_s),
+                speedup_reduce: safe_ratio(br, report.times.reduce_s),
+            });
+        }
+        ScalingTable {
+            title: title.to_string(),
+            rows,
+        }
+    }
+
+    /// Maximum reduce speedup across rows (the paper's headline numbers:
+    /// 16.25× for auto-labeling, 15.68× for freeboard).
+    pub fn max_reduce_speedup(&self) -> f64 {
+        self.rows.iter().fold(0.0, |a, r| a.max(r.speedup_reduce))
+    }
+
+    /// Maximum load speedup across rows (paper: 9.0× / 8.54×).
+    pub fn max_load_speedup(&self) -> f64 {
+        self.rows.iter().fold(0.0, |a, r| a.max(r.speedup_load))
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        out.push_str(
+            "Executors  Cores  Load(s)   Map(s)  Reduce(s)  Speedup-Load  Speedup-Reduce\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>9}  {:>5}  {:>8.2} {:>8.3}  {:>9.2}  {:>12.2}  {:>14.2}\n",
+                r.executors, r.cores, r.load_s, r.map_s, r.reduce_s, r.speedup_load, r.speedup_reduce
+            ));
+        }
+        out
+    }
+}
+
+fn safe_ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        if num <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimCluster, SimCost};
+    use crate::stage::StageTimes;
+
+    #[test]
+    fn sweep_computes_speedups_vs_first_row() {
+        let table = ScalingTable::sweep("t", &[(1, 1), (2, 2)], |e, c| StageReport {
+            executors: e,
+            cores: c,
+            times: StageTimes {
+                load_s: 100.0 / (e * c) as f64,
+                map_s: 0.3,
+                reduce_s: 400.0 / (e * c) as f64,
+            },
+        });
+        assert_eq!(table.rows.len(), 2);
+        assert!((table.rows[0].speedup_load - 1.0).abs() < 1e-12);
+        assert!((table.rows[1].speedup_reduce - 4.0).abs() < 1e-12);
+        assert!((table.max_reduce_speedup() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulated_paper_table_has_paper_shape() {
+        let cost = SimCost::default();
+        let load: Vec<f64> = vec![108.0 / 320.0; 320];
+        let reduce: Vec<f64> = vec![390.0 / 320.0; 320];
+        let table = ScalingTable::sweep("Table II (simulated)", &PAPER_GRID, |e, c| {
+            SimCluster::new(e, c, cost).simulate_pipeline(&load, &reduce)
+        });
+        // Paper: reduce 16.25x, load 9.0x at 4x4.
+        let last = table.rows.last().unwrap();
+        assert_eq!((last.executors, last.cores), (4, 4));
+        assert!(last.speedup_reduce > 12.0 && last.speedup_reduce <= 16.5,
+            "reduce speedup {}", last.speedup_reduce);
+        assert!((6.5..11.0).contains(&last.speedup_load), "load speedup {}", last.speedup_load);
+        // Monotone within the equal-executor series.
+        assert!(table.rows[2].speedup_reduce > table.rows[1].speedup_reduce);
+        // Baseline row is 1.0 by construction.
+        assert!((table.rows[0].speedup_load - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let table = ScalingTable::sweep("demo", &[(1, 1), (4, 4)], |e, c| StageReport {
+            executors: e,
+            cores: c,
+            times: StageTimes { load_s: 1.0, map_s: 0.1, reduce_s: 2.0 },
+        });
+        let s = table.render();
+        assert!(s.contains("demo"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn safe_ratio_handles_zero() {
+        assert_eq!(safe_ratio(0.0, 0.0), 1.0);
+        assert!(safe_ratio(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sweep grid")]
+    fn empty_grid_panics() {
+        let _ = ScalingTable::sweep("t", &[], |_, _| unreachable!());
+    }
+}

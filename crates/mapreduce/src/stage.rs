@@ -1,0 +1,72 @@
+//! Stage timing reports.
+//!
+//! The paper's Tables II and V report three columns per topology — load,
+//! map, and reduce time — where "map" is the (cheap) registration of the
+//! transformation plan and "reduce" is the action that executes it.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock durations of the three pipeline stages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimes {
+    /// Seconds spent materialising input partitions (file reads, decode).
+    pub load_s: f64,
+    /// Seconds spent registering transformations (plan building).
+    pub map_s: f64,
+    /// Seconds executing the action (the actual distributed compute).
+    pub reduce_s: f64,
+}
+
+impl StageTimes {
+    /// Total of the three stages, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.load_s + self.map_s + self.reduce_s
+    }
+}
+
+/// A full per-run report: topology plus stage times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Number of executors.
+    pub executors: usize,
+    /// Cores per executor.
+    pub cores: usize,
+    /// Measured (or simulated) stage durations.
+    pub times: StageTimes,
+}
+
+impl StageReport {
+    /// Total parallelism of the topology.
+    pub fn parallelism(&self) -> usize {
+        self.executors * self.cores
+    }
+}
+
+/// Converts a [`Duration`] to fractional seconds.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let t = StageTimes { load_s: 1.0, map_s: 0.25, reduce_s: 3.5 };
+        assert!((t.total_s() - 4.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallelism_is_product() {
+        let r = StageReport { executors: 4, cores: 4, times: StageTimes::default() };
+        assert_eq!(r.parallelism(), 16);
+    }
+
+    #[test]
+    fn secs_converts() {
+        assert!((secs(Duration::from_millis(1500)) - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Activations: ELU (the paper's choice), ReLU, tanh, sigmoid, linear,
+//! plus a numerically-stable row-wise softmax.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Matrix;
+
+/// Pointwise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Exponential linear unit, α = 1 (used by both paper models).
+    Elu,
+    /// Rectified linear unit (the paper's MLP final dense stack).
+    Relu,
+    /// Hyperbolic tangent (classic LSTM cell activation).
+    Tanh,
+    /// Logistic sigmoid (LSTM gates).
+    Sigmoid,
+    /// Identity.
+    Linear,
+}
+
+impl Activation {
+    /// Applies the activation.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Elu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    x.exp() - 1.0
+                }
+            }
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *pre-activation* input `x`.
+    #[inline]
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Elu => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    x.exp()
+                }
+            }
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            Activation::Linear => 1.0,
+        }
+    }
+
+    /// Applies elementwise to a matrix.
+    pub fn apply_matrix(self, x: &Matrix) -> Matrix {
+        x.map(|v| self.apply(v))
+    }
+
+    /// Elementwise derivative matrix.
+    pub fn derivative_matrix(self, x: &Matrix) -> Matrix {
+        x.map(|v| self.derivative(v))
+    }
+}
+
+/// Row-wise softmax with the max-subtraction trick.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    let cols = out.cols();
+    for r in 0..out.rows() {
+        let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACTS: [Activation; 5] = [
+        Activation::Elu,
+        Activation::Relu,
+        Activation::Tanh,
+        Activation::Sigmoid,
+        Activation::Linear,
+    ];
+
+    #[test]
+    fn elu_values() {
+        assert_eq!(Activation::Elu.apply(2.0), 2.0);
+        assert!((Activation::Elu.apply(-1.0) - ((-1.0f32).exp() - 1.0)).abs() < 1e-7);
+        assert!(Activation::Elu.apply(-10.0) > -1.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for act in ACTS {
+            for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
+                let fd = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let an = act.derivative(x);
+                assert!(
+                    (fd - an).abs() < 5e-3,
+                    "{act:?} at {x}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let s = softmax_rows(&m);
+        for r in 0..2 {
+            let row = s.row(r);
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "monotone in logits");
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_huge_logits() {
+        let m = Matrix::from_rows(&[vec![1000.0, 1000.0, 999.0]]);
+        let s = softmax_rows(&m);
+        assert!(s.data().iter().all(|v| v.is_finite()));
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded() {
+        for &x in &[-50.0f32, -1.0, 0.0, 1.0, 50.0] {
+            let s = Activation::Sigmoid.apply(x);
+            assert!((0.0..=1.0).contains(&s));
+        }
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,289 @@
+//! Dataset utilities: seeded shuffling, batching, train/test splits, and
+//! feature standardisation.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Matrix;
+
+/// A labelled dataset: one sample per row.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature matrix, `n × d`.
+    pub x: Matrix,
+    /// Integer class labels, length `n`.
+    pub y: Vec<usize>,
+}
+
+impl Dataset {
+    /// Builds a dataset, checking shapes.
+    pub fn new(x: Matrix, y: Vec<usize>) -> Self {
+        assert_eq!(x.rows(), y.len(), "feature/label length mismatch");
+        Dataset { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Returns the sub-dataset at `indices`.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let d = self.dim();
+        let mut data = Vec::with_capacity(indices.len() * d);
+        let mut y = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.x.row(i));
+            y.push(self.y[i]);
+        }
+        Dataset {
+            x: Matrix::from_vec(indices.len(), d, data),
+            y,
+        }
+    }
+
+    /// Deterministic shuffled 80/20-style split: returns
+    /// `(train, test)` with `train_fraction` of samples in train.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_fraction), "fraction in [0,1]");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        let n_train = (self.len() as f64 * train_fraction).round() as usize;
+        (self.subset(&idx[..n_train]), self.subset(&idx[n_train..]))
+    }
+
+    /// Class frequencies (length = `n_classes`).
+    pub fn class_counts(&self, n_classes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_classes];
+        for &y in &self.y {
+            assert!(y < n_classes, "label out of range");
+            counts[y] += 1;
+        }
+        counts
+    }
+
+    /// Inverse-frequency class weights normalised to mean 1 — a standard
+    /// α vector for focal loss under class imbalance.
+    pub fn inverse_frequency_weights(&self, n_classes: usize) -> Vec<f32> {
+        let counts = self.class_counts(n_classes);
+        let total: usize = counts.iter().sum();
+        let raw: Vec<f32> = counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    0.0
+                } else {
+                    total as f32 / (n_classes as f32 * c as f32)
+                }
+            })
+            .collect();
+        raw
+    }
+}
+
+/// Iterator over shuffled mini-batches.
+pub struct BatchIter<'a> {
+    data: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Shuffled batches of `batch_size` (last batch may be short).
+    pub fn new(data: &'a Dataset, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        BatchIter {
+            data,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Matrix, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.data.subset(&self.order[self.cursor..end]);
+        self.cursor = end;
+        Some((batch.x, batch.y))
+    }
+}
+
+/// Per-feature standardiser (`z = (x − μ)/σ`), fit on train only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations per column.
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "cannot fit on empty data");
+        let d = x.cols();
+        let n = x.rows() as f32;
+        let mut mean = vec![0.0f32; d];
+        for r in 0..x.rows() {
+            for (m, v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; d];
+        for r in 0..x.rows() {
+            for c in 0..d {
+                let dlt = x.get(r, c) - mean[c];
+                var[c] += dlt * dlt;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| (v / n).sqrt().max(1e-6))
+            .collect();
+        Standardizer { mean, std }
+    }
+
+    /// Applies the transform.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mean.len(), "dimension mismatch");
+        let mut out = x.clone();
+        let d = x.cols();
+        for r in 0..x.rows() {
+            for c in 0..d {
+                let v = (x.get(r, c) - self.mean[c]) / self.std[c];
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Fit + transform in one call.
+    pub fn fit_transform(x: &Matrix) -> (Standardizer, Matrix) {
+        let s = Standardizer::fit(x);
+        let t = s.transform(x);
+        (s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Dataset {
+        let rows: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32, (i * 2) as f32]).collect();
+        let y: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        Dataset::new(Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn split_partitions_and_is_deterministic() {
+        let d = dataset(100);
+        let (tr1, te1) = d.split(0.8, 7);
+        let (tr2, te2) = d.split(0.8, 7);
+        assert_eq!(tr1.len(), 80);
+        assert_eq!(te1.len(), 20);
+        assert_eq!(tr1.y, tr2.y);
+        assert_eq!(te1.y, te2.y);
+        // All samples accounted for: feature sums match.
+        let sum = |m: &Matrix| m.data().iter().sum::<f32>();
+        assert!((sum(&tr1.x) + sum(&te1.x) - sum(&d.x)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn different_seed_different_split() {
+        let d = dataset(100);
+        let (tr1, _) = d.split(0.8, 1);
+        let (tr2, _) = d.split(0.8, 2);
+        assert_ne!(tr1.y, tr2.y);
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let d = dataset(53);
+        let mut seen = vec![0usize; 53];
+        for (x, y) in BatchIter::new(&d, 8, 3) {
+            assert!(x.rows() <= 8);
+            assert_eq!(x.rows(), y.len());
+            for r in 0..x.rows() {
+                seen[x.get(r, 0) as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "every sample exactly once");
+    }
+
+    #[test]
+    fn batch_shuffling_is_seeded() {
+        let d = dataset(40);
+        let a: Vec<Vec<usize>> = BatchIter::new(&d, 8, 5).map(|(_, y)| y).collect();
+        let b: Vec<Vec<usize>> = BatchIter::new(&d, 8, 5).map(|(_, y)| y).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn class_counts_and_weights() {
+        let d = dataset(9); // labels 0,1,2 repeated
+        assert_eq!(d.class_counts(3), vec![3, 3, 3]);
+        let w = d.inverse_frequency_weights(3);
+        assert!(w.iter().all(|&v| (v - 1.0).abs() < 1e-6), "balanced => 1s: {w:?}");
+
+        // Imbalanced case: minority gets the larger weight.
+        let y = vec![0, 0, 0, 0, 0, 0, 1, 1, 2];
+        let imb = Dataset::new(Matrix::zeros(9, 1), y);
+        let w = imb.inverse_frequency_weights(3);
+        assert!(w[2] > w[1] && w[1] > w[0]);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_std() {
+        let d = dataset(64);
+        let (_, z) = Standardizer::fit_transform(&d.x);
+        for c in 0..z.cols() {
+            let col: Vec<f32> = (0..z.rows()).map(|r| z.get(r, c)).collect();
+            let mean: f32 = col.iter().sum::<f32>() / col.len() as f32;
+            let var: f32 = col.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / col.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn standardizer_handles_constant_features() {
+        let x = Matrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]]);
+        let (s, z) = Standardizer::fit_transform(&x);
+        assert!(z.data().iter().all(|v| v.is_finite()));
+        // Constant column maps to 0.
+        for r in 0..3 {
+            assert_eq!(z.get(r, 0), 0.0);
+        }
+        let _ = s;
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dataset_shape_checked() {
+        let _ = Dataset::new(Matrix::zeros(3, 2), vec![0, 1]);
+    }
+}

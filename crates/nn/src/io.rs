@@ -1,0 +1,176 @@
+//! Model weight persistence.
+//!
+//! Architectures in this crate are code (builder functions), so
+//! persistence stores only the **flat parameter vector** plus a
+//! fingerprint of the expected length — the same representation the
+//! distributed trainer broadcasts. Saving is
+//! `save_weights(&model.flat_params(), path)`; loading validates the
+//! length against the freshly-built architecture before overwriting its
+//! weights, so a mismatched architecture fails loudly instead of
+//! predicting garbage.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::model::Sequential;
+
+/// Magic bytes of the weight file format.
+pub const MAGIC: &[u8; 4] = b"NWT1";
+
+/// Errors from loading a weight file.
+#[derive(Debug)]
+pub enum WeightError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a weight file.
+    BadMagic,
+    /// Parameter count does not match the target architecture.
+    LengthMismatch {
+        /// Parameters in the file.
+        file: usize,
+        /// Parameters the model expects.
+        model: usize,
+    },
+    /// File ended prematurely.
+    Truncated,
+}
+
+impl std::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightError::Io(e) => write!(f, "io error: {e}"),
+            WeightError::BadMagic => write!(f, "not a neurite weight file"),
+            WeightError::LengthMismatch { file, model } => {
+                write!(f, "weight count mismatch: file has {file}, model expects {model}")
+            }
+            WeightError::Truncated => write!(f, "weight file truncated"),
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+impl From<std::io::Error> for WeightError {
+    fn from(e: std::io::Error) -> Self {
+        WeightError::Io(e)
+    }
+}
+
+/// Saves a model's parameters to `path`.
+pub fn save_weights(model: &Sequential, path: &Path) -> Result<(), WeightError> {
+    let params = model.flat_params();
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(MAGIC)?;
+    f.write_all(&(params.len() as u64).to_le_bytes())?;
+    for v in &params {
+        f.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Loads parameters from `path` into `model` (which must already have
+/// the same architecture).
+pub fn load_weights(model: &mut Sequential, path: &Path) -> Result<(), WeightError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut magic = [0u8; 4];
+    f.read_exact(&mut magic).map_err(|_| WeightError::Truncated)?;
+    if &magic != MAGIC {
+        return Err(WeightError::BadMagic);
+    }
+    let mut len_bytes = [0u8; 8];
+    f.read_exact(&mut len_bytes).map_err(|_| WeightError::Truncated)?;
+    let n = u64::from_le_bytes(len_bytes) as usize;
+    if n != model.n_params() {
+        return Err(WeightError::LengthMismatch {
+            file: n,
+            model: model.n_params(),
+        });
+    }
+    let mut buf = vec![0u8; n * 4];
+    f.read_exact(&mut buf).map_err(|_| WeightError::Truncated)?;
+    let params: Vec<f32> = buf
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    model.set_flat_params(&params);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::layers::Dense;
+    use crate::tensor::Matrix;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Sequential::new()
+            .add(Dense::new(4, 8, Activation::Elu, &mut rng))
+            .add(Dense::new(8, 3, Activation::Linear, &mut rng))
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("neurite_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_predictions() {
+        let mut original = model(1);
+        let x = Matrix::glorot(5, 4, &mut ChaCha8Rng::seed_from_u64(2));
+        let expect = original.forward(&x, false);
+
+        let path = tmp("roundtrip.nwt");
+        save_weights(&original, &path).unwrap();
+        let mut restored = model(999); // different init
+        assert_ne!(restored.flat_params(), original.flat_params());
+        load_weights(&mut restored, &path).unwrap();
+        assert_eq!(restored.flat_params(), original.flat_params());
+        assert_eq!(restored.forward(&x, false), expect);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn architecture_mismatch_is_rejected() {
+        let original = model(3);
+        let path = tmp("mismatch.nwt");
+        save_weights(&original, &path).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut other = Sequential::new().add(Dense::new(4, 4, Activation::Elu, &mut rng));
+        let err = load_weights(&mut other, &path).unwrap_err();
+        assert!(matches!(err, WeightError::LengthMismatch { .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("badmagic.nwt");
+        std::fs::write(&path, b"XXXX\x00\x00\x00\x00\x00\x00\x00\x00").unwrap();
+        let mut m = model(5);
+        assert!(matches!(load_weights(&mut m, &path), Err(WeightError::BadMagic)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let original = model(7);
+        let path = tmp("trunc.nwt");
+        save_weights(&original, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let mut m = model(7);
+        assert!(matches!(load_weights(&mut m, &path), Err(WeightError::Truncated)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let mut m = model(9);
+        let err = load_weights(&mut m, Path::new("/nonexistent/nope.nwt")).unwrap_err();
+        assert!(matches!(err, WeightError::Io(_)));
+    }
+}

@@ -1,0 +1,571 @@
+//! Layers: [`Dense`], [`Dropout`], and [`Lstm`] with full BPTT.
+//!
+//! Layers cache whatever the backward pass needs during `forward`, and
+//! *accumulate* parameter gradients in `backward` (callers zero them
+//! between steps). Gradient correctness is enforced by finite-difference
+//! tests at the bottom of this module — the LSTM backward pass in
+//! particular is exactly the kind of code that silently rots without one.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::activation::Activation;
+use crate::tensor::Matrix;
+
+/// Common layer interface. `Send + Sync` so trained models can sit in
+/// shared caches and be moved across worker threads; layers hold plain
+/// data (no interior mutability).
+pub trait Layer: Send + Sync {
+    /// Forward pass; `training` toggles dropout and friends.
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix;
+    /// Backward pass: given ∂L/∂output, accumulate parameter gradients and
+    /// return ∂L/∂input.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+    /// Immutable views of the parameters.
+    fn params(&self) -> Vec<&Matrix>;
+    /// Mutable views of the parameters (same order as [`Layer::params`]).
+    fn params_mut(&mut self) -> Vec<&mut Matrix>;
+    /// Immutable views of the accumulated gradients (same order).
+    fn grads(&self) -> Vec<&Matrix>;
+    /// Mutable views of the accumulated gradients (same order).
+    fn grads_mut(&mut self) -> Vec<&mut Matrix>;
+    /// Zeroes the accumulated gradients.
+    fn zero_grads(&mut self) {
+        for g in self.grads_mut() {
+            g.data_mut().fill(0.0);
+        }
+    }
+    /// Short human-readable description.
+    fn describe(&self) -> String;
+}
+
+/// Fully-connected layer `y = act(x·W + b)`.
+pub struct Dense {
+    w: Matrix,
+    b: Matrix,
+    act: Activation,
+    gw: Matrix,
+    gb: Matrix,
+    cache_input: Option<Matrix>,
+    cache_pre: Option<Matrix>,
+}
+
+impl Dense {
+    /// Glorot-initialised dense layer.
+    pub fn new(input: usize, output: usize, act: Activation, rng: &mut ChaCha8Rng) -> Self {
+        Dense {
+            w: Matrix::glorot(input, output, rng),
+            b: Matrix::zeros(1, output),
+            act,
+            gw: Matrix::zeros(input, output),
+            gb: Matrix::zeros(1, output),
+            cache_input: None,
+            cache_pre: None,
+        }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.w.cols()
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix, _training: bool) -> Matrix {
+        let pre = input.matmul(&self.w).add_row_broadcast(&self.b);
+        let out = self.act.apply_matrix(&pre);
+        self.cache_input = Some(input.clone());
+        self.cache_pre = Some(pre);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let pre = self.cache_pre.as_ref().expect("backward before forward");
+        let input = self.cache_input.as_ref().expect("backward before forward");
+        let dpre = grad_output.hadamard(&self.act.derivative_matrix(pre));
+        self.gw = self.gw.add(&input.transpose().matmul(&dpre));
+        self.gb = self.gb.add(&dpre.col_sum());
+        dpre.matmul(&self.w.transpose())
+    }
+
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.w, &self.b]
+    }
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.w, &mut self.b]
+    }
+    fn grads(&self) -> Vec<&Matrix> {
+        vec![&self.gw, &self.gb]
+    }
+    fn grads_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.gw, &mut self.gb]
+    }
+    fn describe(&self) -> String {
+        format!("Dense({}→{}, {:?})", self.w.rows(), self.w.cols(), self.act)
+    }
+}
+
+/// Inverted dropout: scales kept units by `1/(1−p)` during training, is
+/// the identity at inference. Mask generation is deterministic: seeded by
+/// `(seed, forward-call counter)`.
+pub struct Dropout {
+    p: f32,
+    seed: u64,
+    calls: u64,
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// Dropout with drop probability `p` in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability in [0,1)");
+        Dropout {
+            p,
+            seed,
+            calls: 0,
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        if !training || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ self.calls.wrapping_mul(0x9E37_79B9));
+        self.calls += 1;
+        let keep = 1.0 - self.p;
+        let mut mask = Matrix::zeros(input.rows(), input.cols());
+        for v in mask.data_mut() {
+            *v = if rng.random::<f32>() < keep { 1.0 / keep } else { 0.0 };
+        }
+        let out = input.hadamard(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => grad_output.hadamard(mask),
+            None => grad_output.clone(),
+        }
+    }
+
+    fn params(&self) -> Vec<&Matrix> {
+        vec![]
+    }
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![]
+    }
+    fn grads(&self) -> Vec<&Matrix> {
+        vec![]
+    }
+    fn grads_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![]
+    }
+    fn describe(&self) -> String {
+        format!("Dropout({})", self.p)
+    }
+}
+
+/// Per-timestep cache for BPTT.
+struct LstmCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    z: Matrix, // pre-activations of [i f g o], batch × 4H
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    c: Matrix,
+}
+
+/// LSTM over a flattened sequence input `(batch × seq_len·input)`;
+/// returns the last hidden state `(batch × hidden)` — matching Keras'
+/// default `return_sequences=False` that the paper's model uses.
+///
+/// Gate layout in the fused weight matrices is `[i | f | g | o]`. The
+/// cell activation (`g` and the output nonlinearity) is configurable;
+/// the paper sets it to ELU.
+pub struct Lstm {
+    input: usize,
+    hidden: usize,
+    seq_len: usize,
+    act: Activation,
+    wx: Matrix, // input × 4H
+    wh: Matrix, // H × 4H
+    b: Matrix,  // 1 × 4H
+    gwx: Matrix,
+    gwh: Matrix,
+    gb: Matrix,
+    cache: Vec<LstmCache>,
+}
+
+impl Lstm {
+    /// New LSTM layer; forget-gate bias initialised to 1 (standard trick).
+    pub fn new(input: usize, hidden: usize, seq_len: usize, act: Activation, rng: &mut ChaCha8Rng) -> Self {
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        for h in 0..hidden {
+            b.set(0, hidden + h, 1.0); // forget gate chunk
+        }
+        Lstm {
+            input,
+            hidden,
+            seq_len,
+            act,
+            wx: Matrix::glorot(input, 4 * hidden, rng),
+            wh: Matrix::glorot(hidden, 4 * hidden, rng),
+            b,
+            gwx: Matrix::zeros(input, 4 * hidden),
+            gwh: Matrix::zeros(hidden, 4 * hidden),
+            gb: Matrix::zeros(1, 4 * hidden),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// Expected input width (`seq_len × input`).
+    pub fn flat_input_size(&self) -> usize {
+        self.seq_len * self.input
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Matrix, _training: bool) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.seq_len * self.input,
+            "LSTM input width must be seq_len×features"
+        );
+        let batch = input.rows();
+        let h4 = 4 * self.hidden;
+        let hid = self.hidden;
+        self.cache.clear();
+        let mut h = Matrix::zeros(batch, hid);
+        let mut c = Matrix::zeros(batch, hid);
+        for t in 0..self.seq_len {
+            let x = input.slice_cols(t * self.input, (t + 1) * self.input);
+            let z = x
+                .matmul(&self.wx)
+                .add(&h.matmul(&self.wh))
+                .add_row_broadcast(&self.b);
+            debug_assert_eq!(z.cols(), h4);
+            let i = z.slice_cols(0, hid).map(|v| Activation::Sigmoid.apply(v));
+            let f = z.slice_cols(hid, 2 * hid).map(|v| Activation::Sigmoid.apply(v));
+            let g = z.slice_cols(2 * hid, 3 * hid).map(|v| self.act.apply(v));
+            let o = z.slice_cols(3 * hid, h4).map(|v| Activation::Sigmoid.apply(v));
+            let c_new = f.hadamard(&c).add(&i.hadamard(&g));
+            let h_new = o.hadamard(&self.act.apply_matrix(&c_new));
+            self.cache.push(LstmCache {
+                x,
+                h_prev: h,
+                c_prev: c,
+                z,
+                i,
+                f,
+                g,
+                o,
+                c: c_new.clone(),
+            });
+            h = h_new;
+            c = c_new;
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        assert!(!self.cache.is_empty(), "backward before forward");
+        let batch = grad_output.rows();
+        let hid = self.hidden;
+        let mut dinput = Matrix::zeros(batch, self.seq_len * self.input);
+        let mut dh = grad_output.clone();
+        let mut dc = Matrix::zeros(batch, hid);
+        for t in (0..self.seq_len).rev() {
+            let cache = &self.cache[t];
+            let act_c = self.act.apply_matrix(&cache.c);
+            let dact_c = self.act.derivative_matrix(&cache.c);
+            // h = o ⊙ act(c)
+            let do_ = dh.hadamard(&act_c);
+            dc = dc.add(&dh.hadamard(&cache.o).hadamard(&dact_c));
+            // c = f ⊙ c_prev + i ⊙ g
+            let di = dc.hadamard(&cache.g);
+            let df = dc.hadamard(&cache.c_prev);
+            let dg = dc.hadamard(&cache.i);
+            let dc_prev = dc.hadamard(&cache.f);
+            // Gate pre-activations.
+            let zi = cache.z.slice_cols(0, hid);
+            let zf = cache.z.slice_cols(hid, 2 * hid);
+            let zg = cache.z.slice_cols(2 * hid, 3 * hid);
+            let zo = cache.z.slice_cols(3 * hid, 4 * hid);
+            let dzi = di.hadamard(&zi.map(|v| Activation::Sigmoid.derivative(v)));
+            let dzf = df.hadamard(&zf.map(|v| Activation::Sigmoid.derivative(v)));
+            let dzg = dg.hadamard(&zg.map(|v| self.act.derivative(v)));
+            let dzo = do_.hadamard(&zo.map(|v| Activation::Sigmoid.derivative(v)));
+            // Fuse dz = [dzi dzf dzg dzo].
+            let mut dz = Matrix::zeros(batch, 4 * hid);
+            for r in 0..batch {
+                for (k, part) in [&dzi, &dzf, &dzg, &dzo].iter().enumerate() {
+                    for c2 in 0..hid {
+                        dz.set(r, k * hid + c2, part.get(r, c2));
+                    }
+                }
+            }
+            self.gwx = self.gwx.add(&cache.x.transpose().matmul(&dz));
+            self.gwh = self.gwh.add(&cache.h_prev.transpose().matmul(&dz));
+            self.gb = self.gb.add(&dz.col_sum());
+            let dx = dz.matmul(&self.wx.transpose());
+            for r in 0..batch {
+                for c2 in 0..self.input {
+                    dinput.set(r, t * self.input + c2, dx.get(r, c2));
+                }
+            }
+            dh = dz.matmul(&self.wh.transpose());
+            dc = dc_prev;
+        }
+        dinput
+    }
+
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.wx, &self.wh, &self.b]
+    }
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+    fn grads(&self) -> Vec<&Matrix> {
+        vec![&self.gwx, &self.gwh, &self.gb]
+    }
+    fn grads_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.gwx, &mut self.gwh, &mut self.gb]
+    }
+    fn describe(&self) -> String {
+        format!(
+            "LSTM(in={}, hidden={}, seq={}, {:?})",
+            self.input, self.hidden, self.seq_len, self.act
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// Numerically checks ∂(sum of outputs)/∂param against the analytic
+    /// gradient for every parameter of `layer`.
+    fn grad_check<L: Layer>(layer: &mut L, input: &Matrix, tol: f32) {
+        // Analytic.
+        layer.zero_grads();
+        let out = layer.forward(input, false);
+        let ones = Matrix::from_vec(out.rows(), out.cols(), vec![1.0; out.rows() * out.cols()]);
+        let _ = layer.backward(&ones);
+        let analytic: Vec<Vec<f32>> = layer.grads().iter().map(|g| g.data().to_vec()).collect();
+
+        // Numeric (central differences).
+        let eps = 2e-2f32;
+        let n_params = layer.params().len();
+        for p_idx in 0..n_params {
+            let n_elems = layer.params()[p_idx].data().len();
+            for e_idx in 0..n_elems {
+                let orig = layer.params()[p_idx].data()[e_idx];
+                layer.params_mut()[p_idx].data_mut()[e_idx] = orig + eps;
+                let up: f32 = layer.forward(input, false).data().iter().sum();
+                layer.params_mut()[p_idx].data_mut()[e_idx] = orig - eps;
+                let down: f32 = layer.forward(input, false).data().iter().sum();
+                layer.params_mut()[p_idx].data_mut()[e_idx] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                let a = analytic[p_idx][e_idx];
+                let denom = a.abs().max(numeric.abs()).max(1.0);
+                assert!(
+                    (a - numeric).abs() / denom < tol,
+                    "param {p_idx}[{e_idx}]: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut d = Dense::new(2, 2, Activation::Linear, &mut rng(0));
+        d.params_mut()[0].data_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        d.params_mut()[1].data_mut().copy_from_slice(&[0.5, -0.5]);
+        let out = d.forward(&Matrix::from_rows(&[vec![1.0, 1.0]]), false);
+        assert_eq!(out.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn dense_gradients_check_linear() {
+        let mut d = Dense::new(3, 4, Activation::Linear, &mut rng(1));
+        let x = Matrix::glorot(5, 3, &mut rng(2));
+        grad_check(&mut d, &x, 1e-2);
+    }
+
+    #[test]
+    fn dense_gradients_check_elu() {
+        let mut d = Dense::new(4, 3, Activation::Elu, &mut rng(3));
+        let x = Matrix::glorot(6, 4, &mut rng(4));
+        grad_check(&mut d, &x, 2e-2);
+    }
+
+    #[test]
+    fn dense_gradients_check_tanh() {
+        let mut d = Dense::new(3, 3, Activation::Tanh, &mut rng(5));
+        let x = Matrix::glorot(4, 3, &mut rng(6));
+        grad_check(&mut d, &x, 2e-2);
+    }
+
+    #[test]
+    fn dense_input_gradient_is_correct() {
+        // Check dL/dx numerically for a tiny dense layer.
+        let mut d = Dense::new(2, 2, Activation::Tanh, &mut rng(7));
+        let x = Matrix::from_rows(&[vec![0.3, -0.2]]);
+        let out = d.forward(&x, false);
+        let ones = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        d.zero_grads();
+        let dx = d.backward(&ones);
+        let _ = out;
+        let eps = 1e-2f32;
+        for k in 0..2 {
+            let mut xp = x.clone();
+            xp.set(0, k, x.get(0, k) + eps);
+            let up: f32 = d.forward(&xp, false).data().iter().sum();
+            let mut xm = x.clone();
+            xm.set(0, k, x.get(0, k) - eps);
+            let down: f32 = d.forward(&xm, false).data().iter().sum();
+            let numeric = (up - down) / (2.0 * eps);
+            assert!((dx.get(0, k) - numeric).abs() < 2e-2, "dx[{k}]");
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut d = Dense::new(2, 2, Activation::Linear, &mut rng(8));
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let ones = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        d.forward(&x, false);
+        d.backward(&ones);
+        let g1 = d.grads()[0].clone();
+        d.forward(&x, false);
+        d.backward(&ones);
+        let g2 = d.grads()[0].clone();
+        for (a, b) in g1.data().iter().zip(g2.data()) {
+            assert!((b - 2.0 * a).abs() < 1e-5, "grads should double");
+        }
+        d.zero_grads();
+        assert!(d.grads()[0].data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut drop = Dropout::new(0.5, 42);
+        let x = Matrix::glorot(8, 8, &mut rng(9));
+        assert_eq!(drop.forward(&x, false), x);
+    }
+
+    #[test]
+    fn dropout_training_zeroes_and_scales() {
+        let mut drop = Dropout::new(0.5, 42);
+        let x = Matrix::from_vec(1, 1000, vec![1.0; 1000]);
+        let y = drop.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let kept: Vec<f32> = y.data().iter().copied().filter(|&v| v != 0.0).collect();
+        assert!((400..600).contains(&zeros), "dropped {zeros}/1000");
+        assert!(kept.iter().all(|&v| (v - 2.0).abs() < 1e-6), "kept units scaled by 1/keep");
+        // Expectation preserved within sampling noise.
+        let mean: f32 = y.data().iter().sum::<f32>() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut drop = Dropout::new(0.3, 7);
+        let x = Matrix::from_vec(1, 100, vec![1.0; 100]);
+        let y = drop.forward(&x, true);
+        let dy = Matrix::from_vec(1, 100, vec![1.0; 100]);
+        let dx = drop.backward(&dy);
+        assert_eq!(dx, y, "gradient mask must equal forward mask");
+    }
+
+    #[test]
+    fn lstm_forward_shapes_and_determinism() {
+        let mut l = Lstm::new(6, 16, 5, Activation::Elu, &mut rng(10));
+        let x = Matrix::glorot(3, 30, &mut rng(11));
+        let h1 = l.forward(&x, false);
+        let h2 = l.forward(&x, false);
+        assert_eq!(h1.rows(), 3);
+        assert_eq!(h1.cols(), 16);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn lstm_gradients_check_tanh() {
+        let mut l = Lstm::new(2, 3, 3, Activation::Tanh, &mut rng(12));
+        let x = Matrix::glorot(2, 6, &mut rng(13));
+        grad_check(&mut l, &x, 3e-2);
+    }
+
+    #[test]
+    fn lstm_gradients_check_elu() {
+        let mut l = Lstm::new(2, 2, 4, Activation::Elu, &mut rng(14));
+        let x = Matrix::glorot(3, 8, &mut rng(15));
+        grad_check(&mut l, &x, 3e-2);
+    }
+
+    #[test]
+    fn lstm_input_gradient_flows_to_all_timesteps() {
+        let mut l = Lstm::new(2, 4, 5, Activation::Tanh, &mut rng(16));
+        let x = Matrix::glorot(2, 10, &mut rng(17));
+        l.forward(&x, false);
+        let ones = Matrix::from_vec(2, 4, vec![1.0; 8]);
+        let dx = l.backward(&ones);
+        assert_eq!(dx.cols(), 10);
+        // Every timestep should receive some gradient (forget bias 1 keeps
+        // the path open).
+        for t in 0..5 {
+            let slice = dx.slice_cols(t * 2, (t + 1) * 2);
+            assert!(slice.norm() > 1e-6, "no gradient at t={t}");
+        }
+    }
+
+    #[test]
+    fn lstm_sequence_order_matters() {
+        // LSTM output must depend on input order (unlike a pooled MLP).
+        let mut l = Lstm::new(1, 4, 3, Activation::Tanh, &mut rng(18));
+        let a = l.forward(&Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]), false);
+        let b = l.forward(&Matrix::from_rows(&[vec![3.0, 2.0, 1.0]]), false);
+        let diff = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff > 1e-4, "order-insensitive LSTM output");
+    }
+
+    #[test]
+    #[should_panic(expected = "seq_len")]
+    fn lstm_rejects_wrong_width() {
+        let mut l = Lstm::new(2, 3, 4, Activation::Tanh, &mut rng(19));
+        let _ = l.forward(&Matrix::zeros(1, 7), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn dropout_rejects_p_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Losses over logits: softmax cross-entropy and softmax **focal loss**.
+//!
+//! The paper trains with focal loss (Lin et al. 2017) because the Ross
+//! Sea is overwhelmingly thick ice — focal loss down-weights the easy,
+//! abundant class so thin ice and open water still shape the gradients.
+//!
+//! Both losses consume raw logits and return `(mean loss, ∂L/∂logits)`;
+//! folding the softmax into the loss keeps the gradients simple and
+//! numerically stable. Gradients are validated against finite differences
+//! in the tests.
+
+use crate::activation::softmax_rows;
+use crate::tensor::Matrix;
+
+/// A loss over `(batch × classes)` logits and integer class labels.
+pub trait Loss: Send + Sync {
+    /// Mean loss over the batch and its gradient w.r.t. the logits.
+    fn loss_and_grad(&self, logits: &Matrix, labels: &[usize]) -> (f32, Matrix);
+    /// Loss name for logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Softmax cross-entropy: `L = −log p_y`, `∂L/∂z = p − onehot(y)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropy;
+
+impl Loss for CrossEntropy {
+    fn loss_and_grad(&self, logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+        validate(logits, labels);
+        let p = softmax_rows(logits);
+        let n = logits.rows();
+        let c = logits.cols();
+        let mut grad = p.clone();
+        let mut loss = 0.0f32;
+        for (r, &y) in labels.iter().enumerate() {
+            let py = p.get(r, y).max(1e-12);
+            loss -= py.ln();
+            grad.set(r, y, grad.get(r, y) - 1.0);
+        }
+        let inv = 1.0 / n as f32;
+        for v in grad.data_mut() {
+            *v *= inv;
+        }
+        let _ = c;
+        (loss * inv, grad)
+    }
+
+    fn name(&self) -> &'static str {
+        "cross_entropy"
+    }
+}
+
+/// Softmax focal loss `L = −α_y (1 − p_y)^γ log p_y`.
+///
+/// Gradient: with `t` the true class and `p_t = p[t]`,
+/// `dL/dp_t = α_y [ γ(1−p_t)^{γ−1} log p_t − (1−p_t)^γ / p_t ]`, chained
+/// through `∂p_t/∂z_j = p_t(δ_{tj} − p_j)`.
+#[derive(Debug, Clone)]
+pub struct FocalLoss {
+    /// Focusing parameter γ (paper-standard 2.0).
+    pub gamma: f32,
+    /// Optional per-class weights α (length = classes); `None` = 1.
+    pub alpha: Option<Vec<f32>>,
+}
+
+impl FocalLoss {
+    /// Focal loss with γ and uniform α.
+    pub fn new(gamma: f32) -> Self {
+        assert!(gamma >= 0.0, "gamma must be non-negative");
+        FocalLoss { gamma, alpha: None }
+    }
+
+    /// Focal loss with per-class weights (e.g. inverse class frequency).
+    pub fn with_alpha(gamma: f32, alpha: Vec<f32>) -> Self {
+        assert!(gamma >= 0.0, "gamma must be non-negative");
+        assert!(alpha.iter().all(|&a| a > 0.0), "alpha weights must be positive");
+        FocalLoss {
+            gamma,
+            alpha: Some(alpha),
+        }
+    }
+
+    fn alpha_for(&self, class: usize) -> f32 {
+        self.alpha.as_ref().map(|a| a[class]).unwrap_or(1.0)
+    }
+}
+
+impl Loss for FocalLoss {
+    fn loss_and_grad(&self, logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+        validate(logits, labels);
+        let p = softmax_rows(logits);
+        let n = logits.rows();
+        let c = logits.cols();
+        let mut grad = Matrix::zeros(n, c);
+        let mut loss = 0.0f32;
+        for (r, &y) in labels.iter().enumerate() {
+            let a = self.alpha_for(y);
+            let pt = p.get(r, y).clamp(1e-7, 1.0 - 1e-7);
+            let one_minus = 1.0 - pt;
+            loss += -a * one_minus.powf(self.gamma) * pt.ln();
+            // dL/dp_t
+            let dl_dpt = a
+                * (self.gamma * one_minus.powf(self.gamma - 1.0) * pt.ln()
+                    - one_minus.powf(self.gamma) / pt);
+            // Chain through softmax: dp_t/dz_j = p_t(δ − p_j).
+            for j in 0..c {
+                let dpt_dzj = pt * (if j == y { 1.0 } else { 0.0 } - p.get(r, j));
+                grad.set(r, j, dl_dpt * dpt_dzj);
+            }
+        }
+        let inv = 1.0 / n as f32;
+        for v in grad.data_mut() {
+            *v *= inv;
+        }
+        (loss * inv, grad)
+    }
+
+    fn name(&self) -> &'static str {
+        "focal"
+    }
+}
+
+fn validate(logits: &Matrix, labels: &[usize]) {
+    assert_eq!(logits.rows(), labels.len(), "batch size mismatch");
+    assert!(
+        labels.iter().all(|&y| y < logits.cols()),
+        "label out of range"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(loss: &dyn Loss, logits: &Matrix, labels: &[usize], tol: f32) {
+        let (_, grad) = loss.loss_and_grad(logits, labels);
+        let eps = 1e-2f32;
+        for r in 0..logits.rows() {
+            for c in 0..logits.cols() {
+                let mut up = logits.clone();
+                up.set(r, c, logits.get(r, c) + eps);
+                let (lu, _) = loss.loss_and_grad(&up, labels);
+                let mut dn = logits.clone();
+                dn.set(r, c, logits.get(r, c) - eps);
+                let (ld, _) = loss.loss_and_grad(&dn, labels);
+                let numeric = (lu - ld) / (2.0 * eps);
+                let a = grad.get(r, c);
+                assert!(
+                    (a - numeric).abs() < tol,
+                    "grad[{r},{c}]: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    fn logits() -> Matrix {
+        Matrix::from_rows(&[
+            vec![2.0, 0.5, -1.0],
+            vec![-0.5, 1.5, 0.2],
+            vec![0.1, 0.1, 0.1],
+        ])
+    }
+
+    #[test]
+    fn cross_entropy_gradient_checks() {
+        finite_diff_check(&CrossEntropy, &logits(), &[0, 1, 2], 2e-3);
+    }
+
+    #[test]
+    fn focal_gradient_checks() {
+        finite_diff_check(&FocalLoss::new(2.0), &logits(), &[0, 2, 1], 2e-3);
+    }
+
+    #[test]
+    fn focal_with_alpha_gradient_checks() {
+        let fl = FocalLoss::with_alpha(2.0, vec![0.3, 1.0, 2.0]);
+        finite_diff_check(&fl, &logits(), &[1, 0, 2], 2e-3);
+    }
+
+    #[test]
+    fn focal_gamma_zero_equals_cross_entropy() {
+        let fl = FocalLoss::new(0.0);
+        let (l_f, g_f) = fl.loss_and_grad(&logits(), &[0, 1, 2]);
+        let (l_c, g_c) = CrossEntropy.loss_and_grad(&logits(), &[0, 1, 2]);
+        assert!((l_f - l_c).abs() < 1e-5, "{l_f} vs {l_c}");
+        for (a, b) in g_f.data().iter().zip(g_c.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn focal_downweights_easy_examples() {
+        // A confidently-correct sample contributes far less under focal
+        // loss than under cross-entropy — the class-imbalance mechanism.
+        let easy = Matrix::from_rows(&[vec![8.0, 0.0, 0.0]]);
+        let (l_ce, _) = CrossEntropy.loss_and_grad(&easy, &[0]);
+        let (l_f, _) = FocalLoss::new(2.0).loss_and_grad(&easy, &[0]);
+        assert!(l_f < l_ce * 0.01, "focal {l_f} vs ce {l_ce}");
+    }
+
+    #[test]
+    fn loss_decreases_when_correct_logit_grows() {
+        let a = Matrix::from_rows(&[vec![0.0, 0.0, 0.0]]);
+        let b = Matrix::from_rows(&[vec![2.0, 0.0, 0.0]]);
+        for loss in [&FocalLoss::new(2.0) as &dyn Loss, &CrossEntropy] {
+            let (la, _) = loss.loss_and_grad(&a, &[0]);
+            let (lb, _) = loss.loss_and_grad(&b, &[0]);
+            assert!(lb < la, "{}: {lb} !< {la}", loss.name());
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let sure = Matrix::from_rows(&[vec![30.0, 0.0, 0.0]]);
+        let (l, g) = CrossEntropy.loss_and_grad(&sure, &[0]);
+        assert!(l < 1e-6);
+        assert!(g.data().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_range_checked() {
+        let _ = CrossEntropy.loss_and_grad(&logits(), &[0, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn batch_size_checked() {
+        let _ = CrossEntropy.loss_and_grad(&logits(), &[0]);
+    }
+}

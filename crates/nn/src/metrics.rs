@@ -1,0 +1,265 @@
+//! Classification metrics: confusion matrix, accuracy, per-class and
+//! aggregate precision / recall / F1 — the paper's Table III and Figure 4.
+
+use serde::{Deserialize, Serialize};
+
+/// A `classes × classes` confusion matrix: `m[true][pred]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        ConfusionMatrix {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Records one (truth, prediction) pair.
+    pub fn record(&mut self, truth: usize, pred: usize) {
+        assert!(truth < self.n_classes && pred < self.n_classes, "class out of range");
+        self.counts[truth * self.n_classes + pred] += 1;
+    }
+
+    /// Count at `(truth, pred)`.
+    pub fn get(&self, truth: usize, pred: usize) -> u64 {
+        self.counts[truth * self.n_classes + pred]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Samples whose true class is `c`.
+    pub fn class_total(&self, c: usize) -> u64 {
+        (0..self.n_classes).map(|p| self.get(c, p)).sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.n_classes).map(|c| self.get(c, c)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Per-class recall — the diagonal percentages of the paper's Fig. 4
+    /// (98.39 / 73.80 / 60.25 % for thick / thin / open water).
+    pub fn recall(&self, c: usize) -> f64 {
+        let denom = self.class_total(c);
+        if denom == 0 {
+            0.0
+        } else {
+            self.get(c, c) as f64 / denom as f64
+        }
+    }
+
+    /// Per-class precision.
+    pub fn precision(&self, c: usize) -> f64 {
+        let denom: u64 = (0..self.n_classes).map(|t| self.get(t, c)).sum();
+        if denom == 0 {
+            0.0
+        } else {
+            self.get(c, c) as f64 / denom as f64
+        }
+    }
+
+    /// Per-class F1.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Row-normalised matrix (each true-class row sums to 1) — the form
+    /// Figure 4 displays.
+    pub fn normalized(&self) -> Vec<Vec<f64>> {
+        (0..self.n_classes)
+            .map(|t| {
+                let row_total = self.class_total(t).max(1) as f64;
+                (0..self.n_classes)
+                    .map(|p| self.get(t, p) as f64 / row_total)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Renders the matrix with row-normalised percentages.
+    pub fn render(&self, class_names: &[&str]) -> String {
+        assert_eq!(class_names.len(), self.n_classes);
+        let mut s = String::from("true \\ pred");
+        for name in class_names {
+            s.push_str(&format!("  {name:>12}"));
+        }
+        s.push('\n');
+        let norm = self.normalized();
+        for (t, name) in class_names.iter().enumerate() {
+            s.push_str(&format!("{name:>11}"));
+            for p in 0..self.n_classes {
+                s.push_str(&format!("  {:>11.2}%", 100.0 * norm[t][p]));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Builds a confusion matrix from parallel truth/prediction slices.
+pub fn confusion_matrix(truth: &[usize], pred: &[usize], n_classes: usize) -> ConfusionMatrix {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    let mut m = ConfusionMatrix::new(n_classes);
+    for (&t, &p) in truth.iter().zip(pred) {
+        m.record(t, p);
+    }
+    m
+}
+
+/// Weighted-average classification report (the paper reports accuracy,
+/// precision, recall, F1 weighted by class support — Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Support-weighted precision.
+    pub precision: f64,
+    /// Support-weighted recall.
+    pub recall: f64,
+    /// Support-weighted F1.
+    pub f1: f64,
+}
+
+impl ClassificationReport {
+    /// Computes the support-weighted report from a confusion matrix.
+    pub fn from_confusion(m: &ConfusionMatrix) -> Self {
+        let total = m.total().max(1) as f64;
+        let mut precision = 0.0;
+        let mut recall = 0.0;
+        let mut f1 = 0.0;
+        for c in 0..m.n_classes() {
+            let w = m.class_total(c) as f64 / total;
+            precision += w * m.precision(c);
+            recall += w * m.recall(c);
+            f1 += w * m.f1(c);
+        }
+        ClassificationReport {
+            accuracy: m.accuracy(),
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        // truth:  0 0 0 0 1 1 2
+        // pred:   0 0 0 1 1 0 2
+        confusion_matrix(&[0, 0, 0, 0, 1, 1, 2], &[0, 0, 0, 1, 1, 0, 2], 3)
+    }
+
+    #[test]
+    fn counts_and_totals() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 3);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(1, 0), 1);
+        assert_eq!(m.total(), 7);
+        assert_eq!(m.class_total(0), 4);
+    }
+
+    #[test]
+    fn accuracy_precision_recall() {
+        let m = sample();
+        assert!((m.accuracy() - 5.0 / 7.0).abs() < 1e-12);
+        assert!((m.recall(0) - 0.75).abs() < 1e-12);
+        assert!((m.precision(0) - 3.0 / 4.0).abs() < 1e-12);
+        assert!((m.recall(2) - 1.0).abs() < 1e-12);
+        assert!((m.precision(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let m = sample();
+        let p = m.precision(1);
+        let r = m.recall(1);
+        assert!((m.f1(1) - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let m = confusion_matrix(&[0, 1, 2, 1], &[0, 1, 2, 1], 3);
+        assert_eq!(m.accuracy(), 1.0);
+        for c in 0..3 {
+            assert_eq!(m.f1(c), 1.0);
+        }
+        let rep = ClassificationReport::from_confusion(&m);
+        assert_eq!(rep.precision, 1.0);
+        assert_eq!(rep.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_class_metrics_are_zero_not_nan() {
+        let m = confusion_matrix(&[0, 0], &[0, 0], 3);
+        assert_eq!(m.recall(1), 0.0);
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.f1(1), 0.0);
+        assert!(!ClassificationReport::from_confusion(&m).f1.is_nan());
+    }
+
+    #[test]
+    fn normalized_rows_sum_to_one() {
+        let m = sample();
+        for row in m.normalized() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_report_weights_by_support() {
+        let m = sample();
+        let rep = ClassificationReport::from_confusion(&m);
+        let expect_recall =
+            (4.0 * m.recall(0) + 2.0 * m.recall(1) + 1.0 * m.recall(2)) / 7.0;
+        assert!((rep.recall - expect_recall).abs() < 1e-12);
+        // Weighted recall equals accuracy (a classic identity).
+        assert!((rep.recall - rep.accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_percentages() {
+        let m = sample();
+        let s = m.render(&["thick", "thin", "water"]);
+        assert!(s.contains("thick"));
+        assert!(s.contains('%'));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn record_range_checked() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 2);
+    }
+}

@@ -1,0 +1,359 @@
+//! [`Sequential`]: a layer stack with training, prediction, and the flat
+//! parameter/gradient views the distributed trainer needs.
+
+use crate::layers::Layer;
+use crate::loss::Loss;
+use crate::optim::Optimizer;
+use crate::tensor::Matrix;
+
+/// A feed-forward stack of layers.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Empty model; push layers with [`Sequential::add`].
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn add(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total scalar parameter count.
+    pub fn n_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.params().iter().map(|p| p.data().len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, training);
+        }
+        x
+    }
+
+    /// Backward pass from ∂L/∂output; accumulates gradients in layers.
+    pub fn backward(&mut self, grad_output: &Matrix) {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// One optimisation step on a batch. Returns the batch loss.
+    pub fn train_step(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        loss: &dyn Loss,
+        opt: &mut dyn Optimizer,
+    ) -> f32 {
+        self.zero_grads();
+        let logits = self.forward(x, true);
+        let (l, grad) = loss.loss_and_grad(&logits, y);
+        self.backward(&grad);
+        let mut params = self.flat_params();
+        let grads = self.flat_grads();
+        opt.step(&mut params, &grads);
+        self.set_flat_params(&params);
+        l
+    }
+
+    /// Computes loss and gradients for a batch *without* applying an
+    /// update — the distributed trainer's per-worker half-step (gradients
+    /// are all-reduced before the optimiser runs).
+    pub fn grad_step(&mut self, x: &Matrix, y: &[usize], loss: &dyn Loss) -> f32 {
+        self.zero_grads();
+        let logits = self.forward(x, true);
+        let (l, grad) = loss.loss_and_grad(&logits, y);
+        self.backward(&grad);
+        l
+    }
+
+    /// Class predictions (argmax of logits) in inference mode.
+    pub fn predict(&mut self, x: &Matrix) -> Vec<usize> {
+        let logits = self.forward(x, false);
+        (0..logits.rows())
+            .map(|r| {
+                let row = logits.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    /// Softmax class probabilities in inference mode.
+    pub fn predict_proba(&mut self, x: &Matrix) -> Matrix {
+        let logits = self.forward(x, false);
+        crate::activation::softmax_rows(&logits)
+    }
+
+    /// All parameters flattened into one vector (layer order, then the
+    /// layer's own parameter order).
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.n_params());
+        for layer in &self.layers {
+            for p in layer.params() {
+                out.extend_from_slice(p.data());
+            }
+        }
+        out
+    }
+
+    /// Writes a flat parameter vector back (inverse of
+    /// [`Sequential::flat_params`]).
+    pub fn set_flat_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.n_params(), "flat parameter length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                let n = p.data().len();
+                p.data_mut().copy_from_slice(&flat[offset..offset + n]);
+                offset += n;
+            }
+        }
+        assert_eq!(offset, flat.len(), "flat parameter length mismatch");
+    }
+
+    /// All accumulated gradients, flattened in parameter order.
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.n_params());
+        for layer in &self.layers {
+            for g in layer.grads() {
+                out.extend_from_slice(g.data());
+            }
+        }
+        out
+    }
+
+    /// Overwrites the accumulated gradients from a flat vector (used after
+    /// the distributed all-reduce).
+    pub fn set_flat_grads(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.n_params(), "flat gradient length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            for g in layer.grads_mut() {
+                let n = g.data().len();
+                g.data_mut().copy_from_slice(&flat[offset..offset + n]);
+                offset += n;
+            }
+        }
+        assert_eq!(offset, flat.len(), "flat gradient length mismatch");
+    }
+
+    /// Applies an optimiser step using the currently-accumulated
+    /// gradients (the distributed trainer's post-all-reduce half-step).
+    pub fn apply_grads(&mut self, opt: &mut dyn Optimizer) {
+        let mut params = self.flat_params();
+        let grads = self.flat_grads();
+        opt.step(&mut params, &grads);
+        self.set_flat_params(&params);
+    }
+
+    /// Layer summaries (architecture printout).
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for (i, l) in self.layers.iter().enumerate() {
+            s.push_str(&format!("{i}: {}\n", l.describe()));
+        }
+        s.push_str(&format!("total params: {}", self.n_params()));
+        s
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::layers::{Dense, Dropout, Lstm};
+    use crate::loss::{CrossEntropy, FocalLoss};
+    use crate::optim::Adam;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// A linearly separable 2-class toy problem.
+    fn toy_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        use rand::Rng;
+        let mut r = rng(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let cls = r.random_range(0..2usize);
+            let cx = if cls == 0 { -1.0 } else { 1.0 };
+            rows.push(vec![
+                cx + r.random_range(-0.4..0.4),
+                -cx + r.random_range(-0.4..0.4),
+            ]);
+            labels.push(cls);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut r = rng(seed);
+        Sequential::new()
+            .add(Dense::new(2, 16, Activation::Relu, &mut r))
+            .add(Dense::new(16, 2, Activation::Linear, &mut r))
+    }
+
+    #[test]
+    fn mlp_learns_linear_separation() {
+        let (x, y) = toy_data(256, 1);
+        let mut model = mlp(2);
+        let mut opt = Adam::new(0.01);
+        let mut first_loss = None;
+        for _ in 0..60 {
+            let l = model.train_step(&x, &y, &CrossEntropy, &mut opt);
+            first_loss.get_or_insert(l);
+        }
+        let preds = model.predict(&x);
+        let acc = preds.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        assert!(acc > 0.97, "accuracy {acc}");
+        let final_loss = model.train_step(&x, &y, &CrossEntropy, &mut opt);
+        assert!(final_loss < first_loss.unwrap() * 0.2, "loss did not drop");
+    }
+
+    #[test]
+    fn lstm_model_trains_on_sequence_task() {
+        use rand::Rng;
+        // Classify whether a length-4 sequence is increasing or not —
+        // impossible without order sensitivity.
+        let mut r = rng(3);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..200 {
+            let inc = r.random_range(0..2usize);
+            let start: f32 = r.random_range(-1.0..1.0);
+            let step: f32 = r.random_range(0.1..0.5);
+            let seq: Vec<f32> = (0..4)
+                .map(|t| {
+                    if inc == 1 {
+                        start + t as f32 * step
+                    } else {
+                        start - t as f32 * step
+                    }
+                })
+                .collect();
+            rows.push(seq);
+            labels.push(inc);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut model = Sequential::new()
+            .add(Lstm::new(1, 8, 4, Activation::Tanh, &mut rng(4)))
+            .add(Dense::new(8, 2, Activation::Linear, &mut rng(5)));
+        let mut opt = Adam::new(0.02);
+        for _ in 0..80 {
+            model.train_step(&x, &labels, &FocalLoss::new(2.0), &mut opt);
+        }
+        let preds = model.predict(&x);
+        let acc =
+            preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / labels.len() as f64;
+        assert!(acc > 0.95, "LSTM accuracy {acc}");
+    }
+
+    #[test]
+    fn flat_params_roundtrip() {
+        let mut model = mlp(7);
+        let params = model.flat_params();
+        assert_eq!(params.len(), model.n_params());
+        let doubled: Vec<f32> = params.iter().map(|v| v * 2.0).collect();
+        model.set_flat_params(&doubled);
+        let back = model.flat_params();
+        for (a, b) in back.iter().zip(&params) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grad_step_then_apply_equals_train_step() {
+        // The two-phase API (grad_step + apply_grads) must match
+        // train_step exactly — this is what makes 1-GPU Horovod identical
+        // to local training.
+        let (x, y) = toy_data(64, 9);
+        let mut a = mlp(11);
+        let mut b = mlp(11);
+        assert_eq!(a.flat_params(), b.flat_params());
+        let mut opt_a = Adam::new(0.01);
+        let mut opt_b = Adam::new(0.01);
+        for _ in 0..5 {
+            let la = a.train_step(&x, &y, &CrossEntropy, &mut opt_a);
+            let lb = b.grad_step(&x, &y, &CrossEntropy);
+            b.apply_grads(&mut opt_b);
+            assert!((la - lb).abs() < 1e-6);
+        }
+        for (pa, pb) in a.flat_params().iter().zip(b.flat_params()) {
+            assert!((pa - pb).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn predict_proba_rows_sum_to_one() {
+        let (x, _) = toy_data(16, 13);
+        let mut model = mlp(15);
+        let p = model.predict_proba(&x);
+        for r in 0..p.rows() {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dropout_in_stack_does_not_break_inference_determinism() {
+        let (x, _) = toy_data(8, 17);
+        let mut model = Sequential::new()
+            .add(Dense::new(2, 8, Activation::Elu, &mut rng(18)))
+            .add(Dropout::new(0.2, 99))
+            .add(Dense::new(8, 2, Activation::Linear, &mut rng(19)));
+        let a = model.forward(&x, false);
+        let b = model.forward(&x, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summary_mentions_all_layers() {
+        let model = mlp(21);
+        let s = model.summary();
+        assert!(s.matches("Dense").count() == 2);
+        assert!(s.contains("total params"));
+    }
+
+    #[test]
+    #[should_panic(expected = "flat parameter length mismatch")]
+    fn set_flat_params_length_checked() {
+        let mut model = mlp(23);
+        model.set_flat_params(&[0.0; 3]);
+    }
+}

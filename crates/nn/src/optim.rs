@@ -1,0 +1,195 @@
+//! Optimisers over flattened parameter/gradient vectors.
+//!
+//! Operating on flat `Vec<f32>` views (rather than per-layer tensors)
+//! keeps the optimiser oblivious to model structure — the same property
+//! Horovod exploits: the distributed trainer all-reduces one flat gradient
+//! buffer and hands it to the local optimiser.
+
+use serde::{Deserialize, Serialize};
+
+/// An optimiser consuming flat gradients.
+pub trait Optimizer: Send {
+    /// Applies one update: `params[i] -= step_i(grads[i])`.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+    /// Learning rate currently in force.
+    fn learning_rate(&self) -> f32;
+}
+
+/// Plain SGD with optional momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 = vanilla SGD).
+    pub momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr` and momentum `momentum`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum in [0,1)");
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            self.velocity[i] = self.momentum * self.velocity[i] + grads[i];
+            params[i] -= self.lr * self.velocity[i];
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba). The paper uses lr = 0.003 with Keras defaults
+/// β₁ = 0.9, β₂ = 0.999, ε = 1e-7.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical fuzz.
+    pub eps: f32,
+    t: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    /// Adam with the paper's learning rate and Keras defaults.
+    pub fn paper_default() -> Self {
+        Adam::new(0.003)
+    }
+
+    /// Adam with learning rate `lr` and default betas.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-7,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = Σ (x_i − target_i)² with each optimiser.
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let target = [3.0f32, -2.0, 0.5];
+        let mut x = [0.0f32; 3];
+        for _ in 0..steps {
+            let grads: Vec<f32> = x.iter().zip(&target).map(|(xi, ti)| 2.0 * (xi - ti)).collect();
+            opt.step(&mut x, &grads);
+        }
+        x.iter()
+            .zip(&target)
+            .map(|(xi, ti)| (xi - ti).powi(2))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut o = Sgd::new(0.1, 0.0);
+        assert!(quadratic_descent(&mut o, 200) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut o = Sgd::new(0.05, 0.9);
+        assert!(quadratic_descent(&mut o, 300) < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut o = Adam::new(0.1);
+        assert!(quadratic_descent(&mut o, 500) < 1e-2);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // Bias correction makes Adam's first |update| ≈ lr regardless of
+        // gradient magnitude.
+        let mut o = Adam::new(0.01);
+        let mut p = [0.0f32];
+        o.step(&mut p, &[1234.5]);
+        assert!((p[0].abs() - 0.01).abs() < 1e-4, "first step {}", p[0]);
+    }
+
+    #[test]
+    fn adam_handles_zero_gradient() {
+        let mut o = Adam::new(0.01);
+        let mut p = [1.0f32];
+        o.step(&mut p, &[0.0]);
+        assert!((p[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_default_lr() {
+        assert!((Adam::paper_default().learning_rate() - 0.003).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut o = Sgd::new(0.1, 0.0);
+        let mut p = [0.0f32; 2];
+        o.step(&mut p, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn zero_lr_panics() {
+        let _ = Adam::new(0.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Row-major `f32` matrices and the linear algebra the layers need.
+//!
+//! Batch-first convention throughout: a `(batch × features)` matrix holds
+//! one sample per row. The matmul switches to rayon row-parallelism above
+//! a flop threshold — batches in this project are small (32), so the
+//! serial path is the common one and stays allocation-lean.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from row-major data; length must equal `rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds from a nested row representation (test convenience).
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Glorot-uniform initialisation: `U(±sqrt(6/(fan_in+fan_out)))`.
+    pub fn glorot<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.random_range(-limit..limit))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        let work = m * k * n;
+        let body = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+        if work >= 1 << 18 {
+            use rayon::prelude::*;
+            out.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(n).enumerate().for_each(body);
+        }
+        Matrix::from_vec(m, n, out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum; shapes must match.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Adds a row vector (1 × cols) to every row — bias broadcast.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[r * self.cols + c] += bias.data[c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise product (Hadamard).
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "hadamard shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Applies `f` elementwise, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+    }
+
+    /// Scales by a constant.
+    pub fn scale(&self, k: f32) -> Matrix {
+        self.map(|v| v * k)
+    }
+
+    /// Column sums as a 1 × cols row vector (bias gradients).
+    pub fn col_sum(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Takes columns `[from, to)` as a new matrix (time-step slicing for
+    /// the LSTM's flattened sequence input).
+    pub fn slice_cols(&self, from: usize, to: usize) -> Matrix {
+        assert!(from <= to && to <= self.cols, "column slice out of range");
+        let mut out = Matrix::zeros(self.rows, to - from);
+        for r in 0..self.rows {
+            out.data[r * (to - from)..(r + 1) * (to - from)]
+                .copy_from_slice(&self.data[r * self.cols + from..r * self.cols + to]);
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let mut id = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            id.set(i, i, 1.0);
+        }
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_serial() {
+        // Big enough to cross the rayon threshold.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let a = Matrix::glorot(80, 70, &mut rng);
+        let b = Matrix::glorot(70, 60, &mut rng);
+        let big = a.matmul(&b); // 80*70*60 = 336k > 2^18
+        // Serial reference.
+        let mut refc = Matrix::zeros(80, 60);
+        for r in 0..80 {
+            for c in 0..60 {
+                let mut s = 0.0;
+                for k in 0..70 {
+                    s += a.get(r, k) * b.get(k, c);
+                }
+                refc.set(r, c, s);
+            }
+        }
+        for (x, y) in big.data().iter().zip(refc.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn broadcast_and_colsum_are_inverse_shapes() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![10.0, 20.0]]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(x.col_sum().data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_cols_extracts_timesteps() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]]);
+        let t1 = x.slice_cols(2, 4);
+        assert_eq!(t1.data(), &[3.0, 4.0, 7.0, 8.0]);
+        assert_eq!(t1.rows(), 2);
+    }
+
+    #[test]
+    fn glorot_is_bounded_and_seeded() {
+        let mut rng1 = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let mut rng2 = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let a = Matrix::glorot(20, 30, &mut rng1);
+        let b = Matrix::glorot(20, 30, &mut rng2);
+        assert_eq!(a, b);
+        let limit = (6.0 / 50.0f32).sqrt();
+        assert!(a.data().iter().all(|v| v.abs() <= limit));
+        // Not all zero.
+        assert!(a.norm() > 0.1);
+    }
+
+    #[test]
+    fn map_scale_hadamard() {
+        let x = Matrix::from_rows(&[vec![1.0, -2.0]]);
+        assert_eq!(x.map(f32::abs).data(), &[1.0, 2.0]);
+        assert_eq!(x.scale(3.0).data(), &[3.0, -6.0]);
+        assert_eq!(x.hadamard(&x).data(), &[1.0, 4.0]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// (A·B)ᵀ == Bᵀ·Aᵀ
+            #[test]
+            fn transpose_of_product(seed in 0u64..100, m in 1usize..8, k in 1usize..8, n in 1usize..8) {
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                let a = Matrix::glorot(m, k, &mut rng);
+                let b = Matrix::glorot(k, n, &mut rng);
+                let lhs = a.matmul(&b).transpose();
+                let rhs = b.transpose().matmul(&a.transpose());
+                for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                    prop_assert!((x - y).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Surface classification taxonomy.
+//!
+//! The paper classifies 2 m ATL03 segments into exactly three classes
+//! (Section III-B): thick/snow-covered sea ice, thin ice (nilas / grey ice
+//! in refreezing leads and polynyas), and open water.
+
+use serde::{Deserialize, Serialize};
+
+/// The three surface classes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum SurfaceClass {
+    /// Thick, usually snow-covered, sea ice. The dominant class in the
+    /// Ross Sea (class imbalance motivates the paper's focal loss).
+    ThickIce = 0,
+    /// Newly formed thin ice (nilas, grey ice) in refreezing leads and
+    /// polynyas.
+    ThinIce = 1,
+    /// Open water (leads, polynyas).
+    OpenWater = 2,
+}
+
+impl SurfaceClass {
+    /// All classes, index-ordered; the classifier's output layer uses this
+    /// ordering (3 softmax neurons).
+    pub const ALL: [SurfaceClass; 3] = [
+        SurfaceClass::ThickIce,
+        SurfaceClass::ThinIce,
+        SurfaceClass::OpenWater,
+    ];
+
+    /// Number of classes.
+    pub const COUNT: usize = 3;
+
+    /// Dense index in `0..3`, matching the softmax output ordering.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`SurfaceClass::index`]; returns `None` for out-of-range
+    /// indices.
+    pub fn from_index(i: usize) -> Option<SurfaceClass> {
+        SurfaceClass::ALL.get(i).copied()
+    }
+
+    /// Human-readable label used in printed tables and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SurfaceClass::ThickIce => "thick ice",
+            SurfaceClass::ThinIce => "thin ice",
+            SurfaceClass::OpenWater => "open water",
+        }
+    }
+
+    /// `true` for the class the freeboard stage uses as sea-surface
+    /// reference (open water only).
+    #[inline]
+    pub fn is_sea_surface_reference(self) -> bool {
+        matches!(self, SurfaceClass::OpenWater)
+    }
+}
+
+impl std::fmt::Display for SurfaceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for c in SurfaceClass::ALL {
+            assert_eq!(SurfaceClass::from_index(c.index()), Some(c));
+        }
+        assert_eq!(SurfaceClass::from_index(3), None);
+    }
+
+    #[test]
+    fn only_open_water_is_reference() {
+        assert!(SurfaceClass::OpenWater.is_sea_surface_reference());
+        assert!(!SurfaceClass::ThickIce.is_sea_surface_reference());
+        assert!(!SurfaceClass::ThinIce.is_sea_surface_reference());
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            SurfaceClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

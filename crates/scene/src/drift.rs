@@ -1,0 +1,128 @@
+//! Rigid sea-ice drift between acquisition times.
+//!
+//! The paper's Table I documents that S2 scenes acquired up to ~48 minutes
+//! before/after the IS2 pass are displaced by 0–550 m relative to the IS2
+//! track and must be shifted back before label transfer. We model the same
+//! effect: the ice field (leads, ridges, freeboard texture) moves as a
+//! rigid body with a constant velocity, while the *sea surface height*
+//! field does not move (it is tied to the geoid/tide, not the ice).
+
+use icesat_geo::{point::compass_direction, MapPoint};
+use serde::{Deserialize, Serialize};
+
+/// Constant-velocity rigid drift in the EPSG-3976 plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftModel {
+    /// Ice velocity, metres per second, x-component (grid east).
+    pub vx_mps: f64,
+    /// Ice velocity, metres per second, y-component (grid north).
+    pub vy_mps: f64,
+}
+
+impl DriftModel {
+    /// No drift.
+    pub const STILL: DriftModel = DriftModel {
+        vx_mps: 0.0,
+        vy_mps: 0.0,
+    };
+
+    /// A drift that produces displacement `(dx, dy)` metres over
+    /// `dt_minutes` minutes.
+    pub fn from_displacement(dx_m: f64, dy_m: f64, dt_minutes: f64) -> Self {
+        assert!(dt_minutes != 0.0, "zero time baseline");
+        let dt_s = dt_minutes * 60.0;
+        DriftModel {
+            vx_mps: dx_m / dt_s,
+            vy_mps: dy_m / dt_s,
+        }
+    }
+
+    /// Displacement accumulated over `dt_minutes` minutes, metres.
+    pub fn displacement(&self, dt_minutes: f64) -> (f64, f64) {
+        let dt_s = dt_minutes * 60.0;
+        (self.vx_mps * dt_s, self.vy_mps * dt_s)
+    }
+
+    /// Maps a point observed at time `t = dt_minutes` back to the ice-fixed
+    /// frame at `t = 0` (subtracts the accumulated displacement).
+    pub fn to_ice_frame(&self, p: MapPoint, dt_minutes: f64) -> MapPoint {
+        let (dx, dy) = self.displacement(dt_minutes);
+        p.shifted(-dx, -dy)
+    }
+
+    /// Drift speed, metres per second.
+    pub fn speed_mps(&self) -> f64 {
+        (self.vx_mps * self.vx_mps + self.vy_mps * self.vy_mps).sqrt()
+    }
+
+    /// Formats the displacement over `dt_minutes` the way Table I reports
+    /// S2 shifts: `"550 m / NW"`, or `"0 m"` below `round_m` metres.
+    pub fn table1_shift(&self, dt_minutes: f64, round_m: f64) -> String {
+        let (dx, dy) = self.displacement(dt_minutes);
+        let mag = (dx * dx + dy * dy).sqrt();
+        // Round to the nearest 50 m like the paper's entries.
+        let rounded = (mag / 50.0).round() * 50.0;
+        if rounded < round_m {
+            "0 m".to_string()
+        } else {
+            format!("{:.0} m / {}", rounded, compass_direction(dx, dy))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displacement_scales_with_time() {
+        let d = DriftModel::from_displacement(550.0, 0.0, 10.0);
+        let (dx, dy) = d.displacement(10.0);
+        assert!((dx - 550.0).abs() < 1e-9);
+        assert!(dy.abs() < 1e-12);
+        let (dx2, _) = d.displacement(20.0);
+        assert!((dx2 - 1100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ice_frame_inverts_displacement() {
+        let d = DriftModel::from_displacement(-300.0, 400.0, 30.0);
+        let obs = MapPoint::new(1000.0, 2000.0);
+        let ice = d.to_ice_frame(obs, 30.0);
+        assert!((ice.x - 1300.0).abs() < 1e-9);
+        assert!((ice.y - 1600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn still_model_is_identity() {
+        let p = MapPoint::new(5.0, -7.0);
+        assert_eq!(DriftModel::STILL.to_ice_frame(p, 123.0), p);
+        assert_eq!(DriftModel::STILL.speed_mps(), 0.0);
+    }
+
+    #[test]
+    fn table1_formatting() {
+        // 550 m toward grid north-west over 9.55 minutes.
+        let l = 550.0 / std::f64::consts::SQRT_2;
+        let d = DriftModel::from_displacement(-l, l, 9.55);
+        assert_eq!(d.table1_shift(9.55, 50.0), "550 m / NW");
+        // Negligible drift prints as "0 m".
+        let d0 = DriftModel::from_displacement(10.0, 0.0, 60.0);
+        assert_eq!(d0.table1_shift(60.0, 50.0), "0 m");
+    }
+
+    #[test]
+    fn speed_is_euclidean_norm() {
+        let d = DriftModel {
+            vx_mps: 0.3,
+            vy_mps: 0.4,
+        };
+        assert!((d.speed_mps() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero time baseline")]
+    fn zero_baseline_panics() {
+        let _ = DriftModel::from_displacement(1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Geometric ice features: leads, polynyas, and pressure ridges.
+//!
+//! The Ross Sea truth scene is a thick-ice background cut by a network of
+//! **leads** (elongated fractures, partly refrozen to thin ice), punctured
+//! by **polynyas** (the large open-water/thin-ice areas kept open by
+//! katabatic winds — Ross Ice Shelf, Terra Nova Bay, McMurdo Sound in the
+//! paper), and roughened by **pressure ridges** on the thick ice.
+//!
+//! All features are tested by signed distance in the EPSG-3976 plane, so
+//! class membership stays exact under the rigid drift displacement.
+
+use icesat_geo::MapPoint;
+use serde::{Deserialize, Serialize};
+
+use crate::noise::ValueNoise;
+
+/// An elongated fracture in the ice: a polyline with a half-width.
+/// The central fraction of the lead stays open water; the margins have
+/// refrozen to thin ice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lead {
+    /// Polyline vertices in EPSG-3976 metres.
+    pub path: Vec<MapPoint>,
+    /// Half-width of the full (thin-ice) lead, metres.
+    pub half_width_m: f64,
+    /// Fraction (0..=1) of the half-width that is open water at the
+    /// centre; the rest is thin ice.
+    pub open_fraction: f64,
+}
+
+impl Lead {
+    /// Distance from `p` to the lead centreline, metres.
+    pub fn distance_to_centerline(&self, p: MapPoint) -> f64 {
+        self.path
+            .windows(2)
+            .map(|seg| point_segment_distance(p, seg[0], seg[1]))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Classifies `p` against this lead alone: `None` if outside,
+    /// otherwise open water in the core or thin ice in the margin.
+    pub fn classify(&self, p: MapPoint) -> Option<crate::SurfaceClass> {
+        let d = self.distance_to_centerline(p);
+        if d > self.half_width_m {
+            None
+        } else if d <= self.half_width_m * self.open_fraction {
+            Some(crate::SurfaceClass::OpenWater)
+        } else {
+            Some(crate::SurfaceClass::ThinIce)
+        }
+    }
+
+    /// Axis-aligned bounding box (padded by the half-width), as
+    /// `(min, max)` corners, for broad-phase culling.
+    pub fn bbox(&self) -> (MapPoint, MapPoint) {
+        let mut min = MapPoint::new(f64::INFINITY, f64::INFINITY);
+        let mut max = MapPoint::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in &self.path {
+            min.x = min.x.min(v.x);
+            min.y = min.y.min(v.y);
+            max.x = max.x.max(v.x);
+            max.y = max.y.max(v.y);
+        }
+        (
+            MapPoint::new(min.x - self.half_width_m, min.y - self.half_width_m),
+            MapPoint::new(max.x + self.half_width_m, max.y + self.half_width_m),
+        )
+    }
+}
+
+/// A polynya: an elliptical open-water / thin-ice region.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Polynya {
+    /// Centre in EPSG-3976 metres.
+    pub center: MapPoint,
+    /// Semi-axis along x, metres.
+    pub semi_x_m: f64,
+    /// Semi-axis along y, metres.
+    pub semi_y_m: f64,
+    /// Normalised radius (0..=1) inside which the water is open; between
+    /// it and 1 the surface has refrozen to thin ice.
+    pub open_core: f64,
+}
+
+impl Polynya {
+    /// Normalised elliptical radius of `p` (0 at centre, 1 on boundary).
+    pub fn normalized_radius(&self, p: MapPoint) -> f64 {
+        let dx = (p.x - self.center.x) / self.semi_x_m;
+        let dy = (p.y - self.center.y) / self.semi_y_m;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Classifies `p` against this polynya alone.
+    pub fn classify(&self, p: MapPoint) -> Option<crate::SurfaceClass> {
+        let r = self.normalized_radius(p);
+        if r > 1.0 {
+            None
+        } else if r <= self.open_core {
+            Some(crate::SurfaceClass::OpenWater)
+        } else {
+            Some(crate::SurfaceClass::ThinIce)
+        }
+    }
+}
+
+/// Sparse pressure-ridge field on thick ice: a stationary Poisson-like
+/// process realised through lattice noise. Ridges add up to
+/// `max_ridge_height_m` of sail height over a `ridge_width_m` footprint.
+#[derive(Debug, Clone, Copy)]
+pub struct RidgeField {
+    noise: ValueNoise,
+    /// Approximate spacing between ridge crests, metres.
+    pub spacing_m: f64,
+    /// Ridge sail half-width, metres.
+    pub ridge_width_m: f64,
+    /// Maximum sail height above the level-ice freeboard, metres.
+    pub max_ridge_height_m: f64,
+}
+
+impl RidgeField {
+    /// Creates a ridge field with the given geometry.
+    pub fn new(seed: u64, spacing_m: f64, ridge_width_m: f64, max_ridge_height_m: f64) -> Self {
+        Self {
+            noise: ValueNoise::new(seed),
+            spacing_m,
+            ridge_width_m,
+            max_ridge_height_m,
+        }
+    }
+
+    /// Additional sail height at `p`, metres (0 on level ice).
+    pub fn sail_height(&self, p: MapPoint) -> f64 {
+        // Ridge crests live near the zero-set of a long-wavelength noise
+        // field; the sail profile is a smooth bump around that set.
+        let v = self.noise.sample(p.x / self.spacing_m, p.y / self.spacing_m);
+        // |v| small => near a crest line.
+        let crest_halfwidth = self.ridge_width_m / self.spacing_m;
+        let t = (crest_halfwidth - v.abs()).max(0.0) / crest_halfwidth;
+        // Second noise octave modulates sail height along the crest.
+        let mod_h = 0.5
+            + 0.5
+                * self
+                    .noise
+                    .sample(p.x / self.spacing_m + 113.7, p.y / self.spacing_m - 57.3);
+        self.max_ridge_height_m * t * t * mod_h
+    }
+}
+
+/// Distance from point `p` to segment `ab`, metres.
+pub fn point_segment_distance(p: MapPoint, a: MapPoint, b: MapPoint) -> f64 {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len2 = abx * abx + aby * aby;
+    if len2 == 0.0 {
+        return p.dist(a);
+    }
+    let t = (((p.x - a.x) * abx + (p.y - a.y) * aby) / len2).clamp(0.0, 1.0);
+    p.dist(MapPoint::new(a.x + t * abx, a.y + t * aby))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SurfaceClass;
+
+    fn straight_lead() -> Lead {
+        Lead {
+            path: vec![MapPoint::new(0.0, 0.0), MapPoint::new(1000.0, 0.0)],
+            half_width_m: 100.0,
+            open_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn point_segment_distance_cases() {
+        let a = MapPoint::new(0.0, 0.0);
+        let b = MapPoint::new(10.0, 0.0);
+        // Perpendicular foot inside the segment.
+        assert!((point_segment_distance(MapPoint::new(5.0, 3.0), a, b) - 3.0).abs() < 1e-12);
+        // Beyond either endpoint clamps to the endpoint.
+        assert!((point_segment_distance(MapPoint::new(-4.0, 3.0), a, b) - 5.0).abs() < 1e-12);
+        assert!((point_segment_distance(MapPoint::new(14.0, 3.0), a, b) - 5.0).abs() < 1e-12);
+        // Degenerate segment.
+        assert!((point_segment_distance(MapPoint::new(3.0, 4.0), a, a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lead_core_is_open_margin_is_thin() {
+        let lead = straight_lead();
+        assert_eq!(
+            lead.classify(MapPoint::new(500.0, 10.0)),
+            Some(SurfaceClass::OpenWater)
+        );
+        assert_eq!(
+            lead.classify(MapPoint::new(500.0, 80.0)),
+            Some(SurfaceClass::ThinIce)
+        );
+        assert_eq!(lead.classify(MapPoint::new(500.0, 150.0)), None);
+    }
+
+    #[test]
+    fn lead_bbox_pads_by_half_width() {
+        let (min, max) = straight_lead().bbox();
+        assert_eq!(min, MapPoint::new(-100.0, -100.0));
+        assert_eq!(max, MapPoint::new(1100.0, 100.0));
+    }
+
+    #[test]
+    fn fully_open_lead_has_no_thin_margin() {
+        let mut lead = straight_lead();
+        lead.open_fraction = 1.0;
+        assert_eq!(
+            lead.classify(MapPoint::new(500.0, 99.0)),
+            Some(SurfaceClass::OpenWater)
+        );
+    }
+
+    #[test]
+    fn polynya_rings() {
+        let p = Polynya {
+            center: MapPoint::new(0.0, 0.0),
+            semi_x_m: 10_000.0,
+            semi_y_m: 5_000.0,
+            open_core: 0.6,
+        };
+        assert_eq!(
+            p.classify(MapPoint::new(0.0, 0.0)),
+            Some(SurfaceClass::OpenWater)
+        );
+        assert_eq!(
+            p.classify(MapPoint::new(8_000.0, 0.0)),
+            Some(SurfaceClass::ThinIce)
+        );
+        assert_eq!(p.classify(MapPoint::new(11_000.0, 0.0)), None);
+        // Anisotropy: 8 km along y is outside (semi_y = 5 km).
+        assert_eq!(p.classify(MapPoint::new(0.0, 8_000.0)), None);
+    }
+
+    #[test]
+    fn ridge_sail_height_nonnegative_and_bounded() {
+        let r = RidgeField::new(3, 500.0, 15.0, 2.0);
+        let mut any_positive = false;
+        for i in 0..5000 {
+            let p = MapPoint::new(i as f64 * 13.7, i as f64 * -7.3);
+            let h = r.sail_height(p);
+            assert!(h >= 0.0, "negative sail {h}");
+            assert!(h <= 2.0 + 1e-9, "sail too tall {h}");
+            if h > 0.05 {
+                any_positive = true;
+            }
+        }
+        assert!(any_positive, "ridge field produced no ridges in 5000 samples");
+    }
+
+    #[test]
+    fn ridges_are_sparse() {
+        let r = RidgeField::new(3, 500.0, 15.0, 2.0);
+        let ridged = (0..10_000)
+            .filter(|&i| {
+                let p = MapPoint::new(i as f64 * 11.1, i as f64 * 3.3);
+                r.sail_height(p) > 0.1
+            })
+            .count();
+        // Sail footprint ~2*15 m per ~500 m spacing => roughly < 25% of area.
+        assert!(ridged < 2_500, "ridges cover too much area: {ridged}/10000");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Distance to a segment is never larger than distance to
+            /// either endpoint.
+            #[test]
+            fn segment_distance_bounded_by_endpoints(
+                px in -1e4f64..1e4, py in -1e4f64..1e4,
+                ax in -1e4f64..1e4, ay in -1e4f64..1e4,
+                bx in -1e4f64..1e4, by in -1e4f64..1e4,
+            ) {
+                let p = MapPoint::new(px, py);
+                let a = MapPoint::new(ax, ay);
+                let b = MapPoint::new(bx, by);
+                let d = point_segment_distance(p, a, b);
+                prop_assert!(d <= p.dist(a) + 1e-9);
+                prop_assert!(d <= p.dist(b) + 1e-9);
+            }
+
+            /// Lead classification partitions by distance thresholds.
+            #[test]
+            fn lead_classification_consistent(y in -200.0f64..200.0) {
+                let lead = Lead {
+                    path: vec![MapPoint::new(-1e3, 0.0), MapPoint::new(1e3, 0.0)],
+                    half_width_m: 100.0,
+                    open_fraction: 0.4,
+                };
+                let c = lead.classify(MapPoint::new(0.0, y));
+                let d = y.abs();
+                if d <= 40.0 {
+                    prop_assert_eq!(c, Some(SurfaceClass::OpenWater));
+                } else if d <= 100.0 {
+                    prop_assert_eq!(c, Some(SurfaceClass::ThinIce));
+                } else {
+                    prop_assert_eq!(c, None);
+                }
+            }
+        }
+    }
+}

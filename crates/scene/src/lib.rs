@@ -1,0 +1,34 @@
+//! Ground-truth sea-ice scene model.
+//!
+//! The paper labels ICESat-2 photons with coincident Sentinel-2 imagery;
+//! we have neither, so we render *both* from a single synthetic truth
+//! scene. The scene is a deterministic, seedable function over the
+//! EPSG-3976 plane that answers, for any map point:
+//!
+//! - which [`SurfaceClass`] covers it (thick ice / thin ice / open water),
+//! - the surface elevation above the WGS 84 ellipsoid (local sea surface
+//!   height plus the class-dependent freeboard, snow, and ridging),
+//! - the apparent surface reflectance that drives both the S2 band
+//!   radiances and the ATL03 signal-photon rate.
+//!
+//! A scene is composed of a slowly-varying sea-surface height field
+//! ([`noise`]), a lead network and polynyas ([`features`]), ridges on thick
+//! ice, and a rigid [`drift`] model that displaces the ice field between
+//! the IS2 and S2 acquisition times — the source of the misalignment the
+//! paper corrects in its Table I.
+//!
+//! Everything is pure and deterministic: two queries with the same seed and
+//! coordinates always agree, which is what lets the test-suite score the
+//! pipeline against exact truth.
+
+pub mod class;
+pub mod drift;
+pub mod features;
+pub mod noise;
+pub mod scene;
+
+pub use class::SurfaceClass;
+pub use drift::DriftModel;
+pub use features::{Lead, Polynya, RidgeField};
+pub use noise::{Fbm, ValueNoise};
+pub use scene::{Scene, SceneConfig, SurfaceSample};

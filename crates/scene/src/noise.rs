@@ -1,0 +1,226 @@
+//! Deterministic lattice value-noise and fractional Brownian motion.
+//!
+//! Used for the slowly-varying sea-surface height field (geoid residual,
+//! tides, inverted-barometer — the "local sea level" the paper retrieves),
+//! the freeboard texture on thick ice, and snow-depth variation. The
+//! implementation is a classic seeded value-noise: pseudo-random values on
+//! an integer lattice blended with a smoothstep, plus an octave-summing
+//! [`Fbm`] wrapper.
+//!
+//! A hand-rolled hash keeps the field a *pure function* of (seed, x, y) —
+//! no interior state, trivially `Send + Sync`, and reproducible across
+//! platforms.
+
+/// Seeded 2-D value noise over a unit lattice. Output is in `[-1, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueNoise {
+    seed: u64,
+}
+
+impl ValueNoise {
+    /// Creates a noise field for `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Hash of an integer lattice point to `[-1, 1]`.
+    #[inline]
+    fn lattice(&self, ix: i64, iy: i64) -> f64 {
+        // SplitMix64-style avalanche over the packed coordinates.
+        let mut z = self
+            .seed
+            .wrapping_add((ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((iy as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Map the top 53 bits to [0, 1), then to [-1, 1].
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+
+    /// Samples the noise at continuous coordinates (in lattice units).
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let (ix, iy) = (x0 as i64, y0 as i64);
+        let (fx, fy) = (x - x0, y - y0);
+        // Quintic smoothstep (Perlin's fade) for C2 continuity.
+        let u = fade(fx);
+        let v = fade(fy);
+        let n00 = self.lattice(ix, iy);
+        let n10 = self.lattice(ix + 1, iy);
+        let n01 = self.lattice(ix, iy + 1);
+        let n11 = self.lattice(ix + 1, iy + 1);
+        lerp(lerp(n00, n10, u), lerp(n01, n11, u), v)
+    }
+}
+
+#[inline]
+fn fade(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+#[inline]
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Fractional Brownian motion: `octaves` layers of [`ValueNoise`] with
+/// geometrically increasing frequency (`lacunarity`) and decreasing
+/// amplitude (`gain`). Output is renormalised to roughly `[-1, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Fbm {
+    base: ValueNoise,
+    /// Number of octaves summed.
+    pub octaves: u32,
+    /// Frequency multiplier between octaves (typically 2).
+    pub lacunarity: f64,
+    /// Amplitude multiplier between octaves (typically 0.5).
+    pub gain: f64,
+    /// Base spatial frequency, lattice cells per metre.
+    pub frequency: f64,
+}
+
+impl Fbm {
+    /// An fBm field with `octaves` layers at base `frequency` (cells per
+    /// metre when you pass metres to [`Fbm::sample`]).
+    pub fn new(seed: u64, octaves: u32, frequency: f64) -> Self {
+        Self {
+            base: ValueNoise::new(seed),
+            octaves,
+            lacunarity: 2.0,
+            gain: 0.5,
+            frequency,
+        }
+    }
+
+    /// Samples the field at metric coordinates `(x, y)`; output ~[-1, 1].
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let mut sum = 0.0;
+        let mut amp = 1.0;
+        let mut norm = 0.0;
+        let mut fx = x * self.frequency;
+        let mut fy = y * self.frequency;
+        // Offset each octave's lattice so octaves decorrelate.
+        for octave in 0..self.octaves {
+            let off = octave as f64 * 17.137;
+            sum += amp * self.base.sample(fx + off, fy - off);
+            norm += amp;
+            amp *= self.gain;
+            fx *= self.lacunarity;
+            fy *= self.lacunarity;
+        }
+        if norm > 0.0 {
+            sum / norm
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        let a = ValueNoise::new(42);
+        let b = ValueNoise::new(42);
+        for i in 0..100 {
+            let (x, y) = (i as f64 * 0.37, i as f64 * -0.73);
+            assert_eq!(a.sample(x, y), b.sample(x, y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ValueNoise::new(1);
+        let b = ValueNoise::new(2);
+        let differing = (0..100)
+            .filter(|&i| {
+                let (x, y) = (i as f64 * 0.61, i as f64 * 0.13);
+                (a.sample(x, y) - b.sample(x, y)).abs() > 1e-12
+            })
+            .count();
+        assert!(differing > 90);
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        let n = ValueNoise::new(7);
+        for i in 0..1000 {
+            let v = n.sample(i as f64 * 0.317, i as f64 * -0.117);
+            assert!((-1.0..=1.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn noise_interpolates_lattice_values() {
+        // At integer lattice points, sample() returns the lattice hash.
+        let n = ValueNoise::new(9);
+        for ix in -3..3i64 {
+            for iy in -3..3i64 {
+                let direct = n.lattice(ix, iy);
+                let sampled = n.sample(ix as f64, iy as f64);
+                assert!((direct - sampled).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        let n = ValueNoise::new(3);
+        let eps = 1e-5;
+        for i in 0..200 {
+            let x = i as f64 * 0.789;
+            let y = i as f64 * 0.331;
+            let d = (n.sample(x + eps, y) - n.sample(x, y)).abs();
+            assert!(d < 1e-3, "jump {d} at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn fbm_bounded_and_deterministic() {
+        let f = Fbm::new(11, 5, 1.0 / 5_000.0);
+        for i in 0..500 {
+            let (x, y) = (i as f64 * 311.7, i as f64 * -173.3);
+            let v = f.sample(x, y);
+            assert!((-1.0..=1.0).contains(&v));
+            assert_eq!(v, f.sample(x, y));
+        }
+    }
+
+    #[test]
+    fn fbm_zero_octaves_is_zero() {
+        let f = Fbm::new(11, 0, 1.0);
+        assert_eq!(f.sample(3.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn fbm_long_wavelength_varies_slowly() {
+        // A 50 km wavelength field should change by ≪ its range over 2 m.
+        let f = Fbm::new(5, 4, 1.0 / 50_000.0);
+        let a = f.sample(0.0, 0.0);
+        let b = f.sample(2.0, 0.0);
+        assert!((a - b).abs() < 1e-2);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn bounded_everywhere(seed in 0u64..1000, x in -1e7f64..1e7, y in -1e7f64..1e7) {
+                let v = ValueNoise::new(seed).sample(x / 100.0, y / 100.0);
+                prop_assert!((-1.0..=1.0).contains(&v));
+            }
+
+            #[test]
+            fn fbm_bounded_everywhere(seed in 0u64..1000, x in -1e6f64..1e6, y in -1e6f64..1e6) {
+                let v = Fbm::new(seed, 6, 1.0/10_000.0).sample(x, y);
+                prop_assert!((-1.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! The composed ground-truth scene.
+//!
+//! A [`Scene`] is a deterministic function over the EPSG-3976 plane and
+//! acquisition time. It layers, in priority order:
+//!
+//! 1. polynyas (open-water core, thin-ice rim),
+//! 2. the lead network (open-water core, thin-ice margins),
+//! 3. the thick-ice background (freeboard texture + snow + ridges).
+//!
+//! Surface elevation is `ssh + freeboard`, where the sea-surface height
+//! (SSH) field is a long-wavelength fBm standing in for geoid residual,
+//! tide, and inverted-barometer effects — exactly the "local sea level"
+//! signal the paper's freeboard stage must recover from open-water
+//! segments. Ice features ride on the [`DriftModel`]; the SSH field does
+//! not (it is fixed to the Earth, not the ice).
+
+use icesat_geo::MapPoint;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::class::SurfaceClass;
+use crate::drift::DriftModel;
+use crate::features::{Lead, Polynya, RidgeField};
+use crate::noise::Fbm;
+
+/// Everything needed to build a reproducible [`Scene`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SceneConfig {
+    /// Master RNG seed; all randomness derives from it.
+    pub seed: u64,
+    /// Scene centre in EPSG-3976 metres.
+    pub center: MapPoint,
+    /// Half-extent of the square scene, metres (features are placed within
+    /// `center ± half_extent`).
+    pub half_extent_m: f64,
+    /// Number of leads to place.
+    pub n_leads: usize,
+    /// Lead half-width range, metres.
+    pub lead_half_width_m: (f64, f64),
+    /// Range of the open-water core fraction of each lead.
+    pub lead_open_fraction: (f64, f64),
+    /// Number of polynyas.
+    pub n_polynyas: usize,
+    /// Polynya semi-axis range, metres.
+    pub polynya_semi_m: (f64, f64),
+    /// Open-core fraction of each polynya.
+    pub polynya_open_core: (f64, f64),
+    /// Peak-to-peak amplitude of the sea-surface height field, metres.
+    pub ssh_amplitude_m: f64,
+    /// Dominant SSH wavelength, metres.
+    pub ssh_wavelength_m: f64,
+    /// Mean thick-ice freeboard (ice + snow above water), metres.
+    pub thick_freeboard_m: f64,
+    /// Amplitude of the thick-ice freeboard texture, metres.
+    pub thick_freeboard_texture_m: f64,
+    /// Mean thin-ice freeboard, metres.
+    pub thin_freeboard_m: f64,
+    /// RMS open-water surface roughness (waves), metres.
+    pub water_roughness_m: f64,
+    /// Ridge spacing / sail half-width / max sail height, metres.
+    pub ridges: (f64, f64, f64),
+    /// Rigid ice drift.
+    pub drift: DriftModel,
+}
+
+impl SceneConfig {
+    /// A Ross-Sea-like default: ~40 km scene, thick-ice dominated with a
+    /// moderate lead network and one polynya, 0.3 m mean freeboard,
+    /// ±0.15 m SSH over ~45 km.
+    pub fn ross_sea(seed: u64) -> Self {
+        SceneConfig {
+            seed,
+            center: MapPoint::new(-300_000.0, -1_300_000.0),
+            half_extent_m: 20_000.0,
+            n_leads: 24,
+            lead_half_width_m: (15.0, 220.0),
+            lead_open_fraction: (0.25, 0.8),
+            n_polynyas: 1,
+            polynya_semi_m: (2_500.0, 7_000.0),
+            polynya_open_core: (0.45, 0.7),
+            ssh_amplitude_m: 0.30,
+            ssh_wavelength_m: 45_000.0,
+            thick_freeboard_m: 0.32,
+            thick_freeboard_texture_m: 0.10,
+            thin_freeboard_m: 0.06,
+            water_roughness_m: 0.02,
+            ridges: (600.0, 18.0, 1.6),
+            drift: DriftModel::STILL,
+        }
+    }
+
+    /// Same as [`SceneConfig::ross_sea`] but with the given drift.
+    pub fn ross_sea_with_drift(seed: u64, drift: DriftModel) -> Self {
+        SceneConfig {
+            drift,
+            ..SceneConfig::ross_sea(seed)
+        }
+    }
+}
+
+/// One truth query result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurfaceSample {
+    /// True surface class.
+    pub class: SurfaceClass,
+    /// Surface elevation above the WGS 84 ellipsoid, metres
+    /// (`ssh + freeboard` for ice; `ssh + waves` for open water).
+    pub elevation_m: f64,
+    /// Sea-surface height component alone, metres.
+    pub ssh_m: f64,
+    /// Freeboard (elevation − ssh) — zero-mean wave noise for open water.
+    pub freeboard_m: f64,
+    /// Broadband surface reflectance in `[0, 1]`; drives the ATL03 signal
+    /// photon rate and the S2 band radiances.
+    pub reflectance: f64,
+}
+
+/// A realised ground-truth scene. Cheap to query, `Send + Sync`, and
+/// deterministic for a given [`SceneConfig`].
+#[derive(Debug, Clone)]
+pub struct Scene {
+    config: SceneConfig,
+    leads: Vec<Lead>,
+    lead_bboxes: Vec<(MapPoint, MapPoint)>,
+    polynyas: Vec<Polynya>,
+    ridge: RidgeField,
+    ssh: Fbm,
+    freeboard_texture: Fbm,
+    water_waves: Fbm,
+    reflectance_texture: Fbm,
+}
+
+impl Scene {
+    /// Generates a scene from the configuration (deterministic in
+    /// `config.seed`).
+    pub fn generate(config: SceneConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let c = config.center;
+        let e = config.half_extent_m;
+
+        let mut leads = Vec::with_capacity(config.n_leads);
+        for _ in 0..config.n_leads {
+            leads.push(random_lead(&mut rng, c, e, &config));
+        }
+        let lead_bboxes = leads.iter().map(Lead::bbox).collect();
+
+        let mut polynyas = Vec::with_capacity(config.n_polynyas);
+        for _ in 0..config.n_polynyas {
+            // Polynyas hug the "coast": the southern (−y) edge of the scene,
+            // mirroring the katabatic-wind geometry of the Ross Sea.
+            let cx = c.x + rng.random_range(-e..e);
+            let cy = c.y - e * rng.random_range(0.55..0.95);
+            let (smin, smax) = config.polynya_semi_m;
+            let (omin, omax) = config.polynya_open_core;
+            polynyas.push(Polynya {
+                center: MapPoint::new(cx, cy),
+                semi_x_m: rng.random_range(smin..smax),
+                semi_y_m: rng.random_range(smin..smax) * 0.6,
+                open_core: rng.random_range(omin..omax),
+            });
+        }
+
+        let (spacing, width, height) = config.ridges;
+        Scene {
+            ridge: RidgeField::new(config.seed ^ 0xA5A5_0001, spacing, width, height),
+            ssh: Fbm::new(config.seed ^ 0xA5A5_0002, 4, 1.0 / config.ssh_wavelength_m),
+            freeboard_texture: Fbm::new(config.seed ^ 0xA5A5_0003, 5, 1.0 / 400.0),
+            water_waves: Fbm::new(config.seed ^ 0xA5A5_0004, 3, 1.0 / 8.0),
+            reflectance_texture: Fbm::new(config.seed ^ 0xA5A5_0005, 4, 1.0 / 900.0),
+            config,
+            leads,
+            lead_bboxes,
+            polynyas,
+        }
+    }
+
+    /// The configuration the scene was generated from.
+    pub fn config(&self) -> &SceneConfig {
+        &self.config
+    }
+
+    /// The lead network (ice-fixed frame).
+    pub fn leads(&self) -> &[Lead] {
+        &self.leads
+    }
+
+    /// The polynyas (ice-fixed frame).
+    pub fn polynyas(&self) -> &[Polynya] {
+        &self.polynyas
+    }
+
+    /// Sea-surface height at an Earth-fixed point, metres. Independent of
+    /// acquisition time (tides vary much slower than the ≤80 min baselines
+    /// we model).
+    pub fn ssh_at(&self, p: MapPoint) -> f64 {
+        self.config.ssh_amplitude_m * 0.5 * self.ssh.sample(p.x, p.y)
+    }
+
+    /// True surface class observed at Earth-fixed point `p` at
+    /// `t_minutes` after the reference epoch. Ice features are displaced
+    /// by the drift model.
+    pub fn class_at(&self, p: MapPoint, t_minutes: f64) -> SurfaceClass {
+        let q = self.config.drift.to_ice_frame(p, t_minutes);
+        // Priority: polynya rings, then leads, then background thick ice.
+        for poly in &self.polynyas {
+            if let Some(c) = poly.classify(q) {
+                return c;
+            }
+        }
+        for (lead, bbox) in self.leads.iter().zip(&self.lead_bboxes) {
+            if q.x < bbox.0.x || q.x > bbox.1.x || q.y < bbox.0.y || q.y > bbox.1.y {
+                continue;
+            }
+            if let Some(c) = lead.classify(q) {
+                return c;
+            }
+        }
+        SurfaceClass::ThickIce
+    }
+
+    /// Full truth sample at Earth-fixed point `p`, time `t_minutes`.
+    pub fn sample(&self, p: MapPoint, t_minutes: f64) -> SurfaceSample {
+        let class = self.class_at(p, t_minutes);
+        let q = self.config.drift.to_ice_frame(p, t_minutes);
+        let ssh = self.ssh_at(p);
+        let (freeboard, reflectance) = match class {
+            SurfaceClass::ThickIce => {
+                let texture = self.config.thick_freeboard_texture_m
+                    * self.freeboard_texture.sample(q.x, q.y);
+                let fb = (self.config.thick_freeboard_m + texture + self.ridge.sail_height(q))
+                    .max(0.02);
+                let refl =
+                    (0.84 + 0.10 * self.reflectance_texture.sample(q.x, q.y)).clamp(0.0, 1.0);
+                (fb, refl)
+            }
+            SurfaceClass::ThinIce => {
+                let texture = 0.03 * self.freeboard_texture.sample(q.x + 31.0, q.y - 17.0);
+                let fb = (self.config.thin_freeboard_m + texture).max(0.005);
+                let refl = (0.32 + 0.08 * self.reflectance_texture.sample(q.x + 31.0, q.y - 17.0))
+                    .clamp(0.0, 1.0);
+                (fb, refl)
+            }
+            SurfaceClass::OpenWater => {
+                let waves = self.config.water_roughness_m * self.water_waves.sample(p.x, p.y);
+                let refl = (0.06 + 0.03 * self.reflectance_texture.sample(p.x - 57.0, p.y + 91.0))
+                    .clamp(0.0, 1.0);
+                (waves, refl)
+            }
+        };
+        SurfaceSample {
+            class,
+            elevation_m: ssh + freeboard,
+            ssh_m: ssh,
+            freeboard_m: freeboard,
+            reflectance,
+        }
+    }
+
+    /// Fraction of `n × n` grid points of each class at time `t_minutes`
+    /// (thick, thin, open). Used by tests and workload generators to check
+    /// class balance.
+    pub fn class_fractions(&self, n: usize, t_minutes: f64) -> [f64; 3] {
+        let mut counts = [0usize; 3];
+        let c = self.config.center;
+        let e = self.config.half_extent_m;
+        for i in 0..n {
+            for j in 0..n {
+                let p = MapPoint::new(
+                    c.x - e + 2.0 * e * (i as f64 + 0.5) / n as f64,
+                    c.y - e + 2.0 * e * (j as f64 + 0.5) / n as f64,
+                );
+                counts[self.class_at(p, t_minutes).index()] += 1;
+            }
+        }
+        let total = (n * n) as f64;
+        [
+            counts[0] as f64 / total,
+            counts[1] as f64 / total,
+            counts[2] as f64 / total,
+        ]
+    }
+}
+
+fn random_lead(rng: &mut ChaCha8Rng, center: MapPoint, extent: f64, cfg: &SceneConfig) -> Lead {
+    // A lead is a jittered random-walk polyline: 3–7 segments, total length
+    // 4–30 km, heading persistence with small turns (fractures are roughly
+    // straight at these scales).
+    let n_seg = rng.random_range(3..=7);
+    let total_len = rng.random_range(4_000.0..30_000.0);
+    let seg_len = total_len / n_seg as f64;
+    let mut heading: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+    let mut p = MapPoint::new(
+        center.x + rng.random_range(-extent..extent),
+        center.y + rng.random_range(-extent..extent),
+    );
+    let mut path = vec![p];
+    for _ in 0..n_seg {
+        heading += rng.random_range(-0.35..0.35);
+        p = MapPoint::new(p.x + seg_len * heading.cos(), p.y + seg_len * heading.sin());
+        path.push(p);
+    }
+    let (wmin, wmax) = cfg.lead_half_width_m;
+    let (omin, omax) = cfg.lead_open_fraction;
+    Lead {
+        path,
+        half_width_m: rng.random_range(wmin..wmax),
+        open_fraction: rng.random_range(omin..omax),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene() -> Scene {
+        Scene::generate(SceneConfig::ross_sea(1234))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = scene();
+        let b = scene();
+        let c = a.config().center;
+        for i in 0..200 {
+            let p = MapPoint::new(c.x + i as f64 * 97.0 - 10_000.0, c.y + i as f64 * 53.0 - 6_000.0);
+            assert_eq!(a.class_at(p, 0.0), b.class_at(p, 0.0));
+            assert_eq!(a.sample(p, 0.0), b.sample(p, 0.0));
+        }
+    }
+
+    #[test]
+    fn thick_ice_dominates_ross_sea() {
+        let f = scene().class_fractions(60, 0.0);
+        assert!(f[0] > 0.5, "thick fraction {f:?}");
+        assert!(f[1] > 0.01, "thin fraction {f:?}");
+        assert!(f[2] > 0.005, "open fraction {f:?}");
+        assert!((f[0] + f[1] + f[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ice_freeboard_positive_water_near_zero() {
+        let s = scene();
+        let c = s.config().center;
+        let mut checked = [false; 3];
+        for i in 0..20_000 {
+            let p = MapPoint::new(
+                c.x + (i % 200) as f64 * 180.0 - 18_000.0,
+                c.y + (i / 200) as f64 * 360.0 - 18_000.0,
+            );
+            let smp = s.sample(p, 0.0);
+            match smp.class {
+                SurfaceClass::ThickIce => {
+                    assert!(smp.freeboard_m >= 0.02);
+                    checked[0] = true;
+                }
+                SurfaceClass::ThinIce => {
+                    assert!(smp.freeboard_m >= 0.005 && smp.freeboard_m < 0.2);
+                    checked[1] = true;
+                }
+                SurfaceClass::OpenWater => {
+                    assert!(smp.freeboard_m.abs() < 0.1);
+                    checked[2] = true;
+                }
+            }
+            assert!((smp.elevation_m - smp.ssh_m - smp.freeboard_m).abs() < 1e-12);
+        }
+        assert!(checked.iter().all(|&b| b), "not all classes sampled: {checked:?}");
+    }
+
+    #[test]
+    fn reflectance_orders_classes() {
+        // Mean reflectance must order thick > thin > water — the contrast
+        // both the S2 segmentation and the ATL03 photon rates rely on.
+        let s = scene();
+        let c = s.config().center;
+        let mut sums = [0.0f64; 3];
+        let mut counts = [0usize; 3];
+        for i in 0..40_000 {
+            let p = MapPoint::new(
+                c.x + (i % 200) as f64 * 190.0 - 19_000.0,
+                c.y + (i / 200) as f64 * 190.0 - 19_000.0,
+            );
+            let smp = s.sample(p, 0.0);
+            sums[smp.class.index()] += smp.reflectance;
+            counts[smp.class.index()] += 1;
+        }
+        let mean = |i: usize| sums[i] / counts[i].max(1) as f64;
+        assert!(mean(0) > mean(1) + 0.2, "thick {} thin {}", mean(0), mean(1));
+        assert!(mean(1) > mean(2) + 0.1, "thin {} water {}", mean(1), mean(2));
+    }
+
+    #[test]
+    fn ssh_is_within_amplitude_and_smooth() {
+        let s = scene();
+        let c = s.config().center;
+        let amp = s.config().ssh_amplitude_m;
+        let mut prev = None;
+        for i in 0..2_000 {
+            let p = MapPoint::new(c.x + i as f64 * 2.0, c.y);
+            let h = s.ssh_at(p);
+            assert!(h.abs() <= amp / 2.0 + 1e-9);
+            if let Some(ph) = prev {
+                let dh: f64 = h - ph;
+                assert!(dh.abs() < 0.01, "SSH jumped {dh} m over 2 m");
+            }
+            prev = Some(h);
+        }
+    }
+
+    #[test]
+    fn drift_shifts_classes_rigidly() {
+        let drift = DriftModel::from_displacement(400.0, -250.0, 40.0);
+        let s = Scene::generate(SceneConfig::ross_sea_with_drift(77, drift));
+        let c = s.config().center;
+        let (dx, dy) = drift.displacement(40.0);
+        for i in 0..2_000 {
+            let p = MapPoint::new(c.x + (i % 50) as f64 * 400.0 - 10_000.0, c.y + (i / 50) as f64 * 400.0 - 8_000.0);
+            // A point observed at t=40 min maps to the ice frame point seen
+            // at t=0 displaced by −d. So class(p + d, 40) == class(p, 0).
+            assert_eq!(
+                s.class_at(MapPoint::new(p.x + dx, p.y + dy), 40.0),
+                s.class_at(p, 0.0)
+            );
+        }
+    }
+
+    #[test]
+    fn ssh_does_not_drift() {
+        let drift = DriftModel::from_displacement(500.0, 0.0, 10.0);
+        let s = Scene::generate(SceneConfig::ross_sea_with_drift(5, drift));
+        let p = MapPoint::new(s.config().center.x, s.config().center.y);
+        assert_eq!(s.ssh_at(p), s.ssh_at(p));
+        // ssh_at has no time argument by design; sample() at different
+        // times keeps the same ssh at a fixed Earth point.
+        let a = s.sample(p, 0.0).ssh_m;
+        let b = s.sample(p, 60.0).ssh_m;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_scenes() {
+        let a = Scene::generate(SceneConfig::ross_sea(1));
+        let b = Scene::generate(SceneConfig::ross_sea(2));
+        let c = a.config().center;
+        let differing = (0..500)
+            .filter(|&i| {
+                let p = MapPoint::new(c.x + i as f64 * 73.0, c.y + i as f64 * 41.0);
+                a.class_at(p, 0.0) != b.class_at(p, 0.0)
+                    || (a.sample(p, 0.0).elevation_m - b.sample(p, 0.0).elevation_m).abs() > 1e-9
+            })
+            .count();
+        assert!(differing > 250, "only {differing}/500 points differ");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// elevation − ssh == freeboard for every sample.
+            #[test]
+            fn elevation_decomposition(seed in 0u64..50, dx in -15_000.0f64..15_000.0, dy in -15_000.0f64..15_000.0) {
+                let s = Scene::generate(SceneConfig::ross_sea(seed));
+                let c = s.config().center;
+                let smp = s.sample(MapPoint::new(c.x + dx, c.y + dy), 0.0);
+                prop_assert!((smp.elevation_m - smp.ssh_m - smp.freeboard_m).abs() < 1e-12);
+                prop_assert!(smp.reflectance >= 0.0 && smp.reflectance <= 1.0);
+            }
+
+            /// class_at agrees with sample().class.
+            #[test]
+            fn class_consistency(seed in 0u64..50, dx in -15_000.0f64..15_000.0, dy in -15_000.0f64..15_000.0, t in 0.0f64..80.0) {
+                let s = Scene::generate(SceneConfig::ross_sea_with_drift(
+                    seed, DriftModel { vx_mps: 0.2, vy_mps: -0.1 }));
+                let c = s.config().center;
+                let p = MapPoint::new(c.x + dx, c.y + dy);
+                prop_assert_eq!(s.class_at(p, t), s.sample(p, t).class);
+            }
+        }
+    }
+}

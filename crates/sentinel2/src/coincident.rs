@@ -1,0 +1,160 @@
+//! IS2 × S2 coincident pairs (paper Table I).
+//!
+//! The paper searches for S2 scenes within 80 minutes of an IS2 pass; the
+//! ice drifts in between, so the segmented S2 labels are displaced
+//! relative to the IS2 track and must be shifted back. A
+//! [`CoincidentPair`] bundles the rendered+segmented S2 scene with its
+//! acquisition offset and the *true* displacement (for scoring the drift
+//! estimator, which lives in the `seaice` crate).
+
+use icesat_scene::Scene;
+use serde::{Deserialize, Serialize};
+
+use crate::raster::LabelRaster;
+use crate::render::{render_scene, RenderConfig, S2Image};
+use crate::segmentation::{segment_image, SegmentationConfig, SegmentationReport};
+
+/// Configuration for building a coincident pair.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PairConfig {
+    /// Renderer settings (including `acquisition_offset_min`).
+    pub render: RenderConfig,
+    /// Segmentation settings.
+    pub segmentation: SegmentationConfig,
+}
+
+impl Default for PairConfig {
+    fn default() -> Self {
+        PairConfig {
+            render: RenderConfig::default(),
+            segmentation: SegmentationConfig::default(),
+        }
+    }
+}
+
+/// A coincident S2 acquisition for an IS2 pass over the same scene.
+#[derive(Debug, Clone)]
+pub struct CoincidentPair {
+    /// The rendered S2 scene (bands + truth).
+    pub image: S2Image,
+    /// Segmented labels (what the real pipeline would have — *not* truth).
+    pub labels: LabelRaster,
+    /// Segmentation statistics.
+    pub report: SegmentationReport,
+    /// Minutes between IS2 (epoch 0) and S2 acquisition.
+    pub time_difference_min: f64,
+    /// True ice displacement (S2 relative to IS2 frame), metres.
+    pub true_shift_m: (f64, f64),
+}
+
+impl CoincidentPair {
+    /// Renders and segments the S2 half of a pair over `scene`, acquired
+    /// `cfg.render.acquisition_offset_min` minutes from the IS2 pass.
+    pub fn build(scene: &Scene, cfg: &PairConfig) -> CoincidentPair {
+        let image = render_scene(scene, &cfg.render);
+        let (labels, report) = segment_image(&image, &cfg.segmentation);
+        let dt = cfg.render.acquisition_offset_min;
+        let true_shift_m = scene.config().drift.displacement(dt);
+        CoincidentPair {
+            image,
+            labels,
+            report,
+            time_difference_min: dt,
+            true_shift_m,
+        }
+    }
+
+    /// Labels shifted by `(dx, dy)` metres — the Table I correction. A
+    /// *correct* correction uses the negated true shift so the labels
+    /// re-align with the IS2 (epoch 0) ice positions.
+    pub fn shifted_labels(&self, dx: f64, dy: f64) -> LabelRaster {
+        self.labels.shifted(dx, dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::Label;
+    use icesat_geo::MapPoint;
+    use icesat_scene::{DriftModel, SceneConfig, SurfaceClass};
+
+    fn drifting_scene(seed: u64) -> Scene {
+        let mut sc = SceneConfig::ross_sea_with_drift(
+            seed,
+            DriftModel::from_displacement(380.0, -270.0, 35.0),
+        );
+        sc.half_extent_m = 3_000.0;
+        Scene::generate(sc)
+    }
+
+    fn pair_cfg(dt: f64) -> PairConfig {
+        PairConfig {
+            render: RenderConfig {
+                seed: 9,
+                pixel_size_m: 40.0,
+                acquisition_offset_min: dt,
+                ..RenderConfig::default()
+            },
+            segmentation: SegmentationConfig::default(),
+        }
+    }
+
+    #[test]
+    fn true_shift_matches_drift_model() {
+        let scene = drifting_scene(41);
+        let pair = CoincidentPair::build(&scene, &pair_cfg(35.0));
+        assert!((pair.true_shift_m.0 - 380.0).abs() < 1e-9);
+        assert!((pair.true_shift_m.1 - -270.0).abs() < 1e-9);
+        assert_eq!(pair.time_difference_min, 35.0);
+    }
+
+    #[test]
+    fn zero_offset_pair_has_zero_shift() {
+        let scene = drifting_scene(43);
+        let pair = CoincidentPair::build(&scene, &pair_cfg(0.0));
+        assert_eq!(pair.true_shift_m, (0.0, 0.0));
+    }
+
+    #[test]
+    fn shift_correction_realigns_labels_with_epoch_truth() {
+        // Sample the S2 labels at IS2-time truth points: uncorrected
+        // agreement should be worse than agreement after shifting the
+        // raster by the negated true displacement.
+        let scene = drifting_scene(45);
+        let pair = CoincidentPair::build(&scene, &pair_cfg(35.0));
+        let (dx, dy) = pair.true_shift_m;
+        let corrected = pair.shifted_labels(-dx, -dy);
+
+        let c = scene.config().center;
+        let mut raw_hits = 0usize;
+        let mut cor_hits = 0usize;
+        let mut n = 0usize;
+        for i in 0..4000 {
+            let p = MapPoint::new(
+                c.x + ((i % 64) as f64 - 32.0) * 80.0,
+                c.y + ((i / 64) as f64 - 32.0) * 80.0,
+            );
+            let truth: SurfaceClass = scene.class_at(p, 0.0);
+            let raw = pair.labels.sample(p).copied();
+            let cor = corrected.sample(p).copied();
+            if let (Some(Label::Class(r)), Some(Label::Class(k))) = (raw, cor) {
+                n += 1;
+                if r == truth {
+                    raw_hits += 1;
+                }
+                if k == truth {
+                    cor_hits += 1;
+                }
+            }
+        }
+        assert!(n > 2000);
+        let raw_acc = raw_hits as f64 / n as f64;
+        let cor_acc = cor_hits as f64 / n as f64;
+        assert!(
+            cor_acc > raw_acc,
+            "shift correction did not help: raw {raw_acc:.3} vs corrected {cor_acc:.3}"
+        );
+        assert!(cor_acc > 0.93, "corrected accuracy {cor_acc:.3}");
+    }
+}

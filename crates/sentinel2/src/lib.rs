@@ -1,0 +1,27 @@
+//! Sentinel-2 substrate: synthetic multi-spectral scenes and the
+//! color-based segmentation used for IS2 auto-labeling.
+//!
+//! The paper labels ATL03 photons by overlaying coincident Sentinel-2 L1C
+//! images segmented with a *thin-cloud and shadow-filtered color-based*
+//! method (their ref. [5]). We render statistically equivalent S2 scenes
+//! from the same truth [`icesat_scene::Scene`] the ATL03 generator uses:
+//!
+//! - [`raster`] — georeferenced rasters in the EPSG-3976 plane,
+//! - [`render`] — the scene renderer: per-class spectral signatures for
+//!   B02/B03/B04/B08, sensor noise, thin/thick cloud and shadow layers,
+//! - [`segmentation`] — the color-based classifier with a dark-channel
+//!   haze (thin cloud) correction, shadow-tolerant water test, and a
+//!   thick-cloud validity mask,
+//! - [`coincident`] — builds the IS2×S2 coincident pair: an S2 scene
+//!   acquired `dt` minutes from the IS2 pass, displaced by ice drift
+//!   (paper Table I).
+
+pub mod coincident;
+pub mod raster;
+pub mod render;
+pub mod segmentation;
+
+pub use coincident::{CoincidentPair, PairConfig};
+pub use raster::{Label, LabelRaster, Raster};
+pub use render::{render_scene, RenderConfig, S2Image};
+pub use segmentation::{segment_image, SegmentationConfig, SegmentationReport};

@@ -1,0 +1,302 @@
+//! Georeferenced rasters in the EPSG-3976 plane.
+//!
+//! A [`Raster`] is a row-major grid with a north-up geotransform: pixel
+//! `(0, 0)` is the north-west corner, `x` grows east, `y` grows south.
+//! That matches Sentinel-2 L1C tiling and keeps map↔pixel conversion a
+//! two-multiply affair.
+
+use icesat_geo::MapPoint;
+use serde::{Deserialize, Serialize};
+
+/// Row-major georeferenced grid of `T`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Raster<T> {
+    width: usize,
+    height: usize,
+    /// Map coordinates of the *outer corner* of pixel (0,0) — the NW
+    /// corner of the raster.
+    origin: MapPoint,
+    /// Pixel edge length, metres.
+    pixel_size_m: f64,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Raster<T> {
+    /// Creates a raster filled with `fill`.
+    pub fn filled(width: usize, height: usize, origin: MapPoint, pixel_size_m: f64, fill: T) -> Self {
+        assert!(width > 0 && height > 0, "raster must be non-empty");
+        assert!(pixel_size_m > 0.0, "pixel size must be positive");
+        Raster {
+            width,
+            height,
+            origin,
+            pixel_size_m,
+            data: vec![fill; width * height],
+        }
+    }
+
+    /// Creates a raster from row-major data (length must be `w*h`).
+    pub fn from_data(width: usize, height: usize, origin: MapPoint, pixel_size_m: f64, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), width * height, "data length mismatch");
+        assert!(pixel_size_m > 0.0, "pixel size must be positive");
+        Raster { width, height, origin, pixel_size_m, data }
+    }
+
+    /// Raster width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Raster height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// NW-corner origin in map coordinates.
+    pub fn origin(&self) -> MapPoint {
+        self.origin
+    }
+
+    /// Pixel edge length, metres.
+    pub fn pixel_size_m(&self) -> f64 {
+        self.pixel_size_m
+    }
+
+    /// Borrow the row-major data.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the row-major data.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Value at pixel `(col, row)`; panics out of bounds.
+    #[inline]
+    pub fn get(&self, col: usize, row: usize) -> &T {
+        assert!(col < self.width && row < self.height, "pixel out of bounds");
+        &self.data[row * self.width + col]
+    }
+
+    /// Sets pixel `(col, row)`.
+    #[inline]
+    pub fn set(&mut self, col: usize, row: usize, value: T) {
+        assert!(col < self.width && row < self.height, "pixel out of bounds");
+        self.data[row * self.width + col] = value;
+    }
+
+    /// Map coordinates of the *centre* of pixel `(col, row)`.
+    pub fn pixel_to_map(&self, col: usize, row: usize) -> MapPoint {
+        MapPoint::new(
+            self.origin.x + (col as f64 + 0.5) * self.pixel_size_m,
+            self.origin.y - (row as f64 + 0.5) * self.pixel_size_m,
+        )
+    }
+
+    /// Pixel containing map point `p`, or `None` if outside the raster.
+    pub fn map_to_pixel(&self, p: MapPoint) -> Option<(usize, usize)> {
+        let fx = (p.x - self.origin.x) / self.pixel_size_m;
+        let fy = (self.origin.y - p.y) / self.pixel_size_m;
+        if fx < 0.0 || fy < 0.0 {
+            return None;
+        }
+        let (col, row) = (fx as usize, fy as usize);
+        if col < self.width && row < self.height {
+            Some((col, row))
+        } else {
+            None
+        }
+    }
+
+    /// Value at the pixel containing `p`, or `None` outside.
+    pub fn sample(&self, p: MapPoint) -> Option<&T> {
+        self.map_to_pixel(p).map(|(c, r)| self.get(c, r))
+    }
+
+    /// Returns a raster with the same grid whose origin is shifted by
+    /// `(dx, dy)` metres — the "shift of S2 images" drift correction of
+    /// the paper's Table I (pure georeferencing change; pixels untouched).
+    pub fn shifted(&self, dx: f64, dy: f64) -> Raster<T> {
+        Raster {
+            origin: self.origin.shifted(dx, dy),
+            ..self.clone()
+        }
+    }
+}
+
+impl Raster<f32> {
+    /// Box-blur with half-width `radius_px`, separable two-pass, edge
+    /// clamped. Used by the haze estimator in segmentation.
+    pub fn box_blur(&self, radius_px: usize) -> Raster<f32> {
+        if radius_px == 0 {
+            return self.clone();
+        }
+        let mut tmp = vec![0f32; self.data.len()];
+        let w = self.width as isize;
+        let h = self.height as isize;
+        let r = radius_px as isize;
+        // Horizontal pass.
+        for row in 0..h {
+            for col in 0..w {
+                let lo = (col - r).max(0);
+                let hi = (col + r).min(w - 1);
+                let mut s = 0f32;
+                for c in lo..=hi {
+                    s += self.data[(row * w + c) as usize];
+                }
+                tmp[(row * w + col) as usize] = s / (hi - lo + 1) as f32;
+            }
+        }
+        // Vertical pass.
+        let mut out = vec![0f32; self.data.len()];
+        for row in 0..h {
+            for col in 0..w {
+                let lo = (row - r).max(0);
+                let hi = (row + r).min(h - 1);
+                let mut s = 0f32;
+                for rr in lo..=hi {
+                    s += tmp[(rr * w + col) as usize];
+                }
+                out[(row * w + col) as usize] = s / (hi - lo + 1) as f32;
+            }
+        }
+        Raster {
+            width: self.width,
+            height: self.height,
+            origin: self.origin,
+            pixel_size_m: self.pixel_size_m,
+            data: out,
+        }
+    }
+}
+
+/// Segmentation output label per pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Label {
+    /// Confidently classified surface.
+    Class(icesat_scene::SurfaceClass),
+    /// Obscured by thick cloud — unusable for auto-labeling.
+    Cloud,
+}
+
+impl Label {
+    /// The surface class, if usable.
+    pub fn class(self) -> Option<icesat_scene::SurfaceClass> {
+        match self {
+            Label::Class(c) => Some(c),
+            Label::Cloud => None,
+        }
+    }
+}
+
+/// A classified (label) raster.
+pub type LabelRaster = Raster<Label>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icesat_scene::SurfaceClass;
+
+    fn raster() -> Raster<f32> {
+        Raster::filled(4, 3, MapPoint::new(100.0, 200.0), 10.0, 0.0)
+    }
+
+    #[test]
+    fn geotransform_roundtrip() {
+        let r = raster();
+        for row in 0..3 {
+            for col in 0..4 {
+                let m = r.pixel_to_map(col, row);
+                assert_eq!(r.map_to_pixel(m), Some((col, row)));
+            }
+        }
+    }
+
+    #[test]
+    fn north_up_orientation() {
+        let r = raster();
+        let nw = r.pixel_to_map(0, 0);
+        let se = r.pixel_to_map(3, 2);
+        assert!(nw.x < se.x, "x grows east");
+        assert!(nw.y > se.y, "y shrinks southward");
+        assert_eq!(nw, MapPoint::new(105.0, 195.0));
+    }
+
+    #[test]
+    fn out_of_bounds_sampling() {
+        let r = raster();
+        assert_eq!(r.map_to_pixel(MapPoint::new(99.0, 195.0)), None);
+        assert_eq!(r.map_to_pixel(MapPoint::new(141.0, 195.0)), None);
+        assert_eq!(r.map_to_pixel(MapPoint::new(105.0, 201.0)), None);
+        assert_eq!(r.map_to_pixel(MapPoint::new(105.0, 169.0)), None);
+        assert!(r.sample(MapPoint::new(105.0, 195.0)).is_some());
+    }
+
+    #[test]
+    fn get_set() {
+        let mut r = raster();
+        r.set(2, 1, 7.5);
+        assert_eq!(*r.get(2, 1), 7.5);
+        assert_eq!(*r.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let _ = raster().get(4, 0);
+    }
+
+    #[test]
+    fn shifted_moves_georeferencing_only() {
+        let mut r = raster();
+        r.set(1, 1, 3.0);
+        let s = r.shifted(550.0 / std::f64::consts::SQRT_2, 550.0 / std::f64::consts::SQRT_2);
+        assert_eq!(s.data(), r.data());
+        assert!(s.origin().x > r.origin().x);
+        // The same pixel content now answers for shifted map points.
+        let m_old = r.pixel_to_map(1, 1);
+        let m_new = s.pixel_to_map(1, 1);
+        assert!((m_new.x - m_old.x - 550.0 / std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_blur_preserves_constant_fields() {
+        let r = Raster::filled(16, 16, MapPoint::new(0.0, 0.0), 10.0, 2.5f32);
+        let b = r.box_blur(3);
+        assert!(b.data().iter().all(|&v| (v - 2.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn box_blur_smooths_impulse() {
+        let mut r = Raster::filled(11, 11, MapPoint::new(0.0, 0.0), 10.0, 0.0f32);
+        r.set(5, 5, 1.0);
+        let b = r.box_blur(1);
+        // A radius-1 box blur spreads the impulse over a 3x3 of 1/9 each.
+        assert!((b.get(5, 5) - 1.0 / 9.0).abs() < 1e-6);
+        assert!((b.get(4, 4) - 1.0 / 9.0).abs() < 1e-6);
+        assert!(*b.get(8, 8) == 0.0);
+        // Mass is conserved away from edges.
+        let total: f32 = b.data().iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn box_blur_zero_radius_is_identity() {
+        let mut r = raster();
+        r.set(3, 2, 9.0);
+        assert_eq!(r.box_blur(0), r);
+    }
+
+    #[test]
+    fn label_class_accessor() {
+        assert_eq!(Label::Class(SurfaceClass::ThinIce).class(), Some(SurfaceClass::ThinIce));
+        assert_eq!(Label::Cloud.class(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn from_data_checks_length() {
+        let _ = Raster::from_data(2, 2, MapPoint::new(0.0, 0.0), 1.0, vec![0f32; 3]);
+    }
+}

@@ -1,0 +1,368 @@
+//! Synthetic Sentinel-2 scene renderer.
+//!
+//! Renders the four 10 m bands the segmentation uses — B02 (blue), B03
+//! (green), B04 (red), B08 (NIR) — as top-of-atmosphere reflectances:
+//!
+//! 1. sample the truth scene at each pixel centre *at the S2 acquisition
+//!    time* (so ice drift displaces the image relative to the IS2 track),
+//! 2. turn the scene's broadband reflectance into band values through
+//!    per-class spectral shapes (snow is bright and flat, thin ice grey
+//!    with a NIR drop, water dark and NIR-black),
+//! 3. add Gaussian sensor noise,
+//! 4. composite a thin/thick **cloud** layer (fBm optical-thickness field,
+//!    spectrally almost flat) and the matching displaced **cloud shadow**.
+//!
+//! The renderer also exports the pixel-exact truth labels + thick-cloud
+//! mask so segmentation accuracy can be scored.
+
+use icesat_geo::MapPoint;
+use icesat_scene::{Fbm, Scene, SurfaceClass};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::raster::{Label, LabelRaster, Raster};
+
+/// Band spectral shape per class: multipliers applied to the scene's
+/// broadband reflectance, order `[B02, B03, B04, B08]`.
+pub fn class_spectral_shape(class: SurfaceClass) -> [f64; 4] {
+    match class {
+        SurfaceClass::ThickIce => [1.00, 0.98, 0.96, 0.82],
+        SurfaceClass::ThinIce => [0.95, 1.00, 0.90, 0.50],
+        SurfaceClass::OpenWater => [1.00, 0.90, 0.70, 0.30],
+    }
+}
+
+/// Canonical (texture-free) band signature per class, used by the
+/// physics-based segmentation: shape × the class's mean broadband
+/// reflectance from the scene model.
+pub fn class_signature(class: SurfaceClass) -> [f64; 4] {
+    let base = match class {
+        SurfaceClass::ThickIce => 0.84,
+        SurfaceClass::ThinIce => 0.32,
+        SurfaceClass::OpenWater => 0.06,
+    };
+    let shape = class_spectral_shape(class);
+    [shape[0] * base, shape[1] * base, shape[2] * base, shape[3] * base]
+}
+
+/// Cloud single-scattering albedo per band (bright, slightly blue).
+pub const CLOUD_ALBEDO: [f64; 4] = [0.78, 0.77, 0.76, 0.72];
+
+/// Renderer configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RenderConfig {
+    /// RNG seed for sensor noise and the cloud field.
+    pub seed: u64,
+    /// Pixel size, metres (S2 visible/NIR bands: 10 m; tests often use
+    /// coarser grids for speed).
+    pub pixel_size_m: f64,
+    /// Gaussian sensor noise σ in reflectance units.
+    pub sensor_noise: f64,
+    /// Cloud coverage control in `[0, 1]`: 0 = clear sky.
+    pub cloud_cover: f64,
+    /// Dominant cloud wavelength, metres.
+    pub cloud_scale_m: f64,
+    /// Peak shadow darkening fraction in `[0, 1]`.
+    pub shadow_strength: f64,
+    /// Shadow displacement from its cloud, metres (sun geometry), x then y.
+    pub shadow_offset_m: (f64, f64),
+    /// Minutes from the scene epoch (IS2 pass) to this S2 acquisition;
+    /// drives drift displacement. Negative = S2 acquired earlier.
+    pub acquisition_offset_min: f64,
+    /// Optical thickness above which a pixel counts as thick cloud in the
+    /// exported truth mask.
+    pub thick_cloud_threshold: f64,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig {
+            seed: 0,
+            pixel_size_m: 10.0,
+            sensor_noise: 0.012,
+            cloud_cover: 0.0,
+            cloud_scale_m: 9_000.0,
+            shadow_strength: 0.35,
+            shadow_offset_m: (1_400.0, -900.0),
+            acquisition_offset_min: 0.0,
+            thick_cloud_threshold: 0.55,
+        }
+    }
+}
+
+/// A rendered four-band Sentinel-2 scene plus pixel-exact truth.
+#[derive(Debug, Clone)]
+pub struct S2Image {
+    /// Blue band reflectance.
+    pub b02: Raster<f32>,
+    /// Green band reflectance.
+    pub b03: Raster<f32>,
+    /// Red band reflectance.
+    pub b04: Raster<f32>,
+    /// Near-infrared band reflectance.
+    pub b08: Raster<f32>,
+    /// Truth labels with the thick-cloud mask applied — the scoring
+    /// reference, *not* an input to segmentation.
+    pub truth: LabelRaster,
+    /// Minutes from the scene epoch to this acquisition.
+    pub acquisition_offset_min: f64,
+}
+
+impl S2Image {
+    /// Observed band vector at pixel `(col, row)`.
+    pub fn bands(&self, col: usize, row: usize) -> [f64; 4] {
+        [
+            *self.b02.get(col, row) as f64,
+            *self.b03.get(col, row) as f64,
+            *self.b04.get(col, row) as f64,
+            *self.b08.get(col, row) as f64,
+        ]
+    }
+
+    /// Raster width, pixels.
+    pub fn width(&self) -> usize {
+        self.b02.width()
+    }
+
+    /// Raster height, pixels.
+    pub fn height(&self) -> usize {
+        self.b02.height()
+    }
+}
+
+/// Renders the square region `scene.config().center ± half_extent` at the
+/// configured pixel size and acquisition time.
+pub fn render_scene(scene: &Scene, cfg: &RenderConfig) -> S2Image {
+    let c = scene.config().center;
+    let e = scene.config().half_extent_m;
+    let n = ((2.0 * e) / cfg.pixel_size_m).round() as usize;
+    assert!(n > 0, "degenerate raster");
+    let origin = MapPoint::new(c.x - e, c.y + e);
+
+    let cloud = Fbm::new(cfg.seed ^ 0x5151_AAAA, 4, 1.0 / cfg.cloud_scale_m);
+    let noise = Fbm::new(cfg.seed ^ 0x5151_BBBB, 1, 1.0 / (cfg.pixel_size_m * 0.9));
+    let t = cfg.acquisition_offset_min;
+
+    // Render rows in parallel; each row produces its slice of each band.
+    let rows: Vec<(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, Vec<Label>)> = (0..n)
+        .into_par_iter()
+        .map(|row| {
+            let mut r02 = Vec::with_capacity(n);
+            let mut r03 = Vec::with_capacity(n);
+            let mut r04 = Vec::with_capacity(n);
+            let mut r08 = Vec::with_capacity(n);
+            let mut rlab = Vec::with_capacity(n);
+            for col in 0..n {
+                let p = MapPoint::new(
+                    origin.x + (col as f64 + 0.5) * cfg.pixel_size_m,
+                    origin.y - (row as f64 + 0.5) * cfg.pixel_size_m,
+                );
+                let truth = scene.sample(p, t);
+                let shape = class_spectral_shape(truth.class);
+                let opt = cloud_optical_thickness(&cloud, p, cfg.cloud_cover);
+                let shadow_src = MapPoint::new(p.x + cfg.shadow_offset_m.0, p.y + cfg.shadow_offset_m.1);
+                let s = cfg.shadow_strength
+                    * cloud_optical_thickness(&cloud, shadow_src, cfg.cloud_cover);
+
+                let mut bands = [0f64; 4];
+                for (b, band) in bands.iter_mut().enumerate() {
+                    let surf = shape[b] * truth.reflectance;
+                    let with_cloud = surf * (1.0 - opt) + CLOUD_ALBEDO[b] * opt;
+                    // Shadows darken the surface contribution only.
+                    let shaded = with_cloud * (1.0 - s * (1.0 - opt));
+                    // Deterministic per-pixel-per-band "sensor noise".
+                    let nz = cfg.sensor_noise
+                        * noise.sample(p.x + 1_000_003.0 * b as f64, p.y - 777_777.0 * b as f64);
+                    *band = (shaded + nz).clamp(0.0, 1.2);
+                }
+                r02.push(bands[0] as f32);
+                r03.push(bands[1] as f32);
+                r04.push(bands[2] as f32);
+                r08.push(bands[3] as f32);
+                rlab.push(if opt > cfg.thick_cloud_threshold {
+                    Label::Cloud
+                } else {
+                    Label::Class(truth.class)
+                });
+            }
+            (r02, r03, r04, r08, rlab)
+        })
+        .collect();
+
+    let mut d02 = Vec::with_capacity(n * n);
+    let mut d03 = Vec::with_capacity(n * n);
+    let mut d04 = Vec::with_capacity(n * n);
+    let mut d08 = Vec::with_capacity(n * n);
+    let mut dlab = Vec::with_capacity(n * n);
+    for (a, b, c2, d, l) in rows {
+        d02.extend(a);
+        d03.extend(b);
+        d04.extend(c2);
+        d08.extend(d);
+        dlab.extend(l);
+    }
+
+    S2Image {
+        b02: Raster::from_data(n, n, origin, cfg.pixel_size_m, d02),
+        b03: Raster::from_data(n, n, origin, cfg.pixel_size_m, d03),
+        b04: Raster::from_data(n, n, origin, cfg.pixel_size_m, d04),
+        b08: Raster::from_data(n, n, origin, cfg.pixel_size_m, d08),
+        truth: Raster::from_data(n, n, origin, cfg.pixel_size_m, dlab),
+        acquisition_offset_min: cfg.acquisition_offset_min,
+    }
+}
+
+/// Cloud optical thickness in `[0, 0.9]` at `p` for coverage `cover`.
+fn cloud_optical_thickness(cloud: &Fbm, p: MapPoint, cover: f64) -> f64 {
+    if cover <= 0.0 {
+        return 0.0;
+    }
+    // fBm normalisation concentrates values near 0; expand by 1.5 so the
+    // optical-thickness field reaches both clear sky and opaque cloud.
+    let c = 0.5 * ((1.5 * cloud.sample(p.x, p.y)).clamp(-1.0, 1.0) + 1.0); // [0, 1]
+    let threshold = 1.0 - cover;
+    (((c - threshold) / (1.0 - threshold).max(1e-9)).clamp(0.0, 1.0) * 0.9).min(0.9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icesat_scene::SceneConfig;
+
+    fn small_image(seed: u64, cloud_cover: f64) -> (Scene, S2Image) {
+        let mut sc = SceneConfig::ross_sea(seed);
+        sc.half_extent_m = 3_000.0; // keep test rasters small
+        let scene = Scene::generate(sc);
+        let cfg = RenderConfig {
+            seed,
+            pixel_size_m: 40.0,
+            cloud_cover,
+            // Small test scenes need several independent cloud cells.
+            cloud_scale_m: 2_500.0,
+            ..RenderConfig::default()
+        };
+        let img = render_scene(&scene, &cfg);
+        (scene, img)
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let (_, a) = small_image(3, 0.3);
+        let (_, b) = small_image(3, 0.3);
+        assert_eq!(a.b02.data(), b.b02.data());
+        assert_eq!(a.b08.data(), b.b08.data());
+        assert_eq!(a.truth.data(), b.truth.data());
+    }
+
+    #[test]
+    fn raster_covers_scene_extent() {
+        let (scene, img) = small_image(5, 0.0);
+        let c = scene.config().center;
+        let e = scene.config().half_extent_m;
+        assert_eq!(img.width(), (2.0 * e / 40.0) as usize);
+        // Pixel centres at the corners stay inside the scene square.
+        let nw = img.b02.pixel_to_map(0, 0);
+        assert!((nw.x - (c.x - e + 20.0)).abs() < 1e-9);
+        assert!((nw.y - (c.y + e - 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_sky_signatures_separate_classes() {
+        let (_, img) = small_image(7, 0.0);
+        let mut sums = [[0f64; 4]; 3];
+        let mut counts = [0usize; 3];
+        for row in 0..img.height() {
+            for col in 0..img.width() {
+                if let Label::Class(c) = img.truth.get(col, row) {
+                    let b = img.bands(col, row);
+                    for k in 0..4 {
+                        sums[c.index()][k] += b[k];
+                    }
+                    counts[c.index()] += 1;
+                }
+            }
+        }
+        assert!(counts.iter().all(|&c| c > 10), "counts {counts:?}");
+        let mean = |i: usize, k: usize| sums[i][k] / counts[i] as f64;
+        // Visible brightness separates thick > thin > water.
+        assert!(mean(0, 1) > mean(1, 1) + 0.2);
+        assert!(mean(1, 1) > mean(2, 1) + 0.1);
+        // NIR drop of thin ice vs its green: shape check.
+        assert!(mean(1, 3) < mean(1, 1) * 0.7);
+        // Water is NIR-black.
+        assert!(mean(2, 3) < 0.06);
+    }
+
+    #[test]
+    fn clouds_brighten_water_and_mask_truth() {
+        let (_, clear) = small_image(11, 0.0);
+        let (_, cloudy) = small_image(11, 0.7);
+        let n_cloud = cloudy
+            .truth
+            .data()
+            .iter()
+            .filter(|l| **l == Label::Cloud)
+            .count();
+        assert!(n_cloud > 0, "no thick cloud at 0.7 cover");
+        assert_eq!(
+            clear.truth.data().iter().filter(|l| **l == Label::Cloud).count(),
+            0
+        );
+        // Mean blue brightness rises under cloud.
+        let mean = |img: &S2Image| {
+            img.b02.data().iter().map(|&v| v as f64).sum::<f64>() / img.b02.data().len() as f64
+        };
+        assert!(mean(&cloudy) > mean(&clear) - 0.02);
+    }
+
+    #[test]
+    fn reflectances_are_physical() {
+        let (_, img) = small_image(13, 0.5);
+        for r in [&img.b02, &img.b03, &img.b04, &img.b08] {
+            assert!(r.data().iter().all(|&v| (0.0..=1.2).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn acquisition_time_displaces_ice() {
+        // With drift, the same pixel grid rendered at t=0 and t=40 min
+        // must differ (the ice moved), and the fraction of differing truth
+        // labels should be small but nonzero.
+        let mut sc = SceneConfig::ross_sea(17);
+        sc.half_extent_m = 3_000.0;
+        sc.drift = icesat_scene::DriftModel::from_displacement(400.0, 300.0, 40.0);
+        let scene = Scene::generate(sc);
+        let base = RenderConfig { seed: 17, pixel_size_m: 40.0, ..RenderConfig::default() };
+        let img0 = render_scene(&scene, &base);
+        let img40 = render_scene(
+            &scene,
+            &RenderConfig { acquisition_offset_min: 40.0, ..base },
+        );
+        let differing = img0
+            .truth
+            .data()
+            .iter()
+            .zip(img40.truth.data())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(differing > 0, "drift had no effect");
+        assert!(
+            (differing as f64) < 0.5 * img0.truth.data().len() as f64,
+            "drift changed more than half the labels"
+        );
+    }
+
+    #[test]
+    fn class_signature_matches_shape_times_base() {
+        for c in SurfaceClass::ALL {
+            let sig = class_signature(c);
+            let shape = class_spectral_shape(c);
+            for k in 1..4 {
+                // Ratios of signature entries equal ratios of shape entries.
+                let a = sig[k] / sig[0];
+                let b = shape[k] / shape[0];
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Color-based segmentation with thin-cloud and shadow filtering.
+//!
+//! Implements the spirit of the paper's ref. [5] (color-based segmentation
+//! that tolerates thin cloud and shadow) as an explicit physical unmixing.
+//! The rendered (and, to good approximation, the real) observation at a
+//! pixel is
+//!
+//! ```text
+//! obs_b = (1 − s)·(1 − t)·r_b(class) + (1 − s)·t·A_b
+//! ```
+//!
+//! with `t` the cloud optical thickness, `s` the shadow darkening, `r_b`
+//! the class signature and `A_b` the cloud albedo. Substituting
+//! `u = (1−s)(1−t)` and `v = (1−s)t` makes the model **linear** in
+//! `(u, v)` for a hypothesised class. For each of the three classes we
+//! solve the 4-band least squares in closed form, recover `t = v/(u+v)`
+//! and `s = 1 − (u+v)`, and keep the class with the smallest residual.
+//! Pixels whose best fit needs `t` above the thick-cloud threshold are
+//! marked [`Label::Cloud`] — they carry no usable surface information,
+//! exactly the pixels the paper excludes and later fixes manually.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use icesat_scene::SurfaceClass;
+
+use crate::raster::{Label, LabelRaster, Raster};
+use crate::render::{class_signature, S2Image, CLOUD_ALBEDO};
+
+/// Segmentation knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SegmentationConfig {
+    /// Estimated cloud thickness above which the pixel is unusable.
+    pub thick_cloud_t: f64,
+    /// Maximum physically-allowed shadow darkening (guards the solver
+    /// against degenerate fits).
+    pub max_shadow: f64,
+}
+
+impl Default for SegmentationConfig {
+    fn default() -> Self {
+        SegmentationConfig {
+            thick_cloud_t: 0.5,
+            max_shadow: 0.6,
+        }
+    }
+}
+
+/// Aggregate numbers from one segmentation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentationReport {
+    /// Pixels per class (thick, thin, open).
+    pub class_counts: [usize; 3],
+    /// Pixels masked as thick cloud.
+    pub cloud_pixels: usize,
+    /// Mean estimated cloud optical thickness over usable pixels.
+    pub mean_thin_cloud_t: f64,
+    /// Mean estimated shadow darkening over usable pixels.
+    pub mean_shadow_s: f64,
+}
+
+/// Per-pixel unmixing result.
+#[derive(Debug, Clone, Copy)]
+struct Fit {
+    class: SurfaceClass,
+    t: f64,
+    s: f64,
+    residual: f64,
+}
+
+/// Segments an image into the three surface classes plus a thick-cloud
+/// mask.
+pub fn segment_image(img: &S2Image, cfg: &SegmentationConfig) -> (LabelRaster, SegmentationReport) {
+    let w = img.width();
+    let h = img.height();
+
+    let results: Vec<(Label, f64, f64)> = (0..h)
+        .into_par_iter()
+        .flat_map_iter(|row| {
+            let img = &img;
+            (0..w).map(move |col| {
+                let obs = img.bands(col, row);
+                let fit = best_fit(&obs, cfg);
+                if fit.t > cfg.thick_cloud_t {
+                    (Label::Cloud, fit.t, fit.s)
+                } else {
+                    (Label::Class(fit.class), fit.t, fit.s)
+                }
+            })
+        })
+        .collect();
+
+    let mut class_counts = [0usize; 3];
+    let mut cloud_pixels = 0usize;
+    let mut t_sum = 0.0;
+    let mut s_sum = 0.0;
+    let mut usable = 0usize;
+    let mut labels = Vec::with_capacity(results.len());
+    for (label, t, s) in results {
+        match label {
+            Label::Class(c) => {
+                class_counts[c.index()] += 1;
+                t_sum += t;
+                s_sum += s;
+                usable += 1;
+            }
+            Label::Cloud => cloud_pixels += 1,
+        }
+        labels.push(label);
+    }
+
+    let raster = Raster::from_data(w, h, img.b02.origin(), img.b02.pixel_size_m(), labels);
+    let report = SegmentationReport {
+        class_counts,
+        cloud_pixels,
+        mean_thin_cloud_t: if usable > 0 { t_sum / usable as f64 } else { 0.0 },
+        mean_shadow_s: if usable > 0 { s_sum / usable as f64 } else { 0.0 },
+    };
+    (raster, report)
+}
+
+/// Solves the per-class linear unmixing and returns the best class.
+fn best_fit(obs: &[f64; 4], cfg: &SegmentationConfig) -> Fit {
+    let mut best: Option<Fit> = None;
+    for class in SurfaceClass::ALL {
+        let fit = fit_class(obs, class, cfg);
+        if best.map(|b| fit.residual < b.residual).unwrap_or(true) {
+            best = Some(fit);
+        }
+    }
+    best.unwrap()
+}
+
+/// Least-squares `(u, v)` for one hypothesised class, with physical
+/// constraints `u ≥ 0`, `v ≥ 0`, `u + v ≤ 1`, `s ≤ max_shadow`.
+fn fit_class(obs: &[f64; 4], class: SurfaceClass, cfg: &SegmentationConfig) -> Fit {
+    let r = class_signature(class);
+    let a = CLOUD_ALBEDO;
+    // Normal equations for obs ≈ u·r + v·a.
+    let (mut rr, mut ra, mut aa, mut ro, mut ao) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for b in 0..4 {
+        rr += r[b] * r[b];
+        ra += r[b] * a[b];
+        aa += a[b] * a[b];
+        ro += r[b] * obs[b];
+        ao += a[b] * obs[b];
+    }
+    let det = rr * aa - ra * ra;
+    let (mut u, mut v) = if det.abs() < 1e-12 {
+        (ro / rr.max(1e-12), 0.0)
+    } else {
+        ((aa * ro - ra * ao) / det, (rr * ao - ra * ro) / det)
+    };
+
+    // Project onto the physical region.
+    if v < 0.0 {
+        v = 0.0;
+        u = (ro / rr.max(1e-12)).max(0.0);
+    }
+    if u < 0.0 {
+        u = 0.0;
+        v = (ao / aa.max(1e-12)).max(0.0);
+    }
+    let sum = u + v;
+    let min_uv = 1.0 - cfg.max_shadow;
+    if sum > 1.0 {
+        // s < 0 is unphysical: rescale onto u + v = 1.
+        u /= sum;
+        v /= sum;
+    } else if sum < min_uv && sum > 0.0 {
+        // Deeper shadow than allowed: rescale up.
+        u *= min_uv / sum;
+        v *= min_uv / sum;
+    }
+
+    let mut residual = 0.0;
+    for b in 0..4 {
+        let model = u * r[b] + v * a[b];
+        residual += (obs[b] - model).powi(2);
+    }
+    let t = if u + v > 1e-9 { v / (u + v) } else { 0.0 };
+    let s = (1.0 - (u + v)).clamp(0.0, 1.0);
+    Fit {
+        class,
+        t,
+        s,
+        residual: residual.sqrt(),
+    }
+}
+
+/// Scores a label raster against the rendered truth: returns
+/// `(accuracy_on_usable, n_usable)`, where a pixel is usable when both
+/// rasters agree it is not cloud.
+pub fn score_against_truth(labels: &LabelRaster, truth: &LabelRaster) -> (f64, usize) {
+    assert_eq!(labels.width(), truth.width());
+    assert_eq!(labels.height(), truth.height());
+    let mut correct = 0usize;
+    let mut usable = 0usize;
+    for (l, t) in labels.data().iter().zip(truth.data()) {
+        if let (Label::Class(lc), Label::Class(tc)) = (l, t) {
+            usable += 1;
+            if lc == tc {
+                correct += 1;
+            }
+        }
+    }
+    if usable == 0 {
+        (0.0, 0)
+    } else {
+        (correct as f64 / usable as f64, usable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::{render_scene, RenderConfig};
+    use icesat_scene::{Scene, SceneConfig};
+
+    fn image(seed: u64, cloud: f64) -> S2Image {
+        let mut sc = SceneConfig::ross_sea(seed);
+        sc.half_extent_m = 3_000.0;
+        let scene = Scene::generate(sc);
+        render_scene(
+            &scene,
+            &RenderConfig {
+                seed,
+                pixel_size_m: 40.0,
+                cloud_cover: cloud,
+                ..RenderConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn clean_signatures_classify_exactly() {
+        let cfg = SegmentationConfig::default();
+        for class in SurfaceClass::ALL {
+            let obs = class_signature(class);
+            let fit = best_fit(&obs, &cfg);
+            assert_eq!(fit.class, class);
+            assert!(fit.t < 0.05, "spurious cloud t = {}", fit.t);
+            assert!(fit.s < 0.05, "spurious shadow s = {}", fit.s);
+        }
+    }
+
+    #[test]
+    fn thin_cloud_is_seen_through() {
+        let cfg = SegmentationConfig::default();
+        for class in SurfaceClass::ALL {
+            let r = class_signature(class);
+            let t = 0.3;
+            let obs = [
+                r[0] * (1.0 - t) + CLOUD_ALBEDO[0] * t,
+                r[1] * (1.0 - t) + CLOUD_ALBEDO[1] * t,
+                r[2] * (1.0 - t) + CLOUD_ALBEDO[2] * t,
+                r[3] * (1.0 - t) + CLOUD_ALBEDO[3] * t,
+            ];
+            let fit = best_fit(&obs, &cfg);
+            assert_eq!(fit.class, class, "misclassified under thin cloud");
+            assert!((fit.t - t).abs() < 0.05, "t estimate {} vs {}", fit.t, t);
+        }
+    }
+
+    #[test]
+    fn shadow_is_tolerated() {
+        let cfg = SegmentationConfig::default();
+        for class in [SurfaceClass::ThickIce, SurfaceClass::ThinIce] {
+            let r = class_signature(class);
+            let s = 0.3;
+            let obs = [r[0] * (1.0 - s), r[1] * (1.0 - s), r[2] * (1.0 - s), r[3] * (1.0 - s)];
+            let fit = best_fit(&obs, &cfg);
+            assert_eq!(fit.class, class, "misclassified in shadow");
+            assert!((fit.s - s).abs() < 0.1, "s estimate {} vs {}", fit.s, s);
+        }
+    }
+
+    #[test]
+    fn thick_cloud_is_masked() {
+        let cfg = SegmentationConfig::default();
+        let t = 0.85;
+        let r = class_signature(SurfaceClass::ThickIce);
+        let obs = [
+            r[0] * (1.0 - t) + CLOUD_ALBEDO[0] * t,
+            r[1] * (1.0 - t) + CLOUD_ALBEDO[1] * t,
+            r[2] * (1.0 - t) + CLOUD_ALBEDO[2] * t,
+            r[3] * (1.0 - t) + CLOUD_ALBEDO[3] * t,
+        ];
+        let fit = best_fit(&obs, &cfg);
+        assert!(fit.t > cfg.thick_cloud_t, "thick cloud not detected: t = {}", fit.t);
+    }
+
+    #[test]
+    fn clear_scene_accuracy_is_high() {
+        let img = image(21, 0.0);
+        let (labels, report) = segment_image(&img, &SegmentationConfig::default());
+        let (acc, usable) = score_against_truth(&labels, &img.truth);
+        assert!(usable > 1000);
+        assert!(acc > 0.95, "clear-sky accuracy {acc}");
+        assert_eq!(report.cloud_pixels + report.class_counts.iter().sum::<usize>(), labels.data().len());
+    }
+
+    #[test]
+    fn cloudy_scene_accuracy_stays_usable() {
+        let img = image(23, 0.45);
+        let (labels, report) = segment_image(&img, &SegmentationConfig::default());
+        let (acc, usable) = score_against_truth(&labels, &img.truth);
+        assert!(usable > 500);
+        assert!(acc > 0.88, "cloudy accuracy {acc}");
+        assert!(report.mean_thin_cloud_t > 0.0);
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let img = image(29, 0.3);
+        let (labels, report) = segment_image(&img, &SegmentationConfig::default());
+        let from_raster = labels
+            .data()
+            .iter()
+            .filter(|l| matches!(l, Label::Cloud))
+            .count();
+        assert_eq!(report.cloud_pixels, from_raster);
+        let total: usize = report.class_counts.iter().sum();
+        assert_eq!(total + report.cloud_pixels, labels.data().len());
+    }
+
+    #[test]
+    fn segmentation_is_deterministic() {
+        let img = image(31, 0.4);
+        let (a, _) = segment_image(&img, &SegmentationConfig::default());
+        let (b, _) = segment_image(&img, &SegmentationConfig::default());
+        assert_eq!(a.data(), b.data());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// For any synthetic mixture of a class with cloud and shadow
+            /// inside the physical region, the classifier recovers the
+            /// class (thin ambiguity aside, the residual of the true class
+            /// is zero by construction).
+            #[test]
+            fn unmixing_recovers_class(
+                class_idx in 0usize..3,
+                t in 0.0f64..0.45,
+                s in 0.0f64..0.35,
+            ) {
+                let class = SurfaceClass::from_index(class_idx).unwrap();
+                let r = class_signature(class);
+                let mut obs = [0f64; 4];
+                for b in 0..4 {
+                    obs[b] = (1.0 - s) * ((1.0 - t) * r[b] + t * CLOUD_ALBEDO[b]);
+                }
+                let fit = best_fit(&obs, &SegmentationConfig::default());
+                prop_assert_eq!(fit.class, class);
+                prop_assert!((fit.t - t).abs() < 0.08);
+            }
+        }
+    }
+}

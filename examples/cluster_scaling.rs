@@ -1,0 +1,73 @@
+//! Map-reduce scaling demo (the paper's Tables II and V on your cores).
+//!
+//! Writes a fleet of binary ATL03 granules to disk, then sweeps the
+//! paper's executors × cores grid twice — once auto-labeling, once
+//! computing freeboard — printing load/map/reduce times and speedups.
+//! Finishes with the cost-model simulation at the paper's calibration.
+//!
+//! ```text
+//! cargo run --release --example cluster_scaling
+//! ```
+
+use std::sync::Arc;
+
+use icesat2_seaice::seaice::pipeline::{
+    scaled_autolabel_run, scaled_freeboard_run, write_granule_fleet, Pipeline, PipelineConfig,
+};
+use icesat2_seaice::sparklite::scaling::PAPER_GRID;
+use icesat2_seaice::sparklite::{Cluster, ScalingTable, SimCluster, SimCost};
+
+fn main() {
+    let mut cfg = PipelineConfig::small(51);
+    cfg.track_length_m = 6_000.0;
+    let pipeline = Pipeline::new(cfg);
+    let dir = std::env::temp_dir().join("seaice_cluster_scaling_example");
+    let n_granules = 6; // 18 beam partitions
+    println!("writing {n_granules} granules (3 strong beams each) to {dir:?} ...");
+    let sources = write_granule_fleet(&pipeline, &dir, n_granules).expect("fleet");
+    let pair = pipeline.coincident_pair();
+    let raster = Arc::new(pair.labels.clone());
+
+    let grid = &PAPER_GRID[..];
+
+    let autolabel = ScalingTable::sweep("auto-labeling (measured on this host)", grid, |e, c| {
+        let (_, report) = scaled_autolabel_run(
+            &Cluster::new(e, c),
+            &sources,
+            Arc::clone(&raster),
+            &pipeline.cfg.preprocess,
+            &pipeline.cfg.resample,
+        );
+        report
+    });
+    println!("\n{}", autolabel.render());
+
+    let freeboard = ScalingTable::sweep("freeboard (measured on this host)", grid, |e, c| {
+        let (_, report) = scaled_freeboard_run(
+            &Cluster::new(e, c),
+            &sources,
+            &pipeline.cfg.preprocess,
+            &pipeline.cfg.resample,
+            &pipeline.cfg.window,
+        );
+        report
+    });
+    println!("{}", freeboard.render());
+
+    // The deterministic simulation at the paper's absolute calibration.
+    let load: Vec<f64> = vec![108.0 / 320.0; 320];
+    let reduce: Vec<f64> = vec![390.0 / 320.0; 320];
+    let sim = ScalingTable::sweep(
+        "simulated cluster at the paper's Table II calibration",
+        grid,
+        |e, c| SimCluster::new(e, c, SimCost::default()).simulate_pipeline(&load, &reduce),
+    );
+    println!("{}", sim.render());
+    println!(
+        "paper headline: 16.25x reduce / 9.0x load at 4x4 — simulated {:.2}x / {:.2}x",
+        sim.max_reduce_speedup(),
+        sim.max_load_speedup()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

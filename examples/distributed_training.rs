@@ -1,0 +1,68 @@
+//! Horovod-style distributed training demo (the paper's Table IV /
+//! Figure 5 on your own cores).
+//!
+//! Trains the paper's LSTM on auto-labeled 2 m segments with 1, 2, and 4
+//! worker threads standing in for GPUs: rank-0 broadcast, per-rank
+//! gradient computation, ring all-reduce averaging, identical local Adam
+//! updates. Also prints the calibrated DGX A100 cost model, which
+//! reproduces the paper's published speedup curve exactly.
+//!
+//! ```text
+//! cargo run --release --example distributed_training
+//! ```
+
+use icesat2_seaice::hvd::costmodel::{render_table4, DgxCostModel};
+use icesat2_seaice::hvd::{DistributedTrainer, TrainerConfig};
+use icesat2_seaice::neurite::{Adam, FocalLoss};
+use icesat2_seaice::seaice::features::sequence_dataset;
+use icesat2_seaice::seaice::models::{build_model, ModelKind};
+use icesat2_seaice::seaice::pipeline::{Pipeline, PipelineConfig};
+
+fn main() {
+    // Stage 1 of the pipeline provides the labelled training set.
+    let pipeline = Pipeline::new(PipelineConfig::small(11));
+    let granule = pipeline.generate_granule();
+    let segments = pipeline.segments_for_beam(&granule, icesat2_seaice::atl03::Beam::Gt2l);
+    let pair = pipeline.coincident_pair();
+    let (labeled, _) = pipeline.autolabel(&segments, &pair);
+    let labels: Vec<usize> = labeled.iter().map(|l| l.label.unwrap().index()).collect();
+    let data = sequence_dataset(&segments, &labels, true, &pipeline.cfg.features);
+    println!(
+        "training set: {} sequence windows of 5 x 6 features\n",
+        data.len()
+    );
+
+    println!("measured on worker threads (paper model, focal loss, Adam 0.003):");
+    println!("workers  time(s)  s/epoch   data/s  speedup  final-loss");
+    let mut base: Option<f64> = None;
+    for n in [1usize, 2, 4] {
+        let (_, stats) = DistributedTrainer::train(
+            |rank| build_model(ModelKind::PaperLstm, 11 ^ rank as u64),
+            || Box::new(Adam::new(0.003)),
+            &FocalLoss::new(2.0),
+            &data,
+            &TrainerConfig {
+                n_workers: n,
+                batch_size: 32,
+                epochs: 3,
+                seed: 11,
+            },
+        );
+        let b = *base.get_or_insert(stats.total_s);
+        println!(
+            "{n:>7}  {:>7.2}  {:>7.3}  {:>7.0}  {:>7.2}  {:>10.4}",
+            stats.total_s,
+            stats.per_epoch_s,
+            stats.samples_per_s,
+            b / stats.total_s,
+            stats.epoch_losses.last().unwrap()
+        );
+    }
+
+    println!("\nDGX A100 cost model at the paper's calibration:");
+    let model = DgxCostModel::paper_default();
+    print!("{}", render_table4(&model.table4(&[1, 2, 4, 6, 8])));
+    println!(
+        "\npaper Table IV speedups: 1.96 / 3.81 / 5.68 / 7.25 at 2 / 4 / 6 / 8 GPUs"
+    );
+}

@@ -1,0 +1,99 @@
+//! Freeboard retrieval deep-dive (the paper's Figures 8–11).
+//!
+//! Classifies a track with the fast decision tree, derives the local sea
+//! surface with all four candidate methods, compares their quality
+//! against the scene's true sea-surface height, and prints the
+//! ATL03-vs-ATL10 freeboard comparison.
+//!
+//! ```text
+//! cargo run --release --example freeboard_retrieval
+//! ```
+
+use icesat2_seaice::atl03::Beam;
+use icesat2_seaice::scene::SurfaceClass;
+use icesat2_seaice::seaice::atl07::{atl07_segments, classify_atl07, Atl10Freeboard, DecisionTreeConfig};
+use icesat2_seaice::seaice::eval;
+use icesat2_seaice::seaice::freeboard::FreeboardProduct;
+use icesat2_seaice::seaice::heuristic::{heuristic_classes, HeuristicConfig};
+use icesat2_seaice::seaice::pipeline::{Pipeline, PipelineConfig};
+use icesat2_seaice::seaice::seasurface::{SeaSurface, SeaSurfaceMethod, WindowConfig};
+
+fn main() {
+    let mut cfg = PipelineConfig::small(31);
+    cfg.track_length_m = 12_000.0;
+    cfg.scene.half_extent_m = 6_500.0;
+    let pipeline = Pipeline::new(cfg);
+    let granule = pipeline.generate_granule();
+    let segments = pipeline.segments_for_beam(&granule, Beam::Gt2l);
+
+    // Fast physics-threshold classification for this demo (relative
+    // elevation + photon rate; see seaice::heuristic for why pure rate
+    // thresholds fail at 2 m windows).
+    let classes: Vec<SurfaceClass> = heuristic_classes(&segments, &HeuristicConfig::default());
+    let n_water = classes.iter().filter(|c| **c == SurfaceClass::OpenWater).count();
+    println!(
+        "{} segments over {:.0} km, {} classified open water",
+        segments.len(),
+        pipeline.cfg.track_length_m / 1000.0,
+        n_water
+    );
+
+    println!("\nlocal sea surface, four methods (10 km windows, 5 km overlap):");
+    println!("method            windows  water-cov  roughness(m)  RMSE-vs-truth(m)");
+    let mut nasa: Option<SeaSurface> = None;
+    for method in SeaSurfaceMethod::ALL {
+        let ss = SeaSurface::compute(&segments, &classes, method, &WindowConfig::default());
+        let rmse = eval::sea_surface_rmse(&pipeline.scene, &segments, &ss);
+        println!(
+            "{:<17} {:>7}  {:>8.0}%  {:>12.4}  {:>16.4}",
+            method.name(),
+            ss.centers_m.len(),
+            100.0 * ss.water_coverage(),
+            ss.roughness(),
+            rmse
+        );
+        if method == SeaSurfaceMethod::NasaEquation {
+            nasa = Some(ss);
+        }
+    }
+    let nasa = nasa.expect("nasa surface");
+
+    // 2 m freeboard vs the ATL10 emulation.
+    let fb03 = FreeboardProduct::from_segments("ATL03 2m", &segments, &classes, &nasa);
+    let pre = icesat2_seaice::atl03::preprocess_beam(
+        granule.beam(Beam::Gt2l).unwrap(),
+        &pipeline.cfg.preprocess,
+    );
+    let a07 = atl07_segments(&pre);
+    let c07 = classify_atl07(&a07, &DecisionTreeConfig::default());
+    let atl10 = Atl10Freeboard::build(a07, c07);
+
+    println!("\nfreeboard products:");
+    for p in [&fb03, &atl10.product] {
+        let (mean, median, p95) = p.stats();
+        println!(
+            "  {:<16} {:>7} pts  {:>7.1}/km  mean {:.3}  median {:.3}  p95 {:.3}  peak {:.3} m",
+            p.name,
+            p.len(),
+            p.density_per_km(),
+            mean,
+            median,
+            p95,
+            p.modal_freeboard(-0.2, 1.2, 56)
+        );
+    }
+    println!(
+        "\ndensity ratio ATL03/ATL10 = {:.0}x;  freeboard RMSE vs truth = {:.3} m",
+        eval::density_ratio(&fb03, &atl10.product),
+        eval::freeboard_rmse_vs_truth(&pipeline.scene, &fb03, 0.0)
+    );
+
+    println!("\nfreeboard histogram (ATL03 | ATL10):");
+    let h03 = fb03.histogram(-0.1, 0.9, 20);
+    let h10 = atl10.product.histogram(-0.1, 0.9, 20);
+    let max03 = h03.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+    for ((center, a), (_, b)) in h03.iter().zip(&h10) {
+        let bar = "#".repeat(a * 40 / max03);
+        println!("  {center:>5.2} m {a:>6} {b:>4}  {bar}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # icesat2-seaice
+//!
+//! Umbrella crate for the reproduction of *Scalable Higher Resolution Polar
+//! Sea Ice Classification and Freeboard Calculation from ICESat-2 ATL03
+//! Data* (Iqrah et al., IPDPS 2025).
+//!
+//! The workspace is organised as one crate per subsystem; this crate
+//! re-exports all of them so that examples and downstream users can depend
+//! on a single package:
+//!
+//! - [`geo`] — WGS84 ellipsoid and EPSG-3976 polar stereographic projection.
+//! - [`scene`] — ground-truth Antarctic sea-ice scene model shared by the
+//!   ATL03 and Sentinel-2 synthetic generators.
+//! - [`atl03`] — ICESat-2 ATL03 photon model, synthetic granule generation,
+//!   preprocessing, and 2 m resampling.
+//! - [`sentinel2`] — synthetic Sentinel-2 scenes and the color-based
+//!   thin-cloud/shadow-filtered segmentation used for auto-labeling.
+//! - [`sparklite`] — miniature map-reduce engine (executors × cores) used to
+//!   reproduce the PySpark scalability tables.
+//! - [`neurite`] — from-scratch neural network library (Dense, LSTM, focal
+//!   loss, Adam, metrics).
+//! - [`hvd`] — Horovod-style synchronous data-parallel training with a ring
+//!   all-reduce.
+//! - [`seaice`] — the paper's pipeline: auto-labeling, classification,
+//!   local sea surface detection, and freeboard retrieval, plus the
+//!   ATL07/ATL10 baseline emulation.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the experiment
+//! index.
+
+pub use hvd_ring as hvd;
+pub use icesat_atl03 as atl03;
+pub use icesat_geo as geo;
+pub use icesat_scene as scene;
+pub use icesat_sentinel2 as sentinel2;
+pub use neurite;
+pub use seaice;
+pub use sparklite;

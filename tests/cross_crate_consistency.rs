@@ -1,0 +1,177 @@
+//! Cross-crate consistency: the ATL03 generator and the Sentinel-2
+//! renderer must observe the *same* truth scene, displaced only by the
+//! drift model — that coherence is what makes auto-labeling meaningful.
+
+use icesat2_seaice::atl03::generator::test_meta;
+use icesat2_seaice::atl03::{
+    preprocess_beam, resample_2m, Atl03Generator, Beam, GeneratorConfig, PreprocessConfig,
+    ResampleConfig, TrackConfig,
+};
+use icesat2_seaice::geo::{GeoPoint, EPSG_3976};
+use icesat2_seaice::scene::{DriftModel, Scene, SceneConfig, SurfaceClass};
+use icesat2_seaice::sentinel2::{render_scene, Label, RenderConfig};
+
+fn small_scene(seed: u64, drift: DriftModel) -> Scene {
+    let mut sc = SceneConfig::ross_sea_with_drift(seed, drift);
+    sc.half_extent_m = 3_000.0;
+    Scene::generate(sc)
+}
+
+#[test]
+fn is2_heights_match_s2_classes_at_the_same_epoch() {
+    // Both sensors at t=0: segments labelled water by the S2 *truth*
+    // raster must sit at the sea surface; thick-ice segments well above.
+    let scene = small_scene(2001, DriftModel::STILL);
+    let track = TrackConfig::crossing(scene.config().center, 5_000.0);
+    let granule = Atl03Generator::new(
+        &scene,
+        GeneratorConfig { seed: 2001, ..GeneratorConfig::default() },
+    )
+    .generate(test_meta(0.0), &track, &[Beam::Gt2l]);
+    let pre = preprocess_beam(granule.beam(Beam::Gt2l).unwrap(), &PreprocessConfig::default());
+    let segments = resample_2m(&pre, &ResampleConfig::default());
+
+    let img = render_scene(
+        &scene,
+        &RenderConfig { seed: 3001, pixel_size_m: 30.0, ..RenderConfig::default() },
+    );
+    let mut water_sum = 0.0;
+    let mut water_n = 0usize;
+    let mut thick_sum = 0.0;
+    let mut thick_n = 0usize;
+    for s in &segments {
+        let p = EPSG_3976.forward(GeoPoint::new(s.lat, s.lon));
+        match img.truth.sample(p) {
+            Some(Label::Class(SurfaceClass::OpenWater)) => {
+                water_sum += s.mean_h_m;
+                water_n += 1;
+            }
+            Some(Label::Class(SurfaceClass::ThickIce)) => {
+                thick_sum += s.mean_h_m;
+                thick_n += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(water_n > 20, "water segments {water_n}");
+    assert!(thick_n > 200, "thick segments {thick_n}");
+    let water_mean = water_sum / water_n as f64;
+    let thick_mean = thick_sum / thick_n as f64;
+    assert!(
+        thick_mean - water_mean > 0.2,
+        "freeboard contrast lost: thick {thick_mean:.3} vs water {water_mean:.3}"
+    );
+    assert!(water_mean.abs() < 0.2, "water far from sea level: {water_mean:.3}");
+}
+
+#[test]
+fn drift_displaces_s2_relative_to_is2_by_the_modelled_amount() {
+    let drift = DriftModel::from_displacement(420.0, -300.0, 40.0);
+    let scene = small_scene(2003, drift);
+    // Render the same grid at t=0 and t=40 min.
+    let img0 = render_scene(
+        &scene,
+        &RenderConfig { seed: 5, pixel_size_m: 30.0, ..RenderConfig::default() },
+    );
+    let img40 = render_scene(
+        &scene,
+        &RenderConfig {
+            seed: 5,
+            pixel_size_m: 30.0,
+            acquisition_offset_min: 40.0,
+            ..RenderConfig::default()
+        },
+    );
+    // The t=40 truth, sampled at p, equals the t=0 truth at p − d.
+    let (dx, dy) = drift.displacement(40.0);
+    let c = scene.config().center;
+    let mut matches = 0usize;
+    let mut total = 0usize;
+    for i in 0..900 {
+        let p = icesat2_seaice::geo::MapPoint::new(
+            c.x + ((i % 30) as f64 - 15.0) * 120.0,
+            c.y + ((i / 30) as f64 - 15.0) * 120.0,
+        );
+        let q = p.shifted(-dx, -dy);
+        if let (Some(a), Some(b)) = (img40.truth.sample(p), img0.truth.sample(q)) {
+            total += 1;
+            if a == b {
+                matches += 1;
+            }
+        }
+    }
+    assert!(total > 700);
+    // Pixel quantisation at 30 m blurs the exact equality a little.
+    assert!(
+        matches as f64 > 0.9 * total as f64,
+        "drift coherence {matches}/{total}"
+    );
+}
+
+#[test]
+fn atl07_and_2m_segments_agree_on_mean_surface_height() {
+    // Both aggregations of the same photons must see the same mean
+    // surface: height conservation across resolutions.
+    let scene = small_scene(2005, DriftModel::STILL);
+    let track = TrackConfig::crossing(scene.config().center, 5_000.0);
+    let granule = Atl03Generator::new(
+        &scene,
+        GeneratorConfig { seed: 2005, ..GeneratorConfig::default() },
+    )
+    .generate(test_meta(0.0), &track, &[Beam::Gt2l]);
+    let pre = preprocess_beam(granule.beam(Beam::Gt2l).unwrap(), &PreprocessConfig::default());
+    let no_fpb = ResampleConfig {
+        correct_first_photon_bias: false,
+        ..ResampleConfig::default()
+    };
+    let segs2m = resample_2m(&pre, &no_fpb);
+    let segs07 = icesat2_seaice::seaice::atl07::atl07_segments(&pre);
+
+    let w_mean_2m: f64 = segs2m
+        .iter()
+        .map(|s| s.mean_h_m * s.n_photons as f64)
+        .sum::<f64>()
+        / segs2m.iter().map(|s| s.n_photons as f64).sum::<f64>();
+    let w_mean_07: f64 = segs07
+        .iter()
+        .map(|s| s.mean_h_m * s.n_photons as f64)
+        .sum::<f64>()
+        / segs07.iter().map(|s| s.n_photons as f64).sum::<f64>();
+    // ATL07 may drop a trailing partial segment; tolerance covers it.
+    assert!(
+        (w_mean_2m - w_mean_07).abs() < 0.01,
+        "2 m {w_mean_2m:.4} vs ATL07 {w_mean_07:.4}"
+    );
+}
+
+#[test]
+fn granule_io_roundtrip_preserves_pipeline_output() {
+    // Writing a granule to disk and reading it back must give identical
+    // 2 m segments (the scaled runs depend on it).
+    let scene = small_scene(2007, DriftModel::STILL);
+    let track = TrackConfig::crossing(scene.config().center, 3_000.0);
+    let granule = Atl03Generator::new(
+        &scene,
+        GeneratorConfig { seed: 2007, ..GeneratorConfig::default() },
+    )
+    .generate(test_meta(0.0), &track, &[Beam::Gt1l, Beam::Gt2l, Beam::Gt3l]);
+
+    let dir = std::env::temp_dir().join("integration_io_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.a3g");
+    icesat2_seaice::atl03::io::write_file(&granule, &path).unwrap();
+    let back = icesat2_seaice::atl03::io::read_file(&path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for beam in [Beam::Gt1l, Beam::Gt2l, Beam::Gt3l] {
+        let a = resample_2m(
+            &preprocess_beam(granule.beam(beam).unwrap(), &PreprocessConfig::default()),
+            &ResampleConfig::default(),
+        );
+        let b = resample_2m(
+            &preprocess_beam(back.beam(beam).unwrap(), &PreprocessConfig::default()),
+            &ResampleConfig::default(),
+        );
+        assert_eq!(a, b, "beam {beam} diverged after IO roundtrip");
+    }
+}

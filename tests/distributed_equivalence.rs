@@ -1,0 +1,145 @@
+//! Distribution must never change results — only wall-clock time.
+//! These tests pin the equivalences the scalability tables rely on.
+
+use std::sync::Arc;
+
+use icesat2_seaice::hvd::{DistributedTrainer, TrainerConfig};
+use icesat2_seaice::neurite::{Adam, BatchIter, CrossEntropy, Dataset, Matrix};
+use icesat2_seaice::seaice::models::{build_model, ModelKind};
+use icesat2_seaice::seaice::pipeline::{
+    scaled_autolabel_run, scaled_freeboard_run, write_granule_fleet, Pipeline, PipelineConfig,
+};
+use icesat2_seaice::sparklite::Cluster;
+
+#[test]
+fn scaled_runs_are_invariant_across_topologies() {
+    let pipeline = Pipeline::new(PipelineConfig::small(3001));
+    let dir = std::env::temp_dir().join("integration_scaled_invariance");
+    let sources = write_granule_fleet(&pipeline, &dir, 2).unwrap();
+    let pair = pipeline.coincident_pair();
+    let raster = Arc::new(pair.labels.clone());
+
+    let mut label_counts = Vec::new();
+    let mut freeboard_results = Vec::new();
+    for (e, c) in [(1usize, 1usize), (1, 4), (3, 2), (4, 4)] {
+        let cluster = Cluster::new(e, c);
+        let (counts, _) = scaled_autolabel_run(
+            &cluster,
+            &sources,
+            Arc::clone(&raster),
+            &pipeline.cfg.preprocess,
+            &pipeline.cfg.resample,
+        );
+        label_counts.push(counts);
+        let (fb, _) = scaled_freeboard_run(
+            &cluster,
+            &sources,
+            &pipeline.cfg.preprocess,
+            &pipeline.cfg.resample,
+            &pipeline.cfg.window,
+        );
+        freeboard_results.push(fb);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(label_counts.windows(2).all(|w| w[0] == w[1]), "{label_counts:?}");
+    for w in freeboard_results.windows(2) {
+        assert_eq!(w[0].0, w[1].0, "freeboard point counts diverged");
+        assert!((w[0].1 - w[1].1).abs() < 1e-12, "mean freeboard diverged");
+    }
+    // And the numbers are non-trivial.
+    assert!(label_counts[0].iter().sum::<usize>() > 1_000);
+    assert!(freeboard_results[0].0 > 100);
+}
+
+#[test]
+fn horovod_single_worker_equals_plain_loop() {
+    // Synthetic two-moon-ish data.
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3003);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for _ in 0..160 {
+        let cls = rng.random_range(0..2usize);
+        let cx = if cls == 0 { -1.0 } else { 1.0 };
+        rows.push(vec![
+            cx + rng.random_range(-0.3..0.3),
+            -cx + rng.random_range(-0.3..0.3),
+        ]);
+        labels.push(cls);
+    }
+    let data = Dataset::new(Matrix::from_rows(&rows), labels);
+
+    let make = |_rank: usize| {
+        let mut r = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        icesat2_seaice::neurite::Sequential::new()
+            .add(icesat2_seaice::neurite::Dense::new(
+                2,
+                8,
+                icesat2_seaice::neurite::Activation::Relu,
+                &mut r,
+            ))
+            .add(icesat2_seaice::neurite::Dense::new(
+                8,
+                2,
+                icesat2_seaice::neurite::Activation::Linear,
+                &mut r,
+            ))
+    };
+
+    let cfg = TrainerConfig {
+        n_workers: 1,
+        batch_size: 16,
+        epochs: 3,
+        seed: 13,
+    };
+    let (hvd_model, _) =
+        DistributedTrainer::train(make, || Box::new(Adam::new(0.01)), &CrossEntropy, &data, &cfg);
+
+    let mut local = make(0);
+    let mut opt = Adam::new(0.01);
+    for epoch in 0..cfg.epochs {
+        for (x, y) in BatchIter::new(&data, cfg.batch_size, cfg.seed ^ epoch as u64) {
+            local.train_step(&x, &y, &CrossEntropy, &mut opt);
+        }
+    }
+    for (a, b) in hvd_model.flat_params().iter().zip(local.flat_params()) {
+        assert!((a - b).abs() < 1e-6, "replica drift {a} vs {b}");
+    }
+}
+
+#[test]
+fn distributed_paper_lstm_trains_on_real_pipeline_data() {
+    // The full stack: pipeline stage 1 data into the distributed trainer
+    // with the paper's architecture at 4 workers.
+    let pipeline = Pipeline::new(PipelineConfig::small(3005));
+    let granule = pipeline.generate_granule();
+    let segments = pipeline.segments_for_beam(&granule, icesat2_seaice::atl03::Beam::Gt2l);
+    let pair = pipeline.coincident_pair();
+    let (labeled, _) = pipeline.autolabel(&segments, &pair);
+    let labels: Vec<usize> = labeled.iter().map(|l| l.label.unwrap().index()).collect();
+    let data = icesat2_seaice::seaice::features::sequence_dataset(
+        &segments,
+        &labels,
+        true,
+        &pipeline.cfg.features,
+    );
+
+    let (mut model, stats) = DistributedTrainer::train(
+        |rank| build_model(ModelKind::PaperLstm, 3005 ^ rank as u64),
+        || Box::new(Adam::new(0.003)),
+        &icesat2_seaice::neurite::FocalLoss::new(2.0),
+        &data,
+        &TrainerConfig {
+            n_workers: 4,
+            batch_size: 32,
+            epochs: 3,
+            seed: 17,
+        },
+    );
+    assert_eq!(stats.n_workers, 4);
+    assert!(stats.epoch_losses.len() == 3);
+    let preds = model.predict(&data.x);
+    let acc = preds.iter().zip(&data.y).filter(|(a, b)| a == b).count() as f64
+        / data.len() as f64;
+    assert!(acc > 0.85, "distributed LSTM accuracy {acc}");
+}

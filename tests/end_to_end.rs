@@ -1,0 +1,111 @@
+//! End-to-end integration: the four-stage pipeline across all crates.
+
+use icesat2_seaice::scene::SurfaceClass;
+use icesat2_seaice::seaice::pipeline::{Pipeline, PipelineConfig};
+
+#[test]
+fn full_pipeline_products_are_coherent() {
+    let pipeline = Pipeline::new(PipelineConfig::small(1001));
+    let products = pipeline.run();
+
+    // --- Stage 1: curation + auto-labeling.
+    assert!(products.segments.len() > 2_000, "too few 2 m segments");
+    assert_eq!(products.auto_labels.len(), products.segments.len());
+    assert!(products.auto_labels.iter().all(|l| l.label.is_some()));
+    assert!(
+        products.autolabel_accuracy > 0.85,
+        "auto-label accuracy {}",
+        products.autolabel_accuracy
+    );
+    // Segments are along-track ordered with 2 m indexing.
+    assert!(products
+        .segments
+        .windows(2)
+        .all(|w| w[0].index < w[1].index && w[0].along_track_m < w[1].along_track_m));
+
+    // --- Stage 2: the paper's model ranking (LSTM wins).
+    let lstm = products.reports["LSTM"];
+    let mlp = products.reports["MLP"];
+    assert!(lstm.accuracy > 0.85, "LSTM accuracy {}", lstm.accuracy);
+    assert!(
+        lstm.accuracy >= mlp.accuracy,
+        "LSTM {} should beat MLP {}",
+        lstm.accuracy,
+        mlp.accuracy
+    );
+    // Figure 4 ordering: majority class has the best recall.
+    let m = &products.lstm_confusion;
+    assert!(m.recall(0) >= m.recall(1));
+    assert!(m.recall(0) >= m.recall(2));
+
+    // --- Stage 3: inference covers every segment.
+    assert_eq!(products.classes.len(), products.segments.len());
+    assert!(
+        products.classification_accuracy_vs_truth > 0.85,
+        "truth accuracy {}",
+        products.classification_accuracy_vs_truth
+    );
+    // Thick ice dominates the Ross Sea.
+    let thick = products
+        .classes
+        .iter()
+        .filter(|c| **c == SurfaceClass::ThickIce)
+        .count();
+    assert!(thick * 2 > products.classes.len(), "thick not dominant");
+
+    // --- Stage 4: surfaces and freeboard.
+    assert_eq!(products.sea_surfaces.len(), 4);
+    for (name, ss) in &products.sea_surfaces {
+        assert!(!ss.centers_m.is_empty(), "{name} produced no windows");
+        assert!(
+            ss.href_m.iter().all(|h| h.abs() < 1.0),
+            "{name} produced implausible sea levels"
+        );
+    }
+    // The headline: 2 m product is dramatically denser than ATL10.
+    let ratio = products.freeboard_atl03.density_per_km()
+        / products.atl10.product.density_per_km().max(1e-9);
+    assert!(ratio > 5.0, "density ratio {ratio}");
+    // Mean ice freeboard is physically plausible for the Ross Sea.
+    let (mean, _, _) = products.freeboard_atl03.stats();
+    assert!((0.05..0.8).contains(&mean), "mean freeboard {mean}");
+    // ATL03-vs-ATL07 sea-surface gap is decimetre-scale, like the paper
+    // (ours is a little larger because the ATL07 emulation classifies
+    // with a noisy decision tree).
+    assert!(products.surface_gap_m < 0.3, "gap {}", products.surface_gap_m);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let a = Pipeline::new(PipelineConfig::small(1003)).run();
+    let b = Pipeline::new(PipelineConfig::small(1003)).run();
+    assert_eq!(a.segments.len(), b.segments.len());
+    assert_eq!(a.classes, b.classes);
+    assert_eq!(a.drift.dx_m, b.drift.dx_m);
+    assert_eq!(
+        a.freeboard_atl03.points.len(),
+        b.freeboard_atl03.points.len()
+    );
+    for (x, y) in a
+        .freeboard_atl03
+        .points
+        .iter()
+        .zip(&b.freeboard_atl03.points)
+    {
+        assert_eq!(x.freeboard_m, y.freeboard_m);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_scenes_same_quality() {
+    let a = Pipeline::new(PipelineConfig::small(1005)).run();
+    let b = Pipeline::new(PipelineConfig::small(1006)).run();
+    // Different truth, both pipelines still work.
+    assert!(a.autolabel_accuracy > 0.85);
+    assert!(b.autolabel_accuracy > 0.85);
+    assert_ne!(
+        a.segments.len(),
+        b.segments.len(),
+        "different scenes should photon-count differently"
+    );
+}

@@ -1,0 +1,155 @@
+//! Cross-crate property tests: invariants that must hold for *any*
+//! physically-shaped input, not just the seeds the examples use.
+
+use icesat2_seaice::atl03::{Photon, Segment, SignalConfidence};
+use icesat2_seaice::scene::SurfaceClass;
+use icesat2_seaice::seaice::freeboard::FreeboardProduct;
+use icesat2_seaice::seaice::seasurface::{SeaSurface, SeaSurfaceMethod, WindowConfig};
+use proptest::prelude::*;
+
+fn arb_segments(n: usize, seed: u64, water_every: usize) -> Vec<(Segment, SurfaceClass)> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let water = i % water_every.max(2) == 0;
+            let h = if water {
+                rng.random_range(-0.05..0.05)
+            } else {
+                rng.random_range(0.15..0.6)
+            };
+            let seg = Segment {
+                index: i as u32,
+                along_track_m: i as f64 * 2.0 + 1.0,
+                lat: -74.0,
+                lon: -170.0,
+                n_photons: rng.random_range(1..12),
+                n_high_conf: 1,
+                n_background: rng.random_range(0..3),
+                mean_h_m: h,
+                median_h_m: h,
+                std_h_m: rng.random_range(0.01..0.2),
+                photon_rate: rng.random_range(0.1..4.0),
+                background_rate: rng.random_range(0.0..1.5),
+                fpb_correction_m: 0.0,
+            };
+            let class = if water {
+                SurfaceClass::OpenWater
+            } else {
+                SurfaceClass::ThickIce
+            };
+            (seg, class)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every method, the derived sea level at any position lies within
+    /// the range of observed water heights (interpolation cannot invent
+    /// levels outside the anchors), and `href_at` is continuous between
+    /// window centres.
+    #[test]
+    fn sea_surface_stays_within_water_envelope(
+        seed in 0u64..200,
+        n in 2_000usize..6_000,
+        water_every in 3usize..40,
+    ) {
+        let data = arb_segments(n, seed, water_every);
+        let segments: Vec<Segment> = data.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<SurfaceClass> = data.iter().map(|(_, c)| *c).collect();
+        let water_heights: Vec<f64> = data
+            .iter()
+            .filter(|(_, c)| *c == SurfaceClass::OpenWater)
+            .map(|(s, _)| s.mean_h_m)
+            .collect();
+        prop_assume!(!water_heights.is_empty());
+        let lo = water_heights.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let hi = water_heights.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        for method in SeaSurfaceMethod::ALL {
+            let ss = SeaSurface::compute(&segments, &labels, method, &WindowConfig::default());
+            for &c in &ss.centers_m {
+                let h = ss.href_at(c);
+                prop_assert!(h >= lo - 1e-9 && h <= hi + 1e-9,
+                    "{method:?}: href {h} outside water envelope [{lo}, {hi}]");
+            }
+            // Continuity: adjacent evaluations differ by a bounded amount.
+            let probe = ss.centers_m[0];
+            let a = ss.href_at(probe);
+            let b = ss.href_at(probe + 1.0);
+            prop_assert!((a - b).abs() <= (hi - lo) + 1e-9);
+        }
+    }
+
+    /// Freeboard decomposition: for every point,
+    /// `freeboard == mean_h − href(along)` exactly, and the product
+    /// preserves ordering and length.
+    #[test]
+    fn freeboard_is_exact_height_difference(
+        seed in 0u64..200,
+        n in 2_000usize..5_000,
+    ) {
+        let data = arb_segments(n, seed, 7);
+        let segments: Vec<Segment> = data.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<SurfaceClass> = data.iter().map(|(_, c)| *c).collect();
+        let ss = SeaSurface::compute(&segments, &labels, SeaSurfaceMethod::NasaEquation, &WindowConfig::default());
+        let product = FreeboardProduct::from_segments("prop", &segments, &labels, &ss);
+        prop_assert_eq!(product.len(), segments.len());
+        for (p, s) in product.points.iter().zip(&segments) {
+            prop_assert!((p.freeboard_m - (s.mean_h_m - ss.href_at(s.along_track_m))).abs() < 1e-12);
+        }
+        prop_assert!(product.points.windows(2).all(|w| w[0].along_track_m <= w[1].along_track_m));
+    }
+
+    /// Granule IO: any syntactically-valid photon list round-trips bit
+    /// exactly through the binary format.
+    #[test]
+    fn granule_io_roundtrips_arbitrary_photons(
+        seed in 0u64..500,
+        n in 0usize..400,
+    ) {
+        use rand::{Rng, SeedableRng};
+        use icesat2_seaice::atl03::{io, Beam, BeamData, Granule, GranuleMeta};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut photons: Vec<Photon> = (0..n)
+            .map(|_| Photon {
+                delta_time_s: rng.random_range(0.0..100.0),
+                lat: rng.random_range(-78.0..-70.0),
+                lon: rng.random_range(-180.0..-140.0),
+                height_m: rng.random_range(-20.0..20.0),
+                along_track_m: rng.random_range(0.0..1e5),
+                confidence: SignalConfidence::from_level(rng.random_range(0..5)).unwrap(),
+            })
+            .collect();
+        photons.sort_by(|a, b| a.along_track_m.total_cmp(&b.along_track_m));
+        let granule = Granule {
+            meta: GranuleMeta {
+                acquisition: "20191104195311".into(),
+                rgt: rng.random_range(1..1388),
+                cycle: rng.random_range(1..20),
+                release: 6,
+                epoch_offset_min: rng.random_range(-80.0..80.0),
+            },
+            beams: vec![BeamData { beam: Beam::Gt2l, photons }],
+        };
+        let decoded = io::decode(&io::encode(&granule)).unwrap();
+        prop_assert_eq!(decoded.meta, granule.meta);
+        prop_assert_eq!(&decoded.beams[0].photons, &granule.beams[0].photons);
+    }
+
+    /// The heuristic classifier always returns a label per segment and
+    /// never panics on arbitrary physical inputs.
+    #[test]
+    fn heuristic_classifier_is_total(
+        seed in 0u64..200,
+        n in 1usize..3_000,
+        water_every in 2usize..50,
+    ) {
+        use icesat2_seaice::seaice::heuristic::{heuristic_classes, HeuristicConfig};
+        let data = arb_segments(n, seed, water_every);
+        let segments: Vec<Segment> = data.iter().map(|(s, _)| *s).collect();
+        let classes = heuristic_classes(&segments, &HeuristicConfig::default());
+        prop_assert_eq!(classes.len(), segments.len());
+    }
+}

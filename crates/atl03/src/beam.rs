@@ -113,15 +113,32 @@ mod tests {
 
     #[test]
     fn pair_spacing_is_90_m() {
-        assert!((Beam::Gt1r.across_track_offset_m() - Beam::Gt1l.across_track_offset_m() - 90.0).abs() < 1e-12);
-        assert!((Beam::Gt2r.across_track_offset_m() - Beam::Gt2l.across_track_offset_m() - 90.0).abs() < 1e-12);
-        assert!((Beam::Gt3r.across_track_offset_m() - Beam::Gt3l.across_track_offset_m() - 90.0).abs() < 1e-12);
+        assert!(
+            (Beam::Gt1r.across_track_offset_m() - Beam::Gt1l.across_track_offset_m() - 90.0).abs()
+                < 1e-12
+        );
+        assert!(
+            (Beam::Gt2r.across_track_offset_m() - Beam::Gt2l.across_track_offset_m() - 90.0).abs()
+                < 1e-12
+        );
+        assert!(
+            (Beam::Gt3r.across_track_offset_m() - Beam::Gt3l.across_track_offset_m() - 90.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]
     fn pair_separation_is_3300_m() {
-        assert!((Beam::Gt2l.across_track_offset_m() - Beam::Gt1l.across_track_offset_m() - 3_300.0).abs() < 1e-12);
-        assert!((Beam::Gt3l.across_track_offset_m() - Beam::Gt2l.across_track_offset_m() - 3_300.0).abs() < 1e-12);
+        assert!(
+            (Beam::Gt2l.across_track_offset_m() - Beam::Gt1l.across_track_offset_m() - 3_300.0)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (Beam::Gt3l.across_track_offset_m() - Beam::Gt2l.across_track_offset_m() - 3_300.0)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

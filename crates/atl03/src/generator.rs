@@ -33,7 +33,7 @@ use crate::photon::{Photon, SignalConfidence};
 use crate::track::{GroundTrack, TrackConfig};
 
 /// Generator physics parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
 pub struct GeneratorConfig {
     /// Master seed.
     pub seed: u64,
@@ -164,7 +164,8 @@ impl<'a> Atl03Generator<'a> {
         }
         let n_bg = poisson(&mut rng, cfg.background_rate_per_pulse);
         for _ in 0..n_bg {
-            let h = truth.ssh_m + rng.random_range(-cfg.window_half_height_m..cfg.window_half_height_m);
+            let h =
+                truth.ssh_m + rng.random_range(-cfg.window_half_height_m..cfg.window_half_height_m);
             let ch = rng.random_range(0..n_channels);
             cand.push((h, false, ch));
         }
@@ -251,7 +252,12 @@ fn gauss<R: Rng>(rng: &mut R) -> f64 {
 /// returns are mostly High, background photons are Noise/Buffer unless
 /// they happen to fall near the surface (where the upstream classifier
 /// can't tell them apart).
-fn assign_confidence<R: Rng>(rng: &mut R, is_signal: bool, h: f64, surface_h: f64) -> SignalConfidence {
+fn assign_confidence<R: Rng>(
+    rng: &mut R,
+    is_signal: bool,
+    h: f64,
+    surface_h: f64,
+) -> SignalConfidence {
     if is_signal {
         match rng.random::<f64>() {
             x if x < 0.88 => SignalConfidence::High,
@@ -274,7 +280,12 @@ fn assign_confidence<R: Rng>(rng: &mut R, is_signal: bool, h: f64, surface_h: f6
 
 /// Convenience: build the paper's standard granule — three strong beams
 /// crossing the scene centre on a `length_m` track.
-pub fn standard_granule(scene: &Scene, gen_cfg: GeneratorConfig, meta: GranuleMeta, length_m: f64) -> Granule {
+pub fn standard_granule(
+    scene: &Scene,
+    gen_cfg: GeneratorConfig,
+    meta: GranuleMeta,
+    length_m: f64,
+) -> Granule {
     let track = TrackConfig::crossing(scene.config().center, length_m);
     Atl03Generator::new(scene, gen_cfg).generate(meta, &track, &Beam::STRONG)
 }
@@ -297,7 +308,10 @@ mod tests {
 
     fn small_granule(seed: u64, length_m: f64) -> (Scene, Granule) {
         let scene = Scene::generate(SceneConfig::ross_sea(seed));
-        let cfg = GeneratorConfig { seed, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            seed,
+            ..GeneratorConfig::default()
+        };
         let g = standard_granule(&scene, cfg, test_meta(0.0), length_m);
         (scene, g)
     }
@@ -366,7 +380,10 @@ mod tests {
     #[test]
     fn weak_beam_sees_fewer_photons() {
         let scene = Scene::generate(SceneConfig::ross_sea(23));
-        let cfg = GeneratorConfig { seed: 23, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            seed: 23,
+            ..GeneratorConfig::default()
+        };
         let track = TrackConfig::crossing(scene.config().center, 2_000.0);
         let gen = Atl03Generator::new(&scene, cfg);
         let g = gen.generate(test_meta(0.0), &track, &[Beam::Gt1l, Beam::Gt1r]);
@@ -383,7 +400,11 @@ mod tests {
         // Single-channel configuration: separation must hold across the
         // whole pulse (with multiple channels it only holds per channel).
         let scene = Scene::generate(SceneConfig::ross_sea(31));
-        let cfg = GeneratorConfig { seed: 31, n_channels: 1, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            seed: 31,
+            n_channels: 1,
+            ..GeneratorConfig::default()
+        };
         let g = standard_granule(&scene, cfg, test_meta(0.0), 1_000.0);
         let b = &g.beams[0];
         let mut i = 0;
@@ -439,7 +460,10 @@ mod tests {
         let with_dead = bias_of(0.45);
         let without = bias_of(0.0);
         assert!(without.abs() < 0.02, "unbiased case has bias {without}");
-        assert!(with_dead > 0.015, "dead time should bias upward, got {with_dead}");
+        assert!(
+            with_dead > 0.015,
+            "dead time should bias upward, got {with_dead}"
+        );
         assert!(with_dead > without + 0.01);
     }
 
@@ -447,8 +471,16 @@ mod tests {
     fn confidence_mix_is_realistic() {
         let (_, g) = small_granule(5, 2_000.0);
         let b = &g.beams[0];
-        let high = b.photons.iter().filter(|p| p.confidence == SignalConfidence::High).count();
-        let noise = b.photons.iter().filter(|p| p.confidence == SignalConfidence::Noise).count();
+        let high = b
+            .photons
+            .iter()
+            .filter(|p| p.confidence == SignalConfidence::High)
+            .count();
+        let noise = b
+            .photons
+            .iter()
+            .filter(|p| p.confidence == SignalConfidence::Noise)
+            .count();
         assert!(high > 0 && noise > 0);
         // Most photons over sea ice are surface returns.
         assert!(high as f64 > 0.4 * b.photons.len() as f64);

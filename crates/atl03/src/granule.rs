@@ -71,10 +71,7 @@ impl Granule {
 
     /// The strong beams present, in across-track order.
     pub fn strong_beams(&self) -> Vec<&BeamData> {
-        Beam::STRONG
-            .iter()
-            .filter_map(|&b| self.beam(b))
-            .collect()
+        Beam::STRONG.iter().filter_map(|&b| self.beam(b)).collect()
     }
 
     /// Total photon count across beams.
@@ -122,16 +119,27 @@ mod tests {
                 epoch_offset_min: 0.0,
             },
             beams: vec![
-                BeamData { beam: Beam::Gt1l, photons: vec![photon(0.0, SignalConfidence::High)] },
-                BeamData { beam: Beam::Gt1r, photons: vec![] },
-                BeamData { beam: Beam::Gt2l, photons: vec![] },
+                BeamData {
+                    beam: Beam::Gt1l,
+                    photons: vec![photon(0.0, SignalConfidence::High)],
+                },
+                BeamData {
+                    beam: Beam::Gt1r,
+                    photons: vec![],
+                },
+                BeamData {
+                    beam: Beam::Gt2l,
+                    photons: vec![],
+                },
             ],
         };
         assert!(g.beam(Beam::Gt1l).is_some());
         assert!(g.beam(Beam::Gt3l).is_none());
         let strong = g.strong_beams();
         assert_eq!(strong.len(), 2);
-        assert!(strong.iter().all(|b| b.beam.strength() == crate::BeamStrength::Strong));
+        assert!(strong
+            .iter()
+            .all(|b| b.beam.strength() == crate::BeamStrength::Strong));
         assert_eq!(g.n_photons(), 1);
     }
 
@@ -150,7 +158,10 @@ mod tests {
 
         let unsorted = BeamData {
             beam: Beam::Gt2l,
-            photons: vec![photon(1.4, SignalConfidence::High), photon(0.0, SignalConfidence::High)],
+            photons: vec![
+                photon(1.4, SignalConfidence::High),
+                photon(0.0, SignalConfidence::High),
+            ],
         };
         assert!(!unsorted.is_sorted());
     }

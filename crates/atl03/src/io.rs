@@ -174,7 +174,10 @@ mod tests {
         let scene = Scene::generate(SceneConfig::ross_sea(5));
         standard_granule(
             &scene,
-            GeneratorConfig { seed: 5, ..GeneratorConfig::default() },
+            GeneratorConfig {
+                seed: 5,
+                ..GeneratorConfig::default()
+            },
             test_meta(12.5),
             300.0,
         )

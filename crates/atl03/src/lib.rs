@@ -40,5 +40,5 @@ pub use generator::{Atl03Generator, GeneratorConfig};
 pub use granule::{BeamData, Granule, GranuleMeta};
 pub use photon::{Photon, SignalConfidence};
 pub use preprocess::{preprocess_beam, PreprocessConfig, PreprocessReport};
-pub use resample::{resample_2m, Segment, ResampleConfig};
+pub use resample::{resample_2m, ResampleConfig, Segment};
 pub use track::{GroundTrack, TrackConfig};

@@ -14,7 +14,7 @@ use crate::granule::BeamData;
 use crate::photon::{Photon, SignalConfidence};
 
 /// Preprocessing knobs.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
 pub struct PreprocessConfig {
     /// Minimum confidence to treat a photon as surface signal.
     pub min_confidence: SignalConfidence,
@@ -205,7 +205,10 @@ mod tests {
         // An "ineffective reference photon": confident but 8 m off.
         photons.push(photon(35.0, 8.3, SignalConfidence::High));
         photons.sort_by(|a, b| a.along_track_m.total_cmp(&b.along_track_m));
-        BeamData { beam: Beam::Gt2l, photons }
+        BeamData {
+            beam: Beam::Gt2l,
+            photons,
+        }
     }
 
     #[test]
@@ -217,8 +220,14 @@ mod tests {
             pre.report.n_confident + pre.report.n_background,
             pre.report.n_input
         );
-        assert!(pre.background.iter().all(|p| p.confidence < SignalConfidence::Medium));
-        assert!(pre.signal.iter().all(|p| p.confidence >= SignalConfidence::Medium));
+        assert!(pre
+            .background
+            .iter()
+            .all(|p| p.confidence < SignalConfidence::Medium));
+        assert!(pre
+            .signal
+            .iter()
+            .all(|p| p.confidence >= SignalConfidence::Medium));
     }
 
     #[test]
@@ -258,7 +267,10 @@ mod tests {
 
     #[test]
     fn empty_beam_is_handled() {
-        let beam = BeamData { beam: Beam::Gt2l, photons: vec![] };
+        let beam = BeamData {
+            beam: Beam::Gt2l,
+            photons: vec![],
+        };
         let pre = preprocess_beam(&beam, &PreprocessConfig::default());
         assert_eq!(pre.report.n_input, 0);
         assert!(pre.signal.is_empty() && pre.background.is_empty());
@@ -300,7 +312,10 @@ mod tests {
             let h = if i < 200 { 0.4 } else { 0.0 };
             photons.push(photon(at, h, SignalConfidence::High));
         }
-        let beam = BeamData { beam: Beam::Gt1l, photons };
+        let beam = BeamData {
+            beam: Beam::Gt1l,
+            photons,
+        };
         let pre = preprocess_beam(&beam, &PreprocessConfig::default());
         assert_eq!(pre.report.n_signal, 400);
     }

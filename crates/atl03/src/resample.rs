@@ -17,7 +17,7 @@ use crate::photon::{Photon, SignalConfidence};
 use crate::preprocess::{median_in_place, PreprocessedBeam};
 
 /// Resampler knobs.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
 pub struct ResampleConfig {
     /// Window length along-track, metres (paper: 2 m).
     pub window_m: f64,
@@ -220,7 +220,10 @@ mod tests {
     }
 
     fn preprocessed(photons: Vec<Photon>) -> PreprocessedBeam {
-        let beam = BeamData { beam: Beam::Gt2l, photons };
+        let beam = BeamData {
+            beam: Beam::Gt2l,
+            photons,
+        };
         preprocess_beam(&beam, &PreprocessConfig::default())
     }
 
@@ -308,7 +311,10 @@ mod tests {
             photon(0.9, 0.0, SignalConfidence::High),
             photon(2.5, 0.0, SignalConfidence::High),
         ]);
-        let cfg = ResampleConfig { min_photons: 2, ..no_fpb() };
+        let cfg = ResampleConfig {
+            min_photons: 2,
+            ..no_fpb()
+        };
         let segs = resample_2m(&pre, &cfg);
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].index, 0);
@@ -317,7 +323,13 @@ mod tests {
     #[test]
     fn fpb_correction_lowers_heights() {
         let photons: Vec<Photon> = (0..20)
-            .map(|i| photon(i as f64 * 0.1, 0.5 + 0.05 * ((i % 5) as f64 - 2.0), SignalConfidence::High))
+            .map(|i| {
+                photon(
+                    i as f64 * 0.1,
+                    0.5 + 0.05 * ((i % 5) as f64 - 2.0),
+                    SignalConfidence::High,
+                )
+            })
             .collect();
         let pre = preprocessed(photons);
         let corrected = resample_2m(&pre, &ResampleConfig::default());
@@ -339,12 +351,24 @@ mod tests {
     #[test]
     fn height_error_var_shrinks_with_n() {
         let few = Segment {
-            index: 0, along_track_m: 1.0, lat: 0.0, lon: 0.0,
-            n_photons: 2, n_high_conf: 2, n_background: 0,
-            mean_h_m: 0.0, median_h_m: 0.0, std_h_m: 0.1,
-            photon_rate: 1.0, background_rate: 0.0, fpb_correction_m: 0.0,
+            index: 0,
+            along_track_m: 1.0,
+            lat: 0.0,
+            lon: 0.0,
+            n_photons: 2,
+            n_high_conf: 2,
+            n_background: 0,
+            mean_h_m: 0.0,
+            median_h_m: 0.0,
+            std_h_m: 0.1,
+            photon_rate: 1.0,
+            background_rate: 0.0,
+            fpb_correction_m: 0.0,
         };
-        let many = Segment { n_photons: 8, ..few };
+        let many = Segment {
+            n_photons: 8,
+            ..few
+        };
         assert!(many.height_error_var() < few.height_error_var());
     }
 

@@ -72,7 +72,10 @@ impl GroundTrack {
     /// Map position of pulse `i`'s bounce point.
     pub fn pulse_position(&self, i: usize) -> MapPoint {
         let d = i as f64 * self.pulse_spacing_m;
-        MapPoint::new(self.origin.x + self.dir.0 * d, self.origin.y + self.dir.1 * d)
+        MapPoint::new(
+            self.origin.x + self.dir.0 * d,
+            self.origin.y + self.dir.1 * d,
+        )
     }
 
     /// Along-track distance of pulse `i`, metres.

@@ -17,7 +17,9 @@ use seaice::pipeline::{Pipeline, PipelineConfig};
 /// Ring vs naive (parameter-server) all-reduce across worker counts.
 fn bench_allreduce_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_allreduce");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     let len = 60_000; // the paper LSTM's parameter count scale
     for n in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| {
@@ -39,7 +41,9 @@ fn bench_allreduce_ablation(c: &mut Criterion) {
 /// Focal loss vs cross-entropy: gradient computation cost.
 fn bench_loss_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_loss");
-    group.sample_size(40).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(40)
+        .measurement_time(Duration::from_secs(4));
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let logits = Matrix::glorot(512, 3, &mut rng);
     let labels: Vec<usize> = (0..512).map(|i| i % 3).collect();
@@ -57,7 +61,9 @@ fn bench_loss_ablation(c: &mut Criterion) {
 /// lengths 1, 3, 5 (the paper uses n±2 → 5).
 fn bench_context_window(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_context_window");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     for seq in [1usize, 3, 5] {
         group.bench_with_input(BenchmarkId::from_parameter(seq), &seq, |b, &seq| {
             let mut rng = ChaCha8Rng::seed_from_u64(7);
@@ -77,7 +83,9 @@ fn bench_context_window(c: &mut Criterion) {
 /// over the same preprocessed beam.
 fn bench_resolution_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_resolution");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
     let pipeline = Pipeline::new(PipelineConfig::small(13));
     let granule = pipeline.generate_granule();
     let data = granule.beam(Beam::Gt2l).unwrap();

@@ -5,12 +5,12 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use icesat_atl03::Beam;
+use icesat_scene::SurfaceClass;
+use seaice::features::sequence_dataset;
 use seaice::freeboard::FreeboardProduct;
 use seaice::models::{train_classifier, ModelKind, TrainConfig};
 use seaice::pipeline::{Pipeline, PipelineConfig};
 use seaice::seasurface::{SeaSurface, SeaSurfaceMethod, WindowConfig};
-use seaice::features::sequence_dataset;
-use icesat_scene::SurfaceClass;
 
 struct Workload {
     segments: Vec<icesat_atl03::Segment>,
@@ -59,7 +59,9 @@ fn workload() -> Workload {
 /// Figures 6/7 kernel: LSTM inference over every 2 m segment.
 fn bench_fig6_inference(c: &mut Criterion, w: &mut Workload) {
     let mut group = c.benchmark_group("fig6_inference");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let x = w.inference_x.clone();
     group.bench_function("lstm_full_track", |b| {
         b.iter(|| w.classifier.predict(&x));
@@ -70,7 +72,9 @@ fn bench_fig6_inference(c: &mut Criterion, w: &mut Workload) {
 /// Figures 8/9 kernel: the four sea-surface methods.
 fn bench_fig8_seasurface(c: &mut Criterion, w: &Workload) {
     let mut group = c.benchmark_group("fig8_seasurface");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for method in SeaSurfaceMethod::ALL {
         group.bench_with_input(
             BenchmarkId::from_parameter(method.name()),
@@ -88,7 +92,9 @@ fn bench_fig8_seasurface(c: &mut Criterion, w: &Workload) {
 /// Figures 10/11 kernel: freeboard product + histogram + stats.
 fn bench_fig10_freeboard(c: &mut Criterion, w: &Workload) {
     let mut group = c.benchmark_group("fig10_freeboard");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("product", |b| {
         b.iter(|| FreeboardProduct::from_segments("bench", &w.segments, &w.classes, &w.surface));
     });

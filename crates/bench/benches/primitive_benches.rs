@@ -20,14 +20,29 @@ fn bench_projection(c: &mut Criterion) {
     let mut group = c.benchmark_group("geo_projection");
     group.measurement_time(Duration::from_secs(3));
     let points: Vec<GeoPoint> = (0..1000)
-        .map(|i| GeoPoint::new(-78.0 + (i % 80) as f64 * 0.1, -180.0 + (i % 400) as f64 * 0.1))
+        .map(|i| {
+            GeoPoint::new(
+                -78.0 + (i % 80) as f64 * 0.1,
+                -180.0 + (i % 400) as f64 * 0.1,
+            )
+        })
         .collect();
     group.bench_function("forward_1k", |b| {
-        b.iter(|| points.iter().map(|&p| EPSG_3976.forward(p)).collect::<Vec<_>>());
+        b.iter(|| {
+            points
+                .iter()
+                .map(|&p| EPSG_3976.forward(p))
+                .collect::<Vec<_>>()
+        });
     });
     let map_points: Vec<MapPoint> = points.iter().map(|&p| EPSG_3976.forward(p)).collect();
     group.bench_function("inverse_1k", |b| {
-        b.iter(|| map_points.iter().map(|&m| EPSG_3976.inverse(m)).collect::<Vec<_>>());
+        b.iter(|| {
+            map_points
+                .iter()
+                .map(|&m| EPSG_3976.inverse(m))
+                .collect::<Vec<_>>()
+        });
     });
     group.finish();
 }
@@ -39,14 +54,13 @@ fn bench_scene_sampling(c: &mut Criterion) {
     let center = scene.config().center;
     group.bench_function("sample_1k", |b| {
         b.iter(|| {
-            (0..1000)
-                .map(|i| {
-                    scene.sample(
-                        MapPoint::new(center.x + (i % 100) as f64 * 37.0, center.y + i as f64),
-                        0.0,
-                    )
-                })
-                .count()
+            (0..1000).fold(0usize, |acc, i| {
+                let s = scene.sample(
+                    MapPoint::new(center.x + (i % 100) as f64 * 37.0, center.y + i as f64),
+                    0.0,
+                );
+                acc + s.class.index()
+            })
         });
     });
     group.finish();
@@ -54,7 +68,9 @@ fn bench_scene_sampling(c: &mut Criterion) {
 
 fn bench_photon_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("atl03_generation");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
     let mut sc = SceneConfig::ross_sea(9);
     sc.half_extent_m = 3_000.0;
     let scene = Scene::generate(sc);
@@ -66,7 +82,10 @@ fn bench_photon_generation(c: &mut Criterion) {
                 let track = TrackConfig::crossing(scene.config().center, length);
                 let gen = Atl03Generator::new(
                     &scene,
-                    GeneratorConfig { seed: 9, ..GeneratorConfig::default() },
+                    GeneratorConfig {
+                        seed: 9,
+                        ..GeneratorConfig::default()
+                    },
                 );
                 b.iter(|| gen.generate_beam(&test_meta(0.0), &track, Beam::Gt2l));
             },
@@ -77,13 +96,21 @@ fn bench_photon_generation(c: &mut Criterion) {
 
 fn bench_preprocess(c: &mut Criterion) {
     let mut group = c.benchmark_group("atl03_preprocess");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let mut sc = SceneConfig::ross_sea(11);
     sc.half_extent_m = 3_000.0;
     let scene = Scene::generate(sc);
     let track = TrackConfig::crossing(scene.config().center, 4_000.0);
-    let beam = Atl03Generator::new(&scene, GeneratorConfig { seed: 11, ..GeneratorConfig::default() })
-        .generate_beam(&test_meta(0.0), &track, Beam::Gt2l);
+    let beam = Atl03Generator::new(
+        &scene,
+        GeneratorConfig {
+            seed: 11,
+            ..GeneratorConfig::default()
+        },
+    )
+    .generate_beam(&test_meta(0.0), &track, Beam::Gt2l);
     group.bench_function("preprocess_4km_beam", |b| {
         b.iter(|| preprocess_beam(&beam, &PreprocessConfig::default()));
     });
@@ -92,7 +119,9 @@ fn bench_preprocess(c: &mut Criterion) {
 
 fn bench_segmentation(c: &mut Criterion) {
     let mut group = c.benchmark_group("s2_segmentation");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
     let mut sc = SceneConfig::ross_sea(13);
     sc.half_extent_m = 2_000.0;
     let scene = Scene::generate(sc);

@@ -14,11 +14,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hvd_ring::{ring_allreduce, DistributedTrainer, TrainerConfig};
 use neurite::FocalLoss;
 use seaice::features::sequence_dataset;
+use seaice::fleet::FleetDriver;
 use seaice::labeling::{estimate_drift, AutoLabelConfig};
 use seaice::models::{build_model, train_classifier, ModelKind, TrainConfig};
-use seaice::pipeline::{
-    scaled_autolabel_run, scaled_freeboard_run, write_granule_fleet, Pipeline, PipelineConfig,
-};
+use seaice::pipeline::{Pipeline, PipelineConfig};
 use sparklite::Cluster;
 
 struct Workload {
@@ -32,7 +31,7 @@ struct Workload {
 fn workload() -> Workload {
     let pipeline = Pipeline::new(PipelineConfig::small(77));
     let dir = std::env::temp_dir().join("seaice_bench_fleet");
-    let sources = write_granule_fleet(&pipeline, &dir, 3).expect("fleet");
+    let sources = FleetDriver::write_fleet(&pipeline, &dir, 3).expect("fleet");
     let pair = pipeline.coincident_pair();
     let raster = Arc::new(pair.labels.clone());
     let granule = pipeline.generate_granule();
@@ -52,38 +51,39 @@ fn workload() -> Workload {
 fn bench_table1_drift_search(c: &mut Criterion, w: &Workload) {
     let pair = w.pipeline.coincident_pair();
     let mut group = c.benchmark_group("table1_drift_search");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     // The paper's 50 m grid and a coarser variant.
     for step in [100.0f64, 50.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(step as u64), &step, |b, &step| {
-            let cfg = AutoLabelConfig {
-                shift_search_step_m: step,
-                shift_search_radius_m: 400.0,
-                ..AutoLabelConfig::default()
-            };
-            b.iter(|| estimate_drift(&w.segments, &pair.labels, &cfg));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(step as u64),
+            &step,
+            |b, &step| {
+                let cfg = AutoLabelConfig {
+                    shift_search_step_m: step,
+                    shift_search_radius_m: 400.0,
+                    ..AutoLabelConfig::default()
+                };
+                b.iter(|| estimate_drift(&w.segments, &pair.labels, &cfg));
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_table2_autolabel_topologies(c: &mut Criterion, w: &Workload) {
     let mut group = c.benchmark_group("table2_autolabel");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
     for &(e, k) in &[(1usize, 1usize), (2, 2), (4, 4)] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{e}x{k}")),
             &(e, k),
             |b, &(e, k)| {
-                b.iter(|| {
-                    scaled_autolabel_run(
-                        &Cluster::new(e, k),
-                        &w.sources,
-                        Arc::clone(&w.raster),
-                        &w.pipeline.cfg.preprocess,
-                        &w.pipeline.cfg.resample,
-                    )
-                });
+                let driver = FleetDriver::new(Cluster::new(e, k), &w.pipeline.cfg);
+                b.iter(|| driver.autolabel_run(&w.sources, Arc::clone(&w.raster)));
             },
         );
     }
@@ -92,7 +92,9 @@ fn bench_table2_autolabel_topologies(c: &mut Criterion, w: &Workload) {
 
 fn bench_table3_training_epoch(c: &mut Criterion, w: &Workload) {
     let mut group = c.benchmark_group("table3_training_epoch");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for kind in [ModelKind::PaperMlp, ModelKind::PaperLstm] {
         let data = match kind {
             ModelKind::PaperLstm => w.seq_data.clone(),
@@ -102,21 +104,27 @@ fn bench_table3_training_epoch(c: &mut Criterion, w: &Workload) {
                 sequence_dataset(&w.segments, &labels, false, &w.pipeline.cfg.features)
             }
         };
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &data, |b, data| {
-            let cfg = TrainConfig {
-                epochs: 1,
-                seed: 5,
-                ..TrainConfig::default()
-            };
-            b.iter(|| train_classifier(kind, data, &cfg));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &data,
+            |b, data| {
+                let cfg = TrainConfig {
+                    epochs: 1,
+                    seed: 5,
+                    ..TrainConfig::default()
+                };
+                b.iter(|| train_classifier(kind, data, &cfg));
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_table4_distributed_step(c: &mut Criterion, w: &Workload) {
     let mut group = c.benchmark_group("table4_horovod");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     // One ring all-reduce wave at the paper's gradient size.
     let grad_len = build_model(ModelKind::PaperLstm, 0).n_params();
     for n in [2usize, 4, 8] {
@@ -151,21 +159,16 @@ fn bench_table4_distributed_step(c: &mut Criterion, w: &Workload) {
 
 fn bench_table5_freeboard_topologies(c: &mut Criterion, w: &Workload) {
     let mut group = c.benchmark_group("table5_freeboard");
-    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
     for &(e, k) in &[(1usize, 1usize), (2, 2), (4, 4)] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{e}x{k}")),
             &(e, k),
             |b, &(e, k)| {
-                b.iter(|| {
-                    scaled_freeboard_run(
-                        &Cluster::new(e, k),
-                        &w.sources,
-                        &w.pipeline.cfg.preprocess,
-                        &w.pipeline.cfg.resample,
-                        &w.pipeline.cfg.window,
-                    )
-                });
+                let driver = FleetDriver::new(Cluster::new(e, k), &w.pipeline.cfg);
+                b.iter(|| driver.freeboard_run(&w.sources));
             },
         );
     }

@@ -22,7 +22,8 @@ fn main() {
     let want = |id: &str| targets.is_empty() || targets.contains(&"all") || targets.contains(&id);
 
     let mut ran = 0usize;
-    let runners: Vec<(&str, fn(Scale) -> ExperimentOutput)> = vec![
+    type Runner = fn(Scale) -> ExperimentOutput;
+    let runners: Vec<(&str, Runner)> = vec![
         ("table1", tables::table1),
         ("table2", tables::table2),
         ("table3", tables::table3),

@@ -1,6 +1,7 @@
 //! Shared experiment plumbing.
 
-use seaice::pipeline::{Pipeline, PipelineConfig, PipelineProducts};
+use seaice::pipeline::{Pipeline, PipelineConfig};
+use seaice::stages::StagedRun;
 
 /// A finished experiment: the rendered report plus key scalars for
 /// EXPERIMENTS.md and assertions.
@@ -34,21 +35,9 @@ pub enum Scale {
     Full,
 }
 
-/// The shared pipeline workload used by the classification/freeboard
-/// experiments (one realised scene + products). Cached per
-/// `(scale, seed)` so the six figure/table runners that share a workload
-/// train the models once.
-pub fn shared_products(scale: Scale, seed: u64) -> std::sync::Arc<(Pipeline, PipelineProducts)> {
-    use std::collections::HashMap;
-    use std::sync::{Arc, Mutex, OnceLock};
-    static CACHE: OnceLock<Mutex<HashMap<(bool, u64), Arc<(Pipeline, PipelineProducts)>>>> =
-        OnceLock::new();
-    let key = (scale == Scale::Full, seed);
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) = cache.lock().unwrap().get(&key) {
-        return Arc::clone(hit);
-    }
-    let cfg = match scale {
+/// The configuration behind [`shared_run`] at each scale.
+pub fn shared_config(scale: Scale, seed: u64) -> PipelineConfig {
+    match scale {
         Scale::Quick => PipelineConfig::small(seed),
         Scale::Full => {
             let mut cfg = PipelineConfig::ross_sea(seed);
@@ -61,10 +50,29 @@ pub fn shared_products(scale: Scale, seed: u64) -> std::sync::Arc<(Pipeline, Pip
             cfg.train.epochs = 20;
             cfg
         }
-    };
+    }
+}
+
+/// The shared staged workload used by the classification/freeboard
+/// experiments: one realised scene plus all four stage artifacts
+/// ([`StagedRun`]). Cached per `(scale, seed)` so the six figure/table
+/// runners that share a workload curate, label, and train exactly once.
+pub fn shared_run(scale: Scale, seed: u64) -> std::sync::Arc<(Pipeline, StagedRun)> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    type Cache = Mutex<HashMap<(bool, u64), Arc<(Pipeline, StagedRun)>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let key = (scale == Scale::Full, seed);
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().unwrap().get(&key) {
+        return Arc::clone(hit);
+    }
+    let cfg = shared_config(scale, seed);
     let pipeline = Pipeline::new(cfg);
-    let products = pipeline.run();
-    let entry = Arc::new((pipeline, products));
+    // Stage against the pipeline's own scene: one realisation serves the
+    // staged run and every runner that needs `pipeline.scene`.
+    let run = pipeline.run_staged(icesat_atl03::Beam::Gt2l);
+    let entry = Arc::new((pipeline, run));
     cache.lock().unwrap().insert(key, Arc::clone(&entry));
     entry
 }

@@ -3,27 +3,28 @@
 //! Figures are emitted as data series / summary statistics rather than
 //! raster plots: each runner prints the series a plotting script would
 //! consume and asserts the figure's qualitative claim (density contrast,
-//! smoothest method, matching distribution peaks, …).
+//! smoothest method, matching distribution peaks, …). All runners consume
+//! the staged artifacts ([`seaice::stages`]) of one shared workload.
 
+use icesat_scene::SurfaceClass;
 use seaice::eval;
 use seaice::freeboard::FreeboardProduct;
 use seaice::seasurface::SeaSurfaceMethod;
-use icesat_scene::SurfaceClass;
 
-use crate::common::{compare_line, shared_products, ExperimentOutput, Scale};
+use crate::common::{compare_line, shared_run, ExperimentOutput, Scale};
 
 /// Figure 2: auto-labeling of the IS2 track from the segmented S2 scene —
 /// prints a windowed sample of the labelled elevation series and the
 /// overall auto-label accuracy.
 pub fn fig2(scale: Scale) -> ExperimentOutput {
-    let sp = shared_products(scale, 33);
-    let products = &sp.1;
+    let sp = shared_run(scale, 33);
+    let labeled = &sp.1.labeled;
     let mut report = String::from(
         "FIGURE 2 — IS2 auto-labels over the S2-classified scene\n\
          along(m)  elevation(m)  auto-label\n",
     );
-    let n = products.auto_labels.len();
-    for ls in products.auto_labels.iter().step_by((n / 40).max(1)) {
+    let n = labeled.labels.len();
+    for ls in labeled.labels.iter().step_by((n / 40).max(1)) {
         report.push_str(&format!(
             "{:>8.0}  {:>12.3}  {}\n",
             ls.segment.along_track_m,
@@ -33,24 +34,39 @@ pub fn fig2(scale: Scale) -> ExperimentOutput {
     }
     report.push_str(&format!(
         "\nauto-label accuracy vs truth: {:.2}% over {} segments\n",
-        100.0 * products.autolabel_accuracy,
+        100.0 * labeled.autolabel_accuracy,
         n
     ));
-    let metrics = vec![("autolabel_accuracy".into(), products.autolabel_accuracy)];
-    ExperimentOutput { id: "fig2", report, metrics }
+    let metrics = vec![("autolabel_accuracy".into(), labeled.autolabel_accuracy)];
+    ExperimentOutput {
+        id: "fig2",
+        report,
+        metrics,
+    }
 }
 
 /// Figure 4: the LSTM confusion matrix with per-class recall.
 pub fn fig4(scale: Scale) -> ExperimentOutput {
-    let sp = shared_products(scale, 33);
-    let products = &sp.1;
-    let m = &products.lstm_confusion;
+    let sp = shared_run(scale, 33);
+    let m = &sp.1.models.lstm_confusion;
     let mut report = String::from("FIGURE 4 — sea-ice classification confusion matrix (LSTM)\n");
     report.push_str(&m.render(&["thick ice", "thin ice", "open water"]));
     report.push('\n');
-    report.push_str(&compare_line("thick-ice recall % (paper 98.39)", 98.39, 100.0 * m.recall(0)));
-    report.push_str(&compare_line("thin-ice recall % (paper 73.80)", 73.80, 100.0 * m.recall(1)));
-    report.push_str(&compare_line("open-water recall % (paper 60.25)", 60.25, 100.0 * m.recall(2)));
+    report.push_str(&compare_line(
+        "thick-ice recall % (paper 98.39)",
+        98.39,
+        100.0 * m.recall(0),
+    ));
+    report.push_str(&compare_line(
+        "thin-ice recall % (paper 73.80)",
+        73.80,
+        100.0 * m.recall(1),
+    ));
+    report.push_str(&compare_line(
+        "open-water recall % (paper 60.25)",
+        60.25,
+        100.0 * m.recall(2),
+    ));
     report.push_str(&format!(
         "  majority-class recall ordering holds (thick highest): {}\n",
         m.recall(0) >= m.recall(1) && m.recall(0) >= m.recall(2)
@@ -60,37 +76,41 @@ pub fn fig4(scale: Scale) -> ExperimentOutput {
         ("thin_recall".into(), m.recall(1)),
         ("water_recall".into(), m.recall(2)),
     ];
-    ExperimentOutput { id: "fig4", report, metrics }
+    ExperimentOutput {
+        id: "fig4",
+        report,
+        metrics,
+    }
 }
 
 /// Figures 6 & 7: ATL03 (2 m, LSTM) vs ATL07 (decision tree) surface
 /// classification along the track — the density/resolution contrast.
 pub fn fig6(scale: Scale) -> ExperimentOutput {
-    let sp = shared_products(scale, 33);
-    let (pipeline, products) = (&sp.0, &sp.1);
+    let sp = shared_run(scale, 33);
+    let (pipeline, run) = (&sp.0, &sp.1);
     let track_km = pipeline.cfg.track_length_m / 1000.0;
-    let atl03_density = products.segments.len() as f64 / track_km;
-    let atl07_density = products.atl07_classes.len() as f64 / track_km;
+    let atl03_density = run.track.segments.len() as f64 / track_km;
+    let atl07_density = run.products.atl07_classes.len() as f64 / track_km;
 
     let mut counts03 = [0usize; 3];
-    for c in &products.classes {
+    for c in &run.products.classes {
         counts03[c.index()] += 1;
     }
     let mut counts07 = [0usize; 3];
-    for c in &products.atl07_classes {
+    for c in &run.products.atl07_classes {
         counts07[c.index()] += 1;
     }
 
     let mut report = String::from("FIGURES 6/7 — classification: ATL03 2 m vs ATL07 emulation\n");
     report.push_str(&format!(
         "ATL03 2 m : {:>8} segments ({:>7.1} per km)  thick/thin/water = {:?}\n",
-        products.segments.len(),
+        run.track.segments.len(),
         atl03_density,
         counts03
     ));
     report.push_str(&format!(
         "ATL07     : {:>8} segments ({:>7.1} per km)  thick/thin/water = {:?}\n",
-        products.atl07_classes.len(),
+        run.products.atl07_classes.len(),
         atl07_density,
         counts07
     ));
@@ -100,23 +120,27 @@ pub fn fig6(scale: Scale) -> ExperimentOutput {
     ));
     report.push_str(&format!(
         "ATL03 classification accuracy vs truth: {:.2}%\n",
-        100.0 * products.classification_accuracy_vs_truth
+        100.0 * run.products.classification_accuracy_vs_truth
     ));
     let metrics = vec![
         ("density_ratio".into(), atl03_density / atl07_density),
         (
             "atl03_truth_accuracy".into(),
-            products.classification_accuracy_vs_truth,
+            run.products.classification_accuracy_vs_truth,
         ),
     ];
-    ExperimentOutput { id: "fig6", report, metrics }
+    ExperimentOutput {
+        id: "fig6",
+        report,
+        metrics,
+    }
 }
 
 /// Figures 8 & 9: the four local sea-surface methods and the
 /// ATL03-vs-ATL07 sea-surface comparison.
 pub fn fig8(scale: Scale) -> ExperimentOutput {
-    let sp = shared_products(scale, 33);
-    let (pipeline, products) = (&sp.0, &sp.1);
+    let sp = shared_run(scale, 33);
+    let (pipeline, run) = (&sp.0, &sp.1);
     let mut report = String::from(
         "FIGURES 8/9 — local sea surface: four methods on ATL03\n\
          method            windows  roughness(m)  RMSE vs truth (m)\n",
@@ -124,9 +148,9 @@ pub fn fig8(scale: Scale) -> ExperimentOutput {
     let mut metrics = Vec::new();
     let mut nasa_rough = f64::INFINITY;
     let mut max_other = 0.0f64;
-    for method in SeaSurfaceMethod::ALL {
-        let ss = &products.sea_surfaces[method.name()];
-        let rmse = eval::sea_surface_rmse(&pipeline.scene, &products.segments, ss);
+    for ss in &run.products.sea_surfaces {
+        let method = ss.method;
+        let rmse = eval::sea_surface_rmse(&pipeline.scene, &run.track.segments, ss);
         report.push_str(&format!(
             "{:<17} {:>7}  {:>12.4}  {:>17.4}\n",
             method.name(),
@@ -151,19 +175,23 @@ pub fn fig8(scale: Scale) -> ExperimentOutput {
     report.push_str(&compare_line(
         "ATL03-vs-ATL07 surface gap m (paper ~0.1)",
         0.1,
-        products.surface_gap_m,
+        run.products.surface_gap_m,
     ));
-    metrics.push(("surface_gap_m".into(), products.surface_gap_m));
-    ExperimentOutput { id: "fig8", report, metrics }
+    metrics.push(("surface_gap_m".into(), run.products.surface_gap_m));
+    ExperimentOutput {
+        id: "fig8",
+        report,
+        metrics,
+    }
 }
 
 /// Figures 10 & 11: freeboard products — series stats, distributions
 /// (peak alignment), and the point-density contrast.
 pub fn fig10(scale: Scale) -> ExperimentOutput {
-    let sp = shared_products(scale, 33);
-    let (pipeline, products) = (&sp.0, &sp.1);
-    let atl03 = &products.freeboard_atl03;
-    let atl10 = &products.atl10.product;
+    let sp = shared_run(scale, 33);
+    let (pipeline, run) = (&sp.0, &sp.1);
+    let atl03 = &run.products.freeboard_atl03;
+    let atl10 = &run.products.atl10.product;
 
     let (mean03, med03, p95_03) = atl03.stats();
     let (mean10, med10, _) = atl10.stats();
@@ -209,15 +237,20 @@ pub fn fig10(scale: Scale) -> ExperimentOutput {
         ("freeboard_rmse_m".into(), fb_rmse),
         ("mean_freeboard_m".into(), mean03),
     ];
-    ExperimentOutput { id: "fig10", report, metrics }
+    ExperimentOutput {
+        id: "fig10",
+        report,
+        metrics,
+    }
 }
 
 /// Ablation: classification accuracy of both products vs truth alongside
 /// their resolution — the 2 m vs 150-photon trade the paper motivates.
 pub fn resolution_ablation(scale: Scale) -> ExperimentOutput {
-    let sp = shared_products(scale, 33);
-    let (pipeline, products) = (&sp.0, &sp.1);
-    let atl07_segments_common: Vec<_> = products
+    let sp = shared_run(scale, 33);
+    let (pipeline, run) = (&sp.0, &sp.1);
+    let atl07_segments_common: Vec<_> = run
+        .products
         .atl10
         .segments
         .iter()
@@ -227,20 +260,21 @@ pub fn resolution_ablation(scale: Scale) -> ExperimentOutput {
     let acc07 = eval::classification_accuracy_vs_truth(
         &pipeline.scene,
         &atl07_segments_common,
-        &products.atl07_classes,
+        &run.products.atl07_classes,
         0.0,
     );
-    let acc03 = products.classification_accuracy_vs_truth;
-    let mut report = String::from("ABLATION — resolution vs accuracy (2 m DL vs 150-photon tree)\n");
+    let acc03 = run.products.classification_accuracy_vs_truth;
+    let mut report =
+        String::from("ABLATION — resolution vs accuracy (2 m DL vs 150-photon tree)\n");
     report.push_str(&format!(
         "ATL03 2 m + LSTM : accuracy {:.2}%  at {:.0} segments/km\n",
         100.0 * acc03,
-        products.segments.len() as f64 / (pipeline.cfg.track_length_m / 1000.0)
+        run.track.segments.len() as f64 / (pipeline.cfg.track_length_m / 1000.0)
     ));
     report.push_str(&format!(
         "ATL07 + tree     : accuracy {:.2}%  at {:.0} segments/km\n",
         100.0 * acc07,
-        products.atl07_classes.len() as f64 / (pipeline.cfg.track_length_m / 1000.0)
+        run.products.atl07_classes.len() as f64 / (pipeline.cfg.track_length_m / 1000.0)
     ));
     report.push_str(&format!(
         "higher resolution AND higher accuracy: {}\n",
@@ -250,7 +284,11 @@ pub fn resolution_ablation(scale: Scale) -> ExperimentOutput {
         ("atl03_accuracy".into(), acc03),
         ("atl07_accuracy".into(), acc07),
     ];
-    ExperimentOutput { id: "ablation_resolution", report, metrics }
+    ExperimentOutput {
+        id: "ablation_resolution",
+        report,
+        metrics,
+    }
 }
 
 /// Quick-look product comparison used by tests: two freeboard products
@@ -261,6 +299,9 @@ pub fn peaks_align(a: &FreeboardProduct, b: &FreeboardProduct, tol: f64) -> bool
 
 /// Class-fraction sanity shared by figure tests.
 pub fn thick_ice_dominates(classes: &[SurfaceClass]) -> bool {
-    let thick = classes.iter().filter(|c| **c == SurfaceClass::ThickIce).count();
+    let thick = classes
+        .iter()
+        .filter(|c| **c == SurfaceClass::ThickIce)
+        .count();
     thick * 2 > classes.len()
 }

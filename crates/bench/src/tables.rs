@@ -14,16 +14,15 @@ use icesat_scene::{DriftModel, Scene, SceneConfig};
 use icesat_sentinel2::{CoincidentPair, PairConfig, RenderConfig, SegmentationConfig};
 use neurite::FocalLoss;
 use seaice::features::sequence_dataset;
+use seaice::fleet::FleetDriver;
 use seaice::labeling::{estimate_drift, AutoLabelConfig};
 use seaice::models::build_model;
-use seaice::pipeline::{
-    scaled_autolabel_run, scaled_freeboard_run, write_granule_fleet, Pipeline, PipelineConfig,
-};
+use seaice::pipeline::{Pipeline, PipelineConfig};
 use seaice::ModelKind;
 use sparklite::scaling::PAPER_GRID;
 use sparklite::{Cluster, ScalingTable, SimCluster, SimCost};
 
-use crate::common::{compare_line, shared_products, ExperimentOutput, Scale};
+use crate::common::{compare_line, shared_run, ExperimentOutput, Scale};
 
 /// The paper's Table I rows: (time difference minutes, shift metres,
 /// shift compass direction; "-" for the 0 m rows).
@@ -81,10 +80,16 @@ pub fn table1(scale: Scale) -> ExperimentOutput {
         let track = TrackConfig::crossing(scene.config().center, track_len);
         let granule = Atl03Generator::new(
             &scene,
-            GeneratorConfig { seed: 9_000 + i as u64, ..GeneratorConfig::default() },
+            GeneratorConfig {
+                seed: 9_000 + i as u64,
+                ..GeneratorConfig::default()
+            },
         )
         .generate(test_meta(0.0), &track, &[Beam::Gt2l]);
-        let pre = preprocess_beam(granule.beam(Beam::Gt2l).unwrap(), &PreprocessConfig::default());
+        let pre = preprocess_beam(
+            granule.beam(Beam::Gt2l).unwrap(),
+            &PreprocessConfig::default(),
+        );
         let segments = resample_2m(&pre, &ResampleConfig::default());
         let pair = CoincidentPair::build(
             &scene,
@@ -120,7 +125,11 @@ pub fn table1(scale: Scale) -> ExperimentOutput {
         metrics.push((format!("pair{}_error_m", i + 1), err));
     }
     metrics.push(("worst_error_m".into(), worst));
-    ExperimentOutput { id: "table1", report, metrics }
+    ExperimentOutput {
+        id: "table1",
+        report,
+        metrics,
+    }
 }
 
 fn fleet_pipeline(scale: Scale, seed: u64) -> (Pipeline, usize) {
@@ -143,7 +152,7 @@ fn fleet_pipeline(scale: Scale, seed: u64) -> (Pipeline, usize) {
 pub fn table2(scale: Scale) -> ExperimentOutput {
     let (pipeline, n_granules) = fleet_pipeline(scale, 21);
     let dir = std::env::temp_dir().join(format!("seaice_table2_{n_granules}"));
-    let sources = write_granule_fleet(&pipeline, &dir, n_granules).expect("fleet");
+    let sources = FleetDriver::write_fleet(&pipeline, &dir, n_granules).expect("fleet");
     let pair = pipeline.coincident_pair();
     let raster = Arc::new(pair.labels.clone());
 
@@ -152,20 +161,19 @@ pub fn table2(scale: Scale) -> ExperimentOutput {
         Scale::Full => &PAPER_GRID,
     };
     let mut reference: Option<[usize; 4]> = None;
-    let table = ScalingTable::sweep("TABLE II — IS2 auto-labeling scalability (measured)", grid, |e, c| {
-        let (counts, report) = scaled_autolabel_run(
-            &Cluster::new(e, c),
-            &sources,
-            Arc::clone(&raster),
-            &pipeline.cfg.preprocess,
-            &pipeline.cfg.resample,
-        );
-        match &reference {
-            None => reference = Some(counts),
-            Some(r) => assert_eq!(*r, counts, "topology changed the labels"),
-        }
-        report
-    });
+    let table = ScalingTable::sweep(
+        "TABLE II — IS2 auto-labeling scalability (measured)",
+        grid,
+        |e, c| {
+            let driver = FleetDriver::new(Cluster::new(e, c), &pipeline.cfg);
+            let (counts, report) = driver.autolabel_run(&sources, Arc::clone(&raster));
+            match &reference {
+                None => reference = Some(counts),
+                Some(r) => assert_eq!(*r, counts, "topology changed the labels"),
+            }
+            report
+        },
+    );
     let _ = std::fs::remove_dir_all(&dir);
 
     // Calibrated simulation reproducing the paper's absolute numbers.
@@ -181,23 +189,37 @@ pub fn table2(scale: Scale) -> ExperimentOutput {
     report.push('\n');
     report.push_str(&sim.render());
     report.push('\n');
-    report.push_str(&compare_line("max reduce speedup (paper 16.25x)", 16.25, sim.max_reduce_speedup()));
-    report.push_str(&compare_line("max load speedup (paper 9.0x)", 9.0, sim.max_load_speedup()));
+    report.push_str(&compare_line(
+        "max reduce speedup (paper 16.25x)",
+        16.25,
+        sim.max_reduce_speedup(),
+    ));
+    report.push_str(&compare_line(
+        "max load speedup (paper 9.0x)",
+        9.0,
+        sim.max_load_speedup(),
+    ));
     let metrics = vec![
-        ("measured_max_reduce_speedup".into(), table.max_reduce_speedup()),
+        (
+            "measured_max_reduce_speedup".into(),
+            table.max_reduce_speedup(),
+        ),
         ("measured_max_load_speedup".into(), table.max_load_speedup()),
         ("sim_max_reduce_speedup".into(), sim.max_reduce_speedup()),
         ("sim_max_load_speedup".into(), sim.max_load_speedup()),
     ];
-    ExperimentOutput { id: "table2", report, metrics }
+    ExperimentOutput {
+        id: "table2",
+        report,
+        metrics,
+    }
 }
 
 /// Table III: MLP vs LSTM classification quality on the shared pipeline.
 pub fn table3(scale: Scale) -> ExperimentOutput {
-    let sp = shared_products(scale, 33);
-    let products = &sp.1;
-    let lstm = products.reports["LSTM"];
-    let mlp = products.reports["MLP"];
+    let sp = shared_run(scale, 33);
+    let lstm = sp.1.models.lstm_report;
+    let mlp = sp.1.models.mlp_report;
     let mut report = String::from(
         "TABLE III — DL sea-ice classification over IS2 ATL03 (held-out 20%)\n\
          Model  Accuracy  Precision  Recall  F1\n",
@@ -212,8 +234,16 @@ pub fn table3(scale: Scale) -> ExperimentOutput {
         ));
     }
     report.push('\n');
-    report.push_str(&compare_line("LSTM accuracy % (paper 96.56)", 96.56, 100.0 * lstm.accuracy));
-    report.push_str(&compare_line("MLP accuracy % (paper 91.80)", 91.80, 100.0 * mlp.accuracy));
+    report.push_str(&compare_line(
+        "LSTM accuracy % (paper 96.56)",
+        96.56,
+        100.0 * lstm.accuracy,
+    ));
+    report.push_str(&compare_line(
+        "MLP accuracy % (paper 91.80)",
+        91.80,
+        100.0 * mlp.accuracy,
+    ));
     report.push_str(&format!(
         "  LSTM beats MLP: {}\n",
         lstm.accuracy > mlp.accuracy
@@ -223,12 +253,13 @@ pub fn table3(scale: Scale) -> ExperimentOutput {
         ("mlp_accuracy".into(), mlp.accuracy),
         ("lstm_f1".into(), lstm.f1),
         ("mlp_f1".into(), mlp.f1),
-        (
-            "lstm_minus_mlp".into(),
-            lstm.accuracy - mlp.accuracy,
-        ),
+        ("lstm_minus_mlp".into(), lstm.accuracy - mlp.accuracy),
     ];
-    ExperimentOutput { id: "table3", report, metrics }
+    ExperimentOutput {
+        id: "table3",
+        report,
+        metrics,
+    }
 }
 
 /// Table IV (and Figure 5): Horovod-style distributed training — real
@@ -237,14 +268,10 @@ pub fn table3(scale: Scale) -> ExperimentOutput {
 pub fn table4(scale: Scale) -> ExperimentOutput {
     // Build a labelled dataset once (reuse the pipeline's stage 1; the
     // Quick workload is enough — training itself dominates this table).
-    let sp = shared_products(Scale::Quick, 45);
-    let (pipeline, products) = (&sp.0, &sp.1);
-    let labels: Vec<usize> = products
-        .auto_labels
-        .iter()
-        .map(|l| l.label.unwrap().index())
-        .collect();
-    let data = sequence_dataset(&products.segments, &labels, true, &pipeline.cfg.features);
+    let sp = shared_run(Scale::Quick, 45);
+    let (pipeline, run) = (&sp.0, &sp.1);
+    let labels = run.labeled.label_indices();
+    let data = sequence_dataset(&run.track.segments, &labels, true, &pipeline.cfg.features);
     let epochs = match scale {
         Scale::Quick => 2,
         Scale::Full => 6,
@@ -296,14 +323,18 @@ pub fn table4(scale: Scale) -> ExperimentOutput {
     ));
     metrics.push(("sim_speedup_8".into(), sim_rows.last().unwrap().speedup));
     metrics.push(("measured_final_speedup".into(), measured_final));
-    ExperimentOutput { id: "table4", report, metrics }
+    ExperimentOutput {
+        id: "table4",
+        report,
+        metrics,
+    }
 }
 
 /// Table V: PySpark-style freeboard scalability.
 pub fn table5(scale: Scale) -> ExperimentOutput {
     let (pipeline, n_granules) = fleet_pipeline(scale, 55);
     let dir = std::env::temp_dir().join(format!("seaice_table5_{n_granules}"));
-    let sources = write_granule_fleet(&pipeline, &dir, n_granules).expect("fleet");
+    let sources = FleetDriver::write_fleet(&pipeline, &dir, n_granules).expect("fleet");
 
     let grid: &[(usize, usize)] = match scale {
         Scale::Quick => &[(1, 1), (2, 2)],
@@ -314,13 +345,8 @@ pub fn table5(scale: Scale) -> ExperimentOutput {
         "TABLE V — IS2 freeboard computation scalability (measured)",
         grid,
         |e, c| {
-            let (result, report) = scaled_freeboard_run(
-                &Cluster::new(e, c),
-                &sources,
-                &pipeline.cfg.preprocess,
-                &pipeline.cfg.resample,
-                &pipeline.cfg.window,
-            );
+            let driver = FleetDriver::new(Cluster::new(e, c), &pipeline.cfg);
+            let (result, report) = driver.freeboard_run(&sources);
             match &reference {
                 None => reference = Some(result),
                 Some(r) => {
@@ -344,15 +370,30 @@ pub fn table5(scale: Scale) -> ExperimentOutput {
     report.push('\n');
     report.push_str(&sim.render());
     report.push('\n');
-    report.push_str(&compare_line("max reduce speedup (paper 15.68x)", 15.68, sim.max_reduce_speedup()));
-    report.push_str(&compare_line("max load speedup (paper 8.54x)", 8.54, sim.max_load_speedup()));
+    report.push_str(&compare_line(
+        "max reduce speedup (paper 15.68x)",
+        15.68,
+        sim.max_reduce_speedup(),
+    ));
+    report.push_str(&compare_line(
+        "max load speedup (paper 8.54x)",
+        8.54,
+        sim.max_load_speedup(),
+    ));
     let (n_points, mean_fb) = reference.unwrap_or((0, 0.0));
     let metrics = vec![
-        ("measured_max_reduce_speedup".into(), table.max_reduce_speedup()),
+        (
+            "measured_max_reduce_speedup".into(),
+            table.max_reduce_speedup(),
+        ),
         ("sim_max_reduce_speedup".into(), sim.max_reduce_speedup()),
         ("sim_max_load_speedup".into(), sim.max_load_speedup()),
         ("freeboard_points".into(), n_points as f64),
         ("mean_freeboard_m".into(), mean_fb),
     ];
-    ExperimentOutput { id: "table5", report, metrics }
+    ExperimentOutput {
+        id: "table5",
+        report,
+        metrics,
+    }
 }

@@ -186,7 +186,11 @@ pub struct Atl10Freeboard {
 impl Atl10Freeboard {
     /// Builds ATL10-style freeboard from classified ATL07 segments.
     pub fn build(segments: Vec<Atl07Segment>, classes: Vec<SurfaceClass>) -> Atl10Freeboard {
-        assert_eq!(segments.len(), classes.len(), "segment/class length mismatch");
+        assert_eq!(
+            segments.len(),
+            classes.len(),
+            "segment/class length mismatch"
+        );
         let common: Vec<Segment> = segments
             .iter()
             .enumerate()
@@ -237,10 +241,16 @@ mod tests {
         let track = TrackConfig::crossing(scene.config().center, length_m);
         let gen = Atl03Generator::new(
             &scene,
-            GeneratorConfig { seed, ..GeneratorConfig::default() },
+            GeneratorConfig {
+                seed,
+                ..GeneratorConfig::default()
+            },
         );
         let granule = gen.generate(test_meta(0.0), &track, &[Beam::Gt2l]);
-        let pre = preprocess_beam(granule.beam(Beam::Gt2l).unwrap(), &PreprocessConfig::default());
+        let pre = preprocess_beam(
+            granule.beam(Beam::Gt2l).unwrap(),
+            &PreprocessConfig::default(),
+        );
         (scene, pre)
     }
 
@@ -253,14 +263,19 @@ mod tests {
             assert_eq!(s.n_photons, PHOTONS_PER_SEGMENT as u32);
         }
         // Segments are ordered and non-overlapping by construction.
-        assert!(segs.windows(2).all(|w| w[0].along_track_m < w[1].along_track_m));
+        assert!(segs
+            .windows(2)
+            .all(|w| w[0].along_track_m < w[1].along_track_m));
     }
 
     #[test]
     fn segment_length_varies_with_surface_brightness() {
         let (_, pre) = preprocessed(5, 8_000.0);
         let segs = atl07_segments(&pre);
-        let min_len = segs.iter().map(|s| s.length_m).fold(f64::INFINITY, f64::min);
+        let min_len = segs
+            .iter()
+            .map(|s| s.length_m)
+            .fold(f64::INFINITY, f64::min);
         let max_len = segs.iter().map(|s| s.length_m).fold(0.0, f64::max);
         // Bright thick ice (~3/pulse) gives ~35 m segments; dark water
         // (<0.5/pulse) stretches them several-fold.
@@ -272,8 +287,7 @@ mod tests {
     fn atl07_is_far_coarser_than_2m() {
         let (_, pre) = preprocessed(7, 6_000.0);
         let segs = atl07_segments(&pre);
-        let mean_len: f64 =
-            segs.iter().map(|s| s.length_m).sum::<f64>() / segs.len() as f64;
+        let mean_len: f64 = segs.iter().map(|s| s.length_m).sum::<f64>() / segs.len() as f64;
         assert!(mean_len > 10.0, "ATL07 mean segment {mean_len} m");
     }
 

@@ -200,7 +200,10 @@ mod tests {
                 }
             })
             .collect();
-        let product = FreeboardProduct { name: "exact".into(), points };
+        let product = FreeboardProduct {
+            name: "exact".into(),
+            points,
+        };
         let rmse = freeboard_rmse_vs_truth(&scene, &product, 0.0);
         assert!(rmse < 1e-9, "rmse {rmse}");
     }

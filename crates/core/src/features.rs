@@ -17,19 +17,11 @@ pub const N_FEATURES: usize = 6;
 pub const SEQ_LEN: usize = 5;
 
 /// Feature-extraction knobs.
-#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Copy, serde::Serialize, serde::Deserialize, Default)]
 pub struct FeatureConfig {
     /// Use the median height instead of the mean (more robust to residual
     /// background photons).
     pub use_median_height: bool,
-}
-
-impl Default for FeatureConfig {
-    fn default() -> Self {
-        FeatureConfig {
-            use_median_height: false,
-        }
-    }
 }
 
 /// The six features of segment `i` within `segments`.
@@ -47,8 +39,8 @@ fn features_at(segments: &[Segment], i: usize, cfg: &FeatureConfig) -> [f32; N_F
         s
     };
     let d_rate = 0.5 * ((s.photon_rate - prev.photon_rate) + (next.photon_rate - s.photon_rate));
-    let d_bg =
-        0.5 * ((s.background_rate - prev.background_rate) + (next.background_rate - s.background_rate));
+    let d_bg = 0.5
+        * ((s.background_rate - prev.background_rate) + (next.background_rate - s.background_rate));
     [
         h as f32,
         s.std_h_m as f32,
@@ -94,7 +86,11 @@ pub fn sequence_dataset(
     sequence: bool,
     cfg: &FeatureConfig,
 ) -> Dataset {
-    assert_eq!(segments.len(), labels.len(), "segment/label length mismatch");
+    assert_eq!(
+        segments.len(),
+        labels.len(),
+        "segment/label length mismatch"
+    );
     let x = if sequence {
         sequence_features(segments, cfg)
     } else {
@@ -148,7 +144,9 @@ mod tests {
     #[test]
     fn median_option_switches_height_source() {
         let segs = track();
-        let cfg = FeatureConfig { use_median_height: true };
+        let cfg = FeatureConfig {
+            use_median_height: true,
+        };
         let x = segment_features(&segs, &cfg);
         assert!((x.get(3, 0) - 0.34).abs() < 1e-5, "median = mean + 0.01");
     }

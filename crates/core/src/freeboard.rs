@@ -45,7 +45,11 @@ impl FreeboardProduct {
         labels: &[SurfaceClass],
         surface: &SeaSurface,
     ) -> FreeboardProduct {
-        assert_eq!(segments.len(), labels.len(), "segment/label length mismatch");
+        assert_eq!(
+            segments.len(),
+            labels.len(),
+            "segment/label length mismatch"
+        );
         let points = segments
             .iter()
             .zip(labels)
@@ -79,8 +83,7 @@ impl FreeboardProduct {
         if self.points.len() < 2 {
             return 0.0;
         }
-        let span =
-            self.points.last().unwrap().along_track_m - self.points[0].along_track_m;
+        let span = self.points.last().unwrap().along_track_m - self.points[0].along_track_m;
         if span <= 0.0 {
             return 0.0;
         }

@@ -177,17 +177,20 @@ mod tests {
         for i in 0..1500usize {
             let along = i as f64 * 2.0;
             let ssh = along / 3_000.0 * 0.06;
-            let (h, rate) = if (700.0..900.0).contains(&along) || (2_000.0..2_150.0).contains(&along)
-            {
-                (ssh, 0.4)
-            } else {
-                (ssh + 0.35, 2.6)
-            };
+            let (h, rate) =
+                if (700.0..900.0).contains(&along) || (2_000.0..2_150.0).contains(&along) {
+                    (ssh, 0.4)
+                } else {
+                    (ssh + 0.35, 2.6)
+                };
             segments.push(seg(i, h, rate));
         }
         let classes = heuristic_classes(&segments, &HeuristicConfig::default());
         assert_eq!(classes[(800.0f64 / 2.0) as usize], SurfaceClass::OpenWater);
-        assert_eq!(classes[(2_100.0f64 / 2.0) as usize], SurfaceClass::OpenWater);
+        assert_eq!(
+            classes[(2_100.0f64 / 2.0) as usize],
+            SurfaceClass::OpenWater
+        );
         assert_eq!(classes[(1_500.0f64 / 2.0) as usize], SurfaceClass::ThickIce);
     }
 

@@ -15,7 +15,7 @@ use icesat_sentinel2::{Label, LabelRaster};
 use serde::{Deserialize, Serialize};
 
 /// Auto-labeling configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
 pub struct AutoLabelConfig {
     /// Drift-search half-extent, metres.
     pub shift_search_radius_m: f64,
@@ -57,9 +57,7 @@ pub fn autolabel_segments(segments: &[Segment], raster: &LabelRaster) -> Vec<Lab
     segments
         .iter()
         .map(|s| {
-            let label = raster
-                .sample(segment_map_point(s))
-                .and_then(|l| l.class());
+            let label = raster.sample(segment_map_point(s)).and_then(|l| l.class());
             LabeledSegment { segment: *s, label }
         })
         .collect()
@@ -96,6 +94,23 @@ fn alignment_score(segments: &[Segment], raster: &LabelRaster, dx: f64, dy: f64)
         }
     }
     -(weighted_var / total as f64)
+}
+
+/// The full stage-2 labeling chain: drift estimation, shifted label
+/// transfer, and the simulated manual pass against the truth scene.
+/// Shared by the legacy [`crate::pipeline::Pipeline::autolabel`] and the
+/// staged [`crate::stages::LabeledDataset`] so the algorithm exists once.
+pub fn autolabel_with_drift(
+    segments: &[Segment],
+    raster: &LabelRaster,
+    scene: &Scene,
+    cfg: &AutoLabelConfig,
+) -> (Vec<LabeledSegment>, DriftEstimate) {
+    let est = estimate_drift(segments, raster, cfg);
+    let shifted = raster.shifted(est.dx_m, est.dy_m);
+    let mut labeled = autolabel_segments(segments, &shifted);
+    manual_correction(&mut labeled, scene, 0.0, cfg);
+    (labeled, est)
 }
 
 /// Estimated drift shift with its score.
@@ -136,10 +151,13 @@ pub fn estimate_drift(
             let score = alignment_score(segments, raster, dx, dy);
             // Deterministic tie-break: prefer the smaller shift.
             let better = score > best.score + 1e-12
-                || (score > best.score - 1e-12
-                    && dx.hypot(dy) < best.dx_m.hypot(best.dy_m) - 1e-9);
+                || (score > best.score - 1e-12 && dx.hypot(dy) < best.dx_m.hypot(best.dy_m) - 1e-9);
             if better {
-                best = DriftEstimate { dx_m: dx, dy_m: dy, score };
+                best = DriftEstimate {
+                    dx_m: dx,
+                    dy_m: dy,
+                    score,
+                };
             }
         }
     }
@@ -177,8 +195,8 @@ pub fn manual_correction(
         let (a, b) = (labeled[i - 1].label, labeled[i].label);
         if let (Some(ca), Some(cb)) = (a, b) {
             if ca != cb {
-                let boundary = 0.5
-                    * (labeled[i - 1].segment.along_track_m + labeled[i].segment.along_track_m);
+                let boundary =
+                    0.5 * (labeled[i - 1].segment.along_track_m + labeled[i].segment.along_track_m);
                 for (j, seg) in labeled.iter().enumerate() {
                     if (seg.segment.along_track_m - boundary).abs() <= cfg.transition_halfwidth_m {
                         in_transition[j] = true;
@@ -229,11 +247,11 @@ pub fn label_accuracy(labeled: &[LabeledSegment], scene: &Scene, t_minutes: f64)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use icesat_atl03::generator::test_meta;
     use icesat_atl03::{
         preprocess_beam, resample_2m, Atl03Generator, Beam, GeneratorConfig, PreprocessConfig,
         ResampleConfig, TrackConfig,
     };
-    use icesat_atl03::generator::test_meta;
     use icesat_scene::{DriftModel, SceneConfig};
     use icesat_sentinel2::{render_scene, segment_image, RenderConfig, SegmentationConfig};
 
@@ -251,10 +269,16 @@ mod tests {
         let track = TrackConfig::crossing(scene.config().center, 6_000.0);
         let gen = Atl03Generator::new(
             &scene,
-            GeneratorConfig { seed, ..GeneratorConfig::default() },
+            GeneratorConfig {
+                seed,
+                ..GeneratorConfig::default()
+            },
         );
         let granule = gen.generate(test_meta(0.0), &track, &[Beam::Gt2l]);
-        let pre = preprocess_beam(granule.beam(Beam::Gt2l).unwrap(), &PreprocessConfig::default());
+        let pre = preprocess_beam(
+            granule.beam(Beam::Gt2l).unwrap(),
+            &PreprocessConfig::default(),
+        );
         let segments = resample_2m(&pre, &ResampleConfig::default());
         let img = render_scene(
             &scene,
@@ -319,7 +343,10 @@ mod tests {
     fn zero_drift_estimates_near_zero_shift() {
         let (_, segments, raster) = setup(9, DriftModel::STILL, 10.0, 0.0);
         let est = estimate_drift(&segments, &raster, &AutoLabelConfig::default());
-        assert!(est.dx_m.abs() <= 100.0 && est.dy_m.abs() <= 100.0, "{est:?}");
+        assert!(
+            est.dx_m.abs() <= 100.0 && est.dy_m.abs() <= 100.0,
+            "{est:?}"
+        );
     }
 
     #[test]
@@ -347,9 +374,8 @@ mod tests {
         let mut in_transition = vec![false; labeled.len()];
         for i in 1..labeled.len() {
             if labeled[i - 1].label != labeled[i].label {
-                for j in i.saturating_sub(6)..(i + 6).min(labeled.len()) {
-                    in_transition[j] = true;
-                }
+                let (lo, hi) = (i.saturating_sub(6), (i + 6).min(labeled.len()));
+                in_transition[lo..hi].iter_mut().for_each(|t| *t = true);
             }
         }
         let victim = (0..labeled.len())
@@ -368,7 +394,10 @@ mod tests {
             .expect("control segment");
         let control_label = labeled[control].label;
         let _ = manual_correction(&mut labeled, &scene, 0.0, &AutoLabelConfig::default());
-        assert_eq!(labeled[control].label, control_label, "interior label touched");
+        assert_eq!(
+            labeled[control].label, control_label,
+            "interior label touched"
+        );
     }
 
     #[test]

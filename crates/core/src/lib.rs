@@ -23,30 +23,47 @@
 //!   linear interpolation across waterless windows (Figures 8, 9);
 //! - [`freeboard`] — `hf = hs − href` per 2 m segment, distributions and
 //!   density comparisons (Figures 10, 11);
-//! - [`pipeline`] — the four-stage workflow glued together, including the
-//!   sparklite-scaled auto-labeling and freeboard runs behind Tables II
-//!   and V;
+//! - [`stages`] — **the staged pipeline API**: typed, serializable
+//!   artifacts per workflow stage ([`stages::CuratedTrack`] →
+//!   [`stages::LabeledDataset`] → [`stages::TrainedModels`] →
+//!   [`stages::SeaIceProducts`]) composed by [`stages::PipelineBuilder`];
+//! - [`artifact`] — the versioned binary persistence layer behind the
+//!   stage artifacts (serde-free; the workspace builds offline);
+//! - [`fleet`] — [`fleet::FleetDriver`], which broadcasts one
+//!   [`stages::TrainedModels`] across a `sparklite` cluster and processes
+//!   whole granule fleets beam-parallel;
+//! - [`pipeline`] — the legacy one-call workflow, now a thin wrapper that
+//!   chains the stages, plus the sparklite-scaled compatibility entry
+//!   points behind Tables II and V;
 //! - [`eval`] — truth-referenced scoring (the luxury a synthetic scene
 //!   buys us): classification accuracy, sea-surface RMSE, freeboard RMSE,
 //!   and product-density ratios.
 
+pub mod artifact;
 pub mod atl07;
 pub mod eval;
 pub mod features;
+pub mod fleet;
 pub mod freeboard;
 pub mod heuristic;
 pub mod labeling;
 pub mod models;
 pub mod pipeline;
 pub mod seasurface;
+pub mod stages;
 pub mod thickness;
 
+pub use artifact::{Artifact, ArtifactError};
 pub use atl07::{atl07_segments, classify_atl07, Atl07Segment, Atl10Freeboard};
-pub use features::{sequence_dataset, segment_features, FeatureConfig, SEQ_LEN, N_FEATURES};
+pub use features::{segment_features, sequence_dataset, FeatureConfig, N_FEATURES, SEQ_LEN};
+pub use fleet::{BeamProducts, FleetDriver};
 pub use freeboard::{FreeboardPoint, FreeboardProduct};
 pub use heuristic::{heuristic_classes, HeuristicConfig};
 pub use labeling::{autolabel_segments, estimate_drift, AutoLabelConfig, LabeledSegment};
 pub use models::{paper_lstm, paper_mlp, train_classifier, ModelKind, TrainedClassifier};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineProducts};
 pub use seasurface::{SeaSurface, SeaSurfaceMethod};
+pub use stages::{
+    CuratedTrack, LabeledDataset, PipelineBuilder, SeaIceProducts, StagedRun, TrainedModels,
+};
 pub use thickness::{thickness_from_freeboard, Densities, SnowModel, ThicknessProduct};

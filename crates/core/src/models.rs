@@ -13,8 +13,8 @@
 
 use icesat_scene::SurfaceClass;
 use neurite::{
-    confusion_matrix, Activation, Adam, BatchIter, ClassificationReport, ConfusionMatrix,
-    Dataset, Dense, Dropout, FocalLoss, Lstm, Matrix, Sequential, Standardizer,
+    confusion_matrix, Activation, Adam, BatchIter, ClassificationReport, ConfusionMatrix, Dataset,
+    Dense, Dropout, FocalLoss, Lstm, Matrix, Sequential, Standardizer,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -58,7 +58,13 @@ impl ModelKind {
 pub fn paper_lstm(seed: u64) -> Sequential {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     Sequential::new()
-        .add(Lstm::new(N_FEATURES, 16, SEQ_LEN, Activation::Elu, &mut rng))
+        .add(Lstm::new(
+            N_FEATURES,
+            16,
+            SEQ_LEN,
+            Activation::Elu,
+            &mut rng,
+        ))
         .add(Dropout::new(0.2, seed ^ 0xD0D0))
         .add(Dense::new(16, 32, Activation::Elu, &mut rng))
         .add(Dense::new(32, 96, Activation::Elu, &mut rng))
@@ -67,7 +73,12 @@ pub fn paper_lstm(seed: u64) -> Sequential {
         .add(Dense::new(16, 112, Activation::Elu, &mut rng))
         .add(Dense::new(112, 48, Activation::Elu, &mut rng))
         .add(Dense::new(48, 64, Activation::Elu, &mut rng))
-        .add(Dense::new(64, SurfaceClass::COUNT, Activation::Linear, &mut rng))
+        .add(Dense::new(
+            64,
+            SurfaceClass::COUNT,
+            Activation::Linear,
+            &mut rng,
+        ))
 }
 
 /// The paper's MLP architecture.
@@ -76,7 +87,12 @@ pub fn paper_mlp(seed: u64) -> Sequential {
     Sequential::new()
         .add(Dense::new(N_FEATURES, 32, Activation::Relu, &mut rng))
         .add(Dropout::new(0.2, seed ^ 0xD1D1))
-        .add(Dense::new(32, SurfaceClass::COUNT, Activation::Linear, &mut rng))
+        .add(Dense::new(
+            32,
+            SurfaceClass::COUNT,
+            Activation::Linear,
+            &mut rng,
+        ))
 }
 
 /// Builds the architecture for `kind`.
@@ -88,7 +104,7 @@ pub fn build_model(kind: ModelKind, seed: u64) -> Sequential {
 }
 
 /// Training hyper-parameters (paper defaults).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Epochs (paper: 20).
     pub epochs: usize,
@@ -154,7 +170,10 @@ pub fn train_classifier(kind: ModelKind, train: &Dataset, cfg: &TrainConfig) -> 
     let (standardizer, x) = Standardizer::fit_transform(&train.x);
     let std_train = Dataset::new(x, train.y.clone());
     let alpha = std_train.inverse_frequency_weights(SurfaceClass::COUNT);
-    let loss = FocalLoss::with_alpha(cfg.focal_gamma, alpha.iter().map(|&a| a.max(1e-3)).collect());
+    let loss = FocalLoss::with_alpha(
+        cfg.focal_gamma,
+        alpha.iter().map(|&a| a.max(1e-3)).collect(),
+    );
     let mut model = build_model(kind, cfg.seed);
     let mut opt = Adam::new(cfg.learning_rate);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
@@ -185,7 +204,11 @@ mod tests {
     /// level/smooth), with label imbalance like the Ross Sea.
     fn synthetic_dataset(n: usize, seed: u64, sequence: bool) -> Dataset {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let dim = if sequence { SEQ_LEN * N_FEATURES } else { N_FEATURES };
+        let dim = if sequence {
+            SEQ_LEN * N_FEATURES
+        } else {
+            N_FEATURES
+        };
         let mut rows = Vec::with_capacity(n);
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
@@ -262,7 +285,12 @@ mod tests {
         assert!(report.accuracy > 0.85, "LSTM accuracy {}", report.accuracy);
         // Majority class (thick ice) recall should be the highest —
         // the Fig. 4 ordering.
-        assert!(m.recall(0) >= m.recall(2), "thick {} open {}", m.recall(0), m.recall(2));
+        assert!(
+            m.recall(0) >= m.recall(2),
+            "thick {} open {}",
+            m.recall(0),
+            m.recall(2)
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The four-stage workflow, end to end, plus the sparklite-scaled runs
-//! behind the paper's Tables II and V.
+//! The legacy one-call workflow plus the sparklite-scaled compatibility
+//! entry points behind the paper's Tables II and V.
 //!
 //! Stage 1 — data curation: synthetic granule → preprocessing → 2 m
 //! resampling → S2 coincident pair → drift correction → auto-labeling →
@@ -8,11 +8,16 @@
 //! Stage 3 — inference over every 2 m segment.
 //! Stage 4 — local sea surface (four methods) and freeboard, with the
 //! ATL07/ATL10 emulation as the comparison product.
+//!
+//! Since the staged-artifact redesign, [`Pipeline::run`] is a thin
+//! wrapper over [`crate::stages`], and the `scaled_*` functions wrap
+//! [`crate::fleet::FleetDriver`]. New code should use those APIs
+//! directly; this module keeps the original one-call surface working.
 
 use icesat_atl03::generator::standard_granule;
 use icesat_atl03::{
-    io as granule_io, preprocess_beam, resample_2m, Beam, GeneratorConfig, Granule, GranuleMeta,
-    PreprocessConfig, ResampleConfig, Segment,
+    preprocess_beam, resample_2m, Beam, GeneratorConfig, Granule, GranuleMeta, PreprocessConfig,
+    ResampleConfig, Segment,
 };
 use icesat_scene::{DriftModel, Scene, SceneConfig, SurfaceClass};
 use icesat_sentinel2::{CoincidentPair, PairConfig, RenderConfig, SegmentationConfig};
@@ -23,19 +28,15 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use crate::atl07::{atl07_segments, classify_atl07, Atl10Freeboard, DecisionTreeConfig};
-use crate::eval;
-use crate::features::{sequence_dataset, FeatureConfig};
+use crate::atl07::Atl10Freeboard;
+use crate::features::FeatureConfig;
 use crate::freeboard::FreeboardProduct;
-use crate::labeling::{
-    autolabel_segments, estimate_drift, manual_correction, AutoLabelConfig, DriftEstimate,
-    LabeledSegment,
-};
-use crate::models::{train_classifier, ModelKind, TrainConfig, TrainedClassifier};
-use crate::seasurface::{SeaSurface, SeaSurfaceMethod, WindowConfig};
+use crate::labeling::{AutoLabelConfig, DriftEstimate, LabeledSegment};
+use crate::models::{TrainConfig, TrainedClassifier};
+use crate::seasurface::{SeaSurface, WindowConfig};
 
 /// Everything the workflow needs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Master seed.
     pub seed: u64,
@@ -73,7 +74,7 @@ impl PipelineConfig {
             scene,
             track_length_m: 30_000.0,
             generator: GeneratorConfig {
-                seed: seed ^ 0xA70_03,
+                seed: seed ^ 0x000A_7003,
                 ..GeneratorConfig::default()
             },
             preprocess: PreprocessConfig::default(),
@@ -209,92 +210,38 @@ impl Pipeline {
         segments: &[Segment],
         pair: &CoincidentPair,
     ) -> (Vec<LabeledSegment>, DriftEstimate) {
-        let est = estimate_drift(segments, &pair.labels, &self.cfg.autolabel);
-        let shifted = pair.labels.shifted(est.dx_m, est.dy_m);
-        let mut labeled = autolabel_segments(segments, &shifted);
-        manual_correction(&mut labeled, &self.scene, 0.0, &self.cfg.autolabel);
-        (labeled, est)
+        crate::labeling::autolabel_with_drift(
+            segments,
+            &pair.labels,
+            &self.scene,
+            &self.cfg.autolabel,
+        )
     }
 
     /// Runs all four stages on the central strong beam and returns the
     /// full product set.
+    ///
+    /// Compatibility wrapper: the work happens in the staged API
+    /// ([`crate::stages`]) — curation, labeling, training, and product
+    /// derivation run as the same explicit artifacts `PipelineBuilder`
+    /// exposes, then flatten into the legacy shape.
     pub fn run(&self) -> PipelineProducts {
-        // ---- Stage 1: curation + auto-labeling.
-        let granule = self.generate_granule();
-        let segments = self.segments_for_beam(&granule, Beam::Gt2l);
-        let pair = self.coincident_pair();
-        let (auto_labels, drift) = self.autolabel(&segments, &pair);
-        let (autolabel_accuracy, _) =
-            crate::labeling::label_accuracy(&auto_labels, &self.scene, 0.0);
+        self.run_staged(Beam::Gt2l).into_legacy()
+    }
 
-        let labels_idx: Vec<usize> = auto_labels
-            .iter()
-            .map(|l| l.label.expect("manual pass fills all labels").index())
-            .collect();
-
-        // ---- Stage 2: training (80/20 split, both architectures).
-        let seq_data = sequence_dataset(&segments, &labels_idx, true, &self.cfg.features);
-        let pt_data = sequence_dataset(&segments, &labels_idx, false, &self.cfg.features);
-        let (seq_train, seq_test) = seq_data.split(0.8, self.cfg.train.seed);
-        let (pt_train, pt_test) = pt_data.split(0.8, self.cfg.train.seed);
-        let mut lstm = train_classifier(ModelKind::PaperLstm, &seq_train, &self.cfg.train);
-        let mut mlp = train_classifier(ModelKind::PaperMlp, &pt_train, &self.cfg.train);
-        let (lstm_report, lstm_confusion) = lstm.evaluate(&seq_test);
-        let (mlp_report, _) = mlp.evaluate(&pt_test);
-        let mut reports = BTreeMap::new();
-        reports.insert("LSTM", lstm_report);
-        reports.insert("MLP", mlp_report);
-
-        // ---- Stage 3: inference over every 2 m segment.
-        let all_seq = sequence_dataset(&segments, &labels_idx, true, &self.cfg.features);
-        let classes: Vec<SurfaceClass> = lstm
-            .predict(&all_seq.x)
-            .into_iter()
-            .map(|i| SurfaceClass::from_index(i).expect("3-way softmax"))
-            .collect();
-        let classification_accuracy_vs_truth =
-            eval::classification_accuracy_vs_truth(&self.scene, &segments, &classes, 0.0);
-
-        // ---- Stage 4: sea surfaces, freeboard, baseline products.
-        let mut sea_surfaces = BTreeMap::new();
-        for method in SeaSurfaceMethod::ALL {
-            sea_surfaces.insert(
-                method.name(),
-                SeaSurface::compute_with_floor_fallback(
-                    &segments,
-                    &classes,
-                    method,
-                    &self.cfg.window,
-                ),
-            );
-        }
-        let nasa = sea_surfaces["nasa-equation"].clone();
-        let freeboard_atl03 =
-            FreeboardProduct::from_segments("ATL03 2m", &segments, &classes, &nasa);
-
-        let data = granule.beam(Beam::Gt2l).expect("gt2l");
-        let pre = preprocess_beam(data, &self.cfg.preprocess);
-        let a07 = atl07_segments(&pre);
-        let atl07_classes = classify_atl07(&a07, &DecisionTreeConfig::default());
-        let atl10 = Atl10Freeboard::build(a07, atl07_classes.clone());
-        let surface_gap_m = eval::mean_surface_gap(&nasa, &atl10.surface, &segments);
-
-        PipelineProducts {
-            segments,
-            auto_labels,
-            drift,
-            autolabel_accuracy,
-            lstm,
-            mlp,
-            reports,
-            lstm_confusion,
-            classes,
-            classification_accuracy_vs_truth,
-            sea_surfaces,
-            freeboard_atl03,
-            atl07_classes,
-            atl10,
-            surface_gap_m,
+    /// Runs all four stages against this pipeline's already-realised
+    /// truth scene, keeping every intermediate artifact.
+    pub fn run_staged(&self, beam: Beam) -> crate::stages::StagedRun {
+        let track = crate::stages::CuratedTrack::curate_with(self, beam);
+        let labeled = crate::stages::LabeledDataset::label_with_scene(&track, &self.scene);
+        let mut models = labeled.train(&track);
+        let products =
+            crate::stages::SeaIceProducts::derive_with_scene(&track, &mut models, &self.scene);
+        crate::stages::StagedRun {
+            track,
+            labeled,
+            models,
+            products,
         }
     }
 }
@@ -305,41 +252,20 @@ impl Pipeline {
 
 /// Materialises `n_granules` granule files (three strong beams each)
 /// under `dir`, returning `(file, beam)` sources — one partition each.
+///
+/// Compatibility alias for [`crate::fleet::FleetDriver::write_fleet`].
 pub fn write_granule_fleet(
     pipeline: &Pipeline,
     dir: &Path,
     n_granules: usize,
 ) -> std::io::Result<Vec<(PathBuf, Beam)>> {
-    std::fs::create_dir_all(dir)?;
-    let mut sources = Vec::with_capacity(n_granules * 3);
-    for g in 0..n_granules {
-        let mut meta = pipeline.meta();
-        meta.rgt = 500 + g as u16;
-        let granule = standard_granule(
-            &pipeline.scene,
-            GeneratorConfig {
-                seed: pipeline.cfg.generator.seed ^ (g as u64 + 1),
-                ..pipeline.cfg.generator
-            },
-            meta,
-            pipeline.cfg.track_length_m,
-        );
-        let path = dir.join(format!("{}.a3g", granule.meta.granule_id()));
-        granule_io::write_file(&granule, &path)?;
-        for beam in Beam::STRONG {
-            sources.push((path.clone(), beam));
-        }
-    }
-    Ok(sources)
+    crate::fleet::FleetDriver::write_fleet(pipeline, dir, n_granules)
 }
 
-/// One (executors × cores) auto-labeling run over granule files.
+/// One (executors × cores) auto-labeling run over granule files
+/// (Table II workload).
 ///
-/// Stage split mirrors the paper's: **load** reads and decodes the raw
-/// photon files; **map** lazily registers the per-beam transformation
-/// (preprocess → 2 m resample → label transfer against the shared
-/// raster); **reduce** executes it and aggregates per-class counts, and
-/// is where the compute lives — the 16.25× column of Table II.
+/// Compatibility wrapper over [`crate::fleet::FleetDriver::autolabel_run`].
 pub fn scaled_autolabel_run(
     cluster: &Cluster,
     sources: &[(PathBuf, Beam)],
@@ -347,58 +273,13 @@ pub fn scaled_autolabel_run(
     preprocess: &PreprocessConfig,
     resample: &ResampleConfig,
 ) -> ([usize; 4], StageReport) {
-    let preprocess = *preprocess;
-    let resample = *resample;
-    let (counts, report) = cluster.run_pipeline(
-        sources.to_vec(),
-        // Load: file read + decode only — one whole raw beam per
-        // partition.
-        move |(path, beam)| {
-            let granule = granule_io::read_file(path).expect("granule file readable");
-            let data = granule.beam(*beam).expect("beam present");
-            vec![data.clone()]
-        },
-        // Map (lazy): the full per-beam compute chain.
-        move |rdd| {
-            let raster = Arc::clone(&raster);
-            rdd.map(move |beam_data: icesat_atl03::BeamData| {
-                let pre = preprocess_beam(&beam_data, &preprocess);
-                let segments = resample_2m(&pre, &resample);
-                segments
-                    .into_iter()
-                    .map(|seg| {
-                        let label = raster
-                            .sample(crate::labeling::segment_map_point(&seg))
-                            .and_then(|l| l.class());
-                        LabeledSegment { segment: seg, label }
-                    })
-                    .collect::<Vec<_>>()
-            })
-        },
-        // Reduce: executes the chain, folds per-class counts.
-        |part: Vec<Vec<LabeledSegment>>| {
-            let mut counts = [0usize; 4];
-            for l in part.into_iter().flatten() {
-                match l.label {
-                    Some(c) => counts[c.index()] += 1,
-                    None => counts[3] += 1,
-                }
-            }
-            counts
-        },
-        |mut a, b| {
-            for i in 0..4 {
-                a[i] += b[i];
-            }
-            a
-        },
-    );
-    (counts.unwrap_or([0; 4]), report)
+    crate::fleet::FleetDriver::from_parts(*cluster, *preprocess, *resample, WindowConfig::default())
+        .autolabel_run(sources, raster)
 }
 
-/// One (executors × cores) freeboard run: load = read + preprocess +
-/// resample; map = decision-tree classification (partition-local); reduce
-/// = per-partition sea surface + freeboard, combined into global stats.
+/// One (executors × cores) freeboard run (Table V workload).
+///
+/// Compatibility wrapper over [`crate::fleet::FleetDriver::freeboard_run`].
 pub fn scaled_freeboard_run(
     cluster: &Cluster,
     sources: &[(PathBuf, Beam)],
@@ -406,59 +287,8 @@ pub fn scaled_freeboard_run(
     resample: &ResampleConfig,
     window: &WindowConfig,
 ) -> ((usize, f64), StageReport) {
-    let preprocess = *preprocess;
-    let resample = *resample;
-    let window = *window;
-    let heuristic = crate::heuristic::HeuristicConfig::default();
-    let (out, report) = cluster.run_pipeline(
-        sources.to_vec(),
-        // Load: file read + decode only.
-        move |(path, beam)| {
-            let granule = granule_io::read_file(path).expect("granule file readable");
-            let data = granule.beam(*beam).expect("beam present");
-            vec![data.clone()]
-        },
-        // Map (lazy): preprocess, resample, classify. One partition = one
-        // whole beam, so the partition-local sea surface in the reduce is
-        // a legitimate 10 km-window product.
-        move |rdd| {
-            rdd.map(move |beam_data: icesat_atl03::BeamData| {
-                let pre = preprocess_beam(&beam_data, &preprocess);
-                let segments = resample_2m(&pre, &resample);
-                // Fast physics-threshold classification (the scaled
-                // freeboard stage consumes an already-classified product
-                // in the paper; the heuristic stands in for stored
-                // classes).
-                let classes = crate::heuristic::heuristic_classes(&segments, &heuristic);
-                (segments, classes)
-            })
-        },
-        move |part: Vec<(Vec<Segment>, Vec<SurfaceClass>)>| {
-            let mut n = 0usize;
-            let mut sum = 0.0f64;
-            for (segments, classes) in part {
-                if segments.is_empty() || !classes.contains(&SurfaceClass::OpenWater) {
-                    continue;
-                }
-                let surface = SeaSurface::compute(
-                    &segments,
-                    &classes,
-                    SeaSurfaceMethod::NasaEquation,
-                    &window,
-                );
-                let product =
-                    FreeboardProduct::from_segments("scaled", &segments, &classes, &surface);
-                let ice = product.ice_freeboards();
-                n += ice.len();
-                sum += ice.iter().sum::<f64>();
-            }
-            (n, sum)
-        },
-        |a, b| (a.0 + b.0, a.1 + b.1),
-    );
-    let (n, sum) = out.unwrap_or((0, 0.0));
-    let mean = if n > 0 { sum / n as f64 } else { 0.0 };
-    ((n, mean), report)
+    crate::fleet::FleetDriver::from_parts(*cluster, *preprocess, *resample, *window)
+        .freeboard_run(sources)
 }
 
 /// Sweeps the paper's executors × cores grid for either scaled workload,
@@ -502,7 +332,10 @@ mod tests {
 
         // Stage 4: four surfaces; 2 m product much denser than ATL10.
         assert_eq!(products.sea_surfaces.len(), 4);
-        assert!(products.freeboard_atl03.density_per_km() > 5.0 * products.atl10.product.density_per_km());
+        assert!(
+            products.freeboard_atl03.density_per_km()
+                > 5.0 * products.atl10.product.density_per_km()
+        );
         // Paper: ATL03-vs-ATL07 surface gap is ~0.1 m.
         assert!(
             products.surface_gap_m < 0.25,

@@ -47,7 +47,7 @@ impl SeaSurfaceMethod {
 }
 
 /// Sliding-window geometry.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
 pub struct WindowConfig {
     /// Full window length, metres (paper: 10 km).
     pub window_m: f64,
@@ -90,8 +90,15 @@ impl SeaSurface {
         method: SeaSurfaceMethod,
         cfg: &WindowConfig,
     ) -> SeaSurface {
-        assert_eq!(segments.len(), labels.len(), "segment/label length mismatch");
-        assert!(cfg.window_m > 0.0 && cfg.step_m > 0.0, "bad window geometry");
+        assert_eq!(
+            segments.len(),
+            labels.len(),
+            "segment/label length mismatch"
+        );
+        assert!(
+            cfg.window_m > 0.0 && cfg.step_m > 0.0,
+            "bad window geometry"
+        );
         assert!(!segments.is_empty(), "no segments");
 
         let start = segments.first().unwrap().along_track_m;
@@ -146,7 +153,11 @@ impl SeaSurface {
         if labels.contains(&SurfaceClass::OpenWater) {
             return SeaSurface::compute(segments, labels, method, cfg);
         }
-        assert_eq!(segments.len(), labels.len(), "segment/label length mismatch");
+        assert_eq!(
+            segments.len(),
+            labels.len(),
+            "segment/label length mismatch"
+        );
         assert!(!segments.is_empty(), "no segments");
         let start = segments.first().unwrap().along_track_m;
         let end = segments.last().unwrap().along_track_m;
@@ -273,9 +284,7 @@ fn group_leads<'a>(water: &[&'a Segment], join_gap: f64) -> Vec<Vec<&'a Segment>
     let mut leads: Vec<Vec<&Segment>> = Vec::new();
     for &s in water {
         match leads.last_mut() {
-            Some(lead)
-                if s.along_track_m - lead.last().unwrap().along_track_m <= join_gap =>
-            {
+            Some(lead) if s.along_track_m - lead.last().unwrap().along_track_m <= join_gap => {
                 lead.push(s)
             }
             _ => leads.push(vec![s]),
@@ -457,10 +466,18 @@ mod tests {
     #[test]
     fn minimum_biases_low_average_unbiased() {
         let (segments, labels) = synthetic_track(10_000, flat, 0.08);
-        let min_ss =
-            SeaSurface::compute(&segments, &labels, SeaSurfaceMethod::Minimum, &WindowConfig::default());
-        let avg_ss =
-            SeaSurface::compute(&segments, &labels, SeaSurfaceMethod::Average, &WindowConfig::default());
+        let min_ss = SeaSurface::compute(
+            &segments,
+            &labels,
+            SeaSurfaceMethod::Minimum,
+            &WindowConfig::default(),
+        );
+        let avg_ss = SeaSurface::compute(
+            &segments,
+            &labels,
+            SeaSurfaceMethod::Average,
+            &WindowConfig::default(),
+        );
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(
             mean(&min_ss.href_m) < mean(&avg_ss.href_m) - 0.01,
@@ -554,7 +571,7 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..n {
             let along = i as f64 * 2.0 + 1.0;
-            let water = along < 200.0 || along > 29_800.0;
+            let water = !(200.0..=29_800.0).contains(&along);
             let h = if water {
                 if along < 200.0 {
                     0.0
@@ -591,7 +608,10 @@ mod tests {
             SeaSurfaceMethod::Average,
             &WindowConfig::default(),
         );
-        assert!(ss.water_coverage() < 1.0, "some windows must be interpolated");
+        assert!(
+            ss.water_coverage() < 1.0,
+            "some windows must be interpolated"
+        );
         assert!(ss.water_coverage() > 0.0);
         // Interpolated values sit between the two anchors.
         for (&h, &fw) in ss.href_m.iter().zip(&ss.from_water) {
@@ -607,7 +627,10 @@ mod tests {
             .filter(|(_, &fw)| !fw)
             .map(|(&h, _)| h)
             .collect();
-        assert!(interp.windows(2).all(|w| w[1] >= w[0] - 1e-9), "ramp not monotone");
+        assert!(
+            interp.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+            "ramp not monotone"
+        );
     }
 
     #[test]
@@ -651,7 +674,10 @@ mod tests {
             &WindowConfig::default(),
         );
         assert!(!ss.centers_m.is_empty());
-        assert!(ss.from_water.iter().all(|&b| !b), "degraded product flagged");
+        assert!(
+            ss.from_water.iter().all(|&b| !b),
+            "degraded product flagged"
+        );
         // Anchored near the lowest surface (the water pockets exist in
         // the heights even though the labels missed them).
         for &h in &ss.href_m {
@@ -665,7 +691,12 @@ mod tests {
             SeaSurfaceMethod::Average,
             &WindowConfig::default(),
         );
-        let b = SeaSurface::compute(&segments2, &labels2, SeaSurfaceMethod::Average, &WindowConfig::default());
+        let b = SeaSurface::compute(
+            &segments2,
+            &labels2,
+            SeaSurfaceMethod::Average,
+            &WindowConfig::default(),
+        );
         assert_eq!(a, b);
     }
 

@@ -129,7 +129,11 @@ impl ThicknessProduct {
         let mut v: Vec<f64> = self.points.iter().map(|p| p.thickness_m).collect();
         v.sort_by(|a, b| a.total_cmp(b));
         let mean = v.iter().sum::<f64>() / v.len() as f64;
-        (mean, v[v.len() / 2], v[((v.len() as f64 * 0.95) as usize).min(v.len() - 1)])
+        (
+            mean,
+            v[v.len() / 2],
+            v[((v.len() as f64 * 0.95) as usize).min(v.len() - 1)],
+        )
     }
 }
 
@@ -167,11 +171,8 @@ mod tests {
     fn antarctic_scale_sanity() {
         // Ross Sea first-year ice: 0.3 m freeboard with 70% snow cover
         // should land in the 1–2 m range the paper's refs report.
-        let t = thickness_from_freeboard(
-            0.3,
-            SnowModel::FreeboardFraction(0.7),
-            Densities::default(),
-        );
+        let t =
+            thickness_from_freeboard(0.3, SnowModel::FreeboardFraction(0.7), Densities::default());
         assert!((0.8..2.5).contains(&t), "t = {t}");
     }
 

@@ -96,7 +96,10 @@ mod tests {
     fn longitude_normalisation_wraps_both_ways() {
         assert!((normalize_lon(190.0) - -170.0).abs() < 1e-12);
         assert!((normalize_lon(-190.0) - 170.0).abs() < 1e-12);
-        assert!((normalize_lon(540.0) - 180.0).abs() < 1e-9 || (normalize_lon(540.0) + 180.0).abs() < 1e-9);
+        assert!(
+            (normalize_lon(540.0) - 180.0).abs() < 1e-9
+                || (normalize_lon(540.0) + 180.0).abs() < 1e-9
+        );
         assert_eq!(normalize_lon(0.0), 0.0);
     }
 

@@ -154,8 +154,7 @@ impl PolarStereographic {
 #[inline]
 fn half_angle_t(phi: f64, e: f64) -> f64 {
     let s = phi.sin();
-    (std::f64::consts::FRAC_PI_4 - phi / 2.0).tan()
-        * ((1.0 + e * s) / (1.0 - e * s)).powf(e / 2.0)
+    (std::f64::consts::FRAC_PI_4 - phi / 2.0).tan() * ((1.0 + e * s) / (1.0 - e * s)).powf(e / 2.0)
 }
 
 /// Series expansion (Snyder 3-5) converting conformal latitude `chi` to

@@ -64,8 +64,7 @@ impl DgxCostModel {
             return 0.0;
         }
         let nf = n as f64;
-        2.0 * (nf - 1.0) * self.gradient_bytes / self.link_bandwidth
-            + 2.0 * self.hop_latency_s
+        2.0 * (nf - 1.0) * self.gradient_bytes / self.link_bandwidth + 2.0 * self.hop_latency_s
     }
 
     /// Total training time at `n` GPUs, seconds.

@@ -24,4 +24,4 @@ pub mod trainer;
 
 pub use costmodel::{DgxCostModel, GpuScalingRow};
 pub use ring::{broadcast_from_rank0, naive_allreduce, ring_allreduce};
-pub use trainer::{DistributedTrainer, TrainerConfig, TrainStats};
+pub use trainer::{DistributedTrainer, TrainStats, TrainerConfig};

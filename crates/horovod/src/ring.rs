@@ -148,7 +148,9 @@ pub fn ring_allreduce(buffers: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
         "all buffers must share a length"
     );
     let nodes = RingNode::ring(n);
-    run_on_ring(nodes, buffers, |node, buf| node.allreduce(buf.as_mut_slice()))
+    run_on_ring(nodes, buffers, |node, buf| {
+        node.allreduce(buf.as_mut_slice())
+    })
 }
 
 /// One-shot broadcast of rank 0's buffer over scoped threads.
@@ -347,7 +349,10 @@ mod tests {
         // Round r: mean over ranks of (rank + r) = 1.5 + r.
         for results in &out {
             for (round, &v) in results.iter().enumerate() {
-                assert!((v - (1.5 + round as f32)).abs() < 1e-5, "round {round}: {v}");
+                assert!(
+                    (v - (1.5 + round as f32)).abs() < 1e-5,
+                    "round {round}: {v}"
+                );
             }
         }
     }

@@ -110,8 +110,7 @@ impl DistributedTrainer {
                         // Same shuffle seed on every rank => identical
                         // batch order; rank r takes batches r, r+n, …
                         let batches: Vec<_> =
-                            BatchIter::new(data, cfg.batch_size, cfg.seed ^ epoch as u64)
-                                .collect();
+                            BatchIter::new(data, cfg.batch_size, cfg.seed ^ epoch as u64).collect();
                         let n_global_steps = batches.len().div_ceil(n);
                         let mut loss_sum = 0.0f32;
                         let mut loss_count = 0usize;
@@ -183,8 +182,11 @@ mod tests {
         let mut labels = Vec::new();
         for _ in 0..n {
             let cls = r.random_range(0..2usize);
-            let cx = if cls == 0 { -1.0 } else { 1.0 };
-            rows.push(vec![cx + r.random_range(-0.4..0.4), -cx + r.random_range(-0.4..0.4)]);
+            let cx: f32 = if cls == 0 { -1.0 } else { 1.0 };
+            rows.push(vec![
+                cx + r.random_range(-0.4..0.4f32),
+                -cx + r.random_range(-0.4..0.4f32),
+            ]);
             labels.push(cls);
         }
         Dataset::new(Matrix::from_rows(&rows), labels)
@@ -218,8 +220,8 @@ mod tests {
             &cfg(4, 8),
         );
         let preds = model.predict(&data.x);
-        let acc = preds.iter().zip(&data.y).filter(|(a, b)| a == b).count() as f64
-            / data.len() as f64;
+        let acc =
+            preds.iter().zip(&data.y).filter(|(a, b)| a == b).count() as f64 / data.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
         assert_eq!(stats.epoch_losses.len(), 8);
         assert!(stats.epoch_losses.last().unwrap() < &stats.epoch_losses[0]);
@@ -260,8 +262,7 @@ mod tests {
             let mut model = build(0);
             let mut opt = Adam::new(0.01);
             for epoch in 0..config.epochs {
-                for (x, y) in BatchIter::new(&data, config.batch_size, config.seed ^ epoch as u64)
-                {
+                for (x, y) in BatchIter::new(&data, config.batch_size, config.seed ^ epoch as u64) {
                     model.train_step(&x, &y, &CrossEntropy, &mut opt);
                 }
             }
@@ -275,7 +276,11 @@ mod tests {
             &config,
         );
         assert_eq!(stats.n_workers, 1);
-        for (a, b) in local_model.flat_params().iter().zip(hvd_model.flat_params()) {
+        for (a, b) in local_model
+            .flat_params()
+            .iter()
+            .zip(hvd_model.flat_params())
+        {
             assert!((a - b).abs() < 1e-6, "replica drift: {a} vs {b}");
         }
     }
@@ -294,8 +299,8 @@ mod tests {
             &cfg(4, 10),
         );
         let preds = model.predict(&data.x);
-        let acc = preds.iter().zip(&data.y).filter(|(a, b)| a == b).count() as f64
-            / data.len() as f64;
+        let acc =
+            preds.iter().zip(&data.y).filter(|(a, b)| a == b).count() as f64 / data.len() as f64;
         assert!(acc > 0.93, "accuracy {acc}");
     }
 

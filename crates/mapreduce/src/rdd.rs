@@ -157,7 +157,10 @@ mod tests {
             .map(|x| x * 10)
             .filter(|x| x % 20 == 0)
             .flat_map(|x| vec![x, x + 1]);
-        assert_eq!(rdd.collect_sequential(), vec![20, 21, 40, 41, 60, 61, 80, 81]);
+        assert_eq!(
+            rdd.collect_sequential(),
+            vec![20, 21, 40, 41, 60, 61, 80, 81]
+        );
     }
 
     #[test]
@@ -177,7 +180,7 @@ mod tests {
     fn map_partitions_sees_whole_partition() {
         let rdd = Rdd::parallelize((0..9).collect::<Vec<i32>>(), 3)
             .map_partitions(|p| vec![p.iter().sum::<i32>()]);
-        assert_eq!(rdd.collect_sequential(), vec![0 + 1 + 2, 3 + 4 + 5, 6 + 7 + 8]);
+        assert_eq!(rdd.collect_sequential(), vec![1 + 2, 3 + 4 + 5, 6 + 7 + 8]);
     }
 
     #[test]

@@ -101,7 +101,13 @@ impl ScalingTable {
         for r in &self.rows {
             out.push_str(&format!(
                 "{:>9}  {:>5}  {:>8.2} {:>8.3}  {:>9.2}  {:>12.2}  {:>14.2}\n",
-                r.executors, r.cores, r.load_s, r.map_s, r.reduce_s, r.speedup_load, r.speedup_reduce
+                r.executors,
+                r.cores,
+                r.load_s,
+                r.map_s,
+                r.reduce_s,
+                r.speedup_load,
+                r.speedup_reduce
             ));
         }
         out
@@ -154,9 +160,16 @@ mod tests {
         // Paper: reduce 16.25x, load 9.0x at 4x4.
         let last = table.rows.last().unwrap();
         assert_eq!((last.executors, last.cores), (4, 4));
-        assert!(last.speedup_reduce > 12.0 && last.speedup_reduce <= 16.5,
-            "reduce speedup {}", last.speedup_reduce);
-        assert!((6.5..11.0).contains(&last.speedup_load), "load speedup {}", last.speedup_load);
+        assert!(
+            last.speedup_reduce > 12.0 && last.speedup_reduce <= 16.5,
+            "reduce speedup {}",
+            last.speedup_reduce
+        );
+        assert!(
+            (6.5..11.0).contains(&last.speedup_load),
+            "load speedup {}",
+            last.speedup_load
+        );
         // Monotone within the equal-executor series.
         assert!(table.rows[2].speedup_reduce > table.rows[1].speedup_reduce);
         // Baseline row is 1.0 by construction.
@@ -168,7 +181,11 @@ mod tests {
         let table = ScalingTable::sweep("demo", &[(1, 1), (4, 4)], |e, c| StageReport {
             executors: e,
             cores: c,
-            times: StageTimes { load_s: 1.0, map_s: 0.1, reduce_s: 2.0 },
+            times: StageTimes {
+                load_s: 1.0,
+                map_s: 0.1,
+                reduce_s: 2.0,
+            },
         });
         let s = table.render();
         assert!(s.contains("demo"));

@@ -61,7 +61,11 @@ impl SimCluster {
     /// Creates a simulated cluster.
     pub fn new(executors: usize, cores: usize, cost: SimCost) -> Self {
         assert!(executors > 0 && cores > 0, "cluster must have workers");
-        SimCluster { executors, cores, cost }
+        SimCluster {
+            executors,
+            cores,
+            cost,
+        }
     }
 
     /// Makespan of `task_costs` under the Spark-style schedule: task `i`
@@ -174,7 +178,10 @@ mod tests {
 
     #[test]
     fn amdahl_serial_fraction_caps_speedup() {
-        let cost = SimCost { load_serial_fraction: 0.052, ..no_overhead() };
+        let cost = SimCost {
+            load_serial_fraction: 0.052,
+            ..no_overhead()
+        };
         let tasks = uniform(160, 1.0);
         let t1 = SimCluster::new(1, 1, cost).stage_s(&tasks, 0.052);
         let t16 = SimCluster::new(4, 4, cost).stage_s(&tasks, 0.052);
@@ -201,7 +208,10 @@ mod tests {
             assert!(s_load <= s_reduce + 0.5, "load should saturate first");
             if (e, k) == (4, 4) {
                 assert!(s_reduce > 12.0, "16-slot reduce speedup {s_reduce}");
-                assert!((7.0..11.0).contains(&s_load), "16-slot load speedup {s_load}");
+                assert!(
+                    (7.0..11.0).contains(&s_load),
+                    "16-slot load speedup {s_load}"
+                );
             }
         }
         // Map registration time is constant across topologies.

@@ -55,13 +55,21 @@ mod tests {
 
     #[test]
     fn totals_add_up() {
-        let t = StageTimes { load_s: 1.0, map_s: 0.25, reduce_s: 3.5 };
+        let t = StageTimes {
+            load_s: 1.0,
+            map_s: 0.25,
+            reduce_s: 3.5,
+        };
         assert!((t.total_s() - 4.75).abs() < 1e-12);
     }
 
     #[test]
     fn parallelism_is_product() {
-        let r = StageReport { executors: 4, cores: 4, times: StageTimes::default() };
+        let r = StageReport {
+            executors: 4,
+            cores: 4,
+            times: StageTimes::default(),
+        };
         assert_eq!(r.parallelism(), 16);
     }
 

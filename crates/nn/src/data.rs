@@ -159,10 +159,7 @@ impl Standardizer {
                 var[c] += dlt * dlt;
             }
         }
-        let std = var
-            .into_iter()
-            .map(|v| (v / n).sqrt().max(1e-6))
-            .collect();
+        let std = var.into_iter().map(|v| (v / n).sqrt().max(1e-6)).collect();
         Standardizer { mean, std }
     }
 
@@ -185,6 +182,18 @@ impl Standardizer {
         let s = Standardizer::fit(x);
         let t = s.transform(x);
         (s, t)
+    }
+
+    /// The fitted `(mean, std)` vectors — the persistence view.
+    pub fn params(&self) -> (&[f32], &[f32]) {
+        (&self.mean, &self.std)
+    }
+
+    /// Rebuilds a standardiser from fitted parameters (inverse of
+    /// [`Standardizer::params`]).
+    pub fn from_params(mean: Vec<f32>, std: Vec<f32>) -> Self {
+        assert_eq!(mean.len(), std.len(), "mean/std length mismatch");
+        Standardizer { mean, std }
     }
 }
 
@@ -247,7 +256,10 @@ mod tests {
         let d = dataset(9); // labels 0,1,2 repeated
         assert_eq!(d.class_counts(3), vec![3, 3, 3]);
         let w = d.inverse_frequency_weights(3);
-        assert!(w.iter().all(|&v| (v - 1.0).abs() < 1e-6), "balanced => 1s: {w:?}");
+        assert!(
+            w.iter().all(|&v| (v - 1.0).abs() < 1e-6),
+            "balanced => 1s: {w:?}"
+        );
 
         // Imbalanced case: minority gets the larger weight.
         let y = vec![0, 0, 0, 0, 0, 0, 1, 1, 2];

@@ -41,7 +41,10 @@ impl std::fmt::Display for WeightError {
             WeightError::Io(e) => write!(f, "io error: {e}"),
             WeightError::BadMagic => write!(f, "not a neurite weight file"),
             WeightError::LengthMismatch { file, model } => {
-                write!(f, "weight count mismatch: file has {file}, model expects {model}")
+                write!(
+                    f,
+                    "weight count mismatch: file has {file}, model expects {model}"
+                )
             }
             WeightError::Truncated => write!(f, "weight file truncated"),
         }
@@ -73,12 +76,14 @@ pub fn save_weights(model: &Sequential, path: &Path) -> Result<(), WeightError> 
 pub fn load_weights(model: &mut Sequential, path: &Path) -> Result<(), WeightError> {
     let mut f = std::fs::File::open(path)?;
     let mut magic = [0u8; 4];
-    f.read_exact(&mut magic).map_err(|_| WeightError::Truncated)?;
+    f.read_exact(&mut magic)
+        .map_err(|_| WeightError::Truncated)?;
     if &magic != MAGIC {
         return Err(WeightError::BadMagic);
     }
     let mut len_bytes = [0u8; 8];
-    f.read_exact(&mut len_bytes).map_err(|_| WeightError::Truncated)?;
+    f.read_exact(&mut len_bytes)
+        .map_err(|_| WeightError::Truncated)?;
     let n = u64::from_le_bytes(len_bytes) as usize;
     if n != model.n_params() {
         return Err(WeightError::LengthMismatch {
@@ -151,7 +156,10 @@ mod tests {
         let path = tmp("badmagic.nwt");
         std::fs::write(&path, b"XXXX\x00\x00\x00\x00\x00\x00\x00\x00").unwrap();
         let mut m = model(5);
-        assert!(matches!(load_weights(&mut m, &path), Err(WeightError::BadMagic)));
+        assert!(matches!(
+            load_weights(&mut m, &path),
+            Err(WeightError::BadMagic)
+        ));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -163,7 +171,10 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() / 2]).unwrap();
         let mut m = model(7);
-        assert!(matches!(load_weights(&mut m, &path), Err(WeightError::Truncated)));
+        assert!(matches!(
+            load_weights(&mut m, &path),
+            Err(WeightError::Truncated)
+        ));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -144,7 +144,11 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let mut mask = Matrix::zeros(input.rows(), input.cols());
         for v in mask.data_mut() {
-            *v = if rng.random::<f32>() < keep { 1.0 / keep } else { 0.0 };
+            *v = if rng.random::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            };
         }
         let out = input.hadamard(&mask);
         self.mask = Some(mask);
@@ -211,7 +215,13 @@ pub struct Lstm {
 
 impl Lstm {
     /// New LSTM layer; forget-gate bias initialised to 1 (standard trick).
-    pub fn new(input: usize, hidden: usize, seq_len: usize, act: Activation, rng: &mut ChaCha8Rng) -> Self {
+    pub fn new(
+        input: usize,
+        hidden: usize,
+        seq_len: usize,
+        act: Activation,
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
         let mut b = Matrix::zeros(1, 4 * hidden);
         for h in 0..hidden {
             b.set(0, hidden + h, 1.0); // forget gate chunk
@@ -263,9 +273,13 @@ impl Layer for Lstm {
                 .add_row_broadcast(&self.b);
             debug_assert_eq!(z.cols(), h4);
             let i = z.slice_cols(0, hid).map(|v| Activation::Sigmoid.apply(v));
-            let f = z.slice_cols(hid, 2 * hid).map(|v| Activation::Sigmoid.apply(v));
+            let f = z
+                .slice_cols(hid, 2 * hid)
+                .map(|v| Activation::Sigmoid.apply(v));
             let g = z.slice_cols(2 * hid, 3 * hid).map(|v| self.act.apply(v));
-            let o = z.slice_cols(3 * hid, h4).map(|v| Activation::Sigmoid.apply(v));
+            let o = z
+                .slice_cols(3 * hid, h4)
+                .map(|v| Activation::Sigmoid.apply(v));
             let c_new = f.hadamard(&c).add(&i.hadamard(&g));
             let h_new = o.hadamard(&self.act.apply_matrix(&c_new));
             self.cache.push(LstmCache {
@@ -378,6 +392,7 @@ mod tests {
         // Numeric (central differences).
         let eps = 2e-2f32;
         let n_params = layer.params().len();
+        #[allow(clippy::needless_range_loop)]
         for p_idx in 0..n_params {
             let n_elems = layer.params()[p_idx].data().len();
             for e_idx in 0..n_elems {
@@ -401,7 +416,9 @@ mod tests {
     #[test]
     fn dense_forward_known_values() {
         let mut d = Dense::new(2, 2, Activation::Linear, &mut rng(0));
-        d.params_mut()[0].data_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        d.params_mut()[0]
+            .data_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
         d.params_mut()[1].data_mut().copy_from_slice(&[0.5, -0.5]);
         let out = d.forward(&Matrix::from_rows(&[vec![1.0, 1.0]]), false);
         assert_eq!(out.data(), &[4.5, 5.5]);
@@ -484,7 +501,10 @@ mod tests {
         let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
         let kept: Vec<f32> = y.data().iter().copied().filter(|&v| v != 0.0).collect();
         assert!((400..600).contains(&zeros), "dropped {zeros}/1000");
-        assert!(kept.iter().all(|&v| (v - 2.0).abs() < 1e-6), "kept units scaled by 1/keep");
+        assert!(
+            kept.iter().all(|&v| (v - 2.0).abs() < 1e-6),
+            "kept units scaled by 1/keep"
+        );
         // Expectation preserved within sampling noise.
         let mean: f32 = y.data().iter().sum::<f32>() / 1000.0;
         assert!((mean - 1.0).abs() < 0.2, "mean {mean}");

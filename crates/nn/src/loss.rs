@@ -73,7 +73,10 @@ impl FocalLoss {
     /// Focal loss with per-class weights (e.g. inverse class frequency).
     pub fn with_alpha(gamma: f32, alpha: Vec<f32>) -> Self {
         assert!(gamma >= 0.0, "gamma must be non-negative");
-        assert!(alpha.iter().all(|&a| a > 0.0), "alpha weights must be positive");
+        assert!(
+            alpha.iter().all(|&a| a > 0.0),
+            "alpha weights must be positive"
+        );
         FocalLoss {
             gamma,
             alpha: Some(alpha),

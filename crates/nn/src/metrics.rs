@@ -25,9 +25,24 @@ impl ConfusionMatrix {
         self.n_classes
     }
 
+    /// Row-major `(truth, pred)` counts — the persistence view.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuilds a matrix from its row-major counts (inverse of
+    /// [`ConfusionMatrix::counts`]).
+    pub fn from_counts(n_classes: usize, counts: Vec<u64>) -> Self {
+        assert_eq!(counts.len(), n_classes * n_classes, "count grid mismatch");
+        ConfusionMatrix { n_classes, counts }
+    }
+
     /// Records one (truth, prediction) pair.
     pub fn record(&mut self, truth: usize, pred: usize) {
-        assert!(truth < self.n_classes && pred < self.n_classes, "class out of range");
+        assert!(
+            truth < self.n_classes && pred < self.n_classes,
+            "class out of range"
+        );
         self.counts[truth * self.n_classes + pred] += 1;
     }
 
@@ -113,8 +128,8 @@ impl ConfusionMatrix {
         let norm = self.normalized();
         for (t, name) in class_names.iter().enumerate() {
             s.push_str(&format!("{name:>11}"));
-            for p in 0..self.n_classes {
-                s.push_str(&format!("  {:>11.2}%", 100.0 * norm[t][p]));
+            for v in norm[t].iter().take(self.n_classes) {
+                s.push_str(&format!("  {:>11.2}%", 100.0 * v));
             }
             s.push('\n');
         }
@@ -240,8 +255,7 @@ mod tests {
     fn weighted_report_weights_by_support() {
         let m = sample();
         let rep = ClassificationReport::from_confusion(&m);
-        let expect_recall =
-            (4.0 * m.recall(0) + 2.0 * m.recall(1) + 1.0 * m.recall(2)) / 7.0;
+        let expect_recall = (4.0 * m.recall(0) + 2.0 * m.recall(1) + 1.0 * m.recall(2)) / 7.0;
         assert!((rep.recall - expect_recall).abs() < 1e-12);
         // Weighted recall equals accuracy (a classic identity).
         assert!((rep.recall - rep.accuracy).abs() < 1e-12);

@@ -18,6 +18,7 @@ impl Sequential {
     }
 
     /// Appends a layer (builder style).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, layer: impl Layer + 'static) -> Self {
         self.layers.push(Box::new(layer));
         self
@@ -126,7 +127,11 @@ impl Sequential {
     /// Writes a flat parameter vector back (inverse of
     /// [`Sequential::flat_params`]).
     pub fn set_flat_params(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.n_params(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.n_params(),
+            "flat parameter length mismatch"
+        );
         let mut offset = 0;
         for layer in &mut self.layers {
             for p in layer.params_mut() {
@@ -212,10 +217,10 @@ mod tests {
         let mut labels = Vec::new();
         for _ in 0..n {
             let cls = r.random_range(0..2usize);
-            let cx = if cls == 0 { -1.0 } else { 1.0 };
+            let cx: f32 = if cls == 0 { -1.0 } else { 1.0 };
             rows.push(vec![
-                cx + r.random_range(-0.4..0.4),
-                -cx + r.random_range(-0.4..0.4),
+                cx + r.random_range(-0.4..0.4f32),
+                -cx + r.random_range(-0.4..0.4f32),
             ]);
             labels.push(cls);
         }

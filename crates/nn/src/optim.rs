@@ -128,7 +128,11 @@ mod tests {
         let target = [3.0f32, -2.0, 0.5];
         let mut x = [0.0f32; 3];
         for _ in 0..steps {
-            let grads: Vec<f32> = x.iter().zip(&target).map(|(xi, ti)| 2.0 * (xi - ti)).collect();
+            let grads: Vec<f32> = x
+                .iter()
+                .zip(&target)
+                .map(|(xi, ti)| 2.0 * (xi - ti))
+                .collect();
             opt.step(&mut x, &grads);
         }
         x.iter()

@@ -137,8 +137,17 @@ impl Matrix {
 
     /// Elementwise sum; shapes must match.
     pub fn add(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -157,14 +166,27 @@ impl Matrix {
 
     /// Elementwise product (Hadamard).
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "hadamard shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
     /// Applies `f` elementwise, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Scales by a constant.
@@ -231,7 +253,7 @@ mod tests {
         let a = Matrix::glorot(80, 70, &mut rng);
         let b = Matrix::glorot(70, 60, &mut rng);
         let big = a.matmul(&b); // 80*70*60 = 336k > 2^18
-        // Serial reference.
+                                // Serial reference.
         let mut refc = Matrix::zeros(80, 60);
         for r in 0..80 {
             for c in 0..60 {

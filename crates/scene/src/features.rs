@@ -132,7 +132,9 @@ impl RidgeField {
     pub fn sail_height(&self, p: MapPoint) -> f64 {
         // Ridge crests live near the zero-set of a long-wavelength noise
         // field; the sail profile is a smooth bump around that set.
-        let v = self.noise.sample(p.x / self.spacing_m, p.y / self.spacing_m);
+        let v = self
+            .noise
+            .sample(p.x / self.spacing_m, p.y / self.spacing_m);
         // |v| small => near a crest line.
         let crest_halfwidth = self.ridge_width_m / self.spacing_m;
         let t = (crest_halfwidth - v.abs()).max(0.0) / crest_halfwidth;
@@ -249,7 +251,10 @@ mod tests {
                 any_positive = true;
             }
         }
-        assert!(any_positive, "ridge field produced no ridges in 5000 samples");
+        assert!(
+            any_positive,
+            "ridge field produced no ridges in 5000 samples"
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::features::{Lead, Polynya, RidgeField};
 use crate::noise::Fbm;
 
 /// Everything needed to build a reproducible [`Scene`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SceneConfig {
     /// Master RNG seed; all randomness derives from it.
     pub seed: u64,
@@ -226,10 +226,10 @@ impl Scene {
         let ssh = self.ssh_at(p);
         let (freeboard, reflectance) = match class {
             SurfaceClass::ThickIce => {
-                let texture = self.config.thick_freeboard_texture_m
-                    * self.freeboard_texture.sample(q.x, q.y);
-                let fb = (self.config.thick_freeboard_m + texture + self.ridge.sail_height(q))
-                    .max(0.02);
+                let texture =
+                    self.config.thick_freeboard_texture_m * self.freeboard_texture.sample(q.x, q.y);
+                let fb =
+                    (self.config.thick_freeboard_m + texture + self.ridge.sail_height(q)).max(0.02);
                 let refl =
                     (0.84 + 0.10 * self.reflectance_texture.sample(q.x, q.y)).clamp(0.0, 1.0);
                 (fb, refl)
@@ -323,7 +323,10 @@ mod tests {
         let b = scene();
         let c = a.config().center;
         for i in 0..200 {
-            let p = MapPoint::new(c.x + i as f64 * 97.0 - 10_000.0, c.y + i as f64 * 53.0 - 6_000.0);
+            let p = MapPoint::new(
+                c.x + i as f64 * 97.0 - 10_000.0,
+                c.y + i as f64 * 53.0 - 6_000.0,
+            );
             assert_eq!(a.class_at(p, 0.0), b.class_at(p, 0.0));
             assert_eq!(a.sample(p, 0.0), b.sample(p, 0.0));
         }
@@ -365,7 +368,10 @@ mod tests {
             }
             assert!((smp.elevation_m - smp.ssh_m - smp.freeboard_m).abs() < 1e-12);
         }
-        assert!(checked.iter().all(|&b| b), "not all classes sampled: {checked:?}");
+        assert!(
+            checked.iter().all(|&b| b),
+            "not all classes sampled: {checked:?}"
+        );
     }
 
     #[test]
@@ -386,8 +392,18 @@ mod tests {
             counts[smp.class.index()] += 1;
         }
         let mean = |i: usize| sums[i] / counts[i].max(1) as f64;
-        assert!(mean(0) > mean(1) + 0.2, "thick {} thin {}", mean(0), mean(1));
-        assert!(mean(1) > mean(2) + 0.1, "thin {} water {}", mean(1), mean(2));
+        assert!(
+            mean(0) > mean(1) + 0.2,
+            "thick {} thin {}",
+            mean(0),
+            mean(1)
+        );
+        assert!(
+            mean(1) > mean(2) + 0.1,
+            "thin {} water {}",
+            mean(1),
+            mean(2)
+        );
     }
 
     #[test]
@@ -415,7 +431,10 @@ mod tests {
         let c = s.config().center;
         let (dx, dy) = drift.displacement(40.0);
         for i in 0..2_000 {
-            let p = MapPoint::new(c.x + (i % 50) as f64 * 400.0 - 10_000.0, c.y + (i / 50) as f64 * 400.0 - 8_000.0);
+            let p = MapPoint::new(
+                c.x + (i % 50) as f64 * 400.0 - 10_000.0,
+                c.y + (i / 50) as f64 * 400.0 - 8_000.0,
+            );
             // A point observed at t=40 min maps to the ice frame point seen
             // at t=0 displaced by −d. So class(p + d, 40) == class(p, 0).
             assert_eq!(

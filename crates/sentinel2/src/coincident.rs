@@ -15,21 +15,12 @@ use crate::render::{render_scene, RenderConfig, S2Image};
 use crate::segmentation::{segment_image, SegmentationConfig, SegmentationReport};
 
 /// Configuration for building a coincident pair.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize, Default)]
 pub struct PairConfig {
     /// Renderer settings (including `acquisition_offset_min`).
     pub render: RenderConfig,
     /// Segmentation settings.
     pub segmentation: SegmentationConfig,
-}
-
-impl Default for PairConfig {
-    fn default() -> Self {
-        PairConfig {
-            render: RenderConfig::default(),
-            segmentation: SegmentationConfig::default(),
-        }
-    }
 }
 
 /// A coincident S2 acquisition for an IS2 pass over the same scene.

@@ -23,7 +23,13 @@ pub struct Raster<T> {
 
 impl<T: Clone> Raster<T> {
     /// Creates a raster filled with `fill`.
-    pub fn filled(width: usize, height: usize, origin: MapPoint, pixel_size_m: f64, fill: T) -> Self {
+    pub fn filled(
+        width: usize,
+        height: usize,
+        origin: MapPoint,
+        pixel_size_m: f64,
+        fill: T,
+    ) -> Self {
         assert!(width > 0 && height > 0, "raster must be non-empty");
         assert!(pixel_size_m > 0.0, "pixel size must be positive");
         Raster {
@@ -36,10 +42,22 @@ impl<T: Clone> Raster<T> {
     }
 
     /// Creates a raster from row-major data (length must be `w*h`).
-    pub fn from_data(width: usize, height: usize, origin: MapPoint, pixel_size_m: f64, data: Vec<T>) -> Self {
+    pub fn from_data(
+        width: usize,
+        height: usize,
+        origin: MapPoint,
+        pixel_size_m: f64,
+        data: Vec<T>,
+    ) -> Self {
         assert_eq!(data.len(), width * height, "data length mismatch");
         assert!(pixel_size_m > 0.0, "pixel size must be positive");
-        Raster { width, height, origin, pixel_size_m, data }
+        Raster {
+            width,
+            height,
+            origin,
+            pixel_size_m,
+            data,
+        }
     }
 
     /// Raster width in pixels.
@@ -251,7 +269,10 @@ mod tests {
     fn shifted_moves_georeferencing_only() {
         let mut r = raster();
         r.set(1, 1, 3.0);
-        let s = r.shifted(550.0 / std::f64::consts::SQRT_2, 550.0 / std::f64::consts::SQRT_2);
+        let s = r.shifted(
+            550.0 / std::f64::consts::SQRT_2,
+            550.0 / std::f64::consts::SQRT_2,
+        );
         assert_eq!(s.data(), r.data());
         assert!(s.origin().x > r.origin().x);
         // The same pixel content now answers for shifted map points.
@@ -290,7 +311,10 @@ mod tests {
 
     #[test]
     fn label_class_accessor() {
-        assert_eq!(Label::Class(SurfaceClass::ThinIce).class(), Some(SurfaceClass::ThinIce));
+        assert_eq!(
+            Label::Class(SurfaceClass::ThinIce).class(),
+            Some(SurfaceClass::ThinIce)
+        );
         assert_eq!(Label::Cloud.class(), None);
     }
 

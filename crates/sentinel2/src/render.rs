@@ -42,14 +42,19 @@ pub fn class_signature(class: SurfaceClass) -> [f64; 4] {
         SurfaceClass::OpenWater => 0.06,
     };
     let shape = class_spectral_shape(class);
-    [shape[0] * base, shape[1] * base, shape[2] * base, shape[3] * base]
+    [
+        shape[0] * base,
+        shape[1] * base,
+        shape[2] * base,
+        shape[3] * base,
+    ]
 }
 
 /// Cloud single-scattering albedo per band (bright, slightly blue).
 pub const CLOUD_ALBEDO: [f64; 4] = [0.78, 0.77, 0.76, 0.72];
 
 /// Renderer configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
 pub struct RenderConfig {
     /// RNG seed for sensor noise and the cloud field.
     pub seed: u64,
@@ -143,8 +148,10 @@ pub fn render_scene(scene: &Scene, cfg: &RenderConfig) -> S2Image {
     let noise = Fbm::new(cfg.seed ^ 0x5151_BBBB, 1, 1.0 / (cfg.pixel_size_m * 0.9));
     let t = cfg.acquisition_offset_min;
 
-    // Render rows in parallel; each row produces its slice of each band.
-    let rows: Vec<(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, Vec<Label>)> = (0..n)
+    // Render rows in parallel; each row produces its slice of each band
+    // (B02, B03, B04, B08, truth labels).
+    type BandRow = (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, Vec<Label>);
+    let rows: Vec<BandRow> = (0..n)
         .into_par_iter()
         .map(|row| {
             let mut r02 = Vec::with_capacity(n);
@@ -160,7 +167,8 @@ pub fn render_scene(scene: &Scene, cfg: &RenderConfig) -> S2Image {
                 let truth = scene.sample(p, t);
                 let shape = class_spectral_shape(truth.class);
                 let opt = cloud_optical_thickness(&cloud, p, cfg.cloud_cover);
-                let shadow_src = MapPoint::new(p.x + cfg.shadow_offset_m.0, p.y + cfg.shadow_offset_m.1);
+                let shadow_src =
+                    MapPoint::new(p.x + cfg.shadow_offset_m.0, p.y + cfg.shadow_offset_m.1);
                 let s = cfg.shadow_strength
                     * cloud_optical_thickness(&cloud, shadow_src, cfg.cloud_cover);
 
@@ -305,7 +313,12 @@ mod tests {
             .count();
         assert!(n_cloud > 0, "no thick cloud at 0.7 cover");
         assert_eq!(
-            clear.truth.data().iter().filter(|l| **l == Label::Cloud).count(),
+            clear
+                .truth
+                .data()
+                .iter()
+                .filter(|l| **l == Label::Cloud)
+                .count(),
             0
         );
         // Mean blue brightness rises under cloud.
@@ -332,11 +345,18 @@ mod tests {
         sc.half_extent_m = 3_000.0;
         sc.drift = icesat_scene::DriftModel::from_displacement(400.0, 300.0, 40.0);
         let scene = Scene::generate(sc);
-        let base = RenderConfig { seed: 17, pixel_size_m: 40.0, ..RenderConfig::default() };
+        let base = RenderConfig {
+            seed: 17,
+            pixel_size_m: 40.0,
+            ..RenderConfig::default()
+        };
         let img0 = render_scene(&scene, &base);
         let img40 = render_scene(
             &scene,
-            &RenderConfig { acquisition_offset_min: 40.0, ..base },
+            &RenderConfig {
+                acquisition_offset_min: 40.0,
+                ..base
+            },
         );
         let differing = img0
             .truth

@@ -28,7 +28,7 @@ use crate::raster::{Label, LabelRaster, Raster};
 use crate::render::{class_signature, S2Image, CLOUD_ALBEDO};
 
 /// Segmentation knobs.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Copy, Serialize, Deserialize)]
 pub struct SegmentationConfig {
     /// Estimated cloud thickness above which the pixel is unusable.
     pub thick_cloud_t: f64,
@@ -113,8 +113,16 @@ pub fn segment_image(img: &S2Image, cfg: &SegmentationConfig) -> (LabelRaster, S
     let report = SegmentationReport {
         class_counts,
         cloud_pixels,
-        mean_thin_cloud_t: if usable > 0 { t_sum / usable as f64 } else { 0.0 },
-        mean_shadow_s: if usable > 0 { s_sum / usable as f64 } else { 0.0 },
+        mean_thin_cloud_t: if usable > 0 {
+            t_sum / usable as f64
+        } else {
+            0.0
+        },
+        mean_shadow_s: if usable > 0 {
+            s_sum / usable as f64
+        } else {
+            0.0
+        },
     };
     (raster, report)
 }
@@ -268,7 +276,12 @@ mod tests {
         for class in [SurfaceClass::ThickIce, SurfaceClass::ThinIce] {
             let r = class_signature(class);
             let s = 0.3;
-            let obs = [r[0] * (1.0 - s), r[1] * (1.0 - s), r[2] * (1.0 - s), r[3] * (1.0 - s)];
+            let obs = [
+                r[0] * (1.0 - s),
+                r[1] * (1.0 - s),
+                r[2] * (1.0 - s),
+                r[3] * (1.0 - s),
+            ];
             let fit = best_fit(&obs, &cfg);
             assert_eq!(fit.class, class, "misclassified in shadow");
             assert!((fit.s - s).abs() < 0.1, "s estimate {} vs {}", fit.s, s);
@@ -287,7 +300,11 @@ mod tests {
             r[3] * (1.0 - t) + CLOUD_ALBEDO[3] * t,
         ];
         let fit = best_fit(&obs, &cfg);
-        assert!(fit.t > cfg.thick_cloud_t, "thick cloud not detected: t = {}", fit.t);
+        assert!(
+            fit.t > cfg.thick_cloud_t,
+            "thick cloud not detected: t = {}",
+            fit.t
+        );
     }
 
     #[test]
@@ -297,7 +314,10 @@ mod tests {
         let (acc, usable) = score_against_truth(&labels, &img.truth);
         assert!(usable > 1000);
         assert!(acc > 0.95, "clear-sky accuracy {acc}");
-        assert_eq!(report.cloud_pixels + report.class_counts.iter().sum::<usize>(), labels.data().len());
+        assert_eq!(
+            report.cloud_pixels + report.class_counts.iter().sum::<usize>(),
+            labels.data().len()
+        );
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` subset this workspace's benches
+//! use: `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `sample_size`, `measurement_time`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! mean-over-samples measurement printed to stdout — enough to compare
+//! kernels between commits without the real crate's statistics engine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported from std.
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self.measurement_time = self.measurement_time.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Caps the measurement budget for the whole group entry.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        // One untimed warm-up, then samples until the count or the time
+        // budget runs out, whichever comes first.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut samples = 0u64;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            total += b.elapsed;
+            samples += 1;
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+        let mean = total.as_secs_f64() / samples.max(1) as f64;
+        println!(
+            "bench {:<40} {:>12.6} ms/iter ({} samples)",
+            format!("{}/{}", self.name, id),
+            mean * 1e3,
+            samples
+        );
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let id = id.to_string();
+        self.run(&id, f);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.id.clone();
+        self.run(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (numbers were already reported per entry).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 12), &12u64, |b, &n| b.iter(|| n * n));
+        group.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+}

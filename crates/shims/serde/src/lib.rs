@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize` / `Deserialize` names (trait namespace) and the
+//! matching no-op derives (macro namespace) so existing
+//! `#[derive(Serialize, Deserialize)]` annotations compile unchanged in an
+//! environment with no crates.io access. Actual persistence in this
+//! workspace uses explicit binary codecs (`icesat_atl03::io`,
+//! `neurite::io`, `seaice::artifact`), never serde's data model.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. No methods: the workspace
+/// never drives a serde serializer.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`. No methods.
+pub trait Deserialize<'de> {}

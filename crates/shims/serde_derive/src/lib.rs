@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds without network access, so the real serde cannot
+//! be fetched. Nothing in the workspace uses serde's *runtime* (artifact
+//! persistence goes through `seaice::artifact`'s explicit binary codec);
+//! the derives only need to exist so `#[derive(Serialize, Deserialize)]`
+//! keeps compiling. Both derives therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepted on any item, generates no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepted on any item, generates no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,99 +1,79 @@
 //! Auto-labeling walkthrough: drift-shifted Sentinel-2 labels onto an
 //! ICESat-2 track (the paper's Table I + Figure 2 story).
 //!
-//! Builds a scene with real ice drift, renders a coincident S2 scene 40
-//! minutes after the IS2 pass, shows how badly raw label transfer does,
-//! estimates the shift, and re-labels.
+//! Curates a track (stage 1 of the staged API) over a scene with real ice
+//! drift and an S2 acquisition 40 minutes after the IS2 pass, shows how
+//! badly *raw* label transfer does, then runs the labeling stage — drift
+//! estimation + correction + the simulated manual pass — and compares.
 //!
 //! ```text
 //! cargo run --release --example autolabel_track
 //! ```
 
-use icesat2_seaice::atl03::generator::test_meta;
-use icesat2_seaice::atl03::{
-    preprocess_beam, resample_2m, Atl03Generator, Beam, GeneratorConfig, PreprocessConfig,
-    ResampleConfig, TrackConfig,
-};
-use icesat2_seaice::scene::{DriftModel, Scene, SceneConfig};
-use icesat2_seaice::seaice::labeling::{
-    autolabel_segments, estimate_drift, label_accuracy, manual_correction, AutoLabelConfig,
-};
-use icesat2_seaice::sentinel2::{CoincidentPair, PairConfig, RenderConfig, SegmentationConfig};
+use icesat2_seaice::scene::DriftModel;
+use icesat2_seaice::seaice::labeling::{autolabel_segments, label_accuracy};
+use icesat2_seaice::seaice::pipeline::PipelineConfig;
+use icesat2_seaice::seaice::stages::PipelineBuilder;
 
 fn main() {
     let dt_min = 40.0;
     // ~0.17 m/s of ice drift — a brisk but realistic Ross Sea day.
     let drift = DriftModel::from_displacement(-350.0, 250.0, dt_min);
-    let mut sc = SceneConfig::ross_sea_with_drift(7, drift);
-    sc.half_extent_m = 5_000.0;
-    let scene = Scene::generate(sc);
+    let mut cfg = PipelineConfig::small(7);
+    cfg.scene.drift = drift;
+    cfg.scene.half_extent_m = 5_000.0;
+    cfg.track_length_m = 8_000.0;
+    cfg.pair.render.pixel_size_m = 25.0;
+    cfg.pair.render.cloud_cover = 0.25;
+    cfg.pair.render.acquisition_offset_min = dt_min;
     println!(
         "ice drift: {:.2} m/s -> {:.0} m displacement over {dt_min} min",
         drift.speed_mps(),
         drift.speed_mps() * dt_min * 60.0
     );
 
-    // IS2 granule at t = 0.
-    let track = TrackConfig::crossing(scene.config().center, 8_000.0);
-    let granule = Atl03Generator::new(&scene, GeneratorConfig { seed: 7, ..Default::default() })
-        .generate(test_meta(0.0), &track, &[Beam::Gt2l]);
-    let pre = preprocess_beam(granule.beam(Beam::Gt2l).unwrap(), &PreprocessConfig::default());
+    // Stage 1: granule synthesis, preprocessing, 2 m resampling, and the
+    // segmented coincident S2 scene — one artifact.
+    let track = PipelineBuilder::new(cfg).curate();
+    let scene = track.scene();
     println!(
-        "ATL03 beam gt2l: {} photons -> {} signal after preprocessing",
-        pre.report.n_input, pre.report.n_signal
-    );
-    let segments = resample_2m(&pre, &ResampleConfig::default());
-    println!("2 m resampling: {} segments", segments.len());
-
-    // Coincident S2 scene at t = +40 min (ice has moved).
-    let pair = CoincidentPair::build(
-        &scene,
-        &PairConfig {
-            render: RenderConfig {
-                seed: 77,
-                pixel_size_m: 25.0,
-                cloud_cover: 0.25,
-                acquisition_offset_min: dt_min,
-                ..RenderConfig::default()
-            },
-            segmentation: SegmentationConfig::default(),
-        },
+        "ATL03 beam {}: {} photons -> {} 2 m segments",
+        track.beam,
+        track.beam_data.photons.len(),
+        track.segments.len()
     );
     println!(
         "S2 segmentation: {:?} px per class, {} cloud px",
-        pair.report.class_counts, pair.report.cloud_pixels
+        track.s2_report.class_counts, track.s2_report.cloud_pixels
     );
 
     // Raw transfer — misaligned by the drift.
-    let raw = autolabel_segments(&segments, &pair.labels);
+    let raw = autolabel_segments(&track.segments, &track.labels);
     let (raw_acc, raw_n) = label_accuracy(&raw, &scene, 0.0);
-    println!("\nraw label transfer:      accuracy {:.2}% ({} labelled)", 100.0 * raw_acc, raw_n);
+    println!(
+        "\nraw label transfer:      accuracy {:.2}% ({} labelled)",
+        100.0 * raw_acc,
+        raw_n
+    );
 
-    // Estimate and apply the shift (paper Table I).
-    let cfg = AutoLabelConfig::default();
-    let est = estimate_drift(&segments, &pair.labels, &cfg);
+    // Stage 2: drift estimation + correction + manual clean-up (paper
+    // Table I) in one call.
+    let labeled = track.label();
     println!(
         "estimated S2 shift:      ({:+.0} m, {:+.0} m)  [truth: ({:+.0}, {:+.0})]",
-        est.dx_m, est.dy_m, -pair.true_shift_m.0, -pair.true_shift_m.1
+        labeled.drift.dx_m, labeled.drift.dy_m, -track.true_shift_m.0, -track.true_shift_m.1
     );
-    let mut corrected = autolabel_segments(&segments, &pair.labels.shifted(est.dx_m, est.dy_m));
-    let (cor_acc, _) = label_accuracy(&corrected, &scene, 0.0);
-    println!("after drift correction:  accuracy {:.2}%", 100.0 * cor_acc);
-
-    // The paper's manual pass over transitions and cloud gaps.
-    let fixes = manual_correction(&mut corrected, &scene, 0.0, &cfg);
-    let (final_acc, final_n) = label_accuracy(&corrected, &scene, 0.0);
+    let (final_acc, final_n) = label_accuracy(&labeled.labels, &scene, 0.0);
     println!(
-        "after manual clean-up:   accuracy {:.2}% ({} cloud fills, {} transition fixes, {} labelled)",
+        "after correction + manual pass: accuracy {:.2}% ({} labelled)",
         100.0 * final_acc,
-        fixes.corrected_cloud,
-        fixes.corrected_transition,
         final_n
     );
+    assert!((final_acc - labeled.autolabel_accuracy).abs() < 1e-12);
 
     // A Figure-2-style strip of the final labels.
     println!("\nalong(m)  elev(m)   label");
-    for ls in corrected.iter().step_by(corrected.len() / 25) {
+    for ls in labeled.labels.iter().step_by(labeled.labels.len() / 25) {
         println!(
             "{:>8.0}  {:>7.3}   {}",
             ls.segment.along_track_m,

@@ -1,9 +1,10 @@
 //! Map-reduce scaling demo (the paper's Tables II and V on your cores).
 //!
 //! Writes a fleet of binary ATL03 granules to disk, then sweeps the
-//! paper's executors × cores grid twice — once auto-labeling, once
-//! computing freeboard — printing load/map/reduce times and speedups.
-//! Finishes with the cost-model simulation at the paper's calibration.
+//! paper's executors × cores grid twice through [`FleetDriver`] — once
+//! auto-labeling, once computing freeboard — printing load/map/reduce
+//! times and speedups. Finishes with the cost-model simulation at the
+//! paper's calibration.
 //!
 //! ```text
 //! cargo run --release --example cluster_scaling
@@ -11,9 +12,8 @@
 
 use std::sync::Arc;
 
-use icesat2_seaice::seaice::pipeline::{
-    scaled_autolabel_run, scaled_freeboard_run, write_granule_fleet, Pipeline, PipelineConfig,
-};
+use icesat2_seaice::seaice::fleet::FleetDriver;
+use icesat2_seaice::seaice::pipeline::{Pipeline, PipelineConfig};
 use icesat2_seaice::sparklite::scaling::PAPER_GRID;
 use icesat2_seaice::sparklite::{Cluster, ScalingTable, SimCluster, SimCost};
 
@@ -24,32 +24,22 @@ fn main() {
     let dir = std::env::temp_dir().join("seaice_cluster_scaling_example");
     let n_granules = 6; // 18 beam partitions
     println!("writing {n_granules} granules (3 strong beams each) to {dir:?} ...");
-    let sources = write_granule_fleet(&pipeline, &dir, n_granules).expect("fleet");
+    let sources = FleetDriver::write_fleet(&pipeline, &dir, n_granules).expect("fleet");
     let pair = pipeline.coincident_pair();
     let raster = Arc::new(pair.labels.clone());
 
     let grid = &PAPER_GRID[..];
 
     let autolabel = ScalingTable::sweep("auto-labeling (measured on this host)", grid, |e, c| {
-        let (_, report) = scaled_autolabel_run(
-            &Cluster::new(e, c),
-            &sources,
-            Arc::clone(&raster),
-            &pipeline.cfg.preprocess,
-            &pipeline.cfg.resample,
-        );
+        let driver = FleetDriver::new(Cluster::new(e, c), &pipeline.cfg);
+        let (_, report) = driver.autolabel_run(&sources, Arc::clone(&raster));
         report
     });
     println!("\n{}", autolabel.render());
 
     let freeboard = ScalingTable::sweep("freeboard (measured on this host)", grid, |e, c| {
-        let (_, report) = scaled_freeboard_run(
-            &Cluster::new(e, c),
-            &sources,
-            &pipeline.cfg.preprocess,
-            &pipeline.cfg.resample,
-            &pipeline.cfg.window,
-        );
+        let driver = FleetDriver::new(Cluster::new(e, c), &pipeline.cfg);
+        let (_, report) = driver.freeboard_run(&sources);
         report
     });
     println!("{}", freeboard.render());

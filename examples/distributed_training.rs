@@ -1,11 +1,12 @@
 //! Horovod-style distributed training demo (the paper's Table IV /
 //! Figure 5 on your own cores).
 //!
-//! Trains the paper's LSTM on auto-labeled 2 m segments with 1, 2, and 4
-//! worker threads standing in for GPUs: rank-0 broadcast, per-rank
-//! gradient computation, ring all-reduce averaging, identical local Adam
-//! updates. Also prints the calibrated DGX A100 cost model, which
-//! reproduces the paper's published speedup curve exactly.
+//! Stages 1–2 of the staged API provide the labelled training set; the
+//! paper's LSTM then trains on 1, 2, and 4 worker threads standing in for
+//! GPUs: rank-0 broadcast, per-rank gradient computation, ring all-reduce
+//! averaging, identical local Adam updates. Also prints the calibrated
+//! DGX A100 cost model, which reproduces the paper's published speedup
+//! curve exactly.
 //!
 //! ```text
 //! cargo run --release --example distributed_training
@@ -16,17 +17,15 @@ use icesat2_seaice::hvd::{DistributedTrainer, TrainerConfig};
 use icesat2_seaice::neurite::{Adam, FocalLoss};
 use icesat2_seaice::seaice::features::sequence_dataset;
 use icesat2_seaice::seaice::models::{build_model, ModelKind};
-use icesat2_seaice::seaice::pipeline::{Pipeline, PipelineConfig};
+use icesat2_seaice::seaice::pipeline::PipelineConfig;
+use icesat2_seaice::seaice::stages::PipelineBuilder;
 
 fn main() {
-    // Stage 1 of the pipeline provides the labelled training set.
-    let pipeline = Pipeline::new(PipelineConfig::small(11));
-    let granule = pipeline.generate_granule();
-    let segments = pipeline.segments_for_beam(&granule, icesat2_seaice::atl03::Beam::Gt2l);
-    let pair = pipeline.coincident_pair();
-    let (labeled, _) = pipeline.autolabel(&segments, &pair);
-    let labels: Vec<usize> = labeled.iter().map(|l| l.label.unwrap().index()).collect();
-    let data = sequence_dataset(&segments, &labels, true, &pipeline.cfg.features);
+    // Stages 1–2: curation + auto-labeling, as explicit artifacts.
+    let track = PipelineBuilder::new(PipelineConfig::small(11)).curate();
+    let labeled = track.label();
+    let labels = labeled.label_indices();
+    let data = sequence_dataset(&track.segments, &labels, true, &track.config.features);
     println!(
         "training set: {} sequence windows of 5 x 6 features\n",
         data.len()
@@ -62,7 +61,5 @@ fn main() {
     println!("\nDGX A100 cost model at the paper's calibration:");
     let model = DgxCostModel::paper_default();
     print!("{}", render_table4(&model.table4(&[1, 2, 4, 6, 8])));
-    println!(
-        "\npaper Table IV speedups: 1.96 / 3.81 / 5.68 / 7.25 at 2 / 4 / 6 / 8 GPUs"
-    );
+    println!("\npaper Table IV speedups: 1.96 / 3.81 / 5.68 / 7.25 at 2 / 4 / 6 / 8 GPUs");
 }

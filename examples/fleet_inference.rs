@@ -1,0 +1,73 @@
+//! Fleet inference: train once, classify many granules in parallel.
+//!
+//! The access pattern the staged API exists for — and the one a
+//! monolithic `run()` makes impossible: stage 1–3 run **once** on a
+//! training track, the resulting [`TrainedModels`] artifact is broadcast
+//! (as serialized bytes, Spark-style) to a [`FleetDriver`] cluster, and
+//! every `(granule, beam)` partition runs preprocessing, LSTM inference,
+//! sea-surface derivation, and freeboard retrieval with the shared model.
+//!
+//! ```text
+//! cargo run --release --example fleet_inference
+//! ```
+
+use icesat2_seaice::seaice::fleet::FleetDriver;
+use icesat2_seaice::seaice::pipeline::{Pipeline, PipelineConfig};
+use icesat2_seaice::seaice::stages::PipelineBuilder;
+use icesat2_seaice::sparklite::Cluster;
+
+fn main() {
+    let cfg = PipelineConfig::small(77);
+
+    // Train once (stages 1-3) on the reference track.
+    println!("training the paper's LSTM on the reference track ...");
+    let track = PipelineBuilder::new(cfg.clone()).curate();
+    let labeled = track.label();
+    let models = labeled.train(&track);
+    println!(
+        "  held-out LSTM accuracy {:.2}%  (MLP {:.2}%)",
+        100.0 * models.lstm_report.accuracy,
+        100.0 * models.mlp_report.accuracy
+    );
+
+    // Materialise a fleet: 4 granules x 3 strong beams = 12 partitions.
+    let pipeline = Pipeline::new(cfg.clone());
+    let dir = std::env::temp_dir().join("seaice_fleet_inference_example");
+    let n_granules = 4;
+    let sources = FleetDriver::write_fleet(&pipeline, &dir, n_granules).expect("fleet");
+    println!(
+        "\nfleet: {n_granules} granules ({} beam partitions) under {dir:?}",
+        sources.len()
+    );
+
+    // One shared TrainedModels, fanned out over executors x cores.
+    let driver = FleetDriver::new(Cluster::new(2, 2), &cfg);
+    let (products, report) = driver.classify_run(&sources, &models);
+    println!(
+        "cluster 2x2: load {:.2}s  map {:.3}s  reduce {:.2}s\n",
+        report.times.load_s, report.times.map_s, report.times.reduce_s
+    );
+
+    println!("granule                  beam  segs   thick   thin  water  mean fb(m)");
+    for p in &products {
+        println!(
+            "{:<24} {:<5} {:>5}  {:>5}  {:>5}  {:>5}  {:>9.3}",
+            p.granule_id,
+            p.beam.name(),
+            p.n_segments,
+            p.class_counts[0],
+            p.class_counts[1],
+            p.class_counts[2],
+            p.mean_ice_freeboard_m()
+        );
+    }
+
+    let total_segments: usize = products.iter().map(|p| p.n_segments).sum();
+    let total_points: usize = products.iter().map(|p| p.freeboard.len()).sum();
+    println!(
+        "\n{} segments classified, {} freeboard points, one training run.",
+        total_segments, total_points
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,40 +1,49 @@
 //! Freeboard retrieval deep-dive (the paper's Figures 8–11).
 //!
-//! Classifies a track with the fast decision tree, derives the local sea
-//! surface with all four candidate methods, compares their quality
-//! against the scene's true sea-surface height, and prints the
-//! ATL03-vs-ATL10 freeboard comparison.
+//! Curates a track (staged API, stage 1), classifies it with the fast
+//! decision tree, derives the local sea surface with all four candidate
+//! methods, compares their quality against the scene's true sea-surface
+//! height, and prints the ATL03-vs-ATL10 freeboard comparison.
 //!
 //! ```text
 //! cargo run --release --example freeboard_retrieval
 //! ```
 
-use icesat2_seaice::atl03::Beam;
+use icesat2_seaice::atl03::preprocess_beam;
 use icesat2_seaice::scene::SurfaceClass;
-use icesat2_seaice::seaice::atl07::{atl07_segments, classify_atl07, Atl10Freeboard, DecisionTreeConfig};
+use icesat2_seaice::seaice::atl07::{
+    atl07_segments, classify_atl07, Atl10Freeboard, DecisionTreeConfig,
+};
 use icesat2_seaice::seaice::eval;
 use icesat2_seaice::seaice::freeboard::FreeboardProduct;
 use icesat2_seaice::seaice::heuristic::{heuristic_classes, HeuristicConfig};
-use icesat2_seaice::seaice::pipeline::{Pipeline, PipelineConfig};
+use icesat2_seaice::seaice::pipeline::PipelineConfig;
 use icesat2_seaice::seaice::seasurface::{SeaSurface, SeaSurfaceMethod, WindowConfig};
+use icesat2_seaice::seaice::stages::PipelineBuilder;
 
 fn main() {
     let mut cfg = PipelineConfig::small(31);
     cfg.track_length_m = 12_000.0;
     cfg.scene.half_extent_m = 6_500.0;
-    let pipeline = Pipeline::new(cfg);
-    let granule = pipeline.generate_granule();
-    let segments = pipeline.segments_for_beam(&granule, Beam::Gt2l);
+    let track_km = cfg.track_length_m / 1000.0;
+
+    // Stage 1 only: granule + preprocessing + 2 m segments.
+    let track = PipelineBuilder::new(cfg).curate();
+    let scene = track.scene();
 
     // Fast physics-threshold classification for this demo (relative
     // elevation + photon rate; see seaice::heuristic for why pure rate
     // thresholds fail at 2 m windows).
-    let classes: Vec<SurfaceClass> = heuristic_classes(&segments, &HeuristicConfig::default());
-    let n_water = classes.iter().filter(|c| **c == SurfaceClass::OpenWater).count();
+    let classes: Vec<SurfaceClass> =
+        heuristic_classes(&track.segments, &HeuristicConfig::default());
+    let n_water = classes
+        .iter()
+        .filter(|c| **c == SurfaceClass::OpenWater)
+        .count();
     println!(
         "{} segments over {:.0} km, {} classified open water",
-        segments.len(),
-        pipeline.cfg.track_length_m / 1000.0,
+        track.segments.len(),
+        track_km,
         n_water
     );
 
@@ -42,8 +51,8 @@ fn main() {
     println!("method            windows  water-cov  roughness(m)  RMSE-vs-truth(m)");
     let mut nasa: Option<SeaSurface> = None;
     for method in SeaSurfaceMethod::ALL {
-        let ss = SeaSurface::compute(&segments, &classes, method, &WindowConfig::default());
-        let rmse = eval::sea_surface_rmse(&pipeline.scene, &segments, &ss);
+        let ss = SeaSurface::compute(&track.segments, &classes, method, &WindowConfig::default());
+        let rmse = eval::sea_surface_rmse(&scene, &track.segments, &ss);
         println!(
             "{:<17} {:>7}  {:>8.0}%  {:>12.4}  {:>16.4}",
             method.name(),
@@ -58,12 +67,10 @@ fn main() {
     }
     let nasa = nasa.expect("nasa surface");
 
-    // 2 m freeboard vs the ATL10 emulation.
-    let fb03 = FreeboardProduct::from_segments("ATL03 2m", &segments, &classes, &nasa);
-    let pre = icesat2_seaice::atl03::preprocess_beam(
-        granule.beam(Beam::Gt2l).unwrap(),
-        &pipeline.cfg.preprocess,
-    );
+    // 2 m freeboard vs the ATL10 emulation (the raw beam photons ride
+    // along in the curated artifact precisely for this baseline).
+    let fb03 = FreeboardProduct::from_segments("ATL03 2m", &track.segments, &classes, &nasa);
+    let pre = preprocess_beam(&track.beam_data, &track.config.preprocess);
     let a07 = atl07_segments(&pre);
     let c07 = classify_atl07(&a07, &DecisionTreeConfig::default());
     let atl10 = Atl10Freeboard::build(a07, c07);
@@ -85,7 +92,7 @@ fn main() {
     println!(
         "\ndensity ratio ATL03/ATL10 = {:.0}x;  freeboard RMSE vs truth = {:.3} m",
         eval::density_ratio(&fb03, &atl10.product),
-        eval::freeboard_rmse_vs_truth(&pipeline.scene, &fb03, 0.0)
+        eval::freeboard_rmse_vs_truth(&scene, &fb03, 0.0)
     );
 
     println!("\nfreeboard histogram (ATL03 | ATL10):");

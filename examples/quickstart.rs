@@ -1,39 +1,57 @@
-//! Quickstart: the whole pipeline in one page.
+//! Quickstart: the staged pipeline in one page.
 //!
 //! Generates a synthetic Ross Sea scene, synthesises an ATL03 granule
 //! over it, auto-labels the 2 m segments from a coincident Sentinel-2
-//! scene, trains the paper's LSTM, and retrieves freeboard.
+//! scene, trains the paper's LSTM, and retrieves freeboard — one typed,
+//! serializable artifact per stage:
+//!
+//! `CuratedTrack → LabeledDataset → TrainedModels → SeaIceProducts`
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use icesat2_seaice::seaice::pipeline::{Pipeline, PipelineConfig};
+use icesat2_seaice::seaice::pipeline::PipelineConfig;
+use icesat2_seaice::seaice::stages::{PipelineBuilder, TrainedModels};
+use icesat2_seaice::seaice::Artifact;
 
 fn main() {
-    println!("== ICESat-2 ATL03 sea-ice pipeline quickstart ==\n");
-    let pipeline = Pipeline::new(PipelineConfig::small(2024));
+    println!("== ICESat-2 ATL03 sea-ice pipeline quickstart (staged API) ==\n");
+    let cfg = PipelineConfig::small(2024);
     println!(
         "scene: {} km track over a {} km synthetic Ross Sea scene",
-        pipeline.cfg.track_length_m / 1000.0,
-        2.0 * pipeline.cfg.scene.half_extent_m / 1000.0
+        cfg.track_length_m / 1000.0,
+        2.0 * cfg.scene.half_extent_m / 1000.0
     );
 
-    let products = pipeline.run();
+    // Each stage is an explicit artifact; `PipelineBuilder::run` chains
+    // all four and keeps every intermediate.
+    let run = PipelineBuilder::new(cfg).run();
 
-    println!("\n-- stage 1: curation + auto-labeling");
-    println!("  2 m segments:         {}", products.segments.len());
+    println!("\n-- stage 1: curation (CuratedTrack)");
+    println!("  2 m segments:         {}", run.track.segments.len());
+    println!(
+        "  S2 raster:            {}x{} px, {} cloud px",
+        run.track.labels.width(),
+        run.track.labels.height(),
+        run.track.s2_report.cloud_pixels
+    );
+
+    println!("\n-- stage 2: auto-labeling (LabeledDataset)");
     println!(
         "  estimated S2 shift:   ({:.0} m, {:.0} m)",
-        products.drift.dx_m, products.drift.dy_m
+        run.labeled.drift.dx_m, run.labeled.drift.dy_m
     );
     println!(
         "  auto-label accuracy:  {:.2}%",
-        100.0 * products.autolabel_accuracy
+        100.0 * run.labeled.autolabel_accuracy
     );
 
-    println!("\n-- stage 2: deep-learning training (held-out 20%)");
-    for (name, r) in &products.reports {
+    println!("\n-- stage 3: deep-learning training (TrainedModels, held-out 20%)");
+    for (name, r) in [
+        ("LSTM", run.models.lstm_report),
+        ("MLP", run.models.mlp_report),
+    ] {
         println!(
             "  {name:<4} accuracy {:.2}%  precision {:.2}%  recall {:.2}%  F1 {:.2}%",
             100.0 * r.accuracy,
@@ -43,37 +61,49 @@ fn main() {
         );
     }
 
-    println!("\n-- stage 3: inference");
+    println!("\n-- stage 4: inference + sea surface + freeboard (SeaIceProducts)");
     println!(
         "  LSTM vs truth over the full track: {:.2}%",
-        100.0 * products.classification_accuracy_vs_truth
+        100.0 * run.products.classification_accuracy_vs_truth
     );
-
-    println!("\n-- stage 4: sea surface + freeboard");
-    for (name, ss) in &products.sea_surfaces {
+    for ss in &run.products.sea_surfaces {
         println!(
-            "  sea surface [{name:<15}] windows {:>3}  roughness {:.4} m",
+            "  sea surface [{:<15}] windows {:>3}  roughness {:.4} m",
+            ss.method.name(),
             ss.centers_m.len(),
             ss.roughness()
         );
     }
-    let (mean, median, p95) = products.freeboard_atl03.stats();
+    let (mean, median, p95) = run.products.freeboard_atl03.stats();
     println!(
         "  ATL03 2 m freeboard: {} pts ({:.0}/km), mean {:.3} m, median {:.3} m, p95 {:.3} m",
-        products.freeboard_atl03.len(),
-        products.freeboard_atl03.density_per_km(),
+        run.products.freeboard_atl03.len(),
+        run.products.freeboard_atl03.density_per_km(),
         mean,
         median,
         p95
     );
     println!(
         "  ATL10 baseline:      {} pts ({:.1}/km)  -> density ratio {:.0}x",
-        products.atl10.product.len(),
-        products.atl10.product.density_per_km(),
-        products.freeboard_atl03.density_per_km() / products.atl10.product.density_per_km()
+        run.products.atl10.product.len(),
+        run.products.atl10.product.density_per_km(),
+        run.products.freeboard_atl03.density_per_km() / run.products.atl10.product.density_per_km()
     );
     println!(
         "  ATL03-vs-ATL07 sea-surface gap: {:.3} m (paper: ~0.1 m)",
-        products.surface_gap_m
+        run.products.surface_gap_m
     );
+
+    // Every artifact serializes: persist the trained models, reload them,
+    // and verify the reloaded classifier reproduces the inference.
+    let path = std::env::temp_dir().join("quickstart_models.sic3");
+    run.models.save(&path).expect("save models");
+    let mut reloaded = TrainedModels::load(&path).expect("load models");
+    let classes = reloaded.classify(&run.track.segments);
+    println!(
+        "\n-- artifact roundtrip: saved TrainedModels ({} bytes), reloaded, predictions identical: {}",
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        classes == run.products.classes
+    );
+    let _ = std::fs::remove_file(&path);
 }

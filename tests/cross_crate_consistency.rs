@@ -25,15 +25,25 @@ fn is2_heights_match_s2_classes_at_the_same_epoch() {
     let track = TrackConfig::crossing(scene.config().center, 5_000.0);
     let granule = Atl03Generator::new(
         &scene,
-        GeneratorConfig { seed: 2001, ..GeneratorConfig::default() },
+        GeneratorConfig {
+            seed: 2001,
+            ..GeneratorConfig::default()
+        },
     )
     .generate(test_meta(0.0), &track, &[Beam::Gt2l]);
-    let pre = preprocess_beam(granule.beam(Beam::Gt2l).unwrap(), &PreprocessConfig::default());
+    let pre = preprocess_beam(
+        granule.beam(Beam::Gt2l).unwrap(),
+        &PreprocessConfig::default(),
+    );
     let segments = resample_2m(&pre, &ResampleConfig::default());
 
     let img = render_scene(
         &scene,
-        &RenderConfig { seed: 3001, pixel_size_m: 30.0, ..RenderConfig::default() },
+        &RenderConfig {
+            seed: 3001,
+            pixel_size_m: 30.0,
+            ..RenderConfig::default()
+        },
     );
     let mut water_sum = 0.0;
     let mut water_n = 0usize;
@@ -61,7 +71,10 @@ fn is2_heights_match_s2_classes_at_the_same_epoch() {
         thick_mean - water_mean > 0.2,
         "freeboard contrast lost: thick {thick_mean:.3} vs water {water_mean:.3}"
     );
-    assert!(water_mean.abs() < 0.2, "water far from sea level: {water_mean:.3}");
+    assert!(
+        water_mean.abs() < 0.2,
+        "water far from sea level: {water_mean:.3}"
+    );
 }
 
 #[test]
@@ -71,7 +84,11 @@ fn drift_displaces_s2_relative_to_is2_by_the_modelled_amount() {
     // Render the same grid at t=0 and t=40 min.
     let img0 = render_scene(
         &scene,
-        &RenderConfig { seed: 5, pixel_size_m: 30.0, ..RenderConfig::default() },
+        &RenderConfig {
+            seed: 5,
+            pixel_size_m: 30.0,
+            ..RenderConfig::default()
+        },
     );
     let img40 = render_scene(
         &scene,
@@ -116,10 +133,16 @@ fn atl07_and_2m_segments_agree_on_mean_surface_height() {
     let track = TrackConfig::crossing(scene.config().center, 5_000.0);
     let granule = Atl03Generator::new(
         &scene,
-        GeneratorConfig { seed: 2005, ..GeneratorConfig::default() },
+        GeneratorConfig {
+            seed: 2005,
+            ..GeneratorConfig::default()
+        },
     )
     .generate(test_meta(0.0), &track, &[Beam::Gt2l]);
-    let pre = preprocess_beam(granule.beam(Beam::Gt2l).unwrap(), &PreprocessConfig::default());
+    let pre = preprocess_beam(
+        granule.beam(Beam::Gt2l).unwrap(),
+        &PreprocessConfig::default(),
+    );
     let no_fpb = ResampleConfig {
         correct_first_photon_bias: false,
         ..ResampleConfig::default()
@@ -152,9 +175,16 @@ fn granule_io_roundtrip_preserves_pipeline_output() {
     let track = TrackConfig::crossing(scene.config().center, 3_000.0);
     let granule = Atl03Generator::new(
         &scene,
-        GeneratorConfig { seed: 2007, ..GeneratorConfig::default() },
+        GeneratorConfig {
+            seed: 2007,
+            ..GeneratorConfig::default()
+        },
     )
-    .generate(test_meta(0.0), &track, &[Beam::Gt1l, Beam::Gt2l, Beam::Gt3l]);
+    .generate(
+        test_meta(0.0),
+        &track,
+        &[Beam::Gt1l, Beam::Gt2l, Beam::Gt3l],
+    );
 
     let dir = std::env::temp_dir().join("integration_io_roundtrip");
     std::fs::create_dir_all(&dir).unwrap();

@@ -5,43 +5,33 @@ use std::sync::Arc;
 
 use icesat2_seaice::hvd::{DistributedTrainer, TrainerConfig};
 use icesat2_seaice::neurite::{Adam, BatchIter, CrossEntropy, Dataset, Matrix};
+use icesat2_seaice::seaice::fleet::FleetDriver;
 use icesat2_seaice::seaice::models::{build_model, ModelKind};
-use icesat2_seaice::seaice::pipeline::{
-    scaled_autolabel_run, scaled_freeboard_run, write_granule_fleet, Pipeline, PipelineConfig,
-};
+use icesat2_seaice::seaice::pipeline::{Pipeline, PipelineConfig};
 use icesat2_seaice::sparklite::Cluster;
 
 #[test]
 fn scaled_runs_are_invariant_across_topologies() {
     let pipeline = Pipeline::new(PipelineConfig::small(3001));
     let dir = std::env::temp_dir().join("integration_scaled_invariance");
-    let sources = write_granule_fleet(&pipeline, &dir, 2).unwrap();
+    let sources = FleetDriver::write_fleet(&pipeline, &dir, 2).unwrap();
     let pair = pipeline.coincident_pair();
     let raster = Arc::new(pair.labels.clone());
 
     let mut label_counts = Vec::new();
     let mut freeboard_results = Vec::new();
     for (e, c) in [(1usize, 1usize), (1, 4), (3, 2), (4, 4)] {
-        let cluster = Cluster::new(e, c);
-        let (counts, _) = scaled_autolabel_run(
-            &cluster,
-            &sources,
-            Arc::clone(&raster),
-            &pipeline.cfg.preprocess,
-            &pipeline.cfg.resample,
-        );
+        let driver = FleetDriver::new(Cluster::new(e, c), &pipeline.cfg);
+        let (counts, _) = driver.autolabel_run(&sources, Arc::clone(&raster));
         label_counts.push(counts);
-        let (fb, _) = scaled_freeboard_run(
-            &cluster,
-            &sources,
-            &pipeline.cfg.preprocess,
-            &pipeline.cfg.resample,
-            &pipeline.cfg.window,
-        );
+        let (fb, _) = driver.freeboard_run(&sources);
         freeboard_results.push(fb);
     }
     let _ = std::fs::remove_dir_all(&dir);
-    assert!(label_counts.windows(2).all(|w| w[0] == w[1]), "{label_counts:?}");
+    assert!(
+        label_counts.windows(2).all(|w| w[0] == w[1]),
+        "{label_counts:?}"
+    );
     for w in freeboard_results.windows(2) {
         assert_eq!(w[0].0, w[1].0, "freeboard point counts diverged");
         assert!((w[0].1 - w[1].1).abs() < 1e-12, "mean freeboard diverged");
@@ -60,10 +50,10 @@ fn horovod_single_worker_equals_plain_loop() {
     let mut labels = Vec::new();
     for _ in 0..160 {
         let cls = rng.random_range(0..2usize);
-        let cx = if cls == 0 { -1.0 } else { 1.0 };
+        let cx: f32 = if cls == 0 { -1.0 } else { 1.0 };
         rows.push(vec![
-            cx + rng.random_range(-0.3..0.3),
-            -cx + rng.random_range(-0.3..0.3),
+            cx + rng.random_range(-0.3..0.3f32),
+            -cx + rng.random_range(-0.3..0.3f32),
         ]);
         labels.push(cls);
     }
@@ -92,8 +82,13 @@ fn horovod_single_worker_equals_plain_loop() {
         epochs: 3,
         seed: 13,
     };
-    let (hvd_model, _) =
-        DistributedTrainer::train(make, || Box::new(Adam::new(0.01)), &CrossEntropy, &data, &cfg);
+    let (hvd_model, _) = DistributedTrainer::train(
+        make,
+        || Box::new(Adam::new(0.01)),
+        &CrossEntropy,
+        &data,
+        &cfg,
+    );
 
     let mut local = make(0);
     let mut opt = Adam::new(0.01);
@@ -139,7 +134,6 @@ fn distributed_paper_lstm_trains_on_real_pipeline_data() {
     assert_eq!(stats.n_workers, 4);
     assert!(stats.epoch_losses.len() == 3);
     let preds = model.predict(&data.x);
-    let acc = preds.iter().zip(&data.y).filter(|(a, b)| a == b).count() as f64
-        / data.len() as f64;
+    let acc = preds.iter().zip(&data.y).filter(|(a, b)| a == b).count() as f64 / data.len() as f64;
     assert!(acc > 0.85, "distributed LSTM accuracy {acc}");
 }

@@ -1,11 +1,14 @@
-//! End-to-end integration: the four-stage pipeline across all crates.
+//! End-to-end integration: the four-stage pipeline across all crates,
+//! exercised through the legacy `Pipeline::run()` compatibility wrapper
+//! (which chains the staged API under the hood — see
+//! `tests/staged_pipeline.rs` for the stage-level coverage).
 
 use icesat2_seaice::scene::SurfaceClass;
 use icesat2_seaice::seaice::pipeline::{Pipeline, PipelineConfig};
 
 #[test]
 fn full_pipeline_products_are_coherent() {
-    let pipeline = Pipeline::new(PipelineConfig::small(1001));
+    let pipeline = Pipeline::new(PipelineConfig::small(1002));
     let products = pipeline.run();
 
     // --- Stage 1: curation + auto-labeling.
@@ -72,7 +75,11 @@ fn full_pipeline_products_are_coherent() {
     // ATL03-vs-ATL07 sea-surface gap is decimetre-scale, like the paper
     // (ours is a little larger because the ATL07 emulation classifies
     // with a noisy decision tree).
-    assert!(products.surface_gap_m < 0.3, "gap {}", products.surface_gap_m);
+    assert!(
+        products.surface_gap_m < 0.3,
+        "gap {}",
+        products.surface_gap_m
+    );
 }
 
 #[test]

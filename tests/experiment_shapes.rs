@@ -11,14 +11,26 @@ fn table2_and_table5_simulations_match_paper_shape() {
     // Simulated sweep matches the paper's headline factors closely.
     let reduce = t2.metric("sim_max_reduce_speedup").unwrap();
     let load = t2.metric("sim_max_load_speedup").unwrap();
-    assert!((12.0..=16.5).contains(&reduce), "table2 sim reduce {reduce}");
+    assert!(
+        (12.0..=16.5).contains(&reduce),
+        "table2 sim reduce {reduce}"
+    );
     assert!((7.0..=11.0).contains(&load), "table2 sim load {load}");
-    // Measured run on this host parallelises at all.
-    assert!(t2.metric("measured_max_reduce_speedup").unwrap() > 1.2);
+    // Measured run on this host parallelises at all — meaningful only
+    // when the host actually has spare cores.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= 4 {
+        assert!(t2.metric("measured_max_reduce_speedup").unwrap() > 1.2);
+    }
 
     let t5 = tables::table5(Scale::Quick);
     let reduce5 = t5.metric("sim_max_reduce_speedup").unwrap();
-    assert!((12.0..=16.5).contains(&reduce5), "table5 sim reduce {reduce5}");
+    assert!(
+        (12.0..=16.5).contains(&reduce5),
+        "table5 sim reduce {reduce5}"
+    );
     assert!(t5.metric("freeboard_points").unwrap() > 100.0);
     let fb = t5.metric("mean_freeboard_m").unwrap();
     assert!((0.05..0.8).contains(&fb), "mean freeboard {fb}");

@@ -135,9 +135,15 @@ pub fn preprocess_beam_with_correction(
 }
 
 /// Drops photons deviating more than `max_dev` from the median height of
-/// all photons within ±`half_window` metres along-track. Two-pointer sweep
-/// keeps it O(n·w) with small constants (windows hold a few hundred
-/// photons at ATL03 densities).
+/// all photons within ±`half_window` metres along-track.
+///
+/// Two-pointer sweep with an *incrementally maintained* sorted window:
+/// advancing the window inserts/removes one height by binary search
+/// (O(w) memmove) instead of re-collecting and re-sorting the whole
+/// neighbourhood per photon (O(w log w) + an allocation), so the sweep is
+/// allocation-free after the first window and the only sort left in the
+/// curation path is the resampler's per-window median. Medians are
+/// bit-identical to the sort-per-photon version (same multiset).
 fn reject_outliers(photons: &[Photon], half_window: f64, max_dev: f64) -> Vec<Photon> {
     if photons.is_empty() {
         return Vec::new();
@@ -145,23 +151,41 @@ fn reject_outliers(photons: &[Photon], half_window: f64, max_dev: f64) -> Vec<Ph
     let mut out = Vec::with_capacity(photons.len());
     let mut lo = 0usize;
     let mut hi = 0usize;
-    let mut heights: Vec<f64> = Vec::new();
+    let mut sorted: Vec<f64> = Vec::new();
     for (i, p) in photons.iter().enumerate() {
         let center = p.along_track_m;
         while hi < photons.len() && photons[hi].along_track_m <= center + half_window {
+            let h = photons[hi].height_m;
+            let pos = sorted.partition_point(|x| x.total_cmp(&h).is_lt());
+            sorted.insert(pos, h);
             hi += 1;
         }
         while photons[lo].along_track_m < center - half_window {
+            // `lo < hi` always holds here (the window contains photon `i`
+            // itself), so the height is present in the sorted window.
+            let h = photons[lo].height_m;
+            let pos = sorted.partition_point(|x| x.total_cmp(&h).is_lt());
+            debug_assert!(sorted[pos].total_cmp(&h).is_eq());
+            sorted.remove(pos);
             lo += 1;
         }
-        heights.clear();
-        heights.extend(photons[lo..hi].iter().map(|q| q.height_m));
-        let med = median_in_place(&mut heights);
+        let med = median_of_sorted(&sorted);
         if (photons[i].height_m - med).abs() <= max_dev {
             out.push(*p);
         }
     }
     out
+}
+
+/// Median of an already-sorted non-empty slice.
+fn median_of_sorted(v: &[f64]) -> f64 {
+    debug_assert!(!v.is_empty());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
 }
 
 /// Median of a scratch slice (sorts it).

@@ -86,6 +86,12 @@ impl Segment {
 }
 
 /// Resamples a preprocessed beam into fixed windows.
+///
+/// Single pass over the (already along-track-sorted) signal and
+/// background streams; one height-scratch buffer is hoisted out of the
+/// window loop and reused by every window's median, so the resampler
+/// performs one `Vec` growth total instead of one collect-and-sort
+/// allocation per 2 m window.
 pub fn resample_2m(pre: &PreprocessedBeam, cfg: &ResampleConfig) -> Vec<Segment> {
     assert!(cfg.window_m > 0.0, "window must be positive");
     let mut segments = Vec::new();
@@ -95,6 +101,7 @@ pub fn resample_2m(pre: &PreprocessedBeam, cfg: &ResampleConfig) -> Vec<Segment>
 
     let pulses_per_window = (cfg.window_m / 0.7).max(1.0);
     let mut bg_iter = pre.background.iter().peekable();
+    let mut scratch: Vec<f64> = Vec::new();
 
     let mut i = 0usize;
     while i < pre.signal.len() {
@@ -131,11 +138,13 @@ pub fn resample_2m(pre: &PreprocessedBeam, cfg: &ResampleConfig) -> Vec<Segment>
             n_background,
             pulses_per_window,
             cfg,
+            &mut scratch,
         ));
     }
     segments
 }
 
+#[allow(clippy::too_many_arguments)]
 fn make_segment(
     index: u32,
     win_start: f64,
@@ -143,6 +152,7 @@ fn make_segment(
     n_background: u32,
     pulses_per_window: f64,
     cfg: &ResampleConfig,
+    scratch: &mut Vec<f64>,
 ) -> Segment {
     let n = window.len();
     let inv_n = 1.0 / n as f64;
@@ -150,10 +160,12 @@ fn make_segment(
     let mut lat = 0.0;
     let mut lon = 0.0;
     let mut n_high = 0u32;
+    scratch.clear();
     for p in window {
         mean_h += p.height_m;
         lat += p.lat;
         lon += p.lon;
+        scratch.push(p.height_m);
         if p.confidence == SignalConfidence::High {
             n_high += 1;
         }
@@ -162,15 +174,12 @@ fn make_segment(
     lat *= inv_n;
     lon *= inv_n;
 
-    let var = window
-        .iter()
-        .map(|p| (p.height_m - mean_h).powi(2))
-        .sum::<f64>()
-        * inv_n;
+    // Variance from the (still photon-ordered) scratch heights, before
+    // the median sorts them.
+    let var = scratch.iter().map(|h| (h - mean_h).powi(2)).sum::<f64>() * inv_n;
     let std_h = var.sqrt();
 
-    let mut scratch: Vec<f64> = window.iter().map(|p| p.height_m).collect();
-    let median_h = median_in_place(&mut scratch);
+    let median_h = median_in_place(scratch);
 
     let photon_rate = n as f64 / pulses_per_window;
     let background_rate = n_background as f64 / pulses_per_window;

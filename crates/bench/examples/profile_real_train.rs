@@ -1,0 +1,50 @@
+//! Profiling driver: LSTM training throughput on the real curated
+//! feature workload (kept for future perf PRs).
+
+use icesat_atl03::{preprocess_beam, resample_2m, Beam};
+use seaice::features::sequence_dataset;
+use seaice::heuristic::{heuristic_classes, HeuristicConfig};
+use seaice::models::{train_classifier, ModelKind};
+use seaice::pipeline::Pipeline;
+use seaice_bench::common::{shared_config, Scale};
+use std::time::Instant;
+
+fn main() {
+    let cfg = shared_config(
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        },
+        4242,
+    );
+    let pipeline = Pipeline::new(cfg.clone());
+    let granule = pipeline.generate_granule();
+    let beam_data = granule.beam(Beam::Gt2l).expect("strong beam");
+    let pre = preprocess_beam(beam_data, &cfg.preprocess);
+    let segments = resample_2m(&pre, &cfg.resample);
+    let labels: Vec<usize> = heuristic_classes(&segments, &HeuristicConfig::default())
+        .iter()
+        .map(|c| c.index())
+        .collect();
+    let seq_all = sequence_dataset(&segments, &labels, true, &cfg.features);
+    let idx: Vec<usize> = (0..if std::env::args().any(|a| a == "--quick") {
+        1200
+    } else {
+        4000
+    }
+    .min(seq_all.len()))
+        .collect();
+    let seq = seq_all.subset(&idx);
+    let mut train_cfg = cfg.train;
+    train_cfg.epochs = 20;
+    let t = Instant::now();
+    let clf = train_classifier(ModelKind::PaperLstm, &seq, &train_cfg);
+    let el = t.elapsed().as_secs_f64();
+    println!(
+        "real-data LSTM train rows/s = {:.0} (loss {:.4} -> {:.4})",
+        (seq.len() * train_cfg.epochs) as f64 / el,
+        clf.epoch_losses[0],
+        clf.epoch_losses.last().unwrap()
+    );
+}

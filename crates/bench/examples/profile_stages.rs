@@ -1,0 +1,48 @@
+//! Profiling driver: per-stage wall times of one staged pipeline run
+//! (kept for future perf PRs).
+
+use seaice::pipeline::Pipeline;
+use seaice::stages::{CuratedTrack, LabeledDataset, SeaIceProducts, TrainedModels};
+use seaice_bench::common::{shared_config, Scale};
+use std::time::Instant;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let cfg = shared_config(scale, 4243);
+    let t0 = Instant::now();
+    let pipeline = Pipeline::new(cfg);
+    let t_scene = t0.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let granule = pipeline.generate_granule();
+    let t_granule = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let track = CuratedTrack::curate_with(&pipeline, icesat_atl03::Beam::Gt2l);
+    let t_curate = t.elapsed().as_secs_f64();
+    let _ = granule;
+
+    let t = Instant::now();
+    let labeled = LabeledDataset::label_with_scene(&track, &pipeline.scene);
+    let t_label = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut models = TrainedModels::fit(&track, &labeled);
+    let t_train = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let products = SeaIceProducts::derive_with_scene(&track, &mut models, &pipeline.scene);
+    let t_products = t.elapsed().as_secs_f64();
+
+    println!("scene    {t_scene:7.3} s");
+    println!("granule  {t_granule:7.3} s (redundant gen, also inside curate)");
+    println!("curate   {t_curate:7.3} s (granule + preprocess + resample + S2 pair)");
+    println!("label    {t_label:7.3} s (drift search + transfer + manual pass)");
+    println!("train    {t_train:7.3} s (LSTM + MLP, 80/20 eval)");
+    println!("products {t_products:7.3} s (classify + surfaces + ATL07/10)");
+    let _ = products;
+}

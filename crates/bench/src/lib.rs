@@ -13,6 +13,7 @@
 
 pub mod common;
 pub mod figures;
+pub mod perf;
 pub mod tables;
 
 pub use common::ExperimentOutput;

@@ -1,0 +1,251 @@
+//! Machine-readable throughput benchmarks — the `BENCH_*.json` perf
+//! trajectory.
+//!
+//! `reproduce bench --bench-json FILE [--quick]` times the pipeline's
+//! hot paths through the public API and emits one flat JSON object so
+//! future PRs have numbers to compare against:
+//!
+//! - `preprocess_photons_per_s` / `resample_segments_per_s` — the ATL03
+//!   curation substrate (photon cleaning, 2 m windowing);
+//! - `train_{mlp,lstm}_rows_per_s` — training throughput (rows × epochs
+//!   per second, standardisation included);
+//! - `infer_{mlp,lstm}_rows_per_s` — batch inference throughput;
+//! - `fleet_granules_per_s` — `FleetDriver::classify_run` over a small
+//!   granule fleet (three strong beams per granule);
+//! - `staged_e2e_s` — one full staged pipeline run, seconds (lower is
+//!   better; every other metric is a rate).
+//!
+//! All workloads are seeded and deterministic; timings are wall-clock on
+//! whatever host runs them, so compare runs from the same machine only.
+
+use std::time::Instant;
+
+use icesat_atl03::{preprocess_beam, resample_2m, Beam};
+use seaice::features::sequence_dataset;
+use seaice::heuristic::{heuristic_classes, HeuristicConfig};
+use seaice::models::{train_classifier, ModelKind};
+use seaice::pipeline::{Pipeline, PipelineConfig};
+use seaice::stages::{PipelineBuilder, TrainedModels};
+use seaice::FleetDriver;
+use sparklite::Cluster;
+
+use crate::common::{shared_config, ExperimentOutput, Scale};
+
+/// Times `f`, returning `(result, seconds)`.
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Per-scale workload knobs.
+struct Knobs {
+    resample_reps: usize,
+    preprocess_reps: usize,
+    train_rows: usize,
+    train_epochs: usize,
+    infer_reps: usize,
+    fleet_granules: usize,
+}
+
+fn knobs(scale: Scale) -> Knobs {
+    match scale {
+        Scale::Quick => Knobs {
+            resample_reps: 10,
+            preprocess_reps: 3,
+            train_rows: 1200,
+            train_epochs: 8,
+            infer_reps: 4,
+            fleet_granules: 2,
+        },
+        Scale::Full => Knobs {
+            resample_reps: 30,
+            preprocess_reps: 8,
+            train_rows: 4000,
+            train_epochs: 10,
+            infer_reps: 10,
+            fleet_granules: 3,
+        },
+    }
+}
+
+/// Runs the throughput suite at `scale`.
+pub fn bench(scale: Scale) -> ExperimentOutput {
+    let k = knobs(scale);
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let push = |metrics: &mut Vec<(String, f64)>, name: &str, v: f64| {
+        metrics.push((name.to_string(), v));
+    };
+
+    // Shared workload: one granule beam at the benchmark scale (no S2 /
+    // labeling machinery — this suite times the compute substrate).
+    let cfg = shared_config(scale, 4242);
+    let pipeline = Pipeline::new(cfg.clone());
+    let granule = pipeline.generate_granule();
+    let beam_data = granule.beam(Beam::Gt2l).expect("strong beam");
+
+    // --- ATL03 curation substrate ------------------------------------
+    let (pre, _) = timed(|| preprocess_beam(beam_data, &cfg.preprocess));
+    let (_, pre_s) = timed(|| {
+        for _ in 0..k.preprocess_reps {
+            std::hint::black_box(preprocess_beam(beam_data, &cfg.preprocess));
+        }
+    });
+    push(
+        &mut metrics,
+        "preprocess_photons_per_s",
+        (beam_data.photons.len() * k.preprocess_reps) as f64 / pre_s,
+    );
+
+    let segments = resample_2m(&pre, &cfg.resample);
+    let (_, rs_s) = timed(|| {
+        for _ in 0..k.resample_reps {
+            std::hint::black_box(resample_2m(&pre, &cfg.resample));
+        }
+    });
+    push(
+        &mut metrics,
+        "resample_segments_per_s",
+        (segments.len() * k.resample_reps) as f64 / rs_s,
+    );
+
+    // --- Training / inference -----------------------------------------
+    let labels: Vec<usize> = heuristic_classes(&segments, &HeuristicConfig::default())
+        .iter()
+        .map(|c| c.index())
+        .collect();
+    let seq_all = sequence_dataset(&segments, &labels, true, &cfg.features);
+    let pt_all = sequence_dataset(&segments, &labels, false, &cfg.features);
+    let n = k.train_rows.min(seq_all.len());
+    let idx: Vec<usize> = (0..n).collect();
+    let seq = seq_all.subset(&idx);
+    let pt = pt_all.subset(&idx);
+    let mut train_cfg = cfg.train;
+    train_cfg.epochs = k.train_epochs;
+
+    let (mut mlp, mlp_s) = timed(|| train_classifier(ModelKind::PaperMlp, &pt, &train_cfg));
+    push(
+        &mut metrics,
+        "train_mlp_rows_per_s",
+        (n * k.train_epochs) as f64 / mlp_s,
+    );
+    let (mut lstm, lstm_s) = timed(|| train_classifier(ModelKind::PaperLstm, &seq, &train_cfg));
+    push(
+        &mut metrics,
+        "train_lstm_rows_per_s",
+        (n * k.train_epochs) as f64 / lstm_s,
+    );
+
+    let (_, mlp_inf_s) = timed(|| {
+        for _ in 0..k.infer_reps {
+            std::hint::black_box(mlp.predict(&pt_all.x));
+        }
+    });
+    push(
+        &mut metrics,
+        "infer_mlp_rows_per_s",
+        (pt_all.len() * k.infer_reps) as f64 / mlp_inf_s,
+    );
+    let (_, lstm_inf_s) = timed(|| {
+        for _ in 0..k.infer_reps {
+            std::hint::black_box(lstm.predict(&seq_all.x));
+        }
+    });
+    push(
+        &mut metrics,
+        "infer_lstm_rows_per_s",
+        (seq_all.len() * k.infer_reps) as f64 / lstm_inf_s,
+    );
+
+    // --- Fleet inference ----------------------------------------------
+    // Hand-assemble a TrainedModels from the two classifiers trained
+    // above: the fleet bench times distribution + inference, not the
+    // labeling pipeline behind `TrainedModels::fit`.
+    let (lstm_report, lstm_confusion) = lstm.evaluate(&seq);
+    let (mlp_report, _) = mlp.evaluate(&pt);
+    let models = TrainedModels {
+        lstm,
+        mlp,
+        lstm_report,
+        mlp_report,
+        lstm_confusion,
+        train: train_cfg,
+        features: cfg.features,
+    };
+    let dir = std::env::temp_dir().join(format!("seaice_perf_fleet_{}", std::process::id()));
+    let sources = FleetDriver::write_fleet(&pipeline, &dir, k.fleet_granules).expect("fleet files");
+    let driver = FleetDriver::new(Cluster::new(2, 2), &cfg);
+    let (products, fleet_s) = timed(|| driver.classify_run(&sources, &models).0);
+    assert_eq!(products.len(), sources.len(), "fleet covered every beam");
+    push(
+        &mut metrics,
+        "fleet_granules_per_s",
+        k.fleet_granules as f64 / fleet_s,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- End-to-end staged run ----------------------------------------
+    let e2e_cfg = match scale {
+        Scale::Quick => PipelineConfig::small(4243),
+        Scale::Full => shared_config(Scale::Full, 4243),
+    };
+    let (_, e2e_s) = timed(|| PipelineBuilder::new(e2e_cfg).run());
+    push(&mut metrics, "staged_e2e_s", e2e_s);
+
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    push(&mut metrics, "parallelism", parallelism as f64);
+
+    let mut report = String::from("Throughput benchmark (BENCH_*.json trajectory)\n");
+    for (name, v) in &metrics {
+        report.push_str(&format!("  {name:<28} {v:>14.2}\n"));
+    }
+    ExperimentOutput {
+        id: "bench",
+        report,
+        metrics,
+    }
+}
+
+/// Renders an [`ExperimentOutput`] from [`bench`] as the flat JSON object
+/// the `BENCH_*.json` trajectory stores.
+pub fn to_json(out: &ExperimentOutput, scale: Scale) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"seaice-throughput\",\n");
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    ));
+    s.push_str("  \"metrics\": {\n");
+    let n = out.metrics.len();
+    for (i, (name, v)) in out.metrics.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        s.push_str(&format!("    \"{name}\": {v:.4}{comma}\n"));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_flat_object() {
+        let out = ExperimentOutput {
+            id: "bench",
+            report: String::new(),
+            metrics: vec![("a_per_s".into(), 1.5), ("b_s".into(), 2.0)],
+        };
+        let j = to_json(&out, Scale::Quick);
+        assert!(j.contains("\"a_per_s\": 1.5000,"));
+        assert!(j.contains("\"b_s\": 2.0000\n"));
+        assert!(j.trim_start().starts_with('{') && j.trim_end().ends_with('}'));
+        // No trailing comma before the closing brace.
+        assert!(!j.contains(",\n  }"));
+    }
+}

@@ -285,12 +285,34 @@ impl FleetDriver {
                 let broadcast = Arc::clone(&broadcast);
                 rdd.map(
                     move |(granule_id, beam_data): (String, icesat_atl03::BeamData)| {
+                        use std::cell::RefCell;
+                        // Each worker thread decodes the broadcast once and
+                        // keeps the rehydrated models — with their warmed
+                        // inference workspace — for every (granule, beam)
+                        // partition it pulls, instead of re-decoding per
+                        // partition. Keyed by the broadcast Arc (which the
+                        // cache keeps alive, so pointer identity is sound).
+                        thread_local! {
+                            static WORKER_MODELS: RefCell<Option<(Arc<Vec<u8>>, TrainedModels)>> =
+                                const { RefCell::new(None) };
+                        }
                         let beam = beam_data.beam;
-                        let mut models =
-                            TrainedModels::from_bytes(&broadcast).expect("broadcast models decode");
                         let pre = preprocess_beam(&beam_data, &preprocess);
                         let segments = resample_2m(&pre, &resample);
-                        let classes = models.classify(&segments);
+                        let classes = WORKER_MODELS.with(|cell| {
+                            let mut slot = cell.borrow_mut();
+                            let stale = !matches!(
+                                &*slot,
+                                Some((cached, _)) if Arc::ptr_eq(cached, &broadcast)
+                            );
+                            if stale {
+                                let models = TrainedModels::from_bytes(&broadcast)
+                                    .expect("broadcast models decode");
+                                *slot = Some((Arc::clone(&broadcast), models));
+                            }
+                            let (_, models) = slot.as_mut().expect("just populated");
+                            models.classify(&segments)
+                        });
                         let mut class_counts = [0usize; 3];
                         for c in &classes {
                             class_counts[c.index()] += 1;

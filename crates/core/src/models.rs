@@ -13,8 +13,8 @@
 
 use icesat_scene::SurfaceClass;
 use neurite::{
-    confusion_matrix, Activation, Adam, BatchIter, ClassificationReport, ConfusionMatrix, Dataset,
-    Dense, Dropout, FocalLoss, Lstm, Matrix, Sequential, Standardizer,
+    confusion_matrix, Activation, Adam, Batcher, ClassificationReport, ConfusionMatrix, Dataset,
+    Dense, Dropout, FocalLoss, Lstm, Matrix, Optimizer, Sequential, Standardizer,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -176,11 +176,18 @@ pub fn train_classifier(kind: ModelKind, train: &Dataset, cfg: &TrainConfig) -> 
     );
     let mut model = build_model(kind, cfg.seed);
     let mut opt = Adam::new(cfg.learning_rate);
+    opt.reserve(model.n_params());
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    // One batcher and one pair of batch buffers serve every epoch — the
+    // epoch loop allocates nothing once the model workspace is warm.
+    let mut batcher = Batcher::new(std_train.len(), cfg.batch_size);
+    let mut bx = Matrix::zeros(0, 0);
+    let mut by = Vec::with_capacity(cfg.batch_size);
     for epoch in 0..cfg.epochs {
         let mut sum = 0.0f32;
         let mut count = 0usize;
-        for (bx, by) in BatchIter::new(&std_train, cfg.batch_size, cfg.seed ^ epoch as u64) {
+        batcher.shuffle(cfg.seed ^ epoch as u64);
+        while batcher.next_into(&std_train, &mut bx, &mut by) {
             sum += model.train_step(&bx, &by, &loss, &mut opt);
             count += 1;
         }

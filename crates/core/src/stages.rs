@@ -33,7 +33,7 @@ use neurite::{ClassificationReport, ConfusionMatrix};
 use crate::artifact::{codec_struct, Artifact};
 use crate::atl07::{atl07_segments, classify_atl07, Atl10Freeboard, DecisionTreeConfig};
 use crate::eval;
-use crate::features::{sequence_dataset, FeatureConfig};
+use crate::features::{sequence_dataset, sequence_features, FeatureConfig};
 use crate::freeboard::FreeboardProduct;
 use crate::labeling::{autolabel_with_drift, label_accuracy, DriftEstimate, LabeledSegment};
 use crate::models::{train_classifier, ModelKind, TrainConfig, TrainedClassifier};
@@ -294,13 +294,15 @@ impl TrainedModels {
     /// Stage-4 inference with the winning (LSTM) model: one class per 2 m
     /// segment. Works on **any** segments, not just the training track —
     /// this is the cross-granule reuse the staged API exists for.
+    ///
+    /// Inference streams through the model's workspace in row chunks
+    /// (see `neurite::Sequential::predict`), so repeated calls on one
+    /// `TrainedModels` — the fleet-worker pattern — reuse one long-lived
+    /// scratch set instead of materialising per-call intermediates.
     pub fn classify(&mut self, segments: &[Segment]) -> Vec<SurfaceClass> {
-        // Features never look at labels; a zero vector satisfies the
-        // dataset layout.
-        let dummy = vec![0usize; segments.len()];
-        let all_seq = sequence_dataset(segments, &dummy, true, &self.features);
+        let x = sequence_features(segments, &self.features);
         self.lstm
-            .predict(&all_seq.x)
+            .predict(&x)
             .into_iter()
             .map(|i| SurfaceClass::from_index(i).expect("3-way softmax"))
             .collect()

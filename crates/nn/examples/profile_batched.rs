@@ -1,0 +1,78 @@
+//! Profiling driver: batched multi-epoch training loop vs fixed-batch
+//! loop (kept for future perf PRs).
+
+use neurite::{
+    Activation, Adam, Batcher, Dataset, Dense, Dropout, FocalLoss, Lstm, Matrix, Sequential,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn model(rng: &mut ChaCha8Rng) -> Sequential {
+    Sequential::new()
+        .add(Lstm::new(6, 16, 5, Activation::Elu, rng))
+        .add(Dropout::new(0.2, 1))
+        .add(Dense::new(16, 32, Activation::Elu, rng))
+        .add(Dense::new(32, 96, Activation::Elu, rng))
+        .add(Dense::new(96, 32, Activation::Elu, rng))
+        .add(Dense::new(32, 16, Activation::Elu, rng))
+        .add(Dense::new(16, 112, Activation::Elu, rng))
+        .add(Dense::new(112, 48, Activation::Elu, rng))
+        .add(Dense::new(48, 64, Activation::Elu, rng))
+        .add(Dense::new(64, 3, Activation::Linear, rng))
+}
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let n = 1200usize;
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..30).map(|_| rng.random_range(-1.0..1.0f32)).collect())
+        .collect();
+    let y: Vec<usize> = (0..n).map(|i| i % 3).collect();
+    let data = Dataset::new(Matrix::from_rows(&rows), y);
+    let loss = FocalLoss::with_alpha(2.0, vec![1.0, 1.0, 1.0]);
+
+    let mut m = model(&mut rng);
+    let mut opt = Adam::new(0.003);
+    let mut batcher = Batcher::new(data.len(), 32);
+    let mut bx = Matrix::zeros(0, 0);
+    let mut by = Vec::new();
+    // Warmup epoch.
+    batcher.shuffle(0);
+    while batcher.next_into(&data, &mut bx, &mut by) {
+        m.train_step(&bx, &by, &loss, &mut opt);
+    }
+    let epochs = 20;
+    let t = Instant::now();
+    for e in 0..epochs {
+        batcher.shuffle(e as u64);
+        while batcher.next_into(&data, &mut bx, &mut by) {
+            m.train_step(&bx, &by, &loss, &mut opt);
+        }
+    }
+    let el = t.elapsed().as_secs_f64();
+    println!("batched rows/s = {:.0}", (n * epochs) as f64 / el);
+    println!(
+        "ws allocations {} pooled {}",
+        m.workspace().allocations(),
+        m.workspace().pooled_floats()
+    );
+
+    // Fixed single batch for comparison.
+    let mut m2 = model(&mut rng);
+    let mut opt2 = Adam::new(0.003);
+    let idx: Vec<usize> = (0..32).collect();
+    let sub = data.subset(&idx);
+    for _ in 0..50 {
+        m2.train_step(&sub.x, &sub.y, &loss, &mut opt2);
+    }
+    let steps = 2000;
+    let t = Instant::now();
+    for _ in 0..steps {
+        m2.train_step(&sub.x, &sub.y, &loss, &mut opt2);
+    }
+    println!(
+        "fixed-batch rows/s = {:.0}",
+        (32 * steps) as f64 / t.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,93 @@
+//! Profiling driver: per-layer forward/backward timings (kept for
+//! future perf PRs).
+
+use neurite::layers::Layer;
+use neurite::{Activation, Dense, Dropout, Lstm, Matrix, Workspace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn bench_layer<L: Layer>(name: &str, layer: &mut L, input: &Matrix, out_cols: usize) {
+    let mut ws = Workspace::new();
+    let batch = input.rows();
+    let ones = Matrix::from_vec(batch, out_cols, vec![1.0; batch * out_cols]);
+    for _ in 0..20 {
+        let o = layer.forward_ws(input, true, &mut ws);
+        ws.give(o);
+        let g = layer.backward_ws(&ones, &mut ws);
+        ws.give(g);
+    }
+    let n = 5000;
+    let t = Instant::now();
+    for _ in 0..n {
+        let o = layer.forward_ws(input, true, &mut ws);
+        ws.give(o);
+    }
+    let fwd = t.elapsed().as_secs_f64() / n as f64;
+    let t = Instant::now();
+    for _ in 0..n {
+        let g = layer.backward_ws(&ones, &mut ws);
+        ws.give(g);
+    }
+    let bwd = t.elapsed().as_secs_f64() / n as f64;
+    println!(
+        "{name:<22} fwd {:7.2} us   bwd {:7.2} us",
+        fwd * 1e6,
+        bwd * 1e6
+    );
+}
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let b = 32;
+    let x30 = Matrix::glorot(b, 30, &mut rng);
+    let x16 = Matrix::glorot(b, 16, &mut rng);
+    let x32 = Matrix::glorot(b, 32, &mut rng);
+    let x96 = Matrix::glorot(b, 96, &mut rng);
+    let x112 = Matrix::glorot(b, 112, &mut rng);
+    let x48 = Matrix::glorot(b, 48, &mut rng);
+
+    bench_layer(
+        "Lstm(6,16,5)",
+        &mut Lstm::new(6, 16, 5, Activation::Elu, &mut rng),
+        &x30,
+        16,
+    );
+    bench_layer("Dropout(0.2) @16", &mut Dropout::new(0.2, 1), &x16, 16);
+    bench_layer(
+        "Dense 16->32",
+        &mut Dense::new(16, 32, Activation::Elu, &mut rng),
+        &x16,
+        32,
+    );
+    bench_layer(
+        "Dense 32->96",
+        &mut Dense::new(32, 96, Activation::Elu, &mut rng),
+        &x32,
+        96,
+    );
+    bench_layer(
+        "Dense 96->32",
+        &mut Dense::new(96, 32, Activation::Elu, &mut rng),
+        &x96,
+        32,
+    );
+    bench_layer(
+        "Dense 16->112",
+        &mut Dense::new(16, 112, Activation::Elu, &mut rng),
+        &x16,
+        112,
+    );
+    bench_layer(
+        "Dense 112->48",
+        &mut Dense::new(112, 48, Activation::Elu, &mut rng),
+        &x112,
+        48,
+    );
+    bench_layer(
+        "Dense 48->64",
+        &mut Dense::new(48, 64, Activation::Elu, &mut rng),
+        &x48,
+        64,
+    );
+}

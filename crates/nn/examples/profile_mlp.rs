@@ -1,0 +1,108 @@
+//! Profiling driver: MLP training-step component timings (kept for
+//! future perf PRs).
+
+use neurite::layers::Layer;
+use neurite::{Activation, Adam, Dense, Dropout, FocalLoss, Matrix, Sequential, Workspace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut model = Sequential::new()
+        .add(Dense::new(6, 32, Activation::Relu, &mut rng))
+        .add(Dropout::new(0.2, 1))
+        .add(Dense::new(32, 3, Activation::Linear, &mut rng));
+    let x = Matrix::glorot(32, 6, &mut rng);
+    let y: Vec<usize> = (0..32).map(|i| i % 3).collect();
+    let loss = FocalLoss::new(2.0);
+    let mut opt = Adam::new(0.003);
+    for _ in 0..100 {
+        model.train_step(&x, &y, &loss, &mut opt);
+    }
+    let n = 20000;
+    let t = Instant::now();
+    for _ in 0..n {
+        model.train_step(&x, &y, &loss, &mut opt);
+    }
+    println!(
+        "mlp train_step {:.2} us",
+        t.elapsed().as_secs_f64() / n as f64 * 1e6
+    );
+
+    let t = Instant::now();
+    for _ in 0..n {
+        model.grad_step(&x, &y, &loss);
+    }
+    println!(
+        "mlp grad_step  {:.2} us",
+        t.elapsed().as_secs_f64() / n as f64 * 1e6
+    );
+
+    let t = Instant::now();
+    for _ in 0..n {
+        model.apply_grads(&mut opt);
+    }
+    println!(
+        "mlp apply      {:.2} us",
+        t.elapsed().as_secs_f64() / n as f64 * 1e6
+    );
+
+    // Individual layers.
+    let mut d1 = Dense::new(6, 32, Activation::Relu, &mut rng);
+    let mut drop = Dropout::new(0.2, 2);
+    let mut d2 = Dense::new(32, 3, Activation::Linear, &mut rng);
+    let mut ws = Workspace::new();
+    let x32 = Matrix::glorot(32, 32, &mut rng);
+    let ones3 = Matrix::from_vec(32, 3, vec![1.0; 96]);
+    let ones32 = Matrix::from_vec(32, 32, vec![1.0; 1024]);
+    for _ in 0..100 {
+        let o = d1.forward_ws(&x, true, &mut ws);
+        ws.give(o);
+    }
+    let t = Instant::now();
+    for _ in 0..n {
+        let o = d1.forward_ws(&x, true, &mut ws);
+        ws.give(o);
+    }
+    println!(
+        "d1 fwd {:.2} us",
+        t.elapsed().as_secs_f64() / n as f64 * 1e6
+    );
+    let t = Instant::now();
+    for _ in 0..n {
+        let o = d1.backward_ws(&ones32, &mut ws);
+        ws.give(o);
+    }
+    println!(
+        "d1 bwd {:.2} us",
+        t.elapsed().as_secs_f64() / n as f64 * 1e6
+    );
+    let t = Instant::now();
+    for _ in 0..n {
+        let o = drop.forward_ws(&x32, true, &mut ws);
+        ws.give(o);
+    }
+    println!(
+        "drop fwd {:.2} us",
+        t.elapsed().as_secs_f64() / n as f64 * 1e6
+    );
+    let t = Instant::now();
+    for _ in 0..n {
+        let o = d2.forward_ws(&x32, true, &mut ws);
+        ws.give(o);
+    }
+    println!(
+        "d2 fwd {:.2} us",
+        t.elapsed().as_secs_f64() / n as f64 * 1e6
+    );
+    let t = Instant::now();
+    for _ in 0..n {
+        let o = d2.backward_ws(&ones3, &mut ws);
+        ws.give(o);
+    }
+    println!(
+        "d2 bwd {:.2} us",
+        t.elapsed().as_secs_f64() / n as f64 * 1e6
+    );
+}

@@ -93,6 +93,60 @@ impl Dataset {
     }
 }
 
+/// Reusable mini-batch driver: owns its shuffle order and writes batches
+/// into caller-provided buffers, so a multi-epoch training loop allocates
+/// nothing per batch (and nothing per epoch after the first shuffle).
+///
+/// [`BatchIter`] remains as the allocating convenience; both produce the
+/// same batches for the same `(seed, batch_size)`.
+pub struct Batcher {
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Batcher {
+    /// A batcher over `n` samples in identity order (call
+    /// [`Batcher::shuffle`] before each epoch).
+    pub fn new(n: usize, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batcher {
+            order: (0..n).collect(),
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Reshuffles in place (same permutation as `BatchIter::new` with
+    /// this seed) and rewinds to the first batch.
+    pub fn shuffle(&mut self, seed: u64) {
+        let n = self.order.len();
+        self.order.clear();
+        self.order.extend(0..n);
+        self.order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        self.cursor = 0;
+    }
+
+    /// Writes the next batch of `data` into `x`/`y`, reusing their
+    /// capacity. Returns `false` (buffers untouched) when the epoch is
+    /// exhausted.
+    pub fn next_into(&mut self, data: &Dataset, x: &mut Matrix, y: &mut Vec<usize>) -> bool {
+        if self.cursor >= self.order.len() {
+            return false;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let d = data.dim();
+        x.resize(end - self.cursor, d);
+        y.clear();
+        for (i, &idx) in self.order[self.cursor..end].iter().enumerate() {
+            x.data_mut()[i * d..(i + 1) * d].copy_from_slice(data.x.row(idx));
+            y.push(data.y[idx]);
+        }
+        self.cursor = end;
+        true
+    }
+}
+
 /// Iterator over shuffled mini-batches.
 pub struct BatchIter<'a> {
     data: &'a Dataset,
@@ -165,16 +219,25 @@ impl Standardizer {
 
     /// Applies the transform.
     pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.transform_into(x, &mut out);
+        out
+    }
+
+    /// Applies the transform into a caller-provided buffer (no allocation
+    /// when `out` has capacity).
+    pub fn transform_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(x.cols(), self.mean.len(), "dimension mismatch");
-        let mut out = x.clone();
+        out.copy_from(x);
         let d = x.cols();
-        for r in 0..x.rows() {
-            for c in 0..d {
-                let v = (x.get(r, c) - self.mean[c]) / self.std[c];
-                out.set(r, c, v);
+        if d == 0 {
+            return;
+        }
+        for row in out.data_mut().chunks_mut(d) {
+            for ((v, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
             }
         }
-        out
     }
 
     /// Fit + transform in one call.
@@ -249,6 +312,58 @@ mod tests {
         let a: Vec<Vec<usize>> = BatchIter::new(&d, 8, 5).map(|(_, y)| y).collect();
         let b: Vec<Vec<usize>> = BatchIter::new(&d, 8, 5).map(|(_, y)| y).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batcher_matches_batchiter_exactly() {
+        let d = dataset(53);
+        for seed in [0u64, 5, 9] {
+            let mut batcher = Batcher::new(d.len(), 8);
+            batcher.shuffle(seed);
+            let mut bx = Matrix::zeros(0, 0);
+            let mut by = Vec::new();
+            let mut iter = BatchIter::new(&d, 8, seed);
+            while batcher.next_into(&d, &mut bx, &mut by) {
+                let (ix, iy) = iter.next().expect("same batch count");
+                assert_eq!(bx, ix);
+                assert_eq!(by, iy);
+            }
+            assert!(iter.next().is_none(), "same batch count");
+        }
+    }
+
+    #[test]
+    fn batcher_reshuffle_rewinds_without_allocating_order() {
+        let d = dataset(20);
+        let mut batcher = Batcher::new(d.len(), 6);
+        let mut bx = Matrix::zeros(0, 0);
+        let mut by = Vec::new();
+        batcher.shuffle(1);
+        let mut first: Vec<Vec<usize>> = Vec::new();
+        while batcher.next_into(&d, &mut bx, &mut by) {
+            first.push(by.clone());
+        }
+        batcher.shuffle(1);
+        let mut second: Vec<Vec<usize>> = Vec::new();
+        while batcher.next_into(&d, &mut bx, &mut by) {
+            second.push(by.clone());
+        }
+        assert_eq!(first, second, "same seed, same epoch order");
+        batcher.shuffle(2);
+        let mut third: Vec<Vec<usize>> = Vec::new();
+        while batcher.next_into(&d, &mut bx, &mut by) {
+            third.push(by.clone());
+        }
+        assert_ne!(first, third, "different seed reshuffles");
+    }
+
+    #[test]
+    fn transform_into_matches_transform() {
+        let d = dataset(32);
+        let (s, z) = Standardizer::fit_transform(&d.x);
+        let mut out = Matrix::zeros(100, 100); // oversized, must shrink in place
+        s.transform_into(&d.x, &mut out);
+        assert_eq!(out, z);
     }
 
     #[test]

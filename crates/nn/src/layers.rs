@@ -5,26 +5,54 @@
 //! between steps). Gradient correctness is enforced by finite-difference
 //! tests at the bottom of this module — the LSTM backward pass in
 //! particular is exactly the kind of code that silently rots without one.
+//!
+//! # Allocation discipline
+//!
+//! The primary entry points are [`Layer::forward_ws`] /
+//! [`Layer::backward_ws`]: transient values (layer outputs, input
+//! gradients) are borrowed from the caller's
+//! [`Workspace`](crate::workspace::Workspace), while long-lived caches
+//! (activations kept for backward, the LSTM's packed per-sequence
+//! buffers, gradient accumulators) are owned by the layer and resized in
+//! place. After one warmup step nothing in the steady-state training loop
+//! allocates. The workspace-free [`Layer::forward`] / [`Layer::backward`]
+//! remain as conveniences for cold paths and tests.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::activation::Activation;
 use crate::tensor::Matrix;
+use crate::workspace::Workspace;
 
 /// Common layer interface. `Send + Sync` so trained models can sit in
 /// shared caches and be moved across worker threads; layers hold plain
 /// data (no interior mutability).
 pub trait Layer: Send + Sync {
-    /// Forward pass; `training` toggles dropout and friends.
-    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix;
+    /// Forward pass; `training` toggles dropout and friends. The returned
+    /// matrix is borrowed from `ws` — give it back when the value dies.
+    fn forward_ws(&mut self, input: &Matrix, training: bool, ws: &mut Workspace) -> Matrix;
     /// Backward pass: given ∂L/∂output, accumulate parameter gradients and
-    /// return ∂L/∂input.
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+    /// return ∂L/∂input (borrowed from `ws`).
+    fn backward_ws(&mut self, grad_output: &Matrix, ws: &mut Workspace) -> Matrix;
+    /// Workspace-free forward (cold paths and tests).
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        let mut ws = Workspace::new();
+        self.forward_ws(input, training, &mut ws)
+    }
+    /// Workspace-free backward (cold paths and tests).
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_output, &mut ws)
+    }
     /// Immutable views of the parameters.
     fn params(&self) -> Vec<&Matrix>;
     /// Mutable views of the parameters (same order as [`Layer::params`]).
     fn params_mut(&mut self) -> Vec<&mut Matrix>;
+    /// Paired mutable-parameter / gradient views (same order), for
+    /// segmented optimiser steps that update layer storage directly
+    /// instead of round-tripping through flat copies.
+    fn params_and_grads_mut(&mut self) -> Vec<(&mut Matrix, &Matrix)>;
     /// Immutable views of the accumulated gradients (same order).
     fn grads(&self) -> Vec<&Matrix>;
     /// Mutable views of the accumulated gradients (same order).
@@ -46,8 +74,15 @@ pub struct Dense {
     act: Activation,
     gw: Matrix,
     gb: Matrix,
-    cache_input: Option<Matrix>,
-    cache_pre: Option<Matrix>,
+    // Pre-transposed weight cache (out×in), refreshed each forward: the
+    // backward `dx = dpre·Wᵀ` then runs through the vectorisable axpy
+    // matmul kernel instead of a horizontal-reduction dot kernel (which
+    // cannot autovectorise — measured ~5× slower).
+    wt: Matrix,
+    cache_input: Matrix,
+    cache_pre: Matrix,
+    cache_out: Matrix,
+    has_cache: bool,
 }
 
 impl Dense {
@@ -59,8 +94,11 @@ impl Dense {
             act,
             gw: Matrix::zeros(input, output),
             gb: Matrix::zeros(1, output),
-            cache_input: None,
-            cache_pre: None,
+            wt: Matrix::zeros(0, 0),
+            cache_input: Matrix::zeros(0, 0),
+            cache_pre: Matrix::zeros(0, 0),
+            cache_out: Matrix::zeros(0, 0),
+            has_cache: false,
         }
     }
 
@@ -76,21 +114,43 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Matrix, _training: bool) -> Matrix {
-        let pre = input.matmul(&self.w).add_row_broadcast(&self.b);
-        let out = self.act.apply_matrix(&pre);
-        self.cache_input = Some(input.clone());
-        self.cache_pre = Some(pre);
+    fn forward_ws(&mut self, input: &Matrix, _training: bool, ws: &mut Workspace) -> Matrix {
+        self.cache_input.copy_from(input);
+        let mut out = ws.take(input.rows(), self.w.cols());
+        // Fused matmul + bias + activation; `cache_pre` keeps the biased
+        // pre-activations for backward.
+        input.affine_into(&self.w, &self.b, self.act, &mut self.cache_pre, &mut out);
+        // Caching the activated output lets backward derive act' from it
+        // (σ(1−σ)-style identities) without re-evaluating exp.
+        self.cache_out.copy_from(&out);
+        // Refresh the packed (pre-transposed) weights while they are hot;
+        // W is constant between a forward and its backward.
+        self.w.transpose_into(&mut self.wt);
+        self.has_cache = true;
         out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let pre = self.cache_pre.as_ref().expect("backward before forward");
-        let input = self.cache_input.as_ref().expect("backward before forward");
-        let dpre = grad_output.hadamard(&self.act.derivative_matrix(pre));
-        self.gw = self.gw.add(&input.transpose().matmul(&dpre));
-        self.gb = self.gb.add(&dpre.col_sum());
-        dpre.matmul(&self.w.transpose())
+    fn backward_ws(&mut self, grad_output: &Matrix, ws: &mut Workspace) -> Matrix {
+        assert!(self.has_cache, "backward before forward");
+        let (m, n) = (grad_output.rows(), grad_output.cols());
+        let mut dpre = ws.take(m, n);
+        for (((d, &g), &p), &y) in dpre
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(self.cache_pre.data())
+            .zip(self.cache_out.data())
+        {
+            *d = g * self.act.derivative_from_output(y, p);
+        }
+        // gw += inputᵀ·dpre, gb += Σrows dpre — both accumulate in place.
+        self.cache_input.matmul_transa_acc(&dpre, &mut self.gw);
+        dpre.col_sum_acc(&mut self.gb);
+        // dx = dpre·Wᵀ through the packed weight cache (axpy kernel).
+        let mut dx = ws.take(m, self.w.rows());
+        dpre.matmul_into(&self.wt, &mut dx);
+        ws.give(dpre);
+        dx
     }
 
     fn params(&self) -> Vec<&Matrix> {
@@ -98,6 +158,9 @@ impl Layer for Dense {
     }
     fn params_mut(&mut self) -> Vec<&mut Matrix> {
         vec![&mut self.w, &mut self.b]
+    }
+    fn params_and_grads_mut(&mut self) -> Vec<(&mut Matrix, &Matrix)> {
+        vec![(&mut self.w, &self.gw), (&mut self.b, &self.gb)]
     }
     fn grads(&self) -> Vec<&Matrix> {
         vec![&self.gw, &self.gb]
@@ -117,7 +180,8 @@ pub struct Dropout {
     p: f32,
     seed: u64,
     calls: u64,
-    mask: Option<Matrix>,
+    mask: Matrix,
+    mask_active: bool,
 }
 
 impl Dropout {
@@ -128,44 +192,59 @@ impl Dropout {
             p,
             seed,
             calls: 0,
-            mask: None,
+            mask: Matrix::zeros(0, 0),
+            mask_active: false,
         }
     }
 }
 
 impl Layer for Dropout {
-    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+    fn forward_ws(&mut self, input: &Matrix, training: bool, ws: &mut Workspace) -> Matrix {
+        let mut out = ws.take(input.rows(), input.cols());
         if !training || self.p == 0.0 {
-            self.mask = None;
-            return input.clone();
+            self.mask_active = false;
+            out.data_mut().copy_from_slice(input.data());
+            return out;
         }
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ self.calls.wrapping_mul(0x9E37_79B9));
         self.calls += 1;
         let keep = 1.0 - self.p;
-        let mut mask = Matrix::zeros(input.rows(), input.cols());
-        for v in mask.data_mut() {
+        self.mask.resize(input.rows(), input.cols());
+        for v in self.mask.data_mut() {
             *v = if rng.random::<f32>() < keep {
                 1.0 / keep
             } else {
                 0.0
             };
         }
-        let out = input.hadamard(&mask);
-        self.mask = Some(mask);
+        for ((o, &x), &m) in out
+            .data_mut()
+            .iter_mut()
+            .zip(input.data())
+            .zip(self.mask.data())
+        {
+            *o = x * m;
+        }
+        self.mask_active = true;
         out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        match &self.mask {
-            Some(mask) => grad_output.hadamard(mask),
-            None => grad_output.clone(),
+    fn backward_ws(&mut self, grad_output: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut out = ws.take(grad_output.rows(), grad_output.cols());
+        out.data_mut().copy_from_slice(grad_output.data());
+        if self.mask_active {
+            out.hadamard_assign(&self.mask);
         }
+        out
     }
 
     fn params(&self) -> Vec<&Matrix> {
         vec![]
     }
     fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![]
+    }
+    fn params_and_grads_mut(&mut self) -> Vec<(&mut Matrix, &Matrix)> {
         vec![]
     }
     fn grads(&self) -> Vec<&Matrix> {
@@ -179,17 +258,28 @@ impl Layer for Dropout {
     }
 }
 
-/// Per-timestep cache for BPTT.
+/// Per-timestep cache for BPTT. The input slices live in the layer's
+/// packed `x_stacked` buffer, not here.
 struct LstmCache {
-    x: Matrix,
     h_prev: Matrix,
     c_prev: Matrix,
-    z: Matrix, // pre-activations of [i f g o], batch × 4H
-    i: Matrix,
-    f: Matrix,
-    g: Matrix,
-    o: Matrix,
-    c: Matrix,
+    z: Matrix,     // pre-activations of [i f g o], batch × 4H
+    gates: Matrix, // post-activation gates [i f g o], batch × 4H
+    c: Matrix,     // new cell state, batch × H
+    act_c: Matrix, // act(c), batch × H — lets backward skip exp entirely
+}
+
+impl LstmCache {
+    fn empty() -> Self {
+        LstmCache {
+            h_prev: Matrix::zeros(0, 0),
+            c_prev: Matrix::zeros(0, 0),
+            z: Matrix::zeros(0, 0),
+            gates: Matrix::zeros(0, 0),
+            c: Matrix::zeros(0, 0),
+            act_c: Matrix::zeros(0, 0),
+        }
+    }
 }
 
 /// LSTM over a flattened sequence input `(batch × seq_len·input)`;
@@ -199,6 +289,17 @@ struct LstmCache {
 /// Gate layout in the fused weight matrices is `[i | f | g | o]`. The
 /// cell activation (`g` and the output nonlinearity) is configurable;
 /// the paper sets it to ELU.
+///
+/// # Execution model
+///
+/// The input sequence is packed timestep-major into `x_stacked`
+/// (`seq·batch × input`) once per forward, so the input projection
+/// `x_t·Wx + b` for **all** timesteps is a single matmul (`zx_stacked`);
+/// the recurrence then only performs the unavoidable per-step `h·Wh`.
+/// Backward mirrors this: per-step gate gradients are collected into
+/// `dz_stacked` and the input-side gradients (`gwx += Xᵀ·dZ`,
+/// `dX = dZ·Wxᵀ`) are two bulk kernels over the whole sequence. All
+/// buffers persist across calls and are resized in place.
 pub struct Lstm {
     input: usize,
     hidden: usize,
@@ -210,7 +311,19 @@ pub struct Lstm {
     gwx: Matrix,
     gwh: Matrix,
     gb: Matrix,
+    // Pre-transposed gate-weight caches (4H×input / 4H×H), refreshed each
+    // forward so every backward matmul runs the vectorisable axpy kernel.
+    wxt: Matrix,
+    wht: Matrix,
     cache: Vec<LstmCache>,
+    steps: usize,
+    cache_input: Matrix, // batch × seq·input — also the batch·seq × input
+    // stacked view via reshape (row r·seq + t = sample r, step t)
+    zx_stacked: Matrix, // batch·seq × 4H = stacked(X)·wx + b
+    h_buf: Matrix,      // running hidden state, batch × H
+    c_buf: Matrix,      // running cell state, batch × H
+    dz_stacked: Matrix, // backward: batch·seq × 4H
+    dz_t: Matrix,       // backward: per-step gate gradients, batch × 4H
 }
 
 impl Lstm {
@@ -237,7 +350,16 @@ impl Lstm {
             gwx: Matrix::zeros(input, 4 * hidden),
             gwh: Matrix::zeros(hidden, 4 * hidden),
             gb: Matrix::zeros(1, 4 * hidden),
+            wxt: Matrix::zeros(0, 0),
+            wht: Matrix::zeros(0, 0),
             cache: Vec::new(),
+            steps: 0,
+            cache_input: Matrix::zeros(0, 0),
+            zx_stacked: Matrix::zeros(0, 0),
+            h_buf: Matrix::zeros(0, 0),
+            c_buf: Matrix::zeros(0, 0),
+            dz_stacked: Matrix::zeros(0, 0),
+            dz_t: Matrix::zeros(0, 0),
         }
     }
 
@@ -253,101 +375,203 @@ impl Lstm {
 }
 
 impl Layer for Lstm {
-    fn forward(&mut self, input: &Matrix, _training: bool) -> Matrix {
+    fn forward_ws(&mut self, input: &Matrix, _training: bool, ws: &mut Workspace) -> Matrix {
         assert_eq!(
             input.cols(),
             self.seq_len * self.input,
             "LSTM input width must be seq_len×features"
         );
         let batch = input.rows();
-        let h4 = 4 * self.hidden;
-        let hid = self.hidden;
-        self.cache.clear();
-        let mut h = Matrix::zeros(batch, hid);
-        let mut c = Matrix::zeros(batch, hid);
-        for t in 0..self.seq_len {
-            let x = input.slice_cols(t * self.input, (t + 1) * self.input);
-            let z = x
-                .matmul(&self.wx)
-                .add(&h.matmul(&self.wh))
-                .add_row_broadcast(&self.b);
-            debug_assert_eq!(z.cols(), h4);
-            let i = z.slice_cols(0, hid).map(|v| Activation::Sigmoid.apply(v));
-            let f = z
-                .slice_cols(hid, 2 * hid)
-                .map(|v| Activation::Sigmoid.apply(v));
-            let g = z.slice_cols(2 * hid, 3 * hid).map(|v| self.act.apply(v));
-            let o = z
-                .slice_cols(3 * hid, h4)
-                .map(|v| Activation::Sigmoid.apply(v));
-            let c_new = f.hadamard(&c).add(&i.hadamard(&g));
-            let h_new = o.hadamard(&self.act.apply_matrix(&c_new));
-            self.cache.push(LstmCache {
-                x,
-                h_prev: h,
-                c_prev: c,
-                z,
-                i,
-                f,
-                g,
-                o,
-                c: c_new.clone(),
-            });
-            h = h_new;
-            c = c_new;
+        let (hid, in_dim, seq, act) = (self.hidden, self.input, self.seq_len, self.act);
+        let h4 = 4 * hid;
+        while self.cache.len() < seq {
+            self.cache.push(LstmCache::empty());
         }
-        h
-    }
+        self.steps = seq;
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        assert!(!self.cache.is_empty(), "backward before forward");
-        let batch = grad_output.rows();
-        let hid = self.hidden;
-        let mut dinput = Matrix::zeros(batch, self.seq_len * self.input);
-        let mut dh = grad_output.clone();
-        let mut dc = Matrix::zeros(batch, hid);
-        for t in (0..self.seq_len).rev() {
-            let cache = &self.cache[t];
-            let act_c = self.act.apply_matrix(&cache.c);
-            let dact_c = self.act.derivative_matrix(&cache.c);
-            // h = o ⊙ act(c)
-            let do_ = dh.hadamard(&act_c);
-            dc = dc.add(&dh.hadamard(&cache.o).hadamard(&dact_c));
-            // c = f ⊙ c_prev + i ⊙ g
-            let di = dc.hadamard(&cache.g);
-            let df = dc.hadamard(&cache.c_prev);
-            let dg = dc.hadamard(&cache.i);
-            let dc_prev = dc.hadamard(&cache.f);
-            // Gate pre-activations.
-            let zi = cache.z.slice_cols(0, hid);
-            let zf = cache.z.slice_cols(hid, 2 * hid);
-            let zg = cache.z.slice_cols(2 * hid, 3 * hid);
-            let zo = cache.z.slice_cols(3 * hid, 4 * hid);
-            let dzi = di.hadamard(&zi.map(|v| Activation::Sigmoid.derivative(v)));
-            let dzf = df.hadamard(&zf.map(|v| Activation::Sigmoid.derivative(v)));
-            let dzg = dg.hadamard(&zg.map(|v| self.act.derivative(v)));
-            let dzo = do_.hadamard(&zo.map(|v| Activation::Sigmoid.derivative(v)));
-            // Fuse dz = [dzi dzf dzg dzo].
-            let mut dz = Matrix::zeros(batch, 4 * hid);
-            for r in 0..batch {
-                for (k, part) in [&dzi, &dzf, &dzg, &dzo].iter().enumerate() {
-                    for c2 in 0..hid {
-                        dz.set(r, k * hid + c2, part.get(r, c2));
+        // The flattened sequence (batch × seq·input) *is* the stacked
+        // (batch·seq × input) matrix in row-major order — row r·seq + t is
+        // sample r at step t — so one reshaped matmul covers every
+        // timestep's input projection with zero packing copies.
+        self.cache_input.copy_from(input);
+        self.cache_input
+            .matmul_reshape_into(batch * seq, in_dim, &self.wx, &mut self.zx_stacked);
+        self.zx_stacked.add_row_broadcast_assign(&self.b);
+        // Refresh the packed gate-weight caches for backward.
+        self.wx.transpose_into(&mut self.wxt);
+        self.wh.transpose_into(&mut self.wht);
+
+        self.h_buf.resize(batch, hid);
+        self.c_buf.resize(batch, hid);
+        for t in 0..seq {
+            let cc = &mut self.cache[t];
+            cc.h_prev.copy_from(&self.h_buf);
+            cc.c_prev.copy_from(&self.c_buf);
+            // z_t = h·Wh + zx_t (zx rows are r-major: sample r at row
+            // r·seq + t).
+            self.h_buf.matmul_into(&self.wh, &mut cc.z);
+            {
+                let zxd = self.zx_stacked.data();
+                for (r, zrow) in cc.z.data_mut().chunks_mut(h4).enumerate() {
+                    let zx = &zxd[(r * seq + t) * h4..(r * seq + t + 1) * h4];
+                    for (zv, &xv) in zrow.iter_mut().zip(zx) {
+                        *zv += xv;
                     }
                 }
             }
-            self.gwx = self.gwx.add(&cache.x.transpose().matmul(&dz));
-            self.gwh = self.gwh.add(&cache.h_prev.transpose().matmul(&dz));
-            self.gb = self.gb.add(&dz.col_sum());
-            let dx = dz.matmul(&self.wx.transpose());
-            for r in 0..batch {
-                for c2 in 0..self.input {
-                    dinput.set(r, t * self.input + c2, dx.get(r, c2));
+            // Gate nonlinearities: sigmoid for i/f/o, the cell activation
+            // for g — per-row segment slices keep the loops branch-free
+            // and bounds-check-free.
+            cc.gates.resize(batch, h4);
+            {
+                let LstmCache { z, gates, .. } = cc;
+                for (zrow, grow) in z.data().chunks(h4).zip(gates.data_mut().chunks_mut(h4)) {
+                    let (zi, zrest) = zrow.split_at(hid);
+                    let (zf, zrest) = zrest.split_at(hid);
+                    let (zg, zo) = zrest.split_at(hid);
+                    let (gi, grest) = grow.split_at_mut(hid);
+                    let (gf, grest) = grest.split_at_mut(hid);
+                    let (gg, go) = grest.split_at_mut(hid);
+                    for (g, &z) in gi.iter_mut().zip(zi) {
+                        *g = Activation::Sigmoid.apply(z);
+                    }
+                    for (g, &z) in gf.iter_mut().zip(zf) {
+                        *g = Activation::Sigmoid.apply(z);
+                    }
+                    for (g, &z) in gg.iter_mut().zip(zg) {
+                        *g = act.apply(z);
+                    }
+                    for (g, &z) in go.iter_mut().zip(zo) {
+                        *g = Activation::Sigmoid.apply(z);
+                    }
                 }
             }
-            dh = dz.matmul(&self.wh.transpose());
-            dc = dc_prev;
+            // c' = f⊙c + i⊙g;  h' = o⊙act(c'). act(c') is cached so the
+            // backward pass can derive act' from it without re-evaluating
+            // exp.
+            cc.c.resize(batch, hid);
+            cc.act_c.resize(batch, hid);
+            let LstmCache {
+                gates, c, act_c, ..
+            } = cc;
+            for ((((grow, crow), acrow), hrow), cprow) in gates
+                .data()
+                .chunks(h4)
+                .zip(c.data_mut().chunks_mut(hid))
+                .zip(act_c.data_mut().chunks_mut(hid))
+                .zip(self.h_buf.data_mut().chunks_mut(hid))
+                .zip(self.c_buf.data_mut().chunks_mut(hid))
+            {
+                let (gi, grest) = grow.split_at(hid);
+                let (gf, grest) = grest.split_at(hid);
+                let (gg, go) = grest.split_at(hid);
+                for (j, (((cv, acv), hv), cpv)) in crow
+                    .iter_mut()
+                    .zip(acrow.iter_mut())
+                    .zip(hrow.iter_mut())
+                    .zip(cprow.iter_mut())
+                    .enumerate()
+                {
+                    let c_new = gf[j] * *cpv + gi[j] * gg[j];
+                    *cv = c_new;
+                    *cpv = c_new;
+                    let a = act.apply(c_new);
+                    *acv = a;
+                    *hv = go[j] * a;
+                }
+            }
         }
+        let mut out = ws.take(batch, hid);
+        out.data_mut().copy_from_slice(self.h_buf.data());
+        out
+    }
+
+    fn backward_ws(&mut self, grad_output: &Matrix, ws: &mut Workspace) -> Matrix {
+        assert!(self.steps > 0, "backward before forward");
+        let batch = grad_output.rows();
+        let (hid, in_dim, seq, act) = (self.hidden, self.input, self.seq_len, self.act);
+        let h4 = 4 * hid;
+
+        self.dz_stacked.resize(batch * seq, h4);
+        self.dz_t.resize(batch, h4);
+        let mut dh = ws.take(batch, hid);
+        dh.data_mut().copy_from_slice(grad_output.data());
+        let mut dc = ws.take(batch, hid);
+        for t in (0..seq).rev() {
+            let cc = &self.cache[t];
+            {
+                // Per-row segment slices; every derivative comes from the
+                // cached gate outputs / act(c) (σ' = σ(1−σ), etc.), so
+                // the whole BPTT inner loop is transcendental-free.
+                for ((((((grow, zrow), crow), acrow), cprow), dzrow), (dhrow, dcrow)) in cc
+                    .gates
+                    .data()
+                    .chunks(h4)
+                    .zip(cc.z.data().chunks(h4))
+                    .zip(cc.c.data().chunks(hid))
+                    .zip(cc.act_c.data().chunks(hid))
+                    .zip(cc.c_prev.data().chunks(hid))
+                    .zip(self.dz_t.data_mut().chunks_mut(h4))
+                    .zip(dh.data().chunks(hid).zip(dc.data_mut().chunks_mut(hid)))
+                {
+                    let (gi, grest) = grow.split_at(hid);
+                    let (gf, grest) = grest.split_at(hid);
+                    let (gg, go) = grest.split_at(hid);
+                    let zg = &zrow[2 * hid..3 * hid];
+                    let (dzi, dzrest) = dzrow.split_at_mut(hid);
+                    let (dzf, dzrest) = dzrest.split_at_mut(hid);
+                    let (dzg, dzo) = dzrest.split_at_mut(hid);
+                    for (j, (((dziv, dzfv), dzgv), dzov)) in dzi
+                        .iter_mut()
+                        .zip(dzf.iter_mut())
+                        .zip(dzg.iter_mut())
+                        .zip(dzo.iter_mut())
+                        .enumerate()
+                    {
+                        let (i_, f_, g_, o_) = (gi[j], gf[j], gg[j], go[j]);
+                        let a = acrow[j];
+                        let dh_v = dhrow[j];
+                        // h = o⊙act(c);  c = f⊙c_prev + i⊙g.
+                        let do_ = dh_v * a;
+                        let dc_v = dcrow[j] + dh_v * o_ * act.derivative_from_output(a, crow[j]);
+                        let di = dc_v * g_;
+                        let df = dc_v * cprow[j];
+                        let dg = dc_v * i_;
+                        dcrow[j] = dc_v * f_; // carried to t−1
+                        *dziv = di * (i_ * (1.0 - i_));
+                        *dzfv = df * (f_ * (1.0 - f_));
+                        *dzgv = dg * act.derivative_from_output(g_, zg[j]);
+                        *dzov = do_ * (o_ * (1.0 - o_));
+                    }
+                }
+            }
+            // Recurrent-side gradients per step; input-side ones are
+            // deferred to the bulk kernels below.
+            cc.h_prev.matmul_transa_acc(&self.dz_t, &mut self.gwh);
+            self.dz_t.col_sum_acc(&mut self.gb);
+            self.dz_t.matmul_into(&self.wht, &mut dh);
+            // Stash into the r-major stacked layout (row r·seq + t).
+            {
+                let dzsd = self.dz_stacked.data_mut();
+                for (r, dzrow) in self.dz_t.data().chunks(h4).enumerate() {
+                    dzsd[(r * seq + t) * h4..(r * seq + t + 1) * h4].copy_from_slice(dzrow);
+                }
+            }
+        }
+        // Input-side gradients across all timesteps in two bulk kernels
+        // over the stacked views; the resulting dX *is* the flattened
+        // (batch × seq·input) gradient after a zero-copy reshape.
+        self.cache_input.matmul_reshape_transa_acc(
+            batch * seq,
+            in_dim,
+            &self.dz_stacked,
+            &mut self.gwx,
+        );
+        let mut dinput = ws.take(batch * seq, in_dim);
+        self.dz_stacked.matmul_into(&self.wxt, &mut dinput);
+        dinput.reshape_in_place(batch, seq * in_dim);
+        ws.give(dh);
+        ws.give(dc);
         dinput
     }
 
@@ -356,6 +580,13 @@ impl Layer for Lstm {
     }
     fn params_mut(&mut self) -> Vec<&mut Matrix> {
         vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+    fn params_and_grads_mut(&mut self) -> Vec<(&mut Matrix, &Matrix)> {
+        vec![
+            (&mut self.wx, &self.gwx),
+            (&mut self.wh, &self.gwh),
+            (&mut self.b, &self.gb),
+        ]
     }
     fn grads(&self) -> Vec<&Matrix> {
         vec![&self.gwx, &self.gwh, &self.gb]
@@ -574,6 +805,57 @@ mod tests {
             .map(|(x, y)| (x - y).abs())
             .fold(0.0f32, f32::max);
         assert!(diff > 1e-4, "order-insensitive LSTM output");
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_layers() {
+        // Forward/backward through one shared workspace twice: warm
+        // buffers must give the same bits as cold ones, for every layer
+        // kind.
+        let mut ws = Workspace::new();
+        let x = Matrix::glorot(4, 10, &mut rng(30));
+        let ones = Matrix::from_vec(4, 3, vec![1.0; 12]);
+
+        let mut lstm = Lstm::new(2, 3, 5, Activation::Elu, &mut rng(31));
+        let mut dense = Dense::new(3, 3, Activation::Tanh, &mut rng(32));
+
+        let cold_h = lstm.forward_ws(&x, false, &mut ws);
+        let cold_y = dense.forward_ws(&cold_h, false, &mut ws);
+        lstm.zero_grads();
+        dense.zero_grads();
+        let cold_gd = dense.backward_ws(&ones, &mut ws);
+        let cold_gl = lstm.backward_ws(&cold_gd, &mut ws);
+        let cold = (cold_h, cold_y, cold_gd, cold_gl);
+        let cold_grads: Vec<Matrix> = lstm
+            .grads()
+            .iter()
+            .chain(dense.grads().iter())
+            .map(|g| (*g).clone())
+            .collect();
+
+        for _ in 0..3 {
+            let h = lstm.forward_ws(&x, false, &mut ws);
+            let y = dense.forward_ws(&h, false, &mut ws);
+            lstm.zero_grads();
+            dense.zero_grads();
+            let gd = dense.backward_ws(&ones, &mut ws);
+            let gl = lstm.backward_ws(&gd, &mut ws);
+            assert_eq!(h, cold.0);
+            assert_eq!(y, cold.1);
+            assert_eq!(gd, cold.2);
+            assert_eq!(gl, cold.3);
+            let warm_grads: Vec<Matrix> = lstm
+                .grads()
+                .iter()
+                .chain(dense.grads().iter())
+                .map(|g| (*g).clone())
+                .collect();
+            assert_eq!(warm_grads, cold_grads);
+            ws.give(h);
+            ws.give(y);
+            ws.give(gd);
+            ws.give(gl);
+        }
     }
 
     #[test]

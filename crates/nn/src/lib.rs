@@ -32,9 +32,10 @@ pub mod metrics;
 pub mod model;
 pub mod optim;
 pub mod tensor;
+pub mod workspace;
 
 pub use activation::Activation;
-pub use data::{BatchIter, Dataset, Standardizer};
+pub use data::{BatchIter, Batcher, Dataset, Standardizer};
 pub use io::{load_weights, save_weights, WeightError};
 pub use layers::{Dense, Dropout, Layer, Lstm};
 pub use loss::{CrossEntropy, FocalLoss, Loss};
@@ -42,3 +43,4 @@ pub use metrics::{confusion_matrix, ClassificationReport, ConfusionMatrix};
 pub use model::Sequential;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use tensor::Matrix;
+pub use workspace::Workspace;

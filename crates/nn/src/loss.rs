@@ -9,13 +9,26 @@
 //! numerically stable. Gradients are validated against finite differences
 //! in the tests.
 
-use crate::activation::softmax_rows;
+use crate::activation::softmax_rows_into;
 use crate::tensor::Matrix;
+use crate::workspace::Workspace;
 
 /// A loss over `(batch × classes)` logits and integer class labels.
 pub trait Loss: Send + Sync {
     /// Mean loss over the batch and its gradient w.r.t. the logits.
     fn loss_and_grad(&self, logits: &Matrix, labels: &[usize]) -> (f32, Matrix);
+    /// Allocation-free variant: the gradient buffer is borrowed from
+    /// `ws` (give it back after the backward pass). Defaults to the
+    /// allocating path.
+    fn loss_and_grad_ws(
+        &self,
+        logits: &Matrix,
+        labels: &[usize],
+        ws: &mut Workspace,
+    ) -> (f32, Matrix) {
+        let _ = ws;
+        self.loss_and_grad(logits, labels)
+    }
     /// Loss name for logs.
     fn name(&self) -> &'static str;
 }
@@ -26,14 +39,25 @@ pub struct CrossEntropy;
 
 impl Loss for CrossEntropy {
     fn loss_and_grad(&self, logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+        let mut ws = Workspace::new();
+        self.loss_and_grad_ws(logits, labels, &mut ws)
+    }
+
+    fn loss_and_grad_ws(
+        &self,
+        logits: &Matrix,
+        labels: &[usize],
+        ws: &mut Workspace,
+    ) -> (f32, Matrix) {
         validate(logits, labels);
-        let p = softmax_rows(logits);
+        // The softmax buffer becomes the gradient in place:
+        // ∂L/∂z = p − onehot(y).
+        let mut grad = ws.take(logits.rows(), logits.cols());
+        softmax_rows_into(logits, &mut grad);
         let n = logits.rows();
-        let c = logits.cols();
-        let mut grad = p.clone();
         let mut loss = 0.0f32;
         for (r, &y) in labels.iter().enumerate() {
-            let py = p.get(r, y).max(1e-12);
+            let py = grad.get(r, y).max(1e-12);
             loss -= py.ln();
             grad.set(r, y, grad.get(r, y) - 1.0);
         }
@@ -41,7 +65,6 @@ impl Loss for CrossEntropy {
         for v in grad.data_mut() {
             *v *= inv;
         }
-        let _ = c;
         (loss * inv, grad)
     }
 
@@ -88,23 +111,50 @@ impl FocalLoss {
     }
 }
 
+/// `x^g` with exact fast paths for the exponents the focal loss actually
+/// uses per sample (γ = 2 and γ − 1 = 1 at the paper's setting, γ = 0 for
+/// the cross-entropy limit) — the general `powf` only runs for exotic γ.
+#[inline]
+fn pow_gamma(x: f32, g: f32) -> f32 {
+    if g == 2.0 {
+        x * x
+    } else if g == 1.0 {
+        x
+    } else if g == 0.0 {
+        1.0
+    } else {
+        x.powf(g)
+    }
+}
+
 impl Loss for FocalLoss {
     fn loss_and_grad(&self, logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+        let mut ws = Workspace::new();
+        self.loss_and_grad_ws(logits, labels, &mut ws)
+    }
+
+    fn loss_and_grad_ws(
+        &self,
+        logits: &Matrix,
+        labels: &[usize],
+        ws: &mut Workspace,
+    ) -> (f32, Matrix) {
         validate(logits, labels);
-        let p = softmax_rows(logits);
+        let mut p = ws.take(logits.rows(), logits.cols());
+        softmax_rows_into(logits, &mut p);
         let n = logits.rows();
         let c = logits.cols();
-        let mut grad = Matrix::zeros(n, c);
+        let mut grad = ws.take(n, c);
         let mut loss = 0.0f32;
         for (r, &y) in labels.iter().enumerate() {
             let a = self.alpha_for(y);
             let pt = p.get(r, y).clamp(1e-7, 1.0 - 1e-7);
             let one_minus = 1.0 - pt;
-            loss += -a * one_minus.powf(self.gamma) * pt.ln();
+            let om_g = pow_gamma(one_minus, self.gamma);
+            loss += -a * om_g * pt.ln();
             // dL/dp_t
-            let dl_dpt = a
-                * (self.gamma * one_minus.powf(self.gamma - 1.0) * pt.ln()
-                    - one_minus.powf(self.gamma) / pt);
+            let dl_dpt =
+                a * (self.gamma * pow_gamma(one_minus, self.gamma - 1.0) * pt.ln() - om_g / pt);
             // Chain through softmax: dp_t/dz_j = p_t(δ − p_j).
             for j in 0..c {
                 let dpt_dzj = pt * (if j == y { 1.0 } else { 0.0 } - p.get(r, j));
@@ -115,6 +165,7 @@ impl Loss for FocalLoss {
         for v in grad.data_mut() {
             *v *= inv;
         }
+        ws.give(p);
         (loss * inv, grad)
     }
 

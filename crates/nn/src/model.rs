@@ -1,20 +1,41 @@
 //! [`Sequential`]: a layer stack with training, prediction, and the flat
 //! parameter/gradient views the distributed trainer needs.
+//!
+//! The model owns a [`Workspace`] that every forward/backward/train call
+//! borrows scratch from, plus reusable flat parameter/gradient buffers
+//! for the optimiser hand-off — so the steady-state training loop
+//! performs zero per-op heap allocations once the working set is warm
+//! (see [`Sequential::workspace`] for the counters tests assert on).
 
 use crate::layers::Layer;
 use crate::loss::Loss;
 use crate::optim::Optimizer;
 use crate::tensor::Matrix;
+use crate::workspace::Workspace;
+
+/// Rows per inference chunk in [`Sequential::predict`]: bounds the
+/// intermediate activation footprint on full-track inputs (tens of
+/// thousands of rows) while keeping per-chunk matmuls large enough to
+/// amortise dispatch.
+const PREDICT_CHUNK: usize = 1024;
 
 /// A feed-forward stack of layers.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    ws: Workspace,
+    flat_buf: Vec<f32>,
+    grad_buf: Vec<f32>,
 }
 
 impl Sequential {
     /// Empty model; push layers with [`Sequential::add`].
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential {
+            layers: Vec::new(),
+            ws: Workspace::new(),
+            flat_buf: Vec::new(),
+            grad_buf: Vec::new(),
+        }
     }
 
     /// Appends a layer (builder style).
@@ -37,21 +58,68 @@ impl Sequential {
             .sum()
     }
 
+    /// The model's scratch arena (diagnostics: allocation counters).
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+
+    /// Runs the stack forward, recycling every intermediate activation
+    /// through `ws`. The returned matrix is borrowed from `ws`.
+    fn forward_layers(
+        layers: &mut [Box<dyn Layer>],
+        input: &Matrix,
+        training: bool,
+        ws: &mut Workspace,
+    ) -> Matrix {
+        let mut cur: Option<Matrix> = None;
+        for layer in layers {
+            let next = match &cur {
+                None => layer.forward_ws(input, training, ws),
+                Some(x) => layer.forward_ws(x, training, ws),
+            };
+            if let Some(prev) = cur.take() {
+                ws.give(prev);
+            }
+            cur = Some(next);
+        }
+        cur.unwrap_or_else(|| input.clone())
+    }
+
+    /// Runs the stack backward, recycling intermediate gradients. The
+    /// returned ∂L/∂input is borrowed from `ws`.
+    fn backward_layers(
+        layers: &mut [Box<dyn Layer>],
+        grad_output: &Matrix,
+        ws: &mut Workspace,
+    ) -> Matrix {
+        let mut cur: Option<Matrix> = None;
+        for layer in layers.iter_mut().rev() {
+            let next = match &cur {
+                None => layer.backward_ws(grad_output, ws),
+                Some(g) => layer.backward_ws(g, ws),
+            };
+            if let Some(prev) = cur.take() {
+                ws.give(prev);
+            }
+            cur = Some(next);
+        }
+        cur.unwrap_or_else(|| grad_output.clone())
+    }
+
     /// Forward pass through all layers.
     pub fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, training);
-        }
-        x
+        let mut ws = std::mem::take(&mut self.ws);
+        let out = Self::forward_layers(&mut self.layers, input, training, &mut ws);
+        self.ws = ws;
+        out
     }
 
     /// Backward pass from ∂L/∂output; accumulates gradients in layers.
     pub fn backward(&mut self, grad_output: &Matrix) {
-        let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
-        }
+        let mut ws = std::mem::take(&mut self.ws);
+        let gin = Self::backward_layers(&mut self.layers, grad_output, &mut ws);
+        ws.give(gin);
+        self.ws = ws;
     }
 
     /// Zeroes all accumulated gradients.
@@ -69,14 +137,8 @@ impl Sequential {
         loss: &dyn Loss,
         opt: &mut dyn Optimizer,
     ) -> f32 {
-        self.zero_grads();
-        let logits = self.forward(x, true);
-        let (l, grad) = loss.loss_and_grad(&logits, y);
-        self.backward(&grad);
-        let mut params = self.flat_params();
-        let grads = self.flat_grads();
-        opt.step(&mut params, &grads);
-        self.set_flat_params(&params);
+        let l = self.grad_step(x, y, loss);
+        self.apply_grads(opt);
         l
     }
 
@@ -85,25 +147,50 @@ impl Sequential {
     /// are all-reduced before the optimiser runs).
     pub fn grad_step(&mut self, x: &Matrix, y: &[usize], loss: &dyn Loss) -> f32 {
         self.zero_grads();
-        let logits = self.forward(x, true);
-        let (l, grad) = loss.loss_and_grad(&logits, y);
-        self.backward(&grad);
+        let mut ws = std::mem::take(&mut self.ws);
+        let logits = Self::forward_layers(&mut self.layers, x, true, &mut ws);
+        let (l, grad) = loss.loss_and_grad_ws(&logits, y, &mut ws);
+        ws.give(logits);
+        let gin = Self::backward_layers(&mut self.layers, &grad, &mut ws);
+        ws.give(grad);
+        ws.give(gin);
+        self.ws = ws;
         l
     }
 
-    /// Class predictions (argmax of logits) in inference mode.
+    /// Class predictions (argmax of logits) in inference mode, streamed
+    /// in row chunks: activations for at most [`PREDICT_CHUNK`] rows are
+    /// live at any time and every buffer is recycled through the model's
+    /// workspace, instead of materialising the full logits matrix for the
+    /// whole input.
     pub fn predict(&mut self, x: &Matrix) -> Vec<usize> {
-        let logits = self.forward(x, false);
-        (0..logits.rows())
-            .map(|r| {
+        let mut preds = Vec::with_capacity(x.rows());
+        let cols = x.cols();
+        let mut ws = std::mem::take(&mut self.ws);
+        let mut r0 = 0;
+        while r0 < x.rows() {
+            let r1 = (r0 + PREDICT_CHUNK).min(x.rows());
+            let mut chunk = ws.take(r1 - r0, cols);
+            chunk
+                .data_mut()
+                .copy_from_slice(&x.data()[r0 * cols..r1 * cols]);
+            let logits = Self::forward_layers(&mut self.layers, &chunk, false, &mut ws);
+            ws.give(chunk);
+            for r in 0..logits.rows() {
                 let row = logits.row(r);
-                row.iter()
+                let arg = row
+                    .iter()
                     .enumerate()
                     .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
-                    .unwrap()
-            })
-            .collect()
+                    .unwrap();
+                preds.push(arg);
+            }
+            ws.give(logits);
+            r0 = r1;
+        }
+        self.ws = ws;
+        preds
     }
 
     /// Softmax class probabilities in inference mode.
@@ -171,11 +258,44 @@ impl Sequential {
 
     /// Applies an optimiser step using the currently-accumulated
     /// gradients (the distributed trainer's post-all-reduce half-step).
+    /// Optimisers with segmented support update the per-layer parameter
+    /// storage directly (bit-identical to the flat path, zero copies);
+    /// otherwise parameters and gradients flow through the model's
+    /// persistent flat buffers — no allocation once warm either way.
     pub fn apply_grads(&mut self, opt: &mut dyn Optimizer) {
-        let mut params = self.flat_params();
-        let grads = self.flat_grads();
-        opt.step(&mut params, &grads);
+        if opt.begin_step(self.n_params()) {
+            let mut offset = 0;
+            for layer in &mut self.layers {
+                for (p, g) in layer.params_and_grads_mut() {
+                    let n = g.data().len();
+                    opt.step_segment(offset, p.data_mut(), g.data());
+                    offset += n;
+                }
+            }
+            return;
+        }
+        {
+            let Sequential {
+                layers,
+                flat_buf,
+                grad_buf,
+                ..
+            } = self;
+            flat_buf.clear();
+            grad_buf.clear();
+            for layer in layers.iter() {
+                for p in layer.params() {
+                    flat_buf.extend_from_slice(p.data());
+                }
+                for g in layer.grads() {
+                    grad_buf.extend_from_slice(g.data());
+                }
+            }
+        }
+        let mut params = std::mem::take(&mut self.flat_buf);
+        opt.step(&mut params, &self.grad_buf);
         self.set_flat_params(&params);
+        self.flat_buf = params;
     }
 
     /// Layer summaries (architecture printout).
@@ -333,6 +453,65 @@ mod tests {
             let s: f32 = p.row(r).iter().sum();
             assert!((s - 1.0).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn predict_chunking_matches_full_forward() {
+        // Streamed prediction must agree with one whole-matrix forward
+        // pass, including on inputs larger than one chunk.
+        let (x, _) = toy_data(2500, 21);
+        let mut model = mlp(22);
+        let streamed = model.predict(&x);
+        assert_eq!(streamed.len(), x.rows());
+        let logits = model.forward(&x, false);
+        let full: Vec<usize> = (0..logits.rows())
+            .map(|r| {
+                let row = logits.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(streamed, full);
+    }
+
+    #[test]
+    fn training_loop_allocations_stabilise_after_warmup() {
+        // The acceptance test for the allocation-free execution model:
+        // after a warmup epoch, N more epochs of train_step + predict
+        // must not grow the model's workspace at all.
+        let (x, y) = toy_data(96, 17);
+        let mut model = Sequential::new()
+            .add(Lstm::new(1, 6, 2, Activation::Elu, &mut rng(23)))
+            .add(Dropout::new(0.2, 7))
+            .add(Dense::new(6, 8, Activation::Elu, &mut rng(24)))
+            .add(Dense::new(8, 2, Activation::Linear, &mut rng(25)));
+        let mut opt = Adam::new(0.01);
+        let loss = FocalLoss::new(2.0);
+        // Warmup: builds the pooled working set (including the optimiser
+        // state and flat buffers).
+        for _ in 0..2 {
+            model.train_step(&x, &y, &loss, &mut opt);
+        }
+        let _ = model.predict(&x);
+        let warm_allocs = model.workspace().allocations();
+        let warm_pool = model.workspace().pooled_floats();
+        for _ in 0..20 {
+            model.train_step(&x, &y, &loss, &mut opt);
+            let _ = model.predict(&x);
+        }
+        assert_eq!(
+            model.workspace().allocations(),
+            warm_allocs,
+            "steady-state training loop allocated"
+        );
+        assert_eq!(
+            model.workspace().pooled_floats(),
+            warm_pool,
+            "workspace capacity kept growing"
+        );
     }
 
     #[test]

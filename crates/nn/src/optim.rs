@@ -13,6 +13,39 @@ pub trait Optimizer: Send {
     fn step(&mut self, params: &mut [f32], grads: &[f32]);
     /// Learning rate currently in force.
     fn learning_rate(&self) -> f32;
+    /// Pre-sizes internal state for `n` parameters so the first [`step`]
+    /// of an allocation-free training loop allocates nothing. A no-op
+    /// when the state already matches; resets it otherwise (the same
+    /// semantics `step` applies lazily).
+    ///
+    /// [`step`]: Optimizer::step
+    fn reserve(&mut self, n: usize) {
+        let _ = n;
+    }
+
+    /// Starts one *segmented* update covering `total` parameters: state is
+    /// sized and advanced exactly as one flat [`step`] call, and the
+    /// segments then arrive via [`step_segment`] in ascending offset
+    /// order. Lets a model hand the optimiser its per-layer parameter
+    /// slices directly — no flattening copies — with bit-identical
+    /// results. Returns `false` when the optimiser only supports the flat
+    /// path (callers fall back to it).
+    ///
+    /// [`step`]: Optimizer::step
+    /// [`step_segment`]: Optimizer::step_segment
+    fn begin_step(&mut self, total: usize) -> bool {
+        let _ = total;
+        false
+    }
+
+    /// Applies the current update to `params[offset..offset + len]` (only
+    /// valid between [`begin_step`] calls that returned `true`).
+    ///
+    /// [`begin_step`]: Optimizer::begin_step
+    fn step_segment(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
+        let _ = (offset, params, grads);
+        unreachable!("step_segment called on an optimiser without segmented support");
+    }
 }
 
 /// Plain SGD with optional momentum.
@@ -39,6 +72,26 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
+    fn reserve(&mut self, n: usize) {
+        if self.velocity.len() != n {
+            self.velocity = vec![0.0; n];
+        }
+    }
+
+    fn begin_step(&mut self, total: usize) -> bool {
+        self.reserve(total);
+        true
+    }
+
+    fn step_segment(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        let v = &mut self.velocity[offset..offset + params.len()];
+        for ((p, &g), vel) in params.iter_mut().zip(grads).zip(v) {
+            *vel = self.momentum * *vel + g;
+            *p -= self.lr * *vel;
+        }
+    }
+
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
         if self.velocity.len() != params.len() {
@@ -70,6 +123,10 @@ pub struct Adam {
     t: u64,
     m: Vec<f32>,
     v: Vec<f32>,
+    // Per-step bias corrections staged by `begin_step` for the segmented
+    // path (recomputed each step; not meaningful state).
+    b1t: f32,
+    b2t: f32,
 }
 
 impl Adam {
@@ -89,11 +146,42 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+            b1t: 1.0,
+            b2t: 1.0,
         }
     }
 }
 
 impl Optimizer for Adam {
+    fn reserve(&mut self, n: usize) {
+        if self.m.len() != n {
+            self.m = vec![0.0; n];
+            self.v = vec![0.0; n];
+            self.t = 0;
+        }
+    }
+
+    fn begin_step(&mut self, total: usize) -> bool {
+        self.reserve(total);
+        self.t += 1;
+        self.b1t = 1.0 - self.beta1.powi(self.t as i32);
+        self.b2t = 1.0 - self.beta2.powi(self.t as i32);
+        true
+    }
+
+    fn step_segment(&mut self, offset: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        let m = &mut self.m[offset..offset + params.len()];
+        let v = &mut self.v[offset..offset + params.len()];
+        for (((p, &g), mi), vi) in params.iter_mut().zip(grads).zip(m).zip(v) {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+            let m_hat = *mi / self.b1t;
+            let v_hat = *vi / self.b2t;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
         if self.m.len() != params.len() {
@@ -181,6 +269,35 @@ mod tests {
     #[test]
     fn paper_default_lr() {
         assert!((Adam::paper_default().learning_rate() - 0.003).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segmented_step_is_bit_identical_to_flat() {
+        for (mk_a, mk_b) in [(Adam::new(0.01), Adam::new(0.01))] {
+            let (mut flat_opt, mut seg_opt) = (mk_a, mk_b);
+            let mut p_flat = [0.1f32, -0.2, 0.3, 0.7, -0.5];
+            let mut p_seg = p_flat;
+            let grads = [0.4f32, -0.1, 0.9, 0.05, -0.6];
+            for _ in 0..7 {
+                flat_opt.step(&mut p_flat, &grads);
+                assert!(seg_opt.begin_step(5));
+                seg_opt.step_segment(0, &mut p_seg[..2], &grads[..2]);
+                seg_opt.step_segment(2, &mut p_seg[2..], &grads[2..]);
+                assert_eq!(p_flat, p_seg, "Adam segmented != flat");
+            }
+        }
+        let mut flat_opt = Sgd::new(0.1, 0.9);
+        let mut seg_opt = Sgd::new(0.1, 0.9);
+        let mut p_flat = [0.1f32, -0.2, 0.3];
+        let mut p_seg = p_flat;
+        let grads = [0.4f32, -0.1, 0.9];
+        for _ in 0..7 {
+            flat_opt.step(&mut p_flat, &grads);
+            assert!(seg_opt.begin_step(3));
+            seg_opt.step_segment(0, &mut p_seg[..1], &grads[..1]);
+            seg_opt.step_segment(1, &mut p_seg[1..], &grads[1..]);
+            assert_eq!(p_flat, p_seg, "SGD segmented != flat");
+        }
     }
 
     #[test]

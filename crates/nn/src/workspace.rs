@@ -1,0 +1,156 @@
+//! [`Workspace`]: a reusable scratch-buffer arena for the training loop.
+//!
+//! Every tensor op in the hot path writes into caller-provided buffers
+//! (`*_into` / `*_assign` variants in [`crate::tensor`]); the workspace is
+//! where those buffers live between ops. Layers, the model, and the loss
+//! borrow scratch with [`Workspace::take`] and recycle it with
+//! [`Workspace::give`], so after a warmup pass the steady-state training
+//! loop performs **zero per-op heap allocations**: every `take` is served
+//! from the pool.
+//!
+//! Ownership rules (see DESIGN.md "Performance architecture"):
+//!
+//! - a buffer obtained from `take` is owned by the taker until `give`n
+//!   back — the workspace never aliases live buffers;
+//! - buffers flow *forward* through a layer stack (each layer's output is
+//!   the next layer's input) and are returned by whoever holds them when
+//!   the value dies (the model's train/predict drivers);
+//! - long-lived caches (layer activations kept for backward, packed
+//!   weights, optimiser moments) are owned by their layer/optimiser
+//!   directly and resized in place — the workspace only holds *transient*
+//!   values.
+//!
+//! [`Workspace::allocations`] counts every real heap allocation the arena
+//! performed (fresh buffers and capacity growth); tests assert it
+//! stabilises after warmup.
+
+use crate::tensor::Matrix;
+
+/// A pool of recyclable `f32` buffers handed out as [`Matrix`] values.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+    allocations: usize,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are created on demand.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Borrows a zero-filled `rows × cols` matrix, reusing pooled
+    /// capacity when possible (best fit; grows the largest buffer when
+    /// nothing fits).
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let need = rows * cols;
+        // Best fit: the smallest pooled buffer whose capacity suffices.
+        let mut best: Option<(usize, usize)> = None;
+        let mut largest: Option<(usize, usize)> = None;
+        for (i, buf) in self.pool.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= need && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+            if largest.is_none_or(|(_, c)| cap > c) {
+                largest = Some((i, cap));
+            }
+        }
+        let mut buf = match best.or(largest) {
+            Some((i, cap)) => {
+                if cap < need {
+                    self.allocations += 1; // resize below will reallocate
+                }
+                self.pool.swap_remove(i)
+            }
+            None => {
+                self.allocations += 1;
+                Vec::with_capacity(need)
+            }
+        };
+        buf.clear();
+        buf.resize(need, 0.0);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// Returns a matrix to the pool for reuse.
+    pub fn give(&mut self, m: Matrix) {
+        self.pool.push(m.into_data());
+    }
+
+    /// Heap allocations performed so far (fresh buffers + growth). Stable
+    /// across iterations once the working set is warm.
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+
+    /// Total `f32` capacity currently pooled (buffers not handed out).
+    pub fn pooled_floats(&self) -> usize {
+        self.pool.iter().map(|b| b.capacity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zero_filled_and_shaped() {
+        let mut ws = Workspace::new();
+        let mut m = ws.take(3, 4);
+        assert_eq!((m.rows(), m.cols()), (3, 4));
+        assert!(m.data().iter().all(|&v| v == 0.0));
+        m.data_mut()[5] = 7.0;
+        ws.give(m);
+        // Recycled buffer comes back clean.
+        let m2 = ws.take(3, 4);
+        assert!(m2.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn allocations_stabilise_after_warmup() {
+        let mut ws = Workspace::new();
+        // Warmup: create the working set.
+        for _ in 0..3 {
+            let a = ws.take(8, 8);
+            let b = ws.take(4, 16);
+            ws.give(a);
+            ws.give(b);
+        }
+        let warm = ws.allocations();
+        for _ in 0..100 {
+            let a = ws.take(8, 8);
+            let b = ws.take(4, 16);
+            ws.give(a);
+            ws.give(b);
+        }
+        assert_eq!(ws.allocations(), warm, "no allocations after warmup");
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        let big = ws.take(100, 100);
+        let small = ws.take(2, 2);
+        ws.give(big);
+        ws.give(small);
+        let picked = ws.take(2, 2); // must not burn the 10k buffer
+        assert!(picked.data().len() == 4);
+        ws.give(picked);
+        assert_eq!(ws.pooled_floats(), 100 * 100 + 4);
+    }
+
+    #[test]
+    fn grows_largest_when_nothing_fits() {
+        let mut ws = Workspace::new();
+        let a = ws.take(2, 2);
+        ws.give(a);
+        let before = ws.allocations();
+        let b = ws.take(50, 50); // forces growth, counted as an allocation
+        assert_eq!(ws.allocations(), before + 1);
+        ws.give(b);
+        let c = ws.take(50, 50); // now pooled: no growth
+        assert_eq!(ws.allocations(), before + 1);
+        ws.give(c);
+    }
+}

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures, and the perf trajectory.
 //!
 //! ```text
-//! reproduce [all|table1..table5|fig2|fig4|fig6|fig8|fig10|ablation|bench] \
+//! reproduce [all|table1..table5|fig2|fig4|fig6|fig8|fig10|ablation|catalog|bench] \
 //!           [--quick] [--bench-json FILE]
 //! ```
 //!
@@ -12,7 +12,7 @@
 //! trajectory future PRs compare against.
 
 use seaice_bench::common::Scale;
-use seaice_bench::{figures, perf, tables, ExperimentOutput};
+use seaice_bench::{catalog, figures, perf, tables, ExperimentOutput};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +59,7 @@ fn main() {
         ("fig8", figures::fig8),
         ("fig10", figures::fig10),
         ("ablation", figures::resolution_ablation),
+        ("catalog", catalog::catalog),
         ("bench", perf::bench),
     ];
     for (id, runner) in runners {
@@ -93,7 +94,7 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "unknown experiment '{}'. Options: all table1..table5 fig2 fig4 fig6 fig8 fig10 ablation bench",
+            "unknown experiment '{}'. Options: all table1..table5 fig2 fig4 fig6 fig8 fig10 ablation catalog bench",
             targets.join(" ")
         );
         std::process::exit(2);

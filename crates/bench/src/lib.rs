@@ -11,6 +11,7 @@
 //! regenerate everything (release strongly recommended — the training
 //! experiments are compute-bound).
 
+pub mod catalog;
 pub mod common;
 pub mod figures;
 pub mod perf;

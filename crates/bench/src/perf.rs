@@ -12,6 +12,9 @@
 //! - `infer_{mlp,lstm}_rows_per_s` — batch inference throughput;
 //! - `fleet_granules_per_s` — `FleetDriver::classify_run` over a small
 //!   granule fleet (three strong beams per granule);
+//! - `catalog_ingest_samples_per_s` / `catalog_queries_per_s` — the
+//!   serve path: landing the fleet's products in a tiled catalog, then
+//!   repeated spatial summary queries against it;
 //! - `staged_e2e_s` — one full staged pipeline run, seconds (lower is
 //!   better; every other metric is a rate).
 //!
@@ -183,6 +186,26 @@ pub fn bench(scale: Scale) -> ExperimentOutput {
         k.fleet_granules as f64 / fleet_s,
     );
     let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Catalog serve path -------------------------------------------
+    // Land the fleet products just produced in a tiled store, then hit
+    // it with repeated spatial summary queries.
+    let cat_dir = std::env::temp_dir().join(format!("seaice_perf_catalog_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cat_dir);
+    let catalog = seaice_catalog::Catalog::create(&cat_dir, crate::catalog::grid_for(&cfg))
+        .expect("catalog create");
+    let (ingest, ingest_s) = timed(|| catalog.ingest_products(&products).expect("catalog ingest"));
+    push(
+        &mut metrics,
+        "catalog_ingest_samples_per_s",
+        ingest.n_samples as f64 / ingest_s,
+    );
+    push(
+        &mut metrics,
+        "catalog_queries_per_s",
+        crate::catalog::query_throughput(&catalog, scale),
+    );
+    let _ = std::fs::remove_dir_all(&cat_dir);
 
     // --- End-to-end staged run ----------------------------------------
     let e2e_cfg = match scale {

@@ -340,17 +340,20 @@ pub fn table5(scale: Scale) -> ExperimentOutput {
         Scale::Quick => &[(1, 1), (2, 2)],
         Scale::Full => &PAPER_GRID,
     };
-    let mut reference: Option<(usize, f64)> = None;
+    let mut reference: Option<seaice::FreeboardSummary> = None;
     let table = ScalingTable::sweep(
         "TABLE V — IS2 freeboard computation scalability (measured)",
         grid,
         |e, c| {
             let driver = FleetDriver::new(Cluster::new(e, c), &pipeline.cfg);
-            let (result, report) = driver.freeboard_run(&sources);
+            let (summary, report) = driver.freeboard_run(&sources);
             match &reference {
-                None => reference = Some(result),
+                None => reference = Some(summary),
                 Some(r) => {
-                    assert_eq!(r.0, result.0, "topology changed the freeboard count")
+                    assert_eq!(
+                        r.n_ice_segments, summary.n_ice_segments,
+                        "topology changed the freeboard count"
+                    )
                 }
             }
             report
@@ -380,7 +383,11 @@ pub fn table5(scale: Scale) -> ExperimentOutput {
         8.54,
         sim.max_load_speedup(),
     ));
-    let (n_points, mean_fb) = reference.unwrap_or((0, 0.0));
+    let summary = reference.unwrap_or(seaice::FreeboardSummary {
+        n_ice_segments: 0,
+        mean_freeboard_m: 0.0,
+    });
+    let (n_points, mean_fb) = (summary.n_ice_segments, summary.mean_freeboard_m);
     let metrics = vec![
         (
             "measured_max_reduce_speedup".into(),

@@ -1,0 +1,637 @@
+//! Spatial and temporal addressing for the catalog: quadtree tile ids,
+//! monthly layer keys, and the configurable polar-stereographic grid that
+//! maps EPSG-3976 coordinates to `(tile, cell)` addresses.
+//!
+//! The grid covers a square domain `center ± half_extent` in projected
+//! metres. At quadtree `level` the domain splits into `2^level × 2^level`
+//! tiles, and each tile holds `tile_cells × tile_cells` aggregate cells —
+//! so the effective composite resolution is
+//! `2·half_extent / (2^level · tile_cells)` metres and can be dialed from
+//! pan-Antarctic kilometres down to scene-scale metres without touching
+//! the store.
+
+use icesat_geo::{GeoPoint, MapPoint, EPSG_3976};
+use seaice::artifact::{ArtifactError, Codec, Reader, Writer};
+
+use crate::CatalogError;
+
+/// Maximum quadtree depth (quadkey digits, and `x`/`y` fit in `u32`).
+pub const MAX_LEVEL: u8 = 24;
+
+/// Maximum cells per tile side (cell indices fit comfortably in `u32`).
+pub const MAX_TILE_CELLS: u16 = 1024;
+
+// ---------------------------------------------------------------------------
+// TileId — quadtree addressing.
+// ---------------------------------------------------------------------------
+
+/// Quadtree tile address: `(x, y)` at a zoom `level`, Bing-style.
+///
+/// `x` grows east (+x in EPSG-3976), `y` grows north (+y); both are
+/// `0..2^level`. The [`TileId::quadkey`] string is the on-disk address:
+/// one base-4 digit per level, most significant first, so a tile's key is
+/// a prefix of all its descendants' keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TileId {
+    /// Quadtree depth, `0..=MAX_LEVEL`.
+    pub level: u8,
+    /// Column, `0..2^level`.
+    pub x: u32,
+    /// Row, `0..2^level`.
+    pub y: u32,
+}
+
+impl TileId {
+    /// A checked tile id.
+    pub fn new(level: u8, x: u32, y: u32) -> Result<TileId, CatalogError> {
+        if level > MAX_LEVEL {
+            return Err(CatalogError::Corrupt("tile level too deep"));
+        }
+        let n = 1u32 << level;
+        if x >= n || y >= n {
+            return Err(CatalogError::Corrupt("tile coordinate out of level range"));
+        }
+        Ok(TileId { level, x, y })
+    }
+
+    /// Tiles per side at this level.
+    pub fn tiles_per_side(&self) -> u32 {
+        1u32 << self.level
+    }
+
+    /// The Bing-style quadkey: one digit in `0..=3` per level, MSB first
+    /// (digit = x-bit + 2·y-bit).
+    pub fn quadkey(&self) -> String {
+        let mut s = String::with_capacity(self.level as usize);
+        for i in (0..self.level).rev() {
+            let xb = (self.x >> i) & 1;
+            let yb = (self.y >> i) & 1;
+            s.push(char::from(b'0' + (xb + 2 * yb) as u8));
+        }
+        s
+    }
+
+    /// Parses a quadkey back into a tile id.
+    pub fn from_quadkey(key: &str) -> Result<TileId, CatalogError> {
+        if key.len() > MAX_LEVEL as usize {
+            return Err(CatalogError::Corrupt("quadkey too long"));
+        }
+        let (mut x, mut y) = (0u32, 0u32);
+        for c in key.chars() {
+            let d = match c {
+                '0'..='3' => c as u32 - '0' as u32,
+                _ => return Err(CatalogError::Corrupt("quadkey digit out of range")),
+            };
+            x = (x << 1) | (d & 1);
+            y = (y << 1) | (d >> 1);
+        }
+        Ok(TileId {
+            level: key.len() as u8,
+            x,
+            y,
+        })
+    }
+
+    /// The parent tile one level up (`None` at the root).
+    pub fn parent(&self) -> Option<TileId> {
+        if self.level == 0 {
+            return None;
+        }
+        Some(TileId {
+            level: self.level - 1,
+            x: self.x >> 1,
+            y: self.y >> 1,
+        })
+    }
+
+    /// The four children one level down, quadkey order; `None` at
+    /// [`MAX_LEVEL`] (deeper ids would not round-trip through quadkeys
+    /// or the codec).
+    pub fn children(&self) -> Option<[TileId; 4]> {
+        if self.level >= MAX_LEVEL {
+            return None;
+        }
+        let (l, x, y) = (self.level + 1, self.x << 1, self.y << 1);
+        Some([
+            TileId { level: l, x, y },
+            TileId {
+                level: l,
+                x: x + 1,
+                y,
+            },
+            TileId {
+                level: l,
+                x,
+                y: y + 1,
+            },
+            TileId {
+                level: l,
+                x: x + 1,
+                y: y + 1,
+            },
+        ])
+    }
+
+    /// `true` when `self` is `other` or one of its ancestors.
+    pub fn contains(&self, other: &TileId) -> bool {
+        if other.level < self.level {
+            return false;
+        }
+        let shift = other.level - self.level;
+        (other.x >> shift) == self.x && (other.y >> shift) == self.y
+    }
+}
+
+impl Codec for TileId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.level);
+        w.put_u32(self.x);
+        w.put_u32(self.y);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let (level, x, y) = (r.take_u8()?, r.take_u32()?, r.take_u32()?);
+        TileId::new(level, x, y).map_err(|_| ArtifactError::Invalid("tile id"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TimeKey — monthly composite layers.
+// ---------------------------------------------------------------------------
+
+/// A temporal layer key: one calendar month, the paper's composite epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimeKey {
+    /// Calendar year.
+    pub year: u16,
+    /// Calendar month, `1..=12`.
+    pub month: u8,
+}
+
+impl TimeKey {
+    /// A checked key.
+    pub fn new(year: u16, month: u8) -> Result<TimeKey, CatalogError> {
+        if !(1..=12).contains(&month) {
+            return Err(CatalogError::Corrupt("month out of range"));
+        }
+        Ok(TimeKey { year, month })
+    }
+
+    /// Extracts the layer key from an ATL03-style granule id (or bare
+    /// acquisition timestamp) whose first 6 digits are `YYYYMM`.
+    pub fn from_granule_id(granule_id: &str) -> Result<TimeKey, CatalogError> {
+        let digits = granule_id.as_bytes();
+        if digits.len() < 6 || !digits[..6].iter().all(u8::is_ascii_digit) {
+            return Err(CatalogError::BadGranuleId(granule_id.to_string()));
+        }
+        let year: u16 = granule_id[..4].parse().expect("4 checked digits");
+        let month: u8 = granule_id[4..6].parse().expect("2 checked digits");
+        TimeKey::new(year, month).map_err(|_| CatalogError::BadGranuleId(granule_id.to_string()))
+    }
+}
+
+impl std::fmt::Display for TimeKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+impl Codec for TimeKey {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(self.year);
+        w.put_u8(self.month);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let (year, month) = (r.take_u16()?, r.take_u8()?);
+        TimeKey::new(year, month).map_err(|_| ArtifactError::Invalid("time key"))
+    }
+}
+
+/// Inclusive range of temporal layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeRange {
+    /// First layer included.
+    pub start: TimeKey,
+    /// Last layer included.
+    pub end: TimeKey,
+}
+
+impl TimeRange {
+    /// Every layer the catalog holds.
+    pub fn all() -> TimeRange {
+        TimeRange {
+            start: TimeKey { year: 0, month: 1 },
+            end: TimeKey {
+                year: u16::MAX,
+                month: 12,
+            },
+        }
+    }
+
+    /// A single-layer range.
+    pub fn only(key: TimeKey) -> TimeRange {
+        TimeRange {
+            start: key,
+            end: key,
+        }
+    }
+
+    /// `true` when `key` falls inside the range.
+    pub fn contains(&self, key: TimeKey) -> bool {
+        self.start <= key && key <= self.end
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Map rectangles.
+// ---------------------------------------------------------------------------
+
+/// Axis-aligned rectangle in EPSG-3976 metres (inclusive on all edges).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapRect {
+    /// South-west corner.
+    pub min: MapPoint,
+    /// North-east corner.
+    pub max: MapPoint,
+}
+
+impl MapRect {
+    /// A rectangle from any two opposite corners.
+    pub fn new(a: MapPoint, b: MapPoint) -> MapRect {
+        MapRect {
+            min: MapPoint::new(a.x.min(b.x), a.y.min(b.y)),
+            max: MapPoint::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// `true` when the point lies inside (edges inclusive).
+    pub fn contains(&self, p: MapPoint) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The rectangle grown by `pad_m` on every side.
+    pub fn padded(&self, pad_m: f64) -> MapRect {
+        MapRect {
+            min: MapPoint::new(self.min.x - pad_m, self.min.y - pad_m),
+            max: MapPoint::new(self.max.x + pad_m, self.max.y + pad_m),
+        }
+    }
+
+    /// Conservative projected cover of a geographic bounding box: the
+    /// box's boundary is sampled densely through EPSG-3976, the map
+    /// extremes taken, and the rect padded by the worst-case sag between
+    /// consecutive samples. Constant-latitude edges project to circular
+    /// arcs about the pole, which bulge past their sampled chord by at
+    /// most `r·(1 − cos(Δλ/2))` — that bound (meridian edges are exact
+    /// radial segments) makes the cover genuinely conservative for
+    /// arbitrarily wide boxes. The image of a lat/lon box is an annular
+    /// sector, not a rectangle, so callers must still filter samples
+    /// exactly; this rect only prunes candidate tiles.
+    pub fn covering_bbox(bbox: &icesat_geo::BoundingBox) -> MapRect {
+        const N: usize = 48;
+        let mut min = MapPoint::new(f64::INFINITY, f64::INFINITY);
+        let mut max = MapPoint::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut r_max = 0.0f64;
+        let mut take = |p: GeoPoint| {
+            let m = EPSG_3976.forward(p);
+            min = MapPoint::new(min.x.min(m.x), min.y.min(m.y));
+            max = MapPoint::new(max.x.max(m.x), max.y.max(m.y));
+            // EPSG 3976 has no false easting/northing: the pole is the
+            // origin, so |m| is the arc radius at this latitude.
+            r_max = r_max.max(m.x.hypot(m.y));
+        };
+        for i in 0..=N {
+            let f = i as f64 / N as f64;
+            let lon = bbox.lon_min + f * (bbox.lon_max - bbox.lon_min);
+            let lat = bbox.lat_min + f * (bbox.lat_max - bbox.lat_min);
+            take(GeoPoint::new(bbox.lat_min, lon));
+            take(GeoPoint::new(bbox.lat_max, lon));
+            take(GeoPoint::new(lat, bbox.lon_min));
+            take(GeoPoint::new(lat, bbox.lon_max));
+        }
+        let half_step_rad =
+            (bbox.lon_max - bbox.lon_min).abs() * icesat_geo::DEG2RAD / (2.0 * N as f64);
+        let sag_m = r_max * (1.0 - half_step_rad.cos());
+        MapRect { min, max }.padded(sag_m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GridConfig — the configurable-resolution tiling.
+// ---------------------------------------------------------------------------
+
+/// The catalog's tiling: a square EPSG-3976 domain, a quadtree level, and
+/// a per-tile cell count. Persisted in the catalog manifest; two catalogs
+/// are compatible only when their grids are identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridConfig {
+    /// Domain centre, EPSG-3976 metres.
+    pub center: MapPoint,
+    /// Domain half-extent, metres.
+    pub half_extent_m: f64,
+    /// Quadtree level tiles are stored at.
+    pub level: u8,
+    /// Aggregate cells per tile side.
+    pub tile_cells: u16,
+}
+
+impl GridConfig {
+    /// A checked grid.
+    pub fn new(
+        center: MapPoint,
+        half_extent_m: f64,
+        level: u8,
+        tile_cells: u16,
+    ) -> Result<GridConfig, CatalogError> {
+        if !(half_extent_m.is_finite() && half_extent_m > 0.0) {
+            return Err(CatalogError::Corrupt("grid half extent must be positive"));
+        }
+        if level > MAX_LEVEL {
+            return Err(CatalogError::Corrupt("grid level too deep"));
+        }
+        if tile_cells == 0 || tile_cells > MAX_TILE_CELLS {
+            return Err(CatalogError::Corrupt("tile cells out of range"));
+        }
+        Ok(GridConfig {
+            center,
+            half_extent_m,
+            level,
+            tile_cells,
+        })
+    }
+
+    /// A grid centred on `center` with catalog-friendly defaults: level 3
+    /// (8×8 tiles) and 32×32 cells per tile — 256 cells across the
+    /// domain.
+    pub fn around(center: MapPoint, half_extent_m: f64) -> GridConfig {
+        GridConfig::new(center, half_extent_m, 3, 32).expect("default grid parameters are valid")
+    }
+
+    /// The Ross Sea study region (paper Section III-A-1) at kilometre-ish
+    /// cells: the projected centre of the geographic box, 800 km half
+    /// extent, 16×16 tiles of 64×64 cells (≈1.6 km per cell).
+    pub fn ross_sea() -> GridConfig {
+        let center = EPSG_3976.forward(icesat_geo::BoundingBox::ROSS_SEA.center());
+        GridConfig::new(center, 800_000.0, 4, 64).expect("ross sea grid parameters are valid")
+    }
+
+    /// Tiles per side at the grid's level.
+    pub fn tiles_per_side(&self) -> u32 {
+        1u32 << self.level
+    }
+
+    /// Tile edge length, metres.
+    pub fn tile_size_m(&self) -> f64 {
+        2.0 * self.half_extent_m / self.tiles_per_side() as f64
+    }
+
+    /// Aggregate cell edge length, metres — the composite resolution.
+    pub fn cell_size_m(&self) -> f64 {
+        self.tile_size_m() / self.tile_cells as f64
+    }
+
+    /// The full domain rectangle.
+    pub fn domain(&self) -> MapRect {
+        MapRect {
+            min: MapPoint::new(
+                self.center.x - self.half_extent_m,
+                self.center.y - self.half_extent_m,
+            ),
+            max: MapPoint::new(
+                self.center.x + self.half_extent_m,
+                self.center.y + self.half_extent_m,
+            ),
+        }
+    }
+
+    /// Maps a projected point to its `(tile, cell)` address, or `None`
+    /// outside the domain (max edges exclusive, so every in-domain point
+    /// has exactly one owner).
+    pub fn locate(&self, m: MapPoint) -> Option<(TileId, u32)> {
+        let ext = 2.0 * self.half_extent_m;
+        let u = (m.x - (self.center.x - self.half_extent_m)) / ext;
+        let v = (m.y - (self.center.y - self.half_extent_m)) / ext;
+        if !(0.0..1.0).contains(&u) || !(0.0..1.0).contains(&v) {
+            return None;
+        }
+        let cells = self.tiles_per_side() as u64 * self.tile_cells as u64;
+        let gx = ((u * cells as f64) as u64).min(cells - 1);
+        let gy = ((v * cells as f64) as u64).min(cells - 1);
+        let tile = TileId {
+            level: self.level,
+            x: (gx / self.tile_cells as u64) as u32,
+            y: (gy / self.tile_cells as u64) as u32,
+        };
+        let cell_x = (gx % self.tile_cells as u64) as u32;
+        let cell_y = (gy % self.tile_cells as u64) as u32;
+        Some((tile, cell_y * self.tile_cells as u32 + cell_x))
+    }
+
+    /// The rectangle a tile spans.
+    pub fn tile_rect(&self, id: TileId) -> MapRect {
+        let size = self.tile_size_m();
+        let min = MapPoint::new(
+            self.center.x - self.half_extent_m + id.x as f64 * size,
+            self.center.y - self.half_extent_m + id.y as f64 * size,
+        );
+        MapRect {
+            min,
+            max: MapPoint::new(min.x + size, min.y + size),
+        }
+    }
+
+    /// Centre of `cell` (row-major index) within tile `id`.
+    pub fn cell_center(&self, id: TileId, cell: u32) -> MapPoint {
+        let rect = self.tile_rect(id);
+        let size = self.cell_size_m();
+        let cx = cell % self.tile_cells as u32;
+        let cy = cell / self.tile_cells as u32;
+        MapPoint::new(
+            rect.min.x + (cx as f64 + 0.5) * size,
+            rect.min.y + (cy as f64 + 0.5) * size,
+        )
+    }
+
+    /// Tiles (at the grid level) whose rectangles intersect `rect`, in
+    /// `(y, x)` scan order.
+    pub fn tiles_overlapping(&self, rect: &MapRect) -> Vec<TileId> {
+        let size = self.tile_size_m();
+        let n = self.tiles_per_side() as i64;
+        let min_x = ((rect.min.x - (self.center.x - self.half_extent_m)) / size).floor() as i64;
+        let max_x = ((rect.max.x - (self.center.x - self.half_extent_m)) / size).floor() as i64;
+        let min_y = ((rect.min.y - (self.center.y - self.half_extent_m)) / size).floor() as i64;
+        let max_y = ((rect.max.y - (self.center.y - self.half_extent_m)) / size).floor() as i64;
+        let (min_x, max_x) = (min_x.clamp(0, n - 1), max_x.clamp(0, n - 1));
+        let (min_y, max_y) = (min_y.clamp(0, n - 1), max_y.clamp(0, n - 1));
+        if rect.max.x < self.center.x - self.half_extent_m
+            || rect.min.x > self.center.x + self.half_extent_m
+            || rect.max.y < self.center.y - self.half_extent_m
+            || rect.min.y > self.center.y + self.half_extent_m
+        {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for y in min_y..=max_y {
+            for x in min_x..=max_x {
+                out.push(TileId {
+                    level: self.level,
+                    x: x as u32,
+                    y: y as u32,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl Codec for GridConfig {
+    fn encode(&self, w: &mut Writer) {
+        self.center.encode(w);
+        w.put_f64(self.half_extent_m);
+        w.put_u8(self.level);
+        w.put_u16(self.tile_cells);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let center = MapPoint::decode(r)?;
+        let half_extent_m = r.take_f64()?;
+        let level = r.take_u8()?;
+        let tile_cells = r.take_u16()?;
+        GridConfig::new(center, half_extent_m, level, tile_cells)
+            .map_err(|_| ArtifactError::Invalid("grid config"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridConfig {
+        GridConfig::new(MapPoint::new(-300_000.0, -1_300_000.0), 10_000.0, 3, 16).unwrap()
+    }
+
+    #[test]
+    fn quadkey_roundtrip_and_prefix_property() {
+        for (level, x, y) in [(0u8, 0u32, 0u32), (1, 1, 0), (4, 9, 3), (10, 1023, 512)] {
+            let id = TileId::new(level, x, y).unwrap();
+            let key = id.quadkey();
+            assert_eq!(key.len(), level as usize);
+            assert_eq!(TileId::from_quadkey(&key).unwrap(), id);
+            if let Some(parent) = id.parent() {
+                assert!(key.starts_with(&parent.quadkey()));
+                assert!(parent.contains(&id));
+                assert!(parent.children().expect("below max level").contains(&id));
+            }
+        }
+        assert!(TileId::from_quadkey("0412").is_err());
+        assert!(TileId::new(2, 4, 0).is_err());
+        // The bottom of the quadtree has no addressable children.
+        assert!(TileId::new(MAX_LEVEL, 0, 0).unwrap().children().is_none());
+    }
+
+    #[test]
+    fn time_key_parses_granule_ids() {
+        let t = TimeKey::from_granule_id("20191104195311_05000210").unwrap();
+        assert_eq!(t, TimeKey::new(2019, 11).unwrap());
+        assert_eq!(t.to_string(), "2019-11");
+        assert!(TimeKey::from_granule_id("2019").is_err());
+        assert!(TimeKey::from_granule_id("20191304195311").is_err());
+        assert!(TimeRange::all().contains(t));
+        assert!(!TimeRange::only(TimeKey::new(2020, 1).unwrap()).contains(t));
+    }
+
+    #[test]
+    fn locate_addresses_are_consistent_with_tile_rects() {
+        let g = grid();
+        let pts = [
+            MapPoint::new(-300_000.0, -1_300_000.0),
+            MapPoint::new(-309_999.9, -1_309_999.9),
+            MapPoint::new(-290_000.1, -1_290_000.1),
+            MapPoint::new(-295_123.4, -1_304_321.0),
+        ];
+        for p in pts {
+            let (tile, cell) = g.locate(p).expect("in domain");
+            assert!(g.tile_rect(tile).contains(p), "{p:?} not in its tile rect");
+            assert!(cell < g.tile_cells as u32 * g.tile_cells as u32);
+            let c = g.cell_center(tile, cell);
+            assert!((c.x - p.x).abs() <= g.cell_size_m());
+            assert!((c.y - p.y).abs() <= g.cell_size_m());
+        }
+        // Outside the domain.
+        assert!(g.locate(MapPoint::new(-310_000.1, -1_300_000.0)).is_none());
+        assert!(g.locate(MapPoint::new(-290_000.0, -1_300_000.0)).is_none());
+    }
+
+    #[test]
+    fn tiles_overlapping_covers_locate() {
+        let g = grid();
+        let rect = MapRect::new(
+            MapPoint::new(-305_000.0, -1_305_000.0),
+            MapPoint::new(-298_000.0, -1_297_000.0),
+        );
+        let tiles = g.tiles_overlapping(&rect);
+        assert!(!tiles.is_empty());
+        for p in [
+            MapPoint::new(-305_000.0, -1_305_000.0),
+            MapPoint::new(-300_000.0, -1_300_000.0),
+            MapPoint::new(-298_000.0, -1_297_000.0),
+        ] {
+            let (tile, _) = g.locate(p).unwrap();
+            assert!(tiles.contains(&tile), "{p:?} tile missing from cover");
+        }
+        // Disjoint rect yields nothing.
+        let far = MapRect::new(MapPoint::new(0.0, 0.0), MapPoint::new(1.0, 1.0));
+        assert!(g.tiles_overlapping(&far).is_empty());
+    }
+
+    #[test]
+    fn bbox_cover_contains_projected_interior_points() {
+        let bbox = icesat_geo::BoundingBox {
+            lon_min: -170.0,
+            lon_max: -150.0,
+            lat_min: -76.0,
+            lat_max: -72.0,
+        };
+        let cover = MapRect::covering_bbox(&bbox);
+        for lat in [-76.0, -74.5, -72.0] {
+            for lon in [-170.0, -160.0, -150.0] {
+                let m = EPSG_3976.forward(GeoPoint::new(lat, lon));
+                assert!(
+                    cover.padded(1.0).contains(m),
+                    "{lat},{lon} escaped the cover"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_longitude_bbox_cover_is_conservative() {
+        // A full-longitude band: the arc extremes between boundary
+        // samples sag by kilometres at this radius, so the padded cover
+        // must still contain every projected boundary point — including
+        // longitudes that fall between the sample lattice points.
+        let bbox = icesat_geo::BoundingBox {
+            lon_min: -180.0,
+            lon_max: 180.0,
+            lat_min: -78.0,
+            lat_max: -55.0,
+        };
+        let cover = MapRect::covering_bbox(&bbox);
+        for i in 0..720 {
+            let lon = -180.0 + i as f64 * 0.5 + 0.13;
+            for lat in [bbox.lat_min, bbox.lat_max] {
+                let m = EPSG_3976.forward(GeoPoint::new(lat, lon.min(180.0)));
+                assert!(cover.contains(m), "{lat},{lon} escaped the wide cover");
+            }
+        }
+    }
+
+    #[test]
+    fn ross_sea_grid_contains_study_region() {
+        let g = GridConfig::ross_sea();
+        for lat in [-77.5, -74.0, -70.5] {
+            for lon in [-179.0, -160.0, -141.0] {
+                let m = EPSG_3976.forward(GeoPoint::new(lat, lon));
+                assert!(g.locate(m).is_some(), "{lat},{lon} outside ross sea grid");
+            }
+        }
+    }
+}

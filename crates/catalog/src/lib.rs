@@ -1,0 +1,98 @@
+//! `seaice-catalog` — the serve path of the pipeline: an ingest-once,
+//! query-many store for the paper's end products.
+//!
+//! The produce path ([`seaice::stages`] + [`seaice::fleet`]) turns raw
+//! ATL03 granules into per-beam 2 m classifications and freeboards.
+//! Downstream consumers — gridded thickness reconstruction, snow-depth
+//! downscaling, any map-facing service — need those products queryable
+//! by *where* and *when* without re-running the pipeline. This crate
+//! provides that layer:
+//!
+//! - [`grid`] — quadtree tile addressing over a configurable-resolution
+//!   EPSG-3976 grid ([`TileId`] quadkeys, [`GridConfig`]), plus monthly
+//!   temporal layer keys ([`TimeKey`]) for the paper's Table II/V-style
+//!   composites;
+//! - [`tile`] — tile contents: canonically sorted segment-level samples
+//!   and per-cell freeboard/ice-type aggregates, persisted with the same
+//!   overflow-hardened tag+version binary conventions as
+//!   [`seaice::artifact`];
+//! - [`cache`] — the lock-striped LRU tile cache concurrent readers go
+//!   through;
+//! - [`store`] — [`Catalog`]: sharded rayon-parallel ingest, atomic tile
+//!   replacement, and the query API (bbox, rect, point, time-range,
+//!   gridded cells, summary stats), plus [`CatalogSink`] wiring
+//!   [`seaice::FleetDriver`] straight into a catalog.
+//!
+//! The headline invariant: ingest order never changes what queries
+//! return, bit for bit, and readers racing a live ingest always observe
+//! internally consistent tile snapshots (see `tests/concurrent_stress.rs`).
+
+pub mod cache;
+pub mod grid;
+pub mod store;
+pub mod tile;
+
+pub use cache::{CacheStats, TileCache, TileKey};
+pub use grid::{GridConfig, MapRect, TileId, TimeKey, TimeRange};
+pub use store::{
+    Catalog, CatalogOptions, CatalogSink, CatalogStats, CellSummary, IngestReport, QuerySummary,
+};
+pub use tile::{CatalogManifest, CellAggregate, SampleRecord, Tile};
+
+/// Errors from catalog operations.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// A tile or manifest failed to encode/decode.
+    Artifact(seaice::ArtifactError),
+    /// A granule id did not carry a parseable `YYYYMM` prefix.
+    BadGranuleId(String),
+    /// A catalog directory was opened with a different grid than it was
+    /// built with.
+    GridMismatch,
+    /// An internal invariant was violated (corrupt store or logic bug).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Io(e) => write!(f, "catalog io error: {e}"),
+            CatalogError::Artifact(e) => write!(f, "catalog artifact error: {e}"),
+            CatalogError::BadGranuleId(id) => {
+                write!(f, "granule id '{id}' has no YYYYMM acquisition prefix")
+            }
+            CatalogError::GridMismatch => {
+                write!(f, "catalog grid differs from the manifest's grid")
+            }
+            CatalogError::Corrupt(what) => write!(f, "catalog corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<std::io::Error> for CatalogError {
+    fn from(e: std::io::Error) -> Self {
+        CatalogError::Io(e)
+    }
+}
+
+impl From<seaice::ArtifactError> for CatalogError {
+    fn from(e: seaice::ArtifactError) -> Self {
+        CatalogError::Artifact(e)
+    }
+}
+
+/// FNV-1a over a byte stream — the one stable hash used for sample
+/// source ids and shard/stripe ownership (never the std hasher, whose
+/// per-process randomisation would break cross-run reproducibility).
+pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

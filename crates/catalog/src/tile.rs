@@ -1,0 +1,507 @@
+//! Tile contents: segment-level samples plus per-cell aggregates.
+//!
+//! A tile is the unit of storage, caching, and atomic update. It carries
+//! every ingested sample (segment-level detail for re-gridding and exact
+//! bbox filtering) **canonically sorted**, and per-cell aggregates
+//! derived from that order. Canonical order is what makes the catalog
+//! ingest-order invariant: a tile's samples are a set, the sort gives the
+//! set one byte-exact representation, and every floating-point reduction
+//! (cell sums, query summaries) runs in that order — so two catalogs
+//! built from the same granules in any order answer queries bit
+//! identically.
+//!
+//! On disk a tile stores only its identity and samples (framed by
+//! [`seaice::artifact`]'s tag+version conventions); cell aggregates are
+//! derived data and are rebuilt on decode, which doubles as a
+//! consistency check.
+
+use std::collections::BTreeMap;
+
+use icesat_scene::SurfaceClass;
+use seaice::artifact::{Artifact, ArtifactError, Codec, Reader, Writer};
+
+use crate::grid::{TileId, TimeKey};
+
+/// One classified, freeboard-carrying 2 m segment inside a tile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleRecord {
+    /// Stable hash of `(granule id, beam)` — the ingest source.
+    pub source: u64,
+    /// Along-track position within the source beam, metres.
+    pub along_track_m: f64,
+    /// Geodetic latitude, degrees.
+    pub lat: f64,
+    /// Longitude, degrees.
+    pub lon: f64,
+    /// EPSG-3976 easting, metres.
+    pub x_m: f64,
+    /// EPSG-3976 northing, metres.
+    pub y_m: f64,
+    /// Freeboard, metres.
+    pub freeboard_m: f64,
+    /// Classified surface type.
+    pub class: SurfaceClass,
+    /// Row-major aggregate-cell index within the owning tile.
+    pub cell: u32,
+}
+
+impl SampleRecord {
+    /// Stable source id for a `(granule, beam)` pair: FNV-1a over the
+    /// granule id bytes and the beam index. Independent of ingest order
+    /// (unlike an interning table), so sorted tiles are too.
+    pub fn source_id(granule_id: &str, beam_index: usize) -> u64 {
+        crate::fnv1a(granule_id.bytes().chain((beam_index as u64).to_le_bytes()))
+    }
+
+    /// The canonical total order tiles are sorted by. Every field
+    /// participates, so ties are byte-identical records and any sort
+    /// produces the same sequence.
+    pub fn canonical_cmp(a: &SampleRecord, b: &SampleRecord) -> std::cmp::Ordering {
+        a.source
+            .cmp(&b.source)
+            .then_with(|| a.along_track_m.total_cmp(&b.along_track_m))
+            .then_with(|| a.freeboard_m.total_cmp(&b.freeboard_m))
+            .then_with(|| a.class.index().cmp(&b.class.index()))
+            .then_with(|| a.cell.cmp(&b.cell))
+            .then_with(|| a.lat.total_cmp(&b.lat))
+            .then_with(|| a.lon.total_cmp(&b.lon))
+            .then_with(|| a.x_m.total_cmp(&b.x_m))
+            .then_with(|| a.y_m.total_cmp(&b.y_m))
+    }
+}
+
+impl Codec for SampleRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.source);
+        w.put_f64(self.along_track_m);
+        w.put_f64(self.lat);
+        w.put_f64(self.lon);
+        w.put_f64(self.x_m);
+        w.put_f64(self.y_m);
+        w.put_f64(self.freeboard_m);
+        self.class.encode(w);
+        w.put_u32(self.cell);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(SampleRecord {
+            source: r.take_u64()?,
+            along_track_m: r.take_f64()?,
+            lat: r.take_f64()?,
+            lon: r.take_f64()?,
+            x_m: r.take_f64()?,
+            y_m: r.take_f64()?,
+            freeboard_m: r.take_f64()?,
+            class: SurfaceClass::decode(r)?,
+            cell: r.take_u32()?,
+        })
+    }
+}
+
+/// Freeboard/ice-type aggregates of one grid cell, derived from the
+/// owning tile's canonically sorted samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellAggregate {
+    /// Samples in the cell.
+    pub n: u64,
+    /// Samples per surface class (thick, thin, open water).
+    pub class_counts: [u64; 3],
+    /// Ice samples (thick + thin).
+    pub ice_n: u64,
+    /// Sum of ice freeboard, metres (canonical-order reduction).
+    pub ice_sum_m: f64,
+    /// Minimum freeboard over all samples, metres.
+    pub min_freeboard_m: f64,
+    /// Maximum freeboard over all samples, metres.
+    pub max_freeboard_m: f64,
+}
+
+impl CellAggregate {
+    fn empty() -> CellAggregate {
+        CellAggregate {
+            n: 0,
+            class_counts: [0; 3],
+            ice_n: 0,
+            ice_sum_m: 0.0,
+            min_freeboard_m: f64::INFINITY,
+            max_freeboard_m: f64::NEG_INFINITY,
+        }
+    }
+
+    fn push(&mut self, s: &SampleRecord) {
+        self.n += 1;
+        self.class_counts[s.class.index()] += 1;
+        if s.class != SurfaceClass::OpenWater {
+            self.ice_n += 1;
+            self.ice_sum_m += s.freeboard_m;
+        }
+        self.min_freeboard_m = self.min_freeboard_m.min(s.freeboard_m);
+        self.max_freeboard_m = self.max_freeboard_m.max(s.freeboard_m);
+    }
+
+    /// Mean ice freeboard, metres (0 when the cell holds no ice).
+    pub fn mean_ice_freeboard_m(&self) -> f64 {
+        if self.ice_n == 0 {
+            0.0
+        } else {
+            self.ice_sum_m / self.ice_n as f64
+        }
+    }
+
+    /// The most populated class (ties break toward the lower index,
+    /// matching `SurfaceClass::ALL` order).
+    pub fn dominant_class(&self) -> SurfaceClass {
+        let mut best = 0usize;
+        for i in 1..3 {
+            if self.class_counts[i] > self.class_counts[best] {
+                best = i;
+            }
+        }
+        SurfaceClass::from_index(best).expect("index in 0..3")
+    }
+}
+
+/// One versioned tile of one temporal layer.
+#[derive(Debug, Clone)]
+pub struct Tile {
+    /// Spatial address.
+    pub id: TileId,
+    /// Temporal layer.
+    pub time: TimeKey,
+    /// Merge counter: bumped on every ingest batch applied to the tile.
+    /// Diagnostic only — deliberately excluded from query results, since
+    /// it depends on how ingest batches were grouped.
+    pub version: u64,
+    /// Samples in canonical order (see [`SampleRecord::canonical_cmp`]).
+    samples: Vec<SampleRecord>,
+    /// Per-cell aggregates, keyed by row-major cell index. Derived from
+    /// `samples`; rebuilt after every merge and on decode.
+    cells: BTreeMap<u32, CellAggregate>,
+}
+
+impl Tile {
+    /// An empty tile.
+    pub fn new(id: TileId, time: TimeKey) -> Tile {
+        Tile {
+            id,
+            time,
+            version: 0,
+            samples: Vec::new(),
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// The canonically sorted samples.
+    pub fn samples(&self) -> &[SampleRecord] {
+        &self.samples
+    }
+
+    /// The per-cell aggregates (ascending cell index).
+    pub fn cells(&self) -> &BTreeMap<u32, CellAggregate> {
+        &self.cells
+    }
+
+    /// Merges an ingest batch: sorts the incoming batch, merges the two
+    /// canonically sorted runs in one linear pass (ties are
+    /// byte-identical records, so run order cannot matter), and rebuilds
+    /// every cell aggregate from the result (the full rebuild keeps the
+    /// reduction order independent of merge history). O(N + m·log m)
+    /// per batch instead of re-sorting all N accumulated samples.
+    pub fn merge(&mut self, batch: &[SampleRecord]) {
+        let mut incoming = batch.to_vec();
+        incoming.sort_unstable_by(SampleRecord::canonical_cmp);
+        let old = std::mem::take(&mut self.samples);
+        self.samples = Vec::with_capacity(old.len() + incoming.len());
+        let (mut a, mut b) = (old.into_iter().peekable(), incoming.into_iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if SampleRecord::canonical_cmp(x, y) != std::cmp::Ordering::Greater {
+                        self.samples.push(a.next().expect("peeked"));
+                    } else {
+                        self.samples.push(b.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => self.samples.push(a.next().expect("peeked")),
+                (None, Some(_)) => self.samples.push(b.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        self.rebuild_cells();
+        self.version += 1;
+    }
+
+    fn rebuild_cells(&mut self) {
+        self.cells.clear();
+        for s in &self.samples {
+            self.cells
+                .entry(s.cell)
+                .or_insert_with(CellAggregate::empty)
+                .push(s);
+        }
+    }
+
+    /// Checks the tile's internal invariants — what concurrent readers
+    /// assert about every snapshot they observe: samples in canonical
+    /// order, and cell aggregates exactly consistent with the samples.
+    pub fn check_consistency(&self) -> Result<(), &'static str> {
+        if !self
+            .samples
+            .windows(2)
+            .all(|w| SampleRecord::canonical_cmp(&w[0], &w[1]) != std::cmp::Ordering::Greater)
+        {
+            return Err("samples out of canonical order");
+        }
+        let mut rebuilt: BTreeMap<u32, CellAggregate> = BTreeMap::new();
+        for s in &self.samples {
+            rebuilt
+                .entry(s.cell)
+                .or_insert_with(CellAggregate::empty)
+                .push(s);
+        }
+        if rebuilt != self.cells {
+            return Err("cell aggregates inconsistent with samples");
+        }
+        let total: u64 = self.cells.values().map(|c| c.n).sum();
+        if total != self.samples.len() as u64 {
+            return Err("cell counts do not cover samples");
+        }
+        Ok(())
+    }
+}
+
+impl Codec for Tile {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        self.time.encode(w);
+        w.put_u64(self.version);
+        self.samples.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let id = TileId::decode(r)?;
+        let time = TimeKey::decode(r)?;
+        let version = r.take_u64()?;
+        let samples: Vec<SampleRecord> = Vec::decode(r)?;
+        if !samples
+            .windows(2)
+            .all(|w| SampleRecord::canonical_cmp(&w[0], &w[1]) != std::cmp::Ordering::Greater)
+        {
+            return Err(ArtifactError::Invalid("tile samples out of order"));
+        }
+        let mut tile = Tile {
+            id,
+            time,
+            version,
+            samples,
+            cells: BTreeMap::new(),
+        };
+        tile.rebuild_cells();
+        Ok(tile)
+    }
+}
+
+impl Artifact for Tile {
+    const TAG: [u8; 4] = *b"SIT1";
+    const VERSION: u16 = 1;
+}
+
+/// Header of a persisted tile, readable without decoding samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileHeader {
+    /// Spatial address.
+    pub id: TileId,
+    /// Temporal layer.
+    pub time: TimeKey,
+    /// Merge counter.
+    pub version: u64,
+    /// Stored sample count.
+    pub n_samples: u64,
+}
+
+impl Tile {
+    /// Reads only the framed header of a tile file. The catalog uses
+    /// this to bootstrap its authoritative version/size index on open
+    /// without decoding any sample payload.
+    pub fn peek(path: &std::path::Path) -> Result<TileHeader, ArtifactError> {
+        use std::io::Read;
+        // tag(4) + format version(2) + id(9) + time(3) + merge
+        // counter(8) + sample-vec length(8).
+        let mut buf = [0u8; 34];
+        std::fs::File::open(path)?.read_exact(&mut buf)?;
+        let mut r = Reader::new(&buf);
+        let tag = r.take_slice(4)?;
+        if tag != Self::TAG {
+            return Err(ArtifactError::BadMagic);
+        }
+        let format = r.take_u16()?;
+        if format != Self::VERSION {
+            return Err(ArtifactError::BadVersion(format));
+        }
+        Ok(TileHeader {
+            id: TileId::decode(&mut r)?,
+            time: TimeKey::decode(&mut r)?,
+            version: r.take_u64()?,
+            n_samples: r.take_u64()?,
+        })
+    }
+}
+
+/// The catalog manifest: pins the grid every tile was addressed with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CatalogManifest {
+    /// The catalog's tiling.
+    pub grid: crate::grid::GridConfig,
+}
+
+impl Codec for CatalogManifest {
+    fn encode(&self, w: &mut Writer) {
+        self.grid.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(CatalogManifest {
+            grid: crate::grid::GridConfig::decode(r)?,
+        })
+    }
+}
+
+impl Artifact for CatalogManifest {
+    const TAG: [u8; 4] = *b"SICM";
+    const VERSION: u16 = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(source: u64, along: f64, fb: f64, class: SurfaceClass, cell: u32) -> SampleRecord {
+        SampleRecord {
+            source,
+            along_track_m: along,
+            lat: -74.0,
+            lon: -160.0,
+            x_m: 1.0,
+            y_m: 2.0,
+            freeboard_m: fb,
+            class,
+            cell,
+        }
+    }
+
+    fn batch_a() -> Vec<SampleRecord> {
+        vec![
+            sample(2, 10.0, 0.30, SurfaceClass::ThickIce, 5),
+            sample(2, 12.0, 0.02, SurfaceClass::OpenWater, 5),
+            sample(1, 4.0, 0.10, SurfaceClass::ThinIce, 9),
+        ]
+    }
+
+    fn batch_b() -> Vec<SampleRecord> {
+        vec![
+            sample(1, 2.0, 0.40, SurfaceClass::ThickIce, 9),
+            sample(3, 8.0, 0.25, SurfaceClass::ThickIce, 1),
+        ]
+    }
+
+    #[test]
+    fn merge_order_does_not_change_tile_bytes() {
+        let id = TileId::new(2, 1, 3).unwrap();
+        let t = TimeKey::new(2019, 11).unwrap();
+        let mut ab = Tile::new(id, t);
+        ab.merge(&batch_a());
+        ab.merge(&batch_b());
+        let mut ba = Tile::new(id, t);
+        ba.merge(&batch_b());
+        ba.merge(&batch_a());
+        assert_eq!(ab.samples(), ba.samples());
+        assert_eq!(ab.cells(), ba.cells());
+        assert_eq!(ab.to_bytes(), ba.to_bytes());
+        ab.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn cell_aggregates_match_samples() {
+        let mut tile = Tile::new(
+            TileId::new(1, 0, 0).unwrap(),
+            TimeKey::new(2020, 3).unwrap(),
+        );
+        tile.merge(&batch_a());
+        let c5 = tile.cells()[&5];
+        assert_eq!(c5.n, 2);
+        assert_eq!(c5.class_counts, [1, 0, 1]);
+        assert_eq!(c5.ice_n, 1);
+        assert!((c5.mean_ice_freeboard_m() - 0.30).abs() < 1e-15);
+        assert_eq!(c5.min_freeboard_m, 0.02);
+        assert_eq!(c5.max_freeboard_m, 0.30);
+        assert_eq!(c5.dominant_class(), SurfaceClass::ThickIce);
+        tile.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn tile_roundtrips_and_rejects_unsorted_buffers() {
+        let mut tile = Tile::new(
+            TileId::new(3, 7, 2).unwrap(),
+            TimeKey::new(2019, 9).unwrap(),
+        );
+        tile.merge(&batch_a());
+        tile.merge(&batch_b());
+        let bytes = tile.to_bytes();
+        let back = Tile::from_bytes(&bytes).unwrap();
+        assert_eq!(back.samples(), tile.samples());
+        assert_eq!(back.cells(), tile.cells());
+        assert_eq!(back.version, tile.version);
+
+        // Corrupt: swap two samples so the canonical order breaks. The
+        // sample section starts after tag(4)+version(2)+id(9)+time(3)+
+        // merge counter(8)+len(8); one record is 8+6*8+1+4 = 61 bytes.
+        let mut corrupt = bytes.to_vec();
+        let start = 4 + 2 + 9 + 3 + 8 + 8;
+        let (a, b) = (start, start + 61);
+        let tmp: Vec<u8> = corrupt[a..a + 61].to_vec();
+        corrupt.copy_within(b..b + 61, a);
+        corrupt[b..b + 61].copy_from_slice(&tmp);
+        assert!(matches!(
+            Tile::from_bytes(&corrupt),
+            Err(ArtifactError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn source_id_is_stable_and_spread() {
+        let a = SampleRecord::source_id("20191104195311_05000210", 1);
+        let b = SampleRecord::source_id("20191104195311_05000210", 1);
+        let c = SampleRecord::source_id("20191104195311_05010210", 1);
+        let d = SampleRecord::source_id("20191104195311_05000210", 3);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn peek_reads_header_without_samples() {
+        let mut tile = Tile::new(
+            TileId::new(3, 5, 1).unwrap(),
+            TimeKey::new(2019, 10).unwrap(),
+        );
+        tile.merge(&batch_a());
+        tile.merge(&batch_b());
+        let path = std::env::temp_dir().join(format!("seaice_tile_peek_{}", std::process::id()));
+        tile.save(&path).unwrap();
+        let header = Tile::peek(&path).unwrap();
+        assert_eq!(header.id, tile.id);
+        assert_eq!(header.time, tile.time);
+        assert_eq!(header.version, 2);
+        assert_eq!(header.n_samples, tile.samples().len() as u64);
+        // A truncated header errors rather than panics.
+        std::fs::write(&path, &tile.to_bytes()[..10]).unwrap();
+        assert!(Tile::peek(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = CatalogManifest {
+            grid: crate::grid::GridConfig::ross_sea(),
+        };
+        let back = CatalogManifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,428 @@
+//! Concurrent correctness of the catalog — the acceptance criteria of
+//! the serve path:
+//!
+//! 1. **Readers racing ingest**: ≥4 reader threads issue bbox and
+//!    time-range queries while writer threads ingest granules in
+//!    parallel. Every summary a reader observes must be internally
+//!    consistent, every tile snapshot must satisfy its invariants, and
+//!    each reader's catalog-wide sample count must grow monotonically.
+//! 2. **Ingest-order invariance**: catalogs built from the same granules
+//!    in different orders (and through different batchings) answer
+//!    queries **bit-identically**.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use icesat_geo::{GeoPoint, MapPoint, EPSG_3976};
+use icesat_scene::SurfaceClass;
+use seaice::freeboard::{FreeboardPoint, FreeboardProduct};
+use seaice_catalog::{
+    Catalog, CatalogOptions, GridConfig, MapRect, QuerySummary, TimeKey, TimeRange,
+};
+
+const CENTER: (f64, f64) = (-300_000.0, -1_300_000.0);
+
+fn grid() -> GridConfig {
+    GridConfig::new(MapPoint::new(CENTER.0, CENTER.1), 12_000.0, 3, 16).unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "seaice_catalog_stress_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic pseudo-random beam product: `n` samples scattered in
+/// the grid domain (some pushed outside on purpose), lat/lon via inverse
+/// projection so ingest recovers the intended map position.
+fn synth_product(seed: u64, n: usize) -> FreeboardProduct {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let points = (0..n)
+        .map(|i| {
+            let fx = (next() % 10_000) as f64 / 10_000.0;
+            let fy = (next() % 10_000) as f64 / 10_000.0;
+            // ±13 km spread over a ±12 km domain: ~8% fall outside.
+            let m = MapPoint::new(
+                CENTER.0 + (fx - 0.5) * 26_000.0,
+                CENTER.1 + (fy - 0.5) * 26_000.0,
+            );
+            let g = EPSG_3976.inverse(m);
+            let class = SurfaceClass::ALL[(next() % 3) as usize];
+            let freeboard_m = match class {
+                SurfaceClass::OpenWater => ((next() % 100) as f64 - 50.0) * 1e-4,
+                SurfaceClass::ThinIce => 0.05 + (next() % 100) as f64 * 1e-3,
+                SurfaceClass::ThickIce => 0.25 + (next() % 300) as f64 * 1e-3,
+            };
+            FreeboardPoint {
+                along_track_m: i as f64 * 2.0,
+                lat: g.lat,
+                lon: g.lon,
+                freeboard_m,
+                class,
+            }
+        })
+        .collect();
+    FreeboardProduct {
+        name: format!("synth {seed}"),
+        points,
+    }
+}
+
+/// The granule fleet every stress scenario ingests: 12 beams across
+/// three monthly layers.
+fn fleet() -> Vec<(String, usize, FreeboardProduct)> {
+    let months = ["20190915", "20191008", "20191104"];
+    let mut out = Vec::new();
+    for (gi, month) in months.iter().enumerate() {
+        for beam in 0..4usize {
+            let granule_id = format!("{month}101112_{:04}0510", 500 + gi);
+            out.push((
+                granule_id,
+                beam,
+                synth_product((gi * 4 + beam) as u64 + 1, 2_500),
+            ));
+        }
+    }
+    out
+}
+
+fn query_rects(g: &GridConfig) -> Vec<MapRect> {
+    let d = g.domain();
+    let mid = MapPoint::new(0.5 * (d.min.x + d.max.x), 0.5 * (d.min.y + d.max.y));
+    vec![
+        d,
+        MapRect::new(d.min, mid),
+        MapRect::new(mid, d.max),
+        MapRect::new(
+            MapPoint::new(d.min.x + 3_000.0, d.min.y + 5_000.0),
+            MapPoint::new(d.max.x - 4_000.0, d.max.y - 2_000.0),
+        ),
+    ]
+}
+
+/// The full deterministic query battery one catalog answers; used to
+/// compare catalogs bit for bit.
+fn fingerprint(catalog: &Catalog) -> Vec<(usize, u64, u64, u64)> {
+    let times = [
+        TimeRange::all(),
+        TimeRange::only(TimeKey::new(2019, 9).unwrap()),
+        TimeRange {
+            start: TimeKey::new(2019, 10).unwrap(),
+            end: TimeKey::new(2019, 11).unwrap(),
+        },
+    ];
+    let mut out = Vec::new();
+    for rect in query_rects(catalog.grid()) {
+        for t in times {
+            let s = catalog.query_rect(&rect, t).unwrap();
+            s.check_consistency().unwrap();
+            out.push((
+                s.n_samples,
+                s.mean_ice_freeboard_m.to_bits(),
+                s.min_freeboard_m.to_bits(),
+                s.max_freeboard_m.to_bits(),
+            ));
+        }
+    }
+    // Gridded composite cells, exact per-cell float bits.
+    for c in catalog
+        .query_cells(&catalog.grid().domain(), TimeRange::all())
+        .unwrap()
+    {
+        out.push((
+            c.agg.n as usize,
+            c.agg.mean_ice_freeboard_m().to_bits(),
+            c.agg.min_freeboard_m.to_bits(),
+            c.agg.max_freeboard_m.to_bits(),
+        ));
+    }
+    // A point probe.
+    let p = EPSG_3976.inverse(MapPoint::new(CENTER.0 + 1_000.0, CENTER.1 - 2_000.0));
+    if let Some(cell) = catalog.query_point(p, TimeRange::all()).unwrap() {
+        out.push((
+            cell.agg.n as usize,
+            cell.agg.ice_sum_m.to_bits(),
+            cell.agg.min_freeboard_m.to_bits(),
+            cell.agg.max_freeboard_m.to_bits(),
+        ));
+    }
+    out
+}
+
+#[test]
+fn ingest_order_and_batching_never_change_query_results() {
+    let beams = fleet();
+
+    // Reference: forward order, one ingest call per beam.
+    let dir_a = temp_dir("order_a");
+    let cat_a = Catalog::create(&dir_a, grid()).unwrap();
+    for (id, beam, product) in &beams {
+        cat_a.ingest_beam(id, *beam, product).unwrap();
+    }
+
+    // Reversed order, and a tiny cache to force disk reloads.
+    let dir_b = temp_dir("order_b");
+    let cat_b = Catalog::create_with(
+        &dir_b,
+        grid(),
+        CatalogOptions {
+            shards: 3,
+            cache_capacity: 4,
+            cache_stripes: 2,
+        },
+    )
+    .unwrap();
+    for (id, beam, product) in beams.iter().rev() {
+        cat_b.ingest_beam(id, *beam, product).unwrap();
+    }
+
+    // Interleaved order from two concurrent writer threads.
+    let dir_c = temp_dir("order_c");
+    let cat_c = Catalog::create(&dir_c, grid()).unwrap();
+    let work: Mutex<Vec<&(String, usize, FreeboardProduct)>> = Mutex::new(beams.iter().collect());
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| loop {
+                let Some((id, beam, product)) = work.lock().unwrap().pop() else {
+                    break;
+                };
+                cat_c.ingest_beam(id, *beam, product).unwrap();
+            });
+        }
+    });
+
+    let fp_a = fingerprint(&cat_a);
+    assert!(!fp_a.is_empty());
+    assert_eq!(fp_a, fingerprint(&cat_b), "reverse order diverged");
+    assert_eq!(fp_a, fingerprint(&cat_c), "concurrent order diverged");
+
+    // And a cold reopen answers identically too.
+    drop(cat_a);
+    let reopened = Catalog::open(&dir_a).unwrap();
+    assert_eq!(fp_a, fingerprint(&reopened), "reopen diverged");
+    reopened.validate().unwrap();
+
+    for dir in [dir_a, dir_b, dir_c] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn readers_observe_consistent_snapshots_during_parallel_ingest() {
+    let dir = temp_dir("race");
+    // Small cache so readers constantly fault tiles in from disk while
+    // the writers replace them.
+    let catalog = Catalog::create_with(
+        &dir,
+        grid(),
+        CatalogOptions {
+            shards: 8,
+            cache_capacity: 6,
+            cache_stripes: 4,
+        },
+    )
+    .unwrap();
+    let beams = fleet();
+    let expected_per_beam: Vec<usize> = beams
+        .iter()
+        .map(|(_, _, p)| {
+            p.points
+                .iter()
+                .filter(|pt| {
+                    grid()
+                        .locate(EPSG_3976.forward(GeoPoint::new(pt.lat, pt.lon)))
+                        .is_some()
+                })
+                .count()
+        })
+        .collect();
+    let expected_total: usize = expected_per_beam.iter().sum();
+
+    let work: Mutex<Vec<&(String, usize, FreeboardProduct)>> = Mutex::new(beams.iter().collect());
+    let done = AtomicBool::new(false);
+    let bbox = icesat_geo::BoundingBox::ROSS_SEA;
+
+    std::thread::scope(|s| {
+        // Two writers drain the shared granule queue.
+        for _ in 0..2 {
+            s.spawn(|| loop {
+                let Some((id, beam, product)) = work.lock().unwrap().pop() else {
+                    break;
+                };
+                catalog.ingest_beam(id, *beam, product).unwrap();
+            });
+        }
+        // Four readers hammer queries until the writers finish.
+        let mut readers = Vec::new();
+        for r in 0..4 {
+            let catalog = &catalog;
+            let done = &done;
+            let bbox = &bbox;
+            readers.push(s.spawn(move || {
+                let rects = query_rects(catalog.grid());
+                let mut last_total = 0usize;
+                let mut iterations = 0usize;
+                while !done.load(Ordering::Acquire) || iterations == 0 {
+                    iterations += 1;
+                    // Spatial summaries: every snapshot internally
+                    // consistent.
+                    let rect = rects[(r + iterations) % rects.len()];
+                    let s1 = catalog.query_rect(&rect, TimeRange::all()).unwrap();
+                    s1.check_consistency().unwrap();
+                    let s2 = catalog.query_bbox(bbox, TimeRange::all()).unwrap();
+                    s2.check_consistency().unwrap();
+                    // Time-range decomposition never exceeds the whole.
+                    let per_layer: usize = catalog
+                        .query_time_range(TimeRange::all())
+                        .unwrap()
+                        .iter()
+                        .map(|(_, s)| {
+                            s.check_consistency().unwrap();
+                            s.n_samples
+                        })
+                        .sum();
+                    // Catalog-wide totals only grow (tiles never shrink).
+                    let stats = catalog.stats().unwrap();
+                    assert!(
+                        stats.n_samples >= last_total,
+                        "sample count went backwards: {} -> {}",
+                        last_total,
+                        stats.n_samples
+                    );
+                    // Per-layer decomposition ran before this stats()
+                    // snapshot; monotone tiles make the later total an
+                    // upper bound on the earlier layer sum.
+                    assert!(
+                        per_layer <= stats.n_samples,
+                        "layers sum {} exceeds later total {}",
+                        per_layer,
+                        stats.n_samples
+                    );
+                    last_total = stats.n_samples;
+                }
+                (iterations, last_total)
+            }));
+        }
+        // A dedicated validator thread checks raw tile invariants.
+        let validator = {
+            let catalog = &catalog;
+            let done = &done;
+            s.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    catalog.validate().unwrap();
+                }
+            })
+        };
+        // Wait for writers by polling totals; scope join handles writers
+        // implicitly, so just flag completion when the queue is empty
+        // and totals stabilise. Deadline-bounded so a writer failure
+        // surfaces as a diagnostic panic, not a CI-job timeout.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        loop {
+            let stored = catalog.stats().unwrap().n_samples;
+            if work.lock().unwrap().is_empty() && stored == expected_total {
+                done.store(true, Ordering::Release);
+                break;
+            }
+            if std::time::Instant::now() > deadline {
+                done.store(true, Ordering::Release);
+                panic!(
+                    "ingest never completed: {stored}/{expected_total} samples stored \
+                     (a writer likely failed)"
+                );
+            }
+            std::thread::yield_now();
+        }
+        for r in readers {
+            let (iterations, _) = r.join().unwrap();
+            assert!(iterations > 0);
+        }
+        validator.join().unwrap();
+    });
+
+    // Final state: exact totals, valid tiles, and bit-identical to a
+    // serially built reference.
+    let stats = catalog.stats().unwrap();
+    assert_eq!(stats.n_samples, expected_total);
+    assert_eq!(stats.n_layers, 3);
+    assert!(stats.cache.misses > 0, "tiny cache must have faulted");
+    catalog.validate().unwrap();
+
+    let ref_dir = temp_dir("race_ref");
+    let reference = Catalog::create(&ref_dir, grid()).unwrap();
+    for (id, beam, product) in &beams {
+        reference.ingest_beam(id, *beam, product).unwrap();
+    }
+    assert_eq!(fingerprint(&reference), fingerprint(&catalog));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn bbox_and_rect_agree_on_the_whole_domain() {
+    let dir = temp_dir("agree");
+    let catalog = Catalog::create(&dir, grid()).unwrap();
+    for (id, beam, product) in fleet().iter().take(4) {
+        catalog.ingest_beam(id, *beam, product).unwrap();
+    }
+    // The projected Ross-sea-wide bbox strictly contains the tiny test
+    // domain, so both queries must match every stored sample.
+    let bbox = icesat_geo::BoundingBox::ROSS_SEA;
+    let via_bbox = catalog.query_bbox(&bbox, TimeRange::all()).unwrap();
+    let via_rect = catalog
+        .query_rect(&catalog.grid().domain(), TimeRange::all())
+        .unwrap();
+    assert_eq!(via_bbox, via_rect);
+    assert_eq!(via_bbox.n_samples, catalog.stats().unwrap().n_samples);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Property: any subset rect's summary stays consistent and bounded by
+/// the whole-domain summary. Driven with proptest's deterministic
+/// entropy source directly (the shared catalog cannot be captured by
+/// the `proptest!` macro's generated fns).
+#[test]
+fn random_rect_queries_are_bounded_by_domain() {
+    let dir = temp_dir("prop");
+    let catalog = Catalog::create(&dir, grid()).unwrap();
+    for (id, beam, product) in fleet().iter().take(6) {
+        catalog.ingest_beam(id, *beam, product).unwrap();
+    }
+    let whole: QuerySummary = catalog
+        .query_rect(&catalog.grid().domain(), TimeRange::all())
+        .unwrap();
+
+    let mut rng = proptest::test_rng("random_rect_queries_are_bounded_by_domain");
+    for _ in 0..64 {
+        let d = catalog.grid().domain();
+        let w = d.max.x - d.min.x;
+        let h = d.max.y - d.min.y;
+        let fx0 = (proptest::next_entropy(&mut rng) % 1000) as f64 / 1000.0;
+        let fy0 = (proptest::next_entropy(&mut rng) % 1000) as f64 / 1000.0;
+        let fx1 = (proptest::next_entropy(&mut rng) % 1000) as f64 / 1000.0;
+        let fy1 = (proptest::next_entropy(&mut rng) % 1000) as f64 / 1000.0;
+        let rect = MapRect::new(
+            MapPoint::new(d.min.x + fx0 * w, d.min.y + fy0 * h),
+            MapPoint::new(d.min.x + fx1 * w, d.min.y + fy1 * h),
+        );
+        let s = catalog.query_rect(&rect, TimeRange::all()).unwrap();
+        s.check_consistency().unwrap();
+        assert!(s.n_samples <= whole.n_samples);
+        if s.n_samples > 0 {
+            assert!(s.min_freeboard_m >= whole.min_freeboard_m);
+            assert!(s.max_freeboard_m <= whole.max_freeboard_m);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -62,6 +62,15 @@ impl BeamProducts {
     }
 }
 
+/// Aggregate result of one fleet freeboard run (Table V workload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreeboardSummary {
+    /// Ice freeboard samples across the whole fleet.
+    pub n_ice_segments: usize,
+    /// Mean ice freeboard over the fleet, metres (0 when no ice).
+    pub mean_freeboard_m: f64,
+}
+
 /// A cluster plus the per-beam processing configuration — the scaled
 /// execution layer for every fleet workload.
 pub struct FleetDriver {
@@ -199,7 +208,7 @@ impl FleetDriver {
     /// read + decode; map = preprocess + resample + fast threshold
     /// classification; reduce = per-partition sea surface + freeboard,
     /// combined into global stats.
-    pub fn freeboard_run(&self, sources: &[(PathBuf, Beam)]) -> ((usize, f64), StageReport) {
+    pub fn freeboard_run(&self, sources: &[(PathBuf, Beam)]) -> (FreeboardSummary, StageReport) {
         let preprocess = self.preprocess;
         let resample = self.resample;
         let window = self.window;
@@ -251,8 +260,11 @@ impl FleetDriver {
             |a, b| (a.0 + b.0, a.1 + b.1),
         );
         let (n, sum) = out.unwrap_or((0, 0.0));
-        let mean = if n > 0 { sum / n as f64 } else { 0.0 };
-        ((n, mean), report)
+        let summary = FreeboardSummary {
+            n_ice_segments: n,
+            mean_freeboard_m: if n > 0 { sum / n as f64 } else { 0.0 },
+        };
+        (summary, report)
     }
 
     /// Applies one [`TrainedModels`] to every `(granule, beam)` partition

@@ -56,7 +56,7 @@ pub mod thickness;
 pub use artifact::{Artifact, ArtifactError};
 pub use atl07::{atl07_segments, classify_atl07, Atl07Segment, Atl10Freeboard};
 pub use features::{segment_features, sequence_dataset, FeatureConfig, N_FEATURES, SEQ_LEN};
-pub use fleet::{BeamProducts, FleetDriver};
+pub use fleet::{BeamProducts, FleetDriver, FreeboardSummary};
 pub use freeboard::{FreeboardPoint, FreeboardProduct};
 pub use heuristic::{heuristic_classes, HeuristicConfig};
 pub use labeling::{autolabel_segments, estimate_drift, AutoLabelConfig, LabeledSegment};

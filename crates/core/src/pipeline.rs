@@ -286,7 +286,7 @@ pub fn scaled_freeboard_run(
     preprocess: &PreprocessConfig,
     resample: &ResampleConfig,
     window: &WindowConfig,
-) -> ((usize, f64), StageReport) {
+) -> (crate::fleet::FreeboardSummary, StageReport) {
     crate::fleet::FleetDriver::from_parts(*cluster, *preprocess, *resample, *window)
         .freeboard_run(sources)
 }
@@ -377,24 +377,32 @@ mod tests {
         let pipeline = Pipeline::new(PipelineConfig::small(9));
         let dir = std::env::temp_dir().join("seaice_scaled_freeboard_test");
         let sources = write_granule_fleet(&pipeline, &dir, 2).unwrap();
-        let ((n1, m1), _) = scaled_freeboard_run(
+        let (fb1, _) = scaled_freeboard_run(
             &Cluster::new(1, 1),
             &sources,
             &pipeline.cfg.preprocess,
             &pipeline.cfg.resample,
             &pipeline.cfg.window,
         );
-        let ((n4, m4), _) = scaled_freeboard_run(
+        let (fb4, _) = scaled_freeboard_run(
             &Cluster::new(4, 2),
             &sources,
             &pipeline.cfg.preprocess,
             &pipeline.cfg.resample,
             &pipeline.cfg.window,
         );
-        assert_eq!(n1, n4);
-        assert!((m1 - m4).abs() < 1e-12);
-        assert!(n1 > 100, "freeboard points {n1}");
-        assert!(m1 > 0.0 && m1 < 1.0, "mean freeboard {m1}");
+        assert_eq!(fb1.n_ice_segments, fb4.n_ice_segments);
+        assert!((fb1.mean_freeboard_m - fb4.mean_freeboard_m).abs() < 1e-12);
+        assert!(
+            fb1.n_ice_segments > 100,
+            "freeboard points {}",
+            fb1.n_ice_segments
+        );
+        assert!(
+            fb1.mean_freeboard_m > 0.0 && fb1.mean_freeboard_m < 1.0,
+            "mean freeboard {}",
+            fb1.mean_freeboard_m
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -278,6 +278,41 @@ mod tests {
                 prop_assert!(dlon < 1e-8);
             }
 
+            /// Forward/inverse closure in *map metres*: project, invert,
+            /// re-project, and require the two map points to agree to
+            /// sub-millimetre over the whole southern cap including
+            /// near-pole latitudes — the tiling correctness bound the
+            /// catalog's cell addressing rests on.
+            #[test]
+            fn forward_inverse_closure_sub_mm_south(lat in -89.9999f64..-50.0, lon in -180.0f64..180.0) {
+                let m = EPSG_3976.forward(GeoPoint::new(lat, lon));
+                let m2 = EPSG_3976.forward(EPSG_3976.inverse(m));
+                prop_assert!(m.dist(m2) < 1e-3, "closure {} m at {lat},{lon}", m.dist(m2));
+            }
+
+            /// The same sub-millimetre closure for a northern-aspect
+            /// projection (EPSG 3413-like), including near-pole latitudes.
+            #[test]
+            fn forward_inverse_closure_sub_mm_north(lat in 50.0f64..89.9999, lon in -180.0f64..180.0) {
+                let proj = PolarStereographic::new(Aspect::North, 70.0, -45.0, 0.0, 0.0);
+                let m = proj.forward(GeoPoint::new(lat, lon));
+                let m2 = proj.forward(proj.inverse(m));
+                prop_assert!(m.dist(m2) < 1e-3, "closure {} m at {lat},{lon}", m.dist(m2));
+            }
+
+            /// Geographic round-trip stays tight right up against both
+            /// poles (the quadtree root cells sit there).
+            #[test]
+            fn roundtrip_near_poles(dlat in 0.0f64..0.1, lon in -180.0f64..180.0) {
+                let south = GeoPoint::new(-89.9 - dlat, lon);
+                let gs = EPSG_3976.inverse(EPSG_3976.forward(south));
+                prop_assert!((gs.lat - south.lat).abs() < 1e-8);
+                let proj = PolarStereographic::new(Aspect::North, 70.0, -45.0, 0.0, 0.0);
+                let north = GeoPoint::new(89.9 + dlat, lon);
+                let gn = proj.inverse(proj.forward(north));
+                prop_assert!((gn.lat - north.lat).abs() < 1e-8);
+            }
+
             /// Local distances survive projection to within the secant
             /// scale distortion (< 4% across the cap we use).
             #[test]

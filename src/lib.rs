@@ -24,6 +24,8 @@
 //! - [`seaice`] — the paper's pipeline: auto-labeling, classification,
 //!   local sea surface detection, and freeboard retrieval, plus the
 //!   ATL07/ATL10 baseline emulation.
+//! - [`catalog`] — the serve path: a tiled polar-stereographic store of
+//!   fleet products with a concurrent spatial/temporal query engine.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the experiment
 //! index.
@@ -35,4 +37,5 @@ pub use icesat_scene as scene;
 pub use icesat_sentinel2 as sentinel2;
 pub use neurite;
 pub use seaice;
+pub use seaice_catalog as catalog;
 pub use sparklite;

@@ -1,0 +1,76 @@
+//! End-to-end serve path: fleet classification → catalog ingest →
+//! concurrent spatial/temporal queries, wired through the umbrella
+//! crate exactly as a downstream consumer would.
+
+use icesat2_seaice::catalog::{Catalog, CatalogSink, GridConfig, TimeRange};
+use icesat2_seaice::geo::EPSG_3976;
+use icesat2_seaice::seaice::fleet::FleetDriver;
+use icesat2_seaice::seaice::pipeline::{Pipeline, PipelineConfig};
+use icesat2_seaice::seaice::stages::PipelineBuilder;
+use icesat2_seaice::sparklite::Cluster;
+
+#[test]
+fn fleet_products_land_in_catalog_and_queries_agree() {
+    let pipeline = Pipeline::new(PipelineConfig::small(77));
+    let fleet_dir = std::env::temp_dir().join("integration_catalog_fleet");
+    let sources = FleetDriver::write_fleet(&pipeline, &fleet_dir, 2).unwrap();
+    let run = PipelineBuilder::new(pipeline.cfg.clone()).run();
+    let driver = FleetDriver::new(Cluster::new(2, 2), &pipeline.cfg);
+
+    let cat_dir = std::env::temp_dir().join("integration_catalog_store");
+    let _ = std::fs::remove_dir_all(&cat_dir);
+    let grid = GridConfig::around(pipeline.cfg.scene.center, 2.0 * pipeline.cfg.track_length_m);
+    let catalog = Catalog::create(&cat_dir, grid).unwrap();
+
+    let (ingest, report) = driver
+        .classify_into_catalog(&sources, &run.models, &catalog)
+        .unwrap();
+    assert!(report.times.reduce_s >= 0.0);
+    assert!(ingest.n_samples > 5_000, "ingested {}", ingest.n_samples);
+
+    // The classify products and the catalog agree on what was stored.
+    let (products, _) = driver.classify_run(&sources, &run.models);
+    let product_points: usize = products.iter().map(|p| p.freeboard.len()).sum();
+    assert_eq!(
+        ingest.n_samples + ingest.n_out_of_domain,
+        product_points,
+        "every product point was either stored or counted out of domain"
+    );
+    // (A second classify_into_catalog of the same fleet would double the
+    // store — dedup is a documented ROADMAP follow-on.)
+
+    // Whole-domain summary covers everything stored, with sane physics.
+    let whole = catalog
+        .query_rect(&catalog.grid().domain(), TimeRange::all())
+        .unwrap();
+    whole.check_consistency().unwrap();
+    assert_eq!(whole.n_samples, ingest.n_samples);
+    assert!(
+        whole.mean_ice_freeboard_m > 0.0 && whole.mean_ice_freeboard_m < 1.0,
+        "mean ice freeboard {}",
+        whole.mean_ice_freeboard_m
+    );
+    // All fleet granules share one acquisition month.
+    assert_eq!(catalog.layers().len(), 1);
+
+    // A point probe at the scene centre hits the track's cell.
+    let probe = EPSG_3976.inverse(pipeline.cfg.scene.center);
+    let cell = catalog.query_point(probe, TimeRange::all()).unwrap();
+    assert!(cell.is_some(), "scene-centre cell is populated");
+
+    // Reopening from disk answers the same, bit for bit.
+    drop(catalog);
+    let reopened = Catalog::open(&cat_dir).unwrap();
+    let whole2 = reopened
+        .query_rect(&reopened.grid().domain(), TimeRange::all())
+        .unwrap();
+    assert_eq!(whole2, whole);
+    assert_eq!(
+        whole2.mean_ice_freeboard_m.to_bits(),
+        whole.mean_ice_freeboard_m.to_bits()
+    );
+    reopened.validate().unwrap();
+
+    let _ = std::fs::remove_dir_all(&fleet_dir);
+    let _ = std::fs::remove_dir_all(&cat_dir);
+}

@@ -24,8 +24,8 @@ fn scaled_runs_are_invariant_across_topologies() {
         let driver = FleetDriver::new(Cluster::new(e, c), &pipeline.cfg);
         let (counts, _) = driver.autolabel_run(&sources, Arc::clone(&raster));
         label_counts.push(counts);
-        let (fb, _) = driver.freeboard_run(&sources);
-        freeboard_results.push(fb);
+        let (summary, _) = driver.freeboard_run(&sources);
+        freeboard_results.push(summary);
     }
     let _ = std::fs::remove_dir_all(&dir);
     assert!(
@@ -33,12 +33,18 @@ fn scaled_runs_are_invariant_across_topologies() {
         "{label_counts:?}"
     );
     for w in freeboard_results.windows(2) {
-        assert_eq!(w[0].0, w[1].0, "freeboard point counts diverged");
-        assert!((w[0].1 - w[1].1).abs() < 1e-12, "mean freeboard diverged");
+        assert_eq!(
+            w[0].n_ice_segments, w[1].n_ice_segments,
+            "freeboard point counts diverged"
+        );
+        assert!(
+            (w[0].mean_freeboard_m - w[1].mean_freeboard_m).abs() < 1e-12,
+            "mean freeboard diverged"
+        );
     }
     // And the numbers are non-trivial.
     assert!(label_counts[0].iter().sum::<usize>() > 1_000);
-    assert!(freeboard_results[0].0 > 100);
+    assert!(freeboard_results[0].n_ice_segments > 100);
 }
 
 #[test]

@@ -15,6 +15,7 @@ pub mod catalog;
 pub mod common;
 pub mod figures;
 pub mod perf;
+pub mod serve;
 pub mod tables;
 
 pub use common::ExperimentOutput;

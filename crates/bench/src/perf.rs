@@ -15,6 +15,10 @@
 //! - `catalog_ingest_samples_per_s` / `catalog_queries_per_s` — the
 //!   serve path: landing the fleet's products in a tiled catalog, then
 //!   repeated spatial summary queries against it;
+//! - `serve_q_t{T}_c{C}_per_s` / `serve_lat_t{T}_c{C}_ms` — the TCP
+//!   front-end's scaling curve: `T` concurrent reader connections
+//!   against a server whose tile cache holds `C` tiles (throughput and
+//!   mean request latency);
 //! - `staged_e2e_s` — one full staged pipeline run, seconds (lower is
 //!   better; every other metric is a rate).
 //!
@@ -205,6 +209,24 @@ pub fn bench(scale: Scale) -> ExperimentOutput {
         "catalog_queries_per_s",
         crate::catalog::query_throughput(&catalog, scale),
     );
+
+    // --- Served catalog (TCP front-end) --------------------------------
+    // The same store behind the network server: the reader-threads ×
+    // tile-cache sweep is the serve-path scaling curve recorded in the
+    // BENCH_*.json trajectory.
+    drop(catalog);
+    for point in crate::serve::sweep(&cat_dir, scale) {
+        push(
+            &mut metrics,
+            &format!("serve_q_t{}_c{}_per_s", point.threads, point.cache_capacity),
+            point.queries_per_s,
+        );
+        push(
+            &mut metrics,
+            &format!("serve_lat_t{}_c{}_ms", point.threads, point.cache_capacity),
+            point.mean_latency_ms,
+        );
+    }
     let _ = std::fs::remove_dir_all(&cat_dir);
 
     // --- End-to-end staged run ----------------------------------------
@@ -231,7 +253,7 @@ pub fn bench(scale: Scale) -> ExperimentOutput {
     }
 }
 
-/// Renders an [`ExperimentOutput`] from [`bench`] as the flat JSON object
+/// Renders an [`ExperimentOutput`] from [`bench()`] as the flat JSON object
 /// the `BENCH_*.json` trajectory stores.
 pub fn to_json(out: &ExperimentOutput, scale: Scale) -> String {
     let mut s = String::from("{\n");

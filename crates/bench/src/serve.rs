@@ -1,0 +1,330 @@
+//! The `reproduce serve` experiment: the catalog's TCP serving
+//! front-end, end to end.
+//!
+//! One trained model classifies a granule fleet; the products land in
+//! (a) one monolithic catalog and (b) two quadkey-prefix shard
+//! catalogs. Both get servers; a `CatalogClient` and a `ShardRouter`
+//! then answer the same queries as the in-process store, and the
+//! experiment asserts the three agree **bit for bit** — the protocol's
+//! headline guarantee — before sweeping reader-thread counts × server
+//! tile-cache capacities to characterise serve-path scaling (the
+//! ROADMAP's Tables II/V-style serve table, recorded in
+//! `BENCH_4.json`).
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use seaice::FleetDriver;
+use seaice_catalog::client::partition_products;
+use seaice_catalog::{
+    Catalog, CatalogClient, CatalogOptions, CatalogServer, MapRect, ShardRouter, ShardSpec,
+    TileScope, TimeRange,
+};
+use sparklite::Cluster;
+
+use crate::catalog::grid_for;
+use crate::common::{shared_run, ExperimentOutput, Scale};
+
+/// One measured point of the serve-path scaling sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Concurrent reader connections.
+    pub threads: usize,
+    /// Server-side tile-cache capacity.
+    pub cache_capacity: usize,
+    /// Aggregate served summary queries per second.
+    pub queries_per_s: f64,
+    /// Mean per-request latency, milliseconds.
+    pub mean_latency_ms: f64,
+}
+
+/// The quarter-domain rect the throughput queries hit (same shape as
+/// the in-process `catalog_queries_per_s` workload, so the two metrics
+/// compare).
+fn throughput_rect(catalog_domain: &MapRect) -> MapRect {
+    MapRect::new(
+        catalog_domain.min,
+        icesat_geo::MapPoint::new(
+            0.5 * (catalog_domain.min.x + catalog_domain.max.x),
+            0.5 * (catalog_domain.min.y + catalog_domain.max.y),
+        ),
+    )
+}
+
+/// Runs `reps` summary queries per connection over `threads` parallel
+/// client connections; returns aggregate throughput and mean latency.
+fn measure(addr: &str, threads: usize, reps: usize) -> (f64, f64) {
+    let start = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = CatalogClient::connect(addr).expect("sweep client");
+                    let rect = throughput_rect(&client.grid().domain());
+                    let mut lats = Vec::with_capacity(reps);
+                    for _ in 0..reps {
+                        let t0 = Instant::now();
+                        std::hint::black_box(
+                            client
+                                .query_rect(&rect, TimeRange::all())
+                                .expect("sweep query"),
+                        );
+                        lats.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep thread"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let total = (threads * reps) as f64;
+    let mean_ms = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    (total / wall, mean_ms)
+}
+
+/// Sweeps reader threads × tile-cache capacities against read-only
+/// server instances over `cat_dir` (the monolithic store). Shared with
+/// `perf::bench` so `BENCH_4.json` carries the curve.
+pub fn sweep(cat_dir: &Path, scale: Scale) -> Vec<SweepPoint> {
+    let (thread_counts, cache_caps, reps): (&[usize], &[usize], usize) = match scale {
+        Scale::Quick => (&[1, 2], &[2, 64], 40),
+        Scale::Full => (&[1, 2, 4], &[2, 16, 256], 150),
+    };
+    let mut points = Vec::new();
+    for &cache_capacity in cache_caps {
+        let catalog = Catalog::open_with(
+            cat_dir,
+            CatalogOptions {
+                cache_capacity,
+                ..CatalogOptions::default()
+            },
+        )
+        .expect("sweep catalog reopen");
+        let server = CatalogServer::serve(Arc::new(catalog), "127.0.0.1:0").expect("sweep server");
+        let addr = server.addr().to_string();
+        // One warmup pass so cold disk reads don't skew the first cell.
+        let _ = measure(&addr, 1, reps.min(10));
+        for &threads in thread_counts {
+            let (queries_per_s, mean_latency_ms) = measure(&addr, threads, reps);
+            points.push(SweepPoint {
+                threads,
+                cache_capacity,
+                queries_per_s,
+                mean_latency_ms,
+            });
+        }
+        server.shutdown();
+    }
+    points
+}
+
+/// Renders the sweep as a Tables II/V-style grid: rows = reader
+/// threads, columns = cache capacities, cells = queries/s (mean ms).
+pub fn render_sweep(points: &[SweepPoint]) -> String {
+    let mut caches: Vec<usize> = points.iter().map(|p| p.cache_capacity).collect();
+    caches.sort_unstable();
+    caches.dedup();
+    let mut threads: Vec<usize> = points.iter().map(|p| p.threads).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let mut s = String::from("  served queries/s (mean latency ms) by readers x tile cache\n");
+    s.push_str("  readers \\ cache ");
+    for c in &caches {
+        s.push_str(&format!("{c:>18}"));
+    }
+    s.push('\n');
+    for t in &threads {
+        s.push_str(&format!("  {t:>15} "));
+        for c in &caches {
+            match points
+                .iter()
+                .find(|p| p.threads == *t && p.cache_capacity == *c)
+            {
+                Some(p) => s.push_str(&format!(
+                    "{:>10.0} ({:>4.2})",
+                    p.queries_per_s, p.mean_latency_ms
+                )),
+                None => s.push_str(&format!("{:>18}", "-")),
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Runs the serve experiment at `scale`.
+pub fn serve(scale: Scale) -> ExperimentOutput {
+    let shared = shared_run(scale, 4242);
+    let (pipeline, run) = (&shared.0, &shared.1);
+    let n_granules = match scale {
+        Scale::Quick => 2,
+        Scale::Full => 4,
+    };
+    let tag = std::process::id();
+    let fleet_dir = std::env::temp_dir().join(format!("seaice_serve_fleet_{tag}"));
+    let sources = FleetDriver::write_fleet(pipeline, &fleet_dir, n_granules).expect("fleet files");
+    let driver = FleetDriver::new(Cluster::new(2, 2), &pipeline.cfg);
+    let (products, _) = driver.classify_run(&sources, &run.models);
+
+    // Monolithic store (the in-process truth) plus two shard stores
+    // partitioned by quadkey prefix.
+    let grid = grid_for(&pipeline.cfg);
+    let local_dir = std::env::temp_dir().join(format!("seaice_serve_local_{tag}"));
+    let shard_dirs = [
+        std::env::temp_dir().join(format!("seaice_serve_shard0_{tag}")),
+        std::env::temp_dir().join(format!("seaice_serve_shard1_{tag}")),
+    ];
+    for dir in std::iter::once(&local_dir).chain(&shard_dirs) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let local = Catalog::create(&local_dir, grid).expect("local catalog");
+    let ingest = local.ingest_products(&products).expect("local ingest");
+    let scopes = [
+        TileScope::of(&["0", "1"]).unwrap(),
+        TileScope::of(&["2", "3"]).unwrap(),
+    ];
+    let shard_catalogs: Vec<Arc<Catalog>> = shard_dirs
+        .iter()
+        .zip(partition_products(&grid, &scopes, &products))
+        .map(|(dir, part)| {
+            let catalog = Catalog::create(dir, grid).expect("shard catalog");
+            for (granule, beam, product) in &part {
+                catalog
+                    .ingest_beam(granule, *beam, product)
+                    .expect("shard ingest");
+            }
+            Arc::new(catalog)
+        })
+        .collect();
+
+    // Serve everything.
+    let local = Arc::new(local);
+    let full_server = CatalogServer::serve(Arc::clone(&local), "127.0.0.1:0").expect("server");
+    let shard_servers: Vec<CatalogServer> = shard_catalogs
+        .iter()
+        .map(|c| CatalogServer::serve(Arc::clone(c), "127.0.0.1:0").expect("shard server"))
+        .collect();
+    let mut client =
+        CatalogClient::connect(&full_server.addr().to_string()).expect("client connect");
+    let specs: Vec<ShardSpec> = shard_servers
+        .iter()
+        .zip(&scopes)
+        .map(|(s, scope)| ShardSpec {
+            addr: s.addr().to_string(),
+            scope: scope.clone(),
+        })
+        .collect();
+    let mut router = ShardRouter::connect(&specs).expect("router connect");
+
+    // The headline equivalence: local ≡ served ≡ sharded, bit for bit.
+    let domain = local.grid().domain();
+    let want = local.query_rect(&domain, TimeRange::all()).expect("local");
+    let via_server = client
+        .query_rect(&domain, TimeRange::all())
+        .expect("served");
+    let via_router = router
+        .query_rect(&domain, TimeRange::all())
+        .expect("sharded");
+    assert_eq!(want, via_server, "served summary must match local");
+    assert_eq!(want, via_router, "sharded summary must match local");
+    assert_eq!(
+        want.mean_ice_freeboard_m.to_bits(),
+        via_router.mean_ice_freeboard_m.to_bits(),
+        "sharded merge must be bit-identical"
+    );
+    let layers_local = local.query_time_range(TimeRange::all()).expect("layers");
+    assert_eq!(
+        layers_local,
+        router.query_time_range(TimeRange::all()).expect("layers")
+    );
+
+    // Routed throughput (2 shards behind one logical endpoint).
+    let reps = match scale {
+        Scale::Quick => 60usize,
+        Scale::Full => 250,
+    };
+    let rect = throughput_rect(&domain);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(router.query_rect(&rect, TimeRange::all()).expect("routed"));
+    }
+    let routed_qps = reps as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    for server in shard_servers {
+        server.shutdown();
+    }
+    full_server.shutdown();
+    drop(client);
+    drop(router);
+
+    // Scaling sweep over the monolithic store.
+    let points = sweep(&local_dir, scale);
+    let best = points
+        .iter()
+        .map(|p| p.queries_per_s)
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    let mut report = String::from("SERVE — TCP front-end, shard router, writer leases\n");
+    report.push_str(&format!(
+        "  fleet: {} granules x 3 beams -> {} samples into 1 local + 2 shard catalogs\n",
+        n_granules, ingest.n_samples
+    ));
+    report.push_str(&format!(
+        "  equivalence: local == served == sharded on {} samples (mean ice fb {:.4} m, bit-identical)\n",
+        want.n_samples, want.mean_ice_freeboard_m
+    ));
+    report.push_str(&format!(
+        "  routed (2 shards): {routed_qps:.0} queries/s over a quarter-domain rect\n"
+    ));
+    report.push_str(&render_sweep(&points));
+
+    let mut metrics: Vec<(String, f64)> = vec![
+        ("serve_samples".into(), want.n_samples as f64),
+        ("serve_routed_queries_per_s".into(), routed_qps),
+        ("serve_best_queries_per_s".into(), best),
+    ];
+    for p in &points {
+        metrics.push((
+            format!("serve_q_t{}_c{}_per_s", p.threads, p.cache_capacity),
+            p.queries_per_s,
+        ));
+        metrics.push((
+            format!("serve_lat_t{}_c{}_ms", p.threads, p.cache_capacity),
+            p.mean_latency_ms,
+        ));
+    }
+
+    let _ = std::fs::remove_dir_all(&fleet_dir);
+    for dir in std::iter::once(&local_dir).chain(&shard_dirs) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    ExperimentOutput {
+        id: "serve",
+        report,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_experiment_runs_quick() {
+        let out = serve(Scale::Quick);
+        assert_eq!(out.id, "serve");
+        assert!(out.metric("serve_samples").unwrap() > 1_000.0);
+        assert!(out.metric("serve_routed_queries_per_s").unwrap() > 0.0);
+        assert!(out.metric("serve_best_queries_per_s").unwrap() > 0.0);
+        // The sweep produced every grid point.
+        assert!(out.metric("serve_q_t1_c2_per_s").is_some());
+        assert!(out.metric("serve_q_t2_c64_per_s").is_some());
+        assert!(out.report.contains("readers \\ cache"));
+    }
+}

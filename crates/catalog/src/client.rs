@@ -1,0 +1,683 @@
+//! Remote catalog access: a framed TCP client and the quadkey-prefix
+//! shard router.
+//!
+//! [`CatalogClient`] speaks the `docs/PROTOCOL.md` wire protocol to one
+//! [`crate::server::CatalogServer`] and mirrors the [`crate::Catalog`] query
+//! API. [`ShardRouter`] composes several clients into one logical
+//! catalog: each shard owns a set of quadkey prefixes ([`TileScope`]),
+//! the router fans a query out to the shards whose tiles it could
+//! touch, and merges the returned per-tile partials with the *same
+//! fold* a local query uses — so the routed answer is bit-identical to
+//! running the query on a single in-process catalog holding all the
+//! data (pinned by `tests/served_equivalence.rs`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::TcpStream;
+
+use icesat_geo::{BoundingBox, GeoPoint, EPSG_3976};
+use seaice::freeboard::{FreeboardPoint, FreeboardProduct};
+
+use crate::grid::{GridConfig, MapRect, TileScope, TimeKey, TimeRange};
+use crate::store::{CatalogStats, CellSummary, QuerySummary, TilePartial};
+use crate::wire::{self, Request, Response};
+use crate::CatalogError;
+
+/// A client connection to one catalog server.
+///
+/// One request is in flight at a time (`&mut self`); open one client
+/// per reader thread for concurrency. The constructor performs the
+/// manifest handshake, so the grid is available immediately.
+///
+/// ```
+/// use std::sync::Arc;
+/// use seaice_catalog::{Catalog, CatalogClient, CatalogServer, GridConfig, TimeRange};
+/// use icesat_geo::MapPoint;
+///
+/// let dir = std::env::temp_dir().join(format!("client_doc_{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let grid = GridConfig::around(MapPoint::new(0.0, -1_000_000.0), 50_000.0);
+/// let catalog = Arc::new(Catalog::create(&dir, grid).unwrap());
+/// let server = CatalogServer::serve(catalog, "127.0.0.1:0").unwrap();
+///
+/// let mut client = CatalogClient::connect(&server.addr().to_string()).unwrap();
+/// let domain = client.grid().domain(); // from the manifest handshake
+/// let summary = client.query_rect(&domain, TimeRange::all()).unwrap();
+/// assert_eq!(summary.n_samples, 0); // empty store, served answer
+///
+/// server.shutdown();
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// ```
+pub struct CatalogClient {
+    stream: TcpStream,
+    grid: GridConfig,
+}
+
+impl CatalogClient {
+    /// Connects and performs the manifest handshake.
+    pub fn connect(addr: &str) -> Result<CatalogClient, CatalogError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = CatalogClient {
+            stream,
+            // Placeholder until the handshake answers.
+            grid: GridConfig::around(icesat_geo::MapPoint::new(0.0, 0.0), 1.0),
+        };
+        match client.exchange_scalar(&Request::Manifest)? {
+            Response::Manifest(grid) => client.grid = grid,
+            other => return Err(unexpected(&other)),
+        }
+        Ok(client)
+    }
+
+    /// The served catalog's grid (from the connect-time handshake).
+    pub fn grid(&self) -> &GridConfig {
+        &self.grid
+    }
+
+    // -- Scoped partial/record transport --------------------------------
+
+    /// Sends `request` and reads exactly one response frame.
+    fn exchange_scalar(&mut self, request: &Request) -> Result<Response, CatalogError> {
+        wire::write_message(&mut self.stream, request)?;
+        self.next_response()
+    }
+
+    fn next_response(&mut self) -> Result<Response, CatalogError> {
+        match wire::read_message::<Response>(&mut self.stream)? {
+            Some(Response::Error { code, message }) => Err(CatalogError::Remote { code, message }),
+            Some(response) => Ok(response),
+            None => Err(CatalogError::Protocol(
+                "server closed the connection mid-exchange".into(),
+            )),
+        }
+    }
+
+    /// Sends `request` and collects a streamed batch response,
+    /// verifying the `Done` trailer's record count.
+    fn collect_stream<T>(
+        &mut self,
+        request: &Request,
+        mut take: impl FnMut(Response) -> Result<Vec<T>, CatalogError>,
+    ) -> Result<Vec<T>, CatalogError> {
+        wire::write_message(&mut self.stream, request)?;
+        let mut records: Vec<T> = Vec::new();
+        loop {
+            match self.next_response()? {
+                Response::Done { n_records } => {
+                    if records.len() as u64 != n_records {
+                        return Err(CatalogError::Protocol(format!(
+                            "stream advertised {n_records} records but carried {}",
+                            records.len()
+                        )));
+                    }
+                    return Ok(records);
+                }
+                other => records.append(&mut take(other)?),
+            }
+        }
+    }
+
+    /// Scoped per-tile partials of a rect query (the shard-router
+    /// transport behind [`CatalogClient::query_rect`]).
+    pub fn query_rect_partials(
+        &mut self,
+        rect: &MapRect,
+        time: TimeRange,
+        scope: &TileScope,
+    ) -> Result<Vec<TilePartial>, CatalogError> {
+        self.collect_stream(
+            &Request::QueryRect {
+                rect: *rect,
+                time,
+                scope: scope.clone(),
+            },
+            |r| match r {
+                Response::TileBatch(batch) => Ok(batch),
+                other => Err(unexpected(&other)),
+            },
+        )
+    }
+
+    /// Scoped per-tile partials of a bbox query.
+    pub fn query_bbox_partials(
+        &mut self,
+        bbox: &BoundingBox,
+        time: TimeRange,
+        scope: &TileScope,
+    ) -> Result<Vec<TilePartial>, CatalogError> {
+        self.collect_stream(
+            &Request::QueryBbox {
+                bbox: *bbox,
+                time,
+                scope: scope.clone(),
+            },
+            |r| match r {
+                Response::TileBatch(batch) => Ok(batch),
+                other => Err(unexpected(&other)),
+            },
+        )
+    }
+
+    /// Scoped per-layer, per-tile partials of a time-range query.
+    pub fn query_time_range_partials(
+        &mut self,
+        time: TimeRange,
+        scope: &TileScope,
+    ) -> Result<Vec<(TimeKey, TilePartial)>, CatalogError> {
+        self.collect_stream(
+            &Request::QueryTimeRange {
+                time,
+                scope: scope.clone(),
+            },
+            |r| match r {
+                Response::LayerBatch(batch) => Ok(batch),
+                other => Err(unexpected(&other)),
+            },
+        )
+    }
+
+    /// Scoped gridded composite cells.
+    pub fn query_cells_scoped(
+        &mut self,
+        rect: &MapRect,
+        time: TimeRange,
+        scope: &TileScope,
+    ) -> Result<Vec<CellSummary>, CatalogError> {
+        self.collect_stream(
+            &Request::QueryCells {
+                rect: *rect,
+                time,
+                scope: scope.clone(),
+            },
+            |r| match r {
+                Response::CellBatch(batch) => Ok(batch),
+                other => Err(unexpected(&other)),
+            },
+        )
+    }
+
+    /// Scoped point probe.
+    pub fn query_point_scoped(
+        &mut self,
+        point: GeoPoint,
+        time: TimeRange,
+        scope: &TileScope,
+    ) -> Result<Option<CellSummary>, CatalogError> {
+        match self.exchange_scalar(&Request::QueryPoint {
+            point,
+            time,
+            scope: scope.clone(),
+        })? {
+            Response::Point(cell) => Ok(cell),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Scoped counters + chronological layer list.
+    pub fn scoped_stats(
+        &mut self,
+        scope: &TileScope,
+    ) -> Result<(CatalogStats, Vec<TimeKey>), CatalogError> {
+        match self.exchange_scalar(&Request::Stats {
+            scope: scope.clone(),
+        })? {
+            Response::Stats { stats, layers } => Ok((stats, layers)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Scoped full-store invariant check; returns tiles checked.
+    pub fn validate_scoped(&mut self, scope: &TileScope) -> Result<usize, CatalogError> {
+        match self.exchange_scalar(&Request::Validate {
+            scope: scope.clone(),
+        })? {
+            Response::Done { n_records } => Ok(n_records as usize),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    // -- The Catalog-mirroring convenience API ---------------------------
+
+    /// Served [`crate::Catalog::query_rect`] — same fold, same bits.
+    pub fn query_rect(
+        &mut self,
+        rect: &MapRect,
+        time: TimeRange,
+    ) -> Result<QuerySummary, CatalogError> {
+        Ok(QuerySummary::from_partials(self.query_rect_partials(
+            rect,
+            time,
+            &TileScope::all(),
+        )?))
+    }
+
+    /// Served [`crate::Catalog::query_bbox`].
+    pub fn query_bbox(
+        &mut self,
+        bbox: &BoundingBox,
+        time: TimeRange,
+    ) -> Result<QuerySummary, CatalogError> {
+        Ok(QuerySummary::from_partials(self.query_bbox_partials(
+            bbox,
+            time,
+            &TileScope::all(),
+        )?))
+    }
+
+    /// Served [`crate::Catalog::query_point`].
+    pub fn query_point(
+        &mut self,
+        point: GeoPoint,
+        time: TimeRange,
+    ) -> Result<Option<CellSummary>, CatalogError> {
+        self.query_point_scoped(point, time, &TileScope::all())
+    }
+
+    /// Served [`crate::Catalog::query_time_range`].
+    pub fn query_time_range(
+        &mut self,
+        time: TimeRange,
+    ) -> Result<Vec<(TimeKey, QuerySummary)>, CatalogError> {
+        Ok(fold_layer_records(
+            self.query_time_range_partials(time, &TileScope::all())?,
+        ))
+    }
+
+    /// Served [`crate::Catalog::query_cells`].
+    pub fn query_cells(
+        &mut self,
+        rect: &MapRect,
+        time: TimeRange,
+    ) -> Result<Vec<CellSummary>, CatalogError> {
+        self.query_cells_scoped(rect, time, &TileScope::all())
+    }
+
+    /// Served [`crate::Catalog::stats`].
+    pub fn stats(&mut self) -> Result<CatalogStats, CatalogError> {
+        Ok(self.scoped_stats(&TileScope::all())?.0)
+    }
+
+    /// Served [`crate::Catalog::validate`].
+    pub fn validate(&mut self) -> Result<(), CatalogError> {
+        self.validate_scoped(&TileScope::all()).map(|_| ())
+    }
+}
+
+fn unexpected(response: &Response) -> CatalogError {
+    CatalogError::Protocol(format!("unexpected response frame: {response:?}"))
+}
+
+/// Groups `(layer, partial)` records by layer and folds each layer with
+/// the canonical summary fold, chronological output — the shared merge
+/// behind local, single-served, and sharded time-range queries.
+fn fold_layer_records(records: Vec<(TimeKey, TilePartial)>) -> Vec<(TimeKey, QuerySummary)> {
+    let mut by_layer: BTreeMap<TimeKey, Vec<TilePartial>> = BTreeMap::new();
+    for (time, partial) in records {
+        by_layer.entry(time).or_default().push(partial);
+    }
+    by_layer
+        .into_iter()
+        .map(|(time, partials)| (time, QuerySummary::from_partials(partials)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shard routing.
+// ---------------------------------------------------------------------------
+
+/// One shard of a sharded catalog deployment: a server address plus the
+/// quadkey prefixes it owns.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// The quadkey prefixes this shard owns.
+    pub scope: TileScope,
+}
+
+impl ShardSpec {
+    /// A spec from an address and prefix strings.
+    pub fn new(addr: impl Into<String>, prefixes: &[&str]) -> Result<ShardSpec, CatalogError> {
+        Ok(ShardSpec {
+            addr: addr.into(),
+            scope: TileScope::of(prefixes)?,
+        })
+    }
+}
+
+/// A client-side router over shard servers that answers queries
+/// bit-identically to one in-process catalog holding all the data.
+///
+/// Construction verifies the shard map: scopes must be pairwise
+/// disjoint (no prefix may contain another's), every shard must serve
+/// the same grid, and — when the prefix lengths make the check cheap —
+/// the scopes must jointly cover the whole quadkey space at the grid's
+/// level, so no tile silently belongs to nobody.
+pub struct ShardRouter {
+    shards: Vec<(CatalogClient, TileScope)>,
+    grid: GridConfig,
+}
+
+impl ShardRouter {
+    /// Connects to every shard and verifies the shard map.
+    pub fn connect(specs: &[ShardSpec]) -> Result<ShardRouter, CatalogError> {
+        if specs.is_empty() {
+            return Err(CatalogError::Protocol("no shards configured".into()));
+        }
+        for spec in specs {
+            if spec.scope.is_all() && specs.len() > 1 {
+                return Err(CatalogError::Protocol(format!(
+                    "shard {} owns everything but is not the only shard",
+                    spec.addr
+                )));
+            }
+        }
+        for (i, a) in specs.iter().enumerate() {
+            for b in specs.iter().skip(i + 1) {
+                if a.scope.overlaps(&b.scope) {
+                    return Err(CatalogError::Protocol(format!(
+                        "shard scopes overlap: {} and {}",
+                        a.addr, b.addr
+                    )));
+                }
+            }
+        }
+        let mut shards = Vec::with_capacity(specs.len());
+        for spec in specs {
+            shards.push((CatalogClient::connect(&spec.addr)?, spec.scope.clone()));
+        }
+        let grid = *shards[0].0.grid();
+        for (client, _) in &shards {
+            if *client.grid() != grid {
+                return Err(CatalogError::Protocol(
+                    "shards disagree on the catalog grid".into(),
+                ));
+            }
+        }
+        // A prefix longer than the grid level can never match a tile —
+        // that shard's tiles would silently belong to nobody.
+        for (i, (_, scope)) in shards.iter().enumerate() {
+            if let Some(p) = scope
+                .prefixes()
+                .iter()
+                .find(|p| p.len() > grid.level as usize)
+            {
+                return Err(CatalogError::Protocol(format!(
+                    "shard {} prefix '{p}' is deeper than the grid level {}",
+                    specs[i].addr, grid.level
+                )));
+            }
+        }
+        let router = ShardRouter { shards, grid };
+        router.check_covering()?;
+        Ok(router)
+    }
+
+    /// Rejects shard maps that leave level-`L` quadkeys unowned, where
+    /// `L` is the longest configured prefix (already verified to be
+    /// within the grid level). Skipped only when a single shard owns
+    /// everything or the check would enumerate more than 4^8 keys.
+    fn check_covering(&self) -> Result<(), CatalogError> {
+        if self.shards.len() == 1 && self.shards[0].1.is_all() {
+            return Ok(());
+        }
+        let max_len = self
+            .shards
+            .iter()
+            .flat_map(|(_, s)| s.prefixes().iter())
+            .map(|p| p.len())
+            .max()
+            .unwrap_or(0);
+        if max_len == 0 || max_len > 8 {
+            return Ok(());
+        }
+        let mut key = vec![b'0'; max_len];
+        for mut i in 0..(1usize << (2 * max_len)) {
+            for digit in key.iter_mut().rev() {
+                *digit = b'0' + (i & 3) as u8;
+                i >>= 2;
+            }
+            let key_str = std::str::from_utf8(&key).expect("ascii digits");
+            let owners = self
+                .shards
+                .iter()
+                .filter(|(_, scope)| {
+                    scope
+                        .prefixes()
+                        .iter()
+                        .any(|p| key_str.starts_with(p.as_str()))
+                })
+                .count();
+            if owners != 1 {
+                return Err(CatalogError::Protocol(format!(
+                    "quadkey prefix '{key_str}' is owned by {owners} shards (want exactly 1)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The shared grid (from the shard manifests).
+    pub fn grid(&self) -> &GridConfig {
+        &self.grid
+    }
+
+    /// Number of shards routed over.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shards owning at least one of `candidates` (indices).
+    fn owners_of(&self, candidates: &[crate::grid::TileId]) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| candidates.iter().any(|t| self.shards[i].1.matches(t)))
+            .collect()
+    }
+
+    /// Verifies shard answers cover disjoint tiles, then folds.
+    fn merge_partials(per_shard: Vec<Vec<TilePartial>>) -> Result<QuerySummary, CatalogError> {
+        let mut seen: BTreeSet<crate::grid::TileId> = BTreeSet::new();
+        let mut all: Vec<TilePartial> = Vec::new();
+        for partials in per_shard {
+            for p in partials {
+                if !seen.insert(p.tile) {
+                    return Err(CatalogError::Protocol(
+                        "two shards answered for the same tile".into(),
+                    ));
+                }
+                all.push(p);
+            }
+        }
+        Ok(QuerySummary::from_partials(all))
+    }
+
+    /// Routed [`crate::Catalog::query_rect`] — fans out to the shards owning
+    /// candidate tiles and merges bit-identically.
+    pub fn query_rect(
+        &mut self,
+        rect: &MapRect,
+        time: TimeRange,
+    ) -> Result<QuerySummary, CatalogError> {
+        let candidates = self.grid.tiles_overlapping(rect);
+        let owners = self.owners_of(&candidates);
+        let mut per_shard = Vec::with_capacity(owners.len());
+        for i in owners {
+            let scope = self.shards[i].1.clone();
+            per_shard.push(self.shards[i].0.query_rect_partials(rect, time, &scope)?);
+        }
+        Self::merge_partials(per_shard)
+    }
+
+    /// Routed [`crate::Catalog::query_bbox`].
+    pub fn query_bbox(
+        &mut self,
+        bbox: &BoundingBox,
+        time: TimeRange,
+    ) -> Result<QuerySummary, CatalogError> {
+        let cover = self.grid.bbox_cover(bbox);
+        let candidates = self.grid.tiles_overlapping(&cover);
+        let owners = self.owners_of(&candidates);
+        let mut per_shard = Vec::with_capacity(owners.len());
+        for i in owners {
+            let scope = self.shards[i].1.clone();
+            per_shard.push(self.shards[i].0.query_bbox_partials(bbox, time, &scope)?);
+        }
+        Self::merge_partials(per_shard)
+    }
+
+    /// Routed [`crate::Catalog::query_point`] — exactly one shard owns the
+    /// point's tile.
+    pub fn query_point(
+        &mut self,
+        point: GeoPoint,
+        time: TimeRange,
+    ) -> Result<Option<CellSummary>, CatalogError> {
+        let m = EPSG_3976.forward(point);
+        let Some((tile, _)) = self.grid.locate(m) else {
+            return Ok(None);
+        };
+        let Some(i) = (0..self.shards.len()).find(|&i| self.shards[i].1.matches(&tile)) else {
+            return Ok(None);
+        };
+        let scope = self.shards[i].1.clone();
+        self.shards[i].0.query_point_scoped(point, time, &scope)
+    }
+
+    /// Routed [`crate::Catalog::query_time_range`].
+    pub fn query_time_range(
+        &mut self,
+        time: TimeRange,
+    ) -> Result<Vec<(TimeKey, QuerySummary)>, CatalogError> {
+        let mut records: Vec<(TimeKey, TilePartial)> = Vec::new();
+        let mut seen: BTreeSet<(TimeKey, crate::grid::TileId)> = BTreeSet::new();
+        for i in 0..self.shards.len() {
+            let scope = self.shards[i].1.clone();
+            for (t, p) in self.shards[i].0.query_time_range_partials(time, &scope)? {
+                if !seen.insert((t, p.tile)) {
+                    return Err(CatalogError::Protocol(
+                        "two shards answered for the same layer tile".into(),
+                    ));
+                }
+                records.push((t, p));
+            }
+        }
+        Ok(fold_layer_records(records))
+    }
+
+    /// Routed [`crate::Catalog::query_cells`] — shard results concatenate
+    /// (scopes are spatial, so a tile's layers never split) and sort by
+    /// `(tile, cell)` exactly like the local composite.
+    pub fn query_cells(
+        &mut self,
+        rect: &MapRect,
+        time: TimeRange,
+    ) -> Result<Vec<CellSummary>, CatalogError> {
+        let candidates = self.grid.tiles_overlapping(rect);
+        let owners = self.owners_of(&candidates);
+        let mut cells: Vec<CellSummary> = Vec::new();
+        for i in owners {
+            let scope = self.shards[i].1.clone();
+            cells.extend(self.shards[i].0.query_cells_scoped(rect, time, &scope)?);
+        }
+        cells.sort_unstable_by_key(|c| (c.tile, c.cell));
+        if cells
+            .windows(2)
+            .any(|w| (w[0].tile, w[0].cell) == (w[1].tile, w[1].cell))
+        {
+            return Err(CatalogError::Protocol(
+                "two shards answered for the same cell".into(),
+            ));
+        }
+        Ok(cells)
+    }
+
+    /// Routed [`crate::Catalog::stats`]: tile/sample counts sum across shards,
+    /// layer sets union, cache counters sum.
+    pub fn stats(&mut self) -> Result<CatalogStats, CatalogError> {
+        let mut n_tiles = 0usize;
+        let mut n_samples = 0usize;
+        let mut cache = crate::cache::CacheStats::default();
+        let mut layers: BTreeSet<TimeKey> = BTreeSet::new();
+        for i in 0..self.shards.len() {
+            let scope = self.shards[i].1.clone();
+            let (stats, shard_layers) = self.shards[i].0.scoped_stats(&scope)?;
+            n_tiles += stats.n_tiles;
+            n_samples += stats.n_samples;
+            cache.hits += stats.cache.hits;
+            cache.misses += stats.cache.misses;
+            cache.evictions += stats.cache.evictions;
+            layers.extend(shard_layers);
+        }
+        Ok(CatalogStats {
+            n_layers: layers.len(),
+            n_tiles,
+            n_samples,
+            cache,
+        })
+    }
+
+    /// Routed [`crate::Catalog::validate`]; returns total tiles checked.
+    pub fn validate(&mut self) -> Result<usize, CatalogError> {
+        let mut checked = 0usize;
+        for i in 0..self.shards.len() {
+            let scope = self.shards[i].1.clone();
+            checked += self.shards[i].0.validate_scoped(&scope)?;
+        }
+        Ok(checked)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-partitioned ingest.
+// ---------------------------------------------------------------------------
+
+/// Splits one beam product into per-shard products by the owning scope
+/// of each point's tile: point `i` of the input lands in output `j` iff
+/// `scopes[j]` owns the tile its projected position falls in. Points
+/// outside the grid domain (or outside every scope) are dropped —
+/// exactly the points a direct [`crate::Catalog::ingest_beam`] would count out
+/// of domain. Relative point order is preserved, so per-shard catalogs
+/// ingest the same canonical samples a monolithic catalog would.
+pub fn partition_product(
+    grid: &GridConfig,
+    scopes: &[TileScope],
+    product: &FreeboardProduct,
+) -> Vec<FreeboardProduct> {
+    let mut outputs: Vec<Vec<FreeboardPoint>> = vec![Vec::new(); scopes.len()];
+    for p in &product.points {
+        let m = EPSG_3976.forward(GeoPoint::new(p.lat, p.lon));
+        let Some((tile, _)) = grid.locate(m) else {
+            continue;
+        };
+        if let Some(j) = scopes.iter().position(|s| s.matches(&tile)) {
+            outputs[j].push(*p);
+        }
+    }
+    outputs
+        .into_iter()
+        .map(|points| FreeboardProduct {
+            name: product.name.clone(),
+            points,
+        })
+        .collect()
+}
+
+/// [`partition_product`] over a fleet run's per-beam products: returns
+/// one product list per scope, ready for per-shard
+/// [`crate::Catalog::ingest_beam`] calls keyed by the original granule/beam.
+pub fn partition_products(
+    grid: &GridConfig,
+    scopes: &[TileScope],
+    products: &[seaice::fleet::BeamProducts],
+) -> Vec<Vec<(String, usize, FreeboardProduct)>> {
+    let mut out: Vec<Vec<(String, usize, FreeboardProduct)>> = vec![Vec::new(); scopes.len()];
+    for bp in products {
+        let split = partition_product(grid, scopes, &bp.freeboard);
+        for (j, product) in split.into_iter().enumerate() {
+            if !product.points.is_empty() {
+                out[j].push((bp.granule_id.clone(), bp.beam.index(), product));
+            }
+        }
+    }
+    out
+}

@@ -140,6 +140,24 @@ impl TileId {
         let shift = other.level - self.level;
         (other.x >> shift) == self.x && (other.y >> shift) == self.y
     }
+
+    /// `true` when this tile's quadkey starts with `prefix` (allocation
+    /// free — digits are derived from the coordinate bits). A prefix
+    /// longer than the tile's level never matches.
+    pub fn has_quadkey_prefix(&self, prefix: &str) -> bool {
+        if prefix.len() > self.level as usize {
+            return false;
+        }
+        for (i, c) in prefix.bytes().enumerate() {
+            let shift = self.level as usize - 1 - i;
+            let xb = (self.x >> shift) & 1;
+            let yb = (self.y >> shift) & 1;
+            if c != b'0' + (xb + 2 * yb) as u8 {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 impl Codec for TileId {
@@ -206,6 +224,98 @@ impl Codec for TimeKey {
     }
 }
 
+// ---------------------------------------------------------------------------
+// TileScope — quadkey-prefix restriction for sharded serving.
+// ---------------------------------------------------------------------------
+
+/// A set of quadkey prefixes restricting which tiles a query may touch.
+///
+/// The serve path shards catalogs across server instances by quadkey
+/// prefix; a scope names the prefixes one shard owns, so a query fanned
+/// out by the client router touches each tile on exactly one shard. The
+/// empty scope matches every tile (the unsharded, single-catalog case).
+///
+/// ```
+/// use seaice_catalog::{TileId, TileScope};
+///
+/// let scope = TileScope::of(&["0", "1"]).unwrap();
+/// assert!(scope.matches(&TileId::new(2, 1, 0).unwrap())); // quadkey "01"
+/// assert!(!scope.matches(&TileId::new(2, 0, 2).unwrap())); // quadkey "20"
+/// assert!(TileScope::all().matches(&TileId::new(2, 0, 2).unwrap()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TileScope {
+    prefixes: Vec<String>,
+}
+
+impl TileScope {
+    /// The scope matching every tile.
+    pub fn all() -> TileScope {
+        TileScope {
+            prefixes: Vec::new(),
+        }
+    }
+
+    /// A scope from quadkey prefixes (each a string of digits `0..=3`,
+    /// at most [`MAX_LEVEL`] long).
+    pub fn of(prefixes: &[&str]) -> Result<TileScope, CatalogError> {
+        TileScope::from_prefixes(prefixes.iter().map(|p| p.to_string()).collect())
+    }
+
+    /// [`TileScope::of`] from owned strings.
+    pub fn from_prefixes(prefixes: Vec<String>) -> Result<TileScope, CatalogError> {
+        for p in &prefixes {
+            if p.is_empty() || p.len() > MAX_LEVEL as usize {
+                return Err(CatalogError::Corrupt("scope prefix length out of range"));
+            }
+            if !p.bytes().all(|b| (b'0'..=b'3').contains(&b)) {
+                return Err(CatalogError::Corrupt("scope prefix digit out of range"));
+            }
+        }
+        Ok(TileScope { prefixes })
+    }
+
+    /// `true` for the match-everything scope.
+    pub fn is_all(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// The prefixes (empty means "match everything").
+    pub fn prefixes(&self) -> &[String] {
+        &self.prefixes
+    }
+
+    /// `true` when `tile` falls under this scope.
+    pub fn matches(&self, tile: &TileId) -> bool {
+        self.prefixes.is_empty() || self.prefixes.iter().any(|p| tile.has_quadkey_prefix(p))
+    }
+
+    /// `true` when some tile could fall under both scopes (one scope
+    /// holds a prefix of the other's, either way round). The client
+    /// router uses this to reject overlapping shard assignments.
+    pub fn overlaps(&self, other: &TileScope) -> bool {
+        if self.is_all() || other.is_all() {
+            return true;
+        }
+        self.prefixes.iter().any(|a| {
+            other
+                .prefixes
+                .iter()
+                .any(|b| a.starts_with(b.as_str()) || b.starts_with(a.as_str()))
+        })
+    }
+}
+
+impl Codec for TileScope {
+    fn encode(&self, w: &mut Writer) {
+        self.prefixes.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let prefixes: Vec<String> = Vec::decode(r)?;
+        TileScope::from_prefixes(prefixes).map_err(|_| ArtifactError::Invalid("tile scope"))
+    }
+}
+
 /// Inclusive range of temporal layers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimeRange {
@@ -238,6 +348,19 @@ impl TimeRange {
     /// `true` when `key` falls inside the range.
     pub fn contains(&self, key: TimeKey) -> bool {
         self.start <= key && key <= self.end
+    }
+}
+
+impl Codec for TimeRange {
+    fn encode(&self, w: &mut Writer) {
+        self.start.encode(w);
+        self.end.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(TimeRange {
+            start: TimeKey::decode(r)?,
+            end: TimeKey::decode(r)?,
+        })
     }
 }
 
@@ -315,6 +438,20 @@ impl MapRect {
     }
 }
 
+impl Codec for MapRect {
+    fn encode(&self, w: &mut Writer) {
+        self.min.encode(w);
+        self.max.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let min = MapPoint::decode(r)?;
+        let max = MapPoint::decode(r)?;
+        // Through the constructor so corner order is normalised even for
+        // hostile buffers.
+        Ok(MapRect::new(min, max))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // GridConfig — the configurable-resolution tiling.
 // ---------------------------------------------------------------------------
@@ -322,6 +459,21 @@ impl MapRect {
 /// The catalog's tiling: a square EPSG-3976 domain, a quadtree level, and
 /// a per-tile cell count. Persisted in the catalog manifest; two catalogs
 /// are compatible only when their grids are identical.
+///
+/// ```
+/// use seaice_catalog::GridConfig;
+/// use icesat_geo::MapPoint;
+///
+/// // 8×8 tiles of 32×32 cells over a 40 km square domain.
+/// let grid = GridConfig::around(MapPoint::new(-300_000.0, -1_300_000.0), 20_000.0);
+/// assert_eq!(grid.tiles_per_side(), 8);
+/// assert!((grid.cell_size_m() - 156.25).abs() < 1e-9);
+///
+/// // Every in-domain point has exactly one (tile, cell) address.
+/// let (tile, cell) = grid.locate(MapPoint::new(-299_000.0, -1_301_000.0)).unwrap();
+/// assert!(grid.tile_rect(tile).contains(grid.cell_center(tile, cell)));
+/// assert!(grid.locate(MapPoint::new(0.0, 0.0)).is_none()); // outside
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GridConfig {
     /// Domain centre, EPSG-3976 metres.
@@ -449,6 +601,15 @@ impl GridConfig {
             rect.min.x + (cx as f64 + 0.5) * size,
             rect.min.y + (cy as f64 + 0.5) * size,
         )
+    }
+
+    /// The conservative projected cover this grid prunes a geographic
+    /// bounding-box query with: the sampled projected extremes padded by
+    /// the worst-case arc sag plus one cell of slack. Shared by the
+    /// in-process query engine and the client-side shard router so both
+    /// consider the same candidate tiles.
+    pub fn bbox_cover(&self, bbox: &icesat_geo::BoundingBox) -> MapRect {
+        MapRect::covering_bbox(bbox).padded(self.cell_size_m() + 200.0)
     }
 
     /// Tiles (at the grid level) whose rectangles intersect `rect`, in

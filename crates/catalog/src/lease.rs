@@ -1,0 +1,401 @@
+//! Cross-process writer leases — how multiple would-be writers
+//! coordinate over one catalog directory.
+//!
+//! A catalog's shard locks and version index serialise writers *within*
+//! one `Catalog` instance; the lease file serialises write ownership
+//! *across* instances and processes. The protocol (specified normatively
+//! in `docs/PROTOCOL.md` §4) is deliberately simple enough to audit:
+//!
+//! - `writer.lease` in the catalog directory holds an artifact-framed
+//!   [`LeaseRecord`] (`SIWL` v1): owner id + a random fencing nonce.
+//! - The file's **mtime is the heartbeat**: a live owner refreshes it at
+//!   least every `ttl / 4`; a lease whose mtime is older than `ttl` is
+//!   **stale** and may be taken over.
+//! - Acquisition and takeover run under an OS advisory lock on a sibling
+//!   guard file (`writer.lease.guard`), so two racing acquirers on one
+//!   host cannot both win; the guard lock is released the moment the
+//!   acquire step finishes and evaporates automatically if the process
+//!   crashes.
+//! - **Self-fencing**: before every ingest, a leased writer checks how
+//!   long ago it last proved freshness. Past `ttl` it must assume it has
+//!   been taken over and refuses to write ([`CatalogError::LeaseLost`])
+//!   — crash-recovery therefore never needs to reach into a dead
+//!   process, and the index never sees interleaved merges.
+//!
+//! Takeover never touches tile files: the new owner re-reads tile
+//! headers into a fresh authoritative index on open, and every tile
+//! replacement was already atomic (temp + rename), so the worst a
+//! crashed writer leaves behind is an orphaned `.tmp` file.
+
+use std::fs::{File, TryLockError};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime};
+
+use seaice::artifact::{Artifact, ArtifactError, Codec, Reader, Writer};
+
+use crate::CatalogError;
+
+/// Lease file name inside a catalog directory.
+pub const LEASE_FILE: &str = "writer.lease";
+
+/// Guard file serialising acquire/takeover/release critical sections.
+const GUARD_FILE: &str = "writer.lease.guard";
+
+/// The persisted lease record (`SIWL` v1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseRecord {
+    /// Human-readable owner id (host, pid, role — operator's choice).
+    pub owner: String,
+    /// Random fencing nonce distinguishing two leases by the same owner.
+    pub nonce: u64,
+    /// The staleness horizon this lease was acquired under, in
+    /// milliseconds. Contenders judge staleness by *this* ttl — the
+    /// owner's published contract — never by their own.
+    pub ttl_ms: u64,
+}
+
+impl LeaseRecord {
+    /// The staleness horizon as a duration.
+    pub fn ttl(&self) -> Duration {
+        Duration::from_millis(self.ttl_ms)
+    }
+}
+
+impl Codec for LeaseRecord {
+    fn encode(&self, w: &mut Writer) {
+        self.owner.encode(w);
+        w.put_u64(self.nonce);
+        w.put_u64(self.ttl_ms);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(LeaseRecord {
+            owner: String::decode(r)?,
+            nonce: r.take_u64()?,
+            ttl_ms: r.take_u64()?,
+        })
+    }
+}
+
+impl Artifact for LeaseRecord {
+    const TAG: [u8; 4] = *b"SIWL";
+    const VERSION: u16 = 1;
+}
+
+/// Knobs for acquiring a writer lease.
+#[derive(Debug, Clone)]
+pub struct LeaseOptions {
+    /// Owner id recorded in the lease (shown to losing contenders).
+    pub owner: String,
+    /// Staleness horizon: a lease not heartbeaten for this long may be
+    /// taken over, and its holder self-fences. Heartbeats run at
+    /// `ttl / 4`.
+    pub ttl: Duration,
+}
+
+impl LeaseOptions {
+    /// Options for `owner` with the default 30 s ttl.
+    pub fn new(owner: impl Into<String>) -> LeaseOptions {
+        LeaseOptions {
+            owner: owner.into(),
+            ttl: Duration::from_secs(30),
+        }
+    }
+
+    /// Replaces the staleness horizon.
+    pub fn with_ttl(mut self, ttl: Duration) -> LeaseOptions {
+        self.ttl = ttl;
+        self
+    }
+}
+
+/// A held writer lease. Dropping it releases the lease file (best
+/// effort — a crash simply leaves a lease that goes stale after `ttl`).
+#[derive(Debug)]
+pub struct WriterLease {
+    path: PathBuf,
+    guard_path: PathBuf,
+    record: LeaseRecord,
+    ttl: Duration,
+    /// Last instant this process proved it still owned the lease.
+    last_confirmed: Mutex<Instant>,
+}
+
+/// A fresh fencing nonce: never 0, unique per (process, call).
+fn fresh_nonce() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let now = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    crate::fnv1a(
+        (std::process::id() as u64)
+            .to_le_bytes()
+            .into_iter()
+            .chain(now.to_le_bytes())
+            .chain(seq.to_le_bytes()),
+    )
+    .max(1)
+}
+
+/// Age of `path`'s mtime, saturating to zero for future mtimes.
+fn mtime_age(path: &Path) -> Result<Duration, std::io::Error> {
+    let modified = std::fs::metadata(path)?.modified()?;
+    Ok(SystemTime::now()
+        .duration_since(modified)
+        .unwrap_or(Duration::ZERO))
+}
+
+impl WriterLease {
+    /// Acquires the writer lease for catalog directory `dir`.
+    ///
+    /// Exactly one contender wins: a fresh lease makes every other
+    /// acquirer fail with [`CatalogError::LeaseHeld`] (naming the
+    /// current owner), and a stale lease — owner crashed or paused past
+    /// its ttl — is taken over in place.
+    pub fn acquire(dir: &Path, options: &LeaseOptions) -> Result<WriterLease, CatalogError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(LEASE_FILE);
+        let guard_path = dir.join(GUARD_FILE);
+        let guard = Self::lock_guard(&guard_path)?;
+
+        let record = LeaseRecord {
+            owner: options.owner.clone(),
+            nonce: fresh_nonce(),
+            ttl_ms: options.ttl.as_millis().min(u64::MAX as u128) as u64,
+        };
+        if path.exists() {
+            // Unreadable records still carry a meaningful mtime: treat
+            // them as held-by-unknown until stale (by *our* ttl, the
+            // only horizon available), then take over. Readable records
+            // are judged by the ttl they were acquired under.
+            let current = LeaseRecord::load(&path).ok();
+            let age = mtime_age(&path)?;
+            let horizon = current.as_ref().map(|r| r.ttl()).unwrap_or(options.ttl);
+            if age <= horizon {
+                drop(guard);
+                return Err(CatalogError::LeaseHeld {
+                    owner: current.map(|r| r.owner).unwrap_or_else(|| "unknown".into()),
+                    age,
+                });
+            }
+        }
+        // Free or stale: publish our record atomically (temp + rename).
+        let tmp = path.with_extension(format!("lease.{:016x}.tmp", record.nonce));
+        std::fs::write(&tmp, record.to_bytes())?;
+        std::fs::rename(&tmp, &path)?;
+        drop(guard);
+        Ok(WriterLease {
+            path,
+            guard_path,
+            record,
+            ttl: options.ttl,
+            last_confirmed: Mutex::new(Instant::now()),
+        })
+    }
+
+    /// Takes the guard lock, failing fast (a blocked guard means another
+    /// acquire/release is mid-flight — report the lease as held).
+    fn lock_guard(guard_path: &Path) -> Result<File, CatalogError> {
+        let guard = Self::open_guard(guard_path)?;
+        match guard.try_lock() {
+            Ok(()) => Ok(guard),
+            Err(TryLockError::WouldBlock) => Err(CatalogError::LeaseHeld {
+                owner: "a concurrent acquirer".into(),
+                age: Duration::ZERO,
+            }),
+            Err(TryLockError::Error(e)) => Err(CatalogError::Io(e)),
+        }
+    }
+
+    /// Takes the guard lock, blocking. Release paths use this: a
+    /// graceful release that raced an acquirer's critical section must
+    /// still delete the lease file afterwards, or the directory would
+    /// stay locked out for a full ttl.
+    fn lock_guard_blocking(guard_path: &Path) -> Result<File, CatalogError> {
+        let guard = Self::open_guard(guard_path)?;
+        guard.lock().map_err(CatalogError::Io)?;
+        Ok(guard)
+    }
+
+    fn open_guard(guard_path: &Path) -> Result<File, CatalogError> {
+        Ok(File::options()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(guard_path)?)
+    }
+
+    /// The record this lease holds.
+    pub fn record(&self) -> &LeaseRecord {
+        &self.record
+    }
+
+    /// The staleness horizon this lease was acquired with.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// Proves continued ownership and refreshes the heartbeat mtime.
+    ///
+    /// Self-fencing comes first: if this process has not confirmed
+    /// ownership within `ttl` (it was paused, or heartbeats kept
+    /// failing), the lease must be presumed taken over —
+    /// [`CatalogError::LeaseLost`] — *without* touching the file. Then
+    /// the on-disk record is checked (a foreign nonce is also
+    /// `LeaseLost`) and the mtime bumped.
+    pub fn heartbeat(&self) -> Result<(), CatalogError> {
+        let mut last = self
+            .last_confirmed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if last.elapsed() > self.ttl {
+            return Err(CatalogError::LeaseLost);
+        }
+        let current = LeaseRecord::load(&self.path).map_err(|_| CatalogError::LeaseLost)?;
+        if current != self.record {
+            return Err(CatalogError::LeaseLost);
+        }
+        let file = File::options().write(true).open(&self.path)?;
+        file.set_modified(SystemTime::now())?;
+        *last = Instant::now();
+        Ok(())
+    }
+
+    /// [`WriterLease::heartbeat`], but skipped while the last confirmed
+    /// heartbeat is younger than `ttl / 4` (the ingest hot path calls
+    /// this per batch).
+    pub fn heartbeat_if_due(&self) -> Result<(), CatalogError> {
+        let due = {
+            let last = self
+                .last_confirmed
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            last.elapsed() >= self.ttl / 4
+        };
+        if due {
+            self.heartbeat()
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Drop for WriterLease {
+    fn drop(&mut self) {
+        // Release under the guard, *waiting* for any in-flight acquire
+        // (release is not latency-sensitive, and skipping it would
+        // strand the directory behind a fresh-looking lease for a full
+        // ttl). Only remove the file if it still carries our nonce —
+        // never clobber a taker's lease.
+        if let Ok(guard) = Self::lock_guard_blocking(&self.guard_path) {
+            if LeaseRecord::load(&self.path).is_ok_and(|r| r == self.record) {
+                let _ = std::fs::remove_file(&self.path);
+            }
+            drop(guard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("seaice_lease_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn acquire_release_reacquire() {
+        let dir = temp_dir("cycle");
+        let opts = LeaseOptions::new("writer-a");
+        let lease = WriterLease::acquire(&dir, &opts).unwrap();
+        assert_eq!(lease.record().owner, "writer-a");
+        lease.heartbeat().unwrap();
+        drop(lease);
+        assert!(!dir.join(LEASE_FILE).exists(), "release removed the file");
+        let again = WriterLease::acquire(&dir, &LeaseOptions::new("writer-b")).unwrap();
+        assert_eq!(again.record().owner, "writer-b");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_acquirer_gets_typed_held_error() {
+        let dir = temp_dir("held");
+        let _first = WriterLease::acquire(&dir, &LeaseOptions::new("first")).unwrap();
+        match WriterLease::acquire(&dir, &LeaseOptions::new("second")) {
+            Err(CatalogError::LeaseHeld { owner, .. }) => assert_eq!(owner, "first"),
+            other => panic!("expected LeaseHeld, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lease_is_taken_over_and_old_holder_fences() {
+        let dir = temp_dir("stale");
+        let short = LeaseOptions::new("crashed").with_ttl(Duration::from_millis(60));
+        let crashed = WriterLease::acquire(&dir, &short).unwrap();
+        // Fresh leases resist takeover…
+        assert!(matches!(
+            WriterLease::acquire(&dir, &LeaseOptions::new("taker").with_ttl(short.ttl)),
+            Err(CatalogError::LeaseHeld { .. })
+        ));
+        std::thread::sleep(Duration::from_millis(90));
+        // …stale ones do not.
+        let taker =
+            WriterLease::acquire(&dir, &LeaseOptions::new("taker").with_ttl(short.ttl)).unwrap();
+        assert_eq!(taker.record().owner, "taker");
+        // The displaced holder self-fences on its next heartbeat.
+        assert!(matches!(crashed.heartbeat(), Err(CatalogError::LeaseLost)));
+        // Its drop must not clobber the taker's lease.
+        drop(crashed);
+        assert!(dir.join(LEASE_FILE).exists());
+        assert_eq!(
+            LeaseRecord::load(&dir.join(LEASE_FILE)).unwrap().owner,
+            "taker"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn racing_acquirers_produce_exactly_one_winner() {
+        let dir = temp_dir("race");
+        std::fs::create_dir_all(&dir).unwrap();
+        let results: Vec<Result<WriterLease, CatalogError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let dir = dir.clone();
+                    s.spawn(move || WriterLease::acquire(&dir, &LeaseOptions::new(format!("w{i}"))))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let winners = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(winners, 1, "exactly one racing writer may win");
+        for r in &results {
+            if let Err(e) = r {
+                assert!(
+                    matches!(e, CatalogError::LeaseHeld { .. }),
+                    "loser error {e:?}"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_roundtrip_and_corrupt_file() {
+        let r = LeaseRecord {
+            owner: "host-1/pid-42".into(),
+            nonce: 0xdead_beef,
+            ttl_ms: 30_000,
+        };
+        let back = LeaseRecord::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(back, r);
+        assert!(LeaseRecord::from_bytes(&r.to_bytes()[..5]).is_err());
+    }
+}

@@ -23,19 +23,42 @@
 //!   gridded cells, summary stats), plus [`CatalogSink`] wiring
 //!   [`seaice::FleetDriver`] straight into a catalog.
 //!
+//! - [`wire`] / [`server`] / [`client`] — the serve front-end: a framed
+//!   TCP protocol over [`seaice::artifact`] conventions (spec in
+//!   `docs/PROTOCOL.md`), a threaded [`server::CatalogServer`], a
+//!   [`client::CatalogClient`] mirroring the query API, and a
+//!   [`client::ShardRouter`] that fans queries out over quadkey-prefix
+//!   shards and merges bit-identically;
+//! - [`lease`] — the cross-process writer-lease protocol (owner id +
+//!   heartbeat mtime + stale-lease takeover) behind
+//!   [`Catalog::create_writer`] / [`Catalog::open_writer`].
+//!
 //! The headline invariant: ingest order never changes what queries
-//! return, bit for bit, and readers racing a live ingest always observe
-//! internally consistent tile snapshots (see `tests/concurrent_stress.rs`).
+//! return, bit for bit; readers racing a live ingest always observe
+//! internally consistent tile snapshots (see `tests/concurrent_stress.rs`);
+//! and a query answered over the network — one server or a routed shard
+//! fleet — is bit-identical to the same query in process (see
+//! `tests/served_equivalence.rs`).
+
+#![warn(missing_docs)]
 
 pub mod cache;
+pub mod client;
 pub mod grid;
+pub mod lease;
+pub mod server;
 pub mod store;
 pub mod tile;
+pub mod wire;
 
 pub use cache::{CacheStats, TileCache, TileKey};
-pub use grid::{GridConfig, MapRect, TileId, TimeKey, TimeRange};
+pub use client::{CatalogClient, ShardRouter, ShardSpec};
+pub use grid::{GridConfig, MapRect, TileId, TileScope, TimeKey, TimeRange};
+pub use lease::{LeaseOptions, LeaseRecord, WriterLease};
+pub use server::{CatalogServer, ServerStats};
 pub use store::{
     Catalog, CatalogOptions, CatalogSink, CatalogStats, CellSummary, IngestReport, QuerySummary,
+    TilePartial,
 };
 pub use tile::{CatalogManifest, CellAggregate, SampleRecord, Tile};
 
@@ -53,6 +76,28 @@ pub enum CatalogError {
     GridMismatch,
     /// An internal invariant was violated (corrupt store or logic bug).
     Corrupt(&'static str),
+    /// Another writer holds a fresh lease on the directory (the typed
+    /// loser error of the writer-lease protocol, [`lease`]).
+    LeaseHeld {
+        /// Owner id recorded in the current lease.
+        owner: String,
+        /// How long ago that lease last heartbeat.
+        age: std::time::Duration,
+    },
+    /// This writer's lease has gone stale or been taken over; the
+    /// instance self-fences and refuses further writes.
+    LeaseLost,
+    /// A wire-protocol violation (malformed frame, unexpected response,
+    /// misconfigured shard map) on the serve path.
+    Protocol(String),
+    /// A served request failed catalog-side; carries the remote error
+    /// frame's code and rendered message.
+    Remote {
+        /// Protocol error code (see `docs/PROTOCOL.md` §3.8).
+        code: u16,
+        /// Human-readable remote error description.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for CatalogError {
@@ -67,6 +112,18 @@ impl std::fmt::Display for CatalogError {
                 write!(f, "catalog grid differs from the manifest's grid")
             }
             CatalogError::Corrupt(what) => write!(f, "catalog corrupt: {what}"),
+            CatalogError::LeaseHeld { owner, age } => write!(
+                f,
+                "writer lease held by '{owner}' (heartbeat {:.1}s ago)",
+                age.as_secs_f64()
+            ),
+            CatalogError::LeaseLost => {
+                write!(f, "writer lease lost (stale or taken over); writes fenced")
+            }
+            CatalogError::Protocol(what) => write!(f, "catalog protocol error: {what}"),
+            CatalogError::Remote { code, message } => {
+                write!(f, "catalog server error {code}: {message}")
+            }
         }
     }
 }

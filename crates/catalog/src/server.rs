@@ -1,0 +1,332 @@
+//! The catalog's TCP serving front-end.
+//!
+//! [`CatalogServer`] puts a threaded `std::net` listener in front of an
+//! in-process [`Catalog`]: an accept loop hands each connection to its
+//! own handler thread, and every handler answers framed
+//! [`crate::wire::Request`]s with streamed [`crate::wire::Response`]
+//! frames — so any number of remote readers can hit one store while a
+//! leased writer keeps ingesting into it ([`Catalog`]'s reader/writer
+//! rules make that safe in-process, and the server is just another set
+//! of reader threads).
+//!
+//! Summary queries are answered as **per-tile partial** streams, not
+//! pre-folded summaries: the client performs the final fold with the
+//! same code a local query uses ([`crate::QuerySummary::from_partials`]),
+//! which is what makes a query fanned out over shard servers
+//! bit-identical to the single-process answer. See `docs/PROTOCOL.md`
+//! for the normative wire spec.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use seaice::artifact::{Artifact, ArtifactError};
+
+use crate::store::Catalog;
+use crate::wire::{
+    self, Request, Response, BATCH_RECORDS, ERR_BAD_REQUEST, ERR_BAD_VERSION, ERR_CATALOG,
+};
+use crate::CatalogError;
+
+/// How often an idle connection wakes to check for shutdown.
+const IDLE_TICK: Duration = Duration::from_millis(100);
+
+/// Monotonic serving counters (server lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests decoded and dispatched.
+    pub requests: u64,
+    /// Records streamed across all batch frames.
+    pub records_streamed: u64,
+    /// Error frames sent.
+    pub errors: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    records_streamed: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A running catalog server. Dropping it (or calling
+/// [`CatalogServer::shutdown`]) stops the accept loop, drains handler
+/// threads, and closes the listener.
+pub struct CatalogServer {
+    addr: SocketAddr,
+    /// A clone of the listening socket, kept so shutdown can flip the
+    /// shared O_NONBLOCK flag and unblock the accept loop even when a
+    /// wake-up self-connection is impossible (e.g. a `0.0.0.0` bind).
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    counters: Arc<Counters>,
+}
+
+impl CatalogServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `catalog`. Returns as soon as the listener is
+    /// live; use [`CatalogServer::addr`] for the bound address.
+    pub fn serve(catalog: Arc<Catalog>, addr: &str) -> Result<CatalogServer, CatalogError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let listener_clone = listener.try_clone()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let counters = Arc::new(Counters::default());
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handlers = Arc::clone(&handlers);
+        let accept_counters = Arc::clone(&counters);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    // Transient accept failures (fd exhaustion, aborted
+                    // handshakes, the nonblocking shutdown flip): back
+                    // off instead of spinning the core.
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    }
+                };
+                accept_counters.connections.fetch_add(1, Ordering::Relaxed);
+                let catalog = Arc::clone(&catalog);
+                let stop = Arc::clone(&accept_shutdown);
+                let counters = Arc::clone(&accept_counters);
+                let handle = std::thread::spawn(move || {
+                    handle_connection(&catalog, stream, &stop, &counters);
+                });
+                let mut handlers = accept_handlers.lock().unwrap_or_else(|e| e.into_inner());
+                // Reap finished connections as new ones arrive, so a
+                // long-lived server doesn't accumulate one handle per
+                // connection it ever served.
+                let mut live = Vec::with_capacity(handlers.len() + 1);
+                for h in handlers.drain(..) {
+                    if h.is_finished() {
+                        let _ = h.join();
+                    } else {
+                        live.push(h);
+                    }
+                }
+                *handlers = live;
+                handlers.push(handle);
+            }
+        });
+
+        Ok(CatalogServer {
+            addr: local,
+            listener: listener_clone,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            handlers,
+            counters,
+        })
+    }
+
+    /// The bound listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Lifetime serving counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            records_streamed: self.counters.records_streamed.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, drains every handler thread, and closes the
+    /// listener. Idempotent through `Drop`.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop: flip the shared socket nonblocking
+        // (accept returns immediately from now on) and additionally try
+        // a throwaway wake-up connection for platforms where a blocked
+        // accept doesn't observe the flag change.
+        let _ = self.listener.set_nonblocking(true);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *self.handlers.lock().unwrap_or_else(|e| e.into_inner()));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CatalogServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// One connection's request loop: framed requests in, framed (possibly
+/// streamed) responses out, until clean EOF, shutdown, or a broken
+/// stream.
+fn handle_connection(
+    catalog: &Catalog,
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    counters: &Counters,
+) {
+    let _ = stream.set_read_timeout(Some(IDLE_TICK));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match wire::read_frame_cancellable(&mut stream, || stop.load(Ordering::SeqCst))
+        {
+            Ok(Some(frame)) => frame,
+            // Clean EOF or shutdown tick.
+            Ok(None) => return,
+            // Framing violations are unrecoverable: drop the connection.
+            Err(_) => return,
+        };
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match Request::from_bytes(&frame) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame boundary is intact, so the connection can
+                // survive a malformed message.
+                let code = match e {
+                    ArtifactError::BadMagic | ArtifactError::BadVersion(_) => ERR_BAD_VERSION,
+                    _ => ERR_BAD_REQUEST,
+                };
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                let frame = Response::Error {
+                    code,
+                    message: e.to_string(),
+                };
+                if wire::write_message(&mut stream, &frame).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if respond(catalog, &mut stream, request, counters).is_err() {
+            return;
+        }
+    }
+}
+
+/// Sends one response frame, surfacing only transport failures (which
+/// end the connection).
+fn send(stream: &mut TcpStream, response: &Response) -> Result<(), CatalogError> {
+    wire::write_message(stream, response)
+}
+
+/// Answers one request. `Err` means the transport broke; catalog-side
+/// failures become error frames and keep the connection alive.
+fn respond(
+    catalog: &Catalog,
+    stream: &mut TcpStream,
+    request: Request,
+    counters: &Counters,
+) -> Result<(), CatalogError> {
+    /// Streams `records` as batch frames + a `Done` trailer.
+    fn stream_batches<T: Clone>(
+        stream: &mut TcpStream,
+        counters: &Counters,
+        records: Vec<T>,
+        make: impl Fn(Vec<T>) -> Response,
+    ) -> Result<(), CatalogError> {
+        let total = records.len() as u64;
+        let mut records = records;
+        while !records.is_empty() {
+            let rest = records.split_off(records.len().min(BATCH_RECORDS));
+            let batch = std::mem::replace(&mut records, rest);
+            wire::write_message(stream, &make(batch))?;
+        }
+        counters
+            .records_streamed
+            .fetch_add(total, Ordering::Relaxed);
+        wire::write_message(stream, &Response::Done { n_records: total })
+    }
+
+    /// Converts a catalog-side failure into an error frame.
+    fn fail(
+        stream: &mut TcpStream,
+        counters: &Counters,
+        e: CatalogError,
+    ) -> Result<(), CatalogError> {
+        counters.errors.fetch_add(1, Ordering::Relaxed);
+        wire::write_message(
+            stream,
+            &Response::Error {
+                code: ERR_CATALOG,
+                message: e.to_string(),
+            },
+        )
+    }
+
+    match request {
+        Request::Manifest => send(stream, &Response::Manifest(*catalog.grid())),
+        Request::QueryRect { rect, time, scope } => {
+            match catalog.query_rect_partials(&rect, time, &scope) {
+                Ok(partials) => stream_batches(stream, counters, partials, Response::TileBatch),
+                Err(e) => fail(stream, counters, e),
+            }
+        }
+        Request::QueryBbox { bbox, time, scope } => {
+            match catalog.query_bbox_partials(&bbox, time, &scope) {
+                Ok(partials) => stream_batches(stream, counters, partials, Response::TileBatch),
+                Err(e) => fail(stream, counters, e),
+            }
+        }
+        Request::QueryPoint { point, time, scope } => {
+            match catalog.query_point_scoped(point, time, &scope) {
+                Ok(cell) => send(stream, &Response::Point(cell)),
+                Err(e) => fail(stream, counters, e),
+            }
+        }
+        Request::QueryTimeRange { time, scope } => {
+            match catalog.query_time_range_partials(time, &scope) {
+                Ok(layers) => {
+                    let records: Vec<(crate::grid::TimeKey, crate::store::TilePartial)> = layers
+                        .into_iter()
+                        .flat_map(|(t, partials)| partials.into_iter().map(move |p| (t, p)))
+                        .collect();
+                    stream_batches(stream, counters, records, Response::LayerBatch)
+                }
+                Err(e) => fail(stream, counters, e),
+            }
+        }
+        Request::QueryCells { rect, time, scope } => {
+            match catalog.query_cells_scoped(&rect, time, &scope) {
+                Ok(cells) => stream_batches(stream, counters, cells, Response::CellBatch),
+                Err(e) => fail(stream, counters, e),
+            }
+        }
+        Request::Stats { scope } => {
+            let (stats, layers) = catalog.scoped_stats(&scope);
+            send(stream, &Response::Stats { stats, layers })
+        }
+        Request::Validate { scope } => match catalog.validate_scoped(&scope) {
+            Ok(checked) => send(
+                stream,
+                &Response::Done {
+                    n_records: checked as u64,
+                },
+            ),
+            Err(e) => fail(stream, counters, e),
+        },
+    }
+}

@@ -37,9 +37,10 @@ use seaice::FleetDriver;
 use sparklite::StageReport;
 
 use crate::cache::{CacheStats, TileCache, TileKey};
-use crate::grid::{GridConfig, MapRect, TileId, TimeKey, TimeRange};
+use crate::grid::{GridConfig, MapRect, TileId, TileScope, TimeKey, TimeRange};
 use crate::tile::{CatalogManifest, CellAggregate, SampleRecord, Tile};
 use crate::CatalogError;
+use seaice::artifact::{ArtifactError, Codec, Reader, Writer};
 
 /// Authoritative latest persisted state of one tile, kept in the index
 /// so version floors and catalog-wide counters never need tile decodes.
@@ -124,7 +125,106 @@ pub struct QuerySummary {
     pub n_cells: usize,
 }
 
+/// Per-tile partial reduction of a summary query — the unit the serve
+/// path ships and merges.
+///
+/// A [`QuerySummary`] is defined as a deterministic two-level fold:
+/// every tile reduces its matched samples (layers in chronological
+/// order, samples in canonical order) into one `TilePartial`, and the
+/// partials — sorted by tile id — fold left-to-right into the summary
+/// ([`QuerySummary::from_partials`]). Because the fold is the *same
+/// code* locally and in the client-side shard router, a query fanned
+/// out over shard servers that partition the tiles returns bit-identical
+/// results to the single-process answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TilePartial {
+    /// The tile this partial reduces.
+    pub tile: TileId,
+    /// Matched samples in the tile (always > 0 — empty tiles emit no
+    /// partial).
+    pub n_samples: u64,
+    /// Matched samples per surface class.
+    pub class_counts: [u64; 3],
+    /// Matched ice (thick + thin) samples.
+    pub n_ice: u64,
+    /// Sum of matched ice freeboard, metres (layers chronological,
+    /// samples canonical — the reduction order contract).
+    pub ice_sum_m: f64,
+    /// Minimum freeboard over matched samples.
+    pub min_freeboard_m: f64,
+    /// Maximum freeboard over matched samples.
+    pub max_freeboard_m: f64,
+    /// Distinct grid cells with at least one matched sample
+    /// (deduplicated across the tile's temporal layers).
+    pub n_cells: u64,
+}
+
+impl Codec for TilePartial {
+    fn encode(&self, w: &mut Writer) {
+        self.tile.encode(w);
+        w.put_u64(self.n_samples);
+        self.class_counts.encode(w);
+        w.put_u64(self.n_ice);
+        w.put_f64(self.ice_sum_m);
+        w.put_f64(self.min_freeboard_m);
+        w.put_f64(self.max_freeboard_m);
+        w.put_u64(self.n_cells);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(TilePartial {
+            tile: TileId::decode(r)?,
+            n_samples: r.take_u64()?,
+            class_counts: <[u64; 3]>::decode(r)?,
+            n_ice: r.take_u64()?,
+            ice_sum_m: r.take_f64()?,
+            min_freeboard_m: r.take_f64()?,
+            max_freeboard_m: r.take_f64()?,
+            n_cells: r.take_u64()?,
+        })
+    }
+}
+
 impl QuerySummary {
+    /// Folds per-tile partials into the summary they define.
+    ///
+    /// The partials are sorted by tile id first, so any partition of the
+    /// tiles (local, one server, many shards) folds in the same order
+    /// and produces the same bits. Partials must cover disjoint tiles —
+    /// the shard router enforces that via scope disjointness.
+    pub fn from_partials(mut partials: Vec<TilePartial>) -> QuerySummary {
+        partials.sort_unstable_by_key(|p| p.tile);
+        let mut s = QuerySummary {
+            n_samples: 0,
+            class_counts: [0; 3],
+            n_ice: 0,
+            mean_ice_freeboard_m: 0.0,
+            min_freeboard_m: f64::INFINITY,
+            max_freeboard_m: f64::NEG_INFINITY,
+            n_tiles: partials.len(),
+            n_cells: 0,
+        };
+        let mut ice_sum = 0.0f64;
+        for p in &partials {
+            s.n_samples += p.n_samples as usize;
+            for (mine, theirs) in s.class_counts.iter_mut().zip(&p.class_counts) {
+                *mine += *theirs as usize;
+            }
+            s.n_ice += p.n_ice as usize;
+            ice_sum += p.ice_sum_m;
+            s.min_freeboard_m = s.min_freeboard_m.min(p.min_freeboard_m);
+            s.max_freeboard_m = s.max_freeboard_m.max(p.max_freeboard_m);
+            s.n_cells += p.n_cells as usize;
+        }
+        if s.n_ice > 0 {
+            s.mean_ice_freeboard_m = ice_sum / s.n_ice as f64;
+        }
+        if s.n_samples == 0 {
+            s.min_freeboard_m = 0.0;
+            s.max_freeboard_m = 0.0;
+        }
+        s
+    }
+
     /// Internal-consistency invariants every reader snapshot must
     /// satisfy (asserted by the concurrent stress test).
     pub fn check_consistency(&self) -> Result<(), &'static str> {
@@ -180,14 +280,36 @@ pub struct CatalogStats {
 
 /// The tiled, versioned, concurrently readable sea-ice product store.
 ///
-/// **Ownership**: at most one live `Catalog` may ingest into a given
-/// directory at a time — the shard locks and the authoritative version
-/// index that serialise writers are per-instance, so a second writing
-/// instance (same process or another) could interleave
-/// read-modify-write cycles and lose merges. Any number of threads may
-/// share one instance (`&Catalog` is `Sync`), and read-only instances
-/// over a quiescent directory are fine. Cross-process write
-/// coordination is a ROADMAP follow-on alongside the network front-end.
+/// **Write ownership.** Writers within one instance serialise through
+/// per-shard locks and the authoritative version index; *across*
+/// instances and processes, write ownership is coordinated by the
+/// [`crate::lease`] writer-lease protocol (owner id + heartbeat mtime +
+/// stale-lease takeover; specified in `docs/PROTOCOL.md` §4). Use
+/// [`Catalog::create_writer`] / [`Catalog::open_writer`] to acquire the
+/// directory's lease — exactly one leased writer exists at a time, a
+/// losing contender gets the typed [`CatalogError::LeaseHeld`] error,
+/// and a crashed writer's lease is taken over after its ttl without
+/// corrupting the store (tile replacement is atomic and the version
+/// index is rebuilt from tile headers on open). The unleased
+/// [`Catalog::create`] / [`Catalog::open`] constructors remain for
+/// read-only instances and single-process embedded use, where the
+/// caller owns the no-second-writer guarantee. Any number of threads
+/// may share one instance (`&Catalog` is `Sync`).
+///
+/// ```
+/// use seaice_catalog::{Catalog, GridConfig, TimeRange};
+/// use icesat_geo::MapPoint;
+///
+/// let dir = std::env::temp_dir().join(format!("catalog_doc_{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let grid = GridConfig::around(MapPoint::new(0.0, -1_000_000.0), 50_000.0);
+/// let catalog = Catalog::create(&dir, grid).unwrap();
+/// let whole = catalog
+///     .query_rect(&catalog.grid().domain(), TimeRange::all())
+///     .unwrap();
+/// assert_eq!(whole.n_samples, 0); // empty store, well-defined answer
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// ```
 pub struct Catalog {
     grid: GridConfig,
     dir: PathBuf,
@@ -200,6 +322,9 @@ pub struct Catalog {
     index: RwLock<BTreeMap<TileKey, IndexEntry>>,
     cache: TileCache,
     shard_locks: Vec<Mutex<()>>,
+    /// The writer lease, when this instance was opened as a leased
+    /// writer. Heartbeaten on ingest; released on drop.
+    lease: Option<crate::lease::WriterLease>,
 }
 
 impl Catalog {
@@ -229,6 +354,21 @@ impl Catalog {
         Catalog::assemble(dir, grid, options)
     }
 
+    /// [`Catalog::create_with`], acquiring the directory's writer lease
+    /// first. Fails with [`CatalogError::LeaseHeld`] while another
+    /// writer's lease is fresh; takes over a stale one.
+    pub fn create_writer(
+        dir: &Path,
+        grid: GridConfig,
+        options: CatalogOptions,
+        lease: &crate::lease::LeaseOptions,
+    ) -> Result<Catalog, CatalogError> {
+        let held = crate::lease::WriterLease::acquire(dir, lease)?;
+        let mut catalog = Catalog::create_with(dir, grid, options)?;
+        catalog.lease = Some(held);
+        Ok(catalog)
+    }
+
     /// Opens an existing catalog, taking the grid from its manifest.
     pub fn open(dir: &Path) -> Result<Catalog, CatalogError> {
         Catalog::open_with(dir, CatalogOptions::default())
@@ -238,6 +378,19 @@ impl Catalog {
     pub fn open_with(dir: &Path, options: CatalogOptions) -> Result<Catalog, CatalogError> {
         let manifest = CatalogManifest::load(&dir.join("catalog.manifest"))?;
         Catalog::assemble(dir, manifest.grid, options)
+    }
+
+    /// [`Catalog::open_with`], acquiring the directory's writer lease
+    /// first (see [`Catalog::create_writer`]).
+    pub fn open_writer(
+        dir: &Path,
+        options: CatalogOptions,
+        lease: &crate::lease::LeaseOptions,
+    ) -> Result<Catalog, CatalogError> {
+        let held = crate::lease::WriterLease::acquire(dir, lease)?;
+        let mut catalog = Catalog::open_with(dir, options)?;
+        catalog.lease = Some(held);
+        Ok(catalog)
     }
 
     fn assemble(
@@ -272,7 +425,14 @@ impl Catalog {
             index: RwLock::new(index),
             cache: TileCache::new(options.cache_capacity, options.cache_stripes),
             shard_locks: (0..options.shards.max(1)).map(|_| Mutex::new(())).collect(),
+            lease: None,
         })
+    }
+
+    /// The writer-lease record this instance holds, if it was opened as
+    /// a leased writer.
+    pub fn lease(&self) -> Option<&crate::lease::LeaseRecord> {
+        self.lease.as_ref().map(|l| l.record())
     }
 
     /// The grid tiles are addressed with.
@@ -305,6 +465,11 @@ impl Catalog {
         beam_index: usize,
         product: &FreeboardProduct,
     ) -> Result<IngestReport, CatalogError> {
+        // A leased writer proves ownership (and self-fences when it
+        // cannot) before every batch.
+        if let Some(lease) = &self.lease {
+            lease.heartbeat_if_due()?;
+        }
         let time = TimeKey::from_granule_id(granule_id)?;
         let source = SampleRecord::source_id(granule_id, beam_index);
         let grid = self.grid;
@@ -498,13 +663,19 @@ impl Catalog {
     }
 
     /// Index snapshot of keys in `time`, optionally restricted to tiles
-    /// in `candidates` (sorted, deduplicated).
-    fn keys_in(&self, time: TimeRange, candidates: Option<&[TileId]>) -> Vec<TileKey> {
+    /// in `candidates` (sorted, deduplicated) and to `scope`.
+    fn keys_in(
+        &self,
+        time: TimeRange,
+        candidates: Option<&[TileId]>,
+        scope: &TileScope,
+    ) -> Vec<TileKey> {
         let index = self.index.read().unwrap_or_else(|e| e.into_inner());
         index
             .keys()
             .filter(|k| time.contains(k.time))
             .filter(|k| candidates.is_none_or(|c| c.binary_search(&k.tile).is_ok()))
+            .filter(|k| scope.matches(&k.tile))
             .copied()
             .collect()
     }
@@ -518,9 +689,24 @@ impl Catalog {
         rect: &MapRect,
         time: TimeRange,
     ) -> Result<QuerySummary, CatalogError> {
+        Ok(QuerySummary::from_partials(self.query_rect_partials(
+            rect,
+            time,
+            &TileScope::all(),
+        )?))
+    }
+
+    /// The per-tile partials behind [`Catalog::query_rect`], restricted
+    /// to `scope` — what a shard server streams to the client router.
+    pub fn query_rect_partials(
+        &self,
+        rect: &MapRect,
+        time: TimeRange,
+        scope: &TileScope,
+    ) -> Result<Vec<TilePartial>, CatalogError> {
         let mut candidates = self.grid.tiles_overlapping(rect);
         candidates.sort_unstable();
-        self.summarise(&self.keys_in(time, Some(&candidates)), |s| {
+        self.partials(self.keys_in(time, Some(&candidates), scope), |s| {
             rect.contains(MapPoint::new(s.x_m, s.y_m))
         })
     }
@@ -533,11 +719,25 @@ impl Catalog {
         bbox: &BoundingBox,
         time: TimeRange,
     ) -> Result<QuerySummary, CatalogError> {
-        let pad = self.grid.cell_size_m() + 200.0;
-        let cover = MapRect::covering_bbox(bbox).padded(pad);
+        Ok(QuerySummary::from_partials(self.query_bbox_partials(
+            bbox,
+            time,
+            &TileScope::all(),
+        )?))
+    }
+
+    /// The per-tile partials behind [`Catalog::query_bbox`], restricted
+    /// to `scope`.
+    pub fn query_bbox_partials(
+        &self,
+        bbox: &BoundingBox,
+        time: TimeRange,
+        scope: &TileScope,
+    ) -> Result<Vec<TilePartial>, CatalogError> {
+        let cover = self.grid.bbox_cover(bbox);
         let mut candidates = self.grid.tiles_overlapping(&cover);
         candidates.sort_unstable();
-        self.summarise(&self.keys_in(time, Some(&candidates)), |s| {
+        self.partials(self.keys_in(time, Some(&candidates), scope), |s| {
             bbox.contains(GeoPoint::new(s.lat, s.lon))
         })
     }
@@ -550,12 +750,26 @@ impl Catalog {
         p: GeoPoint,
         time: TimeRange,
     ) -> Result<Option<CellSummary>, CatalogError> {
+        self.query_point_scoped(p, time, &TileScope::all())
+    }
+
+    /// [`Catalog::query_point`] restricted to `scope` (`None` when the
+    /// owning tile is outside the scope).
+    pub fn query_point_scoped(
+        &self,
+        p: GeoPoint,
+        time: TimeRange,
+        scope: &TileScope,
+    ) -> Result<Option<CellSummary>, CatalogError> {
         let m = EPSG_3976.forward(p);
         let Some((tile, cell)) = self.grid.locate(m) else {
             return Ok(None);
         };
+        if !scope.matches(&tile) {
+            return Ok(None);
+        }
         let mut agg: Option<CellAggregate> = None;
-        for key in self.keys_in(time, Some(&[tile])) {
+        for key in self.keys_in(time, Some(&[tile]), scope) {
             if let Some(snapshot) = self.load_tile(&key)? {
                 if let Some(c) = snapshot.cells().get(&cell) {
                     match &mut agg {
@@ -578,14 +792,31 @@ impl Catalog {
         &self,
         time: TimeRange,
     ) -> Result<Vec<(TimeKey, QuerySummary)>, CatalogError> {
-        let keys = self.keys_in(time, None);
-        let mut out: Vec<(TimeKey, QuerySummary)> = Vec::new();
+        Ok(self
+            .query_time_range_partials(time, &TileScope::all())?
+            .into_iter()
+            .map(|(t, partials)| (t, QuerySummary::from_partials(partials)))
+            .collect())
+    }
+
+    /// The per-layer, per-tile partials behind
+    /// [`Catalog::query_time_range`], restricted to `scope`,
+    /// chronological.
+    pub fn query_time_range_partials(
+        &self,
+        time: TimeRange,
+        scope: &TileScope,
+    ) -> Result<Vec<(TimeKey, Vec<TilePartial>)>, CatalogError> {
+        let keys = self.keys_in(time, None, scope);
+        let mut out: Vec<(TimeKey, Vec<TilePartial>)> = Vec::new();
         let mut run: Vec<TileKey> = Vec::new();
-        let flush = |run: &mut Vec<TileKey>, out: &mut Vec<_>| -> Result<(), CatalogError> {
+        let flush = |run: &mut Vec<TileKey>,
+                     out: &mut Vec<(TimeKey, Vec<TilePartial>)>|
+         -> Result<(), CatalogError> {
             if let Some(first) = run.first() {
-                let summary = self.summarise(run, |_| true)?;
-                out.push((first.time, summary));
-                run.clear();
+                let time = first.time;
+                let partials = self.partials(std::mem::take(run), |_| true)?;
+                out.push((time, partials));
             }
             Ok(())
         };
@@ -613,10 +844,23 @@ impl Catalog {
         rect: &MapRect,
         time: TimeRange,
     ) -> Result<Vec<CellSummary>, CatalogError> {
+        self.query_cells_scoped(rect, time, &TileScope::all())
+    }
+
+    /// [`Catalog::query_cells`] restricted to `scope`. Cells of one tile
+    /// merge their layers chronologically, so as long as a scope keeps
+    /// all of a tile's layers together (scopes are purely spatial — they
+    /// always do) shard results concatenate without any numeric merge.
+    pub fn query_cells_scoped(
+        &self,
+        rect: &MapRect,
+        time: TimeRange,
+        scope: &TileScope,
+    ) -> Result<Vec<CellSummary>, CatalogError> {
         let mut candidates = self.grid.tiles_overlapping(rect);
         candidates.sort_unstable();
         let mut merged: BTreeMap<(TileId, u32), CellAggregate> = BTreeMap::new();
-        for key in self.keys_in(time, Some(&candidates)) {
+        for key in self.keys_in(time, Some(&candidates), scope) {
             let Some(snapshot) = self.load_tile(&key)? else {
                 continue;
             };
@@ -646,89 +890,113 @@ impl Catalog {
     /// successive calls the totals are monotone non-decreasing while
     /// ingest runs (index entries only grow, under writer shard locks).
     pub fn stats(&self) -> Result<CatalogStats, CatalogError> {
+        Ok(self.scoped_stats(&TileScope::all()).0)
+    }
+
+    /// [`Catalog::stats`] restricted to `scope`, plus the scoped layer
+    /// list (chronological) — shard servers return both so the router
+    /// can merge layer sets exactly.
+    pub fn scoped_stats(&self, scope: &TileScope) -> (CatalogStats, Vec<TimeKey>) {
         let index = self.index.read().unwrap_or_else(|e| e.into_inner());
         let mut n_samples = 0usize;
         let mut n_tiles = 0usize;
         let mut layers: Vec<TimeKey> = Vec::new();
         for (key, entry) in index.iter() {
+            if !scope.matches(&key.tile) {
+                continue;
+            }
             n_tiles += 1;
             n_samples += entry.n_samples as usize;
             if layers.last() != Some(&key.time) {
                 layers.push(key.time);
             }
         }
-        Ok(CatalogStats {
-            n_layers: layers.len(),
-            n_tiles,
-            n_samples,
-            cache: self.cache.stats(),
-        })
+        (
+            CatalogStats {
+                n_layers: layers.len(),
+                n_tiles,
+                n_samples,
+                cache: self.cache.stats(),
+            },
+            layers,
+        )
     }
 
     /// Full scan validating every tile's internal invariants — sorted
     /// samples, aggregates consistent with samples.
     pub fn validate(&self) -> Result<(), CatalogError> {
-        for key in self.keys_in(TimeRange::all(), None) {
+        self.validate_scoped(&TileScope::all()).map(|_| ())
+    }
+
+    /// [`Catalog::validate`] restricted to `scope`; returns the number
+    /// of tiles checked.
+    pub fn validate_scoped(&self, scope: &TileScope) -> Result<usize, CatalogError> {
+        let mut checked = 0usize;
+        for key in self.keys_in(TimeRange::all(), None, scope) {
             let Some(snapshot) = self.load_tile(&key)? else {
                 continue;
             };
             snapshot
                 .check_consistency()
                 .map_err(CatalogError::Corrupt)?;
+            checked += 1;
         }
-        Ok(())
+        Ok(checked)
     }
 
-    /// Deterministic reduction over the matched samples of `keys` (which
-    /// must be sorted, as [`Catalog::keys_in`] returns them).
-    fn summarise(
+    /// Deterministic per-tile reduction over the matched samples of
+    /// `keys`: each tile folds its layers chronologically and its
+    /// samples canonically into one [`TilePartial`], emitted in tile-id
+    /// order. [`QuerySummary::from_partials`] defines the final fold —
+    /// shared verbatim with the shard router so distributed answers are
+    /// bit-identical.
+    fn partials(
         &self,
-        keys: &[TileKey],
+        mut keys: Vec<TileKey>,
         matches: impl Fn(&SampleRecord) -> bool,
-    ) -> Result<QuerySummary, CatalogError> {
-        let mut s = QuerySummary {
-            n_samples: 0,
-            class_counts: [0; 3],
-            n_ice: 0,
-            mean_ice_freeboard_m: 0.0,
-            min_freeboard_m: f64::INFINITY,
-            max_freeboard_m: f64::NEG_INFINITY,
-            n_tiles: 0,
-            n_cells: 0,
-        };
-        let mut ice_sum = 0.0f64;
-        let mut tiles_hit: BTreeSet<TileId> = BTreeSet::new();
-        let mut cells_hit: BTreeSet<(TileId, u32)> = BTreeSet::new();
-        for key in keys {
-            let Some(snapshot) = self.load_tile(key)? else {
-                continue;
+    ) -> Result<Vec<TilePartial>, CatalogError> {
+        // Group a tile's layers together, chronological within the tile.
+        keys.sort_unstable_by_key(|k| (k.tile, k.time));
+        let mut out: Vec<TilePartial> = Vec::new();
+        let mut i = 0usize;
+        while i < keys.len() {
+            let tile = keys[i].tile;
+            let mut p = TilePartial {
+                tile,
+                n_samples: 0,
+                class_counts: [0; 3],
+                n_ice: 0,
+                ice_sum_m: 0.0,
+                min_freeboard_m: f64::INFINITY,
+                max_freeboard_m: f64::NEG_INFINITY,
+                n_cells: 0,
             };
-            for sample in snapshot.samples() {
-                if !matches(sample) {
-                    continue;
+            let mut cells_hit: BTreeSet<u32> = BTreeSet::new();
+            while i < keys.len() && keys[i].tile == tile {
+                if let Some(snapshot) = self.load_tile(&keys[i])? {
+                    for sample in snapshot.samples() {
+                        if !matches(sample) {
+                            continue;
+                        }
+                        p.n_samples += 1;
+                        p.class_counts[sample.class.index()] += 1;
+                        if sample.class != SurfaceClass::OpenWater {
+                            p.n_ice += 1;
+                            p.ice_sum_m += sample.freeboard_m;
+                        }
+                        p.min_freeboard_m = p.min_freeboard_m.min(sample.freeboard_m);
+                        p.max_freeboard_m = p.max_freeboard_m.max(sample.freeboard_m);
+                        cells_hit.insert(sample.cell);
+                    }
                 }
-                s.n_samples += 1;
-                s.class_counts[sample.class.index()] += 1;
-                if sample.class != SurfaceClass::OpenWater {
-                    s.n_ice += 1;
-                    ice_sum += sample.freeboard_m;
-                }
-                s.min_freeboard_m = s.min_freeboard_m.min(sample.freeboard_m);
-                s.max_freeboard_m = s.max_freeboard_m.max(sample.freeboard_m);
-                tiles_hit.insert(key.tile);
-                cells_hit.insert((key.tile, sample.cell));
+                i += 1;
+            }
+            if p.n_samples > 0 {
+                p.n_cells = cells_hit.len() as u64;
+                out.push(p);
             }
         }
-        s.n_tiles = tiles_hit.len();
-        s.n_cells = cells_hit.len();
-        if s.n_ice > 0 {
-            s.mean_ice_freeboard_m = ice_sum / s.n_ice as f64;
-        }
-        if s.n_samples == 0 {
-            s.min_freeboard_m = 0.0;
-            s.max_freeboard_m = 0.0;
-        }
-        Ok(s)
+        Ok(out)
     }
 }
 

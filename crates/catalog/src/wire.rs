@@ -1,0 +1,661 @@
+//! The catalog wire protocol: length-prefixed frames carrying
+//! artifact-tagged request/response messages.
+//!
+//! This module is the single normative implementation of the protocol
+//! specified in `docs/PROTOCOL.md`. The framing reuses the
+//! [`seaice::artifact`] conventions end to end — every frame payload is
+//! a magic-tagged, versioned, overflow-hardened binary message — so a
+//! server can reject foreign or future traffic before decoding a single
+//! field, and a non-Rust client can be written from the spec alone.
+//!
+//! Layering:
+//!
+//! - **Frame**: `u32` little-endian payload length, then the payload.
+//!   Payloads are capped at [`MAX_FRAME_BYTES`]; both ends drop the
+//!   connection on oversized frames.
+//! - **Message**: one framed [`Request`] (`SIRQ` v1) or [`Response`]
+//!   (`SIRS` v1).
+//! - **Exchange**: one request, then one or more response frames.
+//!   Streamed record responses (tile partials, layer partials, cell
+//!   summaries) arrive as batch frames terminated by
+//!   [`Response::Done`] carrying the total record count as an
+//!   integrity check; scalar responses are a single frame. Errors
+//!   arrive as [`Response::Error`] frames and terminate the exchange.
+
+use std::io::{Read, Write};
+
+use icesat_geo::{BoundingBox, GeoPoint};
+use seaice::artifact::{Artifact, ArtifactError, Codec, Reader, Writer};
+
+use crate::cache::CacheStats;
+use crate::grid::{GridConfig, MapRect, TileScope, TimeKey, TimeRange};
+use crate::store::{CatalogStats, CellSummary, TilePartial};
+use crate::tile::CellAggregate;
+use crate::CatalogError;
+
+/// Hard cap on a frame payload; both ends reject bigger frames.
+pub const MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// Records per streamed batch frame (server-side chunking).
+pub const BATCH_RECORDS: usize = 256;
+
+/// Protocol error code: the request frame failed to decode.
+pub const ERR_BAD_REQUEST: u16 = 1;
+/// Protocol error code: unsupported request tag or version.
+pub const ERR_BAD_VERSION: u16 = 2;
+/// Protocol error code: the catalog failed to answer.
+pub const ERR_CATALOG: u16 = 3;
+
+// ---------------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame, blocking. `Ok(None)` is a clean
+/// end-of-stream at a frame boundary; EOF inside a frame, an oversized
+/// length, or I/O failure are errors.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, CatalogError> {
+    read_frame_cancellable(r, || false)
+}
+
+/// [`read_frame`] for sockets with a read timeout: on a timeout that
+/// lands *between* frames, `should_stop` decides whether to keep
+/// waiting (`false`) or end the stream cleanly (`true`). A timeout
+/// inside a frame keeps reading (the peer is mid-send) unless
+/// `should_stop` asks to abandon the connection.
+pub fn read_frame_cancellable(
+    r: &mut impl Read,
+    mut should_stop: impl FnMut() -> bool,
+) -> Result<Option<Vec<u8>>, CatalogError> {
+    let mut header = [0u8; 4];
+    match read_full(r, &mut header, &mut should_stop)? {
+        ReadOutcome::Complete => {}
+        ReadOutcome::CleanEof | ReadOutcome::Stopped => return Ok(None),
+        ReadOutcome::TruncatedEof => {
+            return Err(CatalogError::Protocol(
+                "connection closed mid-header".into(),
+            ))
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(CatalogError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    match read_full(r, &mut payload, &mut should_stop)? {
+        ReadOutcome::Complete => Ok(Some(payload)),
+        ReadOutcome::Stopped => Ok(None),
+        ReadOutcome::CleanEof | ReadOutcome::TruncatedEof => {
+            Err(CatalogError::Protocol("connection closed mid-frame".into()))
+        }
+    }
+}
+
+enum ReadOutcome {
+    Complete,
+    /// EOF before the first byte of this read.
+    CleanEof,
+    /// EOF after some bytes.
+    TruncatedEof,
+    /// `should_stop` asked to abandon the wait.
+    Stopped,
+}
+
+/// Fills `buf`, retrying timeout errors, consulting `should_stop` on
+/// each timeout tick.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    should_stop: &mut impl FnMut() -> bool,
+) -> Result<ReadOutcome, CatalogError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::TruncatedEof
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if should_stop() {
+                    return Ok(ReadOutcome::Stopped);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(CatalogError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Complete)
+}
+
+/// Frames and writes one artifact-framed message.
+pub fn write_message<M: Artifact>(w: &mut impl Write, message: &M) -> Result<(), CatalogError> {
+    let bytes = message.to_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(CatalogError::Protocol(
+            "message exceeds the frame cap".into(),
+        ));
+    }
+    write_frame(w, &bytes).map_err(CatalogError::Io)
+}
+
+/// Reads and decodes one message; `Ok(None)` at clean end-of-stream.
+pub fn read_message<M: Artifact>(r: &mut impl Read) -> Result<Option<M>, CatalogError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => Ok(Some(M::from_bytes(&payload)?)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------------
+
+/// One client request (`SIRQ` v1). Every query carries the
+/// [`TileScope`] it is restricted to — the shard router sends each
+/// shard its owned prefixes, so a tile is answered by exactly one
+/// shard even when shard stores overlap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// The catalog's grid (the handshake — a client needs it for
+    /// tile-cover planning and point routing).
+    Manifest,
+    /// Per-tile partials of a projected-rect summary query.
+    QueryRect {
+        /// Query rectangle, EPSG-3976 metres.
+        rect: MapRect,
+        /// Temporal layers included.
+        time: TimeRange,
+        /// Tiles the responder may touch.
+        scope: TileScope,
+    },
+    /// Per-tile partials of a geographic bounding-box summary query.
+    QueryBbox {
+        /// Geographic query box.
+        bbox: BoundingBox,
+        /// Temporal layers included.
+        time: TimeRange,
+        /// Tiles the responder may touch.
+        scope: TileScope,
+    },
+    /// The aggregated cell under a geographic point.
+    QueryPoint {
+        /// Probe point.
+        point: GeoPoint,
+        /// Temporal layers merged (chronological).
+        time: TimeRange,
+        /// Tiles the responder may touch.
+        scope: TileScope,
+    },
+    /// Per-layer, per-tile partials over a time range.
+    QueryTimeRange {
+        /// Temporal layers included.
+        time: TimeRange,
+        /// Tiles the responder may touch.
+        scope: TileScope,
+    },
+    /// The gridded composite over a projected rect.
+    QueryCells {
+        /// Query rectangle, EPSG-3976 metres.
+        rect: MapRect,
+        /// Temporal layers merged per cell (chronological).
+        time: TimeRange,
+        /// Tiles the responder may touch.
+        scope: TileScope,
+    },
+    /// Scoped store counters + layer list.
+    Stats {
+        /// Tiles counted.
+        scope: TileScope,
+    },
+    /// Scoped full-store invariant check.
+    Validate {
+        /// Tiles checked.
+        scope: TileScope,
+    },
+}
+
+impl Codec for Request {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Request::Manifest => w.put_u8(0),
+            Request::QueryRect { rect, time, scope } => {
+                w.put_u8(1);
+                rect.encode(w);
+                time.encode(w);
+                scope.encode(w);
+            }
+            Request::QueryBbox { bbox, time, scope } => {
+                w.put_u8(2);
+                bbox.encode(w);
+                time.encode(w);
+                scope.encode(w);
+            }
+            Request::QueryPoint { point, time, scope } => {
+                w.put_u8(3);
+                point.encode(w);
+                time.encode(w);
+                scope.encode(w);
+            }
+            Request::QueryTimeRange { time, scope } => {
+                w.put_u8(4);
+                time.encode(w);
+                scope.encode(w);
+            }
+            Request::QueryCells { rect, time, scope } => {
+                w.put_u8(5);
+                rect.encode(w);
+                time.encode(w);
+                scope.encode(w);
+            }
+            Request::Stats { scope } => {
+                w.put_u8(6);
+                scope.encode(w);
+            }
+            Request::Validate { scope } => {
+                w.put_u8(7);
+                scope.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(match r.take_u8()? {
+            0 => Request::Manifest,
+            1 => Request::QueryRect {
+                rect: MapRect::decode(r)?,
+                time: TimeRange::decode(r)?,
+                scope: TileScope::decode(r)?,
+            },
+            2 => Request::QueryBbox {
+                bbox: BoundingBox::decode(r)?,
+                time: TimeRange::decode(r)?,
+                scope: TileScope::decode(r)?,
+            },
+            3 => Request::QueryPoint {
+                point: GeoPoint::decode(r)?,
+                time: TimeRange::decode(r)?,
+                scope: TileScope::decode(r)?,
+            },
+            4 => Request::QueryTimeRange {
+                time: TimeRange::decode(r)?,
+                scope: TileScope::decode(r)?,
+            },
+            5 => Request::QueryCells {
+                rect: MapRect::decode(r)?,
+                time: TimeRange::decode(r)?,
+                scope: TileScope::decode(r)?,
+            },
+            6 => Request::Stats {
+                scope: TileScope::decode(r)?,
+            },
+            7 => Request::Validate {
+                scope: TileScope::decode(r)?,
+            },
+            _ => return Err(ArtifactError::Invalid("request kind")),
+        })
+    }
+}
+
+impl Artifact for Request {
+    const TAG: [u8; 4] = *b"SIRQ";
+    const VERSION: u16 = 1;
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------------------
+
+/// One server response frame (`SIRS` v1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The catalog's grid (answers [`Request::Manifest`]).
+    Manifest(GridConfig),
+    /// A batch of per-tile summary partials (rect/bbox queries).
+    TileBatch(Vec<TilePartial>),
+    /// A batch of per-layer, per-tile partials (time-range queries).
+    LayerBatch(Vec<(TimeKey, TilePartial)>),
+    /// A batch of gridded composite cells (cell queries).
+    CellBatch(Vec<CellSummary>),
+    /// The aggregated cell under a probe point, if any.
+    Point(Option<CellSummary>),
+    /// Scoped counters + chronological layer list.
+    Stats {
+        /// Scoped store counters.
+        stats: CatalogStats,
+        /// Scoped temporal layers, chronological.
+        layers: Vec<TimeKey>,
+    },
+    /// Terminates a streamed response; `n_records` is the total record
+    /// count across the preceding batches (integrity check). Also the
+    /// success reply to [`Request::Validate`], where it carries the
+    /// number of tiles checked.
+    Done {
+        /// Total records streamed before this frame.
+        n_records: u64,
+    },
+    /// The request failed; terminates the exchange.
+    Error {
+        /// Protocol error code (`ERR_*`).
+        code: u16,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Codec for Response {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Response::Manifest(grid) => {
+                w.put_u8(0);
+                grid.encode(w);
+            }
+            Response::TileBatch(batch) => {
+                w.put_u8(1);
+                batch.encode(w);
+            }
+            Response::LayerBatch(batch) => {
+                w.put_u8(2);
+                batch.encode(w);
+            }
+            Response::CellBatch(batch) => {
+                w.put_u8(3);
+                batch.encode(w);
+            }
+            Response::Point(cell) => {
+                w.put_u8(4);
+                cell.encode(w);
+            }
+            Response::Stats { stats, layers } => {
+                w.put_u8(5);
+                stats.encode(w);
+                layers.encode(w);
+            }
+            Response::Done { n_records } => {
+                w.put_u8(6);
+                w.put_u64(*n_records);
+            }
+            Response::Error { code, message } => {
+                w.put_u8(7);
+                w.put_u16(*code);
+                message.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(match r.take_u8()? {
+            0 => Response::Manifest(GridConfig::decode(r)?),
+            1 => Response::TileBatch(Vec::decode(r)?),
+            2 => Response::LayerBatch(Vec::decode(r)?),
+            3 => Response::CellBatch(Vec::decode(r)?),
+            4 => Response::Point(Option::decode(r)?),
+            5 => Response::Stats {
+                stats: CatalogStats::decode(r)?,
+                layers: Vec::decode(r)?,
+            },
+            6 => Response::Done {
+                n_records: r.take_u64()?,
+            },
+            7 => Response::Error {
+                code: r.take_u16()?,
+                message: String::decode(r)?,
+            },
+            _ => return Err(ArtifactError::Invalid("response kind")),
+        })
+    }
+}
+
+impl Artifact for Response {
+    const TAG: [u8; 4] = *b"SIRS";
+    const VERSION: u16 = 1;
+}
+
+// ---------------------------------------------------------------------------
+// Codec impls for the payload records that cross the wire.
+// ---------------------------------------------------------------------------
+
+impl Codec for CellAggregate {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.n);
+        self.class_counts.encode(w);
+        w.put_u64(self.ice_n);
+        w.put_f64(self.ice_sum_m);
+        w.put_f64(self.min_freeboard_m);
+        w.put_f64(self.max_freeboard_m);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(CellAggregate {
+            n: r.take_u64()?,
+            class_counts: <[u64; 3]>::decode(r)?,
+            ice_n: r.take_u64()?,
+            ice_sum_m: r.take_f64()?,
+            min_freeboard_m: r.take_f64()?,
+            max_freeboard_m: r.take_f64()?,
+        })
+    }
+}
+
+impl Codec for CellSummary {
+    fn encode(&self, w: &mut Writer) {
+        self.tile.encode(w);
+        w.put_u32(self.cell);
+        self.center.encode(w);
+        self.agg.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(CellSummary {
+            tile: crate::grid::TileId::decode(r)?,
+            cell: r.take_u32()?,
+            center: icesat_geo::MapPoint::decode(r)?,
+            agg: CellAggregate::decode(r)?,
+        })
+    }
+}
+
+impl Codec for CacheStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.evictions);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(CacheStats {
+            hits: r.take_u64()?,
+            misses: r.take_u64()?,
+            evictions: r.take_u64()?,
+        })
+    }
+}
+
+impl Codec for CatalogStats {
+    fn encode(&self, w: &mut Writer) {
+        self.n_layers.encode(w);
+        self.n_tiles.encode(w);
+        self.n_samples.encode(w);
+        self.cache.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(CatalogStats {
+            n_layers: usize::decode(r)?,
+            n_tiles: usize::decode(r)?,
+            n_samples: usize::decode(r)?,
+            cache: CacheStats::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{TileId, TimeKey};
+    use icesat_geo::MapPoint;
+
+    fn partial() -> TilePartial {
+        TilePartial {
+            tile: TileId::new(3, 2, 5).unwrap(),
+            n_samples: 12,
+            class_counts: [5, 4, 3],
+            n_ice: 9,
+            ice_sum_m: 2.25,
+            min_freeboard_m: -0.02,
+            max_freeboard_m: 0.61,
+            n_cells: 4,
+        }
+    }
+
+    fn roundtrip<M: Artifact + PartialEq + std::fmt::Debug>(m: &M) {
+        let mut buf: Vec<u8> = Vec::new();
+        write_message(&mut buf, m).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let back: M = read_message(&mut cursor).unwrap().expect("one message");
+        assert_eq!(&back, m);
+        assert!(
+            matches!(read_message::<M>(&mut cursor), Ok(None)),
+            "clean EOF"
+        );
+    }
+
+    #[test]
+    fn requests_roundtrip_through_frames() {
+        let scope = TileScope::of(&["0", "31"]).unwrap();
+        let rect = MapRect::new(MapPoint::new(-1.0, -2.0), MapPoint::new(3.0, 4.0));
+        let time = TimeRange::only(TimeKey::new(2019, 11).unwrap());
+        for request in [
+            Request::Manifest,
+            Request::QueryRect {
+                rect,
+                time,
+                scope: scope.clone(),
+            },
+            Request::QueryBbox {
+                bbox: icesat_geo::BoundingBox::ROSS_SEA,
+                time,
+                scope: scope.clone(),
+            },
+            Request::QueryPoint {
+                point: GeoPoint::new(-74.0, -163.0),
+                time,
+                scope: scope.clone(),
+            },
+            Request::QueryTimeRange {
+                time: TimeRange::all(),
+                scope: scope.clone(),
+            },
+            Request::QueryCells {
+                rect,
+                time,
+                scope: scope.clone(),
+            },
+            Request::Stats {
+                scope: scope.clone(),
+            },
+            Request::Validate { scope },
+        ] {
+            roundtrip(&request);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_frames() {
+        let cell = CellSummary {
+            tile: TileId::new(2, 1, 1).unwrap(),
+            cell: 17,
+            center: MapPoint::new(100.0, -200.0),
+            agg: CellAggregate {
+                n: 3,
+                class_counts: [1, 1, 1],
+                ice_n: 2,
+                ice_sum_m: 0.5,
+                min_freeboard_m: 0.0,
+                max_freeboard_m: 0.4,
+            },
+        };
+        for response in [
+            Response::Manifest(GridConfig::ross_sea()),
+            Response::TileBatch(vec![partial(), partial()]),
+            Response::LayerBatch(vec![(TimeKey::new(2019, 9).unwrap(), partial())]),
+            Response::CellBatch(vec![cell]),
+            Response::Point(Some(cell)),
+            Response::Point(None),
+            Response::Stats {
+                stats: CatalogStats {
+                    n_layers: 2,
+                    n_tiles: 5,
+                    n_samples: 1234,
+                    cache: CacheStats {
+                        hits: 10,
+                        misses: 3,
+                        evictions: 1,
+                    },
+                },
+                layers: vec![
+                    TimeKey::new(2019, 9).unwrap(),
+                    TimeKey::new(2019, 11).unwrap(),
+                ],
+            },
+            Response::Done { n_records: 42 },
+            Response::Error {
+                code: ERR_CATALOG,
+                message: "boom".into(),
+            },
+        ] {
+            roundtrip(&response);
+        }
+    }
+
+    #[test]
+    fn hostile_frames_error_not_panic() {
+        // Oversized length prefix.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(buf)),
+            Err(CatalogError::Protocol(_))
+        ));
+        // Truncated header.
+        assert!(read_frame(&mut std::io::Cursor::new(vec![1u8, 0])).is_err());
+        // Truncated payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert!(read_frame(&mut std::io::Cursor::new(buf)).is_err());
+        // Wrong magic in an otherwise valid frame.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"XXXX\x01\x00\x00").unwrap();
+        assert!(matches!(
+            read_message::<Request>(&mut std::io::Cursor::new(buf)),
+            Err(CatalogError::Artifact(ArtifactError::BadMagic))
+        ));
+        // Future version.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(b"SIRQ");
+        payload.extend_from_slice(&2u16.to_le_bytes());
+        payload.push(0);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert!(matches!(
+            read_message::<Request>(&mut std::io::Cursor::new(buf)),
+            Err(CatalogError::Artifact(ArtifactError::BadVersion(2)))
+        ));
+        // Truncated request body inside a well-formed frame.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"SIRQ\x01\x00").unwrap();
+        assert!(read_message::<Request>(&mut std::io::Cursor::new(buf)).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Writer-lease acceptance: two would-be writers race for one catalog
+//! directory — exactly one wins and the loser gets a typed error — and
+//! a stale (crashed-owner) lease is taken over without corrupting the
+//! version index.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use icesat_geo::{MapPoint, EPSG_3976};
+use icesat_scene::SurfaceClass;
+use seaice::freeboard::{FreeboardPoint, FreeboardProduct};
+use seaice_catalog::{Catalog, CatalogError, CatalogOptions, GridConfig, LeaseOptions, TimeRange};
+
+fn grid() -> GridConfig {
+    GridConfig::new(MapPoint::new(-300_000.0, -1_300_000.0), 10_000.0, 2, 8).unwrap()
+}
+
+fn line_product(n: usize, y0: f64, fb0: f64) -> FreeboardProduct {
+    let points = (0..n)
+        .map(|i| {
+            let m = MapPoint::new(-306_000.0 + i as f64 * 30.0, y0 + i as f64 * 12.0);
+            let g = EPSG_3976.inverse(m);
+            FreeboardPoint {
+                along_track_m: i as f64 * 2.0,
+                lat: g.lat,
+                lon: g.lon,
+                freeboard_m: fb0 + (i % 5) as f64 * 0.02,
+                class: SurfaceClass::ALL[i % 3],
+            }
+        })
+        .collect();
+    FreeboardProduct {
+        name: "lease line".into(),
+        points,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seaice_leasecat_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn second_writer_loses_with_typed_error_and_readers_still_work() {
+    let dir = temp_dir("contend");
+    let winner = Catalog::create_writer(
+        &dir,
+        grid(),
+        CatalogOptions::default(),
+        &LeaseOptions::new("writer-a"),
+    )
+    .unwrap();
+    assert_eq!(winner.lease().unwrap().owner, "writer-a");
+    winner
+        .ingest_beam(
+            "20191104195311_05000210",
+            0,
+            &line_product(300, -1_304_000.0, 0.2),
+        )
+        .unwrap();
+
+    // A second leased writer is refused with the typed loser error…
+    match Catalog::open_writer(
+        &dir,
+        CatalogOptions::default(),
+        &LeaseOptions::new("writer-b"),
+    ) {
+        Err(CatalogError::LeaseHeld { owner, .. }) => assert_eq!(owner, "writer-a"),
+        other => panic!("expected LeaseHeld, got {:?}", other.map(|_| "a catalog")),
+    }
+    // …while unleased read-only opens keep working.
+    let reader = Catalog::open(&dir).unwrap();
+    assert_eq!(reader.stats().unwrap().n_samples, 300);
+    assert!(reader.lease().is_none());
+
+    // Releasing the lease (drop) lets the next writer in.
+    drop(winner);
+    let next = Catalog::open_writer(
+        &dir,
+        CatalogOptions::default(),
+        &LeaseOptions::new("writer-b"),
+    )
+    .unwrap();
+    assert_eq!(next.lease().unwrap().owner, "writer-b");
+    drop(next);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn racing_writers_produce_exactly_one_winner() {
+    let dir = temp_dir("race");
+    let results: Vec<Result<Catalog, CatalogError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let dir = dir.clone();
+                s.spawn(move || {
+                    Catalog::create_writer(
+                        &dir,
+                        grid(),
+                        CatalogOptions::default(),
+                        &LeaseOptions::new(format!("racer-{i}")),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(
+        results.iter().filter(|r| r.is_ok()).count(),
+        1,
+        "exactly one racing writer may hold the lease"
+    );
+    for r in &results {
+        if let Err(e) = r {
+            assert!(
+                matches!(e, CatalogError::LeaseHeld { .. }),
+                "loser must see LeaseHeld, got {e:?}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_lease_takeover_preserves_the_version_index() {
+    let dir = temp_dir("takeover");
+    let ttl = Duration::from_millis(80);
+    let crashed = Catalog::create_writer(
+        &dir,
+        grid(),
+        CatalogOptions::default(),
+        &LeaseOptions::new("crashed-owner").with_ttl(ttl),
+    )
+    .unwrap();
+    crashed
+        .ingest_beam(
+            "20191104195311_05000210",
+            0,
+            &line_product(400, -1_305_000.0, 0.18),
+        )
+        .unwrap();
+    let before = crashed.stats().unwrap();
+    assert_eq!(before.n_samples, 400);
+    // Simulate a crash: the process dies without releasing the lease.
+    std::mem::forget(crashed);
+
+    // A prompt successor is still locked out (the lease looks live)…
+    assert!(matches!(
+        Catalog::open_writer(
+            &dir,
+            CatalogOptions::default(),
+            &LeaseOptions::new("taker").with_ttl(ttl)
+        ),
+        Err(CatalogError::LeaseHeld { .. })
+    ));
+    // …until the heartbeat goes stale.
+    std::thread::sleep(ttl + Duration::from_millis(60));
+    let taker = Catalog::open_writer(
+        &dir,
+        CatalogOptions::default(),
+        &LeaseOptions::new("taker").with_ttl(ttl),
+    )
+    .unwrap();
+    assert_eq!(taker.lease().unwrap().owner, "taker");
+
+    // The rebuilt version index carries the crashed writer's data, and
+    // new ingest merges on top without losing anything.
+    assert_eq!(taker.stats().unwrap().n_samples, 400);
+    taker
+        .ingest_beam(
+            "20191104195311_05010210",
+            1,
+            &line_product(250, -1_302_000.0, 0.3),
+        )
+        .unwrap();
+    let whole = taker
+        .query_rect(&taker.grid().domain(), TimeRange::all())
+        .unwrap();
+    whole.check_consistency().unwrap();
+    assert_eq!(whole.n_samples, 650, "takeover lost or duplicated samples");
+    taker.validate().unwrap();
+
+    // Cold reopen agrees bit for bit.
+    drop(taker);
+    let reopened = Catalog::open(&dir).unwrap();
+    let again = reopened
+        .query_rect(&reopened.grid().domain(), TimeRange::all())
+        .unwrap();
+    assert_eq!(again, whole);
+    assert_eq!(
+        again.mean_ice_freeboard_m.to_bits(),
+        whole.mean_ice_freeboard_m.to_bits()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fenced_writer_refuses_ingest_after_takeover() {
+    let dir = temp_dir("fence");
+    let ttl = Duration::from_millis(80);
+    let old = Catalog::create_writer(
+        &dir,
+        grid(),
+        CatalogOptions::default(),
+        &LeaseOptions::new("old").with_ttl(ttl),
+    )
+    .unwrap();
+    old.ingest_beam(
+        "20191104195311_05000210",
+        0,
+        &line_product(100, -1_306_000.0, 0.2),
+    )
+    .unwrap();
+    // The old writer stalls past its ttl; a taker moves in.
+    std::thread::sleep(ttl + Duration::from_millis(60));
+    let taker = Catalog::open_writer(
+        &dir,
+        CatalogOptions::default(),
+        &LeaseOptions::new("new").with_ttl(Duration::from_secs(30)),
+    )
+    .unwrap();
+    // Self-fencing: the stalled writer's next ingest is refused before
+    // it can touch a tile.
+    match old.ingest_beam(
+        "20191104195311_05010210",
+        1,
+        &line_product(50, -1_303_000.0, 0.25),
+    ) {
+        Err(CatalogError::LeaseLost) => {}
+        other => panic!("expected LeaseLost, got {:?}", other.map(|r| r.n_samples)),
+    }
+    assert_eq!(
+        taker.stats().unwrap().n_samples,
+        100,
+        "no partial batch leaked"
+    );
+    drop(old);
+    drop(taker);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -369,10 +369,30 @@ macro_rules! codec_enum_index {
 // Geometry / scene.
 // ---------------------------------------------------------------------------
 
-use icesat_geo::MapPoint;
+use icesat_geo::{BoundingBox, GeoPoint, MapPoint};
 use icesat_scene::{DriftModel, SceneConfig, SurfaceClass};
 
 codec_struct!(MapPoint { x, y });
+codec_struct!(BoundingBox {
+    lon_min,
+    lon_max,
+    lat_min,
+    lat_max,
+});
+
+impl Codec for GeoPoint {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.lat);
+        w.put_f64(self.lon);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let lat = r.take_f64()?;
+        let lon = r.take_f64()?;
+        // Through the constructor so the longitude-normalisation
+        // invariant survives a hostile buffer.
+        Ok(GeoPoint::new(lat, lon))
+    }
+}
 codec_struct!(DriftModel { vx_mps, vy_mps });
 codec_struct!(SceneConfig {
     seed,
@@ -814,6 +834,17 @@ mod tests {
         roundtrip(&Option::<u8>::None);
         roundtrip(&(1.0f64, -2.0f64, 3.5f64));
         roundtrip(&[5usize, 6, 7]);
+    }
+
+    #[test]
+    fn geo_structs_roundtrip() {
+        roundtrip(&GeoPoint::new(-74.5, -163.25));
+        roundtrip(&BoundingBox {
+            lon_min: -180.0,
+            lon_max: -141.0,
+            lat_min: -78.0,
+            lat_max: -69.0,
+        });
     }
 
     #[test]

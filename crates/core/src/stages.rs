@@ -16,7 +16,7 @@
 //!                                     ATL07/ATL10 baseline
 //! ```
 //!
-//! Every artifact implements [`Artifact`](crate::artifact::Artifact): it
+//! Every artifact implements [`Artifact`]: it
 //! can be saved, shipped, and loaded independently — which is exactly what
 //! [`crate::fleet::FleetDriver`] does to fan one [`TrainedModels`] out
 //! across a fleet of granules. [`PipelineBuilder`] composes the stages;

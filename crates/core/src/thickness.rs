@@ -2,7 +2,7 @@
 //!
 //! The conclusion of the paper points at "polar-wide scale freeboard and
 //! even thickness products"; the standard conversion (e.g. the OLMi
-//! lineage the paper cites as ref. [11], and Kwok et al.'s
+//! lineage the paper cites as ref. \[11\], and Kwok et al.'s
 //! freeboard-to-thickness chain) assumes hydrostatic equilibrium of an
 //! ice slab with a snow load:
 //!

@@ -11,7 +11,7 @@
 //! The primary entry points are [`Layer::forward_ws`] /
 //! [`Layer::backward_ws`]: transient values (layer outputs, input
 //! gradients) are borrowed from the caller's
-//! [`Workspace`](crate::workspace::Workspace), while long-lived caches
+//! [`Workspace`], while long-lived caches
 //! (activations kept for backward, the LSTM's packed per-sequence
 //! buffers, gradient accumulators) are owned by the layer and resized in
 //! place. After one warmup step nothing in the steady-state training loop

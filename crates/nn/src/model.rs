@@ -159,7 +159,7 @@ impl Sequential {
     }
 
     /// Class predictions (argmax of logits) in inference mode, streamed
-    /// in row chunks: activations for at most [`PREDICT_CHUNK`] rows are
+    /// in row chunks: activations for at most `PREDICT_CHUNK` rows are
     /// live at any time and every buffer is recycled through the model's
     /// workspace, instead of materialising the full logits matrix for the
     /// whole input.

@@ -3,7 +3,7 @@
 //!
 //! The paper labels ATL03 photons by overlaying coincident Sentinel-2 L1C
 //! images segmented with a *thin-cloud and shadow-filtered color-based*
-//! method (their ref. [5]). We render statistically equivalent S2 scenes
+//! method (their ref. \[5\]). We render statistically equivalent S2 scenes
 //! from the same truth [`icesat_scene::Scene`] the ATL03 generator uses:
 //!
 //! - [`raster`] — georeferenced rasters in the EPSG-3976 plane,

@@ -1,6 +1,6 @@
 //! Color-based segmentation with thin-cloud and shadow filtering.
 //!
-//! Implements the spirit of the paper's ref. [5] (color-based segmentation
+//! Implements the spirit of the paper's ref. \[5\] (color-based segmentation
 //! that tolerates thin cloud and shadow) as an explicit physical unmixing.
 //! The rendered (and, to good approximation, the real) observation at a
 //! pixel is

@@ -25,7 +25,10 @@
 //!   local sea surface detection, and freeboard retrieval, plus the
 //!   ATL07/ATL10 baseline emulation.
 //! - [`catalog`] — the serve path: a tiled polar-stereographic store of
-//!   fleet products with a concurrent spatial/temporal query engine.
+//!   fleet products with a concurrent spatial/temporal query engine, a
+//!   TCP serving front-end + quadkey-prefix shard router (bit-identical
+//!   remote queries; wire spec in `docs/PROTOCOL.md`), and a
+//!   cross-process writer-lease protocol.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the experiment
 //! index.

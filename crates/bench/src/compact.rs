@@ -1,0 +1,221 @@
+//! The `reproduce compact` experiment: ingest idempotency and offline
+//! compaction throughput.
+//!
+//! One fleet classification run lands in a catalog, then the experiment
+//! measures the maintenance paths this store needs to live for years:
+//!
+//! - **Skip re-ingest** — the same fleet re-ingested under the default
+//!   `IngestMode::Skip`: the sidecar ledger short-circuits before any
+//!   projection, so the rate is the cost of *recognising* a duplicate
+//!   run (and the store is asserted byte-stable);
+//! - **Replace re-ingest** — the fleet re-ingested under
+//!   `IngestMode::Replace`: every source's prior samples are removed
+//!   and re-merged, the upper bound for an in-place refresh;
+//! - **Identity compaction** — the catalog rewritten at its own grid
+//!   (asserted bit-identical on `stats`);
+//! - **Re-grid compaction** — rewritten one quadtree level finer with
+//!   monthly layers folded into seasons;
+//! - **Retention compaction** — segment detail retired into frozen
+//!   per-cell aggregates (the long-horizon archive shape).
+
+use std::time::Instant;
+
+use seaice::FleetDriver;
+use seaice_catalog::{
+    compact as compact_catalog, Catalog, CatalogSink, CompactionConfig, GridConfig, IngestMode,
+    LayerMap, TimeKey,
+};
+use sparklite::Cluster;
+
+use crate::catalog::grid_for;
+use crate::common::{shared_run, ExperimentOutput, Scale};
+
+/// Runs the compaction experiment at `scale`.
+pub fn compact(scale: Scale) -> ExperimentOutput {
+    let shared = shared_run(scale, 4242);
+    let (pipeline, run) = (&shared.0, &shared.1);
+    let n_granules = match scale {
+        Scale::Quick => 2,
+        Scale::Full => 4,
+    };
+    let tag = std::process::id();
+    let fleet_dir = std::env::temp_dir().join(format!("seaice_compact_fleet_{tag}"));
+    let sources = FleetDriver::write_fleet(pipeline, &fleet_dir, n_granules).expect("fleet files");
+    let driver = FleetDriver::new(Cluster::new(2, 2), &pipeline.cfg);
+
+    let src_dir = std::env::temp_dir().join(format!("seaice_compact_src_{tag}"));
+    let _ = std::fs::remove_dir_all(&src_dir);
+    let grid = grid_for(&pipeline.cfg);
+    let catalog = Catalog::create(&src_dir, grid).expect("catalog create");
+    let (ingest, _) = driver
+        .classify_into_catalog(&sources, &run.models, &catalog)
+        .expect("classify into catalog");
+    let (products, _) = driver.classify_run(&sources, &run.models);
+    let n_points: usize = products.iter().map(|p| p.freeboard.len()).sum();
+    let stats = catalog.stats().expect("stats");
+
+    // --- Skip re-ingest (idempotency fast path) ------------------------
+    let start = Instant::now();
+    let skip = catalog.ingest_products(&products).expect("skip re-ingest");
+    let skip_s = start.elapsed().as_secs_f64();
+    assert_eq!(skip.n_samples, 0, "skip re-ingest wrote samples");
+    assert_eq!(skip.n_skipped, n_points, "skip re-ingest missed points");
+    assert_eq!(
+        catalog.stats().expect("stats").n_samples,
+        stats.n_samples,
+        "skip re-ingest changed the store"
+    );
+    let skip_rate = n_points as f64 / skip_s.max(1e-9);
+
+    // --- Replace re-ingest (in-place refresh) --------------------------
+    let start = Instant::now();
+    let replace = catalog
+        .ingest_products_with(&products, IngestMode::Replace)
+        .expect("replace re-ingest");
+    let replace_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        replace.n_replaced, replace.n_samples,
+        "replace of an identical fleet re-merges exactly what it removes"
+    );
+    let replace_rate = replace.n_samples as f64 / replace_s.max(1e-9);
+
+    // --- Identity compaction ------------------------------------------
+    let rewrite_dir = std::env::temp_dir().join(format!("seaice_compact_rewrite_{tag}"));
+    let _ = std::fs::remove_dir_all(&rewrite_dir);
+    let start = Instant::now();
+    let rewrite = compact_catalog(&src_dir, &rewrite_dir, &CompactionConfig::rewrite(grid))
+        .expect("identity compaction");
+    let rewrite_s = start.elapsed().as_secs_f64();
+    assert_eq!(rewrite.n_samples_out, stats.n_samples);
+    let rewritten = Catalog::open(&rewrite_dir).expect("open compacted");
+    let rewritten_stats = rewritten.stats().expect("stats");
+    assert_eq!(rewritten_stats.n_samples, stats.n_samples);
+    assert_eq!(rewritten_stats.n_tiles, stats.n_tiles);
+    let rewrite_rate = rewrite.n_samples_in as f64 / rewrite_s.max(1e-9);
+
+    // --- Re-grid + seasonal compaction --------------------------------
+    let finer = GridConfig::new(
+        grid.center,
+        grid.half_extent_m,
+        (grid.level + 1).min(seaice_catalog::grid::MAX_LEVEL),
+        grid.tile_cells,
+    )
+    .expect("finer grid");
+    let regrid_dir = std::env::temp_dir().join(format!("seaice_compact_regrid_{tag}"));
+    let _ = std::fs::remove_dir_all(&regrid_dir);
+    let start = Instant::now();
+    let regrid = compact_catalog(
+        &src_dir,
+        &regrid_dir,
+        &CompactionConfig {
+            layers: LayerMap::Seasonal,
+            ..CompactionConfig::rewrite(finer)
+        },
+    )
+    .expect("re-grid compaction");
+    let regrid_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        regrid.n_samples_out + regrid.n_out_of_domain,
+        stats.n_samples
+    );
+    let regrid_rate = regrid.n_samples_in as f64 / regrid_s.max(1e-9);
+
+    // --- Retention compaction (archive shape) --------------------------
+    let retain_dir = std::env::temp_dir().join(format!("seaice_compact_retain_{tag}"));
+    let _ = std::fs::remove_dir_all(&retain_dir);
+    let start = Instant::now();
+    let retain = compact_catalog(
+        &src_dir,
+        &retain_dir,
+        &CompactionConfig {
+            // Everything before this far-future key retires: the whole
+            // store becomes aggregate-only (the long-horizon archive).
+            retention: Some(TimeKey::new(9999, 12).expect("key")),
+            ..CompactionConfig::rewrite(grid)
+        },
+    )
+    .expect("retention compaction");
+    let retain_s = start.elapsed().as_secs_f64();
+    assert_eq!(retain.n_retired, stats.n_samples);
+    assert_eq!(retain.n_samples_out, 0);
+    let retained = Catalog::open(&retain_dir).expect("open retained");
+    let archive_cells = retained
+        .query_cells(&retained.grid().domain(), seaice_catalog::TimeRange::all())
+        .expect("archive cells");
+    let archived: u64 = archive_cells.iter().map(|c| c.agg.n).sum();
+    assert_eq!(archived as usize, stats.n_samples, "aggregates survive");
+    let retain_rate = retain.n_samples_in as f64 / retain_s.max(1e-9);
+
+    let mut report = String::from("COMPACT — idempotent ingest + offline compaction\n");
+    report.push_str(&format!(
+        "  store: {} samples in {} tiles x {} layers ({} fleet sources)\n",
+        stats.n_samples, stats.n_tiles, stats.n_layers, ingest.n_tiles,
+    ));
+    report.push_str(&format!(
+        "  skip re-ingest:    {skip_rate:>12.0} points/s (byte-stable no-op)\n"
+    ));
+    report.push_str(&format!(
+        "  replace re-ingest: {replace_rate:>12.0} samples/s ({} replaced)\n",
+        replace.n_replaced
+    ));
+    report.push_str(&format!(
+        "  identity rewrite:  {rewrite_rate:>12.0} samples/s into {} tiles (stats preserved)\n",
+        rewrite.n_target_tiles
+    ));
+    report.push_str(&format!(
+        "  re-grid seasonal:  {regrid_rate:>12.0} samples/s to level {} ({} tiles)\n",
+        finer.level, regrid.n_target_tiles
+    ));
+    report.push_str(&format!(
+        "  retention archive: {retain_rate:>12.0} samples/s ({} retired, {} cells kept)\n",
+        retain.n_retired,
+        archive_cells.len()
+    ));
+
+    let _ = std::fs::remove_dir_all(&fleet_dir);
+    let _ = std::fs::remove_dir_all(&src_dir);
+    let _ = std::fs::remove_dir_all(&rewrite_dir);
+    let _ = std::fs::remove_dir_all(&regrid_dir);
+    let _ = std::fs::remove_dir_all(&retain_dir);
+
+    ExperimentOutput {
+        id: "compact",
+        report,
+        metrics: vec![
+            ("compact_store_samples".into(), stats.n_samples as f64),
+            ("catalog_skip_reingest_per_s".into(), skip_rate),
+            ("catalog_replace_reingest_per_s".into(), replace_rate),
+            ("compact_rewrite_samples_per_s".into(), rewrite_rate),
+            ("compact_regrid_samples_per_s".into(), regrid_rate),
+            ("compact_retention_samples_per_s".into(), retain_rate),
+            ("compact_archive_cells".into(), archive_cells.len() as f64),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_experiment_runs_quick() {
+        let out = compact(Scale::Quick);
+        assert_eq!(out.id, "compact");
+        assert!(out.metric("compact_store_samples").unwrap() > 1_000.0);
+        for metric in [
+            "catalog_skip_reingest_per_s",
+            "catalog_replace_reingest_per_s",
+            "compact_rewrite_samples_per_s",
+            "compact_regrid_samples_per_s",
+            "compact_retention_samples_per_s",
+        ] {
+            assert!(out.metric(metric).unwrap() > 0.0, "{metric} missing");
+        }
+        // The skip fast path must beat a replace rewrite handily.
+        assert!(
+            out.metric("catalog_skip_reingest_per_s").unwrap()
+                > out.metric("catalog_replace_reingest_per_s").unwrap(),
+            "skip should be much cheaper than replace"
+        );
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod catalog;
 pub mod common;
+pub mod compact;
 pub mod figures;
 pub mod perf;
 pub mod serve;

@@ -15,6 +15,12 @@
 //! - `catalog_ingest_samples_per_s` / `catalog_queries_per_s` — the
 //!   serve path: landing the fleet's products in a tiled catalog, then
 //!   repeated spatial summary queries against it;
+//! - `catalog_skip_reingest_per_s` / `catalog_replace_reingest_per_s` —
+//!   ingest idempotency: the same fleet re-ingested under the default
+//!   `Skip` (sidecar-ledger fast path, byte-stable no-op) and under
+//!   `Replace` (remove + re-merge refresh);
+//! - `compact_rewrite_samples_per_s` — the offline identity compaction
+//!   of the store just built (`catalog::compact`);
 //! - `serve_q_t{T}_c{C}_per_s` / `serve_lat_t{T}_c{C}_ms` — the TCP
 //!   front-end's scaling curve: `T` concurrent reader connections
 //!   against a server whose tile cache holds `C` tiles (throughput and
@@ -209,6 +215,47 @@ pub fn bench(scale: Scale) -> ExperimentOutput {
         "catalog_queries_per_s",
         crate::catalog::query_throughput(&catalog, scale),
     );
+
+    // Idempotent re-ingest: the same fleet again under the default Skip
+    // (sidecar-ledger fast path) and under Replace (in-place refresh).
+    let n_points: usize = products.iter().map(|p| p.freeboard.len()).sum();
+    let (skip, skip_s) = timed(|| catalog.ingest_products(&products).expect("skip re-ingest"));
+    assert_eq!(skip.n_samples, 0, "skip re-ingest wrote samples");
+    push(
+        &mut metrics,
+        "catalog_skip_reingest_per_s",
+        n_points as f64 / skip_s.max(1e-9),
+    );
+    let (replace, replace_s) = timed(|| {
+        catalog
+            .ingest_products_with(&products, seaice_catalog::IngestMode::Replace)
+            .expect("replace re-ingest")
+    });
+    push(
+        &mut metrics,
+        "catalog_replace_reingest_per_s",
+        replace.n_samples as f64 / replace_s.max(1e-9),
+    );
+
+    // Offline compaction: the identity rewrite of the store just built.
+    let compact_dir =
+        std::env::temp_dir().join(format!("seaice_perf_compacted_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&compact_dir);
+    let grid = *catalog.grid();
+    let (compaction, compact_s) = timed(|| {
+        seaice_catalog::compact(
+            &cat_dir,
+            &compact_dir,
+            &seaice_catalog::CompactionConfig::rewrite(grid),
+        )
+        .expect("identity compaction")
+    });
+    push(
+        &mut metrics,
+        "compact_rewrite_samples_per_s",
+        compaction.n_samples_in as f64 / compact_s.max(1e-9),
+    );
+    let _ = std::fs::remove_dir_all(&compact_dir);
 
     // --- Served catalog (TCP front-end) --------------------------------
     // The same store behind the network server: the reader-threads ×

@@ -23,6 +23,10 @@
 //!   gridded cells, summary stats), plus [`CatalogSink`] wiring
 //!   [`seaice::FleetDriver`] straight into a catalog.
 //!
+//! - [`mod@compact`] — offline compaction: rewrite a catalog at a new grid
+//!   (re-binning every sample), fold monthly layers into seasonal ones,
+//!   and retire segment detail past a retention horizon while frozen
+//!   per-cell aggregates keep answering composites;
 //! - [`wire`] / [`server`] / [`client`] — the serve front-end: a framed
 //!   TCP protocol over [`seaice::artifact`] conventions (spec in
 //!   `docs/PROTOCOL.md`), a threaded [`server::CatalogServer`], a
@@ -34,16 +38,19 @@
 //!   [`Catalog::create_writer`] / [`Catalog::open_writer`].
 //!
 //! The headline invariant: ingest order never changes what queries
-//! return, bit for bit; readers racing a live ingest always observe
-//! internally consistent tile snapshots (see `tests/concurrent_stress.rs`);
-//! and a query answered over the network — one server or a routed shard
-//! fleet — is bit-identical to the same query in process (see
-//! `tests/served_equivalence.rs`).
+//! return, bit for bit; re-ingesting a source is idempotent
+//! ([`IngestMode::Skip`] is a byte-stable no-op, [`IngestMode::Replace`]
+//! converges to the fresh-build state); readers racing a live ingest
+//! always observe internally consistent tile snapshots (see
+//! `tests/concurrent_stress.rs`); and a query answered over the network
+//! — one server or a routed shard fleet — is bit-identical to the same
+//! query in process (see `tests/served_equivalence.rs`).
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
+pub mod compact;
 pub mod grid;
 pub mod lease;
 pub mod server;
@@ -53,14 +60,15 @@ pub mod wire;
 
 pub use cache::{CacheStats, TileCache, TileKey};
 pub use client::{CatalogClient, ShardRouter, ShardSpec};
+pub use compact::{compact, CompactionConfig, CompactionReport, LayerMap};
 pub use grid::{GridConfig, MapRect, TileId, TileScope, TimeKey, TimeRange};
 pub use lease::{LeaseOptions, LeaseRecord, WriterLease};
 pub use server::{CatalogServer, ServerStats};
 pub use store::{
-    Catalog, CatalogOptions, CatalogSink, CatalogStats, CellSummary, IngestReport, QuerySummary,
-    TilePartial,
+    Catalog, CatalogOptions, CatalogSink, CatalogStats, CellSummary, IngestMode, IngestReport,
+    QuerySummary, TilePartial,
 };
-pub use tile::{CatalogManifest, CellAggregate, SampleRecord, Tile};
+pub use tile::{CatalogManifest, CellAggregate, LayerLedger, SampleRecord, Tile};
 
 /// Errors from catalog operations.
 #[derive(Debug)]
@@ -87,6 +95,14 @@ pub enum CatalogError {
     /// This writer's lease has gone stale or been taken over; the
     /// instance self-fences and refuses further writes.
     LeaseLost,
+    /// A `Replace` ingest met a source whose samples were retired into
+    /// frozen base aggregates by a compaction retention horizon. The
+    /// frozen contribution cannot be separated back out, so replacing
+    /// the source would double-count it; the ingest is refused.
+    ArchivedSource {
+        /// Stable id of the archived source.
+        source: u64,
+    },
     /// A wire-protocol violation (malformed frame, unexpected response,
     /// misconfigured shard map) on the serve path.
     Protocol(String),
@@ -120,6 +136,11 @@ impl std::fmt::Display for CatalogError {
             CatalogError::LeaseLost => {
                 write!(f, "writer lease lost (stale or taken over); writes fenced")
             }
+            CatalogError::ArchivedSource { source } => write!(
+                f,
+                "source {source:#018x} was retired into frozen aggregates by retention; \
+                 replacing it would double-count its contribution"
+            ),
             CatalogError::Protocol(what) => write!(f, "catalog protocol error: {what}"),
             CatalogError::Remote { code, message } => {
                 write!(f, "catalog server error {code}: {message}")

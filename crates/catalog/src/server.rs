@@ -241,17 +241,22 @@ fn respond(
     request: Request,
     counters: &Counters,
 ) -> Result<(), CatalogError> {
-    /// Streams `records` as batch frames + a `Done` trailer.
-    fn stream_batches<T: Clone>(
+    /// Streams `records` as batch frames + a `Done` trailer. Chunking
+    /// honours both the record cap and the per-frame byte budget, so no
+    /// batch can ever hit the frame cap and poison the connection.
+    /// Batches are carved off by moving (no per-record clone); the
+    /// ranges tile the records front to back.
+    fn stream_batches<T: seaice::artifact::Codec>(
         stream: &mut TcpStream,
         counters: &Counters,
         records: Vec<T>,
         make: impl Fn(Vec<T>) -> Response,
     ) -> Result<(), CatalogError> {
         let total = records.len() as u64;
+        let ranges = wire::batch_ranges(&records, BATCH_RECORDS, wire::MAX_BATCH_BYTES);
         let mut records = records;
-        while !records.is_empty() {
-            let rest = records.split_off(records.len().min(BATCH_RECORDS));
+        for range in ranges {
+            let rest = records.split_off(range.len());
             let batch = std::mem::replace(&mut records, rest);
             wire::write_message(stream, &make(batch))?;
         }

@@ -17,9 +17,18 @@
 //!
 //! Under these rules a query observes each tile at some merge version
 //! that only moves forward — per-tile snapshot consistency, with
-//! catalog-wide sample counts monotone across successive queries. The
-//! concurrent stress test (`tests/concurrent_stress.rs`) pins both
-//! properties, plus ingest-order bit-invariance of query results.
+//! catalog-wide sample counts monotone across successive queries while
+//! ingest is merge-only (the default [`IngestMode::Skip`]; a `Replace`
+//! legitimately shrinks totals when the new product carries fewer
+//! samples). The concurrent stress test (`tests/concurrent_stress.rs`)
+//! pins both properties, plus ingest-order bit-invariance of query
+//! results.
+//!
+//! Ingest is **idempotent**: every tile carries a ledger of the source
+//! ids it holds, a per-layer sidecar ledger records completed ingests,
+//! and [`IngestMode`] decides whether a re-ingested source is skipped
+//! (byte-stable no-op, the default) or replaced (prior samples removed
+//! first) — fleet re-runs refresh a catalog instead of doubling it.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -38,7 +47,7 @@ use sparklite::StageReport;
 
 use crate::cache::{CacheStats, TileCache, TileKey};
 use crate::grid::{GridConfig, MapRect, TileId, TileScope, TimeKey, TimeRange};
-use crate::tile::{CatalogManifest, CellAggregate, SampleRecord, Tile};
+use crate::tile::{CatalogManifest, CellAggregate, LayerLedger, SampleRecord, Tile};
 use crate::CatalogError;
 use seaice::artifact::{ArtifactError, Codec, Reader, Writer};
 
@@ -50,6 +59,14 @@ struct IndexEntry {
     version: u64,
     /// Samples in that version.
     n_samples: u64,
+}
+
+/// What one per-tile merge cycle did (summed into the ingest report).
+#[derive(Debug, Clone, Copy, Default)]
+struct MergeOutcome {
+    written: usize,
+    skipped: usize,
+    replaced: usize,
 }
 
 /// Concurrency/caching knobs (the grid itself lives in [`GridConfig`]
@@ -74,6 +91,25 @@ impl Default for CatalogOptions {
     }
 }
 
+/// How an ingest call treats a source (`(granule, beam)`) the catalog
+/// has seen before. Sources are identified by their stable id
+/// ([`SampleRecord::source_id`]); both modes trust that id as content
+/// identity — re-ingesting *different* data under the same granule and
+/// beam is a [`IngestMode::Replace`] refresh, never a merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// A source already ingested is left untouched — the re-run is a
+    /// byte-stable no-op (tiles are not rewritten, versions do not
+    /// move). The default: fleet re-runs cannot corrupt a catalog.
+    #[default]
+    Skip,
+    /// A source's prior samples are removed (from every tile of the
+    /// layer that holds them, including tiles the new product no longer
+    /// reaches) before the new ones merge — re-ingest converges to the
+    /// same queryable state as a fresh build from the new products.
+    Replace,
+}
+
 /// What one ingest call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IngestReport {
@@ -81,18 +117,29 @@ pub struct IngestReport {
     pub n_samples: usize,
     /// Samples rejected because they fall outside the grid domain.
     pub n_out_of_domain: usize,
-    /// Distinct tiles touched by this call.
+    /// Samples not written because their source was already ingested
+    /// ([`IngestMode::Skip`]). When the per-layer ledger short-circuits
+    /// the whole call, this counts the product's points (the
+    /// out-of-domain split is unknown without projecting).
+    pub n_skipped: usize,
+    /// Prior samples removed before merging ([`IngestMode::Replace`]).
+    pub n_replaced: usize,
+    /// Distinct tiles written by this call.
     pub n_tiles: usize,
     /// Distinct temporal layers touched by this call.
     pub n_layers: usize,
 }
 
 impl IngestReport {
-    /// Folds another report in (tile/layer counts add per call; they are
-    /// not deduplicated across calls).
+    /// Folds another report in. Sample-level dedup across calls is the
+    /// store's job ([`IngestMode`]) and is already reflected in each
+    /// report's counters; only `n_tiles`/`n_layers` remain per-call
+    /// counts that add without deduplication.
     pub fn absorb(&mut self, other: &IngestReport) {
         self.n_samples += other.n_samples;
         self.n_out_of_domain += other.n_out_of_domain;
+        self.n_skipped += other.n_skipped;
+        self.n_replaced += other.n_replaced;
         self.n_tiles += other.n_tiles;
         self.n_layers += other.n_layers;
     }
@@ -314,12 +361,18 @@ pub struct Catalog {
     grid: GridConfig,
     dir: PathBuf,
     tiles_dir: PathBuf,
+    ledgers_dir: PathBuf,
     /// Authoritative map of every persisted tile to its latest merge
     /// version and size (time-major key order). Writers bump entries
     /// under their shard lock after the atomic file rename, so an index
     /// read establishes a floor no subsequent tile observation may fall
     /// below — the guard that makes stale cache resurrection harmless.
     index: RwLock<BTreeMap<TileKey, IndexEntry>>,
+    /// Per-layer completed-source sets, mirroring the on-disk sidecar
+    /// ledgers (`ledgers/YYYYMM.ledger`) — the [`IngestMode::Skip`]
+    /// fast path. Entries are only ever added, and only after every
+    /// tile merge of the recording ingest succeeded.
+    layer_sources: RwLock<BTreeMap<TimeKey, BTreeSet<u64>>>,
     cache: TileCache,
     shard_locks: Vec<Mutex<()>>,
     /// The writer lease, when this instance was opened as a leased
@@ -418,11 +471,36 @@ impl Catalog {
                 );
             }
         }
+        // Sidecar ledgers are a cache, not ground truth: a missing
+        // directory, an unreadable file, or a key mismatch only costs
+        // the skip fast path (the per-tile ledgers remain
+        // authoritative), so none of them fails the open.
+        let ledgers_dir = dir.join("ledgers");
+        let mut layer_sources: BTreeMap<TimeKey, BTreeSet<u64>> = BTreeMap::new();
+        if ledgers_dir.is_dir() {
+            for entry in std::fs::read_dir(&ledgers_dir)? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if let Some(time) = parse_ledger_filename(&name) {
+                    match LayerLedger::load(&entry.path()) {
+                        Ok(ledger) if ledger.time == time => {
+                            layer_sources.insert(time, ledger.sources.into_iter().collect());
+                        }
+                        // Corrupt or mismatched sidecar: ignore it; the
+                        // next completed ingest rewrites it atomically.
+                        Ok(_) | Err(_) => {}
+                    }
+                }
+            }
+        }
         Ok(Catalog {
             grid,
             dir: dir.to_path_buf(),
             tiles_dir,
+            ledgers_dir,
             index: RwLock::new(index),
+            layer_sources: RwLock::new(layer_sources),
             cache: TileCache::new(options.cache_capacity, options.cache_stripes),
             shard_locks: (0..options.shards.max(1)).map(|_| Mutex::new(())).collect(),
             lease: None,
@@ -456,14 +534,27 @@ impl Catalog {
     // -- Ingest --------------------------------------------------------
 
     /// Ingests one beam's freeboard product under an ATL03-style granule
-    /// id (its leading `YYYYMM` selects the temporal layer). Projection
-    /// of every point through EPSG-3976 runs rayon-parallel; per-tile
-    /// merges run parallel across shards.
+    /// id (its leading `YYYYMM` selects the temporal layer), in the
+    /// default [`IngestMode::Skip`] — re-ingesting a `(granule, beam)`
+    /// the catalog already holds is an idempotent, byte-stable no-op.
+    /// Projection of every point through EPSG-3976 runs rayon-parallel;
+    /// per-tile merges run parallel across shards.
     pub fn ingest_beam(
         &self,
         granule_id: &str,
         beam_index: usize,
         product: &FreeboardProduct,
+    ) -> Result<IngestReport, CatalogError> {
+        self.ingest_beam_with(granule_id, beam_index, product, IngestMode::Skip)
+    }
+
+    /// [`Catalog::ingest_beam`] with an explicit re-ingest policy.
+    pub fn ingest_beam_with(
+        &self,
+        granule_id: &str,
+        beam_index: usize,
+        product: &FreeboardProduct,
+        mode: IngestMode,
     ) -> Result<IngestReport, CatalogError> {
         // A leased writer proves ownership (and self-fences when it
         // cannot) before every batch.
@@ -472,6 +563,23 @@ impl Catalog {
         }
         let time = TimeKey::from_granule_id(granule_id)?;
         let source = SampleRecord::source_id(granule_id, beam_index);
+        // Skip fast path: the layer's sidecar ledger records completed
+        // ingests, so a whole re-run short-circuits before projecting a
+        // single point — no tile is touched, no file rewritten.
+        if mode == IngestMode::Skip && self.layer_has_source(time, source) {
+            return Ok(IngestReport {
+                n_skipped: product.points.len(),
+                ..IngestReport::default()
+            });
+        }
+        // A Replace invalidates the completed-ingest record up front:
+        // if it crashes partway, the layer honestly reads as incomplete
+        // for this source (re-running the Replace heals it — Skip
+        // cannot, since per-tile ledgers intentionally skip the tiles
+        // that still hold the old samples).
+        if mode == IngestMode::Replace {
+            self.unrecord_layer_source(time, source)?;
+        }
         let grid = self.grid;
         let points = &product.points;
 
@@ -502,12 +610,10 @@ impl Catalog {
 
         // Group by destination tile.
         let mut groups: BTreeMap<TileId, Vec<SampleRecord>> = BTreeMap::new();
-        let mut n_samples = 0usize;
         let mut n_out = 0usize;
         for slot in located {
             match slot {
                 Some((tile, sample)) => {
-                    n_samples += 1;
                     groups.entry(tile).or_default().push(sample);
                 }
                 None => n_out += 1,
@@ -517,32 +623,171 @@ impl Catalog {
         // Apply merges, parallel across tiles (shard locks serialise
         // same-shard keys).
         let groups: Vec<(TileId, Vec<SampleRecord>)> = groups.into_iter().collect();
-        let results: Vec<Result<(), CatalogError>> = (0..groups.len())
+        let results: Vec<Result<MergeOutcome, CatalogError>> = (0..groups.len())
             .into_par_iter()
             .map(|i| {
                 let (tile, batch) = &groups[i];
-                self.apply_merge(TileKey { time, tile: *tile }, batch)
+                self.apply_merge(TileKey { time, tile: *tile }, batch, source, mode)
             })
             .collect();
+        let mut n_samples = 0usize;
+        let mut n_skipped = 0usize;
+        let mut n_replaced = 0usize;
+        let mut n_tiles = 0usize;
         for r in results {
-            r?;
+            let outcome = r?;
+            n_samples += outcome.written;
+            n_skipped += outcome.skipped;
+            n_replaced += outcome.replaced;
+            n_tiles += usize::from(outcome.written > 0);
         }
+        // Replace must also clear the source out of tiles the *new*
+        // product no longer reaches (a perturbed track shifts samples
+        // across tile boundaries), or stale samples would linger there.
+        // The sweep runs parallel like the merges; most tiles answer
+        // `has_source = false` from their ledger and are left alone.
+        if mode == IngestMode::Replace {
+            let touched: BTreeSet<TileId> = groups.iter().map(|(t, _)| *t).collect();
+            let sweep: Vec<TileKey> = self
+                .keys_in(TimeRange::only(time), None, &TileScope::all())
+                .into_iter()
+                .filter(|key| !touched.contains(&key.tile))
+                .collect();
+            let removed: Vec<Result<usize, CatalogError>> = (0..sweep.len())
+                .into_par_iter()
+                .map(|i| self.apply_remove(sweep[i], source))
+                .collect();
+            for r in removed {
+                n_replaced += r?;
+            }
+        }
+        // Record the completed ingest in the sidecar ledger last, so a
+        // crash anywhere above leaves the source unrecorded and the next
+        // ingest heals the partial state tile by tile.
+        self.record_layer_source(time, source)?;
         Ok(IngestReport {
             n_samples,
             n_out_of_domain: n_out,
-            n_tiles: groups.len(),
+            n_skipped,
+            n_replaced,
+            n_tiles,
             n_layers: usize::from(!groups.is_empty()),
         })
     }
 
-    /// Ingests a fleet run's per-beam products.
+    /// Ingests a fleet run's per-beam products in the default
+    /// [`IngestMode::Skip`] (idempotent across fleet re-runs).
     pub fn ingest_products(&self, products: &[BeamProducts]) -> Result<IngestReport, CatalogError> {
+        self.ingest_products_with(products, IngestMode::Skip)
+    }
+
+    /// [`Catalog::ingest_products`] with an explicit re-ingest policy.
+    pub fn ingest_products_with(
+        &self,
+        products: &[BeamProducts],
+        mode: IngestMode,
+    ) -> Result<IngestReport, CatalogError> {
         let mut report = IngestReport::default();
         for p in products {
-            let r = self.ingest_beam(&p.granule_id, p.beam.index(), &p.freeboard)?;
+            let r = self.ingest_beam_with(&p.granule_id, p.beam.index(), &p.freeboard, mode)?;
             report.absorb(&r);
         }
         Ok(report)
+    }
+
+    /// The sources whose ingest into `time` completed, per the sidecar
+    /// ledger (sorted). Absence only means the fast path is cold — the
+    /// per-tile ledgers remain the ground truth.
+    pub fn layer_ledger(&self, time: TimeKey) -> Vec<u64> {
+        self.layer_sources
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&time)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn layer_has_source(&self, time: TimeKey, source: u64) -> bool {
+        self.layer_sources
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&time)
+            .is_some_and(|s| s.contains(&source))
+    }
+
+    /// Records a completed ingest in the per-layer sidecar ledger:
+    /// in-memory set first, then an atomic file replace. Serialised by
+    /// the write lock; a no-op when the source is already recorded.
+    fn record_layer_source(&self, time: TimeKey, source: u64) -> Result<(), CatalogError> {
+        let mut map = self
+            .layer_sources
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        let set = map.entry(time).or_default();
+        if !set.insert(source) {
+            return Ok(());
+        }
+        let ledger = LayerLedger {
+            time,
+            sources: set.iter().copied().collect(),
+        };
+        self.write_ledger_file(&ledger)
+    }
+
+    /// Drops a source from the completed-ingest sidecar (the first step
+    /// of a `Replace`): while the replace is in flight the layer is not
+    /// complete for this source, and a crash must leave it reading that
+    /// way. A no-op when the source was never recorded.
+    fn unrecord_layer_source(&self, time: TimeKey, source: u64) -> Result<(), CatalogError> {
+        let mut map = self
+            .layer_sources
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(set) = map.get_mut(&time) else {
+            return Ok(());
+        };
+        if !set.remove(&source) {
+            return Ok(());
+        }
+        let ledger = LayerLedger {
+            time,
+            sources: set.iter().copied().collect(),
+        };
+        self.write_ledger_file(&ledger)
+    }
+
+    /// Installs a whole layer ledger (compaction's bulk path).
+    pub(crate) fn install_layer_ledger(
+        &self,
+        time: TimeKey,
+        sources: BTreeSet<u64>,
+    ) -> Result<(), CatalogError> {
+        if sources.is_empty() {
+            return Ok(());
+        }
+        let mut map = self
+            .layer_sources
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        let set = map.entry(time).or_default();
+        set.extend(sources.iter().copied());
+        let ledger = LayerLedger {
+            time,
+            sources: set.iter().copied().collect(),
+        };
+        self.write_ledger_file(&ledger)
+    }
+
+    fn write_ledger_file(&self, ledger: &LayerLedger) -> Result<(), CatalogError> {
+        std::fs::create_dir_all(&self.ledgers_dir)?;
+        let path = self.ledgers_dir.join(format!(
+            "{:04}{:02}.ledger",
+            ledger.time.year, ledger.time.month
+        ));
+        let tmp = path.with_extension("ledger.tmp");
+        std::fs::write(&tmp, ledger.to_bytes())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
     }
 
     /// One read-modify-write cycle for one tile, serialised per shard.
@@ -554,7 +799,18 @@ impl Catalog {
     /// state) is reloaded. A stale cache entry — e.g. one resurrected by
     /// a racing reader after the fresh entry was LRU-evicted — can
     /// therefore never become a merge base and lose updates.
-    fn apply_merge(&self, key: TileKey, batch: &[SampleRecord]) -> Result<(), CatalogError> {
+    ///
+    /// The per-tile ledger decides what `mode` does here: under `Skip` a
+    /// tile already holding `source` is left untouched (not even
+    /// rewritten — byte stability is the contract); under `Replace` the
+    /// source's prior samples are dropped before the batch merges.
+    fn apply_merge(
+        &self,
+        key: TileKey,
+        batch: &[SampleRecord],
+        source: u64,
+        mode: IngestMode,
+    ) -> Result<MergeOutcome, CatalogError> {
         let shard = (key.stable_hash() % self.shard_locks.len() as u64) as usize;
         let _own = self.shard_locks[shard]
             .lock()
@@ -573,22 +829,93 @@ impl Catalog {
                 }
             },
         };
-        tile.merge(batch);
+        let mut outcome = MergeOutcome::default();
+        match mode {
+            IngestMode::Skip if tile.has_source(source) => {
+                outcome.skipped = batch.len();
+                return Ok(outcome);
+            }
+            IngestMode::Skip => {
+                tile.merge(batch);
+                outcome.written = batch.len();
+            }
+            IngestMode::Replace => {
+                guard_not_archived(&tile, source)?;
+                outcome.replaced = tile.replace_source(source, batch);
+                outcome.written = batch.len();
+            }
+        }
+        self.publish(key, tile).map(|()| outcome)
+    }
+
+    /// Removes `source` from one tile (the `Replace` sweep), a no-op
+    /// when the tile never held it.
+    fn apply_remove(&self, key: TileKey, source: u64) -> Result<usize, CatalogError> {
+        let shard = (key.stable_hash() % self.shard_locks.len() as u64) as usize;
+        let _own = self.shard_locks[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(version) = self.indexed_version(&key) else {
+            return Ok(0);
+        };
+        let mut tile = match self.cache.get(&key) {
+            Some(hit) if hit.version == version => (*hit).clone(),
+            _ => {
+                let tile = Tile::load(&self.tile_path(&key))?;
+                if tile.id != key.tile || tile.time != key.time || tile.version != version {
+                    return Err(CatalogError::Corrupt("tile file behind its index entry"));
+                }
+                tile
+            }
+        };
+        if !tile.has_source(source) {
+            return Ok(0);
+        }
+        guard_not_archived(&tile, source)?;
+        let removed = tile.replace_source(source, &[]);
+        self.publish(key, tile)?;
+        Ok(removed)
+    }
+
+    /// Persists a modified tile and publishes it: file rename, then
+    /// index entry, then cache install. The cache thus never serves a
+    /// version the index has not recorded, which keeps index-derived
+    /// totals (`stats`) an upper bound on anything a reader has already
+    /// observed. Callers hold the key's shard lock.
+    fn publish(&self, key: TileKey, tile: Tile) -> Result<(), CatalogError> {
         self.persist(&key, &tile)?;
         let entry = IndexEntry {
             version: tile.version,
             n_samples: tile.samples().len() as u64,
         };
-        // Publication order matters: file rename, then index entry, then
-        // cache install. The cache thus never serves a version the index
-        // has not recorded, which keeps index-derived totals (`stats`)
-        // an upper bound on anything a reader has already observed.
         self.index
             .write()
             .unwrap_or_else(|e| e.into_inner())
             .insert(key, entry);
         self.cache.insert(key, Arc::new(tile));
         Ok(())
+    }
+
+    /// Installs a freshly built tile into an empty slot (compaction's
+    /// write path). Fails if the key already exists — compaction always
+    /// writes into a fresh directory.
+    pub(crate) fn install_tile(&self, key: TileKey, tile: Tile) -> Result<(), CatalogError> {
+        if let Some(lease) = &self.lease {
+            lease.heartbeat_if_due()?;
+        }
+        let shard = (key.stable_hash() % self.shard_locks.len() as u64) as usize;
+        let _own = self.shard_locks[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if self.indexed_version(&key).is_some() {
+            return Err(CatalogError::Corrupt("install over an existing tile"));
+        }
+        self.publish(key, tile)
+    }
+
+    /// Every persisted tile key, time-major order (compaction's scan).
+    pub(crate) fn all_keys(&self) -> Vec<TileKey> {
+        self.keys_in(TimeRange::all(), None, &TileScope::all())
     }
 
     /// The latest persisted version of a tile per the index.
@@ -627,7 +954,7 @@ impl Catalog {
     /// is reloaded from disk. The file rename happens before the index
     /// bump, so a disk read started after the index read always observes
     /// at least the floor version — below it is corruption.
-    fn load_tile(&self, key: &TileKey) -> Result<Option<Arc<Tile>>, CatalogError> {
+    pub(crate) fn load_tile(&self, key: &TileKey) -> Result<Option<Arc<Tile>>, CatalogError> {
         let Some(floor) = self.indexed_version(key) else {
             return Ok(None);
         };
@@ -888,7 +1215,9 @@ impl Catalog {
     /// Catalog-wide counters, read straight off the authoritative index
     /// — O(index), no tile decodes, no cache pollution. Across
     /// successive calls the totals are monotone non-decreasing while
-    /// ingest runs (index entries only grow, under writer shard locks).
+    /// merge-only ingest runs (index entries only grow, under writer
+    /// shard locks); an [`IngestMode::Replace`] may legitimately shrink
+    /// them when the refreshed product carries fewer samples.
     pub fn stats(&self) -> Result<CatalogStats, CatalogError> {
         Ok(self.scoped_stats(&TileScope::all()).0)
     }
@@ -1012,6 +1341,33 @@ impl CellAggregate {
         self.min_freeboard_m = self.min_freeboard_m.min(later.min_freeboard_m);
         self.max_freeboard_m = self.max_freeboard_m.max(later.max_freeboard_m);
     }
+}
+
+/// Refuses a `Replace` against a retention-archived source: the ledger
+/// holds the source, the tile carries frozen base aggregates, and no
+/// live sample of the source remains — its contribution lives only in
+/// the inseparable base, so removal is impossible and a re-merge would
+/// double-count. (Samples are canonically source-major, so the live
+/// check is a binary search.)
+fn guard_not_archived(tile: &Tile, source: u64) -> Result<(), CatalogError> {
+    if !tile.base().is_empty()
+        && tile.has_source(source)
+        && tile
+            .samples()
+            .binary_search_by(|s| s.source.cmp(&source))
+            .is_err()
+    {
+        return Err(CatalogError::ArchivedSource { source });
+    }
+    Ok(())
+}
+
+fn parse_ledger_filename(name: &str) -> Option<TimeKey> {
+    let ym = name.strip_suffix(".ledger")?;
+    if ym.len() != 6 || !ym.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    TimeKey::new(ym[..4].parse().ok()?, ym[4..6].parse().ok()?).ok()
 }
 
 fn parse_tile_filename(name: &str) -> Option<TileKey> {

@@ -1,4 +1,5 @@
-//! Tile contents: segment-level samples plus per-cell aggregates.
+//! Tile contents: segment-level samples, per-cell aggregates, and the
+//! per-tile **source ledger** that makes ingest idempotent.
 //!
 //! A tile is the unit of storage, caching, and atomic update. It carries
 //! every ingested sample (segment-level detail for re-gridding and exact
@@ -10,12 +11,24 @@
 //! built from the same granules in any order answer queries bit
 //! identically.
 //!
-//! On disk a tile stores only its identity and samples (framed by
-//! [`seaice::artifact`]'s tag+version conventions); cell aggregates are
-//! derived data and are rebuilt on decode, which doubles as a
-//! consistency check.
+//! Format v2 (`SIT1` v2, decoding v1 transparently) adds two sections
+//! after the samples:
+//!
+//! - the **ledger**: the sorted stable source ids (`(granule, beam)`
+//!   FNV hashes) whose samples this tile holds — what lets a re-ingest
+//!   be skipped (`IngestMode::Skip`) or replaced (`IngestMode::Replace`)
+//!   per tile, with crash-atomicity inherited from the atomic tile
+//!   replacement;
+//! - the **base aggregates**: frozen per-cell contributions of samples
+//!   dropped by a compaction retention horizon. The effective cell
+//!   aggregates are defined as the base plus the live samples pushed in
+//!   canonical order, so a tile keeps answering cell/point queries bit
+//!   identically after its segment-level detail is retired.
+//!
+//! Live cell aggregates remain derived data rebuilt on decode, which
+//! doubles as a consistency check.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use icesat_scene::SurfaceClass;
 use seaice::artifact::{Artifact, ArtifactError, Codec, Reader, Writer};
@@ -160,6 +173,27 @@ impl CellAggregate {
     }
 }
 
+impl Codec for CellAggregate {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.n);
+        self.class_counts.encode(w);
+        w.put_u64(self.ice_n);
+        w.put_f64(self.ice_sum_m);
+        w.put_f64(self.min_freeboard_m);
+        w.put_f64(self.max_freeboard_m);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(CellAggregate {
+            n: r.take_u64()?,
+            class_counts: <[u64; 3]>::decode(r)?,
+            ice_n: r.take_u64()?,
+            ice_sum_m: r.take_f64()?,
+            min_freeboard_m: r.take_f64()?,
+            max_freeboard_m: r.take_f64()?,
+        })
+    }
+}
+
 /// One versioned tile of one temporal layer.
 #[derive(Debug, Clone)]
 pub struct Tile {
@@ -173,8 +207,17 @@ pub struct Tile {
     pub version: u64,
     /// Samples in canonical order (see [`SampleRecord::canonical_cmp`]).
     samples: Vec<SampleRecord>,
-    /// Per-cell aggregates, keyed by row-major cell index. Derived from
-    /// `samples`; rebuilt after every merge and on decode.
+    /// Sorted source ids whose samples this tile holds (or held, for
+    /// sources whose detail was retired into `base` by retention).
+    /// Always a superset of the distinct sources in `samples`; exactly
+    /// equal to them while `base` is empty.
+    ledger: Vec<u64>,
+    /// Frozen per-cell contributions of retention-dropped samples.
+    /// Empty for every tile that still carries full segment detail.
+    base: BTreeMap<u32, CellAggregate>,
+    /// Effective per-cell aggregates, keyed by row-major cell index:
+    /// `base` plus the live samples pushed in canonical order. Derived;
+    /// rebuilt after every merge and on decode.
     cells: BTreeMap<u32, CellAggregate>,
 }
 
@@ -186,6 +229,8 @@ impl Tile {
             time,
             version: 0,
             samples: Vec::new(),
+            ledger: Vec::new(),
+            base: BTreeMap::new(),
             cells: BTreeMap::new(),
         }
     }
@@ -195,20 +240,49 @@ impl Tile {
         &self.samples
     }
 
-    /// The per-cell aggregates (ascending cell index).
+    /// The effective per-cell aggregates (ascending cell index): frozen
+    /// base contributions plus live samples.
     pub fn cells(&self) -> &BTreeMap<u32, CellAggregate> {
         &self.cells
     }
 
+    /// The sorted source-id ledger.
+    pub fn sources(&self) -> &[u64] {
+        &self.ledger
+    }
+
+    /// `true` when `source` appears in the ledger.
+    pub fn has_source(&self, source: u64) -> bool {
+        self.ledger.binary_search(&source).is_ok()
+    }
+
+    /// The frozen base aggregates (empty unless a compaction retention
+    /// horizon retired this tile's segment detail).
+    pub fn base(&self) -> &BTreeMap<u32, CellAggregate> {
+        &self.base
+    }
+
+    /// Samples retired into the base by retention (no longer stored
+    /// segment-level).
+    pub fn n_dropped(&self) -> u64 {
+        self.base.values().map(|c| c.n).sum()
+    }
+
     /// Merges an ingest batch: sorts the incoming batch, merges the two
     /// canonically sorted runs in one linear pass (ties are
-    /// byte-identical records, so run order cannot matter), and rebuilds
-    /// every cell aggregate from the result (the full rebuild keeps the
-    /// reduction order independent of merge history). O(N + m·log m)
-    /// per batch instead of re-sorting all N accumulated samples.
+    /// byte-identical records, so run order cannot matter), records the
+    /// batch's sources in the ledger, and rebuilds every cell aggregate
+    /// from the result (the full rebuild keeps the reduction order
+    /// independent of merge history). O(N + m·log m) per batch instead
+    /// of re-sorting all N accumulated samples.
     pub fn merge(&mut self, batch: &[SampleRecord]) {
         let mut incoming = batch.to_vec();
         incoming.sort_unstable_by(SampleRecord::canonical_cmp);
+        for s in &incoming {
+            if let Err(at) = self.ledger.binary_search(&s.source) {
+                self.ledger.insert(at, s.source);
+            }
+        }
         let old = std::mem::take(&mut self.samples);
         self.samples = Vec::with_capacity(old.len() + incoming.len());
         let (mut a, mut b) = (old.into_iter().peekable(), incoming.into_iter().peekable());
@@ -230,8 +304,73 @@ impl Tile {
         self.version += 1;
     }
 
+    /// Removes every live sample of `source` and merges `batch` in its
+    /// place, as one version bump — the per-tile half of
+    /// [`crate::store::IngestMode::Replace`]. Returns the number of
+    /// samples removed. Base contributions are frozen and cannot be
+    /// replaced; `source` stays in the ledger while the base is
+    /// non-empty. (Replacing a retention-*archived* source — ledger
+    /// entry backed only by base — would double-count it; the store
+    /// refuses that case with `CatalogError::ArchivedSource` before
+    /// calling here.)
+    pub fn replace_source(&mut self, source: u64, batch: &[SampleRecord]) -> usize {
+        let before = self.samples.len();
+        self.samples.retain(|s| s.source != source);
+        let removed = before - self.samples.len();
+        if self.base.is_empty() && batch.is_empty() {
+            if let Ok(at) = self.ledger.binary_search(&source) {
+                self.ledger.remove(at);
+            }
+        }
+        // `merge` rebuilds the aggregates and bumps the version even for
+        // an empty batch (a removal is a real state change).
+        self.merge(batch);
+        removed
+    }
+
+    /// Retires the tile's segment-level detail: the current effective
+    /// cell aggregates become the frozen base, the samples are dropped,
+    /// and the ledger is kept (so idempotent re-ingest still recognises
+    /// the retired sources). Returns the number of samples dropped.
+    /// Used by `catalog::compact`'s retention horizon.
+    pub fn freeze_detail(&mut self) -> usize {
+        let dropped = self.samples.len();
+        if dropped > 0 {
+            self.base = self.cells.clone();
+            self.samples.clear();
+            self.rebuild_cells();
+        }
+        dropped
+    }
+
+    /// Assembles a tile from already-canonical parts (compaction's
+    /// constructor). `samples` must be canonically sorted; `ledger` must
+    /// be sorted, deduplicated, and cover the samples' sources.
+    pub(crate) fn from_parts(
+        id: TileId,
+        time: TimeKey,
+        version: u64,
+        samples: Vec<SampleRecord>,
+        ledger: Vec<u64>,
+        base: BTreeMap<u32, CellAggregate>,
+    ) -> Tile {
+        let mut tile = Tile {
+            id,
+            time,
+            version,
+            samples,
+            ledger,
+            base,
+            cells: BTreeMap::new(),
+        };
+        tile.rebuild_cells();
+        tile
+    }
+
+    /// Effective aggregates: base contributions first (frozen reduction
+    /// prefix), then live samples pushed in canonical order.
     fn rebuild_cells(&mut self) {
-        self.cells.clear();
+        self.cells = self.base.clone();
         for s in &self.samples {
             self.cells
                 .entry(s.cell)
@@ -242,7 +381,9 @@ impl Tile {
 
     /// Checks the tile's internal invariants — what concurrent readers
     /// assert about every snapshot they observe: samples in canonical
-    /// order, and cell aggregates exactly consistent with the samples.
+    /// order, the ledger sorted and covering every sample's source
+    /// (exactly, while no base is frozen), and cell aggregates exactly
+    /// consistent with base + samples.
     pub fn check_consistency(&self) -> Result<(), &'static str> {
         if !self
             .samples
@@ -251,7 +392,17 @@ impl Tile {
         {
             return Err("samples out of canonical order");
         }
-        let mut rebuilt: BTreeMap<u32, CellAggregate> = BTreeMap::new();
+        if !self.ledger.windows(2).all(|w| w[0] < w[1]) {
+            return Err("ledger out of order or duplicated");
+        }
+        let sample_sources: BTreeSet<u64> = self.samples.iter().map(|s| s.source).collect();
+        if !sample_sources.iter().all(|s| self.has_source(*s)) {
+            return Err("sample source missing from ledger");
+        }
+        if self.base.is_empty() && self.ledger.len() != sample_sources.len() {
+            return Err("ledger lists a source with no samples and no base");
+        }
+        let mut rebuilt = self.base.clone();
         for s in &self.samples {
             rebuilt
                 .entry(s.cell)
@@ -259,24 +410,16 @@ impl Tile {
                 .push(s);
         }
         if rebuilt != self.cells {
-            return Err("cell aggregates inconsistent with samples");
+            return Err("cell aggregates inconsistent with base + samples");
         }
         let total: u64 = self.cells.values().map(|c| c.n).sum();
-        if total != self.samples.len() as u64 {
+        if total != self.samples.len() as u64 + self.n_dropped() {
             return Err("cell counts do not cover samples");
         }
         Ok(())
     }
-}
 
-impl Codec for Tile {
-    fn encode(&self, w: &mut Writer) {
-        self.id.encode(w);
-        self.time.encode(w);
-        w.put_u64(self.version);
-        self.samples.encode(w);
-    }
-    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+    fn decode_body(r: &mut Reader<'_>, format: u16) -> Result<Self, ArtifactError> {
         let id = TileId::decode(r)?;
         let time = TimeKey::decode(r)?;
         let version = r.take_u64()?;
@@ -287,11 +430,55 @@ impl Codec for Tile {
         {
             return Err(ArtifactError::Invalid("tile samples out of order"));
         }
+        let (ledger, base) = match format {
+            // v1 (pre-ledger): the sources are exactly the samples', no
+            // frozen base. Upgraded in place on the next persist.
+            1 => {
+                let sources: BTreeSet<u64> = samples.iter().map(|s| s.source).collect();
+                (sources.into_iter().collect(), BTreeMap::new())
+            }
+            _ => {
+                let ledger: Vec<u64> = Vec::decode(r)?;
+                if !ledger.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(ArtifactError::Invalid("tile ledger out of order"));
+                }
+                // Canonical order is source-major, so one pass over the
+                // distinct sample sources validates ledger coverage
+                // without re-folding the aggregates (the rebuild below
+                // already derives them; `check_consistency` remains the
+                // full audit for `validate()`).
+                let mut n_sources = 0usize;
+                let mut last: Option<u64> = None;
+                for s in &samples {
+                    if last != Some(s.source) {
+                        last = Some(s.source);
+                        n_sources += 1;
+                        if ledger.binary_search(&s.source).is_err() {
+                            return Err(ArtifactError::Invalid(
+                                "sample source missing from ledger",
+                            ));
+                        }
+                    }
+                }
+                let base_cells: Vec<(u32, CellAggregate)> = Vec::decode(r)?;
+                if !base_cells.windows(2).all(|w| w[0].0 < w[1].0) {
+                    return Err(ArtifactError::Invalid("tile base cells out of order"));
+                }
+                if base_cells.is_empty() && ledger.len() != n_sources {
+                    return Err(ArtifactError::Invalid(
+                        "ledger lists a source with no samples and no base",
+                    ));
+                }
+                (ledger, base_cells.into_iter().collect())
+            }
+        };
         let mut tile = Tile {
             id,
             time,
             version,
             samples,
+            ledger,
+            base,
             cells: BTreeMap::new(),
         };
         tile.rebuild_cells();
@@ -299,9 +486,40 @@ impl Codec for Tile {
     }
 }
 
+impl Codec for Tile {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        self.time.encode(w);
+        w.put_u64(self.version);
+        self.samples.encode(w);
+        self.ledger.encode(w);
+        let base_cells: Vec<(u32, CellAggregate)> =
+            self.base.iter().map(|(&c, &a)| (c, a)).collect();
+        base_cells.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Tile::decode_body(r, Self::VERSION)
+    }
+}
+
 impl Artifact for Tile {
     const TAG: [u8; 4] = *b"SIT1";
-    const VERSION: u16 = 1;
+    const VERSION: u16 = 2;
+
+    /// Backward-compatible decode: accepts v1 (pre-ledger) tiles, whose
+    /// ledger is reconstructed from the samples themselves.
+    fn from_bytes(data: &[u8]) -> Result<Self, ArtifactError> {
+        let mut r = Reader::new(data);
+        let tag = r.take_slice(4)?;
+        if tag != Self::TAG {
+            return Err(ArtifactError::BadMagic);
+        }
+        let format = r.take_u16()?;
+        if format == 0 || format > Self::VERSION {
+            return Err(ArtifactError::BadVersion(format));
+        }
+        Tile::decode_body(&mut r, format)
+    }
 }
 
 /// Header of a persisted tile, readable without decoding samples.
@@ -320,7 +538,9 @@ pub struct TileHeader {
 impl Tile {
     /// Reads only the framed header of a tile file. The catalog uses
     /// this to bootstrap its authoritative version/size index on open
-    /// without decoding any sample payload.
+    /// without decoding any sample payload. Both format versions share
+    /// this prefix (v2 appends its ledger and base *after* the samples
+    /// precisely so the header stays peekable).
     pub fn peek(path: &std::path::Path) -> Result<TileHeader, ArtifactError> {
         use std::io::Read;
         // tag(4) + format version(2) + id(9) + time(3) + merge
@@ -333,7 +553,7 @@ impl Tile {
             return Err(ArtifactError::BadMagic);
         }
         let format = r.take_u16()?;
-        if format != Self::VERSION {
+        if format == 0 || format > Self::VERSION {
             return Err(ArtifactError::BadVersion(format));
         }
         Ok(TileHeader {
@@ -346,6 +566,11 @@ impl Tile {
 }
 
 /// The catalog manifest: pins the grid every tile was addressed with.
+///
+/// Format v2 signals that the directory may hold v2 (ledger-carrying)
+/// tiles and per-layer ledger sidecars, so a pre-ledger build fails fast
+/// at open instead of per tile; the body is unchanged and v1 manifests
+/// (whose tiles are all v1) still decode.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CatalogManifest {
     /// The catalog's tiling.
@@ -365,6 +590,58 @@ impl Codec for CatalogManifest {
 
 impl Artifact for CatalogManifest {
     const TAG: [u8; 4] = *b"SICM";
+    const VERSION: u16 = 2;
+
+    /// Backward-compatible decode: v1 manifests share the v2 body.
+    fn from_bytes(data: &[u8]) -> Result<Self, ArtifactError> {
+        let mut r = Reader::new(data);
+        let tag = r.take_slice(4)?;
+        if tag != Self::TAG {
+            return Err(ArtifactError::BadMagic);
+        }
+        let format = r.take_u16()?;
+        if format == 0 || format > Self::VERSION {
+            return Err(ArtifactError::BadVersion(format));
+        }
+        Self::decode(&mut r)
+    }
+}
+
+/// Per-layer sidecar ledger (`ledgers/YYYYMM.ledger`, `SISL` v1): the
+/// source ids whose ingest into the layer **completed** — the fast path
+/// that lets `IngestMode::Skip` short-circuit a re-run before
+/// projecting a single point.
+///
+/// The sidecar is a cache, not ground truth: it is written (atomically)
+/// only after every tile merge of an ingest call succeeded, so a crash
+/// mid-ingest leaves the source out of the sidecar and the next ingest
+/// falls back to the per-tile ledgers, healing the partial state. Losing
+/// or deleting a sidecar costs performance, never correctness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerLedger {
+    /// The temporal layer this ledger covers.
+    pub time: TimeKey,
+    /// Sorted, deduplicated source ids with completed ingests.
+    pub sources: Vec<u64>,
+}
+
+impl Codec for LayerLedger {
+    fn encode(&self, w: &mut Writer) {
+        self.time.encode(w);
+        self.sources.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let time = TimeKey::decode(r)?;
+        let sources: Vec<u64> = Vec::decode(r)?;
+        if !sources.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ArtifactError::Invalid("layer ledger out of order"));
+        }
+        Ok(LayerLedger { time, sources })
+    }
+}
+
+impl Artifact for LayerLedger {
+    const TAG: [u8; 4] = *b"SISL";
     const VERSION: u16 = 1;
 }
 
@@ -460,6 +737,134 @@ mod tests {
         corrupt[b..b + 61].copy_from_slice(&tmp);
         assert!(matches!(
             Tile::from_bytes(&corrupt),
+            Err(ArtifactError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn ledger_tracks_merge_replace_and_remove() {
+        let mut tile = Tile::new(
+            TileId::new(2, 1, 3).unwrap(),
+            TimeKey::new(2019, 11).unwrap(),
+        );
+        tile.merge(&batch_a());
+        tile.merge(&batch_b());
+        assert_eq!(tile.sources(), &[1, 2, 3]);
+        assert!(tile.has_source(2) && !tile.has_source(4));
+        tile.check_consistency().unwrap();
+
+        // Replace source 2 with a perturbed pair of samples.
+        let newer = vec![
+            sample(2, 11.0, 0.33, SurfaceClass::ThickIce, 5),
+            sample(2, 13.0, 0.01, SurfaceClass::OpenWater, 6),
+        ];
+        let removed = tile.replace_source(2, &newer);
+        assert_eq!(removed, 2);
+        assert_eq!(tile.sources(), &[1, 2, 3]);
+        assert_eq!(tile.samples().iter().filter(|s| s.source == 2).count(), 2);
+        tile.check_consistency().unwrap();
+
+        // Replacing with nothing removes the source from the ledger.
+        let removed = tile.replace_source(2, &[]);
+        assert_eq!(removed, 2);
+        assert_eq!(tile.sources(), &[1, 3]);
+        tile.check_consistency().unwrap();
+
+        // Replace equals a fresh build of the same content, bit for bit
+        // (versions aside).
+        let mut fresh = Tile::new(tile.id, tile.time);
+        fresh.merge(&batch_a());
+        fresh.merge(&batch_b());
+        let newer2 = newer.clone();
+        fresh.replace_source(2, &newer2);
+        fresh.replace_source(2, &[]);
+        assert_eq!(fresh.samples(), tile.samples());
+        assert_eq!(fresh.cells(), tile.cells());
+    }
+
+    #[test]
+    fn freeze_detail_preserves_cells_and_survives_roundtrip() {
+        let mut tile = Tile::new(
+            TileId::new(3, 7, 2).unwrap(),
+            TimeKey::new(2019, 9).unwrap(),
+        );
+        tile.merge(&batch_a());
+        tile.merge(&batch_b());
+        let cells_before = tile.cells().clone();
+        let ledger_before = tile.sources().to_vec();
+        let dropped = tile.freeze_detail();
+        assert_eq!(dropped, 5);
+        assert!(tile.samples().is_empty());
+        assert_eq!(tile.n_dropped(), 5);
+        assert_eq!(tile.cells(), &cells_before, "aggregates survive retention");
+        assert_eq!(tile.sources(), &ledger_before[..]);
+        tile.check_consistency().unwrap();
+
+        // Roundtrip through the v2 format keeps the frozen base.
+        let back = Tile::from_bytes(&tile.to_bytes()).unwrap();
+        assert_eq!(back.cells(), &cells_before);
+        assert_eq!(back.n_dropped(), 5);
+        assert_eq!(back.sources(), &ledger_before[..]);
+
+        // New samples still merge on top of the frozen base.
+        let mut merged = back.clone();
+        merged.merge(&[sample(9, 1.0, 0.5, SurfaceClass::ThickIce, 5)]);
+        merged.check_consistency().unwrap();
+        assert_eq!(merged.cells()[&5].n, cells_before[&5].n + 1);
+    }
+
+    /// A v1 (pre-ledger) tile buffer still decodes: the ledger is
+    /// reconstructed from the samples, and re-encoding upgrades to v2.
+    #[test]
+    fn v1_tile_buffers_decode_with_reconstructed_ledger() {
+        let mut tile = Tile::new(
+            TileId::new(2, 1, 3).unwrap(),
+            TimeKey::new(2019, 11).unwrap(),
+        );
+        tile.merge(&batch_a());
+        tile.merge(&batch_b());
+        // Hand-build the v1 framing: tag, version 1, id, time, merge
+        // counter, samples — no ledger, no base.
+        let mut w = Writer::new();
+        w.put_slice(b"SIT1");
+        w.put_u16(1);
+        tile.id.encode(&mut w);
+        tile.time.encode(&mut w);
+        w.put_u64(tile.version);
+        tile.samples().to_vec().encode(&mut w);
+        let v1_bytes = w.finish();
+
+        let back = Tile::from_bytes(&v1_bytes).unwrap();
+        assert_eq!(back.samples(), tile.samples());
+        assert_eq!(back.cells(), tile.cells());
+        assert_eq!(back.sources(), &[1, 2, 3], "ledger rebuilt from samples");
+        assert!(back.base().is_empty());
+        back.check_consistency().unwrap();
+        // Re-encoding writes the current version.
+        assert_eq!(&back.to_bytes()[4..6], &2u16.to_le_bytes());
+        // Future versions are still rejected.
+        let mut future = v1_bytes.to_vec();
+        future[4..6].copy_from_slice(&3u16.to_le_bytes());
+        assert!(matches!(
+            Tile::from_bytes(&future),
+            Err(ArtifactError::BadVersion(3))
+        ));
+    }
+
+    #[test]
+    fn layer_ledger_roundtrips_and_rejects_unsorted() {
+        let ledger = LayerLedger {
+            time: TimeKey::new(2019, 11).unwrap(),
+            sources: vec![3, 17, 99],
+        };
+        let back = LayerLedger::from_bytes(&ledger.to_bytes()).unwrap();
+        assert_eq!(back, ledger);
+        let bad = LayerLedger {
+            time: ledger.time,
+            sources: vec![17, 3],
+        };
+        assert!(matches!(
+            LayerLedger::from_bytes(&bad.to_bytes()),
             Err(ArtifactError::Invalid(_))
         ));
     }

@@ -39,6 +39,13 @@ pub const MAX_FRAME_BYTES: usize = 4 << 20;
 /// Records per streamed batch frame (server-side chunking).
 pub const BATCH_RECORDS: usize = 256;
 
+/// Byte budget for the record payload of one streamed batch frame. Well
+/// under [`MAX_FRAME_BYTES`], so a batch message (records + vec length +
+/// artifact framing) can never hit the cap even if a future record type
+/// grows — the server chunks on whichever of this and [`BATCH_RECORDS`]
+/// bites first.
+pub const MAX_BATCH_BYTES: usize = 1 << 20;
+
 /// Protocol error code: the request frame failed to decode.
 pub const ERR_BAD_REQUEST: u16 = 1;
 /// Protocol error code: unsupported request tag or version.
@@ -50,11 +57,20 @@ pub const ERR_CATALOG: u16 = 3;
 // Framing.
 // ---------------------------------------------------------------------------
 
-/// Writes one length-prefixed frame.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
+/// Writes one length-prefixed frame. An oversized payload is a typed
+/// [`CatalogError::Protocol`] error *before* anything hits the socket —
+/// writing it would poison the connection, because the peer rejects the
+/// length prefix and drops the stream mid-exchange.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), CatalogError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(CatalogError::Protocol(format!(
+            "refusing to write a {}-byte frame (cap {MAX_FRAME_BYTES})",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())
+        .map_err(CatalogError::Io)?;
+    w.write_all(payload).map_err(CatalogError::Io)?;
     Ok(())
 }
 
@@ -145,15 +161,44 @@ fn read_full(
     Ok(ReadOutcome::Complete)
 }
 
-/// Frames and writes one artifact-framed message.
+/// Frames and writes one artifact-framed message (oversized messages
+/// fail typed, see [`write_frame`]).
 pub fn write_message<M: Artifact>(w: &mut impl Write, message: &M) -> Result<(), CatalogError> {
-    let bytes = message.to_bytes();
-    if bytes.len() > MAX_FRAME_BYTES {
-        return Err(CatalogError::Protocol(
-            "message exceeds the frame cap".into(),
-        ));
+    write_frame(w, &message.to_bytes())
+}
+
+/// Splits `records` into batch index ranges respecting both the record
+/// cap and the byte budget: a batch closes when it holds `max_records`
+/// or when adding the next record's encoded size would push its record
+/// payload past `max_bytes`. Every range is non-empty (a single record
+/// larger than the budget still travels — alone), ranges tile
+/// `0..records.len()` in order, and the split depends only on the
+/// records, so re-chunking is deterministic.
+pub fn batch_ranges<T: Codec>(
+    records: &[T],
+    max_records: usize,
+    max_bytes: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let max_records = max_records.max(1);
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut bytes = 0usize;
+    for (i, record) in records.iter().enumerate() {
+        let mut scratch = Writer::new();
+        record.encode(&mut scratch);
+        let size = scratch.finish().len();
+        let full = i - start >= max_records || (i > start && bytes + size > max_bytes);
+        if full {
+            ranges.push(start..i);
+            start = i;
+            bytes = 0;
+        }
+        bytes += size;
     }
-    write_frame(w, &bytes).map_err(CatalogError::Io)
+    if start < records.len() {
+        ranges.push(start..records.len());
+    }
+    ranges
 }
 
 /// Reads and decodes one message; `Ok(None)` at clean end-of-stream.
@@ -430,27 +475,6 @@ impl Artifact for Response {
 // Codec impls for the payload records that cross the wire.
 // ---------------------------------------------------------------------------
 
-impl Codec for CellAggregate {
-    fn encode(&self, w: &mut Writer) {
-        w.put_u64(self.n);
-        self.class_counts.encode(w);
-        w.put_u64(self.ice_n);
-        w.put_f64(self.ice_sum_m);
-        w.put_f64(self.min_freeboard_m);
-        w.put_f64(self.max_freeboard_m);
-    }
-    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
-        Ok(CellAggregate {
-            n: r.take_u64()?,
-            class_counts: <[u64; 3]>::decode(r)?,
-            ice_n: r.take_u64()?,
-            ice_sum_m: r.take_f64()?,
-            min_freeboard_m: r.take_f64()?,
-            max_freeboard_m: r.take_f64()?,
-        })
-    }
-}
-
 impl Codec for CellSummary {
     fn encode(&self, w: &mut Writer) {
         self.tile.encode(w);
@@ -617,6 +641,74 @@ mod tests {
         ] {
             roundtrip(&response);
         }
+    }
+
+    /// Release-exercised (CI runs this suite with `--release`): the
+    /// frame cap must hold without `debug_assert!` — an oversized
+    /// payload is a typed protocol error, not a poisoned connection.
+    #[test]
+    fn oversized_frame_write_fails_typed_before_touching_the_stream() {
+        let payload = vec![0u8; MAX_FRAME_BYTES + 1];
+        let mut sink: Vec<u8> = Vec::new();
+        match write_frame(&mut sink, &payload) {
+            Err(CatalogError::Protocol(_)) => {}
+            other => panic!("expected a typed protocol error, got {other:?}"),
+        }
+        assert!(sink.is_empty(), "nothing was written");
+        // A message crossing the cap fails the same way.
+        let message = Response::Error {
+            code: ERR_CATALOG,
+            message: "x".repeat(MAX_FRAME_BYTES),
+        };
+        assert!(matches!(
+            write_message(&mut sink, &message),
+            Err(CatalogError::Protocol(_))
+        ));
+        assert!(sink.is_empty());
+    }
+
+    /// An unchunked encoding of this many partials would cross the 4 MiB
+    /// frame cap; the byte-budget chunking must keep every batch frame
+    /// under it (and the record cap) while covering every record in
+    /// order.
+    #[test]
+    fn oversized_batches_chunk_under_the_frame_cap() {
+        let records: Vec<TilePartial> = (0..60_000)
+            .map(|i| {
+                let mut p = partial();
+                p.n_samples = i;
+                p
+            })
+            .collect();
+        let mut one = Writer::new();
+        records.encode(&mut one);
+        assert!(
+            one.finish().len() > MAX_FRAME_BYTES,
+            "workload must exceed the cap unchunked"
+        );
+        let ranges = batch_ranges(&records, usize::MAX, MAX_BATCH_BYTES);
+        assert!(ranges.len() > 1);
+        let mut covered = 0usize;
+        for range in &ranges {
+            assert_eq!(range.start, covered, "ranges tile in order");
+            covered = range.end;
+            let frame = Response::TileBatch(records[range.clone()].to_vec()).to_bytes();
+            assert!(frame.len() <= MAX_FRAME_BYTES, "batch frame over the cap");
+            // Round-trips like any other frame.
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &frame).unwrap();
+            assert!(read_frame(&mut std::io::Cursor::new(buf))
+                .unwrap()
+                .is_some());
+        }
+        assert_eq!(covered, records.len(), "every record travels");
+        // The record cap still bites when it is the tighter bound.
+        let small = batch_ranges(&records[..1000], BATCH_RECORDS, MAX_BATCH_BYTES);
+        assert!(small.iter().all(|r| r.len() <= BATCH_RECORDS));
+        // Degenerate inputs stay sane.
+        assert!(batch_ranges::<TilePartial>(&[], BATCH_RECORDS, MAX_BATCH_BYTES).is_empty());
+        let lone = batch_ranges(&records[..1], 4, 1);
+        assert_eq!(lone, vec![0..1], "a record above the budget travels alone");
     }
 
     #[test]

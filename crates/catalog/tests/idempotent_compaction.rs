@@ -1,0 +1,532 @@
+//! Acceptance tests for idempotent ingest and offline compaction:
+//!
+//! - re-ingesting under `IngestMode::Skip` leaves every tile file
+//!   **byte-identical** (and the fast path touches nothing at all);
+//! - re-ingesting perturbed products under `IngestMode::Replace`
+//!   converges to the same queryable state as a fresh build, bit for
+//!   bit;
+//! - the identity compaction (same grid, monthly layers, no retention)
+//!   answers `query_cells` / `stats` / the summary battery
+//!   bit-identically to its source;
+//! - a retention horizon drops segment detail while per-cell composites
+//!   keep answering bit-identically;
+//! - re-gridding and seasonal layer merges preserve totals;
+//! - a v1 (pre-ledger) catalog still opens, queries, and upgrades.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use icesat_geo::{MapPoint, EPSG_3976};
+use icesat_scene::SurfaceClass;
+use seaice::artifact::{Artifact, Codec, Writer};
+use seaice::freeboard::{FreeboardPoint, FreeboardProduct};
+use seaice_catalog::{
+    compact, Catalog, CompactionConfig, GridConfig, IngestMode, LayerMap, MapRect, TimeKey,
+    TimeRange,
+};
+
+fn grid() -> GridConfig {
+    GridConfig::new(MapPoint::new(-300_000.0, -1_300_000.0), 10_000.0, 2, 8).unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seaice_idem_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A synthetic beam product on a map-space line (see store.rs tests).
+fn line_product(n: usize, x0: f64, y0: f64, dx: f64, dy: f64, fb0: f64) -> FreeboardProduct {
+    let points = (0..n)
+        .map(|i| {
+            let m = MapPoint::new(x0 + i as f64 * dx, y0 + i as f64 * dy);
+            let g = EPSG_3976.inverse(m);
+            FreeboardPoint {
+                along_track_m: i as f64 * 2.0,
+                lat: g.lat,
+                lon: g.lon,
+                freeboard_m: fb0 + (i % 7) as f64 * 0.01,
+                class: SurfaceClass::ALL[i % 3],
+            }
+        })
+        .collect();
+    FreeboardProduct {
+        name: "idempotency line".into(),
+        points,
+    }
+}
+
+/// Ingests a small two-layer, three-source workload.
+fn build(catalog: &Catalog) {
+    for (granule, beam, x0, dy) in [
+        ("20190915010203_05000210", 0usize, -304_000.0, 10.0),
+        ("20190915010203_05000210", 1, -303_000.0, 14.0),
+        ("20191104195311_05010210", 1, -302_000.0, 18.0),
+    ] {
+        let product = line_product(400, x0, -1_304_000.0, 19.0, dy, 0.2);
+        catalog.ingest_beam(granule, beam, &product).unwrap();
+    }
+}
+
+/// Every tile (and ledger) file in a catalog directory, bytes and all.
+fn dir_bytes(dir: &std::path::Path) -> BTreeMap<PathBuf, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for sub in ["tiles", "ledgers"] {
+        let sub = dir.join(sub);
+        if !sub.is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&sub).unwrap() {
+            let path = entry.unwrap().path();
+            out.insert(path.clone(), std::fs::read(&path).unwrap());
+        }
+    }
+    out
+}
+
+/// A deterministic query battery, flattened to comparable bits.
+fn battery(catalog: &Catalog) -> Vec<u64> {
+    let mut bits = Vec::new();
+    let domain = catalog.grid().domain();
+    let rects = [
+        domain,
+        MapRect::new(domain.min, MapPoint::new(-300_000.0, -1_300_000.0)),
+        MapRect::new(
+            MapPoint::new(-305_000.0, -1_305_000.0),
+            MapPoint::new(-295_000.0, -1_295_000.0),
+        ),
+    ];
+    let times = [
+        TimeRange::all(),
+        TimeRange::only(TimeKey::new(2019, 9).unwrap()),
+        TimeRange::only(TimeKey::new(2019, 11).unwrap()),
+    ];
+    for rect in &rects {
+        for time in times {
+            let s = catalog.query_rect(rect, time).unwrap();
+            s.check_consistency().unwrap();
+            bits.extend([
+                s.n_samples as u64,
+                s.class_counts[0] as u64,
+                s.class_counts[1] as u64,
+                s.class_counts[2] as u64,
+                s.n_ice as u64,
+                s.mean_ice_freeboard_m.to_bits(),
+                s.min_freeboard_m.to_bits(),
+                s.max_freeboard_m.to_bits(),
+                s.n_tiles as u64,
+                s.n_cells as u64,
+            ]);
+        }
+    }
+    for (tk, s) in catalog.query_time_range(TimeRange::all()).unwrap() {
+        bits.extend([
+            tk.year as u64,
+            tk.month as u64,
+            s.n_samples as u64,
+            s.mean_ice_freeboard_m.to_bits(),
+        ]);
+    }
+    bits.extend(cell_bits(catalog, TimeRange::all()));
+    bits
+}
+
+/// `query_cells` over the whole domain, flattened to bits.
+fn cell_bits(catalog: &Catalog, time: TimeRange) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for c in catalog.query_cells(&catalog.grid().domain(), time).unwrap() {
+        bits.extend([
+            c.tile.level as u64,
+            c.tile.x as u64,
+            c.tile.y as u64,
+            c.cell as u64,
+            c.center.x.to_bits(),
+            c.center.y.to_bits(),
+            c.agg.n,
+            c.agg.class_counts[0],
+            c.agg.class_counts[1],
+            c.agg.class_counts[2],
+            c.agg.ice_n,
+            c.agg.ice_sum_m.to_bits(),
+            c.agg.min_freeboard_m.to_bits(),
+            c.agg.max_freeboard_m.to_bits(),
+        ]);
+    }
+    bits
+}
+
+#[test]
+fn skip_reingest_is_a_byte_stable_noop() {
+    let dir = temp_dir("skip");
+    let catalog = Catalog::create(&dir, grid()).unwrap();
+    build(&catalog);
+    let stats = catalog.stats().unwrap();
+    let before = dir_bytes(&dir);
+    let battery_before = battery(&catalog);
+
+    // Re-ingest the identical workload: every sample skips, no tile file
+    // changes by a single byte.
+    let product = line_product(400, -304_000.0, -1_304_000.0, 19.0, 10.0, 0.2);
+    let report = catalog
+        .ingest_beam("20190915010203_05000210", 0, &product)
+        .unwrap();
+    assert_eq!(report.n_samples, 0);
+    assert_eq!(report.n_skipped, 400);
+    assert_eq!(report.n_tiles, 0);
+    assert_eq!(dir_bytes(&dir), before, "tile bytes moved on a Skip re-run");
+    assert_eq!(catalog.stats().unwrap().n_samples, stats.n_samples);
+
+    // Same through a cold reopen (the sidecar fast path survives).
+    drop(catalog);
+    let reopened = Catalog::open(&dir).unwrap();
+    let report = reopened
+        .ingest_beam("20190915010203_05000210", 0, &product)
+        .unwrap();
+    assert_eq!(report.n_skipped, 400);
+    assert_eq!(dir_bytes(&dir), before);
+    assert_eq!(battery(&reopened), battery_before);
+
+    // A partial previous ingest heals: wipe the sidecar ledgers so the
+    // fast path goes cold — the per-tile ledgers still skip everything.
+    std::fs::remove_dir_all(dir.join("ledgers")).unwrap();
+    let healed = Catalog::open(&dir).unwrap();
+    let report = healed
+        .ingest_beam("20190915010203_05000210", 0, &product)
+        .unwrap();
+    assert_eq!(report.n_samples, 0);
+    assert_eq!(report.n_skipped, 400);
+    assert_eq!(battery(&healed), battery_before);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replace_reingest_converges_to_fresh_build() {
+    let dir = temp_dir("replace");
+    let catalog = Catalog::create(&dir, grid()).unwrap();
+    build(&catalog);
+
+    // Perturb one source: shifted track (crosses different tiles) and
+    // different freeboards.
+    let perturbed = line_product(350, -299_000.0, -1_299_000.0, 23.0, 21.0, 0.31);
+    let report = catalog
+        .ingest_beam_with(
+            "20190915010203_05000210",
+            0,
+            &perturbed,
+            IngestMode::Replace,
+        )
+        .unwrap();
+    assert_eq!(report.n_replaced, 400, "every prior sample was removed");
+    assert_eq!(report.n_samples + report.n_out_of_domain, 350);
+
+    // A fresh catalog built from the perturbed workload answers the
+    // whole battery bit-identically.
+    let fresh_dir = temp_dir("replace_fresh");
+    let fresh = Catalog::create(&fresh_dir, grid()).unwrap();
+    fresh
+        .ingest_beam("20190915010203_05000210", 0, &perturbed)
+        .unwrap();
+    for (granule, beam, x0, dy) in [
+        ("20190915010203_05000210", 1usize, -303_000.0, 14.0),
+        ("20191104195311_05010210", 1, -302_000.0, 18.0),
+    ] {
+        let product = line_product(400, x0, -1_304_000.0, 19.0, dy, 0.2);
+        fresh.ingest_beam(granule, beam, &product).unwrap();
+    }
+    assert_eq!(battery(&catalog), battery(&fresh));
+    assert_eq!(
+        catalog.stats().unwrap().n_samples,
+        fresh.stats().unwrap().n_samples
+    );
+    catalog.validate().unwrap();
+
+    // Replacing with the identical product is also stable (idempotent
+    // under convergence, not bytes — versions move).
+    let again = catalog
+        .ingest_beam_with(
+            "20190915010203_05000210",
+            0,
+            &perturbed,
+            IngestMode::Replace,
+        )
+        .unwrap();
+    assert_eq!(again.n_replaced, again.n_samples);
+    assert_eq!(battery(&catalog), battery(&fresh));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&fresh_dir);
+}
+
+#[test]
+fn identity_compaction_is_bit_identical() {
+    let src_dir = temp_dir("compact_src");
+    let src = Catalog::create(&src_dir, grid()).unwrap();
+    build(&src);
+    let battery_src = battery(&src);
+    let stats_src = src.stats().unwrap();
+
+    let dst_dir = temp_dir("compact_dst");
+    let report = compact(&src_dir, &dst_dir, &CompactionConfig::rewrite(grid())).unwrap();
+    assert_eq!(report.n_samples_in, stats_src.n_samples);
+    assert_eq!(report.n_samples_out, stats_src.n_samples);
+    assert_eq!(report.n_retired, 0);
+    assert_eq!(report.n_out_of_domain, 0);
+    assert_eq!(report.n_target_tiles, stats_src.n_tiles);
+    assert_eq!(report.n_layers_out, stats_src.n_layers);
+
+    let dst = Catalog::open(&dst_dir).unwrap();
+    let stats_dst = dst.stats().unwrap();
+    assert_eq!(stats_dst.n_samples, stats_src.n_samples);
+    assert_eq!(stats_dst.n_tiles, stats_src.n_tiles);
+    assert_eq!(stats_dst.n_layers, stats_src.n_layers);
+    assert_eq!(battery(&dst), battery_src, "identity compaction moved bits");
+    dst.validate().unwrap();
+
+    // The compacted catalog still skips completed sources (sidecars
+    // carried over).
+    let product = line_product(400, -304_000.0, -1_304_000.0, 19.0, 10.0, 0.2);
+    let r = dst
+        .ingest_beam("20190915010203_05000210", 0, &product)
+        .unwrap();
+    assert_eq!(r.n_skipped, 400);
+
+    // Compacting into a non-empty destination is refused.
+    assert!(compact(&src_dir, &dst_dir, &CompactionConfig::rewrite(grid())).is_err());
+    let _ = std::fs::remove_dir_all(&src_dir);
+    let _ = std::fs::remove_dir_all(&dst_dir);
+}
+
+#[test]
+fn regrid_and_seasonal_merge_preserve_totals() {
+    let src_dir = temp_dir("regrid_src");
+    let src = Catalog::create(&src_dir, grid()).unwrap();
+    build(&src);
+    let stats_src = src.stats().unwrap();
+    let whole_src = src
+        .query_rect(&src.grid().domain(), TimeRange::all())
+        .unwrap();
+
+    // Finer grid over the same domain, monthly layers folded into
+    // seasons (Sep and Nov 2019 both belong to distinct seasons: Sep →
+    // Sep, Nov → Sep as well — both are in Sep–Nov).
+    let finer = GridConfig::new(MapPoint::new(-300_000.0, -1_300_000.0), 10_000.0, 3, 8).unwrap();
+    let dst_dir = temp_dir("regrid_dst");
+    let cfg = CompactionConfig {
+        grid: finer,
+        layers: LayerMap::Seasonal,
+        ..CompactionConfig::rewrite(finer)
+    };
+    let report = compact(&src_dir, &dst_dir, &cfg).unwrap();
+    assert_eq!(report.n_out_of_domain, 0, "same domain, nothing falls out");
+    assert_eq!(report.n_samples_out, stats_src.n_samples);
+
+    let dst = Catalog::open(&dst_dir).unwrap();
+    assert_eq!(dst.stats().unwrap().n_samples, stats_src.n_samples);
+    assert_eq!(
+        dst.layers(),
+        vec![TimeKey::new(2019, 9).unwrap()],
+        "Sep + Nov 2019 fold into the Sep–Nov season"
+    );
+    let whole_dst = dst
+        .query_rect(&dst.grid().domain(), TimeRange::all())
+        .unwrap();
+    // Sample-exact counts survive re-binning; tile/cell granularity and
+    // float fold order legitimately change with the grid.
+    assert_eq!(whole_dst.n_samples, whole_src.n_samples);
+    assert_eq!(whole_dst.class_counts, whole_src.class_counts);
+    assert_eq!(whole_dst.n_ice, whole_src.n_ice);
+    assert!((whole_dst.mean_ice_freeboard_m - whole_src.mean_ice_freeboard_m).abs() < 1e-12);
+    assert_eq!(
+        whole_dst.min_freeboard_m.to_bits(),
+        whole_src.min_freeboard_m.to_bits()
+    );
+    assert_eq!(
+        whole_dst.max_freeboard_m.to_bits(),
+        whole_src.max_freeboard_m.to_bits()
+    );
+    let total: u64 = dst
+        .query_cells(&dst.grid().domain(), TimeRange::all())
+        .unwrap()
+        .iter()
+        .map(|c| c.agg.n)
+        .sum();
+    assert_eq!(total, stats_src.n_samples as u64);
+    dst.validate().unwrap();
+    let _ = std::fs::remove_dir_all(&src_dir);
+    let _ = std::fs::remove_dir_all(&dst_dir);
+}
+
+#[test]
+fn retention_drops_samples_but_preserves_composites() {
+    let src_dir = temp_dir("retain_src");
+    let src = Catalog::create(&src_dir, grid()).unwrap();
+    build(&src);
+    let stats_src = src.stats().unwrap();
+    let cells_src = cell_bits(&src, TimeRange::all());
+    let sept = TimeRange::only(TimeKey::new(2019, 9).unwrap());
+    let sept_samples = src
+        .query_rect(&src.grid().domain(), sept)
+        .unwrap()
+        .n_samples;
+    assert!(sept_samples > 0);
+
+    // Retire everything before November 2019.
+    let dst_dir = temp_dir("retain_dst");
+    let cfg = CompactionConfig {
+        retention: Some(TimeKey::new(2019, 11).unwrap()),
+        ..CompactionConfig::rewrite(grid())
+    };
+    let report = compact(&src_dir, &dst_dir, &cfg).unwrap();
+    assert_eq!(report.n_retired, sept_samples);
+    assert_eq!(
+        report.n_samples_out,
+        stats_src.n_samples - sept_samples,
+        "only the November layer keeps segment detail"
+    );
+
+    let dst = Catalog::open(&dst_dir).unwrap();
+    // Segment-level queries see only the retained layer…
+    assert_eq!(
+        dst.query_rect(&dst.grid().domain(), sept)
+            .unwrap()
+            .n_samples,
+        0
+    );
+    assert_eq!(
+        dst.stats().unwrap().n_samples,
+        stats_src.n_samples - sept_samples
+    );
+    // …but the gridded composites are bit-identical to the source.
+    assert_eq!(cell_bits(&dst, TimeRange::all()), cells_src);
+    assert_eq!(cell_bits(&dst, sept), cell_bits(&src, sept));
+    dst.validate().unwrap();
+
+    // Re-ingesting a retired source still skips (its ledger survived)…
+    let product = line_product(400, -304_000.0, -1_304_000.0, 19.0, 10.0, 0.2);
+    let r = dst
+        .ingest_beam("20190915010203_05000210", 0, &product)
+        .unwrap();
+    assert_eq!(r.n_skipped, 400);
+    // …and Replacing it is refused with the typed error: its samples
+    // live only in the frozen base, so removal is impossible and a
+    // re-merge would double-count.
+    match dst.ingest_beam_with("20190915010203_05000210", 0, &product, IngestMode::Replace) {
+        Err(seaice_catalog::CatalogError::ArchivedSource { source }) => {
+            assert_eq!(
+                source,
+                seaice_catalog::SampleRecord::source_id("20190915010203_05000210", 0)
+            );
+        }
+        other => panic!("expected ArchivedSource, got {other:?}"),
+    }
+    // The retained (November) layer still accepts Replace normally.
+    let nov = line_product(200, -302_000.0, -1_304_000.0, 19.0, 18.0, 0.25);
+    dst.ingest_beam_with("20191104195311_05010210", 1, &nov, IngestMode::Replace)
+        .unwrap();
+    dst.validate().unwrap();
+    let _ = std::fs::remove_dir_all(&src_dir);
+    let _ = std::fs::remove_dir_all(&dst_dir);
+}
+
+/// Sidecar ledgers are a cache: a truncated or corrupt one must not
+/// fail the open — the per-tile ledgers still skip everything, and the
+/// next completed ingest rewrites the sidecar.
+#[test]
+fn corrupt_sidecar_ledger_is_ignored_not_fatal() {
+    let dir = temp_dir("corrupt_sidecar");
+    let catalog = Catalog::create(&dir, grid()).unwrap();
+    build(&catalog);
+    let battery_before = battery(&catalog);
+    drop(catalog);
+
+    let ledger_path = dir.join("ledgers").join("201909.ledger");
+    let bytes = std::fs::read(&ledger_path).unwrap();
+    std::fs::write(&ledger_path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let reopened = Catalog::open(&dir).unwrap();
+    assert_eq!(battery(&reopened), battery_before);
+    // The fast path is cold for that layer, but per-tile ledgers still
+    // make the re-run a no-op…
+    let product = line_product(400, -304_000.0, -1_304_000.0, 19.0, 10.0, 0.2);
+    let r = reopened
+        .ingest_beam("20190915010203_05000210", 0, &product)
+        .unwrap();
+    assert_eq!(r.n_samples, 0);
+    assert_eq!(r.n_skipped, 400);
+    // …and the completed ingest rewrote a valid sidecar.
+    drop(reopened);
+    let healed = Catalog::open(&dir).unwrap();
+    assert!(healed
+        .layer_ledger(TimeKey::new(2019, 9).unwrap())
+        .contains(&seaice_catalog::SampleRecord::source_id(
+            "20190915010203_05000210",
+            0
+        )));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A catalog written entirely in the v1 (pre-ledger) format — v1
+/// manifest, v1 tiles, no sidecar ledgers — opens, queries, and then
+/// upgrades in place as new ingests land.
+#[test]
+fn v1_store_opens_queries_and_upgrades() {
+    let dir = temp_dir("v1_store");
+
+    // Build a modern catalog, then rewrite every file in v1 framing.
+    let catalog = Catalog::create(&dir, grid()).unwrap();
+    build(&catalog);
+    let battery_before = battery(&catalog);
+    let stats_before = catalog.stats().unwrap();
+    drop(catalog);
+
+    // Manifest → v1 bytes (same body, version 1).
+    let manifest_path = dir.join("catalog.manifest");
+    let mut w = Writer::new();
+    w.put_slice(b"SICM");
+    w.put_u16(1);
+    grid().encode(&mut w);
+    std::fs::write(&manifest_path, w.finish()).unwrap();
+
+    // Tiles → v1 bytes (id, time, version, samples; no ledger, no base).
+    for entry in std::fs::read_dir(dir.join("tiles")).unwrap() {
+        let path = entry.unwrap().path();
+        let tile = seaice_catalog::Tile::load(&path).unwrap();
+        let mut w = Writer::new();
+        w.put_slice(b"SIT1");
+        w.put_u16(1);
+        tile.id.encode(&mut w);
+        tile.time.encode(&mut w);
+        w.put_u64(tile.version);
+        tile.samples().to_vec().encode(&mut w);
+        std::fs::write(&path, w.finish()).unwrap();
+    }
+    // Drop the sidecars — v1 stores never had them.
+    let _ = std::fs::remove_dir_all(dir.join("ledgers"));
+
+    let v1 = Catalog::open(&dir).unwrap();
+    assert_eq!(battery(&v1), battery_before, "v1 store answers unchanged");
+    assert_eq!(v1.stats().unwrap().n_samples, stats_before.n_samples);
+    v1.validate().unwrap();
+
+    // Re-ingesting a source the v1 tiles hold skips via their
+    // reconstructed per-tile ledgers (no sidecar fast path).
+    let product = line_product(400, -304_000.0, -1_304_000.0, 19.0, 10.0, 0.2);
+    let r = v1
+        .ingest_beam("20190915010203_05000210", 0, &product)
+        .unwrap();
+    assert_eq!(r.n_samples, 0);
+    assert_eq!(r.n_skipped, 400);
+
+    // A new ingest upgrades its tiles to v2 on persist.
+    let fresh = line_product(120, -301_000.0, -1_301_000.0, 10.0, 5.0, 0.4);
+    v1.ingest_beam("20191104195311_05990210", 2, &fresh)
+        .unwrap();
+    v1.validate().unwrap();
+    assert_eq!(v1.stats().unwrap().n_samples, stats_before.n_samples + 120);
+    // And the identity compaction of the upgraded store still holds.
+    let dst_dir = temp_dir("v1_compacted");
+    compact(&dir, &dst_dir, &CompactionConfig::rewrite(grid())).unwrap();
+    let dst = Catalog::open(&dst_dir).unwrap();
+    assert_eq!(battery(&dst), battery(&v1));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dst_dir);
+}

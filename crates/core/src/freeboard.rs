@@ -128,6 +128,8 @@ impl FreeboardProduct {
     }
 
     /// Summary statistics over ice freeboard: `(mean, median, p95)`.
+    /// The p95 is the nearest-rank percentile
+    /// ([`crate::stats::percentile_nearest_rank`]).
     pub fn stats(&self) -> (f64, f64, f64) {
         let mut v = self.ice_freeboards();
         if v.is_empty() {
@@ -136,7 +138,7 @@ impl FreeboardProduct {
         v.sort_by(|a, b| a.total_cmp(b));
         let mean = v.iter().sum::<f64>() / v.len() as f64;
         let median = v[v.len() / 2];
-        let p95 = v[((v.len() as f64 * 0.95) as usize).min(v.len() - 1)];
+        let p95 = crate::stats::percentile_nearest_rank(&v, 0.95);
         (mean, median, p95)
     }
 }

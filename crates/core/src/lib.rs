@@ -51,6 +51,7 @@ pub mod models;
 pub mod pipeline;
 pub mod seasurface;
 pub mod stages;
+pub mod stats;
 pub mod thickness;
 
 pub use artifact::{Artifact, ArtifactError};
@@ -66,4 +67,5 @@ pub use seasurface::{SeaSurface, SeaSurfaceMethod};
 pub use stages::{
     CuratedTrack, LabeledDataset, PipelineBuilder, SeaIceProducts, StagedRun, TrainedModels,
 };
+pub use stats::percentile_nearest_rank;
 pub use thickness::{thickness_from_freeboard, Densities, SnowModel, ThicknessProduct};

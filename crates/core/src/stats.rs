@@ -1,0 +1,47 @@
+//! Small shared statistics helpers for product summaries.
+
+/// Nearest-rank percentile of an ascending-sorted slice: the value at
+/// rank `⌈p·n⌉` (1-based), i.e. the smallest element ≥ at least `p·n`
+/// of the data. `p` is a fraction in `(0, 1]`.
+///
+/// This is the classical nearest-rank definition; the naive
+/// `(n as f64 * p) as usize` index it replaces returned the *maximum*
+/// for every length divisible by `1/(1-p)` (e.g. p95 of 20 sorted values
+/// picked index 19).
+///
+/// # Panics
+///
+/// Panics on an empty slice or `p` outside `(0, 1]` — callers summarise
+/// non-empty products.
+pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty slice");
+    assert!(p > 0.0 && p <= 1.0, "percentile fraction out of (0, 1]");
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The regression the helper exists for: 20 elements, p95 must be
+    /// the 19th value (rank ⌈0.95·20⌉ = 19), not the maximum.
+    #[test]
+    fn p95_of_twenty_elements_is_the_nineteenth_not_the_max() {
+        let v: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(percentile_nearest_rank(&v, 0.95), 19.0);
+        // The replaced expression hit the max:
+        assert_eq!(v[(v.len() as f64 * 0.95) as usize], 20.0);
+    }
+
+    #[test]
+    fn nearest_rank_edges() {
+        let v: Vec<f64> = (1..=7).map(f64::from).collect();
+        assert_eq!(percentile_nearest_rank(&v, 1.0), 7.0);
+        assert_eq!(percentile_nearest_rank(&v, 1e-9), 1.0);
+        assert_eq!(percentile_nearest_rank(&v, 0.5), 4.0);
+        assert_eq!(percentile_nearest_rank(&[2.5], 0.95), 2.5);
+        // ⌈0.95·7⌉ = 7 → the maximum, legitimately.
+        assert_eq!(percentile_nearest_rank(&v, 0.95), 7.0);
+    }
+}

@@ -121,7 +121,9 @@ impl ThicknessProduct {
         }
     }
 
-    /// Mean / median / p95 thickness, metres.
+    /// Mean / median / p95 thickness, metres. The p95 is the
+    /// nearest-rank percentile
+    /// ([`crate::stats::percentile_nearest_rank`]).
     pub fn stats(&self) -> (f64, f64, f64) {
         if self.points.is_empty() {
             return (0.0, 0.0, 0.0);
@@ -132,7 +134,7 @@ impl ThicknessProduct {
         (
             mean,
             v[v.len() / 2],
-            v[((v.len() as f64 * 0.95) as usize).min(v.len() - 1)],
+            crate::stats::percentile_nearest_rank(&v, 0.95),
         )
     }
 }

@@ -1,13 +1,35 @@
 //! End-to-end serve path: fleet classification → catalog ingest →
 //! concurrent spatial/temporal queries, wired through the umbrella
-//! crate exactly as a downstream consumer would.
+//! crate exactly as a downstream consumer would — including the
+//! idempotency contract: a fleet re-run refreshes a catalog instead of
+//! doubling it.
 
-use icesat2_seaice::catalog::{Catalog, CatalogSink, GridConfig, TimeRange};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use icesat2_seaice::catalog::{Catalog, CatalogSink, GridConfig, IngestMode, TimeRange};
 use icesat2_seaice::geo::EPSG_3976;
 use icesat2_seaice::seaice::fleet::FleetDriver;
 use icesat2_seaice::seaice::pipeline::{Pipeline, PipelineConfig};
 use icesat2_seaice::seaice::stages::PipelineBuilder;
 use icesat2_seaice::sparklite::Cluster;
+
+/// Every tile and sidecar-ledger file of a catalog directory, bytes and
+/// all — the Skip re-ingest contract is byte identity over these.
+fn store_bytes(dir: &std::path::Path) -> BTreeMap<PathBuf, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for sub in ["tiles", "ledgers"] {
+        let sub = dir.join(sub);
+        if !sub.is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&sub).unwrap() {
+            let path = entry.unwrap().path();
+            out.insert(path.clone(), std::fs::read(&path).unwrap());
+        }
+    }
+    out
+}
 
 #[test]
 fn fleet_products_land_in_catalog_and_queries_agree() {
@@ -36,8 +58,61 @@ fn fleet_products_land_in_catalog_and_queries_agree() {
         product_points,
         "every product point was either stored or counted out of domain"
     );
-    // (A second classify_into_catalog of the same fleet would double the
-    // store — dedup is a documented ROADMAP follow-on.)
+
+    // Re-running the same fleet is a byte-stable no-op: the default
+    // `IngestMode::Skip` recognises every `(granule, beam)` source and
+    // leaves every tile file untouched.
+    let before = store_bytes(&cat_dir);
+    let stats_before = catalog.stats().unwrap();
+    let (reingest, _) = driver
+        .classify_into_catalog(&sources, &run.models, &catalog)
+        .unwrap();
+    assert_eq!(reingest.n_samples, 0, "a re-run must not write samples");
+    assert_eq!(reingest.n_skipped, product_points);
+    assert_eq!(
+        store_bytes(&cat_dir),
+        before,
+        "tile bytes moved on a re-run"
+    );
+    assert_eq!(catalog.stats().unwrap().n_samples, stats_before.n_samples);
+
+    // A Replace re-ingest of perturbed products converges to the same
+    // state as a fresh build from those products, over a query battery
+    // compared down to the bits.
+    let mut perturbed = products.clone();
+    for p in &mut perturbed {
+        for point in &mut p.freeboard.points {
+            point.freeboard_m += 0.015;
+        }
+    }
+    catalog
+        .ingest_products_with(&perturbed, IngestMode::Replace)
+        .unwrap();
+    let fresh_dir = std::env::temp_dir().join("integration_catalog_fresh");
+    let _ = std::fs::remove_dir_all(&fresh_dir);
+    let fresh = Catalog::create(&fresh_dir, grid).unwrap();
+    fresh.ingest_products(&perturbed).unwrap();
+    let battery = |c: &Catalog| {
+        let domain = c.grid().domain();
+        let whole = c.query_rect(&domain, TimeRange::all()).unwrap();
+        let cells = c.query_cells(&domain, TimeRange::all()).unwrap();
+        (whole, cells)
+    };
+    let (replaced_whole, replaced_cells) = battery(&catalog);
+    let (fresh_whole, fresh_cells) = battery(&fresh);
+    assert_eq!(replaced_whole, fresh_whole);
+    assert_eq!(
+        replaced_whole.mean_ice_freeboard_m.to_bits(),
+        fresh_whole.mean_ice_freeboard_m.to_bits()
+    );
+    assert_eq!(replaced_cells, fresh_cells);
+    catalog.validate().unwrap();
+    let _ = std::fs::remove_dir_all(&fresh_dir);
+
+    // Restore the original products for the assertions below.
+    catalog
+        .ingest_products_with(&products, IngestMode::Replace)
+        .unwrap();
 
     // Whole-domain summary covers everything stored, with sane physics.
     let whole = catalog

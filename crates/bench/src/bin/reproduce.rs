@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures, and the perf trajectory.
 //!
 //! ```text
-//! reproduce [all|table1..table5|fig2|fig4|fig6|fig8|fig10|ablation|catalog|compact|serve|bench] \
+//! reproduce [all|table1..table5|fig2|fig4|fig6|fig8|fig10|ablation|catalog|compact|serve|thickness|bench] \
 //!           [--quick] [--bench-json FILE]
 //! ```
 //!
@@ -12,7 +12,7 @@
 //! trajectory future PRs compare against.
 
 use seaice_bench::common::Scale;
-use seaice_bench::{catalog, compact, figures, perf, serve, tables, ExperimentOutput};
+use seaice_bench::{catalog, compact, figures, perf, serve, tables, thickness, ExperimentOutput};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +62,7 @@ fn main() {
         ("catalog", catalog::catalog),
         ("compact", compact::compact),
         ("serve", serve::serve),
+        ("thickness", thickness::thickness),
         ("bench", perf::bench),
     ];
     for (id, runner) in runners {
@@ -96,7 +97,7 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "unknown experiment '{}'. Options: all table1..table5 fig2 fig4 fig6 fig8 fig10 ablation catalog compact serve bench",
+            "unknown experiment '{}'. Options: all table1..table5 fig2 fig4 fig6 fig8 fig10 ablation catalog compact serve thickness bench",
             targets.join(" ")
         );
         std::process::exit(2);

@@ -18,5 +18,6 @@ pub mod figures;
 pub mod perf;
 pub mod serve;
 pub mod tables;
+pub mod thickness;
 
 pub use common::ExperimentOutput;

@@ -19,6 +19,10 @@
 //!   ingest idempotency: the same fleet re-ingested under the default
 //!   `Skip` (sidecar-ledger fast path, byte-stable no-op) and under
 //!   `Replace` (remove + re-merge refresh);
+//! - `thickness_retrieval_samples_per_s` /
+//!   `catalog_thickness_query_per_s` — the thickness product family:
+//!   snow-depth + hydrostatic-thickness enrichment of the fleet
+//!   products, then summary queries against a thickness-bearing store;
 //! - `compact_rewrite_samples_per_s` — the offline identity compaction
 //!   of the store just built (`catalog::compact`);
 //! - `serve_q_t{T}_c{C}_per_s` / `serve_lat_t{T}_c{C}_ms` — the TCP
@@ -236,6 +240,46 @@ pub fn bench(scale: Scale) -> ExperimentOutput {
         "catalog_replace_reingest_per_s",
         replace.n_samples as f64 / replace_s.max(1e-9),
     );
+
+    // Thickness product family: enrich the fleet products under the
+    // climatology snow model (snow depth + hydrostatic thickness +
+    // 1-sigma per sample), land them in their own store, and query it.
+    let snow = seaice_products::ClimatologySnow::antarctic();
+    let retrieval = seaice_products::ThicknessRetrieval::default();
+    let enriched =
+        seaice_products::enrich_fleet(&products, &snow, &retrieval).expect("thickness enrichment");
+    let (_, enrich_s) = timed(|| {
+        for _ in 0..k.infer_reps {
+            std::hint::black_box(
+                seaice_products::enrich_fleet(&products, &snow, &retrieval)
+                    .expect("thickness enrichment"),
+            );
+        }
+    });
+    push(
+        &mut metrics,
+        "thickness_retrieval_samples_per_s",
+        (n_points * k.infer_reps) as f64 / enrich_s.max(1e-9),
+    );
+    let thick_dir =
+        std::env::temp_dir().join(format!("seaice_perf_thickness_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&thick_dir);
+    let thick_cat = seaice_catalog::Catalog::create(&thick_dir, crate::catalog::grid_for(&cfg))
+        .expect("thickness catalog create");
+    let thick_ingest = thick_cat
+        .ingest_thickness_products(&enriched)
+        .expect("thickness ingest");
+    assert!(
+        thick_ingest.n_samples > 0,
+        "thickness ingest landed nothing"
+    );
+    push(
+        &mut metrics,
+        "catalog_thickness_query_per_s",
+        crate::catalog::query_throughput(&thick_cat, scale),
+    );
+    drop(thick_cat);
+    let _ = std::fs::remove_dir_all(&thick_dir);
 
     // Offline compaction: the identity rewrite of the store just built.
     let compact_dir =

@@ -596,6 +596,7 @@ impl ShardRouter {
     pub fn stats(&mut self) -> Result<CatalogStats, CatalogError> {
         let mut n_tiles = 0usize;
         let mut n_samples = 0usize;
+        let mut n_thickness = 0usize;
         let mut cache = crate::cache::CacheStats::default();
         let mut layers: BTreeSet<TimeKey> = BTreeSet::new();
         for i in 0..self.shards.len() {
@@ -603,6 +604,7 @@ impl ShardRouter {
             let (stats, shard_layers) = self.shards[i].0.scoped_stats(&scope)?;
             n_tiles += stats.n_tiles;
             n_samples += stats.n_samples;
+            n_thickness += stats.n_thickness;
             cache.hits += stats.cache.hits;
             cache.misses += stats.cache.misses;
             cache.evictions += stats.cache.evictions;
@@ -612,6 +614,7 @@ impl ShardRouter {
             n_layers: layers.len(),
             n_tiles,
             n_samples,
+            n_thickness,
             cache,
         })
     }
@@ -680,4 +683,35 @@ pub fn partition_products(
         }
     }
     out
+}
+
+/// [`partition_product`] for thickness-enriched beams: splits one
+/// [`seaice_products::BeamThickness`] into per-shard beams by the owning
+/// scope of each point's tile, preserving the snow/thickness fields
+/// verbatim so per-shard [`crate::Catalog::ingest_thickness_beam`] calls
+/// land the same canonical samples a monolithic catalog would.
+pub fn partition_thickness(
+    grid: &GridConfig,
+    scopes: &[TileScope],
+    beam: &seaice_products::BeamThickness,
+) -> Vec<seaice_products::BeamThickness> {
+    let mut outputs: Vec<Vec<seaice_products::ProductPoint>> = vec![Vec::new(); scopes.len()];
+    for p in &beam.points {
+        let m = EPSG_3976.forward(GeoPoint::new(p.lat, p.lon));
+        let Some((tile, _)) = grid.locate(m) else {
+            continue;
+        };
+        if let Some(j) = scopes.iter().position(|s| s.matches(&tile)) {
+            outputs[j].push(*p);
+        }
+    }
+    outputs
+        .into_iter()
+        .map(|points| seaice_products::BeamThickness {
+            granule_id: beam.granule_id.clone(),
+            beam: beam.beam,
+            snow_model: beam.snow_model.clone(),
+            points,
+        })
+        .collect()
 }

@@ -114,6 +114,9 @@ pub enum CatalogError {
         /// Human-readable remote error description.
         message: String,
     },
+    /// Thickness enrichment rejected its inputs before ingest (see
+    /// [`seaice_products::ProductError`]) — nothing was written.
+    Product(seaice_products::ProductError),
 }
 
 impl std::fmt::Display for CatalogError {
@@ -145,6 +148,7 @@ impl std::fmt::Display for CatalogError {
             CatalogError::Remote { code, message } => {
                 write!(f, "catalog server error {code}: {message}")
             }
+            CatalogError::Product(e) => write!(f, "catalog product error: {e}"),
         }
     }
 }
@@ -160,6 +164,12 @@ impl From<std::io::Error> for CatalogError {
 impl From<seaice::ArtifactError> for CatalogError {
     fn from(e: seaice::ArtifactError) -> Self {
         CatalogError::Artifact(e)
+    }
+}
+
+impl From<seaice_products::ProductError> for CatalogError {
+    fn from(e: seaice_products::ProductError) -> Self {
+        CatalogError::Product(e)
     }
 }
 

@@ -43,6 +43,7 @@ use seaice::fleet::BeamProducts;
 use seaice::freeboard::FreeboardProduct;
 use seaice::stages::TrainedModels;
 use seaice::FleetDriver;
+use seaice_products::{BeamThickness, SnowDepthModel, ThicknessRetrieval};
 use sparklite::StageReport;
 
 use crate::cache::{CacheStats, TileCache, TileKey};
@@ -59,6 +60,9 @@ struct IndexEntry {
     version: u64,
     /// Samples in that version.
     n_samples: u64,
+    /// Thickness-bearing samples in that version (0 for tiles last
+    /// persisted in format v1/v2 — the peek header defaults it).
+    n_thickness: u64,
 }
 
 /// What one per-tile merge cycle did (summed into the ingest report).
@@ -170,6 +174,18 @@ pub struct QuerySummary {
     /// Distinct grid cells that contributed at least one matched sample
     /// (deduplicated across temporal layers, like `n_tiles`).
     pub n_cells: usize,
+    /// Matched thickness-bearing samples (`thickness_sigma_m > 0`;
+    /// format-v2-era samples and open water never bear thickness).
+    pub n_thickness: usize,
+    /// Unweighted mean thickness over bearing samples, metres (0 when
+    /// none matched).
+    pub mean_thickness_m: f64,
+    /// Inverse-variance-weighted mean thickness over bearing samples,
+    /// metres (0 when none matched).
+    pub ivw_mean_thickness_m: f64,
+    /// Combined 1-sigma of the IVW mean, `sqrt(1 / Σ wᵢ)` with
+    /// `wᵢ = 1/σᵢ²`, metres (0 when no bearing samples matched).
+    pub thickness_sigma_m: f64,
 }
 
 /// Per-tile partial reduction of a summary query — the unit the serve
@@ -204,6 +220,15 @@ pub struct TilePartial {
     /// Distinct grid cells with at least one matched sample
     /// (deduplicated across the tile's temporal layers).
     pub n_cells: u64,
+    /// Matched thickness-bearing samples.
+    pub t_n: u64,
+    /// Sum of matched bearing thickness, metres (same reduction order
+    /// as `ice_sum_m`).
+    pub t_sum_m: f64,
+    /// Sum of inverse-variance weights `1/σᵢ²` over bearing samples.
+    pub t_w_sum: f64,
+    /// Inverse-variance-weighted thickness sum `Σ Tᵢ/σᵢ²`.
+    pub t_wt_sum: f64,
 }
 
 impl Codec for TilePartial {
@@ -216,6 +241,10 @@ impl Codec for TilePartial {
         w.put_f64(self.min_freeboard_m);
         w.put_f64(self.max_freeboard_m);
         w.put_u64(self.n_cells);
+        w.put_u64(self.t_n);
+        w.put_f64(self.t_sum_m);
+        w.put_f64(self.t_w_sum);
+        w.put_f64(self.t_wt_sum);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
         Ok(TilePartial {
@@ -227,6 +256,10 @@ impl Codec for TilePartial {
             min_freeboard_m: r.take_f64()?,
             max_freeboard_m: r.take_f64()?,
             n_cells: r.take_u64()?,
+            t_n: r.take_u64()?,
+            t_sum_m: r.take_f64()?,
+            t_w_sum: r.take_f64()?,
+            t_wt_sum: r.take_f64()?,
         })
     }
 }
@@ -249,8 +282,15 @@ impl QuerySummary {
             max_freeboard_m: f64::NEG_INFINITY,
             n_tiles: partials.len(),
             n_cells: 0,
+            n_thickness: 0,
+            mean_thickness_m: 0.0,
+            ivw_mean_thickness_m: 0.0,
+            thickness_sigma_m: 0.0,
         };
         let mut ice_sum = 0.0f64;
+        let mut t_sum = 0.0f64;
+        let mut t_w = 0.0f64;
+        let mut t_wt = 0.0f64;
         for p in &partials {
             s.n_samples += p.n_samples as usize;
             for (mine, theirs) in s.class_counts.iter_mut().zip(&p.class_counts) {
@@ -261,9 +301,18 @@ impl QuerySummary {
             s.min_freeboard_m = s.min_freeboard_m.min(p.min_freeboard_m);
             s.max_freeboard_m = s.max_freeboard_m.max(p.max_freeboard_m);
             s.n_cells += p.n_cells as usize;
+            s.n_thickness += p.t_n as usize;
+            t_sum += p.t_sum_m;
+            t_w += p.t_w_sum;
+            t_wt += p.t_wt_sum;
         }
         if s.n_ice > 0 {
             s.mean_ice_freeboard_m = ice_sum / s.n_ice as f64;
+        }
+        if s.n_thickness > 0 {
+            s.mean_thickness_m = t_sum / s.n_thickness as f64;
+            s.ivw_mean_thickness_m = t_wt / t_w;
+            s.thickness_sigma_m = (1.0 / t_w).sqrt();
         }
         if s.n_samples == 0 {
             s.min_freeboard_m = 0.0;
@@ -295,6 +344,21 @@ impl QuerySummary {
         if self.n_cells > self.n_samples || self.n_tiles > self.n_cells.max(1) {
             return Err("cell/tile counts exceed samples");
         }
+        if self.n_thickness > self.n_ice {
+            return Err("more thickness-bearing samples than ice samples");
+        }
+        if self.n_thickness > 0
+            && self.thickness_sigma_m.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+        {
+            return Err("bearing samples require a positive combined sigma");
+        }
+        if self.n_thickness == 0
+            && (self.mean_thickness_m != 0.0
+                || self.ivw_mean_thickness_m != 0.0
+                || self.thickness_sigma_m != 0.0)
+        {
+            return Err("thickness stats must be zero without bearing samples");
+        }
         Ok(())
     }
 }
@@ -321,6 +385,9 @@ pub struct CatalogStats {
     pub n_tiles: usize,
     /// Total samples stored.
     pub n_samples: usize,
+    /// Thickness-bearing samples stored (0 until a thickness product
+    /// is ingested; tiles persisted before format v3 count 0).
+    pub n_thickness: usize,
     /// Read-cache counters.
     pub cache: CacheStats,
 }
@@ -467,6 +534,7 @@ impl Catalog {
                     IndexEntry {
                         version: header.version,
                         n_samples: header.n_samples,
+                        n_thickness: header.n_thickness,
                     },
                 );
             }
@@ -549,6 +617,10 @@ impl Catalog {
     }
 
     /// [`Catalog::ingest_beam`] with an explicit re-ingest policy.
+    ///
+    /// Samples land without thickness (`thickness_m = thickness_sigma_m
+    /// = 0`); use [`Catalog::ingest_thickness_beam_with`] to land a
+    /// thickness-enriched product under the same source identity.
     pub fn ingest_beam_with(
         &self,
         granule_id: &str,
@@ -556,38 +628,66 @@ impl Catalog {
         product: &FreeboardProduct,
         mode: IngestMode,
     ) -> Result<IngestReport, CatalogError> {
-        // A leased writer proves ownership (and self-fences when it
-        // cannot) before every batch.
-        if let Some(lease) = &self.lease {
-            lease.heartbeat_if_due()?;
-        }
-        let time = TimeKey::from_granule_id(granule_id)?;
-        let source = SampleRecord::source_id(granule_id, beam_index);
-        // Skip fast path: the layer's sidecar ledger records completed
-        // ingests, so a whole re-run short-circuits before projecting a
-        // single point — no tile is touched, no file rewritten.
-        if mode == IngestMode::Skip && self.layer_has_source(time, source) {
-            return Ok(IngestReport {
-                n_skipped: product.points.len(),
-                ..IngestReport::default()
-            });
-        }
-        // A Replace invalidates the completed-ingest record up front:
-        // if it crashes partway, the layer honestly reads as incomplete
-        // for this source (re-running the Replace heals it — Skip
-        // cannot, since per-tile ledgers intentionally skip the tiles
-        // that still hold the old samples).
-        if mode == IngestMode::Replace {
-            self.unrecord_layer_source(time, source)?;
-        }
         let grid = self.grid;
         let points = &product.points;
+        self.ingest_source(granule_id, beam_index, points.len(), mode, |i, source| {
+            let p = points[i];
+            let m = EPSG_3976.forward(GeoPoint::new(p.lat, p.lon));
+            grid.locate(m).map(|(tile, cell)| {
+                (
+                    tile,
+                    SampleRecord {
+                        source,
+                        along_track_m: p.along_track_m,
+                        lat: p.lat,
+                        lon: p.lon,
+                        x_m: m.x,
+                        y_m: m.y,
+                        freeboard_m: p.freeboard_m,
+                        class: p.class,
+                        cell,
+                        thickness_m: 0.0,
+                        thickness_sigma_m: 0.0,
+                    },
+                )
+            })
+        })
+    }
 
-        // Project + locate every sample (pure, order-preserving, parallel).
-        let located: Vec<Option<(TileId, SampleRecord)>> = (0..points.len())
-            .into_par_iter()
-            .map(|i| {
-                let p = points[i];
+    /// Ingests one beam's thickness-enriched product
+    /// ([`BeamThickness`], from [`seaice_products::enrich_fleet`]) in
+    /// the default [`IngestMode::Skip`]. The source identity is the
+    /// same `(granule, beam)` id the plain freeboard ingest uses, so a
+    /// catalog already holding the freeboard-only samples skips the
+    /// enriched ones — re-land them with
+    /// [`Catalog::ingest_thickness_beam_with`] and
+    /// [`IngestMode::Replace`], which upgrades the source in place.
+    pub fn ingest_thickness_beam(
+        &self,
+        beam: &BeamThickness,
+    ) -> Result<IngestReport, CatalogError> {
+        self.ingest_thickness_beam_with(beam, IngestMode::Skip)
+    }
+
+    /// [`Catalog::ingest_thickness_beam`] with an explicit re-ingest
+    /// policy. Ice samples carry `(thickness_m, thickness_sigma_m)`
+    /// from the hydrostatic retrieval; open-water samples land with
+    /// both zero (not thickness-bearing), exactly as
+    /// [`seaice_products::ProductSet`] derives them.
+    pub fn ingest_thickness_beam_with(
+        &self,
+        beam: &BeamThickness,
+        mode: IngestMode,
+    ) -> Result<IngestReport, CatalogError> {
+        let grid = self.grid;
+        let points = &beam.points;
+        self.ingest_source(
+            &beam.granule_id,
+            beam.beam.index(),
+            points.len(),
+            mode,
+            |i, source| {
+                let p = &points[i];
                 let m = EPSG_3976.forward(GeoPoint::new(p.lat, p.lon));
                 grid.locate(m).map(|(tile, cell)| {
                     (
@@ -602,10 +702,57 @@ impl Catalog {
                             freeboard_m: p.freeboard_m,
                             class: p.class,
                             cell,
+                            thickness_m: p.thickness_m,
+                            thickness_sigma_m: p.thickness_sigma_m,
                         },
                     )
                 })
-            })
+            },
+        )
+    }
+
+    /// Shared ingest spine: lease heartbeat, the sidecar-ledger skip
+    /// fast path, rayon projection fan-out through `locate`, grouped
+    /// per-tile merges, the `Replace` sweep, and the completed-source
+    /// record — everything except how a point becomes a
+    /// [`SampleRecord`].
+    fn ingest_source(
+        &self,
+        granule_id: &str,
+        beam_index: usize,
+        n_points: usize,
+        mode: IngestMode,
+        locate: impl Fn(usize, u64) -> Option<(TileId, SampleRecord)> + Sync,
+    ) -> Result<IngestReport, CatalogError> {
+        // A leased writer proves ownership (and self-fences when it
+        // cannot) before every batch.
+        if let Some(lease) = &self.lease {
+            lease.heartbeat_if_due()?;
+        }
+        let time = TimeKey::from_granule_id(granule_id)?;
+        let source = SampleRecord::source_id(granule_id, beam_index);
+        // Skip fast path: the layer's sidecar ledger records completed
+        // ingests, so a whole re-run short-circuits before projecting a
+        // single point — no tile is touched, no file rewritten.
+        if mode == IngestMode::Skip && self.layer_has_source(time, source) {
+            return Ok(IngestReport {
+                n_skipped: n_points,
+                ..IngestReport::default()
+            });
+        }
+        // A Replace invalidates the completed-ingest record up front:
+        // if it crashes partway, the layer honestly reads as incomplete
+        // for this source (re-running the Replace heals it — Skip
+        // cannot, since per-tile ledgers intentionally skip the tiles
+        // that still hold the old samples).
+        if mode == IngestMode::Replace {
+            self.unrecord_layer_source(time, source)?;
+        }
+
+        // Project + locate every sample (pure, order-preserving, parallel).
+        let located: Vec<Option<(TileId, SampleRecord)>> = (0..n_points)
+            .into_par_iter()
+            .map(|i| locate(i, source))
             .collect();
 
         // Group by destination tile.
@@ -690,6 +837,30 @@ impl Catalog {
         let mut report = IngestReport::default();
         for p in products {
             let r = self.ingest_beam_with(&p.granule_id, p.beam.index(), &p.freeboard, mode)?;
+            report.absorb(&r);
+        }
+        Ok(report)
+    }
+
+    /// Ingests a fleet run's thickness-enriched per-beam products in
+    /// the default [`IngestMode::Skip`] (idempotent across re-runs).
+    pub fn ingest_thickness_products(
+        &self,
+        beams: &[BeamThickness],
+    ) -> Result<IngestReport, CatalogError> {
+        self.ingest_thickness_products_with(beams, IngestMode::Skip)
+    }
+
+    /// [`Catalog::ingest_thickness_products`] with an explicit
+    /// re-ingest policy.
+    pub fn ingest_thickness_products_with(
+        &self,
+        beams: &[BeamThickness],
+        mode: IngestMode,
+    ) -> Result<IngestReport, CatalogError> {
+        let mut report = IngestReport::default();
+        for b in beams {
+            let r = self.ingest_thickness_beam_with(b, mode)?;
             report.absorb(&r);
         }
         Ok(report)
@@ -887,6 +1058,7 @@ impl Catalog {
         let entry = IndexEntry {
             version: tile.version,
             n_samples: tile.samples().len() as u64,
+            n_thickness: tile.n_thickness(),
         };
         self.index
             .write()
@@ -1228,6 +1400,7 @@ impl Catalog {
     pub fn scoped_stats(&self, scope: &TileScope) -> (CatalogStats, Vec<TimeKey>) {
         let index = self.index.read().unwrap_or_else(|e| e.into_inner());
         let mut n_samples = 0usize;
+        let mut n_thickness = 0usize;
         let mut n_tiles = 0usize;
         let mut layers: Vec<TimeKey> = Vec::new();
         for (key, entry) in index.iter() {
@@ -1236,6 +1409,7 @@ impl Catalog {
             }
             n_tiles += 1;
             n_samples += entry.n_samples as usize;
+            n_thickness += entry.n_thickness as usize;
             if layers.last() != Some(&key.time) {
                 layers.push(key.time);
             }
@@ -1245,6 +1419,7 @@ impl Catalog {
                 n_layers: layers.len(),
                 n_tiles,
                 n_samples,
+                n_thickness,
                 cache: self.cache.stats(),
             },
             layers,
@@ -1299,6 +1474,10 @@ impl Catalog {
                 min_freeboard_m: f64::INFINITY,
                 max_freeboard_m: f64::NEG_INFINITY,
                 n_cells: 0,
+                t_n: 0,
+                t_sum_m: 0.0,
+                t_w_sum: 0.0,
+                t_wt_sum: 0.0,
             };
             let mut cells_hit: BTreeSet<u32> = BTreeSet::new();
             while i < keys.len() && keys[i].tile == tile {
@@ -1315,6 +1494,13 @@ impl Catalog {
                         }
                         p.min_freeboard_m = p.min_freeboard_m.min(sample.freeboard_m);
                         p.max_freeboard_m = p.max_freeboard_m.max(sample.freeboard_m);
+                        if sample.bears_thickness() {
+                            let w = 1.0 / (sample.thickness_sigma_m * sample.thickness_sigma_m);
+                            p.t_n += 1;
+                            p.t_sum_m += sample.thickness_m;
+                            p.t_w_sum += w;
+                            p.t_wt_sum += sample.thickness_m * w;
+                        }
                         cells_hit.insert(sample.cell);
                     }
                 }
@@ -1331,6 +1517,12 @@ impl Catalog {
 
 impl CellAggregate {
     /// Chronological layer merge used by point/cell queries.
+    ///
+    /// Thickness sums and the IVW accumulators add exactly; the p95
+    /// combines as a `max` (the nearest-rank p95 is not foldable, and
+    /// thickness is non-negative so `max` is exact whenever one side is
+    /// empty and a conservative upper envelope otherwise — the same rule
+    /// [`crate::tile`]'s base-freeze and compaction use).
     pub fn merge(&mut self, later: &CellAggregate) {
         self.n += later.n;
         for (mine, theirs) in self.class_counts.iter_mut().zip(&later.class_counts) {
@@ -1340,6 +1532,11 @@ impl CellAggregate {
         self.ice_sum_m += later.ice_sum_m;
         self.min_freeboard_m = self.min_freeboard_m.min(later.min_freeboard_m);
         self.max_freeboard_m = self.max_freeboard_m.max(later.max_freeboard_m);
+        self.t_n += later.t_n;
+        self.t_sum_m += later.t_sum_m;
+        self.t_w_sum += later.t_w_sum;
+        self.t_wt_sum += later.t_wt_sum;
+        self.t_p95_m = self.t_p95_m.max(later.t_p95_m);
     }
 }
 
@@ -1397,6 +1594,22 @@ pub trait CatalogSink {
         models: &TrainedModels,
         catalog: &Catalog,
     ) -> Result<(IngestReport, StageReport), CatalogError>;
+
+    /// [`CatalogSink::classify_into_catalog`] extended through the
+    /// product family: classifies the fleet, enriches every beam with
+    /// snow depth and hydrostatic thickness + 1-sigma
+    /// ([`seaice_products::enrich_fleet`]), and lands the
+    /// thickness-bearing samples in `catalog` — freeboard → thickness →
+    /// served queries in one call. Enrichment rejecting its inputs
+    /// ([`CatalogError::Product`]) aborts before anything is written.
+    fn classify_thickness_into_catalog(
+        &self,
+        sources: &[(PathBuf, Beam)],
+        models: &TrainedModels,
+        snow: &dyn SnowDepthModel,
+        retrieval: &ThicknessRetrieval,
+        catalog: &Catalog,
+    ) -> Result<(IngestReport, StageReport), CatalogError>;
 }
 
 impl CatalogSink for FleetDriver {
@@ -1408,6 +1621,21 @@ impl CatalogSink for FleetDriver {
     ) -> Result<(IngestReport, StageReport), CatalogError> {
         let (products, report) = self.classify_run(sources, models);
         let ingest = catalog.ingest_products(&products)?;
+        Ok((ingest, report))
+    }
+
+    fn classify_thickness_into_catalog(
+        &self,
+        sources: &[(PathBuf, Beam)],
+        models: &TrainedModels,
+        snow: &dyn SnowDepthModel,
+        retrieval: &ThicknessRetrieval,
+        catalog: &Catalog,
+    ) -> Result<(IngestReport, StageReport), CatalogError> {
+        let (products, report) = self.classify_run(sources, models);
+        let enriched = seaice_products::enrich_fleet(&products, snow, retrieval)
+            .map_err(CatalogError::Product)?;
+        let ingest = catalog.ingest_thickness_products(&enriched)?;
         Ok((ingest, report))
     }
 }

@@ -25,6 +25,24 @@
 //!   canonical order, so a tile keeps answering cell/point queries bit
 //!   identically after its segment-level detail is retired.
 //!
+//! Format v3 (decoding v1 and v2 transparently) carries the thickness
+//! product family:
+//!
+//! - every [`SampleRecord`] gains `thickness_m` / `thickness_sigma_m`
+//!   fields. A sample **bears** thickness iff `thickness_sigma_m > 0`
+//!   (every real retrieval has a positive σ; see `seaice-products`) —
+//!   freeboard-only ingests and decoded v1/v2 records carry `0/0`,
+//!   the documented "absent/zeroed" encoding;
+//! - every [`CellAggregate`] gains thickness statistics over bearing
+//!   samples: count/sum (plain mean), inverse-variance weights (IVW
+//!   mean + combined σ), and a nearest-rank p95;
+//! - the tile header gains a bearing-sample count (`n_thickness`) so
+//!   the store index can answer thickness stats without decoding
+//!   payloads.
+//!
+//! v1/v2 buffers decode with zeroed thickness and upgrade in place on
+//! the next persist, exactly as the v1 → v2 migration did.
+//!
 //! Live cell aggregates remain derived data rebuilt on decode, which
 //! doubles as a consistency check.
 
@@ -56,6 +74,12 @@ pub struct SampleRecord {
     pub class: SurfaceClass,
     /// Row-major aggregate-cell index within the owning tile.
     pub cell: u32,
+    /// Retrieved ice thickness, metres (0 when not thickness-bearing).
+    pub thickness_m: f64,
+    /// 1-σ thickness uncertainty, metres. `> 0` iff the sample bears a
+    /// retrieved thickness; freeboard-only ingests and v1/v2 decodes
+    /// carry 0.
+    pub thickness_sigma_m: f64,
 }
 
 impl SampleRecord {
@@ -66,9 +90,16 @@ impl SampleRecord {
         crate::fnv1a(granule_id.bytes().chain((beam_index as u64).to_le_bytes()))
     }
 
+    /// Whether this sample bears a retrieved thickness (see the module
+    /// docs — `sigma > 0` is the marker).
+    pub fn bears_thickness(&self) -> bool {
+        self.thickness_sigma_m > 0.0
+    }
+
     /// The canonical total order tiles are sorted by. Every field
     /// participates, so ties are byte-identical records and any sort
-    /// produces the same sequence.
+    /// produces the same sequence. The thickness fields compare last:
+    /// v2-era records (both zero) order exactly as they did before v3.
     pub fn canonical_cmp(a: &SampleRecord, b: &SampleRecord) -> std::cmp::Ordering {
         a.source
             .cmp(&b.source)
@@ -80,6 +111,32 @@ impl SampleRecord {
             .then_with(|| a.lon.total_cmp(&b.lon))
             .then_with(|| a.x_m.total_cmp(&b.x_m))
             .then_with(|| a.y_m.total_cmp(&b.y_m))
+            .then_with(|| a.thickness_m.total_cmp(&b.thickness_m))
+            .then_with(|| a.thickness_sigma_m.total_cmp(&b.thickness_sigma_m))
+    }
+
+    /// Format-aware decode: a v1/v2 record is a strict byte prefix of a
+    /// v3 record, with the thickness fields reading as zeroed (the
+    /// "absent" encoding).
+    fn decode_format(r: &mut Reader<'_>, format: u16) -> Result<Self, ArtifactError> {
+        let mut s = SampleRecord {
+            source: r.take_u64()?,
+            along_track_m: r.take_f64()?,
+            lat: r.take_f64()?,
+            lon: r.take_f64()?,
+            x_m: r.take_f64()?,
+            y_m: r.take_f64()?,
+            freeboard_m: r.take_f64()?,
+            class: SurfaceClass::decode(r)?,
+            cell: r.take_u32()?,
+            thickness_m: 0.0,
+            thickness_sigma_m: 0.0,
+        };
+        if format >= 3 {
+            s.thickness_m = r.take_f64()?;
+            s.thickness_sigma_m = r.take_f64()?;
+        }
+        Ok(s)
     }
 }
 
@@ -94,24 +151,26 @@ impl Codec for SampleRecord {
         w.put_f64(self.freeboard_m);
         self.class.encode(w);
         w.put_u32(self.cell);
+        w.put_f64(self.thickness_m);
+        w.put_f64(self.thickness_sigma_m);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
-        Ok(SampleRecord {
-            source: r.take_u64()?,
-            along_track_m: r.take_f64()?,
-            lat: r.take_f64()?,
-            lon: r.take_f64()?,
-            x_m: r.take_f64()?,
-            y_m: r.take_f64()?,
-            freeboard_m: r.take_f64()?,
-            class: SurfaceClass::decode(r)?,
-            cell: r.take_u32()?,
-        })
+        SampleRecord::decode_format(r, Tile::VERSION)
     }
 }
 
-/// Freeboard/ice-type aggregates of one grid cell, derived from the
-/// owning tile's canonically sorted samples.
+/// Freeboard/ice-type/thickness aggregates of one grid cell, derived
+/// from the owning tile's canonically sorted samples.
+///
+/// The thickness statistics (`t_*`) cover **bearing** samples only
+/// (`thickness_sigma_m > 0`): the incremental fields accumulate in
+/// canonical order like the freeboard sums, and `t_p95_m` is a
+/// nearest-rank percentile computed over the cell's live bearing
+/// thicknesses during the rebuild ([`seaice::stats`]'s shared helper).
+/// Across layer/compaction merges the p95 combines as `max` — exact
+/// whenever one side has no bearing samples (the common case), an upper
+/// nearest-rank approximation otherwise; the associative/commutative
+/// `max` is what keeps merged answers deterministic.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellAggregate {
     /// Samples in the cell.
@@ -126,6 +185,16 @@ pub struct CellAggregate {
     pub min_freeboard_m: f64,
     /// Maximum freeboard over all samples, metres.
     pub max_freeboard_m: f64,
+    /// Thickness-bearing samples in the cell.
+    pub t_n: u64,
+    /// Sum of bearing thickness, metres (canonical-order reduction).
+    pub t_sum_m: f64,
+    /// Sum of inverse variances `Σ 1/σ²`, 1/m².
+    pub t_w_sum: f64,
+    /// Inverse-variance-weighted thickness sum `Σ T/σ²`, 1/m.
+    pub t_wt_sum: f64,
+    /// Nearest-rank p95 of bearing thickness, metres (0 when none).
+    pub t_p95_m: f64,
 }
 
 impl CellAggregate {
@@ -137,6 +206,11 @@ impl CellAggregate {
             ice_sum_m: 0.0,
             min_freeboard_m: f64::INFINITY,
             max_freeboard_m: f64::NEG_INFINITY,
+            t_n: 0,
+            t_sum_m: 0.0,
+            t_w_sum: 0.0,
+            t_wt_sum: 0.0,
+            t_p95_m: 0.0,
         }
     }
 
@@ -149,6 +223,13 @@ impl CellAggregate {
         }
         self.min_freeboard_m = self.min_freeboard_m.min(s.freeboard_m);
         self.max_freeboard_m = self.max_freeboard_m.max(s.freeboard_m);
+        if s.bears_thickness() {
+            self.t_n += 1;
+            self.t_sum_m += s.thickness_m;
+            let w = 1.0 / (s.thickness_sigma_m * s.thickness_sigma_m);
+            self.t_w_sum += w;
+            self.t_wt_sum += w * s.thickness_m;
+        }
     }
 
     /// Mean ice freeboard, metres (0 when the cell holds no ice).
@@ -157,6 +238,36 @@ impl CellAggregate {
             0.0
         } else {
             self.ice_sum_m / self.ice_n as f64
+        }
+    }
+
+    /// Mean thickness over bearing samples, metres (0 when none).
+    pub fn mean_thickness_m(&self) -> f64 {
+        if self.t_n == 0 {
+            0.0
+        } else {
+            self.t_sum_m / self.t_n as f64
+        }
+    }
+
+    /// Inverse-variance-weighted mean thickness, metres (0 when no
+    /// bearing samples) — the minimum-variance combination of the
+    /// cell's per-sample retrievals.
+    pub fn ivw_mean_thickness_m(&self) -> f64 {
+        if self.t_n == 0 {
+            0.0
+        } else {
+            self.t_wt_sum / self.t_w_sum
+        }
+    }
+
+    /// Combined 1-σ of the IVW mean, metres: `sqrt(1/Σ(1/σ²))` (0 when
+    /// no bearing samples).
+    pub fn thickness_sigma_m(&self) -> f64 {
+        if self.t_n == 0 {
+            0.0
+        } else {
+            (1.0 / self.t_w_sum).sqrt()
         }
     }
 
@@ -171,6 +282,32 @@ impl CellAggregate {
         }
         SurfaceClass::from_index(best).expect("index in 0..3")
     }
+
+    /// Format-aware decode: v1/v2 aggregates read with zeroed thickness
+    /// statistics.
+    fn decode_format(r: &mut Reader<'_>, format: u16) -> Result<Self, ArtifactError> {
+        let mut agg = CellAggregate {
+            n: r.take_u64()?,
+            class_counts: <[u64; 3]>::decode(r)?,
+            ice_n: r.take_u64()?,
+            ice_sum_m: r.take_f64()?,
+            min_freeboard_m: r.take_f64()?,
+            max_freeboard_m: r.take_f64()?,
+            t_n: 0,
+            t_sum_m: 0.0,
+            t_w_sum: 0.0,
+            t_wt_sum: 0.0,
+            t_p95_m: 0.0,
+        };
+        if format >= 3 {
+            agg.t_n = r.take_u64()?;
+            agg.t_sum_m = r.take_f64()?;
+            agg.t_w_sum = r.take_f64()?;
+            agg.t_wt_sum = r.take_f64()?;
+            agg.t_p95_m = r.take_f64()?;
+        }
+        Ok(agg)
+    }
 }
 
 impl Codec for CellAggregate {
@@ -181,17 +318,46 @@ impl Codec for CellAggregate {
         w.put_f64(self.ice_sum_m);
         w.put_f64(self.min_freeboard_m);
         w.put_f64(self.max_freeboard_m);
+        w.put_u64(self.t_n);
+        w.put_f64(self.t_sum_m);
+        w.put_f64(self.t_w_sum);
+        w.put_f64(self.t_wt_sum);
+        w.put_f64(self.t_p95_m);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
-        Ok(CellAggregate {
-            n: r.take_u64()?,
-            class_counts: <[u64; 3]>::decode(r)?,
-            ice_n: r.take_u64()?,
-            ice_sum_m: r.take_f64()?,
-            min_freeboard_m: r.take_f64()?,
-            max_freeboard_m: r.take_f64()?,
-        })
+        CellAggregate::decode_format(r, Tile::VERSION)
     }
+}
+
+/// The one cell-aggregate fold: `base` (frozen reduction prefix) plus
+/// the live samples pushed in canonical order, then each cell's
+/// thickness p95 over its live bearing thicknesses (sorted, shared
+/// nearest-rank helper) combined with the frozen base p95 via `max`.
+/// Used verbatim by the rebuild after every merge/decode *and* by
+/// [`Tile::check_consistency`], so the invariant checked is exactly the
+/// one maintained.
+fn fold_cells(
+    base: &BTreeMap<u32, CellAggregate>,
+    samples: &[SampleRecord],
+) -> BTreeMap<u32, CellAggregate> {
+    let mut cells = base.clone();
+    let mut bearing: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for s in samples {
+        cells
+            .entry(s.cell)
+            .or_insert_with(CellAggregate::empty)
+            .push(s);
+        if s.bears_thickness() {
+            bearing.entry(s.cell).or_default().push(s.thickness_m);
+        }
+    }
+    for (cell, mut v) in bearing {
+        v.sort_by(|a, b| a.total_cmp(b));
+        let p95 = seaice::stats::percentile_nearest_rank(&v, 0.95);
+        let agg = cells.get_mut(&cell).expect("bearing cell was pushed");
+        agg.t_p95_m = agg.t_p95_m.max(p95);
+    }
+    cells
 }
 
 /// One versioned tile of one temporal layer.
@@ -367,16 +533,16 @@ impl Tile {
         tile
     }
 
-    /// Effective aggregates: base contributions first (frozen reduction
-    /// prefix), then live samples pushed in canonical order.
+    /// Live samples bearing a retrieved thickness (σ > 0). O(n); the
+    /// store caches the value in its index at publish time.
+    pub fn n_thickness(&self) -> u64 {
+        self.samples.iter().filter(|s| s.bears_thickness()).count() as u64
+    }
+
+    /// Effective aggregates: the shared [`fold_cells`] over base +
+    /// live samples.
     fn rebuild_cells(&mut self) {
-        self.cells = self.base.clone();
-        for s in &self.samples {
-            self.cells
-                .entry(s.cell)
-                .or_insert_with(CellAggregate::empty)
-                .push(s);
-        }
+        self.cells = fold_cells(&self.base, &self.samples);
     }
 
     /// Checks the tile's internal invariants — what concurrent readers
@@ -402,13 +568,7 @@ impl Tile {
         if self.base.is_empty() && self.ledger.len() != sample_sources.len() {
             return Err("ledger lists a source with no samples and no base");
         }
-        let mut rebuilt = self.base.clone();
-        for s in &self.samples {
-            rebuilt
-                .entry(s.cell)
-                .or_insert_with(CellAggregate::empty)
-                .push(s);
-        }
+        let rebuilt = fold_cells(&self.base, &self.samples);
         if rebuilt != self.cells {
             return Err("cell aggregates inconsistent with base + samples");
         }
@@ -423,7 +583,29 @@ impl Tile {
         let id = TileId::decode(r)?;
         let time = TimeKey::decode(r)?;
         let version = r.take_u64()?;
-        let samples: Vec<SampleRecord> = Vec::decode(r)?;
+        // v3 headers carry the bearing-sample count before the samples
+        // (so `peek` can index it); validated against the payload below.
+        let n_thickness = if format >= 3 {
+            Some(r.take_u64()?)
+        } else {
+            None
+        };
+        let n = usize::decode(r)?;
+        if n > r.remaining() {
+            return Err(ArtifactError::Truncated);
+        }
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(SampleRecord::decode_format(r, format)?);
+        }
+        if let Some(expected) = n_thickness {
+            let counted = samples.iter().filter(|s| s.bears_thickness()).count() as u64;
+            if counted != expected {
+                return Err(ArtifactError::Invalid(
+                    "header thickness count inconsistent with samples",
+                ));
+            }
+        }
         if !samples
             .windows(2)
             .all(|w| SampleRecord::canonical_cmp(&w[0], &w[1]) != std::cmp::Ordering::Greater)
@@ -460,7 +642,15 @@ impl Tile {
                         }
                     }
                 }
-                let base_cells: Vec<(u32, CellAggregate)> = Vec::decode(r)?;
+                let n_base = usize::decode(r)?;
+                if n_base > r.remaining() {
+                    return Err(ArtifactError::Truncated);
+                }
+                let mut base_cells: Vec<(u32, CellAggregate)> = Vec::with_capacity(n_base);
+                for _ in 0..n_base {
+                    let cell = r.take_u32()?;
+                    base_cells.push((cell, CellAggregate::decode_format(r, format)?));
+                }
                 if !base_cells.windows(2).all(|w| w[0].0 < w[1].0) {
                     return Err(ArtifactError::Invalid("tile base cells out of order"));
                 }
@@ -491,6 +681,7 @@ impl Codec for Tile {
         self.id.encode(w);
         self.time.encode(w);
         w.put_u64(self.version);
+        w.put_u64(self.n_thickness());
         self.samples.encode(w);
         self.ledger.encode(w);
         let base_cells: Vec<(u32, CellAggregate)> =
@@ -504,10 +695,11 @@ impl Codec for Tile {
 
 impl Artifact for Tile {
     const TAG: [u8; 4] = *b"SIT1";
-    const VERSION: u16 = 2;
+    const VERSION: u16 = 3;
 
-    /// Backward-compatible decode: accepts v1 (pre-ledger) tiles, whose
-    /// ledger is reconstructed from the samples themselves.
+    /// Backward-compatible decode: accepts v1 (pre-ledger) and v2
+    /// (pre-thickness) tiles; v1 ledgers are reconstructed from the
+    /// samples, v2 thickness fields read as zeroed.
     fn from_bytes(data: &[u8]) -> Result<Self, ArtifactError> {
         let mut r = Reader::new(data);
         let tag = r.take_slice(4)?;
@@ -533,20 +725,26 @@ pub struct TileHeader {
     pub version: u64,
     /// Stored sample count.
     pub n_samples: u64,
+    /// Thickness-bearing sample count (0 for v1/v2 files).
+    pub n_thickness: u64,
 }
 
 impl Tile {
     /// Reads only the framed header of a tile file. The catalog uses
     /// this to bootstrap its authoritative version/size index on open
-    /// without decoding any sample payload. Both format versions share
-    /// this prefix (v2 appends its ledger and base *after* the samples
-    /// precisely so the header stays peekable).
+    /// without decoding any sample payload. Every format version keeps
+    /// this prefix peekable: v2 appends its ledger and base *after* the
+    /// samples, v3 additionally slots its bearing-sample count into the
+    /// header itself (between the merge counter and the sample length).
     pub fn peek(path: &std::path::Path) -> Result<TileHeader, ArtifactError> {
         use std::io::Read;
         // tag(4) + format version(2) + id(9) + time(3) + merge
-        // counter(8) + sample-vec length(8).
-        let mut buf = [0u8; 34];
-        std::fs::File::open(path)?.read_exact(&mut buf)?;
+        // counter(8) [+ thickness count(8), v3] + sample-vec length(8):
+        // 42 bytes covers the v3 header, older formats need only 34 —
+        // the bounded short read keeps a minimal (34-byte) v1 file
+        // peekable and turns genuinely truncated files into `Truncated`.
+        let mut buf = Vec::with_capacity(42);
+        Read::take(std::fs::File::open(path)?, 42).read_to_end(&mut buf)?;
         let mut r = Reader::new(&buf);
         let tag = r.take_slice(4)?;
         if tag != Self::TAG {
@@ -556,11 +754,16 @@ impl Tile {
         if format == 0 || format > Self::VERSION {
             return Err(ArtifactError::BadVersion(format));
         }
+        let id = TileId::decode(&mut r)?;
+        let time = TimeKey::decode(&mut r)?;
+        let version = r.take_u64()?;
+        let n_thickness = if format >= 3 { r.take_u64()? } else { 0 };
         Ok(TileHeader {
-            id: TileId::decode(&mut r)?,
-            time: TimeKey::decode(&mut r)?,
-            version: r.take_u64()?,
+            id,
+            time,
+            version,
             n_samples: r.take_u64()?,
+            n_thickness,
         })
     }
 }
@@ -568,9 +771,10 @@ impl Tile {
 /// The catalog manifest: pins the grid every tile was addressed with.
 ///
 /// Format v2 signals that the directory may hold v2 (ledger-carrying)
-/// tiles and per-layer ledger sidecars, so a pre-ledger build fails fast
-/// at open instead of per tile; the body is unchanged and v1 manifests
-/// (whose tiles are all v1) still decode.
+/// tiles and per-layer ledger sidecars, v3 that it may hold v3
+/// (thickness-carrying) tiles — so an older build fails fast at open
+/// instead of per tile. The body is unchanged across versions and v1/v2
+/// manifests still decode.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CatalogManifest {
     /// The catalog's tiling.
@@ -590,9 +794,9 @@ impl Codec for CatalogManifest {
 
 impl Artifact for CatalogManifest {
     const TAG: [u8; 4] = *b"SICM";
-    const VERSION: u16 = 2;
+    const VERSION: u16 = 3;
 
-    /// Backward-compatible decode: v1 manifests share the v2 body.
+    /// Backward-compatible decode: v1/v2 manifests share the v3 body.
     fn from_bytes(data: &[u8]) -> Result<Self, ArtifactError> {
         let mut r = Reader::new(data);
         let tag = r.take_slice(4)?;
@@ -660,7 +864,38 @@ mod tests {
             freeboard_m: fb,
             class,
             cell,
+            thickness_m: 0.0,
+            thickness_sigma_m: 0.0,
         }
+    }
+
+    fn thick_sample(
+        source: u64,
+        along: f64,
+        fb: f64,
+        cell: u32,
+        t: f64,
+        sigma: f64,
+    ) -> SampleRecord {
+        SampleRecord {
+            thickness_m: t,
+            thickness_sigma_m: sigma,
+            ..sample(source, along, fb, SurfaceClass::ThickIce, cell)
+        }
+    }
+
+    /// Encodes one sample in the 61-byte v2 layout (no thickness
+    /// fields) — for hand-building legacy buffers.
+    fn encode_v2_record(w: &mut Writer, s: &SampleRecord) {
+        w.put_u64(s.source);
+        w.put_f64(s.along_track_m);
+        w.put_f64(s.lat);
+        w.put_f64(s.lon);
+        w.put_f64(s.x_m);
+        w.put_f64(s.y_m);
+        w.put_f64(s.freeboard_m);
+        s.class.encode(w);
+        w.put_u32(s.cell);
     }
 
     fn batch_a() -> Vec<SampleRecord> {
@@ -728,13 +963,14 @@ mod tests {
 
         // Corrupt: swap two samples so the canonical order breaks. The
         // sample section starts after tag(4)+version(2)+id(9)+time(3)+
-        // merge counter(8)+len(8); one record is 8+6*8+1+4 = 61 bytes.
+        // merge counter(8)+thickness count(8)+len(8); one v3 record is
+        // 8+6*8+1+4+2*8 = 77 bytes.
         let mut corrupt = bytes.to_vec();
-        let start = 4 + 2 + 9 + 3 + 8 + 8;
-        let (a, b) = (start, start + 61);
-        let tmp: Vec<u8> = corrupt[a..a + 61].to_vec();
-        corrupt.copy_within(b..b + 61, a);
-        corrupt[b..b + 61].copy_from_slice(&tmp);
+        let start = 4 + 2 + 9 + 3 + 8 + 8 + 8;
+        let (a, b) = (start, start + 77);
+        let tmp: Vec<u8> = corrupt[a..a + 77].to_vec();
+        corrupt.copy_within(b..b + 77, a);
+        corrupt[b..b + 77].copy_from_slice(&tmp);
         assert!(matches!(
             Tile::from_bytes(&corrupt),
             Err(ArtifactError::Invalid(_))
@@ -824,14 +1060,17 @@ mod tests {
         tile.merge(&batch_a());
         tile.merge(&batch_b());
         // Hand-build the v1 framing: tag, version 1, id, time, merge
-        // counter, samples — no ledger, no base.
+        // counter, 61-byte samples — no ledger, no base, no thickness.
         let mut w = Writer::new();
         w.put_slice(b"SIT1");
         w.put_u16(1);
         tile.id.encode(&mut w);
         tile.time.encode(&mut w);
         w.put_u64(tile.version);
-        tile.samples().to_vec().encode(&mut w);
+        w.put_u64(tile.samples().len() as u64);
+        for s in tile.samples() {
+            encode_v2_record(&mut w, s);
+        }
         let v1_bytes = w.finish();
 
         let back = Tile::from_bytes(&v1_bytes).unwrap();
@@ -841,14 +1080,109 @@ mod tests {
         assert!(back.base().is_empty());
         back.check_consistency().unwrap();
         // Re-encoding writes the current version.
-        assert_eq!(&back.to_bytes()[4..6], &2u16.to_le_bytes());
+        assert_eq!(&back.to_bytes()[4..6], &3u16.to_le_bytes());
         // Future versions are still rejected.
         let mut future = v1_bytes.to_vec();
-        future[4..6].copy_from_slice(&3u16.to_le_bytes());
+        future[4..6].copy_from_slice(&4u16.to_le_bytes());
         assert!(matches!(
             Tile::from_bytes(&future),
-            Err(ArtifactError::BadVersion(3))
+            Err(ArtifactError::BadVersion(4))
         ));
+    }
+
+    /// A v2 (pre-thickness) tile buffer decodes with zeroed thickness
+    /// fields and aggregates, and re-encodes as v3 — the in-place
+    /// upgrade the store performs on its next persist.
+    #[test]
+    fn v2_tile_buffers_decode_with_zeroed_thickness() {
+        let mut tile = Tile::new(
+            TileId::new(2, 1, 3).unwrap(),
+            TimeKey::new(2019, 11).unwrap(),
+        );
+        tile.merge(&batch_a());
+        tile.merge(&batch_b());
+        // Hand-build the v2 framing: tag, version 2, id, time, merge
+        // counter, 61-byte samples, ledger, base aggregates (v2 layout,
+        // empty here).
+        let mut w = Writer::new();
+        w.put_slice(b"SIT1");
+        w.put_u16(2);
+        tile.id.encode(&mut w);
+        tile.time.encode(&mut w);
+        w.put_u64(tile.version);
+        w.put_u64(tile.samples().len() as u64);
+        for s in tile.samples() {
+            encode_v2_record(&mut w, s);
+        }
+        tile.sources().to_vec().encode(&mut w);
+        w.put_u64(0); // empty base
+        let v2_bytes = w.finish();
+
+        let back = Tile::from_bytes(&v2_bytes).unwrap();
+        assert_eq!(back.samples(), tile.samples());
+        assert_eq!(back.cells(), tile.cells());
+        assert_eq!(back.sources(), tile.sources());
+        back.check_consistency().unwrap();
+        assert_eq!(back.n_thickness(), 0);
+        for agg in back.cells().values() {
+            assert_eq!(agg.t_n, 0);
+            assert_eq!(agg.mean_thickness_m(), 0.0);
+            assert_eq!(agg.ivw_mean_thickness_m(), 0.0);
+            assert_eq!(agg.thickness_sigma_m(), 0.0);
+            assert_eq!(agg.t_p95_m, 0.0);
+        }
+        // Re-encoding upgrades to v3 and round-trips bit-identically
+        // thereafter.
+        let v3_bytes = back.to_bytes();
+        assert_eq!(&v3_bytes[4..6], &3u16.to_le_bytes());
+        let again = Tile::from_bytes(&v3_bytes).unwrap();
+        assert_eq!(again.to_bytes(), v3_bytes);
+    }
+
+    /// Thickness aggregates: canonical-order sums, IVW combination, and
+    /// the nearest-rank p95 over bearing samples only.
+    #[test]
+    fn thickness_aggregates_cover_bearing_samples_only() {
+        let mut tile = Tile::new(
+            TileId::new(2, 1, 3).unwrap(),
+            TimeKey::new(2019, 11).unwrap(),
+        );
+        let batch = vec![
+            thick_sample(1, 2.0, 0.30, 5, 2.0, 0.5),
+            thick_sample(1, 4.0, 0.35, 5, 3.0, 0.25),
+            // Freeboard-only sample in the same cell: counted in n,
+            // invisible to thickness stats.
+            sample(1, 6.0, 0.10, SurfaceClass::ThinIce, 5),
+        ];
+        tile.merge(&batch);
+        tile.check_consistency().unwrap();
+        assert_eq!(tile.n_thickness(), 2);
+        let c = tile.cells()[&5];
+        assert_eq!(c.n, 3);
+        assert_eq!(c.t_n, 2);
+        assert!((c.mean_thickness_m() - 2.5).abs() < 1e-15);
+        // IVW: weights 1/0.25 = 4 and 1/0.0625 = 16 → (8 + 48)/20 = 2.8.
+        assert!((c.ivw_mean_thickness_m() - 2.8).abs() < 1e-12);
+        assert!((c.thickness_sigma_m() - (1.0f64 / 20.0).sqrt()).abs() < 1e-12);
+        // p95 of [2.0, 3.0] is the 2nd nearest-rank value.
+        assert_eq!(c.t_p95_m, 3.0);
+
+        // Ingest order does not change the bytes (thickness included).
+        let mut rev = Tile::new(tile.id, tile.time);
+        rev.merge(&[batch[2], batch[1]]);
+        rev.merge(&[batch[0]]);
+        assert_eq!(rev.samples(), tile.samples());
+        assert_eq!(rev.cells(), tile.cells());
+
+        // Freezing detail preserves the thickness aggregates and the
+        // p95 survives as the frozen base's.
+        let cells_before = tile.cells().clone();
+        tile.freeze_detail();
+        assert_eq!(tile.cells(), &cells_before);
+        assert_eq!(tile.n_thickness(), 0, "bearing count covers live samples");
+        let back = Tile::from_bytes(&tile.to_bytes()).unwrap();
+        assert_eq!(back.cells(), &cells_before);
+        back.check_consistency().unwrap();
     }
 
     #[test]
@@ -888,13 +1222,15 @@ mod tests {
         );
         tile.merge(&batch_a());
         tile.merge(&batch_b());
+        tile.merge(&[thick_sample(4, 20.0, 0.5, 7, 2.5, 0.3)]);
         let path = std::env::temp_dir().join(format!("seaice_tile_peek_{}", std::process::id()));
         tile.save(&path).unwrap();
         let header = Tile::peek(&path).unwrap();
         assert_eq!(header.id, tile.id);
         assert_eq!(header.time, tile.time);
-        assert_eq!(header.version, 2);
+        assert_eq!(header.version, 3);
         assert_eq!(header.n_samples, tile.samples().len() as u64);
+        assert_eq!(header.n_thickness, 1);
         // A truncated header errors rather than panics.
         std::fs::write(&path, &tile.to_bytes()[..10]).unwrap();
         assert!(Tile::peek(&path).is_err());

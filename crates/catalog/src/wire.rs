@@ -13,8 +13,12 @@
 //! - **Frame**: `u32` little-endian payload length, then the payload.
 //!   Payloads are capped at [`MAX_FRAME_BYTES`]; both ends drop the
 //!   connection on oversized frames.
-//! - **Message**: one framed [`Request`] (`SIRQ` v1) or [`Response`]
-//!   (`SIRS` v1).
+//! - **Message**: one framed [`Request`] (`SIRQ` v2) or [`Response`]
+//!   (`SIRS` v2). Version 2 carries thickness: `TilePartial`,
+//!   `CellAggregate`, and `CatalogStats` payloads gained thickness
+//!   fields when the tile format moved to v3, so both message versions
+//!   were bumped together — a v1 peer fails the version check instead
+//!   of mis-framing the longer records.
 //! - **Exchange**: one request, then one or more response frames.
 //!   Streamed record responses (tile partials, layer partials, cell
 //!   summaries) arrive as batch frames terminated by
@@ -213,7 +217,7 @@ pub fn read_message<M: Artifact>(r: &mut impl Read) -> Result<Option<M>, Catalog
 // Requests.
 // ---------------------------------------------------------------------------
 
-/// One client request (`SIRQ` v1). Every query carries the
+/// One client request (`SIRQ` v2). Every query carries the
 /// [`TileScope`] it is restricted to — the shard router sends each
 /// shard its owned prefixes, so a tile is answered by exactly one
 /// shard even when shard stores overlap.
@@ -360,14 +364,14 @@ impl Codec for Request {
 
 impl Artifact for Request {
     const TAG: [u8; 4] = *b"SIRQ";
-    const VERSION: u16 = 1;
+    const VERSION: u16 = 2;
 }
 
 // ---------------------------------------------------------------------------
 // Responses.
 // ---------------------------------------------------------------------------
 
-/// One server response frame (`SIRS` v1).
+/// One server response frame (`SIRS` v2).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The catalog's grid (answers [`Request::Manifest`]).
@@ -468,7 +472,7 @@ impl Codec for Response {
 
 impl Artifact for Response {
     const TAG: [u8; 4] = *b"SIRS";
-    const VERSION: u16 = 1;
+    const VERSION: u16 = 2;
 }
 
 // ---------------------------------------------------------------------------
@@ -512,6 +516,7 @@ impl Codec for CatalogStats {
         self.n_layers.encode(w);
         self.n_tiles.encode(w);
         self.n_samples.encode(w);
+        self.n_thickness.encode(w);
         self.cache.encode(w);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
@@ -519,6 +524,7 @@ impl Codec for CatalogStats {
             n_layers: usize::decode(r)?,
             n_tiles: usize::decode(r)?,
             n_samples: usize::decode(r)?,
+            n_thickness: usize::decode(r)?,
             cache: CacheStats::decode(r)?,
         })
     }
@@ -540,6 +546,10 @@ mod tests {
             min_freeboard_m: -0.02,
             max_freeboard_m: 0.61,
             n_cells: 4,
+            t_n: 6,
+            t_sum_m: 9.5,
+            t_w_sum: 30.0,
+            t_wt_sum: 48.0,
         }
     }
 
@@ -608,6 +618,11 @@ mod tests {
                 ice_sum_m: 0.5,
                 min_freeboard_m: 0.0,
                 max_freeboard_m: 0.4,
+                t_n: 2,
+                t_sum_m: 3.2,
+                t_w_sum: 12.5,
+                t_wt_sum: 20.0,
+                t_p95_m: 1.9,
             },
         };
         for response in [
@@ -622,6 +637,7 @@ mod tests {
                     n_layers: 2,
                     n_tiles: 5,
                     n_samples: 1234,
+                    n_thickness: 321,
                     cache: CacheStats {
                         hits: 10,
                         misses: 3,
@@ -737,17 +753,28 @@ mod tests {
         // Future version.
         let mut payload = Vec::new();
         payload.extend_from_slice(b"SIRQ");
-        payload.extend_from_slice(&2u16.to_le_bytes());
+        payload.extend_from_slice(&3u16.to_le_bytes());
         payload.push(0);
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
         assert!(matches!(
             read_message::<Request>(&mut std::io::Cursor::new(buf)),
-            Err(CatalogError::Artifact(ArtifactError::BadVersion(2)))
+            Err(CatalogError::Artifact(ArtifactError::BadVersion(3)))
+        ));
+        // Superseded version (v1, pre-thickness payload layouts).
+        let mut payload = Vec::new();
+        payload.extend_from_slice(b"SIRQ");
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.push(0);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert!(matches!(
+            read_message::<Request>(&mut std::io::Cursor::new(buf)),
+            Err(CatalogError::Artifact(ArtifactError::BadVersion(1)))
         ));
         // Truncated request body inside a well-formed frame.
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"SIRQ\x01\x00").unwrap();
+        write_frame(&mut buf, b"SIRQ\x02\x00").unwrap();
         assert!(read_message::<Request>(&mut std::io::Cursor::new(buf)).is_err());
     }
 }

@@ -1,0 +1,246 @@
+//! Format-migration acceptance: a catalog written entirely in the v2
+//! (pre-thickness) tile format opens under the v3 build, answers every
+//! query with thickness zeroed, upgrades tiles to v3 in place as they
+//! are next persisted, and v3 files round-trip bit-identically.
+//!
+//! This is the contract that lets a fleet upgrade its serving binaries
+//! without a stop-the-world store rewrite: v2 tiles keep answering, and
+//! the store converges to v3 one persisted tile at a time.
+
+use std::path::PathBuf;
+
+use icesat_geo::{MapPoint, EPSG_3976};
+use icesat_scene::SurfaceClass;
+use seaice::artifact::{Artifact, Codec, Writer};
+use seaice::freeboard::{FreeboardPoint, FreeboardProduct};
+use seaice_catalog::{Catalog, GridConfig, IngestMode, SampleRecord, Tile, TimeRange};
+
+fn grid() -> GridConfig {
+    GridConfig::new(MapPoint::new(-300_000.0, -1_300_000.0), 10_000.0, 2, 8).unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seaice_migrate_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn line_product(n: usize, x0: f64, y0: f64, dx: f64, dy: f64, fb0: f64) -> FreeboardProduct {
+    let points = (0..n)
+        .map(|i| {
+            let m = MapPoint::new(x0 + i as f64 * dx, y0 + i as f64 * dy);
+            let g = EPSG_3976.inverse(m);
+            FreeboardPoint {
+                along_track_m: i as f64 * 2.0,
+                lat: g.lat,
+                lon: g.lon,
+                freeboard_m: fb0 + (i % 7) as f64 * 0.01,
+                class: SurfaceClass::ALL[i % 3],
+            }
+        })
+        .collect();
+    FreeboardProduct {
+        name: "migration line".into(),
+        points,
+    }
+}
+
+/// One sample in the 61-byte pre-thickness record layout.
+fn encode_v2_record(w: &mut Writer, s: &SampleRecord) {
+    w.put_u64(s.source);
+    w.put_f64(s.along_track_m);
+    w.put_f64(s.lat);
+    w.put_f64(s.lon);
+    w.put_f64(s.x_m);
+    w.put_f64(s.y_m);
+    w.put_f64(s.freeboard_m);
+    s.class.encode(w);
+    w.put_u32(s.cell);
+}
+
+/// One cell aggregate in the pre-thickness layout (tile formats ≤ 2).
+fn encode_v2_aggregate(w: &mut Writer, a: &seaice_catalog::CellAggregate) {
+    w.put_u64(a.n);
+    a.class_counts.encode(w);
+    w.put_u64(a.ice_n);
+    w.put_f64(a.ice_sum_m);
+    w.put_f64(a.min_freeboard_m);
+    w.put_f64(a.max_freeboard_m);
+}
+
+/// The format version stamped in a tile file's frame header.
+fn file_format(path: &std::path::Path) -> u16 {
+    let bytes = std::fs::read(path).unwrap();
+    assert_eq!(&bytes[..4], b"SIT1");
+    u16::from_le_bytes([bytes[4], bytes[5]])
+}
+
+#[test]
+fn v2_store_opens_serves_zeroed_thickness_and_upgrades_to_v3() {
+    let dir = temp_dir("v2_store");
+
+    // Build a modern store, then rewrite every artifact in v2 framing —
+    // exactly what a pre-thickness build would have left on disk.
+    let catalog = Catalog::create(&dir, grid()).unwrap();
+    for (granule, beam, x0, dy) in [
+        ("20190915010203_05000210", 0usize, -304_000.0, 10.0),
+        ("20191104195311_05010210", 1, -302_000.0, 18.0),
+    ] {
+        let product = line_product(400, x0, -1_304_000.0, 19.0, dy, 0.2);
+        catalog.ingest_beam(granule, beam, &product).unwrap();
+    }
+    let stats_before = catalog.stats().unwrap();
+    let whole_before = catalog
+        .query_rect(&catalog.grid().domain(), TimeRange::all())
+        .unwrap();
+    let cells_before = catalog
+        .query_cells(&catalog.grid().domain(), TimeRange::all())
+        .unwrap();
+    drop(catalog);
+
+    // Manifest → v2 bytes (same body, version 2).
+    let mut w = Writer::new();
+    w.put_slice(b"SICM");
+    w.put_u16(2);
+    grid().encode(&mut w);
+    std::fs::write(dir.join("catalog.manifest"), w.finish()).unwrap();
+
+    // Tiles → v2 bytes: 61-byte samples, ledger, pre-thickness base
+    // aggregates (empty here — no compaction ran), no thickness header.
+    for entry in std::fs::read_dir(dir.join("tiles")).unwrap() {
+        let path = entry.unwrap().path();
+        let tile = Tile::load(&path).unwrap();
+        let mut w = Writer::new();
+        w.put_slice(b"SIT1");
+        w.put_u16(2);
+        tile.id.encode(&mut w);
+        tile.time.encode(&mut w);
+        w.put_u64(tile.version);
+        w.put_u64(tile.samples().len() as u64);
+        for s in tile.samples() {
+            encode_v2_record(&mut w, s);
+        }
+        tile.sources().to_vec().encode(&mut w);
+        w.put_u64(tile.base().len() as u64);
+        for (cell, agg) in tile.base() {
+            w.put_u32(*cell);
+            encode_v2_aggregate(&mut w, agg);
+        }
+        std::fs::write(&path, w.finish()).unwrap();
+        assert_eq!(file_format(&path), 2);
+    }
+
+    // The v2 store opens and answers everything it used to, with every
+    // thickness field zeroed.
+    let v2 = Catalog::open(&dir).unwrap();
+    v2.validate().unwrap();
+    let stats = v2.stats().unwrap();
+    assert_eq!(stats.n_samples, stats_before.n_samples);
+    assert_eq!(stats.n_thickness, 0, "v2 tiles bear no thickness");
+    let whole = v2
+        .query_rect(&v2.grid().domain(), TimeRange::all())
+        .unwrap();
+    whole.check_consistency().unwrap();
+    assert_eq!(whole, whole_before);
+    assert_eq!(whole.n_thickness, 0);
+    assert_eq!(whole.mean_thickness_m, 0.0);
+    assert_eq!(whole.ivw_mean_thickness_m, 0.0);
+    assert_eq!(whole.thickness_sigma_m, 0.0);
+    let cells = v2
+        .query_cells(&v2.grid().domain(), TimeRange::all())
+        .unwrap();
+    assert_eq!(cells, cells_before);
+    for c in &cells {
+        assert_eq!(c.agg.t_n, 0);
+        assert_eq!(c.agg.t_p95_m, 0.0);
+    }
+
+    // Replace-ingesting one existing source rewrites exactly its tiles;
+    // those files come back stamped v3 while untouched tiles stay v2.
+    let replacement = line_product(400, -304_000.0, -1_304_000.0, 19.0, 10.0, 0.21);
+    v2.ingest_beam_with(
+        "20190915010203_05000210",
+        0,
+        &replacement,
+        IngestMode::Replace,
+    )
+    .unwrap();
+    let mut formats: Vec<u16> = Vec::new();
+    for entry in std::fs::read_dir(dir.join("tiles")).unwrap() {
+        formats.push(file_format(&entry.unwrap().path()));
+    }
+    assert!(
+        formats.contains(&3),
+        "rewritten tiles upgraded to format v3"
+    );
+    assert!(
+        formats.contains(&2),
+        "tiles the persist never touched stay v2"
+    );
+    v2.validate().unwrap();
+    drop(v2);
+
+    // Every v3 file round-trips bit-identically; v2 files re-encode to
+    // v3 stably (decode → encode → decode is a fixed point).
+    for entry in std::fs::read_dir(dir.join("tiles")).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = std::fs::read(&path).unwrap();
+        let tile = Tile::from_bytes(&bytes).unwrap();
+        let reencoded = tile.to_bytes().to_vec();
+        if file_format(&path) == 3 {
+            assert_eq!(reencoded, bytes, "v3 file not a bit-identical round-trip");
+        }
+        let again = Tile::from_bytes(&reencoded).unwrap();
+        assert_eq!(
+            again.to_bytes().to_vec(),
+            reencoded,
+            "re-encode is not stable"
+        );
+    }
+
+    // A reopened store (mixed v2/v3 on disk) serves the same battery,
+    // and landing a thickness product in it just works.
+    let mixed = Catalog::open(&dir).unwrap();
+    assert_eq!(
+        mixed
+            .query_cells(&mixed.grid().domain(), TimeRange::all())
+            .unwrap()
+            .iter()
+            .map(|c| c.agg.n)
+            .sum::<u64>(),
+        stats_before.n_samples as u64
+    );
+    let thick_points: Vec<seaice_products::ProductPoint> = (0..200)
+        .map(|i| {
+            let m = MapPoint::new(-303_000.0 + i as f64 * 21.0, -1_303_500.0 + i as f64 * 13.0);
+            let g = EPSG_3976.inverse(m);
+            seaice_products::ProductPoint {
+                along_track_m: i as f64 * 2.0,
+                lat: g.lat,
+                lon: g.lon,
+                freeboard_m: 0.22,
+                class: SurfaceClass::ThickIce,
+                snow_depth_m: 0.06,
+                snow_sigma_m: 0.02,
+                thickness_m: 1.7,
+                thickness_sigma_m: 0.3,
+            }
+        })
+        .collect();
+    let beam = seaice_products::BeamThickness {
+        granule_id: "20191104195311_07000210".into(),
+        beam: icesat_atl03::Beam::Gt3l,
+        snow_model: "climatology".into(),
+        points: thick_points,
+    };
+    let report = mixed.ingest_thickness_beam(&beam).unwrap();
+    assert!(report.n_samples > 0);
+    assert!(mixed.stats().unwrap().n_thickness > 0);
+    let whole = mixed
+        .query_rect(&mixed.grid().domain(), TimeRange::all())
+        .unwrap();
+    whole.check_consistency().unwrap();
+    assert!(whole.n_thickness > 0 && whole.ivw_mean_thickness_m > 0.0);
+    mixed.validate().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -68,6 +68,20 @@ fn build(catalog: &Catalog) {
     }
 }
 
+/// Encodes one sample in the 61-byte pre-thickness record layout (tile
+/// formats v1/v2) — for hand-building legacy files.
+fn encode_legacy_record(w: &mut Writer, s: &seaice_catalog::SampleRecord) {
+    w.put_u64(s.source);
+    w.put_f64(s.along_track_m);
+    w.put_f64(s.lat);
+    w.put_f64(s.lon);
+    w.put_f64(s.x_m);
+    w.put_f64(s.y_m);
+    w.put_f64(s.freeboard_m);
+    s.class.encode(w);
+    w.put_u32(s.cell);
+}
+
 /// Every tile (and ledger) file in a catalog directory, bytes and all.
 fn dir_bytes(dir: &std::path::Path) -> BTreeMap<PathBuf, Vec<u8>> {
     let mut out = BTreeMap::new();
@@ -116,6 +130,10 @@ fn battery(catalog: &Catalog) -> Vec<u64> {
                 s.max_freeboard_m.to_bits(),
                 s.n_tiles as u64,
                 s.n_cells as u64,
+                s.n_thickness as u64,
+                s.mean_thickness_m.to_bits(),
+                s.ivw_mean_thickness_m.to_bits(),
+                s.thickness_sigma_m.to_bits(),
             ]);
         }
     }
@@ -150,6 +168,11 @@ fn cell_bits(catalog: &Catalog, time: TimeRange) -> Vec<u64> {
             c.agg.ice_sum_m.to_bits(),
             c.agg.min_freeboard_m.to_bits(),
             c.agg.max_freeboard_m.to_bits(),
+            c.agg.t_n,
+            c.agg.t_sum_m.to_bits(),
+            c.agg.t_w_sum.to_bits(),
+            c.agg.t_wt_sum.to_bits(),
+            c.agg.t_p95_m.to_bits(),
         ]);
     }
     bits
@@ -464,6 +487,115 @@ fn corrupt_sidecar_ledger_is_ignored_not_fatal() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A synthetic thickness-enriched beam on a map-space line, mirroring
+/// what [`seaice_products::enrich_fleet`] emits: ice samples carry
+/// `(thickness, sigma > 0)`, open water carries zeros.
+fn line_thickness(
+    granule_id: &str,
+    beam: icesat_atl03::Beam,
+    n: usize,
+    x0: f64,
+    y0: f64,
+    dx: f64,
+    dy: f64,
+) -> seaice_products::BeamThickness {
+    let points = (0..n)
+        .map(|i| {
+            let m = MapPoint::new(x0 + i as f64 * dx, y0 + i as f64 * dy);
+            let g = EPSG_3976.inverse(m);
+            let class = SurfaceClass::ALL[i % 3];
+            let water = class == SurfaceClass::OpenWater;
+            seaice_products::ProductPoint {
+                along_track_m: i as f64 * 2.0,
+                lat: g.lat,
+                lon: g.lon,
+                freeboard_m: 0.2 + (i % 7) as f64 * 0.01,
+                class,
+                snow_depth_m: if water { 0.0 } else { 0.08 },
+                snow_sigma_m: if water { 0.0 } else { 0.03 },
+                thickness_m: if water {
+                    0.0
+                } else {
+                    1.5 + (i % 5) as f64 * 0.1
+                },
+                thickness_sigma_m: if water {
+                    0.0
+                } else {
+                    0.25 + (i % 4) as f64 * 0.05
+                },
+            }
+        })
+        .collect();
+    seaice_products::BeamThickness {
+        granule_id: granule_id.to_string(),
+        beam,
+        snow_model: "climatology".into(),
+        points,
+    }
+}
+
+/// Thickness-bearing samples ride the whole idempotency + compaction
+/// battery: Skip re-ingest is byte-stable, identity compaction and a
+/// retention horizon preserve the thickness aggregates bit-identically.
+#[test]
+fn thickness_ingest_idempotent_and_compaction_preserves_aggregates() {
+    let src_dir = temp_dir("thick_src");
+    let src = Catalog::create(&src_dir, grid()).unwrap();
+    build(&src);
+    let enriched = line_thickness(
+        "20190915010203_05000210",
+        icesat_atl03::Beam::Gt2l,
+        300,
+        -303_500.0,
+        -1_304_000.0,
+        21.0,
+        12.0,
+    );
+    let report = src.ingest_thickness_beam(&enriched).unwrap();
+    assert!(report.n_samples > 0);
+    let stats = src.stats().unwrap();
+    assert!(stats.n_thickness > 0, "bearing samples are counted");
+    let whole = src
+        .query_rect(&src.grid().domain(), TimeRange::all())
+        .unwrap();
+    whole.check_consistency().unwrap();
+    assert_eq!(whole.n_thickness, stats.n_thickness);
+    assert!(whole.ivw_mean_thickness_m > 0.0 && whole.thickness_sigma_m > 0.0);
+
+    // Skip re-ingest of the enriched beam: byte-stable no-op.
+    let before = dir_bytes(&src_dir);
+    let battery_src = battery(&src);
+    let again = src.ingest_thickness_beam(&enriched).unwrap();
+    assert_eq!(again.n_samples, 0);
+    assert_eq!(again.n_skipped, 300);
+    assert_eq!(dir_bytes(&src_dir), before);
+
+    // Identity compaction preserves every thickness aggregate bit.
+    let dst_dir = temp_dir("thick_dst");
+    compact(&src_dir, &dst_dir, &CompactionConfig::rewrite(grid())).unwrap();
+    let dst = Catalog::open(&dst_dir).unwrap();
+    assert_eq!(battery(&dst), battery_src);
+    assert_eq!(dst.stats().unwrap().n_thickness, stats.n_thickness);
+    dst.validate().unwrap();
+
+    // Retention: segment detail goes, per-cell thickness composites
+    // (sums, IVW accumulators, p95 envelope) answer bit-identically.
+    let cells_src = cell_bits(&src, TimeRange::all());
+    let retained_dir = temp_dir("thick_retained");
+    let cfg = CompactionConfig {
+        retention: Some(TimeKey::new(2019, 12).unwrap()),
+        ..CompactionConfig::rewrite(grid())
+    };
+    compact(&src_dir, &retained_dir, &cfg).unwrap();
+    let retained = Catalog::open(&retained_dir).unwrap();
+    assert_eq!(retained.stats().unwrap().n_samples, 0);
+    assert_eq!(cell_bits(&retained, TimeRange::all()), cells_src);
+    retained.validate().unwrap();
+    let _ = std::fs::remove_dir_all(&src_dir);
+    let _ = std::fs::remove_dir_all(&dst_dir);
+    let _ = std::fs::remove_dir_all(&retained_dir);
+}
+
 /// A catalog written entirely in the v1 (pre-ledger) format — v1
 /// manifest, v1 tiles, no sidecar ledgers — opens, queries, and then
 /// upgrades in place as new ingests land.
@@ -486,7 +618,8 @@ fn v1_store_opens_queries_and_upgrades() {
     grid().encode(&mut w);
     std::fs::write(&manifest_path, w.finish()).unwrap();
 
-    // Tiles → v1 bytes (id, time, version, samples; no ledger, no base).
+    // Tiles → v1 bytes (id, time, version, 61-byte samples; no ledger,
+    // no base, no thickness).
     for entry in std::fs::read_dir(dir.join("tiles")).unwrap() {
         let path = entry.unwrap().path();
         let tile = seaice_catalog::Tile::load(&path).unwrap();
@@ -496,7 +629,10 @@ fn v1_store_opens_queries_and_upgrades() {
         tile.id.encode(&mut w);
         tile.time.encode(&mut w);
         w.put_u64(tile.version);
-        tile.samples().to_vec().encode(&mut w);
+        w.put_u64(tile.samples().len() as u64);
+        for s in tile.samples() {
+            encode_legacy_record(&mut w, s);
+        }
         std::fs::write(&path, w.finish()).unwrap();
     }
     // Drop the sidecars — v1 stores never had them.

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use icesat_geo::{BoundingBox, GeoPoint, MapPoint, EPSG_3976};
 use icesat_scene::SurfaceClass;
 use seaice::freeboard::{FreeboardPoint, FreeboardProduct};
-use seaice_catalog::client::partition_product;
+use seaice_catalog::client::{partition_product, partition_thickness};
 use seaice_catalog::{
     Catalog, CatalogClient, CatalogServer, GridConfig, MapRect, QuerySummary, ShardRouter,
     ShardSpec, TileScope, TimeKey, TimeRange,
@@ -86,6 +86,52 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
+/// A thickness-enriched beam crossing both shard scopes (south → north),
+/// shaped like [`seaice_products::enrich_fleet`] output: ice samples
+/// bear `(thickness, sigma > 0)`, open water carries zeros.
+fn thickness_workload() -> Vec<seaice_products::BeamThickness> {
+    (0..2u32)
+        .map(|b| {
+            let points = (0..360)
+                .map(|i| {
+                    let m = MapPoint::new(
+                        -308_500.0 + 1_200.0 * b as f64 + i as f64 * 19.0,
+                        -1_309_000.0 + i as f64 * 46.0,
+                    );
+                    let g = EPSG_3976.inverse(m);
+                    let class = SurfaceClass::ALL[i % 3];
+                    let water = class == SurfaceClass::OpenWater;
+                    seaice_products::ProductPoint {
+                        along_track_m: i as f64 * 2.0,
+                        lat: g.lat,
+                        lon: g.lon,
+                        freeboard_m: 0.18 + (i % 9) as f64 * 0.011,
+                        class,
+                        snow_depth_m: if water { 0.0 } else { 0.07 },
+                        snow_sigma_m: if water { 0.0 } else { 0.025 },
+                        thickness_m: if water {
+                            0.0
+                        } else {
+                            1.3 + (i % 6) as f64 * 0.12
+                        },
+                        thickness_sigma_m: if water {
+                            0.0
+                        } else {
+                            0.2 + (i % 5) as f64 * 0.04
+                        },
+                    }
+                })
+                .collect();
+            seaice_products::BeamThickness {
+                granule_id: format!("20191104195311_0700021{b}"),
+                beam: icesat_atl03::Beam::ALL[b as usize],
+                snow_model: "climatology".into(),
+                points,
+            }
+        })
+        .collect()
+}
+
 fn ingest(catalog: &Catalog, batch: &[(String, usize, FreeboardProduct)]) {
     for (granule, beam, product) in batch {
         if !product.points.is_empty() {
@@ -144,6 +190,22 @@ fn assert_equivalent(local: &Catalog, served: &mut CatalogClient, router: &mut S
         );
         assert_eq!(a.min_freeboard_m.to_bits(), b.min_freeboard_m.to_bits());
         assert_eq!(a.max_freeboard_m.to_bits(), b.max_freeboard_m.to_bits());
+        assert_eq!(a.n_thickness, b.n_thickness, "{what} thickness count");
+        assert_eq!(
+            a.mean_thickness_m.to_bits(),
+            b.mean_thickness_m.to_bits(),
+            "{what} mean thickness not bit-identical"
+        );
+        assert_eq!(
+            a.ivw_mean_thickness_m.to_bits(),
+            b.ivw_mean_thickness_m.to_bits(),
+            "{what} IVW thickness not bit-identical"
+        );
+        assert_eq!(
+            a.thickness_sigma_m.to_bits(),
+            b.thickness_sigma_m.to_bits(),
+            "{what} thickness sigma not bit-identical"
+        );
     };
 
     for (ri, rect) in rects.iter().enumerate() {
@@ -233,6 +295,7 @@ fn assert_equivalent(local: &Catalog, served: &mut CatalogClient, router: &mut S
         assert_eq!(got.n_samples, want.n_samples, "{label} sample total");
         assert_eq!(got.n_tiles, want.n_tiles, "{label} tile total");
         assert_eq!(got.n_layers, want.n_layers, "{label} layer total");
+        assert_eq!(got.n_thickness, want.n_thickness, "{label} thickness total");
     }
 
     // Remote validation passes everywhere.
@@ -248,8 +311,13 @@ fn served_and_sharded_queries_are_bit_identical_to_local() {
 
     // Build the three deployments from the same products.
     let batch = workload();
+    let thickness = thickness_workload();
     let local = Arc::new(Catalog::create(&local_dir, grid()).unwrap());
     ingest(&local, &batch);
+    for beam in &thickness {
+        local.ingest_thickness_beam(beam).unwrap();
+    }
+    assert!(local.stats().unwrap().n_thickness > 0);
     let parts = partition(&batch);
     let shard_catalogs: Vec<Arc<Catalog>> = shard_dirs
         .iter()
@@ -260,6 +328,14 @@ fn served_and_sharded_queries_are_bit_identical_to_local() {
             catalog
         })
         .collect();
+    for beam in &thickness {
+        let split = partition_thickness(&grid(), &scopes, beam);
+        for (catalog, part) in shard_catalogs.iter().zip(split) {
+            if !part.points.is_empty() {
+                catalog.ingest_thickness_beam(&part).unwrap();
+            }
+        }
+    }
     // Shard stores really are partitions: together they hold exactly
     // the local store's samples, and neither holds the other's tiles.
     let shard_totals: usize = shard_catalogs

@@ -635,6 +635,7 @@ use crate::labeling::{AutoLabelConfig, DriftEstimate, LabeledSegment};
 use crate::models::{build_model, ModelKind, TrainConfig, TrainedClassifier};
 use crate::pipeline::PipelineConfig;
 use crate::seasurface::{SeaSurface, SeaSurfaceMethod, WindowConfig};
+use crate::thickness::Densities;
 
 codec_struct!(AutoLabelConfig {
     shift_search_radius_m,
@@ -687,6 +688,7 @@ codec_struct!(FreeboardPoint {
     class,
 });
 codec_struct!(FreeboardProduct { name, points });
+codec_struct!(Densities { water, ice, snow });
 codec_struct!(Atl07Segment {
     along_track_m,
     length_m,

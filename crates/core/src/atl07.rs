@@ -171,7 +171,7 @@ pub fn classify_atl07(segments: &[Atl07Segment], cfg: &DecisionTreeConfig) -> Ve
 /// The ATL10-style freeboard product: reference surface from the ATL07
 /// water segments (NASA equations, 10 km swath windows), freeboard per
 /// ATL07 segment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Atl10Freeboard {
     /// ATL07 segments (shared geometry).
     pub segments: Vec<Atl07Segment>,

@@ -127,19 +127,10 @@ impl FreeboardProduct {
             .unwrap_or(0.0)
     }
 
-    /// Summary statistics over ice freeboard: `(mean, median, p95)`.
-    /// The p95 is the nearest-rank percentile
-    /// ([`crate::stats::percentile_nearest_rank`]).
+    /// Summary statistics over ice freeboard: `(mean, median, p95)` per
+    /// the shared contract of [`crate::stats::summary_stats`].
     pub fn stats(&self) -> (f64, f64, f64) {
-        let mut v = self.ice_freeboards();
-        if v.is_empty() {
-            return (0.0, 0.0, 0.0);
-        }
-        v.sort_by(|a, b| a.total_cmp(b));
-        let mean = v.iter().sum::<f64>() / v.len() as f64;
-        let median = v[v.len() / 2];
-        let p95 = crate::stats::percentile_nearest_rank(&v, 0.95);
-        (mean, median, p95)
+        crate::stats::summary_stats(&self.ice_freeboards())
     }
 }
 

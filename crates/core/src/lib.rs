@@ -67,5 +67,5 @@ pub use seasurface::{SeaSurface, SeaSurfaceMethod};
 pub use stages::{
     CuratedTrack, LabeledDataset, PipelineBuilder, SeaIceProducts, StagedRun, TrainedModels,
 };
-pub use stats::percentile_nearest_rank;
+pub use stats::{percentile_nearest_rank, summary_stats};
 pub use thickness::{thickness_from_freeboard, Densities, SnowModel, ThicknessProduct};

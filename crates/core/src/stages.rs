@@ -320,7 +320,7 @@ impl TrainedModels {
 
 /// Stage-4 artifact: the science products for one track — classes, local
 /// sea surfaces, the 2 m freeboard, and the emulated ATL07/ATL10 baseline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeaIceProducts {
     /// LSTM-inferred class per 2 m segment.
     pub classes: Vec<SurfaceClass>,

@@ -20,6 +20,32 @@ pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// The one summary-statistics contract every per-product `stats()`
+/// shares: `(mean, median, p95)` over the given values.
+///
+/// - **mean** — arithmetic mean.
+/// - **median** — the upper-median `v[n/2]` of the ascending
+///   [`f64::total_cmp`] sort (for even `n` this is the higher of the two
+///   central values, *not* their midpoint — chosen so the median is
+///   always an observed sample).
+/// - **p95** — the nearest-rank 95th percentile,
+///   [`percentile_nearest_rank`] at `p = 0.95`.
+///
+/// An empty slice summarises to `(0.0, 0.0, 0.0)`. The input need not be
+/// sorted; a copy is sorted internally, so the fold is independent of
+/// input order. [`crate::freeboard::FreeboardProduct::stats`] and
+/// [`crate::thickness::ThicknessProduct::stats`] both delegate here —
+/// if you change this contract, change it for every product at once.
+pub fn summary_stats(values: &[f64]) -> (f64, f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    (mean, v[v.len() / 2], percentile_nearest_rank(&v, 0.95))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -32,6 +58,19 @@ mod tests {
         assert_eq!(percentile_nearest_rank(&v, 0.95), 19.0);
         // The replaced expression hit the max:
         assert_eq!(v[(v.len() as f64 * 0.95) as usize], 20.0);
+    }
+
+    /// Cross-check: `summary_stats` agrees with a by-hand fold of the
+    /// documented contract, regardless of input order.
+    #[test]
+    fn summary_stats_matches_hand_fold_and_ignores_order() {
+        let mut v: Vec<f64> = (1..=20).map(f64::from).collect();
+        let expected = (10.5, 11.0, 19.0); // mean, upper-median, rank-19 p95
+        assert_eq!(summary_stats(&v), expected);
+        v.reverse();
+        assert_eq!(summary_stats(&v), expected);
+        assert_eq!(summary_stats(&[]), (0.0, 0.0, 0.0));
+        assert_eq!(summary_stats(&[2.5]), (2.5, 2.5, 2.5));
     }
 
     #[test]

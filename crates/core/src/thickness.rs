@@ -121,21 +121,12 @@ impl ThicknessProduct {
         }
     }
 
-    /// Mean / median / p95 thickness, metres. The p95 is the
-    /// nearest-rank percentile
-    /// ([`crate::stats::percentile_nearest_rank`]).
+    /// Mean / median / p95 thickness, metres, per the shared contract of
+    /// [`crate::stats::summary_stats`] (same fold as
+    /// [`crate::freeboard::FreeboardProduct::stats`]).
     pub fn stats(&self) -> (f64, f64, f64) {
-        if self.points.is_empty() {
-            return (0.0, 0.0, 0.0);
-        }
-        let mut v: Vec<f64> = self.points.iter().map(|p| p.thickness_m).collect();
-        v.sort_by(|a, b| a.total_cmp(b));
-        let mean = v.iter().sum::<f64>() / v.len() as f64;
-        (
-            mean,
-            v[v.len() / 2],
-            crate::stats::percentile_nearest_rank(&v, 0.95),
-        )
+        let v: Vec<f64> = self.points.iter().map(|p| p.thickness_m).collect();
+        crate::stats::summary_stats(&v)
     }
 }
 
@@ -211,6 +202,45 @@ mod tests {
         assert!(t.points[0].thickness_m > t.points[1].thickness_m);
         let (mean, median, p95) = t.stats();
         assert!(mean > 0.0 && median > 0.0 && p95 >= median);
+    }
+
+    /// Cross-check of the deduplicated stats contract: feeding identical
+    /// values through `ThicknessProduct::stats`,
+    /// `FreeboardProduct::stats`, and the shared helper must agree
+    /// bit-for-bit.
+    #[test]
+    fn stats_share_the_freeboard_fold() {
+        let values = [0.9, 0.3, 1.7, 0.3, 2.4, 1.1, 0.6];
+        let t = ThicknessProduct {
+            name: "x".into(),
+            snow: SnowModel::None,
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ThicknessPoint {
+                    along_track_m: i as f64 * 2.0,
+                    thickness_m: v,
+                    class: SurfaceClass::ThickIce,
+                })
+                .collect(),
+        };
+        let f = FreeboardProduct {
+            name: "x".into(),
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| FreeboardPoint {
+                    along_track_m: i as f64 * 2.0,
+                    lat: -74.0,
+                    lon: -170.0,
+                    freeboard_m: v,
+                    class: SurfaceClass::ThickIce,
+                })
+                .collect(),
+        };
+        let shared = crate::stats::summary_stats(&values);
+        assert_eq!(t.stats(), shared);
+        assert_eq!(f.stats(), shared);
     }
 
     #[test]

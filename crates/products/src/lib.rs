@@ -1,0 +1,80 @@
+//! `seaice-products` — the thickness / snow / uncertainty product family.
+//!
+//! The paper's pipeline stops at freeboard; its conclusion points at
+//! "polar-wide scale freeboard and even thickness products". This crate
+//! is that step: it turns per-beam freeboard products into per-sample
+//! `(thickness, sigma)` estimates by combining
+//!
+//! - a pluggable [`SnowDepthModel`] (a latitude/season
+//!   [`ClimatologySnow`], and a downscaled-reanalysis-style
+//!   [`ReanalysisSnow`] parameterised by a gridded [`SnowPrior`], after
+//!   Liu et al.'s ERA5-downscaling-with-ICESat-2 approach) with
+//! - a hydrostatic [`ThicknessRetrieval`] that propagates first-order
+//!   uncertainty through the freeboard→thickness conversion (partial
+//!   derivatives of the hydrostatic equation over snow depth, the three
+//!   densities, and freeboard noise — the Djepa-style sensitivity
+//!   analysis, exposed per-term as a [`VarianceBudget`]).
+//!
+//! The results are packaged two ways:
+//!
+//! - [`ProductSet`] — a versioned stage artifact (`SIC5`) extending
+//!   [`seaice::stages::SeaIceProducts`] with thickness-bearing
+//!   [`ProductPoint`]s, for the staged pipeline; and
+//! - [`BeamThickness`] via [`enrich_fleet`] — the per-beam form a fleet
+//!   run hands to `seaice-catalog` for ingest into a tiled store.
+//!
+//! Every public entry point validates its numeric boundary: non-finite
+//! freeboard or snow depth is rejected with a typed
+//! [`ProductError::NonFinite`] instead of poisoning downstream per-cell
+//! aggregates.
+
+#![warn(missing_docs)]
+
+mod retrieval;
+mod set;
+mod snow;
+
+pub use retrieval::{DensitySigmas, ThicknessEstimate, ThicknessRetrieval, VarianceBudget};
+pub use set::{enrich_fleet, BeamThickness, ProductPoint, ProductSet};
+pub use snow::{ClimatologySnow, ReanalysisSnow, SnowDepthModel, SnowPrior};
+
+/// Errors from the product-family boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProductError {
+    /// A numeric input (freeboard, coordinate, or snow depth) was NaN or
+    /// infinite. Carries which quantity and the sample index (0 for
+    /// scalar entry points).
+    NonFinite {
+        /// Which quantity was non-finite.
+        what: &'static str,
+        /// Index of the offending sample in its product.
+        index: usize,
+    },
+    /// A granule id did not start with a parseable `YYYYMM` prefix.
+    BadGranule(String),
+    /// A retrieval configuration violated physics (e.g. ice denser than
+    /// water, or a non-positive freeboard noise).
+    Unphysical(&'static str),
+}
+
+impl std::fmt::Display for ProductError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProductError::NonFinite { what, index } => {
+                write!(f, "non-finite {what} at sample {index}")
+            }
+            ProductError::BadGranule(id) => write!(f, "granule id without YYYYMM prefix: {id:?}"),
+            ProductError::Unphysical(what) => write!(f, "unphysical retrieval config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProductError {}
+
+pub(crate) fn finite(v: f64, what: &'static str, index: usize) -> Result<f64, ProductError> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(ProductError::NonFinite { what, index })
+    }
+}

@@ -1,0 +1,356 @@
+//! Hydrostatic thickness retrieval with first-order uncertainty
+//! propagation.
+//!
+//! The conversion is the same hydrostatic balance as
+//! [`seaice::thickness`]:
+//!
+//! ```text
+//! T = (ρw·hf + (ρs − ρw)·s) / (ρw − ρi),      D ≔ ρw − ρi
+//! ```
+//!
+//! with total freeboard `hf`, snow depth `s`, and densities ρw/ρi/ρs.
+//! What this module adds is the sensitivity analysis (Djepa,
+//! *Sensitivity, uncertainty analyses and algorithm selection for Sea
+//! Ice Thickness retrieval*): the first-order partials
+//!
+//! ```text
+//! ∂T/∂hf = ρw/D          ∂T/∂s  = (ρs − ρw)/D     ∂T/∂ρs = s/D
+//! ∂T/∂ρi = T/D           ∂T/∂ρw = (hf − s − T)/D
+//! ```
+//!
+//! combine the five input variances into `σ_T² = Σ (∂T/∂x)²·σ_x²`,
+//! reported per-term as a [`VarianceBudget`] so a consumer can see
+//! *which* input dominates (on snow-loaded Antarctic ice it is almost
+//! always the snow depth).
+
+use seaice::thickness::Densities;
+
+use crate::ProductError;
+
+/// 1-σ uncertainties of the three densities, kg/m³.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensitySigmas {
+    /// Sea water density σ.
+    pub water: f64,
+    /// Sea ice density σ.
+    pub ice: f64,
+    /// Snow density σ.
+    pub snow: f64,
+}
+
+impl Default for DensitySigmas {
+    /// The spreads Djepa's sensitivity study sweeps: water ±0.5, ice
+    /// ±10, snow ±50 kg/m³.
+    fn default() -> Self {
+        DensitySigmas {
+            water: 0.5,
+            ice: 10.0,
+            snow: 50.0,
+        }
+    }
+}
+
+/// Per-term variance budget of one thickness estimate, m². The five
+/// terms sum to `sigma_m²` of the owning [`ThicknessEstimate`] exactly
+/// (same floating-point order as the retrieval computes them in).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VarianceBudget {
+    /// `(∂T/∂hf · σ_hf)²` — freeboard noise.
+    pub freeboard: f64,
+    /// `(∂T/∂s · σ_s)²` — snow-depth uncertainty.
+    pub snow: f64,
+    /// `(∂T/∂ρw · σ_ρw)²` — water density.
+    pub rho_water: f64,
+    /// `(∂T/∂ρi · σ_ρi)²` — ice density.
+    pub rho_ice: f64,
+    /// `(∂T/∂ρs · σ_ρs)²` — snow density.
+    pub rho_snow: f64,
+}
+
+impl VarianceBudget {
+    /// Total variance, m² — the sum of the five terms in declaration
+    /// order.
+    pub fn total(&self) -> f64 {
+        self.freeboard + self.snow + self.rho_water + self.rho_ice + self.rho_snow
+    }
+
+    /// The dominating term's name (ties break in declaration order).
+    pub fn dominant(&self) -> &'static str {
+        let terms = [
+            ("freeboard", self.freeboard),
+            ("snow", self.snow),
+            ("rho_water", self.rho_water),
+            ("rho_ice", self.rho_ice),
+            ("rho_snow", self.rho_snow),
+        ];
+        terms
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|t| t.0)
+            .unwrap_or("freeboard")
+    }
+}
+
+/// One retrieved thickness sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThicknessEstimate {
+    /// Ice thickness, metres (clamped to ≥ 0).
+    pub thickness_m: f64,
+    /// 1-σ thickness uncertainty, metres — `budget.total().sqrt()`,
+    /// always > 0 for a valid retrieval configuration.
+    pub sigma_m: f64,
+    /// The per-term variance decomposition behind `sigma_m`.
+    pub budget: VarianceBudget,
+}
+
+/// The hydrostatic freeboard→thickness conversion with its uncertainty
+/// model. One configured retrieval is applied unchanged across a whole
+/// product so every sample shares the same densities and noise floors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThicknessRetrieval {
+    /// Densities of the hydrostatic balance.
+    pub densities: Densities,
+    /// 1-σ uncertainties of those densities.
+    pub density_sigmas: DensitySigmas,
+    /// Per-sample freeboard noise σ, metres. Must be > 0: it is the
+    /// floor that keeps every retrieved `sigma_m` positive, which is
+    /// what marks a stored sample as thickness-bearing downstream.
+    pub freeboard_sigma_m: f64,
+}
+
+impl Default for ThicknessRetrieval {
+    /// Default densities (1024/915/320), Djepa-style density spreads,
+    /// and a 2 cm freeboard noise floor (the paper's 2 m segments carry
+    /// centimetre-level σ).
+    fn default() -> Self {
+        ThicknessRetrieval {
+            densities: Densities::default(),
+            density_sigmas: DensitySigmas::default(),
+            freeboard_sigma_m: 0.02,
+        }
+    }
+}
+
+impl ThicknessRetrieval {
+    /// Validates the configuration: ice must float, and every σ must be
+    /// finite with `freeboard_sigma_m > 0`.
+    pub fn validate(&self) -> Result<(), ProductError> {
+        let rho = &self.densities;
+        if !(rho.water.is_finite() && rho.ice.is_finite() && rho.snow.is_finite()) {
+            return Err(ProductError::Unphysical("non-finite density"));
+        }
+        if rho.water <= rho.ice {
+            return Err(ProductError::Unphysical("ice must float (rho_w > rho_i)"));
+        }
+        let s = &self.density_sigmas;
+        if !(s.water.is_finite() && s.ice.is_finite() && s.snow.is_finite())
+            || s.water < 0.0
+            || s.ice < 0.0
+            || s.snow < 0.0
+        {
+            return Err(ProductError::Unphysical("bad density sigma"));
+        }
+        if !self.freeboard_sigma_m.is_finite() || self.freeboard_sigma_m <= 0.0 {
+            return Err(ProductError::Unphysical("freeboard sigma must be > 0"));
+        }
+        Ok(())
+    }
+
+    /// Retrieves `(thickness, sigma)` for one sample: total freeboard
+    /// `freeboard_m`, snow depth `snow_depth_m` with uncertainty
+    /// `snow_sigma_m` (all metres). Negative freeboard clamps to 0 and
+    /// the snow depth clamps into `[0, freeboard]` (snow cannot outweigh
+    /// the column it rides on), matching
+    /// [`seaice::thickness::thickness_from_freeboard`]; the partials are
+    /// evaluated at the clamped operating point.
+    ///
+    /// Non-finite inputs are rejected with
+    /// [`ProductError::NonFinite`] — this is the boundary that keeps
+    /// NaN out of catalog aggregates.
+    pub fn retrieve(
+        &self,
+        freeboard_m: f64,
+        snow_depth_m: f64,
+        snow_sigma_m: f64,
+    ) -> Result<ThicknessEstimate, ProductError> {
+        self.validate()?;
+        crate::finite(freeboard_m, "freeboard", 0)?;
+        crate::finite(snow_depth_m, "snow depth", 0)?;
+        crate::finite(snow_sigma_m, "snow sigma", 0)?;
+
+        let rho = self.densities;
+        let d = rho.water - rho.ice;
+        let hf = freeboard_m.max(0.0);
+        let s = snow_depth_m.clamp(0.0, hf);
+        let t = ((rho.water * hf + (rho.snow - rho.water) * s) / d).max(0.0);
+
+        let sq = |x: f64| x * x;
+        let budget = VarianceBudget {
+            freeboard: sq(rho.water / d * self.freeboard_sigma_m),
+            snow: sq((rho.snow - rho.water) / d * snow_sigma_m.max(0.0)),
+            rho_water: sq((hf - s - t) / d * self.density_sigmas.water),
+            rho_ice: sq(t / d * self.density_sigmas.ice),
+            rho_snow: sq(s / d * self.density_sigmas.snow),
+        };
+        Ok(ThicknessEstimate {
+            thickness_m: t,
+            sigma_m: budget.total().sqrt(),
+            budget,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seaice::thickness::{thickness_from_freeboard, SnowModel};
+
+    #[test]
+    fn matches_core_hydrostatic_conversion() {
+        let r = ThicknessRetrieval::default();
+        // No snow: the estimate equals the core SnowModel::None path.
+        let e = r.retrieve(0.3, 0.0, 0.0).unwrap();
+        let core = thickness_from_freeboard(0.3, SnowModel::None, r.densities);
+        assert_eq!(e.thickness_m.to_bits(), core.to_bits());
+        // Full-snow: equals the zero-ice-freeboard path.
+        let e = r.retrieve(0.3, 0.3, 0.02).unwrap();
+        let core = thickness_from_freeboard(0.3, SnowModel::ZeroIceFreeboard, r.densities);
+        assert_eq!(e.thickness_m.to_bits(), core.to_bits());
+    }
+
+    #[test]
+    fn budget_terms_sum_to_sigma_squared() {
+        let r = ThicknessRetrieval::default();
+        let e = r.retrieve(0.42, 0.18, 0.05).unwrap();
+        assert_eq!(e.sigma_m.to_bits(), e.budget.total().sqrt().to_bits());
+        assert!(e.sigma_m > 0.0);
+        for term in [
+            e.budget.freeboard,
+            e.budget.snow,
+            e.budget.rho_water,
+            e.budget.rho_ice,
+            e.budget.rho_snow,
+        ] {
+            assert!(term >= 0.0 && term.is_finite());
+        }
+    }
+
+    /// The hand-derived partials: against central finite differences of
+    /// the forward model (interior operating point, away from clamps).
+    #[test]
+    fn partials_match_finite_differences() {
+        let r = ThicknessRetrieval {
+            freeboard_sigma_m: 1.0, // unit σ ⇒ budget term = partial²
+            density_sigmas: DensitySigmas {
+                water: 1.0,
+                ice: 1.0,
+                snow: 1.0,
+            },
+            ..ThicknessRetrieval::default()
+        };
+        let (hf, s) = (0.5, 0.2);
+        let forward = |hf: f64, s: f64, rho: Densities| {
+            (rho.water * hf + (rho.snow - rho.water) * s) / (rho.water - rho.ice)
+        };
+        let rho = r.densities;
+        let h = 1e-6;
+        let e = r.retrieve(hf, s, 1.0).unwrap();
+        let checks = [
+            (
+                e.budget.freeboard,
+                (forward(hf + h, s, rho) - forward(hf - h, s, rho)) / (2.0 * h),
+            ),
+            (
+                e.budget.snow,
+                (forward(hf, s + h, rho) - forward(hf, s - h, rho)) / (2.0 * h),
+            ),
+            (e.budget.rho_water, {
+                let mut hi = rho;
+                hi.water += h;
+                let mut lo = rho;
+                lo.water -= h;
+                (forward(hf, s, hi) - forward(hf, s, lo)) / (2.0 * h)
+            }),
+            (e.budget.rho_ice, {
+                let mut hi = rho;
+                hi.ice += h;
+                let mut lo = rho;
+                lo.ice -= h;
+                (forward(hf, s, hi) - forward(hf, s, lo)) / (2.0 * h)
+            }),
+            (e.budget.rho_snow, {
+                let mut hi = rho;
+                hi.snow += h;
+                let mut lo = rho;
+                lo.snow -= h;
+                (forward(hf, s, hi) - forward(hf, s, lo)) / (2.0 * h)
+            }),
+        ];
+        for (i, (term, fd)) in checks.iter().enumerate() {
+            assert!(
+                (term.sqrt() - fd.abs()).abs() < 1e-4,
+                "partial {i}: analytic {} vs fd {}",
+                term.sqrt(),
+                fd.abs()
+            );
+        }
+    }
+
+    #[test]
+    fn snow_dominates_on_snow_loaded_ice() {
+        let r = ThicknessRetrieval::default();
+        let e = r.retrieve(0.4, 0.25, 0.08).unwrap();
+        assert_eq!(e.budget.dominant(), "snow");
+    }
+
+    #[test]
+    fn clamps_match_core_semantics() {
+        let r = ThicknessRetrieval::default();
+        // Negative freeboard → zero thickness, but σ still > 0.
+        let e = r.retrieve(-0.2, 0.1, 0.02).unwrap();
+        assert_eq!(e.thickness_m, 0.0);
+        assert!(e.sigma_m > 0.0);
+        // Snow clamps to the freeboard.
+        let a = r.retrieve(0.3, 5.0, 0.02).unwrap();
+        let b = r.retrieve(0.3, 0.3, 0.02).unwrap();
+        assert_eq!(a.thickness_m.to_bits(), b.thickness_m.to_bits());
+    }
+
+    #[test]
+    fn non_finite_inputs_are_typed_errors() {
+        let r = ThicknessRetrieval::default();
+        assert_eq!(
+            r.retrieve(f64::NAN, 0.1, 0.02),
+            Err(ProductError::NonFinite {
+                what: "freeboard",
+                index: 0
+            })
+        );
+        assert_eq!(
+            r.retrieve(0.3, f64::INFINITY, 0.02),
+            Err(ProductError::NonFinite {
+                what: "snow depth",
+                index: 0
+            })
+        );
+        assert!(r.retrieve(0.3, 0.1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn unphysical_configs_are_rejected() {
+        let mut r = ThicknessRetrieval::default();
+        r.densities.water = 900.0;
+        assert_eq!(
+            r.retrieve(0.3, 0.1, 0.02),
+            Err(ProductError::Unphysical("ice must float (rho_w > rho_i)"))
+        );
+        let r = ThicknessRetrieval {
+            freeboard_sigma_m: 0.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            r.retrieve(0.3, 0.1, 0.02),
+            Err(ProductError::Unphysical(_))
+        ));
+    }
+}

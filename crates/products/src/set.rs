@@ -1,0 +1,523 @@
+//! The `ProductSet` stage artifact and the fleet-side enrichment path.
+//!
+//! [`ProductSet`] extends [`SeaIceProducts`] (stage 4 of the staged
+//! pipeline) with per-sample thickness: the base artifact rides along
+//! unchanged, so every existing consumer of stage 4 keeps working, and
+//! thickness-aware consumers read the enriched [`ProductPoint`]s.
+//! [`enrich_fleet`] is the same derivation applied to the per-beam
+//! [`BeamProducts`] a [`seaice::fleet::FleetDriver`] run emits — the
+//! form `seaice-catalog` ingests.
+//!
+//! ## The thickness-bearing contract
+//!
+//! A [`ProductPoint`] *bears* thickness iff `thickness_sigma_m > 0`:
+//! every real retrieval carries a positive σ (the freeboard noise floor
+//! guarantees it), while open-water samples — where thickness is 0 by
+//! definition, not by measurement — carry `sigma = 0` and are excluded
+//! from thickness statistics. Catalog tile formats downstream encode
+//! "no thickness known" the same way.
+
+use icesat_atl03::Beam;
+use icesat_scene::SurfaceClass;
+use seaice::artifact::{Artifact, ArtifactError, Codec, Reader, Writer};
+use seaice::fleet::BeamProducts;
+use seaice::freeboard::FreeboardPoint;
+use seaice::stages::SeaIceProducts;
+
+use crate::retrieval::{DensitySigmas, ThicknessRetrieval};
+use crate::snow::SnowDepthModel;
+use crate::ProductError;
+
+/// One enriched sample: the freeboard observables plus the snow and
+/// thickness estimates derived from them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProductPoint {
+    /// Along-track position, metres.
+    pub along_track_m: f64,
+    /// Latitude, degrees.
+    pub lat: f64,
+    /// Longitude, degrees.
+    pub lon: f64,
+    /// Total (snow) freeboard, metres.
+    pub freeboard_m: f64,
+    /// Surface class of the segment.
+    pub class: SurfaceClass,
+    /// Estimated snow depth, metres (0 on open water).
+    pub snow_depth_m: f64,
+    /// 1-σ snow-depth uncertainty, metres.
+    pub snow_sigma_m: f64,
+    /// Retrieved ice thickness, metres (0 on open water).
+    pub thickness_m: f64,
+    /// 1-σ thickness uncertainty, metres. `> 0` iff the sample bears a
+    /// retrieved thickness (see the module docs).
+    pub thickness_sigma_m: f64,
+}
+
+impl ProductPoint {
+    /// Whether this sample bears a retrieved thickness.
+    pub fn bears_thickness(&self) -> bool {
+        self.thickness_sigma_m > 0.0
+    }
+}
+
+impl Codec for ProductPoint {
+    fn encode(&self, w: &mut Writer) {
+        self.along_track_m.encode(w);
+        self.lat.encode(w);
+        self.lon.encode(w);
+        self.freeboard_m.encode(w);
+        self.class.encode(w);
+        self.snow_depth_m.encode(w);
+        self.snow_sigma_m.encode(w);
+        self.thickness_m.encode(w);
+        self.thickness_sigma_m.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(ProductPoint {
+            along_track_m: Codec::decode(r)?,
+            lat: Codec::decode(r)?,
+            lon: Codec::decode(r)?,
+            freeboard_m: Codec::decode(r)?,
+            class: Codec::decode(r)?,
+            snow_depth_m: Codec::decode(r)?,
+            snow_sigma_m: Codec::decode(r)?,
+            thickness_m: Codec::decode(r)?,
+            thickness_sigma_m: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for DensitySigmas {
+    fn encode(&self, w: &mut Writer) {
+        self.water.encode(w);
+        self.ice.encode(w);
+        self.snow.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(DensitySigmas {
+            water: Codec::decode(r)?,
+            ice: Codec::decode(r)?,
+            snow: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for ThicknessRetrieval {
+    fn encode(&self, w: &mut Writer) {
+        self.densities.encode(w);
+        self.density_sigmas.encode(w);
+        self.freeboard_sigma_m.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(ThicknessRetrieval {
+            densities: Codec::decode(r)?,
+            density_sigmas: Codec::decode(r)?,
+            freeboard_sigma_m: Codec::decode(r)?,
+        })
+    }
+}
+
+/// Stage-5 artifact: [`SeaIceProducts`] plus the thickness product
+/// family derived from it. Tagged `SIC5`, following the staged pipeline
+/// artifact lineage `SIC1`–`SIC4`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductSet {
+    /// The unchanged stage-4 products this set derives from.
+    pub base: SeaIceProducts,
+    /// Name of the snow model used ([`SnowDepthModel::name`]).
+    pub snow_model: String,
+    /// Calendar month (1–12) the snow model was evaluated at.
+    pub month: u8,
+    /// The retrieval configuration (densities, σs, noise floor).
+    pub retrieval: ThicknessRetrieval,
+    /// Enriched samples, one per stage-4 freeboard sample, same order.
+    pub points: Vec<ProductPoint>,
+}
+
+impl Codec for ProductSet {
+    fn encode(&self, w: &mut Writer) {
+        self.base.encode(w);
+        self.snow_model.encode(w);
+        self.month.encode(w);
+        self.retrieval.encode(w);
+        self.points.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(ProductSet {
+            base: Codec::decode(r)?,
+            snow_model: Codec::decode(r)?,
+            month: Codec::decode(r)?,
+            retrieval: Codec::decode(r)?,
+            points: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Artifact for ProductSet {
+    const TAG: [u8; 4] = *b"SIC5";
+    const VERSION: u16 = 1;
+}
+
+impl ProductSet {
+    /// Derives the thickness product family from stage-4 products: one
+    /// [`ProductPoint`] per freeboard sample, in order. Ice samples get
+    /// a snow estimate from `snow` and a `(thickness, sigma)` from
+    /// `retrieval`; open-water samples carry zeros with `sigma = 0`
+    /// (not thickness-bearing). Non-finite freeboard, coordinates, or
+    /// model output reject the whole derivation with the offending
+    /// sample's index — this is the `ProductSet` validation boundary.
+    pub fn derive(
+        base: &SeaIceProducts,
+        month: u8,
+        snow: &dyn SnowDepthModel,
+        retrieval: &ThicknessRetrieval,
+    ) -> Result<ProductSet, ProductError> {
+        retrieval.validate()?;
+        let points = enrich_points(&base.freeboard_atl03.points, month, snow, retrieval)?;
+        Ok(ProductSet {
+            base: base.clone(),
+            snow_model: snow.name().to_string(),
+            month,
+            retrieval: *retrieval,
+            points,
+        })
+    }
+
+    /// Number of thickness-bearing samples.
+    pub fn n_bearing(&self) -> usize {
+        self.points.iter().filter(|p| p.bears_thickness()).count()
+    }
+
+    /// `(mean, median, p95)` thickness over bearing samples, per the
+    /// shared [`seaice::stats::summary_stats`] contract.
+    pub fn thickness_stats(&self) -> (f64, f64, f64) {
+        let v: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.bears_thickness())
+            .map(|p| p.thickness_m)
+            .collect();
+        seaice::stats::summary_stats(&v)
+    }
+}
+
+/// One beam's enriched product — [`BeamProducts`] after thickness
+/// derivation, the unit `seaice-catalog` ingests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeamThickness {
+    /// Granule id the beam came from (leading `YYYYMM` selects the
+    /// catalog's temporal layer).
+    pub granule_id: String,
+    /// Which beam.
+    pub beam: Beam,
+    /// Name of the snow model used.
+    pub snow_model: String,
+    /// Enriched samples, one per freeboard sample, same order.
+    pub points: Vec<ProductPoint>,
+}
+
+/// Enriches every beam of a fleet run: the calendar month comes from
+/// each granule id's `YYYYMM` prefix, then each beam derives exactly as
+/// [`ProductSet::derive`] does. Fails on the first malformed granule id
+/// ([`ProductError::BadGranule`]) or non-finite sample.
+pub fn enrich_fleet(
+    beams: &[BeamProducts],
+    snow: &dyn SnowDepthModel,
+    retrieval: &ThicknessRetrieval,
+) -> Result<Vec<BeamThickness>, ProductError> {
+    retrieval.validate()?;
+    beams
+        .iter()
+        .map(|b| {
+            let month = granule_month(&b.granule_id)?;
+            Ok(BeamThickness {
+                granule_id: b.granule_id.clone(),
+                beam: b.beam,
+                snow_model: snow.name().to_string(),
+                points: enrich_points(&b.freeboard.points, month, snow, retrieval)?,
+            })
+        })
+        .collect()
+}
+
+/// Calendar month from an ATL03-style granule id's `YYYYMM` prefix.
+fn granule_month(granule_id: &str) -> Result<u8, ProductError> {
+    let bad = || ProductError::BadGranule(granule_id.to_string());
+    let prefix = granule_id.get(..6).ok_or_else(bad)?;
+    if !prefix.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(bad());
+    }
+    let month: u8 = prefix[4..6].parse().map_err(|_| bad())?;
+    if (1..=12).contains(&month) {
+        Ok(month)
+    } else {
+        Err(bad())
+    }
+}
+
+fn enrich_points(
+    points: &[FreeboardPoint],
+    month: u8,
+    snow: &dyn SnowDepthModel,
+    retrieval: &ThicknessRetrieval,
+) -> Result<Vec<ProductPoint>, ProductError> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(index, p)| {
+            crate::finite(p.freeboard_m, "freeboard", index)?;
+            crate::finite(p.lat, "latitude", index)?;
+            crate::finite(p.lon, "longitude", index)?;
+            if p.class == SurfaceClass::OpenWater {
+                return Ok(ProductPoint {
+                    along_track_m: p.along_track_m,
+                    lat: p.lat,
+                    lon: p.lon,
+                    freeboard_m: p.freeboard_m,
+                    class: p.class,
+                    snow_depth_m: 0.0,
+                    snow_sigma_m: 0.0,
+                    thickness_m: 0.0,
+                    thickness_sigma_m: 0.0,
+                });
+            }
+            let (s, s_sigma) = snow.snow_depth(p.lat, p.lon, month, p.freeboard_m);
+            crate::finite(s, "snow depth", index)?;
+            crate::finite(s_sigma, "snow sigma", index)?;
+            let est = retrieval
+                .retrieve(p.freeboard_m, s, s_sigma)
+                .map_err(|e| match e {
+                    ProductError::NonFinite { what, .. } => ProductError::NonFinite { what, index },
+                    other => other,
+                })?;
+            Ok(ProductPoint {
+                along_track_m: p.along_track_m,
+                lat: p.lat,
+                lon: p.lon,
+                freeboard_m: p.freeboard_m,
+                class: p.class,
+                snow_depth_m: s.clamp(0.0, p.freeboard_m.max(0.0)),
+                snow_sigma_m: s_sigma,
+                thickness_m: est.thickness_m,
+                thickness_sigma_m: est.sigma_m,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snow::{ClimatologySnow, ReanalysisSnow};
+    use seaice::atl07::Atl10Freeboard;
+    use seaice::freeboard::FreeboardProduct;
+    use seaice::seasurface::{SeaSurface, SeaSurfaceMethod};
+
+    fn sample_points() -> Vec<FreeboardPoint> {
+        (0..40)
+            .map(|i| FreeboardPoint {
+                along_track_m: i as f64 * 2.0,
+                lat: -74.0 - 0.001 * i as f64,
+                lon: -170.0,
+                freeboard_m: if i % 7 == 0 {
+                    0.01
+                } else {
+                    0.25 + 0.01 * (i % 5) as f64
+                },
+                class: if i % 7 == 0 {
+                    SurfaceClass::OpenWater
+                } else {
+                    SurfaceClass::ThickIce
+                },
+            })
+            .collect()
+    }
+
+    fn stage4(points: Vec<FreeboardPoint>) -> SeaIceProducts {
+        let empty = FreeboardProduct {
+            name: "empty".into(),
+            points: vec![],
+        };
+        SeaIceProducts {
+            classes: vec![],
+            classification_accuracy_vs_truth: 0.0,
+            sea_surfaces: vec![],
+            freeboard_atl03: FreeboardProduct {
+                name: "ATL03 2m".into(),
+                points,
+            },
+            atl07_classes: vec![],
+            atl10: Atl10Freeboard {
+                segments: vec![],
+                classes: vec![],
+                surface: SeaSurface {
+                    method: SeaSurfaceMethod::NasaEquation,
+                    centers_m: vec![],
+                    href_m: vec![],
+                    from_water: vec![],
+                },
+                product: empty,
+            },
+            surface_gap_m: 0.0,
+        }
+    }
+
+    #[test]
+    fn derive_bears_thickness_on_ice_and_zeros_water() {
+        let base = stage4(sample_points());
+        let set = ProductSet::derive(
+            &base,
+            10,
+            &ClimatologySnow::antarctic(),
+            &ThicknessRetrieval::default(),
+        )
+        .unwrap();
+        assert_eq!(set.points.len(), base.freeboard_atl03.points.len());
+        for p in &set.points {
+            if p.class == SurfaceClass::OpenWater {
+                assert!(!p.bears_thickness());
+                assert_eq!(p.thickness_m, 0.0);
+                assert_eq!(p.snow_depth_m, 0.0);
+            } else {
+                assert!(p.bears_thickness());
+                assert!(p.thickness_m > 0.0);
+                assert!(p.snow_depth_m <= p.freeboard_m);
+            }
+        }
+        assert!(set.n_bearing() > 0 && set.n_bearing() < set.points.len());
+        let (mean, median, p95) = set.thickness_stats();
+        assert!(mean > 0.0 && median > 0.0 && p95 >= median);
+        // The base rides along unchanged.
+        assert_eq!(set.base, base);
+    }
+
+    #[test]
+    fn artifact_roundtrips_bit_identically() {
+        let set = ProductSet::derive(
+            &stage4(sample_points()),
+            7,
+            &ReanalysisSnow::ross_sea_prior(),
+            &ThicknessRetrieval::default(),
+        )
+        .unwrap();
+        let bytes = set.to_bytes();
+        let back = ProductSet::from_bytes(&bytes).unwrap();
+        assert_eq!(back, set);
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.snow_model, "reanalysis-downscaled");
+    }
+
+    /// Satellite regression: a poisoned (NaN) freeboard sample must be
+    /// rejected at the boundary with its index, not averaged into
+    /// aggregates.
+    #[test]
+    fn poisoned_sample_is_rejected_with_index() {
+        let mut points = sample_points();
+        points[13].freeboard_m = f64::NAN;
+        let err = ProductSet::derive(
+            &stage4(points),
+            10,
+            &ClimatologySnow::antarctic(),
+            &ThicknessRetrieval::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ProductError::NonFinite {
+                what: "freeboard",
+                index: 13
+            }
+        );
+        let mut points = sample_points();
+        points[2].lat = f64::INFINITY;
+        let err = ProductSet::derive(
+            &stage4(points),
+            10,
+            &ClimatologySnow::antarctic(),
+            &ThicknessRetrieval::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ProductError::NonFinite {
+                what: "latitude",
+                index: 2
+            }
+        );
+    }
+
+    /// A snow model that emits NaN is caught at the same boundary.
+    #[test]
+    fn poisoned_snow_model_is_rejected() {
+        struct BadSnow;
+        impl SnowDepthModel for BadSnow {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn snow_depth(&self, _: f64, _: f64, _: u8, _: f64) -> (f64, f64) {
+                (f64::NAN, 0.02)
+            }
+        }
+        let err = ProductSet::derive(
+            &stage4(sample_points()),
+            10,
+            &BadSnow,
+            &ThicknessRetrieval::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ProductError::NonFinite {
+                what: "snow depth",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fleet_enrichment_parses_months_and_rejects_bad_granules() {
+        let beam = BeamProducts {
+            granule_id: "20190704195311_0500021a".into(),
+            beam: Beam::Gt1l,
+            n_segments: 40,
+            class_counts: [34, 0, 6],
+            freeboard: FreeboardProduct {
+                name: "ATL03 2m".into(),
+                points: sample_points(),
+            },
+        };
+        let out = enrich_fleet(
+            std::slice::from_ref(&beam),
+            &ClimatologySnow::antarctic(),
+            &ThicknessRetrieval::default(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].granule_id, beam.granule_id);
+        assert_eq!(out[0].beam, Beam::Gt1l);
+        assert!(out[0].points.iter().any(|p| p.bears_thickness()));
+        // July enrichment must match a direct ProductSet derivation.
+        let set = ProductSet::derive(
+            &stage4(sample_points()),
+            7,
+            &ClimatologySnow::antarctic(),
+            &ThicknessRetrieval::default(),
+        )
+        .unwrap();
+        assert_eq!(out[0].points, set.points);
+
+        for bad in ["x", "2019a704195311", "20191304195311_x"] {
+            let mut b = beam.clone();
+            b.granule_id = bad.into();
+            assert_eq!(
+                enrich_fleet(
+                    &[b],
+                    &ClimatologySnow::antarctic(),
+                    &ThicknessRetrieval::default()
+                )
+                .unwrap_err(),
+                ProductError::BadGranule(bad.to_string())
+            );
+        }
+    }
+}

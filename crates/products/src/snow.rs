@@ -1,0 +1,277 @@
+//! Snow-depth models: the un-observable half of the hydrostatic
+//! equation.
+//!
+//! ICESat-2 measures *total* (snow-surface) freeboard; the snow depth
+//! riding on the ice must come from elsewhere. The two standard sources
+//! are a climatology (coarse, season/latitude-driven) and a reanalysis
+//! downscaled with the altimetry itself (Liu et al., *Retrieving snow
+//! depth distribution by downscaling ERA5 Reanalysis with ICESat-2 laser
+//! altimetry*). Both are deterministic pure functions here — a model is
+//! queried per sample and must give the same answer for the same inputs,
+//! because catalog equivalence tests compare served answers bit-for-bit.
+
+/// A snow-depth estimate source.
+///
+/// Implementations must be deterministic pure functions of the
+/// arguments: the catalog's served-equivalence battery re-derives
+/// products and compares `f64::to_bits`.
+pub trait SnowDepthModel {
+    /// Short model name recorded in [`crate::ProductSet`] provenance.
+    fn name(&self) -> &str;
+
+    /// Snow depth and its 1-σ uncertainty, metres, for a sample at
+    /// (`lat`, `lon`) degrees in calendar `month` (1–12) with measured
+    /// total freeboard `freeboard_m`. Callers clamp the returned depth
+    /// into `[0, freeboard]` before retrieval; models need not.
+    fn snow_depth(&self, lat: f64, lon: f64, month: u8, freeboard_m: f64) -> (f64, f64);
+}
+
+/// Southern-hemisphere seasonal accumulation factor in `[0, 1]`:
+/// cosine-peaked in October (late austral winter, deepest pack) and
+/// smallest in April.
+fn austral_season(month: u8) -> f64 {
+    let phase = (f64::from(month) - 10.0) / 12.0 * std::f64::consts::TAU;
+    0.65 + 0.35 * phase.cos()
+}
+
+/// Latitude/season climatology: snow deepens toward the pole and toward
+/// late austral winter. The closed form is
+///
+/// ```text
+/// depth(lat, month) = max_depth · clamp((−lat − 60)/30, 0, 1)
+///                               · (0.65 + 0.35·cos(2π(month − 10)/12))
+/// ```
+///
+/// independent of the freeboard (that is what makes it a climatology).
+/// The 1-σ uncertainty is `rel_sigma · depth`, floored at `min_sigma_m`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClimatologySnow {
+    /// Peak (polar, late-winter) snow depth, metres.
+    pub max_depth_m: f64,
+    /// Relative 1-σ uncertainty of the climatological depth.
+    pub rel_sigma: f64,
+    /// Floor on the absolute 1-σ, metres.
+    pub min_sigma_m: f64,
+}
+
+impl ClimatologySnow {
+    /// The Antarctic defaults used by the experiments: 0.35 m peak
+    /// depth, 30 % relative uncertainty, 0.02 m floor.
+    pub fn antarctic() -> Self {
+        ClimatologySnow {
+            max_depth_m: 0.35,
+            rel_sigma: 0.30,
+            min_sigma_m: 0.02,
+        }
+    }
+}
+
+impl SnowDepthModel for ClimatologySnow {
+    fn name(&self) -> &str {
+        "climatology"
+    }
+
+    fn snow_depth(&self, lat: f64, _lon: f64, month: u8, _freeboard_m: f64) -> (f64, f64) {
+        let lat_factor = ((-lat - 60.0) / 30.0).clamp(0.0, 1.0);
+        let depth = self.max_depth_m * lat_factor * austral_season(month);
+        (depth, (depth * self.rel_sigma).max(self.min_sigma_m))
+    }
+}
+
+/// A coarse gridded snow-depth prior (the "reanalysis" field): regular
+/// lat/lon grid, row-major `[ilat · nlon + ilon]`, bilinearly
+/// interpolated with edge clamping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnowPrior {
+    /// Latitude of grid row 0, degrees.
+    pub lat0: f64,
+    /// Longitude of grid column 0, degrees.
+    pub lon0: f64,
+    /// Latitude step, degrees (may be negative for south-up grids).
+    pub dlat: f64,
+    /// Longitude step, degrees.
+    pub dlon: f64,
+    /// Grid rows.
+    pub nlat: usize,
+    /// Grid columns.
+    pub nlon: usize,
+    /// Prior snow depth per node, metres.
+    pub depth_m: Vec<f64>,
+    /// Prior 1-σ per node, metres.
+    pub sigma_m: Vec<f64>,
+}
+
+impl SnowPrior {
+    /// Bilinear sample of `(depth, sigma)` at (`lat`, `lon`), clamping
+    /// to the grid edges outside the domain.
+    pub fn sample(&self, lat: f64, lon: f64) -> (f64, f64) {
+        let fi = ((lat - self.lat0) / self.dlat).clamp(0.0, (self.nlat - 1) as f64);
+        let fj = ((lon - self.lon0) / self.dlon).clamp(0.0, (self.nlon - 1) as f64);
+        let i0 = (fi.floor() as usize).min(self.nlat - 1);
+        let j0 = (fj.floor() as usize).min(self.nlon - 1);
+        let i1 = (i0 + 1).min(self.nlat - 1);
+        let j1 = (j0 + 1).min(self.nlon - 1);
+        let wi = fi - i0 as f64;
+        let wj = fj - j0 as f64;
+        let at = |v: &[f64], i: usize, j: usize| v[i * self.nlon + j];
+        let blend = |v: &[f64]| {
+            (1.0 - wi) * ((1.0 - wj) * at(v, i0, j0) + wj * at(v, i0, j1))
+                + wi * ((1.0 - wj) * at(v, i1, j0) + wj * at(v, i1, j1))
+        };
+        (blend(&self.depth_m), blend(&self.sigma_m))
+    }
+}
+
+/// Downscaled-reanalysis-style model: a coarse [`SnowPrior`] sets the
+/// regional mean, and the per-sample freeboard modulates the fine-scale
+/// distribution (deeper snow collects on higher-freeboard ice — the
+/// correlation Liu et al. exploit to downscale ERA5 with ICESat-2):
+///
+/// ```text
+/// w     = hf / (hf + modulation_scale)            ∈ [0, 1)
+/// depth = prior(lat, lon) · season(month) · (0.5 + w)
+/// σ²    = σ_prior² + (0.1·depth)²
+/// ```
+///
+/// so a sample at the modulation scale carries the prior depth exactly,
+/// low-freeboard ice carries down to half of it, and high-freeboard ice
+/// up to 1.5×.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReanalysisSnow {
+    /// The coarse gridded prior.
+    pub prior: SnowPrior,
+    /// Freeboard at which the downscaling weight reaches ½, metres.
+    pub modulation_scale_m: f64,
+}
+
+impl ReanalysisSnow {
+    /// A deterministic synthetic Ross Sea prior: 16×16 nodes over
+    /// 79°S–69°S × 180°W–160°W, depth a smooth 0.18–0.34 m field that
+    /// deepens poleward with a gentle zonal ripple, σ 0.04–0.07 m.
+    pub fn ross_sea_prior() -> Self {
+        let (nlat, nlon) = (16usize, 16usize);
+        let (lat0, lon0) = (-79.0, -180.0);
+        let (dlat, dlon) = (10.0 / (nlat - 1) as f64, 20.0 / (nlon - 1) as f64);
+        let mut depth_m = Vec::with_capacity(nlat * nlon);
+        let mut sigma_m = Vec::with_capacity(nlat * nlon);
+        for i in 0..nlat {
+            for j in 0..nlon {
+                let lat = lat0 + dlat * i as f64;
+                let lon = lon0 + dlon * j as f64;
+                let poleward = ((-lat - 69.0) / 10.0).clamp(0.0, 1.0);
+                let ripple = (lon.to_radians() * 3.0).sin();
+                let depth = 0.18 + 0.16 * poleward + 0.02 * ripple * poleward;
+                depth_m.push(depth);
+                sigma_m.push(0.04 + 0.03 * poleward);
+            }
+        }
+        ReanalysisSnow {
+            prior: SnowPrior {
+                lat0,
+                lon0,
+                dlat,
+                dlon,
+                nlat,
+                nlon,
+                depth_m,
+                sigma_m,
+            },
+            modulation_scale_m: 0.3,
+        }
+    }
+}
+
+impl SnowDepthModel for ReanalysisSnow {
+    fn name(&self) -> &str {
+        "reanalysis-downscaled"
+    }
+
+    fn snow_depth(&self, lat: f64, lon: f64, month: u8, freeboard_m: f64) -> (f64, f64) {
+        let (d0, s0) = self.prior.sample(lat, lon);
+        let hf = freeboard_m.max(0.0);
+        let w = hf / (hf + self.modulation_scale_m);
+        let depth = d0 * austral_season(month) * (0.5 + w);
+        (depth, (s0 * s0 + (0.1 * depth) * (0.1 * depth)).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn climatology_deepens_poleward_and_in_winter() {
+        let c = ClimatologySnow::antarctic();
+        let (coastal, _) = c.snow_depth(-78.0, -170.0, 10, 0.3);
+        let (marginal, _) = c.snow_depth(-65.0, -170.0, 10, 0.3);
+        assert!(coastal > marginal, "{coastal} vs {marginal}");
+        let (winter, _) = c.snow_depth(-78.0, -170.0, 10, 0.3);
+        let (autumn, _) = c.snow_depth(-78.0, -170.0, 4, 0.3);
+        assert!(winter > autumn, "{winter} vs {autumn}");
+        // Freeboard-independent by construction.
+        assert_eq!(
+            c.snow_depth(-78.0, -170.0, 10, 0.1),
+            c.snow_depth(-78.0, -170.0, 10, 0.9)
+        );
+    }
+
+    #[test]
+    fn climatology_sigma_floors() {
+        let c = ClimatologySnow::antarctic();
+        let (d, s) = c.snow_depth(-60.0, -170.0, 4, 0.3);
+        assert_eq!(d, 0.0);
+        assert_eq!(s, c.min_sigma_m);
+    }
+
+    #[test]
+    fn prior_bilinear_interpolates_and_clamps() {
+        let prior = SnowPrior {
+            lat0: -80.0,
+            lon0: -180.0,
+            dlat: 1.0,
+            dlon: 1.0,
+            nlat: 2,
+            nlon: 2,
+            depth_m: vec![0.1, 0.2, 0.3, 0.4],
+            sigma_m: vec![0.01, 0.01, 0.01, 0.01],
+        };
+        // Node hits are exact.
+        assert_eq!(prior.sample(-80.0, -180.0).0, 0.1);
+        assert_eq!(prior.sample(-79.0, -179.0).0, 0.4);
+        // Midpoint blends all four.
+        let (mid, _) = prior.sample(-79.5, -179.5);
+        assert!((mid - 0.25).abs() < 1e-12, "mid = {mid}");
+        // Far outside the domain clamps to the nearest edge.
+        assert_eq!(prior.sample(-89.0, -200.0).0, 0.1);
+        assert_eq!(prior.sample(-10.0, 40.0).0, 0.4);
+    }
+
+    #[test]
+    fn reanalysis_modulates_with_freeboard() {
+        let m = ReanalysisSnow::ross_sea_prior();
+        let (low, _) = m.snow_depth(-75.0, -170.0, 10, 0.05);
+        let (mid, _) = m.snow_depth(-75.0, -170.0, 10, 0.3);
+        let (high, _) = m.snow_depth(-75.0, -170.0, 10, 1.2);
+        assert!(low < mid && mid < high, "{low} {mid} {high}");
+        // At the modulation scale the weight is exactly ½ → prior ×
+        // season.
+        let (d0, _) = m.prior.sample(-75.0, -170.0);
+        assert!((mid - d0 * austral_season(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn models_are_deterministic() {
+        let c = ClimatologySnow::antarctic();
+        let r = ReanalysisSnow::ross_sea_prior();
+        for _ in 0..3 {
+            assert_eq!(
+                c.snow_depth(-74.2, -171.3, 7, 0.42),
+                c.snow_depth(-74.2, -171.3, 7, 0.42)
+            );
+            assert_eq!(
+                r.snow_depth(-74.2, -171.3, 7, 0.42),
+                r.snow_depth(-74.2, -171.3, 7, 0.42)
+            );
+        }
+    }
+}

@@ -24,11 +24,16 @@
 //! - [`seaice`] — the paper's pipeline: auto-labeling, classification,
 //!   local sea surface detection, and freeboard retrieval, plus the
 //!   ATL07/ATL10 baseline emulation.
+//! - [`products`] — the thickness / snow / uncertainty product family:
+//!   pluggable snow-depth models (climatology, downscaled reanalysis),
+//!   hydrostatic thickness retrieval with a per-term variance budget,
+//!   and the stage-5 `ProductSet` artifact.
 //! - [`catalog`] — the serve path: a tiled polar-stereographic store of
-//!   fleet products with a concurrent spatial/temporal query engine, a
-//!   TCP serving front-end + quadkey-prefix shard router (bit-identical
-//!   remote queries; wire spec in `docs/PROTOCOL.md`), and a
-//!   cross-process writer-lease protocol.
+//!   fleet products (freeboard and thickness) with a concurrent
+//!   spatial/temporal query engine, a TCP serving front-end +
+//!   quadkey-prefix shard router (bit-identical remote queries; wire
+//!   spec in `docs/PROTOCOL.md`), and a cross-process writer-lease
+//!   protocol.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the experiment
 //! index.
@@ -41,4 +46,5 @@ pub use icesat_sentinel2 as sentinel2;
 pub use neurite;
 pub use seaice;
 pub use seaice_catalog as catalog;
+pub use seaice_products as products;
 pub use sparklite;

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures, and the perf trajectory.
 //!
 //! ```text
-//! reproduce [all|table1..table5|fig2|fig4|fig6|fig8|fig10|ablation|catalog|compact|serve|thickness|bench] \
+//! reproduce [all|table1..table5|fig2|fig4|fig6|fig8|fig10|ablation|catalog|compact|serve|chaos|thickness|bench] \
 //!           [--quick] [--bench-json FILE]
 //! ```
 //!
@@ -12,7 +12,9 @@
 //! trajectory future PRs compare against.
 
 use seaice_bench::common::Scale;
-use seaice_bench::{catalog, compact, figures, perf, serve, tables, thickness, ExperimentOutput};
+use seaice_bench::{
+    catalog, chaos, compact, figures, perf, serve, tables, thickness, ExperimentOutput,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +64,7 @@ fn main() {
         ("catalog", catalog::catalog),
         ("compact", compact::compact),
         ("serve", serve::serve),
+        ("chaos", chaos::chaos),
         ("thickness", thickness::thickness),
         ("bench", perf::bench),
     ];
@@ -97,7 +100,7 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "unknown experiment '{}'. Options: all table1..table5 fig2 fig4 fig6 fig8 fig10 ablation catalog compact serve thickness bench",
+            "unknown experiment '{}'. Options: all table1..table5 fig2 fig4 fig6 fig8 fig10 ablation catalog compact serve chaos thickness bench",
             targets.join(" ")
         );
         std::process::exit(2);

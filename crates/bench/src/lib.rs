@@ -12,6 +12,7 @@
 //! experiments are compute-bound).
 
 pub mod catalog;
+pub mod chaos;
 pub mod common;
 pub mod compact;
 pub mod figures;

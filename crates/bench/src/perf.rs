@@ -29,6 +29,12 @@
 //!   front-end's scaling curve: `T` concurrent reader connections
 //!   against a server whose tile cache holds `C` tiles (throughput and
 //!   mean request latency);
+//! - `serve_clean_q_per_s` / `serve_resilient_q_per_s` /
+//!   `chaos_retry_overhead_pct` / `degraded_query_per_s` /
+//!   `chaos_recovery_ms` — the resilience numbers ([`crate::chaos`]):
+//!   deadline+retry overhead on the healthy path, completed throughput
+//!   under a seeded fault plan, and outage-to-first-answer recovery
+//!   latency of the replicated router;
 //! - `staged_e2e_s` — one full staged pipeline run, seconds (lower is
 //!   better; every other metric is a rate).
 //!
@@ -319,6 +325,13 @@ pub fn bench(scale: Scale) -> ExperimentOutput {
         );
     }
     let _ = std::fs::remove_dir_all(&cat_dir);
+
+    // --- Serving resilience -------------------------------------------
+    // Deadline/retry overhead, throughput under seeded faults, and
+    // replicated-router recovery latency (see `crate::chaos`).
+    for (name, v) in crate::chaos::metrics_of(&crate::chaos::measure(scale)) {
+        metrics.push((name, v));
+    }
 
     // --- End-to-end staged run ----------------------------------------
     let e2e_cfg = match scale {

@@ -10,17 +10,164 @@
 //! fold* a local query uses — so the routed answer is bit-identical to
 //! running the query on a single in-process catalog holding all the
 //! data (pinned by `tests/served_equivalence.rs`).
+//!
+//! Both layers degrade gracefully instead of hanging (pinned by
+//! `tests/chaos.rs`):
+//!
+//! - [`ClientConfig`] gives every request a wall-clock deadline
+//!   (surfacing as a typed [`CatalogError::Timeout`]) and a
+//!   [`RetryPolicy`] — bounded attempts with exponential backoff and
+//!   seeded jitter. Every RPC in the protocol is read-only, so a retry
+//!   can never double-apply anything; the client transparently
+//!   reconnects and re-runs the request on transport-class failures.
+//! - [`ShardRouter`] accepts **replica groups** per scope
+//!   ([`ReplicaSpec`]) and fails over within a group. A per-replica
+//!   circuit breaker trips after consecutive transport failures
+//!   (`Open`), stops sending traffic there, and recovers through
+//!   half-open probes — either lazily after a cooldown or eagerly via a
+//!   background [`crate::wire::Request::Ping`] prober thread
+//!   ([`RouterConfig::probe_interval`]). When *no* replica for an owned
+//!   scope is reachable, routed queries return a typed [`Routed`] value
+//!   naming the missing scopes; the strict methods turn the same
+//!   situation into [`CatalogError::Degraded`].
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use icesat_geo::{BoundingBox, GeoPoint, EPSG_3976};
 use seaice::freeboard::{FreeboardPoint, FreeboardProduct};
 
+use crate::fault::splitmix64;
 use crate::grid::{GridConfig, MapRect, TileScope, TimeKey, TimeRange};
+use crate::server::ServerStats;
 use crate::store::{CatalogStats, CellSummary, QuerySummary, TilePartial};
 use crate::wire::{self, Request, Response};
 use crate::CatalogError;
+
+/// Socket read-timeout tick: how often a blocked read wakes to check
+/// the request deadline. Purely a polling granularity — data that
+/// arrives sooner is returned immediately.
+const READ_TICK: Duration = Duration::from_millis(25);
+
+// ---------------------------------------------------------------------------
+// Resilience configuration.
+// ---------------------------------------------------------------------------
+
+/// Bounded-retry schedule: exponential backoff with seeded jitter.
+///
+/// Retrying is *always* safe against a catalog server — every RPC is
+/// read-only — so the only judgement in this policy is how long to keep
+/// trying. The jitter is seeded (not wall-clock random) so a fault
+/// schedule replays identically under the chaos harness.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (`>= 1`).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the ±25% jitter applied to each backoff.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, fail on the first transport error (the
+    /// default — identical to the pre-resilience client).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// `max_attempts` total attempts with a 10 ms → 200 ms backoff
+    /// ramp.
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            jitter_seed: 0x5eed_cafe,
+        }
+    }
+
+    /// The backoff to sleep before attempt number `attempt` (1-based
+    /// retry ordinal: attempt 0 is the first try and never sleeps).
+    /// Exponential in the ordinal, capped, with deterministic ±25%
+    /// jitter drawn from the seed and the ordinal.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if attempt == 0 || self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.max_backoff);
+        let mut state = self
+            .jitter_seed
+            .wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let r = splitmix64(&mut state);
+        // Jitter factor in [0.75, 1.25): full-throughput retries from
+        // many clients must not re-collide on the same tick.
+        let factor = 0.75 + (r % 1000) as f64 / 2000.0;
+        Duration::from_secs_f64(exp.as_secs_f64() * factor)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+/// Connection and per-request resilience settings for a
+/// [`CatalogClient`].
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    /// TCP connect timeout; `None` uses the OS default (which can be
+    /// minutes — set this when talking to possibly-dead hosts).
+    pub connect_timeout: Option<Duration>,
+    /// Wall-clock deadline for one request attempt (send + full
+    /// response stream). Expiry tears the connection down and surfaces
+    /// as [`CatalogError::Timeout`] (possibly wrapped in
+    /// [`CatalogError::RetriesExhausted`]). `None` waits forever.
+    pub request_deadline: Option<Duration>,
+    /// Retry schedule for transport-class failures.
+    pub retry: RetryPolicy,
+}
+
+impl ClientConfig {
+    /// A production-shaped preset: 1 s connect timeout, 2 s request
+    /// deadline, 3 attempts.
+    pub fn resilient() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(1)),
+            request_deadline: Some(Duration::from_secs(2)),
+            retry: RetryPolicy::attempts(3),
+        }
+    }
+}
+
+/// A request deadline in flight: the expiry instant plus the configured
+/// budget (kept so the typed error can name it).
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    at: Option<Instant>,
+    budget: Duration,
+}
+
+impl Deadline {
+    fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+}
 
 /// A client connection to one catalog server.
 ///
@@ -48,73 +195,250 @@ use crate::CatalogError;
 /// # let _ = std::fs::remove_dir_all(&dir);
 /// ```
 pub struct CatalogClient {
-    stream: TcpStream,
-    grid: GridConfig,
+    addr: String,
+    /// `None` between a transport failure and the next attempt's
+    /// reconnect.
+    stream: Option<TcpStream>,
+    /// `None` only before the first successful handshake.
+    grid: Option<GridConfig>,
+    config: ClientConfig,
 }
 
 impl CatalogClient {
-    /// Connects and performs the manifest handshake.
+    /// Connects with default (non-resilient) configuration and performs
+    /// the manifest handshake.
     pub fn connect(addr: &str) -> Result<CatalogClient, CatalogError> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// [`CatalogClient::connect`] with explicit resilience settings;
+    /// the initial connect + handshake runs under the same retry policy
+    /// as requests.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> Result<CatalogClient, CatalogError> {
         let mut client = CatalogClient {
-            stream,
-            // Placeholder until the handshake answers.
-            grid: GridConfig::around(icesat_geo::MapPoint::new(0.0, 0.0), 1.0),
+            addr: addr.to_string(),
+            stream: None,
+            grid: None,
+            config,
         };
-        match client.exchange_scalar(&Request::Manifest)? {
-            Response::Manifest(grid) => client.grid = grid,
-            other => return Err(unexpected(&other)),
-        }
+        // Forces connect + handshake under the retry policy.
+        client.with_retry(|_, _| Ok(()))?;
         Ok(client)
     }
 
     /// The served catalog's grid (from the connect-time handshake).
     pub fn grid(&self) -> &GridConfig {
-        &self.grid
+        self.grid
+            .as_ref()
+            .expect("a constructed client has completed the manifest handshake")
+    }
+
+    /// Health probe: the server's serving counters, via
+    /// [`Request::Ping`].
+    pub fn ping(&mut self) -> Result<ServerStats, CatalogError> {
+        match self.exchange_scalar(&Request::Ping)? {
+            Response::Pong(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    // -- Resilient transport ---------------------------------------------
+
+    /// True for failures where the exchange may not have completed and
+    /// the connection can't be trusted: worth a reconnect + retry
+    /// (read-only RPCs make that always safe). [`CatalogError::Remote`]
+    /// is *not* transport-class — the server answered; the error is
+    /// deterministic and the connection is at a clean frame boundary.
+    fn is_transport(e: &CatalogError) -> bool {
+        matches!(
+            e,
+            CatalogError::Io(_)
+                | CatalogError::Protocol(_)
+                | CatalogError::Artifact(_)
+                | CatalogError::Timeout { .. }
+        )
+    }
+
+    /// Runs `f` against a connected stream, reconnecting and retrying
+    /// on transport-class failures per the [`RetryPolicy`]. With
+    /// retries exhausted, fails typed: the raw error when only one
+    /// attempt was allowed (pre-resilience behaviour), otherwise
+    /// [`CatalogError::RetriesExhausted`].
+    fn with_retry<T>(
+        &mut self,
+        mut f: impl FnMut(&mut TcpStream, Deadline) -> Result<T, CatalogError>,
+    ) -> Result<T, CatalogError> {
+        let attempts = self.config.retry.max_attempts.max(1);
+        let mut last: Option<CatalogError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.config.retry.backoff(attempt));
+            }
+            if let Err(e) = self.ensure_connected() {
+                last = Some(e);
+                continue;
+            }
+            let deadline = self.deadline();
+            let stream = self.stream.as_mut().expect("just connected");
+            match f(stream, deadline) {
+                Ok(v) => return Ok(v),
+                Err(e) if Self::is_transport(&e) => {
+                    // The stream may be mid-exchange: poison it so the
+                    // next attempt reconnects.
+                    self.stream = None;
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let last = last.expect("at least one attempt ran");
+        if attempts == 1 {
+            Err(last)
+        } else {
+            Err(CatalogError::RetriesExhausted {
+                attempts,
+                last: Box::new(last),
+            })
+        }
+    }
+
+    fn deadline(&self) -> Deadline {
+        Deadline {
+            at: self.config.request_deadline.map(|d| Instant::now() + d),
+            budget: self.config.request_deadline.unwrap_or(Duration::ZERO),
+        }
+    }
+
+    /// Connects (honouring the connect timeout) and performs the
+    /// manifest handshake if the stream is currently poisoned. Across
+    /// reconnects the grid must not change — a shard silently replaced
+    /// by one serving different data is a misconfiguration, not
+    /// something to paper over.
+    fn ensure_connected(&mut self) -> Result<(), CatalogError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let stream = match self.config.connect_timeout {
+            Some(timeout) => {
+                let mut last: Option<std::io::Error> = None;
+                let mut connected = None;
+                for sockaddr in self.addr.as_str().to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sockaddr, timeout) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| {
+                    CatalogError::Io(last.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::AddrNotAvailable,
+                            "address resolved to nothing",
+                        )
+                    }))
+                })?
+            }
+            None => TcpStream::connect(&self.addr)?,
+        };
+        let _ = stream.set_nodelay(true);
+        // The read tick is what lets a blocked read observe the request
+        // deadline; writes get the whole deadline budget outright.
+        let _ = stream.set_read_timeout(Some(READ_TICK));
+        let _ = stream.set_write_timeout(self.config.request_deadline);
+        self.stream = Some(stream);
+        let deadline = self.deadline();
+        let stream = self.stream.as_mut().expect("just stored");
+        let handshake = (|| {
+            wire::write_message(stream, &Request::Manifest)?;
+            match Self::read_response(stream, deadline)? {
+                Response::Manifest(grid) => Ok(grid),
+                other => Err(unexpected(&other)),
+            }
+        })();
+        match handshake {
+            Ok(grid) => {
+                if self.grid.is_some_and(|prev| prev != grid) {
+                    self.stream = None;
+                    return Err(CatalogError::Protocol(
+                        "server grid changed across a reconnect".into(),
+                    ));
+                }
+                self.grid = Some(grid);
+                Ok(())
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads one response frame, honouring the deadline; maps error
+    /// frames to [`CatalogError::Remote`] and deadline expiry to
+    /// [`CatalogError::Timeout`].
+    fn read_response(stream: &mut TcpStream, deadline: Deadline) -> Result<Response, CatalogError> {
+        match wire::read_frame_cancellable(stream, || deadline.expired())? {
+            Some(payload) => {
+                match <Response as seaice::artifact::Artifact>::from_bytes(&payload)? {
+                    Response::Error { code, message } => {
+                        Err(CatalogError::Remote { code, message })
+                    }
+                    response => Ok(response),
+                }
+            }
+            None => {
+                if deadline.expired() {
+                    Err(CatalogError::Timeout {
+                        after: deadline.budget,
+                    })
+                } else {
+                    Err(CatalogError::Protocol(
+                        "server closed the connection mid-exchange".into(),
+                    ))
+                }
+            }
+        }
     }
 
     // -- Scoped partial/record transport --------------------------------
 
-    /// Sends `request` and reads exactly one response frame.
+    /// Sends `request` and reads exactly one response frame (with
+    /// deadline, reconnect, and retry per the config).
     fn exchange_scalar(&mut self, request: &Request) -> Result<Response, CatalogError> {
-        wire::write_message(&mut self.stream, request)?;
-        self.next_response()
-    }
-
-    fn next_response(&mut self) -> Result<Response, CatalogError> {
-        match wire::read_message::<Response>(&mut self.stream)? {
-            Some(Response::Error { code, message }) => Err(CatalogError::Remote { code, message }),
-            Some(response) => Ok(response),
-            None => Err(CatalogError::Protocol(
-                "server closed the connection mid-exchange".into(),
-            )),
-        }
+        self.with_retry(|stream, deadline| {
+            wire::write_message(stream, request)?;
+            Self::read_response(stream, deadline)
+        })
     }
 
     /// Sends `request` and collects a streamed batch response,
-    /// verifying the `Done` trailer's record count.
+    /// verifying the `Done` trailer's record count. A retry re-runs the
+    /// whole exchange from scratch (partial streams are discarded).
     fn collect_stream<T>(
         &mut self,
         request: &Request,
-        mut take: impl FnMut(Response) -> Result<Vec<T>, CatalogError>,
+        take: impl Fn(Response) -> Result<Vec<T>, CatalogError>,
     ) -> Result<Vec<T>, CatalogError> {
-        wire::write_message(&mut self.stream, request)?;
-        let mut records: Vec<T> = Vec::new();
-        loop {
-            match self.next_response()? {
-                Response::Done { n_records } => {
-                    if records.len() as u64 != n_records {
-                        return Err(CatalogError::Protocol(format!(
-                            "stream advertised {n_records} records but carried {}",
-                            records.len()
-                        )));
+        self.with_retry(|stream, deadline| {
+            wire::write_message(stream, request)?;
+            let mut records: Vec<T> = Vec::new();
+            loop {
+                match Self::read_response(stream, deadline)? {
+                    Response::Done { n_records } => {
+                        if records.len() as u64 != n_records {
+                            return Err(CatalogError::Protocol(format!(
+                                "stream advertised {n_records} records but carried {}",
+                                records.len()
+                            )));
+                        }
+                        return Ok(records);
                     }
-                    return Ok(records);
+                    other => records.append(&mut take(other)?),
                 }
-                other => records.append(&mut take(other)?),
             }
-        }
+        })
     }
 
     /// Scoped per-tile partials of a rect query (the shard-router
@@ -345,6 +669,193 @@ impl ShardSpec {
     }
 }
 
+/// One scope of a replicated deployment: every address serves the same
+/// data for the same quadkey prefixes; the router fails over between
+/// them.
+#[derive(Debug, Clone)]
+pub struct ReplicaSpec {
+    /// Replica server addresses (`host:port`), preference order.
+    pub addrs: Vec<String>,
+    /// The quadkey prefixes this replica group owns.
+    pub scope: TileScope,
+}
+
+impl ReplicaSpec {
+    /// A spec from addresses and prefix strings.
+    pub fn new(addrs: &[&str], prefixes: &[&str]) -> Result<ReplicaSpec, CatalogError> {
+        Ok(ReplicaSpec {
+            addrs: addrs.iter().map(|a| a.to_string()).collect(),
+            scope: TileScope::of(prefixes)?,
+        })
+    }
+}
+
+/// Router-level resilience settings.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-replica-connection settings (deadline, retry, connect
+    /// timeout).
+    pub client: ClientConfig,
+    /// Consecutive transport failures that trip a replica's breaker
+    /// open.
+    pub breaker_threshold: u32,
+    /// How long an open breaker blocks traffic before allowing one
+    /// half-open probe attempt.
+    pub breaker_cooldown: Duration,
+    /// When set, a background thread pings tripped replicas at this
+    /// interval and closes their breakers as soon as they answer —
+    /// recovery without waiting for live traffic to probe.
+    pub probe_interval: Option<Duration>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            client: ClientConfig::default(),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+            probe_interval: None,
+        }
+    }
+}
+
+/// Circuit-breaker state of one replica connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows.
+    Closed,
+    /// Tripped: traffic is blocked until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next request (or background ping) is a
+    /// probe — success closes the breaker, failure re-opens it.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+}
+
+/// Per-replica circuit breaker: trips open after
+/// [`RouterConfig::breaker_threshold`] consecutive transport failures,
+/// blocks traffic for the cooldown, then lets a single half-open probe
+/// decide. Shared (`Arc`) between the query path and the background
+/// prober.
+#[derive(Debug)]
+struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+}
+
+impl Breaker {
+    fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+            }),
+        }
+    }
+
+    /// May traffic flow? Flips `Open` → `HalfOpen` once the cooldown
+    /// elapses (the caller becomes the probe).
+    fn allows(&self) -> bool {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match g.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                let cooled = g.opened_at.is_some_and(|at| at.elapsed() >= self.cooldown);
+                if cooled {
+                    g.state = BreakerState::HalfOpen;
+                }
+                cooled
+            }
+        }
+    }
+
+    fn on_success(&self) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.state = BreakerState::Closed;
+        g.consecutive_failures = 0;
+        g.opened_at = None;
+    }
+
+    fn on_failure(&self) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.consecutive_failures += 1;
+        if g.state == BreakerState::HalfOpen || g.consecutive_failures >= self.threshold {
+            g.state = BreakerState::Open;
+            g.opened_at = Some(Instant::now());
+        }
+    }
+
+    fn state(&self) -> BreakerState {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).state
+    }
+}
+
+struct Replica {
+    addr: String,
+    /// `None` until (re)connected; dropped on transport failure.
+    client: Option<CatalogClient>,
+    breaker: Arc<Breaker>,
+}
+
+struct Group {
+    scope: TileScope,
+    replicas: Vec<Replica>,
+}
+
+/// How a replica group answered (or didn't).
+enum GroupOutcome<T> {
+    /// Some replica answered.
+    Ok(T),
+    /// Every replica was unreachable (transport-class failures or
+    /// breakers open): the scope is missing from the answer.
+    Unreachable,
+    /// A reachable replica answered with a catalog-side error —
+    /// deterministic, so it propagates instead of degrading.
+    Failed(CatalogError),
+}
+
+/// A routed answer that may be missing scopes: `value` covers every
+/// reachable scope, `missing` names (in shard-map order) the scopes no
+/// replica could answer for. The strict query methods return
+/// [`CatalogError::Degraded`] instead; this type is for callers that
+/// prefer a partial answer over none.
+#[derive(Debug, Clone)]
+pub struct Routed<T> {
+    /// The answer over every reachable scope.
+    pub value: T,
+    /// Scopes with no reachable replica (empty = complete).
+    pub missing: Vec<TileScope>,
+}
+
+impl<T> Routed<T> {
+    /// True when every owned scope answered.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// The value if complete, else a typed [`CatalogError::Degraded`]
+    /// naming the missing scopes.
+    pub fn into_complete(self) -> Result<T, CatalogError> {
+        if self.missing.is_empty() {
+            Ok(self.value)
+        } else {
+            Err(CatalogError::Degraded {
+                missing: self.missing,
+            })
+        }
+    }
+}
+
 /// A client-side router over shard servers that answers queries
 /// bit-identically to one in-process catalog holding all the data.
 ///
@@ -353,22 +864,74 @@ impl ShardSpec {
 /// the same grid, and — when the prefix lengths make the check cheap —
 /// the scopes must jointly cover the whole quadkey space at the grid's
 /// level, so no tile silently belongs to nobody.
+///
+/// Each scope may be served by several replicas
+/// ([`ShardRouter::connect_replicated`]): queries fail over within the
+/// group, per-replica circuit breakers keep traffic off dead servers,
+/// and an optional background prober pings tripped replicas back into
+/// rotation. The `*_routed` query methods return [`Routed`] partial
+/// answers naming unreachable scopes; the plain methods demand
+/// completeness and fail with [`CatalogError::Degraded`] otherwise.
 pub struct ShardRouter {
-    shards: Vec<(CatalogClient, TileScope)>,
+    groups: Vec<Group>,
     grid: GridConfig,
+    config: RouterConfig,
+    prober: Option<Prober>,
+}
+
+struct Prober {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for ShardRouter {
+    fn drop(&mut self) {
+        if let Some(prober) = self.prober.as_mut() {
+            prober.stop.store(true, Ordering::SeqCst);
+            if let Some(handle) = prober.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
 }
 
 impl ShardRouter {
-    /// Connects to every shard and verifies the shard map.
+    /// Connects to every shard (one replica each, default resilience)
+    /// and verifies the shard map. Any unreachable shard fails the
+    /// construction.
     pub fn connect(specs: &[ShardSpec]) -> Result<ShardRouter, CatalogError> {
+        let groups: Vec<ReplicaSpec> = specs
+            .iter()
+            .map(|s| ReplicaSpec {
+                addrs: vec![s.addr.clone()],
+                scope: s.scope.clone(),
+            })
+            .collect();
+        Self::connect_replicated(&groups, RouterConfig::default())
+    }
+
+    /// Connects a replicated deployment and verifies the shard map. At
+    /// least one replica per scope must be reachable (the grid must be
+    /// learnable for every scope); the rest start with tripped breakers
+    /// and rejoin via half-open probes.
+    pub fn connect_replicated(
+        specs: &[ReplicaSpec],
+        config: RouterConfig,
+    ) -> Result<ShardRouter, CatalogError> {
         if specs.is_empty() {
             return Err(CatalogError::Protocol("no shards configured".into()));
         }
+        let label = |spec: &ReplicaSpec| spec.addrs.join("|");
         for spec in specs {
+            if spec.addrs.is_empty() {
+                return Err(CatalogError::Protocol(
+                    "a replica group has no addresses".into(),
+                ));
+            }
             if spec.scope.is_all() && specs.len() > 1 {
                 return Err(CatalogError::Protocol(format!(
                     "shard {} owns everything but is not the only shard",
-                    spec.addr
+                    label(spec)
                 )));
             }
         }
@@ -377,40 +940,148 @@ impl ShardRouter {
                 if a.scope.overlaps(&b.scope) {
                     return Err(CatalogError::Protocol(format!(
                         "shard scopes overlap: {} and {}",
-                        a.addr, b.addr
+                        label(a),
+                        label(b)
                     )));
                 }
             }
         }
-        let mut shards = Vec::with_capacity(specs.len());
+        let mut groups = Vec::with_capacity(specs.len());
+        let mut grid: Option<GridConfig> = None;
         for spec in specs {
-            shards.push((CatalogClient::connect(&spec.addr)?, spec.scope.clone()));
-        }
-        let grid = *shards[0].0.grid();
-        for (client, _) in &shards {
-            if *client.grid() != grid {
-                return Err(CatalogError::Protocol(
-                    "shards disagree on the catalog grid".into(),
+            let mut replicas = Vec::with_capacity(spec.addrs.len());
+            let mut connected_any = false;
+            let mut last_err: Option<CatalogError> = None;
+            for addr in &spec.addrs {
+                let breaker = Arc::new(Breaker::new(
+                    config.breaker_threshold,
+                    config.breaker_cooldown,
                 ));
+                match CatalogClient::connect_with(addr, config.client.clone()) {
+                    Ok(client) => {
+                        match grid {
+                            None => grid = Some(*client.grid()),
+                            Some(g) if g != *client.grid() => {
+                                return Err(CatalogError::Protocol(
+                                    "shards disagree on the catalog grid".into(),
+                                ))
+                            }
+                            Some(_) => {}
+                        }
+                        connected_any = true;
+                        replicas.push(Replica {
+                            addr: addr.clone(),
+                            client: Some(client),
+                            breaker,
+                        });
+                    }
+                    Err(e) => {
+                        breaker.on_failure();
+                        last_err = Some(e);
+                        replicas.push(Replica {
+                            addr: addr.clone(),
+                            client: None,
+                            breaker,
+                        });
+                    }
+                }
             }
+            if !connected_any {
+                return Err(last_err.expect("non-empty address list"));
+            }
+            groups.push(Group {
+                scope: spec.scope.clone(),
+                replicas,
+            });
         }
+        let grid = grid.expect("at least one replica connected");
         // A prefix longer than the grid level can never match a tile —
         // that shard's tiles would silently belong to nobody.
-        for (i, (_, scope)) in shards.iter().enumerate() {
-            if let Some(p) = scope
+        for (i, group) in groups.iter().enumerate() {
+            if let Some(p) = group
+                .scope
                 .prefixes()
                 .iter()
                 .find(|p| p.len() > grid.level as usize)
             {
                 return Err(CatalogError::Protocol(format!(
                     "shard {} prefix '{p}' is deeper than the grid level {}",
-                    specs[i].addr, grid.level
+                    label(&specs[i]),
+                    grid.level
                 )));
             }
         }
-        let router = ShardRouter { shards, grid };
+        let mut router = ShardRouter {
+            groups,
+            grid,
+            config,
+            prober: None,
+        };
         router.check_covering()?;
+        router.spawn_prober();
         Ok(router)
+    }
+
+    /// Starts the background half-open prober when configured: pings
+    /// every non-`Closed` replica each interval over a fresh throwaway
+    /// connection (sockets are never shared across threads) and closes
+    /// its breaker on a pong.
+    fn spawn_prober(&mut self) {
+        let Some(interval) = self.config.probe_interval else {
+            return;
+        };
+        let targets: Vec<(String, Arc<Breaker>)> = self
+            .groups
+            .iter()
+            .flat_map(|g| {
+                g.replicas
+                    .iter()
+                    .map(|r| (r.addr.clone(), Arc::clone(&r.breaker)))
+            })
+            .collect();
+        let mut probe_config = self.config.client.clone();
+        probe_config.retry = RetryPolicy::none();
+        probe_config.connect_timeout = probe_config
+            .connect_timeout
+            .or(Some(Duration::from_millis(500)));
+        probe_config.request_deadline = probe_config
+            .request_deadline
+            .or(Some(Duration::from_secs(1)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let tick = Duration::from_millis(20);
+            let mut since_probe = Duration::ZERO;
+            loop {
+                if thread_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(tick);
+                since_probe += tick;
+                if since_probe < interval {
+                    continue;
+                }
+                since_probe = Duration::ZERO;
+                for (addr, breaker) in &targets {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if breaker.state() == BreakerState::Closed {
+                        continue;
+                    }
+                    let pong = CatalogClient::connect_with(addr, probe_config.clone())
+                        .and_then(|mut probe| probe.ping());
+                    match pong {
+                        Ok(_) => breaker.on_success(),
+                        Err(_) => breaker.on_failure(),
+                    }
+                }
+            }
+        });
+        self.prober = Some(Prober {
+            stop,
+            handle: Some(handle),
+        });
     }
 
     /// Rejects shard maps that leave level-`L` quadkeys unowned, where
@@ -418,13 +1089,13 @@ impl ShardRouter {
     /// within the grid level). Skipped only when a single shard owns
     /// everything or the check would enumerate more than 4^8 keys.
     fn check_covering(&self) -> Result<(), CatalogError> {
-        if self.shards.len() == 1 && self.shards[0].1.is_all() {
+        if self.groups.len() == 1 && self.groups[0].scope.is_all() {
             return Ok(());
         }
         let max_len = self
-            .shards
+            .groups
             .iter()
-            .flat_map(|(_, s)| s.prefixes().iter())
+            .flat_map(|g| g.scope.prefixes().iter())
             .map(|p| p.len())
             .max()
             .unwrap_or(0);
@@ -439,10 +1110,10 @@ impl ShardRouter {
             }
             let key_str = std::str::from_utf8(&key).expect("ascii digits");
             let owners = self
-                .shards
+                .groups
                 .iter()
-                .filter(|(_, scope)| {
-                    scope
+                .filter(|g| {
+                    g.scope
                         .prefixes()
                         .iter()
                         .any(|p| key_str.starts_with(p.as_str()))
@@ -462,16 +1133,91 @@ impl ShardRouter {
         &self.grid
     }
 
-    /// Number of shards routed over.
+    /// Number of scopes (replica groups) routed over.
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        self.groups.len()
     }
 
-    /// Shards owning at least one of `candidates` (indices).
-    fn owners_of(&self, candidates: &[crate::grid::TileId]) -> Vec<usize> {
-        (0..self.shards.len())
-            .filter(|&i| candidates.iter().any(|t| self.shards[i].1.matches(t)))
+    /// Breaker state of every replica, grouped by scope in shard-map
+    /// order — observability for operators and the chaos suite.
+    pub fn replica_states(&self) -> Vec<Vec<(String, BreakerState)>> {
+        self.groups
+            .iter()
+            .map(|g| {
+                g.replicas
+                    .iter()
+                    .map(|r| (r.addr.clone(), r.breaker.state()))
+                    .collect()
+            })
             .collect()
+    }
+
+    /// Groups owning at least one of `candidates` (indices).
+    fn owners_of(&self, candidates: &[crate::grid::TileId]) -> Vec<usize> {
+        (0..self.groups.len())
+            .filter(|&i| candidates.iter().any(|t| self.groups[i].scope.matches(t)))
+            .collect()
+    }
+
+    /// Runs `run` against the replicas of group `gi`, failing over in
+    /// preference order. Breakers gate which replicas see traffic;
+    /// transport failures trip them, catalog-side errors don't (the
+    /// server *answered*).
+    fn group_call<T>(
+        &mut self,
+        gi: usize,
+        run: impl Fn(&mut CatalogClient, &TileScope) -> Result<T, CatalogError>,
+    ) -> GroupOutcome<T> {
+        let client_config = self.config.client.clone();
+        let grid = self.grid;
+        let group = &mut self.groups[gi];
+        let scope = group.scope.clone();
+        let mut reachable_err: Option<CatalogError> = None;
+        for replica in group.replicas.iter_mut() {
+            if !replica.breaker.allows() {
+                continue;
+            }
+            if replica.client.is_none() {
+                match CatalogClient::connect_with(&replica.addr, client_config.clone()) {
+                    Ok(client) if *client.grid() == grid => replica.client = Some(client),
+                    Ok(_) => {
+                        // A replica serving a different grid is not a
+                        // failover target — misrouted data is worse
+                        // than a missing scope.
+                        replica.breaker.on_failure();
+                        continue;
+                    }
+                    Err(_) => {
+                        replica.breaker.on_failure();
+                        continue;
+                    }
+                }
+            }
+            let client = replica.client.as_mut().expect("just connected");
+            match run(client, &scope) {
+                Ok(v) => {
+                    replica.breaker.on_success();
+                    return GroupOutcome::Ok(v);
+                }
+                Err(e)
+                    if CatalogClient::is_transport(&e)
+                        || matches!(e, CatalogError::RetriesExhausted { .. }) =>
+                {
+                    replica.breaker.on_failure();
+                    replica.client = None;
+                }
+                Err(e) => {
+                    // Reachable but failing catalog-side: deterministic,
+                    // still worth trying a healthier replica.
+                    replica.breaker.on_success();
+                    reachable_err = Some(e);
+                }
+            }
+        }
+        match reachable_err {
+            Some(e) => GroupOutcome::Failed(e),
+            None => GroupOutcome::Unreachable,
+        }
     }
 
     /// Verifies shard answers cover disjoint tiles, then folds.
@@ -491,21 +1237,69 @@ impl ShardRouter {
         Ok(QuerySummary::from_partials(all))
     }
 
+    /// Fans `run` out to the groups in `owners`, collecting per-group
+    /// results and the scopes that were unreachable.
+    fn fan_out<T>(
+        &mut self,
+        owners: Vec<usize>,
+        run: impl Fn(&mut CatalogClient, &TileScope) -> Result<T, CatalogError>,
+    ) -> Result<(Vec<T>, Vec<TileScope>), CatalogError> {
+        let mut results = Vec::with_capacity(owners.len());
+        let mut missing = Vec::new();
+        for i in owners {
+            match self.group_call(i, &run) {
+                GroupOutcome::Ok(v) => results.push(v),
+                GroupOutcome::Unreachable => missing.push(self.groups[i].scope.clone()),
+                GroupOutcome::Failed(e) => return Err(e),
+            }
+        }
+        Ok((results, missing))
+    }
+
+    /// Routed [`crate::Catalog::query_rect`] with degradation: merges
+    /// bit-identically over every reachable owner scope and names the
+    /// unreachable ones.
+    pub fn query_rect_routed(
+        &mut self,
+        rect: &MapRect,
+        time: TimeRange,
+    ) -> Result<Routed<QuerySummary>, CatalogError> {
+        let candidates = self.grid.tiles_overlapping(rect);
+        let owners = self.owners_of(&candidates);
+        let (per_shard, missing) =
+            self.fan_out(owners, |c, scope| c.query_rect_partials(rect, time, scope))?;
+        Ok(Routed {
+            value: Self::merge_partials(per_shard)?,
+            missing,
+        })
+    }
+
     /// Routed [`crate::Catalog::query_rect`] — fans out to the shards owning
-    /// candidate tiles and merges bit-identically.
+    /// candidate tiles and merges bit-identically; every owner scope
+    /// must be reachable.
     pub fn query_rect(
         &mut self,
         rect: &MapRect,
         time: TimeRange,
     ) -> Result<QuerySummary, CatalogError> {
-        let candidates = self.grid.tiles_overlapping(rect);
+        self.query_rect_routed(rect, time)?.into_complete()
+    }
+
+    /// Routed [`crate::Catalog::query_bbox`] with degradation.
+    pub fn query_bbox_routed(
+        &mut self,
+        bbox: &BoundingBox,
+        time: TimeRange,
+    ) -> Result<Routed<QuerySummary>, CatalogError> {
+        let cover = self.grid.bbox_cover(bbox);
+        let candidates = self.grid.tiles_overlapping(&cover);
         let owners = self.owners_of(&candidates);
-        let mut per_shard = Vec::with_capacity(owners.len());
-        for i in owners {
-            let scope = self.shards[i].1.clone();
-            per_shard.push(self.shards[i].0.query_rect_partials(rect, time, &scope)?);
-        }
-        Self::merge_partials(per_shard)
+        let (per_shard, missing) =
+            self.fan_out(owners, |c, scope| c.query_bbox_partials(bbox, time, scope))?;
+        Ok(Routed {
+            value: Self::merge_partials(per_shard)?,
+            missing,
+        })
     }
 
     /// Routed [`crate::Catalog::query_bbox`].
@@ -514,15 +1308,36 @@ impl ShardRouter {
         bbox: &BoundingBox,
         time: TimeRange,
     ) -> Result<QuerySummary, CatalogError> {
-        let cover = self.grid.bbox_cover(bbox);
-        let candidates = self.grid.tiles_overlapping(&cover);
-        let owners = self.owners_of(&candidates);
-        let mut per_shard = Vec::with_capacity(owners.len());
-        for i in owners {
-            let scope = self.shards[i].1.clone();
-            per_shard.push(self.shards[i].0.query_bbox_partials(bbox, time, &scope)?);
+        self.query_bbox_routed(bbox, time)?.into_complete()
+    }
+
+    /// Routed [`crate::Catalog::query_point`] with degradation — exactly one
+    /// group owns the point's tile, so a degraded answer carries
+    /// `value: None` and names that scope.
+    pub fn query_point_routed(
+        &mut self,
+        point: GeoPoint,
+        time: TimeRange,
+    ) -> Result<Routed<Option<CellSummary>>, CatalogError> {
+        let m = EPSG_3976.forward(point);
+        let complete = |value| Routed {
+            value,
+            missing: Vec::new(),
+        };
+        let Some((tile, _)) = self.grid.locate(m) else {
+            return Ok(complete(None));
+        };
+        let Some(i) = (0..self.groups.len()).find(|&i| self.groups[i].scope.matches(&tile)) else {
+            return Ok(complete(None));
+        };
+        match self.group_call(i, |c, scope| c.query_point_scoped(point, time, scope)) {
+            GroupOutcome::Ok(cell) => Ok(complete(cell)),
+            GroupOutcome::Unreachable => Ok(Routed {
+                value: None,
+                missing: vec![self.groups[i].scope.clone()],
+            }),
+            GroupOutcome::Failed(e) => Err(e),
         }
-        Self::merge_partials(per_shard)
     }
 
     /// Routed [`crate::Catalog::query_point`] — exactly one shard owns the
@@ -532,27 +1347,21 @@ impl ShardRouter {
         point: GeoPoint,
         time: TimeRange,
     ) -> Result<Option<CellSummary>, CatalogError> {
-        let m = EPSG_3976.forward(point);
-        let Some((tile, _)) = self.grid.locate(m) else {
-            return Ok(None);
-        };
-        let Some(i) = (0..self.shards.len()).find(|&i| self.shards[i].1.matches(&tile)) else {
-            return Ok(None);
-        };
-        let scope = self.shards[i].1.clone();
-        self.shards[i].0.query_point_scoped(point, time, &scope)
+        self.query_point_routed(point, time)?.into_complete()
     }
 
-    /// Routed [`crate::Catalog::query_time_range`].
-    pub fn query_time_range(
+    /// Routed [`crate::Catalog::query_time_range`] with degradation.
+    pub fn query_time_range_routed(
         &mut self,
         time: TimeRange,
-    ) -> Result<Vec<(TimeKey, QuerySummary)>, CatalogError> {
+    ) -> Result<Routed<Vec<(TimeKey, QuerySummary)>>, CatalogError> {
+        let owners: Vec<usize> = (0..self.groups.len()).collect();
+        let (per_shard, missing) =
+            self.fan_out(owners, |c, scope| c.query_time_range_partials(time, scope))?;
         let mut records: Vec<(TimeKey, TilePartial)> = Vec::new();
         let mut seen: BTreeSet<(TimeKey, crate::grid::TileId)> = BTreeSet::new();
-        for i in 0..self.shards.len() {
-            let scope = self.shards[i].1.clone();
-            for (t, p) in self.shards[i].0.query_time_range_partials(time, &scope)? {
+        for shard_records in per_shard {
+            for (t, p) in shard_records {
                 if !seen.insert((t, p.tile)) {
                     return Err(CatalogError::Protocol(
                         "two shards answered for the same layer tile".into(),
@@ -561,24 +1370,34 @@ impl ShardRouter {
                 records.push((t, p));
             }
         }
-        Ok(fold_layer_records(records))
+        Ok(Routed {
+            value: fold_layer_records(records),
+            missing,
+        })
     }
 
-    /// Routed [`crate::Catalog::query_cells`] — shard results concatenate
-    /// (scopes are spatial, so a tile's layers never split) and sort by
-    /// `(tile, cell)` exactly like the local composite.
-    pub fn query_cells(
+    /// Routed [`crate::Catalog::query_time_range`].
+    pub fn query_time_range(
+        &mut self,
+        time: TimeRange,
+    ) -> Result<Vec<(TimeKey, QuerySummary)>, CatalogError> {
+        self.query_time_range_routed(time)?.into_complete()
+    }
+
+    /// Routed [`crate::Catalog::query_cells`] with degradation — shard
+    /// results concatenate (scopes are spatial, so a tile's layers
+    /// never split) and sort by `(tile, cell)` exactly like the local
+    /// composite.
+    pub fn query_cells_routed(
         &mut self,
         rect: &MapRect,
         time: TimeRange,
-    ) -> Result<Vec<CellSummary>, CatalogError> {
+    ) -> Result<Routed<Vec<CellSummary>>, CatalogError> {
         let candidates = self.grid.tiles_overlapping(rect);
         let owners = self.owners_of(&candidates);
-        let mut cells: Vec<CellSummary> = Vec::new();
-        for i in owners {
-            let scope = self.shards[i].1.clone();
-            cells.extend(self.shards[i].0.query_cells_scoped(rect, time, &scope)?);
-        }
+        let (per_shard, missing) =
+            self.fan_out(owners, |c, scope| c.query_cells_scoped(rect, time, scope))?;
+        let mut cells: Vec<CellSummary> = per_shard.into_iter().flatten().collect();
         cells.sort_unstable_by_key(|c| (c.tile, c.cell));
         if cells
             .windows(2)
@@ -588,20 +1407,33 @@ impl ShardRouter {
                 "two shards answered for the same cell".into(),
             ));
         }
-        Ok(cells)
+        Ok(Routed {
+            value: cells,
+            missing,
+        })
     }
 
-    /// Routed [`crate::Catalog::stats`]: tile/sample counts sum across shards,
-    /// layer sets union, cache counters sum.
-    pub fn stats(&mut self) -> Result<CatalogStats, CatalogError> {
+    /// Routed [`crate::Catalog::query_cells`].
+    pub fn query_cells(
+        &mut self,
+        rect: &MapRect,
+        time: TimeRange,
+    ) -> Result<Vec<CellSummary>, CatalogError> {
+        self.query_cells_routed(rect, time)?.into_complete()
+    }
+
+    /// Routed [`crate::Catalog::stats`] with degradation: tile/sample counts
+    /// sum across reachable shards, layer sets union, cache counters
+    /// sum.
+    pub fn stats_routed(&mut self) -> Result<Routed<CatalogStats>, CatalogError> {
+        let owners: Vec<usize> = (0..self.groups.len()).collect();
+        let (per_shard, missing) = self.fan_out(owners, |c, scope| c.scoped_stats(scope))?;
         let mut n_tiles = 0usize;
         let mut n_samples = 0usize;
         let mut n_thickness = 0usize;
         let mut cache = crate::cache::CacheStats::default();
         let mut layers: BTreeSet<TimeKey> = BTreeSet::new();
-        for i in 0..self.shards.len() {
-            let scope = self.shards[i].1.clone();
-            let (stats, shard_layers) = self.shards[i].0.scoped_stats(&scope)?;
+        for (stats, shard_layers) in per_shard {
             n_tiles += stats.n_tiles;
             n_samples += stats.n_samples;
             n_thickness += stats.n_thickness;
@@ -610,23 +1442,38 @@ impl ShardRouter {
             cache.evictions += stats.cache.evictions;
             layers.extend(shard_layers);
         }
-        Ok(CatalogStats {
-            n_layers: layers.len(),
-            n_tiles,
-            n_samples,
-            n_thickness,
-            cache,
+        Ok(Routed {
+            value: CatalogStats {
+                n_layers: layers.len(),
+                n_tiles,
+                n_samples,
+                n_thickness,
+                cache,
+            },
+            missing,
+        })
+    }
+
+    /// Routed [`crate::Catalog::stats`]: tile/sample counts sum across shards,
+    /// layer sets union, cache counters sum.
+    pub fn stats(&mut self) -> Result<CatalogStats, CatalogError> {
+        self.stats_routed()?.into_complete()
+    }
+
+    /// Routed [`crate::Catalog::validate`] with degradation; the value is
+    /// total tiles checked across reachable shards.
+    pub fn validate_routed(&mut self) -> Result<Routed<usize>, CatalogError> {
+        let owners: Vec<usize> = (0..self.groups.len()).collect();
+        let (per_shard, missing) = self.fan_out(owners, |c, scope| c.validate_scoped(scope))?;
+        Ok(Routed {
+            value: per_shard.into_iter().sum(),
+            missing,
         })
     }
 
     /// Routed [`crate::Catalog::validate`]; returns total tiles checked.
     pub fn validate(&mut self) -> Result<usize, CatalogError> {
-        let mut checked = 0usize;
-        for i in 0..self.shards.len() {
-            let scope = self.shards[i].1.clone();
-            checked += self.shards[i].0.validate_scoped(&scope)?;
-        }
-        Ok(checked)
+        self.validate_routed()?.into_complete()
     }
 }
 

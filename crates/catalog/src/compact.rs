@@ -165,7 +165,7 @@ pub fn compact(
         ));
     }
     let src = Catalog::open(src_dir)?;
-    let dst = Catalog::create_writer(dst_dir, cfg.grid, cfg.options, &cfg.lease)?;
+    let dst = Catalog::create_writer(dst_dir, cfg.grid, cfg.options.clone(), &cfg.lease)?;
 
     let keys = src.all_keys();
     let mut report = CompactionReport {

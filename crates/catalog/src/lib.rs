@@ -35,7 +35,11 @@
 //!   shards and merges bit-identically;
 //! - [`lease`] — the cross-process writer-lease protocol (owner id +
 //!   heartbeat mtime + stale-lease takeover) behind
-//!   [`Catalog::create_writer`] / [`Catalog::open_writer`].
+//!   [`Catalog::create_writer`] / [`Catalog::open_writer`];
+//! - [`fault`] — deterministic fault injection (seeded per-site fault
+//!   plans, crash hooks in the persist path, an in-process chaos TCP
+//!   proxy) behind zero-cost no-op defaults, powering the chaos
+//!   acceptance suite (`tests/chaos.rs`).
 //!
 //! The headline invariant: ingest order never changes what queries
 //! return, bit for bit; re-ingesting a source is idempotent
@@ -45,12 +49,21 @@
 //! `tests/concurrent_stress.rs`); and a query answered over the network
 //! — one server or a routed shard fleet — is bit-identical to the same
 //! query in process (see `tests/served_equivalence.rs`).
+//!
+//! The failure-model counterpart (see `DESIGN.md` §"Failure model"):
+//! under injected connection refusal, stalls, truncation, byte
+//! corruption, latency, and mid-persist crashes, a served query either
+//! completes bit-identically or fails with a typed
+//! [`CatalogError::Timeout`] / [`CatalogError::RetriesExhausted`] /
+//! [`CatalogError::Degraded`] — never a hang, a panic, or a silently
+//! wrong answer (see `tests/chaos.rs`).
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
 pub mod compact;
+pub mod fault;
 pub mod grid;
 pub mod lease;
 pub mod server;
@@ -59,11 +72,15 @@ pub mod tile;
 pub mod wire;
 
 pub use cache::{CacheStats, TileCache, TileKey};
-pub use client::{CatalogClient, ShardRouter, ShardSpec};
+pub use client::{
+    BreakerState, CatalogClient, ClientConfig, ReplicaSpec, RetryPolicy, Routed, RouterConfig,
+    ShardRouter, ShardSpec,
+};
 pub use compact::{compact, CompactionConfig, CompactionReport, LayerMap};
+pub use fault::{ChaosProxy, FaultAction, FaultPlan};
 pub use grid::{GridConfig, MapRect, TileId, TileScope, TimeKey, TimeRange};
 pub use lease::{LeaseOptions, LeaseRecord, WriterLease};
-pub use server::{CatalogServer, ServerStats};
+pub use server::{CatalogServer, ServerConfig, ServerStats};
 pub use store::{
     Catalog, CatalogOptions, CatalogSink, CatalogStats, CellSummary, IngestMode, IngestReport,
     QuerySummary, TilePartial,
@@ -117,6 +134,35 @@ pub enum CatalogError {
     /// Thickness enrichment rejected its inputs before ingest (see
     /// [`seaice_products::ProductError`]) — nothing was written.
     Product(seaice_products::ProductError),
+    /// A served request exceeded its configured deadline
+    /// ([`client::ClientConfig::request_deadline`]). The connection is
+    /// torn down (the exchange may be mid-stream) and rebuilt on the
+    /// next attempt.
+    Timeout {
+        /// The deadline that expired.
+        after: std::time::Duration,
+    },
+    /// Every attempt allowed by the [`client::RetryPolicy`] failed with
+    /// a transport-class error; carries the final attempt's error.
+    RetriesExhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The error the final attempt died with.
+        last: Box<CatalogError>,
+    },
+    /// A routed query could not reach any replica for one or more
+    /// scopes. Strict query methods return this typed error; the
+    /// `*_routed` methods instead return a [`client::Routed`] value
+    /// naming the same scopes so callers can use the partial answer.
+    Degraded {
+        /// The unreachable scopes, in shard-map order.
+        missing: Vec<grid::TileScope>,
+    },
+    /// A scripted [`fault::FaultPlan`] crash fired at this site: the
+    /// operation was abandoned mid-flight exactly as a process death
+    /// there would leave it. Test-harness only; never produced without
+    /// an injected plan.
+    FaultInjected(&'static str),
 }
 
 impl std::fmt::Display for CatalogError {
@@ -149,6 +195,32 @@ impl std::fmt::Display for CatalogError {
                 write!(f, "catalog server error {code}: {message}")
             }
             CatalogError::Product(e) => write!(f, "catalog product error: {e}"),
+            CatalogError::Timeout { after } => {
+                write!(f, "request deadline exceeded ({:.3}s)", after.as_secs_f64())
+            }
+            CatalogError::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last error: {last}")
+            }
+            CatalogError::Degraded { missing } => {
+                let scopes: Vec<String> = missing
+                    .iter()
+                    .map(|s| {
+                        if s.is_all() {
+                            "<all>".to_string()
+                        } else {
+                            s.prefixes().join("|")
+                        }
+                    })
+                    .collect();
+                write!(
+                    f,
+                    "degraded: no reachable replica for scope(s) [{}]",
+                    scopes.join(", ")
+                )
+            }
+            CatalogError::FaultInjected(site) => {
+                write!(f, "injected fault: simulated crash at '{site}'")
+            }
         }
     }
 }

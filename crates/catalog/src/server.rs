@@ -20,7 +20,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use seaice::artifact::{Artifact, ArtifactError};
 
@@ -33,7 +33,20 @@ use crate::CatalogError;
 /// How often an idle connection wakes to check for shutdown.
 const IDLE_TICK: Duration = Duration::from_millis(100);
 
-/// Monotonic serving counters (server lifetime).
+/// Serving configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// Drop a connection that completes no request for this long —
+    /// dead or wedged clients can't pin handler threads forever. The
+    /// timeout also bounds how long a half-sent frame may trickle in.
+    /// `None` (the default) keeps connections for as long as the peer
+    /// holds them open. Dropped connections are counted in
+    /// [`ServerStats::idle_dropped`].
+    pub idle_timeout: Option<Duration>,
+}
+
+/// Monotonic serving counters (server lifetime). Also the payload of a
+/// [`crate::wire::Response::Pong`] health-probe reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
     /// Connections accepted.
@@ -44,6 +57,9 @@ pub struct ServerStats {
     pub records_streamed: u64,
     /// Error frames sent.
     pub errors: u64,
+    /// Connections dropped by the idle timeout
+    /// ([`ServerConfig::idle_timeout`]).
+    pub idle_dropped: u64,
 }
 
 #[derive(Default)]
@@ -52,6 +68,19 @@ struct Counters {
     requests: AtomicU64,
     records_streamed: AtomicU64,
     errors: AtomicU64,
+    idle_dropped: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            records_streamed: self.records_streamed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            idle_dropped: self.idle_dropped.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A running catalog server. Dropping it (or calling
@@ -71,9 +100,19 @@ pub struct CatalogServer {
 
 impl CatalogServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts serving `catalog`. Returns as soon as the listener is
-    /// live; use [`CatalogServer::addr`] for the bound address.
+    /// starts serving `catalog` with default configuration. Returns as
+    /// soon as the listener is live; use [`CatalogServer::addr`] for
+    /// the bound address.
     pub fn serve(catalog: Arc<Catalog>, addr: &str) -> Result<CatalogServer, CatalogError> {
+        Self::serve_with(catalog, addr, ServerConfig::default())
+    }
+
+    /// [`CatalogServer::serve`] with explicit [`ServerConfig`].
+    pub fn serve_with(
+        catalog: Arc<Catalog>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> Result<CatalogServer, CatalogError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let listener_clone = listener.try_clone()?;
@@ -104,7 +143,7 @@ impl CatalogServer {
                 let stop = Arc::clone(&accept_shutdown);
                 let counters = Arc::clone(&accept_counters);
                 let handle = std::thread::spawn(move || {
-                    handle_connection(&catalog, stream, &stop, &counters);
+                    handle_connection(&catalog, stream, &stop, &counters, config);
                 });
                 let mut handlers = accept_handlers.lock().unwrap_or_else(|e| e.into_inner());
                 // Reap finished connections as new ones arrive, so a
@@ -140,12 +179,7 @@ impl CatalogServer {
 
     /// Lifetime serving counters.
     pub fn stats(&self) -> ServerStats {
-        ServerStats {
-            connections: self.counters.connections.load(Ordering::Relaxed),
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            records_streamed: self.counters.records_streamed.load(Ordering::Relaxed),
-            errors: self.counters.errors.load(Ordering::Relaxed),
-        }
+        self.counters.snapshot()
     }
 
     /// Stops accepting, drains every handler thread, and closes the
@@ -181,22 +215,37 @@ impl Drop for CatalogServer {
 }
 
 /// One connection's request loop: framed requests in, framed (possibly
-/// streamed) responses out, until clean EOF, shutdown, or a broken
-/// stream.
+/// streamed) responses out, until clean EOF, shutdown, idle timeout, or
+/// a broken stream.
 fn handle_connection(
     catalog: &Catalog,
     mut stream: TcpStream,
     stop: &AtomicBool,
     counters: &Counters,
+    config: ServerConfig,
 ) {
     let _ = stream.set_read_timeout(Some(IDLE_TICK));
     let _ = stream.set_nodelay(true);
+    // Reset whenever a request completes; a connection that neither
+    // finishes a request nor closes within the idle timeout is dropped.
+    let mut last_activity = Instant::now();
     loop {
-        let frame = match wire::read_frame_cancellable(&mut stream, || stop.load(Ordering::SeqCst))
-        {
+        let idle = |last: Instant| {
+            config
+                .idle_timeout
+                .is_some_and(|limit| last.elapsed() > limit)
+        };
+        let frame = match wire::read_frame_cancellable(&mut stream, || {
+            stop.load(Ordering::SeqCst) || idle(last_activity)
+        }) {
             Ok(Some(frame)) => frame,
-            // Clean EOF or shutdown tick.
-            Ok(None) => return,
+            // Clean EOF, shutdown tick, or idle drop.
+            Ok(None) => {
+                if !stop.load(Ordering::SeqCst) && idle(last_activity) {
+                    counters.idle_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
             // Framing violations are unrecoverable: drop the connection.
             Err(_) => return,
         };
@@ -224,6 +273,7 @@ fn handle_connection(
         if respond(catalog, &mut stream, request, counters).is_err() {
             return;
         }
+        last_activity = Instant::now();
     }
 }
 
@@ -333,5 +383,9 @@ fn respond(
             ),
             Err(e) => fail(stream, counters, e),
         },
+        // No catalog access: a ping must stay cheap and answerable even
+        // when the store is busy — it measures the serve path, not the
+        // query path.
+        Request::Ping => send(stream, &Response::Pong(counters.snapshot())),
     }
 }

@@ -75,7 +75,7 @@ struct MergeOutcome {
 
 /// Concurrency/caching knobs (the grid itself lives in [`GridConfig`]
 /// and is persisted; these are per-process).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CatalogOptions {
     /// Ingest shards (write-lock stripes over tile ownership).
     pub shards: usize,
@@ -83,6 +83,12 @@ pub struct CatalogOptions {
     pub cache_capacity: usize,
     /// Lock stripes of the read cache.
     pub cache_stripes: usize,
+    /// Fault-injection plan ([`crate::fault::FaultPlan`]) threaded into
+    /// the persist path; `None` (the default) keeps every hook a no-op
+    /// branch on an absent option. Scripted crash actions make the
+    /// hooked operation return [`CatalogError::FaultInjected`] mid
+    /// flight — test harness only.
+    pub fault: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl Default for CatalogOptions {
@@ -91,6 +97,7 @@ impl Default for CatalogOptions {
             shards: 16,
             cache_capacity: 256,
             cache_stripes: 8,
+            fault: None,
         }
     }
 }
@@ -445,6 +452,9 @@ pub struct Catalog {
     /// The writer lease, when this instance was opened as a leased
     /// writer. Heartbeaten on ingest; released on drop.
     lease: Option<crate::lease::WriterLease>,
+    /// Fault-injection plan from [`CatalogOptions::fault`]; `None` in
+    /// production.
+    fault: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl Catalog {
@@ -572,7 +582,31 @@ impl Catalog {
             cache: TileCache::new(options.cache_capacity, options.cache_stripes),
             shard_locks: (0..options.shards.max(1)).map(|_| Mutex::new(())).collect(),
             lease: None,
+            fault: options.fault,
         })
+    }
+
+    /// Consults the injected fault plan (if any) at a persist-path site.
+    /// Latency actions sleep in place; a scripted crash abandons the
+    /// operation by returning [`CatalogError::FaultInjected`], modelling
+    /// a process death at exactly that point. Socket-only actions
+    /// (refuse/truncate/corrupt) are meaningless here and pass through.
+    fn fault_hook(&self, site: &'static str) -> Result<(), CatalogError> {
+        use crate::fault::FaultAction;
+        let Some(plan) = &self.fault else {
+            return Ok(());
+        };
+        match plan.next(site) {
+            FaultAction::DelayMs(ms) | FaultAction::StallMs(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+            FaultAction::Crash => Err(CatalogError::FaultInjected(site)),
+            FaultAction::None
+            | FaultAction::Refuse
+            | FaultAction::Truncate(_)
+            | FaultAction::Corrupt(_) => Ok(()),
+        }
     }
 
     /// The writer-lease record this instance holds, if it was opened as
@@ -724,6 +758,10 @@ impl Catalog {
         mode: IngestMode,
         locate: impl Fn(usize, u64) -> Option<(TileId, SampleRecord)> + Sync,
     ) -> Result<IngestReport, CatalogError> {
+        // Injected pause first, so a scripted stall longer than the
+        // lease ttl is caught by the heartbeat below: the writer
+        // self-fences with `LeaseLost` before touching any tile.
+        self.fault_hook(crate::fault::FaultPlan::INGEST_PAUSE)?;
         // A leased writer proves ownership (and self-fences when it
         // cannot) before every batch.
         if let Some(lease) = &self.lease {
@@ -957,7 +995,12 @@ impl Catalog {
         ));
         let tmp = path.with_extension("ledger.tmp");
         std::fs::write(&tmp, ledger.to_bytes())?;
+        // Crash here: tiles hold the source but the sidecar never
+        // records it — the next Skip ingest redoes the (idempotent)
+        // merges tile by tile and rewrites the sidecar.
+        self.fault_hook(crate::fault::FaultPlan::LEDGER_BEFORE_RENAME)?;
         std::fs::rename(&tmp, &path)?;
+        self.fault_hook(crate::fault::FaultPlan::LEDGER_AFTER_RENAME)?;
         Ok(())
     }
 
@@ -1114,7 +1157,13 @@ impl Catalog {
         let path = self.tile_path(key);
         let tmp = path.with_extension("tile.tmp");
         std::fs::write(&tmp, tile.to_bytes())?;
+        // Crash here: an orphaned `.tile.tmp` and the old tile intact.
+        self.fault_hook(crate::fault::FaultPlan::TILE_BEFORE_RENAME)?;
         std::fs::rename(&tmp, &path)?;
+        // Crash here: the new file is on disk but the index/cache bump
+        // never happens — reopen must rebuild the same state from the
+        // renamed file alone.
+        self.fault_hook(crate::fault::FaultPlan::TILE_AFTER_RENAME)?;
         Ok(())
     }
 
@@ -1894,6 +1943,7 @@ mod tests {
                 shards: 1,
                 cache_capacity: 1,
                 cache_stripes: 1,
+                ..CatalogOptions::default()
             },
         )
         .unwrap();

@@ -10,15 +10,23 @@
 //!
 //! Layering:
 //!
-//! - **Frame**: `u32` little-endian payload length, then the payload.
-//!   Payloads are capped at [`MAX_FRAME_BYTES`]; both ends drop the
-//!   connection on oversized frames.
+//! - **Frame**: `u32` little-endian payload length, `u64` little-endian
+//!   FNV-1a checksum of the payload, then the payload. Payloads are
+//!   capped at [`MAX_FRAME_BYTES`]; both ends drop the connection on
+//!   oversized frames. The checksum exists for the failure model: a
+//!   flipped bit anywhere in a frame must surface as a typed protocol
+//!   error (retryable — the RPCs are read-only), never decode into a
+//!   silently wrong answer. Artifact magic/version checks alone cannot
+//!   promise that, because a flip inside an `f64` field still decodes.
 //! - **Message**: one framed [`Request`] (`SIRQ` v2) or [`Response`]
 //!   (`SIRS` v2). Version 2 carries thickness: `TilePartial`,
 //!   `CellAggregate`, and `CatalogStats` payloads gained thickness
 //!   fields when the tile format moved to v3, so both message versions
 //!   were bumped together — a v1 peer fails the version check instead
-//!   of mis-framing the longer records.
+//!   of mis-framing the longer records. The health probe
+//!   ([`Request::Ping`] / [`Response::Pong`]) is a v2-compatible
+//!   extension: a pre-Ping v2 peer answers it with a clean
+//!   [`ERR_BAD_REQUEST`] error frame and the connection survives.
 //! - **Exchange**: one request, then one or more response frames.
 //!   Streamed record responses (tile partials, layer partials, cell
 //!   summaries) arrive as batch frames terminated by
@@ -33,6 +41,7 @@ use seaice::artifact::{Artifact, ArtifactError, Codec, Reader, Writer};
 
 use crate::cache::CacheStats;
 use crate::grid::{GridConfig, MapRect, TileScope, TimeKey, TimeRange};
+use crate::server::ServerStats;
 use crate::store::{CatalogStats, CellSummary, TilePartial};
 use crate::tile::CellAggregate;
 use crate::CatalogError;
@@ -61,10 +70,19 @@ pub const ERR_CATALOG: u16 = 3;
 // Framing.
 // ---------------------------------------------------------------------------
 
-/// Writes one length-prefixed frame. An oversized payload is a typed
-/// [`CatalogError::Protocol`] error *before* anything hits the socket —
-/// writing it would poison the connection, because the peer rejects the
-/// length prefix and drops the stream mid-exchange.
+/// FNV-1a checksum of a frame payload, as carried in the frame header.
+/// Single-bit flips anywhere in the header or payload are detected (see
+/// the `every_single_bit_flip_is_detected` test), which is what lets
+/// the failure model promise "typed error or bit-identical answer" —
+/// corruption can never decode into plausible numbers.
+pub fn frame_checksum(payload: &[u8]) -> u64 {
+    crate::fnv1a(payload.iter().copied())
+}
+
+/// Writes one length-prefixed, checksummed frame. An oversized payload
+/// is a typed [`CatalogError::Protocol`] error *before* anything hits
+/// the socket — writing it would poison the connection, because the
+/// peer rejects the length prefix and drops the stream mid-exchange.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), CatalogError> {
     if payload.len() > MAX_FRAME_BYTES {
         return Err(CatalogError::Protocol(format!(
@@ -73,6 +91,8 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), CatalogErro
         )));
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())
+        .map_err(CatalogError::Io)?;
+    w.write_all(&frame_checksum(payload).to_le_bytes())
         .map_err(CatalogError::Io)?;
     w.write_all(payload).map_err(CatalogError::Io)?;
     Ok(())
@@ -94,7 +114,7 @@ pub fn read_frame_cancellable(
     r: &mut impl Read,
     mut should_stop: impl FnMut() -> bool,
 ) -> Result<Option<Vec<u8>>, CatalogError> {
-    let mut header = [0u8; 4];
+    let mut header = [0u8; 12];
     match read_full(r, &mut header, &mut should_stop)? {
         ReadOutcome::Complete => {}
         ReadOutcome::CleanEof | ReadOutcome::Stopped => return Ok(None),
@@ -104,7 +124,8 @@ pub fn read_frame_cancellable(
             ))
         }
     }
-    let len = u32::from_le_bytes(header) as usize;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    let expected = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
     if len > MAX_FRAME_BYTES {
         return Err(CatalogError::Protocol(format!(
             "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
@@ -112,12 +133,20 @@ pub fn read_frame_cancellable(
     }
     let mut payload = vec![0u8; len];
     match read_full(r, &mut payload, &mut should_stop)? {
-        ReadOutcome::Complete => Ok(Some(payload)),
-        ReadOutcome::Stopped => Ok(None),
+        ReadOutcome::Complete => {}
+        ReadOutcome::Stopped => return Ok(None),
         ReadOutcome::CleanEof | ReadOutcome::TruncatedEof => {
-            Err(CatalogError::Protocol("connection closed mid-frame".into()))
+            return Err(CatalogError::Protocol("connection closed mid-frame".into()))
         }
     }
+    let got = frame_checksum(&payload);
+    if got != expected {
+        return Err(CatalogError::Protocol(format!(
+            "frame checksum mismatch (header {expected:#018x}, payload {got:#018x}): \
+             corrupted stream"
+        )));
+    }
+    Ok(Some(payload))
 }
 
 enum ReadOutcome {
@@ -279,6 +308,11 @@ pub enum Request {
         /// Tiles checked.
         scope: TileScope,
     },
+    /// Health probe: answers [`Response::Pong`] with the server's
+    /// serving counters. Cheap (no catalog access) — this is what
+    /// circuit-breaker half-open probes send. A pre-Ping v2 server
+    /// answers it with [`ERR_BAD_REQUEST`]; the connection survives.
+    Ping,
 }
 
 impl Codec for Request {
@@ -322,6 +356,7 @@ impl Codec for Request {
                 w.put_u8(7);
                 scope.encode(w);
             }
+            Request::Ping => w.put_u8(8),
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
@@ -357,6 +392,7 @@ impl Codec for Request {
             7 => Request::Validate {
                 scope: TileScope::decode(r)?,
             },
+            8 => Request::Ping,
             _ => return Err(ArtifactError::Invalid("request kind")),
         })
     }
@@ -406,6 +442,9 @@ pub enum Response {
         /// Human-readable description.
         message: String,
     },
+    /// Health-probe reply (answers [`Request::Ping`]): a snapshot of
+    /// the server's serving counters.
+    Pong(ServerStats),
 }
 
 impl Codec for Response {
@@ -445,6 +484,10 @@ impl Codec for Response {
                 w.put_u16(*code);
                 message.encode(w);
             }
+            Response::Pong(stats) => {
+                w.put_u8(8);
+                stats.encode(w);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
@@ -465,6 +508,7 @@ impl Codec for Response {
                 code: r.take_u16()?,
                 message: String::decode(r)?,
             },
+            8 => Response::Pong(ServerStats::decode(r)?),
             _ => return Err(ArtifactError::Invalid("response kind")),
         })
     }
@@ -507,6 +551,25 @@ impl Codec for CacheStats {
             hits: r.take_u64()?,
             misses: r.take_u64()?,
             evictions: r.take_u64()?,
+        })
+    }
+}
+
+impl Codec for ServerStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.connections);
+        w.put_u64(self.requests);
+        w.put_u64(self.records_streamed);
+        w.put_u64(self.errors);
+        w.put_u64(self.idle_dropped);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(ServerStats {
+            connections: r.take_u64()?,
+            requests: r.take_u64()?,
+            records_streamed: r.take_u64()?,
+            errors: r.take_u64()?,
+            idle_dropped: r.take_u64()?,
         })
     }
 }
@@ -600,6 +663,7 @@ mod tests {
                 scope: scope.clone(),
             },
             Request::Validate { scope },
+            Request::Ping,
         ] {
             roundtrip(&request);
         }
@@ -654,8 +718,42 @@ mod tests {
                 code: ERR_CATALOG,
                 message: "boom".into(),
             },
+            Response::Pong(ServerStats {
+                connections: 4,
+                requests: 100,
+                records_streamed: 5000,
+                errors: 2,
+                idle_dropped: 1,
+            }),
         ] {
             roundtrip(&response);
+        }
+    }
+
+    /// The failure-model keystone: flip any single bit of a framed
+    /// message — header length, header checksum, or payload — and the
+    /// read must fail typed. Without the frame checksum a flip inside
+    /// an `f64` field decodes silently into a wrong answer; this test
+    /// is why the chaos suite can promise bit-identical-or-typed-error
+    /// under byte corruption.
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let message = Response::TileBatch(vec![partial(), partial()]);
+        let mut clean = Vec::new();
+        write_message(&mut clean, &message).unwrap();
+        let back: Response = read_message(&mut std::io::Cursor::new(clean.clone()))
+            .unwrap()
+            .expect("clean frame reads back");
+        assert_eq!(back, message);
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut corrupt = clean.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    read_message::<Response>(&mut std::io::Cursor::new(corrupt)).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
         }
     }
 

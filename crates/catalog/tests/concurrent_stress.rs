@@ -179,6 +179,7 @@ fn ingest_order_and_batching_never_change_query_results() {
             shards: 3,
             cache_capacity: 4,
             cache_stripes: 2,
+            ..CatalogOptions::default()
         },
     )
     .unwrap();
@@ -229,6 +230,7 @@ fn readers_observe_consistent_snapshots_during_parallel_ingest() {
             shards: 8,
             cache_capacity: 6,
             cache_stripes: 4,
+            ..CatalogOptions::default()
         },
     )
     .unwrap();

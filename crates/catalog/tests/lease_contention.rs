@@ -4,12 +4,16 @@
 //! version index.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use icesat_geo::{MapPoint, EPSG_3976};
 use icesat_scene::SurfaceClass;
 use seaice::freeboard::{FreeboardPoint, FreeboardProduct};
-use seaice_catalog::{Catalog, CatalogError, CatalogOptions, GridConfig, LeaseOptions, TimeRange};
+use seaice_catalog::{
+    Catalog, CatalogError, CatalogOptions, FaultAction, FaultPlan, GridConfig, LeaseOptions,
+    TimeRange,
+};
 
 fn grid() -> GridConfig {
     GridConfig::new(MapPoint::new(-300_000.0, -1_300_000.0), 10_000.0, 2, 8).unwrap()
@@ -237,5 +241,93 @@ fn fenced_writer_refuses_ingest_after_takeover() {
     );
     drop(old);
     drop(taker);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The injected-pause variant of self-fencing: a writer wedged *inside*
+/// an ingest call (scripted [`FaultPlan`] stall past the ttl — a GC
+/// pause, a stopped VM) must come back, notice its lease is gone, and
+/// fence itself with [`CatalogError::LeaseLost`] before touching a
+/// tile. A takeover racing that stalled ingest never double-writes.
+#[test]
+fn stalled_writer_self_fences_and_takeover_never_double_writes() {
+    let dir = temp_dir("stall");
+    let ttl = Duration::from_millis(120);
+    // Script the stall on the writer's *second* ingest: hit 0 passes
+    // clean (and heartbeats), hit 1 wedges for 3×ttl.
+    let plan = Arc::new(FaultPlan::scripted().with(
+        FaultPlan::INGEST_PAUSE,
+        1,
+        FaultAction::StallMs(3 * ttl.as_millis() as u64),
+    ));
+    let writer = Catalog::create_writer(
+        &dir,
+        grid(),
+        CatalogOptions {
+            fault: Some(Arc::clone(&plan)),
+            ..CatalogOptions::default()
+        },
+        &LeaseOptions::new("wedged").with_ttl(ttl),
+    )
+    .unwrap();
+    writer
+        .ingest_beam(
+            "20191104195311_05000210",
+            0,
+            &line_product(200, -1_305_000.0, 0.2),
+        )
+        .unwrap();
+
+    // The wedged ingest runs in a thread; while it sleeps, a taker
+    // moves in over the stale lease and lands its own granule.
+    let stalled = std::thread::scope(|s| {
+        let handle = s.spawn(|| {
+            writer.ingest_beam(
+                "20191104195311_05010210",
+                1,
+                &line_product(150, -1_302_000.0, 0.3),
+            )
+        });
+        // Wait out the ttl (the stall is 3×), then take over.
+        std::thread::sleep(2 * ttl);
+        let taker = Catalog::open_writer(
+            &dir,
+            CatalogOptions::default(),
+            &LeaseOptions::new("taker").with_ttl(Duration::from_secs(30)),
+        )
+        .unwrap();
+        taker
+            .ingest_beam(
+                "20191204195311_05020210",
+                0,
+                &line_product(120, -1_303_000.0, 0.25),
+            )
+            .unwrap();
+        drop(taker);
+        handle.join().unwrap()
+    });
+
+    // The stalled writer self-fenced before its batch touched anything.
+    assert!(
+        matches!(stalled, Err(CatalogError::LeaseLost)),
+        "wedged writer must fence with LeaseLost, got {:?}",
+        stalled.map(|r| r.n_samples)
+    );
+    assert_eq!(plan.hits(FaultPlan::INGEST_PAUSE), 2);
+
+    // Ground truth holds exactly the pre-stall granule plus the
+    // taker's: the wedged batch left no trace, nothing doubled.
+    let reopened = Catalog::open(&dir).unwrap();
+    let whole = reopened
+        .query_rect(&reopened.grid().domain(), TimeRange::all())
+        .unwrap();
+    whole.check_consistency().unwrap();
+    assert_eq!(
+        whole.n_samples,
+        200 + 120,
+        "stalled writer's fenced batch leaked or takeover double-wrote"
+    );
+    reopened.validate().unwrap();
+    drop(writer);
     let _ = std::fs::remove_dir_all(&dir);
 }

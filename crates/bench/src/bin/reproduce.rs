@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures, and the perf trajectory.
 //!
 //! ```text
-//! reproduce [all|table1..table5|fig2|fig4|fig6|fig8|fig10|ablation|catalog|compact|serve|chaos|thickness|bench] \
+//! reproduce [all|table1..table5|fig2|fig4|fig6|fig8|fig10|ablation|catalog|compact|serve|chaos|observe|thickness|bench] \
 //!           [--quick] [--bench-json FILE]
 //! ```
 //!
@@ -13,7 +13,7 @@
 
 use seaice_bench::common::Scale;
 use seaice_bench::{
-    catalog, chaos, compact, figures, perf, serve, tables, thickness, ExperimentOutput,
+    catalog, chaos, compact, figures, observe, perf, serve, tables, thickness, ExperimentOutput,
 };
 
 fn main() {
@@ -65,6 +65,7 @@ fn main() {
         ("compact", compact::compact),
         ("serve", serve::serve),
         ("chaos", chaos::chaos),
+        ("observe", observe::observe),
         ("thickness", thickness::thickness),
         ("bench", perf::bench),
     ];
@@ -100,7 +101,7 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "unknown experiment '{}'. Options: all table1..table5 fig2 fig4 fig6 fig8 fig10 ablation catalog compact serve chaos thickness bench",
+            "unknown experiment '{}'. Options: all table1..table5 fig2 fig4 fig6 fig8 fig10 ablation catalog compact serve chaos observe thickness bench",
             targets.join(" ")
         );
         std::process::exit(2);

@@ -54,11 +54,18 @@ pub struct ChaosNumbers {
     pub recovery_ms: f64,
 }
 
-fn grid() -> GridConfig {
+pub(crate) fn grid() -> GridConfig {
     GridConfig::new(MapPoint::new(-300_000.0, -1_300_000.0), 10_000.0, 2, 8).unwrap()
 }
 
-fn line_product(n: usize, x0: f64, y0: f64, dx: f64, dy: f64, fb0: f64) -> FreeboardProduct {
+pub(crate) fn line_product(
+    n: usize,
+    x0: f64,
+    y0: f64,
+    dx: f64,
+    dy: f64,
+    fb0: f64,
+) -> FreeboardProduct {
     let points = (0..n)
         .map(|i| {
             let m = MapPoint::new(x0 + i as f64 * dx, y0 + i as f64 * dy);
@@ -78,7 +85,7 @@ fn line_product(n: usize, x0: f64, y0: f64, dx: f64, dy: f64, fb0: f64) -> Freeb
     }
 }
 
-fn build_store(dir: &std::path::Path) -> Catalog {
+pub(crate) fn build_store(dir: &std::path::Path) -> Catalog {
     let catalog = Catalog::create(dir, grid()).expect("chaos catalog");
     for (g, month) in ["201910", "201911"].iter().enumerate() {
         for beam in 0..2usize {
@@ -104,6 +111,7 @@ fn resilient_config() -> ClientConfig {
         connect_timeout: Some(Duration::from_millis(500)),
         request_deadline: Some(Duration::from_millis(700)),
         retry: RetryPolicy::attempts(4),
+        ..ClientConfig::default()
     }
 }
 
@@ -210,6 +218,7 @@ pub fn measure(scale: Scale) -> ChaosNumbers {
             connect_timeout: Some(Duration::from_millis(300)),
             request_deadline: Some(Duration::from_millis(500)),
             retry: RetryPolicy::attempts(2),
+            ..ClientConfig::default()
         },
         breaker_threshold: 2,
         breaker_cooldown: Duration::from_millis(100),

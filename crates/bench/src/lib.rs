@@ -16,6 +16,7 @@ pub mod chaos;
 pub mod common;
 pub mod compact;
 pub mod figures;
+pub mod observe;
 pub mod perf;
 pub mod serve;
 pub mod tables;

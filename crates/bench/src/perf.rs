@@ -35,6 +35,11 @@
 //!   deadline+retry overhead on the healthy path, completed throughput
 //!   under a seeded fault plan, and outage-to-first-answer recovery
 //!   latency of the replicated router;
+//! - `obs_overhead_pct` — the cost of metrics-on-by-default: the
+//!   per-request instrumentation mix (atomic counter bumps + lock-free
+//!   histogram records on both sides of the wire) timed in a tight
+//!   loop, as a percentage of the fastest mean served-request latency
+//!   from the serve sweep;
 //! - `staged_e2e_s` — one full staged pipeline run, seconds (lower is
 //!   better; every other metric is a rate).
 //!
@@ -312,6 +317,7 @@ pub fn bench(scale: Scale) -> ExperimentOutput {
     // tile-cache sweep is the serve-path scaling curve recorded in the
     // BENCH_*.json trajectory.
     drop(catalog);
+    let mut fastest_serve_lat_ms = f64::INFINITY;
     for point in crate::serve::sweep(&cat_dir, scale) {
         push(
             &mut metrics,
@@ -323,8 +329,40 @@ pub fn bench(scale: Scale) -> ExperimentOutput {
             &format!("serve_lat_t{}_c{}_ms", point.threads, point.cache_capacity),
             point.mean_latency_ms,
         );
+        fastest_serve_lat_ms = fastest_serve_lat_ms.min(point.mean_latency_ms);
     }
     let _ = std::fs::remove_dir_all(&cat_dir);
+
+    // --- Observability overhead ----------------------------------------
+    // The serve path performs a handful of atomic counter bumps and two
+    // lock-free histogram records per request (server and client side
+    // combined). Time exactly that instrumentation mix in a tight loop
+    // and express it against the *fastest* mean served-request latency
+    // from the sweep above — the worst-case share metrics-on-by-default
+    // can claim of a request.
+    let obs_registry = seaice_catalog::obs::MetricRegistry::new();
+    let requests_total = obs_registry.counter("bench_requests_total");
+    let per_kind =
+        obs_registry.counter_with("bench_requests_kind_total", &[("kind", "query_rect")]);
+    let attempts = obs_registry.counter("bench_attempts_total");
+    let server_us = obs_registry.histogram("bench_server_request_us");
+    let client_us = obs_registry.histogram("bench_client_request_us");
+    let obs_reps: u64 = 200_000;
+    let (_, obs_s) = timed(|| {
+        for i in 0..obs_reps {
+            requests_total.inc();
+            per_kind.inc();
+            attempts.inc();
+            server_us.record_us(i % 1024 + 1);
+            client_us.record_us(i % 4096 + 1);
+        }
+    });
+    let per_request_obs_us = obs_s * 1e6 / obs_reps as f64;
+    push(
+        &mut metrics,
+        "obs_overhead_pct",
+        100.0 * per_request_obs_us / (fastest_serve_lat_ms * 1e3).max(1e-9),
+    );
 
     // --- Serving resilience -------------------------------------------
     // Deadline/retry overhead, throughput under seeded faults, and

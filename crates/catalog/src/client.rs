@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use icesat_geo::{BoundingBox, GeoPoint, EPSG_3976};
 use seaice::freeboard::{FreeboardPoint, FreeboardProduct};
+use seaice_obs::{next_trace_id, Counter, Histogram, MetricRegistry, Trace, TraceLog, TraceReport};
 
 use crate::fault::splitmix64;
 use crate::grid::{GridConfig, MapRect, TileScope, TimeKey, TimeRange};
@@ -141,6 +142,17 @@ pub struct ClientConfig {
     pub request_deadline: Option<Duration>,
     /// Retry schedule for transport-class failures.
     pub retry: RetryPolicy,
+    /// When set, every request mints a fresh trace id
+    /// ([`seaice_obs::next_trace_id`]), carries it in the wire frame so
+    /// the server's span log picks it up, and records client-side spans
+    /// (`backoff` / `connect` / `exchange`) retrievable via
+    /// [`CatalogClient::last_trace`]. Off by default: untraced requests
+    /// send trace id 0 and skip all span bookkeeping.
+    pub trace: bool,
+    /// Metric registry the client's counters and latency histograms
+    /// register into; pass a catalog/server registry clone to merge
+    /// into one scrape. The default is a fresh private registry.
+    pub registry: MetricRegistry,
 }
 
 impl ClientConfig {
@@ -151,6 +163,32 @@ impl ClientConfig {
             connect_timeout: Some(Duration::from_secs(1)),
             request_deadline: Some(Duration::from_secs(2)),
             retry: RetryPolicy::attempts(3),
+            ..ClientConfig::default()
+        }
+    }
+}
+
+/// Pre-registered handles for the client's request metrics.
+#[derive(Clone)]
+struct ClientMetrics {
+    /// Attempts started, including first tries (`client_attempts_total`).
+    attempts: Counter,
+    /// Attempts that were retries (`client_retries_total`).
+    retries: Counter,
+    /// Attempts that died on the request deadline
+    /// (`client_deadline_hits_total`).
+    deadline_hits: Counter,
+    /// Wall clock of each successful exchange (`client_request_us`).
+    request_us: Histogram,
+}
+
+impl ClientMetrics {
+    fn new(registry: &MetricRegistry) -> ClientMetrics {
+        ClientMetrics {
+            attempts: registry.counter("client_attempts_total"),
+            retries: registry.counter("client_retries_total"),
+            deadline_hits: registry.counter("client_deadline_hits_total"),
+            request_us: registry.histogram("client_request_us"),
         }
     }
 }
@@ -202,7 +240,14 @@ pub struct CatalogClient {
     /// `None` only before the first successful handshake.
     grid: Option<GridConfig>,
     config: ClientConfig,
+    metrics: ClientMetrics,
+    /// Ring of completed traced-request reports (newest last); empty
+    /// unless [`ClientConfig::trace`] is on.
+    trace_log: TraceLog,
 }
+
+/// Completed traced requests a client keeps for inspection.
+const CLIENT_TRACE_LOG_CAP: usize = 32;
 
 impl CatalogClient {
     /// Connects with default (non-resilient) configuration and performs
@@ -215,14 +260,17 @@ impl CatalogClient {
     /// the initial connect + handshake runs under the same retry policy
     /// as requests.
     pub fn connect_with(addr: &str, config: ClientConfig) -> Result<CatalogClient, CatalogError> {
+        let metrics = ClientMetrics::new(&config.registry);
         let mut client = CatalogClient {
             addr: addr.to_string(),
             stream: None,
             grid: None,
             config,
+            metrics,
+            trace_log: TraceLog::new(CLIENT_TRACE_LOG_CAP),
         };
         // Forces connect + handshake under the retry policy.
-        client.with_retry(|_, _| Ok(()))?;
+        client.with_retry(|_, _, _| Ok(()))?;
         Ok(client)
     }
 
@@ -240,6 +288,35 @@ impl CatalogClient {
             Response::Pong(stats) => Ok(stats),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Full metric snapshot of the server, via
+    /// [`Request::Introspect`]: sorted Prometheus-style exposition text
+    /// (parse with [`seaice_obs::parse_exposition`]). Against a
+    /// pre-introspection server this surfaces as
+    /// [`CatalogError::Remote`] with `ERR_BAD_REQUEST` — the connection
+    /// stays usable.
+    pub fn introspect(&mut self) -> Result<String, CatalogError> {
+        match self.exchange_scalar(&Request::Introspect)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The metric registry this client records into.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.config.registry
+    }
+
+    /// The newest completed traced request, when [`ClientConfig::trace`]
+    /// is on.
+    pub fn last_trace(&self) -> Option<TraceReport> {
+        self.trace_log.recent().pop()
+    }
+
+    /// Completed traced requests, oldest first (bounded ring).
+    pub fn recent_traces(&self) -> Vec<TraceReport> {
+        self.trace_log.recent()
     }
 
     // -- Resilient transport ---------------------------------------------
@@ -264,33 +341,68 @@ impl CatalogClient {
     /// retries exhausted, fails typed: the raw error when only one
     /// attempt was allowed (pre-resilience behaviour), otherwise
     /// [`CatalogError::RetriesExhausted`].
+    ///
+    /// `f` receives the trace id to carry in its request frame: 0
+    /// (untraced) unless [`ClientConfig::trace`] minted one. Traced
+    /// requests record `backoff` / `connect` / `exchange` spans and land
+    /// their report in the client's trace ring whether they succeed or
+    /// exhaust retries.
     fn with_retry<T>(
         &mut self,
-        mut f: impl FnMut(&mut TcpStream, Deadline) -> Result<T, CatalogError>,
+        mut f: impl FnMut(&mut TcpStream, Deadline, u64) -> Result<T, CatalogError>,
     ) -> Result<T, CatalogError> {
+        let trace = self.config.trace.then(|| Trace::new(next_trace_id()));
+        let trace_id = trace.as_ref().map_or(0, |t| t.id());
+        let finish = |trace: Option<Trace>, log: &TraceLog| {
+            if let Some(t) = trace {
+                log.push(t.report());
+            }
+        };
         let attempts = self.config.retry.max_attempts.max(1);
         let mut last: Option<CatalogError> = None;
         for attempt in 0..attempts {
+            self.metrics.attempts.inc();
             if attempt > 0 {
+                self.metrics.retries.inc();
+                let _span = trace.as_ref().map(|t| t.span("backoff"));
                 std::thread::sleep(self.config.retry.backoff(attempt));
             }
-            if let Err(e) = self.ensure_connected() {
-                last = Some(e);
-                continue;
+            {
+                let _span = trace.as_ref().map(|t| t.span("connect"));
+                if let Err(e) = self.ensure_connected() {
+                    last = Some(e);
+                    continue;
+                }
             }
             let deadline = self.deadline();
             let stream = self.stream.as_mut().expect("just connected");
-            match f(stream, deadline) {
-                Ok(v) => return Ok(v),
+            let t0 = Instant::now();
+            let outcome = {
+                let _span = trace.as_ref().map(|t| t.span("exchange"));
+                f(stream, deadline, trace_id)
+            };
+            match outcome {
+                Ok(v) => {
+                    self.metrics.request_us.record(t0.elapsed());
+                    finish(trace, &self.trace_log);
+                    return Ok(v);
+                }
                 Err(e) if Self::is_transport(&e) => {
+                    if matches!(e, CatalogError::Timeout { .. }) {
+                        self.metrics.deadline_hits.inc();
+                    }
                     // The stream may be mid-exchange: poison it so the
                     // next attempt reconnects.
                     self.stream = None;
                     last = Some(e);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    finish(trace, &self.trace_log);
+                    return Err(e);
+                }
             }
         }
+        finish(trace, &self.trace_log);
         let last = last.expect("at least one attempt ran");
         if attempts == 1 {
             Err(last)
@@ -380,7 +492,7 @@ impl CatalogClient {
     /// [`CatalogError::Timeout`].
     fn read_response(stream: &mut TcpStream, deadline: Deadline) -> Result<Response, CatalogError> {
         match wire::read_frame_cancellable(stream, || deadline.expired())? {
-            Some(payload) => {
+            Some((payload, _trace_id)) => {
                 match <Response as seaice::artifact::Artifact>::from_bytes(&payload)? {
                     Response::Error { code, message } => {
                         Err(CatalogError::Remote { code, message })
@@ -407,8 +519,8 @@ impl CatalogClient {
     /// Sends `request` and reads exactly one response frame (with
     /// deadline, reconnect, and retry per the config).
     fn exchange_scalar(&mut self, request: &Request) -> Result<Response, CatalogError> {
-        self.with_retry(|stream, deadline| {
-            wire::write_message(stream, request)?;
+        self.with_retry(|stream, deadline, trace_id| {
+            wire::write_message_traced(stream, request, trace_id)?;
             Self::read_response(stream, deadline)
         })
     }
@@ -421,8 +533,8 @@ impl CatalogClient {
         request: &Request,
         take: impl Fn(Response) -> Result<Vec<T>, CatalogError>,
     ) -> Result<Vec<T>, CatalogError> {
-        self.with_retry(|stream, deadline| {
-            wire::write_message(stream, request)?;
+        self.with_retry(|stream, deadline, trace_id| {
+            wire::write_message_traced(stream, request, trace_id)?;
             let mut records: Vec<T> = Vec::new();
             loop {
                 match Self::read_response(stream, deadline)? {
@@ -738,20 +850,41 @@ struct BreakerInner {
     opened_at: Option<Instant>,
 }
 
+/// Shared state-transition counters
+/// (`router_breaker_transitions_total{to="…"}`) — one set per router,
+/// shared by every replica's breaker.
+#[derive(Clone)]
+struct BreakerMetrics {
+    to_closed: Counter,
+    to_open: Counter,
+    to_half_open: Counter,
+}
+
+impl BreakerMetrics {
+    fn new(registry: &MetricRegistry) -> BreakerMetrics {
+        let to = |s| registry.counter_with("router_breaker_transitions_total", &[("to", s)]);
+        BreakerMetrics {
+            to_closed: to("closed"),
+            to_open: to("open"),
+            to_half_open: to("half_open"),
+        }
+    }
+}
+
 /// Per-replica circuit breaker: trips open after
 /// [`RouterConfig::breaker_threshold`] consecutive transport failures,
 /// blocks traffic for the cooldown, then lets a single half-open probe
 /// decide. Shared (`Arc`) between the query path and the background
 /// prober.
-#[derive(Debug)]
 struct Breaker {
     threshold: u32,
     cooldown: Duration,
     inner: Mutex<BreakerInner>,
+    metrics: BreakerMetrics,
 }
 
 impl Breaker {
-    fn new(threshold: u32, cooldown: Duration) -> Breaker {
+    fn new(threshold: u32, cooldown: Duration, metrics: BreakerMetrics) -> Breaker {
         Breaker {
             threshold: threshold.max(1),
             cooldown,
@@ -760,6 +893,7 @@ impl Breaker {
                 consecutive_failures: 0,
                 opened_at: None,
             }),
+            metrics,
         }
     }
 
@@ -773,6 +907,7 @@ impl Breaker {
                 let cooled = g.opened_at.is_some_and(|at| at.elapsed() >= self.cooldown);
                 if cooled {
                     g.state = BreakerState::HalfOpen;
+                    self.metrics.to_half_open.inc();
                 }
                 cooled
             }
@@ -781,6 +916,9 @@ impl Breaker {
 
     fn on_success(&self) {
         let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if g.state != BreakerState::Closed {
+            self.metrics.to_closed.inc();
+        }
         g.state = BreakerState::Closed;
         g.consecutive_failures = 0;
         g.opened_at = None;
@@ -790,6 +928,9 @@ impl Breaker {
         let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         g.consecutive_failures += 1;
         if g.state == BreakerState::HalfOpen || g.consecutive_failures >= self.threshold {
+            if g.state != BreakerState::Open {
+                self.metrics.to_open.inc();
+            }
             g.state = BreakerState::Open;
             g.opened_at = Some(Instant::now());
         }
@@ -877,6 +1018,9 @@ pub struct ShardRouter {
     grid: GridConfig,
     config: RouterConfig,
     prober: Option<Prober>,
+    /// Routed answers that came back missing at least one scope
+    /// (`router_degraded_total`).
+    degraded: Counter,
 }
 
 struct Prober {
@@ -946,6 +1090,8 @@ impl ShardRouter {
                 }
             }
         }
+        let breaker_metrics = BreakerMetrics::new(&config.client.registry);
+        let degraded = config.client.registry.counter("router_degraded_total");
         let mut groups = Vec::with_capacity(specs.len());
         let mut grid: Option<GridConfig> = None;
         for spec in specs {
@@ -956,6 +1102,7 @@ impl ShardRouter {
                 let breaker = Arc::new(Breaker::new(
                     config.breaker_threshold,
                     config.breaker_cooldown,
+                    breaker_metrics.clone(),
                 ));
                 match CatalogClient::connect_with(addr, config.client.clone()) {
                     Ok(client) => {
@@ -1016,6 +1163,7 @@ impl ShardRouter {
             grid,
             config,
             prober: None,
+            degraded,
         };
         router.check_covering()?;
         router.spawn_prober();
@@ -1138,6 +1286,13 @@ impl ShardRouter {
         self.groups.len()
     }
 
+    /// The metric registry the router's breaker-transition and
+    /// degraded-answer counters record into (shared with its replica
+    /// clients via [`RouterConfig::client`]).
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.config.client.registry
+    }
+
     /// Breaker state of every replica, grouped by scope in shard-map
     /// order — observability for operators and the chaos suite.
     pub fn replica_states(&self) -> Vec<Vec<(String, BreakerState)>> {
@@ -1253,6 +1408,9 @@ impl ShardRouter {
                 GroupOutcome::Failed(e) => return Err(e),
             }
         }
+        if !missing.is_empty() {
+            self.degraded.inc();
+        }
         Ok((results, missing))
     }
 
@@ -1332,10 +1490,13 @@ impl ShardRouter {
         };
         match self.group_call(i, |c, scope| c.query_point_scoped(point, time, scope)) {
             GroupOutcome::Ok(cell) => Ok(complete(cell)),
-            GroupOutcome::Unreachable => Ok(Routed {
-                value: None,
-                missing: vec![self.groups[i].scope.clone()],
-            }),
+            GroupOutcome::Unreachable => {
+                self.degraded.inc();
+                Ok(Routed {
+                    value: None,
+                    missing: vec![self.groups[i].scope.clone()],
+                })
+            }
             GroupOutcome::Failed(e) => Err(e),
         }
     }

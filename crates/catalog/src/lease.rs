@@ -33,6 +33,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant, SystemTime};
 
 use seaice::artifact::{Artifact, ArtifactError, Codec, Reader, Writer};
+use seaice_obs::{Counter, MetricRegistry};
 
 use crate::CatalogError;
 
@@ -119,6 +120,20 @@ pub struct WriterLease {
     ttl: Duration,
     /// Last instant this process proved it still owned the lease.
     last_confirmed: Mutex<Instant>,
+    /// Heartbeat/fence event counters, attached when the lease is held
+    /// by a catalog with a metric registry (see
+    /// [`WriterLease::attach_metrics`]); `None` for a bare lease.
+    metrics: Option<LeaseMetrics>,
+}
+
+/// Observability handles for lease lifecycle events.
+#[derive(Debug, Clone)]
+struct LeaseMetrics {
+    /// Successful heartbeats (mtime refreshes that proved ownership).
+    heartbeats: Counter,
+    /// Self-fence events: heartbeats that found the lease lost — the
+    /// process paused past its ttl or the record was taken over.
+    fences: Counter,
 }
 
 /// A fresh fencing nonce: never 0, unique per (process, call).
@@ -193,6 +208,7 @@ impl WriterLease {
             record,
             ttl: options.ttl,
             last_confirmed: Mutex::new(Instant::now()),
+            metrics: None,
         })
     }
 
@@ -233,6 +249,24 @@ impl WriterLease {
         &self.record
     }
 
+    /// Registers this lease's event counters (`lease_heartbeats_total`,
+    /// `lease_fences_total`) into `registry`. Called by the leased
+    /// catalog constructors so lease health shows up in the same scrape
+    /// as everything else.
+    pub fn attach_metrics(&mut self, registry: &MetricRegistry) {
+        self.metrics = Some(LeaseMetrics {
+            heartbeats: registry.counter("lease_heartbeats_total"),
+            fences: registry.counter("lease_fences_total"),
+        });
+    }
+
+    /// Counts a lease-lost observation (at most one per heartbeat call).
+    fn count_fence(&self) {
+        if let Some(m) = &self.metrics {
+            m.fences.inc();
+        }
+    }
+
     /// The staleness horizon this lease was acquired with.
     pub fn ttl(&self) -> Duration {
         self.ttl
@@ -252,15 +286,26 @@ impl WriterLease {
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         if last.elapsed() > self.ttl {
+            self.count_fence();
             return Err(CatalogError::LeaseLost);
         }
-        let current = LeaseRecord::load(&self.path).map_err(|_| CatalogError::LeaseLost)?;
+        let current = match LeaseRecord::load(&self.path) {
+            Ok(current) => current,
+            Err(_) => {
+                self.count_fence();
+                return Err(CatalogError::LeaseLost);
+            }
+        };
         if current != self.record {
+            self.count_fence();
             return Err(CatalogError::LeaseLost);
         }
         let file = File::options().write(true).open(&self.path)?;
         file.set_modified(SystemTime::now())?;
         *last = Instant::now();
+        if let Some(m) = &self.metrics {
+            m.heartbeats.inc();
+        }
         Ok(())
     }
 

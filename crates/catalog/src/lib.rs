@@ -87,6 +87,11 @@ pub use store::{
 };
 pub use tile::{CatalogManifest, CellAggregate, LayerLedger, SampleRecord, Tile};
 
+/// The observability toolkit the catalog instruments itself with
+/// (metric registry, histograms, tracing) — re-exported so servers and
+/// clients can be scraped without naming `seaice-obs` directly.
+pub use seaice_obs as obs;
+
 /// Errors from catalog operations.
 #[derive(Debug)]
 pub enum CatalogError {

@@ -17,12 +17,13 @@
 //! for the normative wire spec.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use seaice::artifact::{Artifact, ArtifactError};
+use seaice_obs::{Counter, Gauge, Histogram, MetricRegistry, Trace, TraceLog, TraceReport};
 
 use crate::store::Catalog;
 use crate::wire::{
@@ -32,6 +33,9 @@ use crate::CatalogError;
 
 /// How often an idle connection wakes to check for shutdown.
 const IDLE_TICK: Duration = Duration::from_millis(100);
+
+/// Traced-request reports retained for `Introspect` scrapes.
+const TRACE_LOG_CAP: usize = 32;
 
 /// Serving configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -62,23 +66,80 @@ pub struct ServerStats {
     pub idle_dropped: u64,
 }
 
-#[derive(Default)]
+/// Request-kind labels, indexed by [`kind_index`]. Also the `kind`
+/// label values of the per-kind `server_requests_total` /
+/// `server_request_us` metrics.
+const KIND_LABELS: [&str; 10] = [
+    "manifest",
+    "query_rect",
+    "query_bbox",
+    "query_point",
+    "query_time_range",
+    "query_cells",
+    "stats",
+    "validate",
+    "ping",
+    "introspect",
+];
+
+/// Index of a request into the per-kind metric arrays.
+fn kind_index(request: &Request) -> usize {
+    match request {
+        Request::Manifest => 0,
+        Request::QueryRect { .. } => 1,
+        Request::QueryBbox { .. } => 2,
+        Request::QueryPoint { .. } => 3,
+        Request::QueryTimeRange { .. } => 4,
+        Request::QueryCells { .. } => 5,
+        Request::Stats { .. } => 6,
+        Request::Validate { .. } => 7,
+        Request::Ping => 8,
+        Request::Introspect => 9,
+    }
+}
+
+/// The server's registered metric handles. The plain lifetime counters
+/// (the `ServerStats` payload of a Pong) and the exposition metrics
+/// are the *same cells* — the registry hands out shared handles — so a
+/// health probe and an `Introspect` scrape can never disagree.
 struct Counters {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    records_streamed: AtomicU64,
-    errors: AtomicU64,
-    idle_dropped: AtomicU64,
+    connections: Counter,
+    connections_open: Gauge,
+    requests: Counter,
+    records_streamed: Counter,
+    errors: Counter,
+    idle_dropped: Counter,
+    malformed: Counter,
+    requests_by_kind: [Counter; KIND_LABELS.len()],
+    request_us_by_kind: [Histogram; KIND_LABELS.len()],
+    trace_log: TraceLog,
 }
 
 impl Counters {
+    fn new(registry: &MetricRegistry) -> Counters {
+        Counters {
+            connections: registry.counter("server_connections_total"),
+            connections_open: registry.gauge("server_connections_open"),
+            requests: registry.counter("server_requests_total"),
+            records_streamed: registry.counter("server_records_streamed_total"),
+            errors: registry.counter("server_errors_total"),
+            idle_dropped: registry.counter("server_idle_dropped_total"),
+            malformed: registry.counter("server_requests_malformed_total"),
+            requests_by_kind: KIND_LABELS
+                .map(|kind| registry.counter_with("server_requests_total", &[("kind", kind)])),
+            request_us_by_kind: KIND_LABELS
+                .map(|kind| registry.histogram_with("server_request_us", &[("kind", kind)])),
+            trace_log: TraceLog::new(TRACE_LOG_CAP),
+        }
+    }
+
     fn snapshot(&self) -> ServerStats {
         ServerStats {
-            connections: self.connections.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            records_streamed: self.records_streamed.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            idle_dropped: self.idle_dropped.load(Ordering::Relaxed),
+            connections: self.connections.get(),
+            requests: self.requests.get(),
+            records_streamed: self.records_streamed.get(),
+            errors: self.errors.get(),
+            idle_dropped: self.idle_dropped.get(),
         }
     }
 }
@@ -96,6 +157,7 @@ pub struct CatalogServer {
     accept_thread: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     counters: Arc<Counters>,
+    registry: MetricRegistry,
 }
 
 impl CatalogServer {
@@ -118,7 +180,11 @@ impl CatalogServer {
         let listener_clone = listener.try_clone()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let counters = Arc::new(Counters::default());
+        // The server registers its metrics in the catalog's registry,
+        // so one Introspect scrape snapshots the whole process: serve
+        // path, tile cache, ingest stages, and lease events together.
+        let registry = catalog.registry().clone();
+        let counters = Arc::new(Counters::new(&registry));
 
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_handlers = Arc::clone(&handlers);
@@ -138,7 +204,7 @@ impl CatalogServer {
                         continue;
                     }
                 };
-                accept_counters.connections.fetch_add(1, Ordering::Relaxed);
+                accept_counters.connections.inc();
                 let catalog = Arc::clone(&catalog);
                 let stop = Arc::clone(&accept_shutdown);
                 let counters = Arc::clone(&accept_counters);
@@ -169,6 +235,7 @@ impl CatalogServer {
             accept_thread: Some(accept_thread),
             handlers,
             counters,
+            registry,
         })
     }
 
@@ -180,6 +247,18 @@ impl CatalogServer {
     /// Lifetime serving counters.
     pub fn stats(&self) -> ServerStats {
         self.counters.snapshot()
+    }
+
+    /// The metric registry this server records into (shared with its
+    /// catalog). What an `Introspect` scrape renders.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    /// The most recent traced-request breakdowns (requests whose frame
+    /// carried a non-zero trace id), oldest first.
+    pub fn recent_traces(&self) -> Vec<TraceReport> {
+        self.counters.trace_log.recent()
     }
 
     /// Stops accepting, drains every handler thread, and closes the
@@ -226,6 +305,15 @@ fn handle_connection(
 ) {
     let _ = stream.set_read_timeout(Some(IDLE_TICK));
     let _ = stream.set_nodelay(true);
+    counters.connections_open.add(1);
+    // Balances the gauge on every exit path of the request loop.
+    struct OpenGuard<'a>(&'a Gauge);
+    impl Drop for OpenGuard<'_> {
+        fn drop(&mut self) {
+            self.0.add(-1);
+        }
+    }
+    let _open = OpenGuard(&counters.connections_open);
     // Reset whenever a request completes; a connection that neither
     // finishes a request nor closes within the idle timeout is dropped.
     let mut last_activity = Instant::now();
@@ -235,21 +323,23 @@ fn handle_connection(
                 .idle_timeout
                 .is_some_and(|limit| last.elapsed() > limit)
         };
-        let frame = match wire::read_frame_cancellable(&mut stream, || {
+        let (frame, trace_id) = match wire::read_frame_cancellable(&mut stream, || {
             stop.load(Ordering::SeqCst) || idle(last_activity)
         }) {
             Ok(Some(frame)) => frame,
             // Clean EOF, shutdown tick, or idle drop.
             Ok(None) => {
                 if !stop.load(Ordering::SeqCst) && idle(last_activity) {
-                    counters.idle_dropped.fetch_add(1, Ordering::Relaxed);
+                    counters.idle_dropped.inc();
                 }
                 return;
             }
             // Framing violations are unrecoverable: drop the connection.
             Err(_) => return,
         };
-        counters.requests.fetch_add(1, Ordering::Relaxed);
+        // A request is counted only once it decodes — malformed frames
+        // get their own counter instead of inflating `requests` with
+        // entries no per-kind metric accounts for.
         let request = match Request::from_bytes(&frame) {
             Ok(request) => request,
             Err(e) => {
@@ -259,37 +349,53 @@ fn handle_connection(
                     ArtifactError::BadMagic | ArtifactError::BadVersion(_) => ERR_BAD_VERSION,
                     _ => ERR_BAD_REQUEST,
                 };
-                counters.errors.fetch_add(1, Ordering::Relaxed);
+                counters.malformed.inc();
+                counters.errors.inc();
                 let frame = Response::Error {
                     code,
                     message: e.to_string(),
                 };
-                if wire::write_message(&mut stream, &frame).is_err() {
+                if wire::write_message_traced(&mut stream, &frame, trace_id).is_err() {
                     return;
                 }
                 continue;
             }
         };
-        if respond(catalog, &mut stream, request, counters).is_err() {
+        let kind = kind_index(&request);
+        counters.requests.inc();
+        counters.requests_by_kind[kind].inc();
+        // A non-zero frame trace id asks for a server-side breakdown.
+        let trace = (trace_id != 0).then(|| Trace::new(trace_id));
+        let t0 = Instant::now();
+        let outcome = respond(catalog, &mut stream, request, counters, trace_id, &trace);
+        counters.request_us_by_kind[kind].record(t0.elapsed());
+        if let Some(trace) = trace {
+            counters.trace_log.push(trace.report());
+        }
+        if outcome.is_err() {
             return;
         }
         last_activity = Instant::now();
     }
 }
 
-/// Sends one response frame, surfacing only transport failures (which
-/// end the connection).
-fn send(stream: &mut TcpStream, response: &Response) -> Result<(), CatalogError> {
-    wire::write_message(stream, response)
+/// Sends one response frame (echoing the request's trace id),
+/// surfacing only transport failures (which end the connection).
+fn send(stream: &mut TcpStream, response: &Response, trace_id: u64) -> Result<(), CatalogError> {
+    wire::write_message_traced(stream, response, trace_id)
 }
 
 /// Answers one request. `Err` means the transport broke; catalog-side
-/// failures become error frames and keep the connection alive.
+/// failures become error frames and keep the connection alive. When
+/// `trace` is set (the request frame carried a non-zero trace id), the
+/// query and streaming phases record spans into it.
 fn respond(
     catalog: &Catalog,
     stream: &mut TcpStream,
     request: Request,
     counters: &Counters,
+    trace_id: u64,
+    trace: &Option<Trace>,
 ) -> Result<(), CatalogError> {
     /// Streams `records` as batch frames + a `Done` trailer. Chunking
     /// honours both the record cap and the per-frame byte budget, so no
@@ -299,80 +405,136 @@ fn respond(
     fn stream_batches<T: seaice::artifact::Codec>(
         stream: &mut TcpStream,
         counters: &Counters,
+        trace_id: u64,
+        trace: &Option<Trace>,
         records: Vec<T>,
         make: impl Fn(Vec<T>) -> Response,
     ) -> Result<(), CatalogError> {
+        let _span = trace.as_ref().map(|t| t.span("stream"));
         let total = records.len() as u64;
         let ranges = wire::batch_ranges(&records, BATCH_RECORDS, wire::MAX_BATCH_BYTES);
         let mut records = records;
         for range in ranges {
             let rest = records.split_off(range.len());
             let batch = std::mem::replace(&mut records, rest);
-            wire::write_message(stream, &make(batch))?;
+            wire::write_message_traced(stream, &make(batch), trace_id)?;
         }
-        counters
-            .records_streamed
-            .fetch_add(total, Ordering::Relaxed);
-        wire::write_message(stream, &Response::Done { n_records: total })
+        counters.records_streamed.add(total);
+        wire::write_message_traced(stream, &Response::Done { n_records: total }, trace_id)
     }
 
     /// Converts a catalog-side failure into an error frame.
     fn fail(
         stream: &mut TcpStream,
         counters: &Counters,
+        trace_id: u64,
         e: CatalogError,
     ) -> Result<(), CatalogError> {
-        counters.errors.fetch_add(1, Ordering::Relaxed);
-        wire::write_message(
+        counters.errors.inc();
+        wire::write_message_traced(
             stream,
             &Response::Error {
                 code: ERR_CATALOG,
                 message: e.to_string(),
             },
+            trace_id,
         )
     }
 
+    /// Opens a `"query"` span for the catalog-access phase.
+    fn query_span(trace: &Option<Trace>) -> Option<seaice_obs::SpanGuard> {
+        trace.as_ref().map(|t| t.span("query"))
+    }
+
     match request {
-        Request::Manifest => send(stream, &Response::Manifest(*catalog.grid())),
+        Request::Manifest => send(stream, &Response::Manifest(*catalog.grid()), trace_id),
         Request::QueryRect { rect, time, scope } => {
-            match catalog.query_rect_partials(&rect, time, &scope) {
-                Ok(partials) => stream_batches(stream, counters, partials, Response::TileBatch),
-                Err(e) => fail(stream, counters, e),
+            let queried = {
+                let _span = query_span(trace);
+                catalog.query_rect_partials(&rect, time, &scope)
+            };
+            match queried {
+                Ok(partials) => stream_batches(
+                    stream,
+                    counters,
+                    trace_id,
+                    trace,
+                    partials,
+                    Response::TileBatch,
+                ),
+                Err(e) => fail(stream, counters, trace_id, e),
             }
         }
         Request::QueryBbox { bbox, time, scope } => {
-            match catalog.query_bbox_partials(&bbox, time, &scope) {
-                Ok(partials) => stream_batches(stream, counters, partials, Response::TileBatch),
-                Err(e) => fail(stream, counters, e),
+            let queried = {
+                let _span = query_span(trace);
+                catalog.query_bbox_partials(&bbox, time, &scope)
+            };
+            match queried {
+                Ok(partials) => stream_batches(
+                    stream,
+                    counters,
+                    trace_id,
+                    trace,
+                    partials,
+                    Response::TileBatch,
+                ),
+                Err(e) => fail(stream, counters, trace_id, e),
             }
         }
         Request::QueryPoint { point, time, scope } => {
-            match catalog.query_point_scoped(point, time, &scope) {
-                Ok(cell) => send(stream, &Response::Point(cell)),
-                Err(e) => fail(stream, counters, e),
+            let queried = {
+                let _span = query_span(trace);
+                catalog.query_point_scoped(point, time, &scope)
+            };
+            match queried {
+                Ok(cell) => send(stream, &Response::Point(cell), trace_id),
+                Err(e) => fail(stream, counters, trace_id, e),
             }
         }
         Request::QueryTimeRange { time, scope } => {
-            match catalog.query_time_range_partials(time, &scope) {
+            let queried = {
+                let _span = query_span(trace);
+                catalog.query_time_range_partials(time, &scope)
+            };
+            match queried {
                 Ok(layers) => {
                     let records: Vec<(crate::grid::TimeKey, crate::store::TilePartial)> = layers
                         .into_iter()
                         .flat_map(|(t, partials)| partials.into_iter().map(move |p| (t, p)))
                         .collect();
-                    stream_batches(stream, counters, records, Response::LayerBatch)
+                    stream_batches(
+                        stream,
+                        counters,
+                        trace_id,
+                        trace,
+                        records,
+                        Response::LayerBatch,
+                    )
                 }
-                Err(e) => fail(stream, counters, e),
+                Err(e) => fail(stream, counters, trace_id, e),
             }
         }
         Request::QueryCells { rect, time, scope } => {
-            match catalog.query_cells_scoped(&rect, time, &scope) {
-                Ok(cells) => stream_batches(stream, counters, cells, Response::CellBatch),
-                Err(e) => fail(stream, counters, e),
+            let queried = {
+                let _span = query_span(trace);
+                catalog.query_cells_scoped(&rect, time, &scope)
+            };
+            match queried {
+                Ok(cells) => stream_batches(
+                    stream,
+                    counters,
+                    trace_id,
+                    trace,
+                    cells,
+                    Response::CellBatch,
+                ),
+                Err(e) => fail(stream, counters, trace_id, e),
             }
         }
         Request::Stats { scope } => {
             let (stats, layers) = catalog.scoped_stats(&scope);
-            send(stream, &Response::Stats { stats, layers })
+            send(stream, &Response::Stats { stats, layers }, trace_id)
         }
         Request::Validate { scope } => match catalog.validate_scoped(&scope) {
             Ok(checked) => send(
@@ -380,12 +542,21 @@ fn respond(
                 &Response::Done {
                     n_records: checked as u64,
                 },
+                trace_id,
             ),
-            Err(e) => fail(stream, counters, e),
+            Err(e) => fail(stream, counters, trace_id, e),
         },
         // No catalog access: a ping must stay cheap and answerable even
         // when the store is busy — it measures the serve path, not the
         // query path.
-        Request::Ping => send(stream, &Response::Pong(counters.snapshot())),
+        Request::Ping => send(stream, &Response::Pong(counters.snapshot()), trace_id),
+        // The full observability snapshot: every metric the catalog and
+        // this server registered, plus the recent traced-request
+        // breakdowns, as text exposition lines.
+        Request::Introspect => {
+            let mut text = catalog.expose();
+            counters.trace_log.expose_into(&mut text);
+            send(stream, &Response::Metrics(text), trace_id)
+        }
     }
 }

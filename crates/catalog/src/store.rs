@@ -33,6 +33,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use icesat_atl03::Beam;
 use icesat_geo::{BoundingBox, GeoPoint, MapPoint, EPSG_3976};
@@ -43,6 +44,7 @@ use seaice::fleet::BeamProducts;
 use seaice::freeboard::FreeboardProduct;
 use seaice::stages::TrainedModels;
 use seaice::FleetDriver;
+use seaice_obs::{Counter, Histogram, MetricRegistry};
 use seaice_products::{BeamThickness, SnowDepthModel, ThicknessRetrieval};
 use sparklite::StageReport;
 
@@ -89,6 +91,12 @@ pub struct CatalogOptions {
     /// hooked operation return [`CatalogError::FaultInjected`] mid
     /// flight — test harness only.
     pub fault: Option<Arc<crate::fault::FaultPlan>>,
+    /// Metric registry the catalog records into. The default is a fresh
+    /// registry private to this catalog; pass a shared clone to merge
+    /// several components' metrics into one scrape (the served path does
+    /// this: [`crate::server::CatalogServer`] registers its request
+    /// counters and latency histograms into the catalog's registry).
+    pub registry: MetricRegistry,
 }
 
 impl Default for CatalogOptions {
@@ -98,6 +106,35 @@ impl Default for CatalogOptions {
             cache_capacity: 256,
             cache_stripes: 8,
             fault: None,
+            registry: MetricRegistry::new(),
+        }
+    }
+}
+
+/// Pre-registered handles for the store's hot-path metrics, resolved
+/// once at open so recording on the ingest path never touches the
+/// registry's name map (a handle is a couple of `Arc`'d atomics).
+struct StoreMetrics {
+    ingest_calls: Counter,
+    ingest_samples: Counter,
+    ingest_skipped: Counter,
+    stage_project_us: Histogram,
+    stage_merge_us: Histogram,
+    stage_persist_us: Histogram,
+    stage_ledger_us: Histogram,
+}
+
+impl StoreMetrics {
+    fn new(registry: &MetricRegistry) -> StoreMetrics {
+        let stage = |s| registry.histogram_with("ingest_stage_us", &[("stage", s)]);
+        StoreMetrics {
+            ingest_calls: registry.counter("ingest_calls_total"),
+            ingest_samples: registry.counter("ingest_samples_total"),
+            ingest_skipped: registry.counter("ingest_samples_skipped_total"),
+            stage_project_us: stage("project"),
+            stage_merge_us: stage("merge"),
+            stage_persist_us: stage("persist"),
+            stage_ledger_us: stage("ledger"),
         }
     }
 }
@@ -455,6 +492,11 @@ pub struct Catalog {
     /// Fault-injection plan from [`CatalogOptions::fault`]; `None` in
     /// production.
     fault: Option<Arc<crate::fault::FaultPlan>>,
+    /// Metric registry from [`CatalogOptions::registry`] — shared with
+    /// the server/clients when they are handed a clone.
+    registry: MetricRegistry,
+    /// Hot-path metric handles, pre-registered at open.
+    metrics: StoreMetrics,
 }
 
 impl Catalog {
@@ -493,8 +535,9 @@ impl Catalog {
         options: CatalogOptions,
         lease: &crate::lease::LeaseOptions,
     ) -> Result<Catalog, CatalogError> {
-        let held = crate::lease::WriterLease::acquire(dir, lease)?;
+        let mut held = crate::lease::WriterLease::acquire(dir, lease)?;
         let mut catalog = Catalog::create_with(dir, grid, options)?;
+        held.attach_metrics(catalog.registry());
         catalog.lease = Some(held);
         Ok(catalog)
     }
@@ -517,8 +560,9 @@ impl Catalog {
         options: CatalogOptions,
         lease: &crate::lease::LeaseOptions,
     ) -> Result<Catalog, CatalogError> {
-        let held = crate::lease::WriterLease::acquire(dir, lease)?;
+        let mut held = crate::lease::WriterLease::acquire(dir, lease)?;
         let mut catalog = Catalog::open_with(dir, options)?;
+        held.attach_metrics(catalog.registry());
         catalog.lease = Some(held);
         Ok(catalog)
     }
@@ -572,6 +616,7 @@ impl Catalog {
                 }
             }
         }
+        let metrics = StoreMetrics::new(&options.registry);
         Ok(Catalog {
             grid,
             dir: dir.to_path_buf(),
@@ -583,6 +628,8 @@ impl Catalog {
             shard_locks: (0..options.shards.max(1)).map(|_| Mutex::new(())).collect(),
             lease: None,
             fault: options.fault,
+            registry: options.registry,
+            metrics,
         })
     }
 
@@ -613,6 +660,50 @@ impl Catalog {
     /// a leased writer.
     pub fn lease(&self) -> Option<&crate::lease::LeaseRecord> {
         self.lease.as_ref().map(|l| l.record())
+    }
+
+    /// The metric registry this catalog records into (see
+    /// [`CatalogOptions::registry`]). The served path shares it: a
+    /// [`crate::server::CatalogServer`] clones this registry so one
+    /// `Introspect` scrape covers serving, cache, ingest, and lease
+    /// metrics together.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    /// Full observability snapshot as sorted Prometheus-style text: the
+    /// registry's exposition plus store-derived lines computed at scrape
+    /// time — tile-cache hit/miss/eviction counters and index-level
+    /// totals. Parse with [`seaice_obs::parse_exposition`]. The counter
+    /// lines are monotone non-decreasing across successive scrapes (the
+    /// cache counters are monotone atomics; `store_tiles` /
+    /// `store_samples` are gauges that can shrink under
+    /// [`IngestMode::Replace`]).
+    pub fn expose(&self) -> String {
+        let text = self.registry.expose();
+        let mut lines: Vec<&str> = text.lines().collect();
+        let cache = self.cache.stats();
+        let index = self.index.read().unwrap_or_else(|e| e.into_inner());
+        let n_tiles = index.len();
+        let n_samples: u64 = index.values().map(|e| e.n_samples).sum();
+        drop(index);
+        let derived = [
+            format!("store_samples {n_samples}"),
+            format!("store_tiles {n_tiles}"),
+            format!("tile_cache_evictions_total {}", cache.evictions),
+            format!("tile_cache_hits_total {}", cache.hits),
+            format!("tile_cache_misses_total {}", cache.misses),
+        ];
+        for line in &derived {
+            lines.push(line);
+        }
+        lines.sort_unstable();
+        let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
     }
 
     /// The grid tiles are addressed with.
@@ -767,12 +858,14 @@ impl Catalog {
         if let Some(lease) = &self.lease {
             lease.heartbeat_if_due()?;
         }
+        self.metrics.ingest_calls.inc();
         let time = TimeKey::from_granule_id(granule_id)?;
         let source = SampleRecord::source_id(granule_id, beam_index);
         // Skip fast path: the layer's sidecar ledger records completed
         // ingests, so a whole re-run short-circuits before projecting a
         // single point — no tile is touched, no file rewritten.
         if mode == IngestMode::Skip && self.layer_has_source(time, source) {
+            self.metrics.ingest_skipped.add(n_points as u64);
             return Ok(IngestReport {
                 n_skipped: n_points,
                 ..IngestReport::default()
@@ -788,10 +881,12 @@ impl Catalog {
         }
 
         // Project + locate every sample (pure, order-preserving, parallel).
+        let stage_t0 = Instant::now();
         let located: Vec<Option<(TileId, SampleRecord)>> = (0..n_points)
             .into_par_iter()
             .map(|i| locate(i, source))
             .collect();
+        self.metrics.stage_project_us.record(stage_t0.elapsed());
 
         // Group by destination tile.
         let mut groups: BTreeMap<TileId, Vec<SampleRecord>> = BTreeMap::new();
@@ -808,6 +903,9 @@ impl Catalog {
         // Apply merges, parallel across tiles (shard locks serialise
         // same-shard keys).
         let groups: Vec<(TileId, Vec<SampleRecord>)> = groups.into_iter().collect();
+        // The merge stage's wall clock covers the whole fan-out; the
+        // per-tile persist histogram below it carves out the disk share.
+        let stage_t0 = Instant::now();
         let results: Vec<Result<MergeOutcome, CatalogError>> = (0..groups.len())
             .into_par_iter()
             .map(|i| {
@@ -815,6 +913,7 @@ impl Catalog {
                 self.apply_merge(TileKey { time, tile: *tile }, batch, source, mode)
             })
             .collect();
+        self.metrics.stage_merge_us.record(stage_t0.elapsed());
         let mut n_samples = 0usize;
         let mut n_skipped = 0usize;
         let mut n_replaced = 0usize;
@@ -849,7 +948,11 @@ impl Catalog {
         // Record the completed ingest in the sidecar ledger last, so a
         // crash anywhere above leaves the source unrecorded and the next
         // ingest heals the partial state tile by tile.
+        let stage_t0 = Instant::now();
         self.record_layer_source(time, source)?;
+        self.metrics.stage_ledger_us.record(stage_t0.elapsed());
+        self.metrics.ingest_samples.add(n_samples as u64);
+        self.metrics.ingest_skipped.add(n_skipped as u64);
         Ok(IngestReport {
             n_samples,
             n_out_of_domain: n_out,
@@ -1154,6 +1257,7 @@ impl Catalog {
     /// Atomic tile replacement: write a temp file, then rename over the
     /// final path, so concurrent readers see a complete old or new tile.
     fn persist(&self, key: &TileKey, tile: &Tile) -> Result<(), CatalogError> {
+        let t0 = Instant::now();
         let path = self.tile_path(key);
         let tmp = path.with_extension("tile.tmp");
         std::fs::write(&tmp, tile.to_bytes())?;
@@ -1164,6 +1268,9 @@ impl Catalog {
         // never happens — reopen must rebuild the same state from the
         // renamed file alone.
         self.fault_hook(crate::fault::FaultPlan::TILE_AFTER_RENAME)?;
+        // Only completed persists are recorded: a fault-injected abort
+        // models a process death, where no one is left to observe.
+        self.metrics.stage_persist_us.record(t0.elapsed());
         Ok(())
     }
 

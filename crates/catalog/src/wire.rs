@@ -11,7 +11,10 @@
 //! Layering:
 //!
 //! - **Frame**: `u32` little-endian payload length, `u64` little-endian
-//!   FNV-1a checksum of the payload, then the payload. Payloads are
+//!   FNV-1a checksum of the trace id and payload, `u64` little-endian
+//!   **trace id** (0 = untraced; a client-minted id echoed by every
+//!   response frame of the exchange, so one request can be followed
+//!   client → router → shard server), then the payload. Payloads are
 //!   capped at [`MAX_FRAME_BYTES`]; both ends drop the connection on
 //!   oversized frames. The checksum exists for the failure model: a
 //!   flipped bit anywhere in a frame must surface as a typed protocol
@@ -27,6 +30,8 @@
 //!   ([`Request::Ping`] / [`Response::Pong`]) is a v2-compatible
 //!   extension: a pre-Ping v2 peer answers it with a clean
 //!   [`ERR_BAD_REQUEST`] error frame and the connection survives.
+//!   [`Request::Introspect`] / [`Response::Metrics`] (the full
+//!   observability snapshot, PR 8) extends v2 the same way.
 //! - **Exchange**: one request, then one or more response frames.
 //!   Streamed record responses (tile partials, layer partials, cell
 //!   summaries) arrive as batch frames terminated by
@@ -70,20 +75,37 @@ pub const ERR_CATALOG: u16 = 3;
 // Framing.
 // ---------------------------------------------------------------------------
 
-/// FNV-1a checksum of a frame payload, as carried in the frame header.
-/// Single-bit flips anywhere in the header or payload are detected (see
-/// the `every_single_bit_flip_is_detected` test), which is what lets
-/// the failure model promise "typed error or bit-identical answer" —
-/// corruption can never decode into plausible numbers.
-pub fn frame_checksum(payload: &[u8]) -> u64 {
-    crate::fnv1a(payload.iter().copied())
+/// FNV-1a checksum of a frame's trace id and payload, as carried in
+/// the frame header. Single-bit flips anywhere in the header or
+/// payload are detected (see the `every_single_bit_flip_is_detected`
+/// test), which is what lets the failure model promise "typed error or
+/// bit-identical answer" — corruption can never decode into plausible
+/// numbers. The trace id is covered so a flipped trace-id bit cannot
+/// silently mislabel a request's timing breakdown either.
+pub fn frame_checksum(trace_id: u64, payload: &[u8]) -> u64 {
+    crate::fnv1a(
+        trace_id
+            .to_le_bytes()
+            .into_iter()
+            .chain(payload.iter().copied()),
+    )
 }
 
-/// Writes one length-prefixed, checksummed frame. An oversized payload
-/// is a typed [`CatalogError::Protocol`] error *before* anything hits
-/// the socket — writing it would poison the connection, because the
-/// peer rejects the length prefix and drops the stream mid-exchange.
+/// Writes one untraced frame (trace id 0): [`write_frame_traced`].
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), CatalogError> {
+    write_frame_traced(w, payload, 0)
+}
+
+/// Writes one length-prefixed, checksummed frame carrying `trace_id`
+/// (0 = untraced). An oversized payload is a typed
+/// [`CatalogError::Protocol`] error *before* anything hits the socket
+/// — writing it would poison the connection, because the peer rejects
+/// the length prefix and drops the stream mid-exchange.
+pub fn write_frame_traced(
+    w: &mut impl Write,
+    payload: &[u8],
+    trace_id: u64,
+) -> Result<(), CatalogError> {
     if payload.len() > MAX_FRAME_BYTES {
         return Err(CatalogError::Protocol(format!(
             "refusing to write a {}-byte frame (cap {MAX_FRAME_BYTES})",
@@ -92,29 +114,32 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), CatalogErro
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())
         .map_err(CatalogError::Io)?;
-    w.write_all(&frame_checksum(payload).to_le_bytes())
+    w.write_all(&frame_checksum(trace_id, payload).to_le_bytes())
+        .map_err(CatalogError::Io)?;
+    w.write_all(&trace_id.to_le_bytes())
         .map_err(CatalogError::Io)?;
     w.write_all(payload).map_err(CatalogError::Io)?;
     Ok(())
 }
 
-/// Reads one length-prefixed frame, blocking. `Ok(None)` is a clean
-/// end-of-stream at a frame boundary; EOF inside a frame, an oversized
-/// length, or I/O failure are errors.
+/// Reads one length-prefixed frame, blocking, discarding the trace id.
+/// `Ok(None)` is a clean end-of-stream at a frame boundary; EOF inside
+/// a frame, an oversized length, or I/O failure are errors.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, CatalogError> {
-    read_frame_cancellable(r, || false)
+    Ok(read_frame_cancellable(r, || false)?.map(|(payload, _)| payload))
 }
 
 /// [`read_frame`] for sockets with a read timeout: on a timeout that
 /// lands *between* frames, `should_stop` decides whether to keep
 /// waiting (`false`) or end the stream cleanly (`true`). A timeout
 /// inside a frame keeps reading (the peer is mid-send) unless
-/// `should_stop` asks to abandon the connection.
+/// `should_stop` asks to abandon the connection. Returns the payload
+/// and the frame's trace id (0 = untraced).
 pub fn read_frame_cancellable(
     r: &mut impl Read,
     mut should_stop: impl FnMut() -> bool,
-) -> Result<Option<Vec<u8>>, CatalogError> {
-    let mut header = [0u8; 12];
+) -> Result<Option<(Vec<u8>, u64)>, CatalogError> {
+    let mut header = [0u8; 20];
     match read_full(r, &mut header, &mut should_stop)? {
         ReadOutcome::Complete => {}
         ReadOutcome::CleanEof | ReadOutcome::Stopped => return Ok(None),
@@ -125,7 +150,8 @@ pub fn read_frame_cancellable(
         }
     }
     let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
-    let expected = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+    let expected = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+    let trace_id = u64::from_le_bytes(header[12..].try_into().expect("8 bytes"));
     if len > MAX_FRAME_BYTES {
         return Err(CatalogError::Protocol(format!(
             "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
@@ -139,14 +165,14 @@ pub fn read_frame_cancellable(
             return Err(CatalogError::Protocol("connection closed mid-frame".into()))
         }
     }
-    let got = frame_checksum(&payload);
+    let got = frame_checksum(trace_id, &payload);
     if got != expected {
         return Err(CatalogError::Protocol(format!(
             "frame checksum mismatch (header {expected:#018x}, payload {got:#018x}): \
              corrupted stream"
         )));
     }
-    Ok(Some(payload))
+    Ok(Some((payload, trace_id)))
 }
 
 enum ReadOutcome {
@@ -198,6 +224,15 @@ fn read_full(
 /// fail typed, see [`write_frame`]).
 pub fn write_message<M: Artifact>(w: &mut impl Write, message: &M) -> Result<(), CatalogError> {
     write_frame(w, &message.to_bytes())
+}
+
+/// [`write_message`] carrying a trace id in the frame header.
+pub fn write_message_traced<M: Artifact>(
+    w: &mut impl Write,
+    message: &M,
+    trace_id: u64,
+) -> Result<(), CatalogError> {
+    write_frame_traced(w, &message.to_bytes(), trace_id)
 }
 
 /// Splits `records` into batch index ranges respecting both the record
@@ -313,6 +348,13 @@ pub enum Request {
     /// circuit-breaker half-open probes send. A pre-Ping v2 server
     /// answers it with [`ERR_BAD_REQUEST`]; the connection survives.
     Ping,
+    /// Observability scrape: answers [`Response::Metrics`] with the
+    /// server's full metric snapshot in text exposition format —
+    /// per-request-kind latency histograms, error/cache/ingest/lease
+    /// counters, and recent traced-request breakdowns — instead of the
+    /// fixed `ServerStats` counters. Like Ping, a pre-Introspect v2
+    /// server answers [`ERR_BAD_REQUEST`] and the connection survives.
+    Introspect,
 }
 
 impl Codec for Request {
@@ -357,6 +399,7 @@ impl Codec for Request {
                 scope.encode(w);
             }
             Request::Ping => w.put_u8(8),
+            Request::Introspect => w.put_u8(9),
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
@@ -393,6 +436,7 @@ impl Codec for Request {
                 scope: TileScope::decode(r)?,
             },
             8 => Request::Ping,
+            9 => Request::Introspect,
             _ => return Err(ArtifactError::Invalid("request kind")),
         })
     }
@@ -445,6 +489,11 @@ pub enum Response {
     /// Health-probe reply (answers [`Request::Ping`]): a snapshot of
     /// the server's serving counters.
     Pong(ServerStats),
+    /// Observability scrape reply (answers [`Request::Introspect`]):
+    /// the server's metric snapshot as sorted text-exposition lines
+    /// (`name{label="v"} value`), parseable with
+    /// `seaice_obs::parse_exposition`.
+    Metrics(String),
 }
 
 impl Codec for Response {
@@ -488,6 +537,10 @@ impl Codec for Response {
                 w.put_u8(8);
                 stats.encode(w);
             }
+            Response::Metrics(text) => {
+                w.put_u8(9);
+                text.encode(w);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
@@ -509,6 +562,7 @@ impl Codec for Response {
                 message: String::decode(r)?,
             },
             8 => Response::Pong(ServerStats::decode(r)?),
+            9 => Response::Metrics(String::decode(r)?),
             _ => return Err(ArtifactError::Invalid("response kind")),
         })
     }
@@ -664,8 +718,41 @@ mod tests {
             },
             Request::Validate { scope },
             Request::Ping,
+            Request::Introspect,
         ] {
             roundtrip(&request);
+        }
+    }
+
+    #[test]
+    fn traced_frames_carry_and_checksum_the_trace_id() {
+        let message = Request::Ping;
+        let mut buf = Vec::new();
+        write_message_traced(&mut buf, &message, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        let (payload, trace_id) =
+            read_frame_cancellable(&mut std::io::Cursor::new(buf.clone()), || false)
+                .unwrap()
+                .expect("one frame");
+        assert_eq!(trace_id, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(Request::from_bytes(&payload).unwrap(), message);
+        // An untraced write reads back with trace id 0.
+        let mut plain = Vec::new();
+        write_message(&mut plain, &message).unwrap();
+        let (_, id) = read_frame_cancellable(&mut std::io::Cursor::new(plain), || false)
+            .unwrap()
+            .expect("one frame");
+        assert_eq!(id, 0);
+        // Any single-bit flip of the trace-id field is caught by the
+        // checksum — a corrupted id can never mislabel a breakdown.
+        for byte in 12..20 {
+            for bit in 0..8 {
+                let mut corrupt = buf.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    read_frame(&mut std::io::Cursor::new(corrupt)).is_err(),
+                    "trace-id flip byte {byte} bit {bit} went undetected"
+                );
+            }
         }
     }
 
@@ -725,6 +812,7 @@ mod tests {
                 errors: 2,
                 idle_dropped: 1,
             }),
+            Response::Metrics("server_requests_total{kind=\"query_rect\"} 7\n".into()),
         ] {
             roundtrip(&response);
         }

@@ -202,6 +202,7 @@ fn seeded_fault_sweep_never_yields_a_wrong_answer() {
         connect_timeout: Some(Duration::from_millis(500)),
         request_deadline: Some(Duration::from_millis(700)),
         retry: RetryPolicy::attempts(4),
+        ..ClientConfig::default()
     };
 
     let mut total_ok = 0usize;
@@ -269,6 +270,7 @@ fn stalls_time_out_and_corruption_is_detected() {
         connect_timeout: Some(Duration::from_millis(500)),
         request_deadline: Some(Duration::from_millis(200)),
         retry: RetryPolicy::none(),
+        ..ClientConfig::default()
     };
 
     // Stall: hold the first server→client chunk for 2 s against a
@@ -387,6 +389,7 @@ fn shard_failover_degrades_typed_and_recovers() {
             connect_timeout: Some(Duration::from_millis(300)),
             request_deadline: Some(Duration::from_millis(500)),
             retry: RetryPolicy::attempts(2),
+            ..ClientConfig::default()
         },
         breaker_threshold: 2,
         breaker_cooldown: Duration::from_millis(150),
@@ -578,6 +581,7 @@ fn idle_timeout_reaps_connections_and_ping_reports_counters() {
         connect_timeout: Some(Duration::from_millis(500)),
         request_deadline: Some(Duration::from_secs(2)),
         retry: RetryPolicy::attempts(3),
+        ..ClientConfig::default()
     };
     let mut client = CatalogClient::connect_with(&server.addr().to_string(), config).unwrap();
     let domain = grid().domain();

@@ -1,0 +1,316 @@
+//! Observability acceptance: the `Introspect` RPC under concurrent
+//! ingest, the malformed-frame accounting fix, cache counters through
+//! `Catalog::stats()`, deterministic histograms, and traced-request
+//! span breakdowns that reconstruct end-to-end latency on both sides
+//! of the wire.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use icesat_geo::{MapPoint, EPSG_3976};
+use icesat_scene::SurfaceClass;
+use seaice::freeboard::{FreeboardPoint, FreeboardProduct};
+use seaice_catalog::obs::{parse_exposition, Histogram, HistogramSnapshot};
+use seaice_catalog::wire::{self, Request, Response};
+use seaice_catalog::{
+    Catalog, CatalogClient, CatalogOptions, CatalogServer, ClientConfig, GridConfig, TimeRange,
+};
+
+fn grid() -> GridConfig {
+    GridConfig::new(MapPoint::new(-300_000.0, -1_300_000.0), 10_000.0, 2, 8).unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seaice_observe_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A synthetic beam product along a map-space line.
+fn line_product(n: usize, x0: f64, y0: f64, dx: f64, dy: f64) -> FreeboardProduct {
+    let points = (0..n)
+        .map(|i| {
+            let m = MapPoint::new(x0 + i as f64 * dx, y0 + i as f64 * dy);
+            let g = EPSG_3976.inverse(m);
+            FreeboardPoint {
+                along_track_m: i as f64 * 2.0,
+                lat: g.lat,
+                lon: g.lon,
+                freeboard_m: 0.12 + (i % 7) as f64 * 0.01,
+                class: SurfaceClass::ALL[i % 3],
+            }
+        })
+        .collect();
+    FreeboardProduct {
+        name: "observe line".into(),
+        points,
+    }
+}
+
+/// Counter names (`*_total`) must be monotone non-decreasing between
+/// two scrapes of the same server.
+fn assert_counters_monotone(prev: &std::collections::BTreeMap<String, f64>, next_text: &str) {
+    let next = parse_exposition(next_text);
+    for (name, value) in prev {
+        if !name.contains("_total") {
+            continue;
+        }
+        let now = next.get(name).copied().unwrap_or(f64::NEG_INFINITY);
+        assert!(
+            now >= *value,
+            "counter {name} went backwards: {value} -> {now}"
+        );
+    }
+}
+
+#[test]
+fn introspect_scrapes_stay_parseable_and_monotone_under_concurrent_ingest() {
+    let dir = temp_dir("introspect");
+    let catalog = Arc::new(Catalog::create(&dir, grid()).unwrap());
+    let server = CatalogServer::serve(Arc::clone(&catalog), "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+
+    let writer = Arc::clone(&catalog);
+    let ingest = std::thread::spawn(move || {
+        for g in 0..6u32 {
+            let product = line_product(
+                400,
+                -309_000.0 + 1_200.0 * g as f64,
+                -1_309_500.0,
+                20.0,
+                40.0,
+            );
+            writer
+                .ingest_beam(
+                    &format!("2019{:02}04195311_0500021{g}", 9 + (g % 3)),
+                    0,
+                    &product,
+                )
+                .unwrap();
+        }
+    });
+
+    let mut client = CatalogClient::connect(&addr).unwrap();
+    let mut prev = std::collections::BTreeMap::new();
+    let mut scrapes = 0u64;
+    while !ingest.is_finished() || scrapes < 4 {
+        let text = client.introspect().unwrap();
+        assert!(!text.is_empty(), "exposition must not be empty");
+        assert!(
+            !parse_exposition(&text).is_empty(),
+            "exposition must parse to at least one metric"
+        );
+        assert_counters_monotone(&prev, &text);
+        prev = parse_exposition(&text);
+        scrapes += 1;
+        // A served query in between moves the per-kind counters too.
+        let _ = client.query_rect(&client.grid().domain().clone(), TimeRange::all());
+    }
+    ingest.join().unwrap();
+
+    let text = client.introspect().unwrap();
+    assert_counters_monotone(&prev, &text);
+    let metrics = parse_exposition(&text);
+    // One scrape covers serving, ingest, and cache metrics together.
+    assert!(metrics["server_requests_total"] >= scrapes as f64);
+    assert!(metrics[r#"server_requests_total{kind="introspect"}"#] >= scrapes as f64);
+    assert!(metrics["ingest_samples_total"] > 0.0, "ingest instrumented");
+    assert!(
+        metrics[r#"ingest_stage_us_count{stage="project"}"#] > 0.0
+            && metrics[r#"ingest_stage_us_count{stage="merge"}"#] > 0.0
+            && metrics[r#"ingest_stage_us_count{stage="persist"}"#] > 0.0
+            && metrics[r#"ingest_stage_us_count{stage="ledger"}"#] > 0.0,
+        "every ingest stage histogram saw traffic"
+    );
+    assert!(metrics.contains_key("tile_cache_hits_total"));
+    assert!(metrics.contains_key("tile_cache_misses_total"));
+    assert!(metrics.contains_key("tile_cache_evictions_total"));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_frames_count_separately_and_do_not_kill_the_connection() {
+    let dir = temp_dir("malformed");
+    let catalog = Arc::new(Catalog::create(&dir, grid()).unwrap());
+    let server = CatalogServer::serve(Arc::clone(&catalog), "127.0.0.1:0").unwrap();
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // A frame-layer-valid payload that is not a decodable Request.
+    wire::write_frame(&mut stream, &[0xFF, 0xFE, 0xFD, 0xFC]).unwrap();
+    match wire::read_message::<Response>(&mut stream).unwrap() {
+        Some(Response::Error { .. }) => {}
+        other => panic!("expected an error frame for garbage, got {other:?}"),
+    }
+    // The connection survives: a well-formed Ping still answers.
+    wire::write_message(&mut stream, &Request::Ping).unwrap();
+    let stats = match wire::read_message::<Response>(&mut stream).unwrap() {
+        Some(Response::Pong(stats)) => stats,
+        other => panic!("expected a pong, got {other:?}"),
+    };
+    // Satellite fix: the garbage frame is not a request. Only the Ping
+    // counted, while the malformed and error counters each took one.
+    assert_eq!(stats.requests, 1, "only the decodable request counts");
+    assert_eq!(stats.errors, 1);
+    let metrics = parse_exposition(&catalog.expose());
+    assert_eq!(metrics["server_requests_malformed_total"], 1.0);
+    assert_eq!(metrics["server_requests_total"], 1.0);
+    assert_eq!(metrics[r#"server_requests_total{kind="ping"}"#], 1.0);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_counters_flow_through_catalog_stats() {
+    let dir = temp_dir("cache_stats");
+    // A 2-tile cache under a multi-tile store forces misses + evictions.
+    let options = CatalogOptions {
+        cache_capacity: 2,
+        cache_stripes: 1,
+        ..CatalogOptions::default()
+    };
+    let catalog = Catalog::create_with(&dir, grid(), options).unwrap();
+    for g in 0..3u32 {
+        let product = line_product(500, -309_000.0, -1_309_500.0 + 600.0 * g as f64, 45.0, 28.0);
+        catalog
+            .ingest_beam(&format!("20190904195311_0500021{g}"), g as usize, &product)
+            .unwrap();
+    }
+    let domain = catalog.grid().domain();
+    // Whole-domain sweeps rotate more tiles than the cache holds
+    // (misses + evictions)…
+    for _ in 0..2 {
+        catalog.query_rect(&domain, TimeRange::all()).unwrap();
+    }
+    // …while a rect inside one tile re-reads the same snapshot (hits).
+    let spot = seaice_catalog::MapRect::new(
+        MapPoint::new(-309_000.0, -1_309_500.0),
+        MapPoint::new(-308_800.0, -1_309_300.0),
+    );
+    for _ in 0..4 {
+        catalog.query_rect(&spot, TimeRange::all()).unwrap();
+    }
+    let stats = catalog.stats().unwrap();
+    assert!(stats.cache.hits > 0, "repeat queries must hit the cache");
+    assert!(stats.cache.misses > 0, "a cold cache must record misses");
+    assert!(
+        stats.cache.evictions > 0,
+        "a 2-entry cache over more tiles must evict"
+    );
+    // The same cells surface in the exposition (and stay consistent).
+    let metrics = parse_exposition(&catalog.expose());
+    assert!(metrics["tile_cache_hits_total"] >= stats.cache.hits as f64);
+    assert!(metrics["tile_cache_misses_total"] >= stats.cache.misses as f64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn histograms_are_order_invariant_and_merge_deterministically() {
+    let durations: Vec<u64> = (0..2_000u64).map(|i| (i * 37) % 5_000 + 1).collect();
+
+    // Sequential, reversed, and 4-thread interleaved recording must
+    // produce bit-identical snapshots.
+    let forward = Histogram::default();
+    for &us in &durations {
+        forward.record_us(us);
+    }
+    let reversed = Histogram::default();
+    for &us in durations.iter().rev() {
+        reversed.record_us(us);
+    }
+    let interleaved = Histogram::default();
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let h = interleaved.clone();
+            let durations = &durations;
+            s.spawn(move || {
+                for &us in durations.iter().skip(t).step_by(4) {
+                    h.record_us(us);
+                }
+            });
+        }
+    });
+    assert_eq!(forward.snapshot(), reversed.snapshot());
+    assert_eq!(forward.snapshot(), interleaved.snapshot());
+
+    // Merge is associative and bit-stable: any grouping of per-shard
+    // snapshots folds to the same totals.
+    let shard = |range: std::ops::Range<usize>| {
+        let h = Histogram::default();
+        for &us in &durations[range] {
+            h.record_us(us);
+        }
+        h.snapshot()
+    };
+    let (a, b, c) = (shard(0..700), shard(700..1300), shard(1300..2000));
+    let ab_c = a.merge(&b).merge(&c);
+    let a_bc = a.merge(&b.merge(&c));
+    assert_eq!(ab_c, a_bc);
+    assert_eq!(ab_c, forward.snapshot());
+    assert_eq!(ab_c.quantile_us(0.5), forward.snapshot().quantile_us(0.5));
+
+    // Merging an empty snapshot is the identity.
+    assert_eq!(ab_c.merge(&HistogramSnapshot::default()), ab_c);
+}
+
+#[test]
+fn traced_request_breakdown_reconstructs_latency_on_both_sides() {
+    let dir = temp_dir("traced");
+    let catalog = Arc::new(Catalog::create(&dir, grid()).unwrap());
+    let product = line_product(800, -309_000.0, -1_309_500.0, 30.0, 35.0);
+    catalog
+        .ingest_beam("20190904195311_05000210", 0, &product)
+        .unwrap();
+    let server = CatalogServer::serve(Arc::clone(&catalog), "127.0.0.1:0").unwrap();
+
+    let config = ClientConfig {
+        trace: true,
+        ..ClientConfig::default()
+    };
+    let mut client = CatalogClient::connect_with(&server.addr().to_string(), config).unwrap();
+    let domain = client.grid().domain();
+    client.query_rect(&domain, TimeRange::all()).unwrap();
+
+    let client_report = client.last_trace().expect("tracing was on");
+    assert!(!client_report.spans.is_empty());
+    assert!(
+        client_report.spans.iter().any(|s| s.name == "exchange"),
+        "client spans: {:?}",
+        client_report.spans
+    );
+    // The span breakdown reconstructs the end-to-end latency: the
+    // non-overlapping spans sum to no more than the traced total.
+    assert!(client_report.spans_total_us() <= client_report.total_us);
+
+    // The same trace id crossed the wire: the server holds a span
+    // breakdown for it, itself summing to within its own total.
+    std::thread::sleep(Duration::from_millis(20)); // handler publishes after replying
+    let server_report = server
+        .recent_traces()
+        .into_iter()
+        .find(|r| r.id == client_report.id)
+        .expect("server recorded the client's trace id");
+    assert!(
+        server_report.spans.iter().any(|s| s.name == "query"),
+        "server spans: {:?}",
+        server_report.spans
+    );
+    assert!(server_report.spans_total_us() <= server_report.total_us);
+    // Server-side handling happens between the client's send and its
+    // last byte read, so it nests inside the client's traced total.
+    assert!(server_report.total_us <= client_report.total_us);
+
+    // The scrape renders the traced request too.
+    let scraped = client.introspect().unwrap();
+    assert!(
+        scraped.contains(&format!("{:016x}", client_report.id)),
+        "introspection exposes the trace timeline"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

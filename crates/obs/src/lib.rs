@@ -1,0 +1,56 @@
+//! Zero-dependency observability for the serving and ingest stack.
+//!
+//! The registry being unreachable (like the rayon/serde shims), this
+//! crate is self-contained on purpose: a [`MetricRegistry`] of named
+//! atomic [`Counter`]s, [`Gauge`]s, and log-bucketed latency
+//! [`Histogram`]s; a lightweight span/tracing API ([`Trace`],
+//! [`span!`]) that builds a per-request timing breakdown correlated
+//! across processes by a client-generated `u64` trace id; and a
+//! deterministic Prometheus-style text exposition
+//! (`name{label="v"} value` lines).
+//!
+//! Design contracts, pinned by tests:
+//!
+//! - **Lock-free hot path.** Recording into a counter, gauge, or
+//!   histogram is a handful of relaxed atomic ops — no locks, no
+//!   allocation, no formatting. Handles are cheap `Arc` clones cached
+//!   at instrumentation sites; the registry's mutex is touched only at
+//!   handle creation and exposition time.
+//! - **Determinism.** Histogram bucket boundaries are fixed powers of
+//!   two of microseconds, so bucket counts (and therefore the
+//!   p50/p95/p99 read off them) never depend on record order or thread
+//!   interleaving; [`HistogramSnapshot::merge`] is associative,
+//!   commutative, and bit-stable. Exposition output is sorted, so two
+//!   snapshots of identical state render byte-identically.
+//! - **Exact quantiles from buckets.** A quantile is *defined* as the
+//!   upper bound of the bucket holding the nearest-rank sample
+//!   (clamped to the observed max) — an exact function of the bucket
+//!   counts, not an interpolation.
+//!
+//! ```
+//! use seaice_obs::{MetricRegistry, Trace};
+//!
+//! let registry = MetricRegistry::new();
+//! let hits = registry.counter("tile_cache_hits_total");
+//! let lat = registry.histogram_with("request_us", &[("kind", "query_rect")]);
+//! hits.inc();
+//! lat.record_us(420);
+//!
+//! let trace = Trace::new(seaice_obs::next_trace_id());
+//! {
+//!     let _guard = seaice_obs::span!(trace, "decode");
+//! }
+//! let report = trace.report();
+//! assert_eq!(report.spans.len(), 1);
+//! assert!(registry.expose().contains("tile_cache_hits_total 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    parse_exposition, Counter, Gauge, Histogram, HistogramSnapshot, MetricRegistry, N_BUCKETS,
+};
+pub use trace::{next_trace_id, SpanGuard, SpanRecord, Trace, TraceLog, TraceReport};

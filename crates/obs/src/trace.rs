@@ -1,0 +1,325 @@
+//! Request tracing: client-generated trace ids, scoped span timers,
+//! and per-request timing breakdowns.
+//!
+//! A [`Trace`] is created per request (the client mints the id with
+//! [`next_trace_id`] and carries it in the wire frame, so every hop —
+//! client, router, shard server — labels its own breakdown with the
+//! same id). Instrumented scopes open spans with the [`span!`]
+//! macro; dropping the guard records the span. [`Trace::report`]
+//! yields the breakdown; servers park recent reports in a bounded
+//! [`TraceLog`] so an `Introspect` scrape can return them.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Process-wide counter folded into [`next_trace_id`] so two ids
+/// minted in the same clock tick still differ.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Mints a fresh non-zero trace id: the wall clock and a process-wide
+/// sequence number mixed through an avalanching finalizer. Zero is
+/// reserved to mean "untraced" on the wire.
+pub fn next_trace_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+    // splitmix64 finalizer over the combined state.
+    let mut z = nanos ^ seq.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)).max(1)
+}
+
+/// One completed span of a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (what the scope was doing, e.g. `"decode"`).
+    pub name: String,
+    /// Start offset from the trace's origin, microseconds.
+    pub start_us: u64,
+    /// Span duration, microseconds.
+    pub dur_us: u64,
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    id: u64,
+    t0: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// A per-request trace: an id plus the scoped spans recorded against
+/// it. Cheap to clone; clones share the span list.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    inner: Arc<TraceInner>,
+}
+
+impl Trace {
+    /// Starts a trace. The origin instant is now; `id` is typically
+    /// [`next_trace_id`] on the client and the frame's trace id on the
+    /// server.
+    pub fn new(id: u64) -> Trace {
+        Trace {
+            inner: Arc::new(TraceInner {
+                id,
+                t0: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The trace id.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Opens a span; dropping the guard records it.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard {
+            trace: Arc::clone(&self.inner),
+            name: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// The breakdown so far: every recorded span plus the total
+    /// elapsed time since the trace's origin.
+    pub fn report(&self) -> TraceReport {
+        let mut spans = self
+            .inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        spans.sort_by_key(|s| s.start_us);
+        TraceReport {
+            id: self.inner.id,
+            total_us: self.inner.t0.elapsed().as_micros() as u64,
+            spans,
+        }
+    }
+}
+
+/// Scoped span timer returned by [`Trace::span`]; records the span on
+/// drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    trace: Arc<TraceInner>,
+    name: String,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let record = SpanRecord {
+            name: std::mem::take(&mut self.name),
+            start_us: self
+                .start
+                .duration_since(self.trace.t0)
+                .as_micros()
+                .min(u64::MAX as u128) as u64,
+            dur_us: self.start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        };
+        self.trace
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record);
+    }
+}
+
+/// Opens a named span on a [`Trace`]; bind the result to keep the
+/// scope alive (`let _span = span!(trace, "query_rect");`).
+#[macro_export]
+macro_rules! span {
+    ($trace:expr, $name:expr) => {
+        $trace.span($name)
+    };
+}
+
+/// A finished trace: the id, the end-to-end elapsed time, and the
+/// spans (sorted by start offset).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceReport {
+    /// The trace id shared by every hop of the request.
+    pub id: u64,
+    /// Elapsed time from trace origin to [`Trace::report`], µs.
+    pub total_us: u64,
+    /// Recorded spans, sorted by start offset.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceReport {
+    /// Sum of the top-level span durations — the accounted-for part of
+    /// `total_us` (spans opened while no other span of this report was
+    /// open; nested spans double-book their parent's time and are
+    /// excluded).
+    pub fn spans_total_us(&self) -> u64 {
+        let mut covered_until = 0u64;
+        let mut sum = 0u64;
+        for s in &self.spans {
+            if s.start_us >= covered_until {
+                sum += s.dur_us;
+                covered_until = s.start_us.saturating_add(s.dur_us);
+            }
+        }
+        sum
+    }
+
+    /// Renders the breakdown as an indented timeline, one span per
+    /// line with start offset and duration.
+    pub fn render(&self) -> String {
+        let mut out = format!("trace {:016x}: total {} us\n", self.id, self.total_us);
+        for s in &self.spans {
+            out.push_str(&format!(
+                "  +{:>8} us  {:<24} {:>8} us\n",
+                s.start_us, s.name, s.dur_us
+            ));
+        }
+        out
+    }
+
+    /// Appends the report as exposition lines
+    /// (`trace_span_us{trace="…",span="…"} dur` plus a
+    /// `trace_total_us{trace="…"}` line) to `out`.
+    pub fn expose_into(&self, out: &mut String) {
+        out.push_str(&format!(
+            "trace_total_us{{trace=\"{:016x}\"}} {}\n",
+            self.id, self.total_us
+        ));
+        for s in &self.spans {
+            out.push_str(&format!(
+                "trace_span_us{{trace=\"{:016x}\",span=\"{}\"}} {}\n",
+                self.id, s.name, s.dur_us
+            ));
+        }
+    }
+}
+
+/// A bounded ring of recent [`TraceReport`]s (a server keeps one so
+/// `Introspect` can return the freshest traced requests). Cheap to
+/// clone; clones share the ring.
+#[derive(Clone, Debug)]
+pub struct TraceLog {
+    ring: Arc<Mutex<VecDeque<TraceReport>>>,
+    cap: usize,
+}
+
+impl TraceLog {
+    /// A log keeping the most recent `cap` reports.
+    pub fn new(cap: usize) -> TraceLog {
+        TraceLog {
+            ring: Arc::new(Mutex::new(VecDeque::with_capacity(cap))),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Appends a report, evicting the oldest past capacity.
+    pub fn push(&self, report: TraceReport) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(report);
+    }
+
+    /// The retained reports, oldest first.
+    pub fn recent(&self) -> Vec<TraceReport> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Appends every retained report's exposition lines to `out`.
+    pub fn expose_into(&self, out: &mut String) {
+        for report in self.recent() {
+            report.expose_into(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn trace_ids_are_nonzero_and_distinct() {
+        let ids: Vec<u64> = (0..64).map(|_| next_trace_id()).collect();
+        assert!(ids.iter().all(|&id| id != 0));
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    fn spans_record_on_drop_and_cover_elapsed_time() {
+        let trace = Trace::new(7);
+        {
+            let _a = crate::span!(trace, "first");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        {
+            let _b = crate::span!(trace, "second");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let report = trace.report();
+        assert_eq!(report.id, 7);
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.spans[0].name, "first");
+        let accounted = report.spans_total_us();
+        assert!(
+            accounted <= report.total_us,
+            "span sum {accounted} must not exceed total {}",
+            report.total_us
+        );
+        assert!(accounted >= 8_000, "two 5 ms spans account for >= 8 ms");
+        let text = report.render();
+        assert!(text.contains("first") && text.contains("second"));
+    }
+
+    #[test]
+    fn nested_spans_do_not_double_book() {
+        let trace = Trace::new(1);
+        {
+            let _outer = trace.span("outer");
+            std::thread::sleep(Duration::from_millis(4));
+            let _inner = trace.span("inner");
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        let report = trace.report();
+        assert!(report.spans_total_us() <= report.total_us);
+    }
+
+    #[test]
+    fn trace_log_is_bounded_and_exposes_lines() {
+        let log = TraceLog::new(2);
+        for id in 1..=3u64 {
+            log.push(TraceReport {
+                id,
+                total_us: 10 * id,
+                spans: vec![SpanRecord {
+                    name: "work".into(),
+                    start_us: 0,
+                    dur_us: 9 * id,
+                }],
+            });
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].id, 2, "oldest evicted");
+        let mut out = String::new();
+        log.expose_into(&mut out);
+        assert!(out.contains("trace_total_us{trace=\"0000000000000002\"} 20"));
+        assert!(out.contains("trace_span_us{trace=\"0000000000000003\",span=\"work\"} 27"));
+    }
+}

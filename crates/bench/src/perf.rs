@@ -331,6 +331,17 @@ pub fn bench(scale: Scale) -> ExperimentOutput {
         );
         fastest_serve_lat_ms = fastest_serve_lat_ms.min(point.mean_latency_ms);
     }
+    // The protocol-v2 multiplexed sweep: hundreds of concurrent
+    // connections pipelining requests, p99 scraped off the server's
+    // own `Introspect` histograms.
+    let mux = crate::serve::mux_sweep(&cat_dir, scale);
+    push(
+        &mut metrics,
+        "serve_mux_connections",
+        mux.connections as f64,
+    );
+    push(&mut metrics, "serve_mux_q_per_s", mux.queries_per_s);
+    push(&mut metrics, "serve_mux_p99_us", mux.p99_us);
     let _ = std::fs::remove_dir_all(&cat_dir);
 
     // --- Observability overhead ----------------------------------------

@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use seaice::FleetDriver;
 use seaice_catalog::client::partition_products;
+use seaice_catalog::obs::parse_exposition;
 use seaice_catalog::{
     Catalog, CatalogClient, CatalogOptions, CatalogServer, MapRect, ShardRouter, ShardSpec,
     TileScope, TimeRange,
@@ -121,6 +122,112 @@ pub fn sweep(cat_dir: &Path, scale: Scale) -> Vec<SweepPoint> {
         server.shutdown();
     }
     points
+}
+
+/// One measured point of the multiplexed sweep: many concurrent
+/// connections held open at once, each keeping several pipelined
+/// requests in flight on the protocol-v2 request-id framing.
+#[derive(Debug, Clone, Copy)]
+pub struct MuxPoint {
+    /// Concurrent client connections held open through the sweep.
+    pub connections: usize,
+    /// Pipelined requests outstanding per connection per wave.
+    pub in_flight: usize,
+    /// Aggregate served summary queries per second.
+    pub queries_per_s: f64,
+    /// Server-side p99 request latency (arrival → response queued),
+    /// microseconds, scraped from the `Introspect` exposition.
+    pub p99_us: f64,
+}
+
+/// The multiplexed serving sweep: holds `connections` concurrent
+/// client connections open against one fresh server over `cat_dir`
+/// (512 at full scale, 64 quick), pipelines `in_flight` requests per
+/// connection per wave, asserts every answer bit-identical to the
+/// in-process store, and scrapes the server's own
+/// `server_request_us_p99_us{kind="query_rect"}` histogram for the p99
+/// recorded in the `BENCH_*.json` trajectory.
+pub fn mux_sweep(cat_dir: &Path, scale: Scale) -> MuxPoint {
+    let (connections, threads, in_flight, rounds): (usize, usize, usize, usize) = match scale {
+        Scale::Quick => (64, 8, 4, 3),
+        Scale::Full => (512, 16, 4, 5),
+    };
+    let catalog = Arc::new(
+        Catalog::open_with(
+            cat_dir,
+            CatalogOptions {
+                cache_capacity: 256,
+                ..CatalogOptions::default()
+            },
+        )
+        .expect("mux catalog reopen"),
+    );
+    let rect = throughput_rect(&catalog.grid().domain());
+    let want_bits = catalog
+        .query_rect(&rect, TimeRange::all())
+        .expect("mux truth")
+        .mean_ice_freeboard_m
+        .to_bits();
+    // A fresh server, so the scraped histogram holds exactly this
+    // sweep's requests (plus per-connection handshakes).
+    let server = CatalogServer::serve(Arc::clone(&catalog), "127.0.0.1:0").expect("mux server");
+    let addr = server.addr().to_string();
+
+    let per_thread = connections / threads;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let addr = addr.clone();
+            s.spawn(move || {
+                let mut clients: Vec<CatalogClient> = (0..per_thread)
+                    .map(|_| CatalogClient::connect(&addr).expect("mux client"))
+                    .collect();
+                for _ in 0..rounds {
+                    // Submit the whole wave before waiting on any of
+                    // it: every connection this thread owns holds
+                    // `in_flight` requests outstanding at once.
+                    let waves: Vec<Vec<_>> = clients
+                        .iter_mut()
+                        .map(|client| {
+                            (0..in_flight)
+                                .map(|_| {
+                                    client
+                                        .submit_query_rect(&rect, TimeRange::all())
+                                        .expect("mux submit")
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    for (client, wave) in clients.iter_mut().zip(waves) {
+                        for pending in wave {
+                            let got = client.wait(pending).expect("mux wait");
+                            assert_eq!(
+                                got.mean_ice_freeboard_m.to_bits(),
+                                want_bits,
+                                "multiplexed answer must be bit-identical to in-process"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let queries_per_s = (connections * in_flight * rounds) as f64 / wall;
+
+    let mut probe = CatalogClient::connect(&addr).expect("mux probe");
+    let exposition = probe.introspect().expect("mux introspect");
+    let p99_us = parse_exposition(&exposition)
+        .get(r#"server_request_us_p99_us{kind="query_rect"}"#)
+        .copied()
+        .unwrap_or(0.0);
+    server.shutdown();
+    MuxPoint {
+        connections,
+        in_flight,
+        queries_per_s,
+        p99_us,
+    }
 }
 
 /// Renders the sweep as a Tables II/V-style grid: rows = reader
@@ -268,6 +375,9 @@ pub fn serve(scale: Scale) -> ExperimentOutput {
         .iter()
         .map(|p| p.queries_per_s)
         .fold(f64::NEG_INFINITY, f64::max);
+    // Protocol-v2 multiplexed sweep: hundreds of concurrent
+    // connections, each pipelining requests over the same store.
+    let mux = mux_sweep(&local_dir, scale);
 
     let mut report = String::from("SERVE — TCP front-end, shard router, writer leases\n");
     report.push_str(&format!(
@@ -282,11 +392,18 @@ pub fn serve(scale: Scale) -> ExperimentOutput {
         "  routed (2 shards): {routed_qps:.0} queries/s over a quarter-domain rect\n"
     ));
     report.push_str(&render_sweep(&points));
+    report.push_str(&format!(
+        "  multiplexed: {} connections x {} in flight -> {:.0} queries/s, server p99 {:.0} us\n",
+        mux.connections, mux.in_flight, mux.queries_per_s, mux.p99_us
+    ));
 
     let mut metrics: Vec<(String, f64)> = vec![
         ("serve_samples".into(), want.n_samples as f64),
         ("serve_routed_queries_per_s".into(), routed_qps),
         ("serve_best_queries_per_s".into(), best),
+        ("serve_mux_connections".into(), mux.connections as f64),
+        ("serve_mux_q_per_s".into(), mux.queries_per_s),
+        ("serve_mux_p99_us".into(), mux.p99_us),
     ];
     for p in &points {
         metrics.push((
@@ -326,5 +443,9 @@ mod tests {
         assert!(out.metric("serve_q_t1_c2_per_s").is_some());
         assert!(out.metric("serve_q_t2_c64_per_s").is_some());
         assert!(out.report.contains("readers \\ cache"));
+        // The multiplexed sweep landed with a served p99.
+        assert!(out.metric("serve_mux_connections").unwrap() >= 64.0);
+        assert!(out.metric("serve_mux_q_per_s").unwrap() > 0.0);
+        assert!(out.metric("serve_mux_p99_us").unwrap() > 0.0);
     }
 }

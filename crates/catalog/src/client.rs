@@ -11,15 +11,32 @@
 //! running the query on a single in-process catalog holding all the
 //! data (pinned by `tests/served_equivalence.rs`).
 //!
+//! The client speaks protocol v2: every request frame carries a fresh
+//! request id, and the server may answer in-flight requests **out of
+//! order**. The `submit_*` methods expose that directly — each returns
+//! a typed [`Pending`] handle, many can be outstanding on one
+//! connection, and [`CatalogClient::wait`] collects them in any order
+//! (frames for other requests are demultiplexed into their slots as
+//! they arrive). The plain query methods are a sync facade over the
+//! same machinery (submit immediately followed by wait), so a
+//! non-pipelining caller sees exactly the v1 one-exchange-at-a-time
+//! behaviour. Pipelined answers are bit-identical to in-process
+//! queries (pinned by `tests/pipelined_equivalence.rs`).
+//!
 //! Both layers degrade gracefully instead of hanging (pinned by
 //! `tests/chaos.rs`):
 //!
 //! - [`ClientConfig`] gives every request a wall-clock deadline
 //!   (surfacing as a typed [`CatalogError::Timeout`]) and a
 //!   [`RetryPolicy`] — bounded attempts with exponential backoff and
-//!   seeded jitter. Every RPC in the protocol is read-only, so a retry
-//!   can never double-apply anything; the client transparently
+//!   seeded jitter. Query RPCs are read-only and the write RPCs are
+//!   idempotent per granule/beam (a [`IngestMode::Skip`] re-ingest
+//!   counts duplicates instead of double-applying them), so a retry
+//!   can never corrupt the store; the sync facade transparently
 //!   reconnects and re-runs the request on transport-class failures.
+//!   Pipelined requests are *not* transparently retried: a transport
+//!   failure fails every outstanding [`Pending`] on that connection
+//!   with a typed error and the caller decides what to re-submit.
 //! - [`ShardRouter`] accepts **replica groups** per scope
 //!   ([`ReplicaSpec`]) and fails over within a group. A per-replica
 //!   circuit breaker trips after consecutive transport failures
@@ -45,9 +62,12 @@ use seaice_obs::{next_trace_id, Counter, Histogram, MetricRegistry, Trace, Trace
 use crate::fault::splitmix64;
 use crate::grid::{GridConfig, MapRect, TileScope, TimeKey, TimeRange};
 use crate::server::ServerStats;
-use crate::store::{CatalogStats, CellSummary, QuerySummary, TilePartial};
+use crate::store::{
+    CatalogStats, CellSummary, IngestMode, IngestReport, QuerySummary, TilePartial,
+};
 use crate::wire::{self, Request, Response};
 use crate::CatalogError;
+use seaice_products::BeamThickness;
 
 /// Socket read-timeout tick: how often a blocked read wakes to check
 /// the request deadline. Purely a polling granularity — data that
@@ -207,10 +227,179 @@ impl Deadline {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Request multiplexing.
+// ---------------------------------------------------------------------------
+
+/// Accumulation slot of one in-flight request: streamed batch frames
+/// pile up until the completing frame (anything that isn't a batch —
+/// `Done`, a scalar, or an error) arrives.
+#[derive(Default)]
+struct Slot {
+    batches: Vec<Response>,
+    done: Option<Response>,
+}
+
+/// Client-side multiplexer state: the request-id allocator and the
+/// in-flight slots frames demultiplex into.
+#[derive(Default)]
+struct Mux {
+    next_id: u64,
+    pending: BTreeMap<u64, Slot>,
+    /// Why the in-flight set was cleared, when a transport failure
+    /// killed a connection with requests outstanding — waits on the
+    /// orphaned handles surface this instead of a confusing
+    /// "unknown id".
+    poisoned: Option<String>,
+}
+
+impl Mux {
+    fn alloc_id(&mut self) -> u64 {
+        // Ids start at 1: id 0 is the unmultiplexed sentinel the
+        // manifest handshake uses.
+        self.next_id += 1;
+        self.next_id
+    }
+}
+
+/// A typed handle to one pipelined request submitted with a
+/// `submit_*` method. Redeem it with [`CatalogClient::wait`] — in any
+/// order relative to other outstanding handles. Dropping a `Pending`
+/// without waiting leaks its slot until the connection turns over
+/// (harmless, but the response is read and discarded), hence
+/// `#[must_use]`.
+#[must_use = "a pipelined request completes only when waited on"]
+pub struct Pending<T> {
+    id: u64,
+    finish: fn(Vec<Response>, Response) -> Result<T, CatalogError>,
+}
+
+/// Verifies the completing frame of a streamed exchange is a `Done`
+/// trailer and hands back the batches plus the advertised count.
+fn finish_stream(
+    batches: Vec<Response>,
+    done: Response,
+) -> Result<(Vec<Response>, u64), CatalogError> {
+    match done {
+        Response::Done { n_records } => Ok((batches, n_records)),
+        other => Err(unexpected(&other)),
+    }
+}
+
+/// Checks a streamed record count against the `Done` trailer.
+fn check_stream_count(got: usize, advertised: u64) -> Result<(), CatalogError> {
+    if got as u64 != advertised {
+        return Err(CatalogError::Protocol(format!(
+            "stream advertised {advertised} records but carried {got}"
+        )));
+    }
+    Ok(())
+}
+
+fn finish_tile_partials(
+    batches: Vec<Response>,
+    done: Response,
+) -> Result<Vec<TilePartial>, CatalogError> {
+    let (batches, advertised) = finish_stream(batches, done)?;
+    let mut records = Vec::new();
+    for batch in batches {
+        match batch {
+            Response::TileBatch(mut partials) => records.append(&mut partials),
+            other => return Err(unexpected(&other)),
+        }
+    }
+    check_stream_count(records.len(), advertised)?;
+    Ok(records)
+}
+
+fn finish_summary(batches: Vec<Response>, done: Response) -> Result<QuerySummary, CatalogError> {
+    Ok(QuerySummary::from_partials(finish_tile_partials(
+        batches, done,
+    )?))
+}
+
+fn finish_layer_records(
+    batches: Vec<Response>,
+    done: Response,
+) -> Result<Vec<(TimeKey, TilePartial)>, CatalogError> {
+    let (batches, advertised) = finish_stream(batches, done)?;
+    let mut records = Vec::new();
+    for batch in batches {
+        match batch {
+            Response::LayerBatch(mut layers) => records.append(&mut layers),
+            other => return Err(unexpected(&other)),
+        }
+    }
+    check_stream_count(records.len(), advertised)?;
+    Ok(records)
+}
+
+fn finish_layers(
+    batches: Vec<Response>,
+    done: Response,
+) -> Result<Vec<(TimeKey, QuerySummary)>, CatalogError> {
+    Ok(fold_layer_records(finish_layer_records(batches, done)?))
+}
+
+fn finish_cells(batches: Vec<Response>, done: Response) -> Result<Vec<CellSummary>, CatalogError> {
+    let (batches, advertised) = finish_stream(batches, done)?;
+    let mut records = Vec::new();
+    for batch in batches {
+        match batch {
+            Response::CellBatch(mut cells) => records.append(&mut cells),
+            other => return Err(unexpected(&other)),
+        }
+    }
+    check_stream_count(records.len(), advertised)?;
+    Ok(records)
+}
+
+/// For scalar exchanges: no batch frame may precede the answer.
+fn finish_scalar(batches: Vec<Response>, done: Response) -> Result<Response, CatalogError> {
+    if let Some(stray) = batches.into_iter().next() {
+        return Err(unexpected(&stray));
+    }
+    Ok(done)
+}
+
+fn finish_point(
+    batches: Vec<Response>,
+    done: Response,
+) -> Result<Option<CellSummary>, CatalogError> {
+    match finish_scalar(batches, done)? {
+        Response::Point(cell) => Ok(cell),
+        other => Err(unexpected(&other)),
+    }
+}
+
+fn finish_pong(batches: Vec<Response>, done: Response) -> Result<ServerStats, CatalogError> {
+    match finish_scalar(batches, done)? {
+        Response::Pong(stats) => Ok(stats),
+        other => Err(unexpected(&other)),
+    }
+}
+
+fn finish_metrics(batches: Vec<Response>, done: Response) -> Result<String, CatalogError> {
+    match finish_scalar(batches, done)? {
+        Response::Metrics(text) => Ok(text),
+        other => Err(unexpected(&other)),
+    }
+}
+
+fn finish_ingested(batches: Vec<Response>, done: Response) -> Result<IngestReport, CatalogError> {
+    match finish_scalar(batches, done)? {
+        Response::Ingested(report) => Ok(report),
+        other => Err(unexpected(&other)),
+    }
+}
+
 /// A client connection to one catalog server.
 ///
-/// One request is in flight at a time (`&mut self`); open one client
-/// per reader thread for concurrency. The constructor performs the
+/// The plain query methods run one exchange at a time; the `submit_*` /
+/// [`CatalogClient::wait`] pair pipelines many requests on this one
+/// connection (the server answers them concurrently and possibly out
+/// of order). The handle itself is `&mut self` — open one client per
+/// thread for thread-level concurrency. The constructor performs the
 /// manifest handshake, so the grid is available immediately.
 ///
 /// ```
@@ -241,6 +430,8 @@ pub struct CatalogClient {
     grid: Option<GridConfig>,
     config: ClientConfig,
     metrics: ClientMetrics,
+    /// Request-id allocator and in-flight demultiplexing slots.
+    mux: Mux,
     /// Ring of completed traced-request reports (newest last); empty
     /// unless [`ClientConfig::trace`] is on.
     trace_log: TraceLog,
@@ -267,6 +458,7 @@ impl CatalogClient {
             grid: None,
             config,
             metrics,
+            mux: Mux::default(),
             trace_log: TraceLog::new(CLIENT_TRACE_LOG_CAP),
         };
         // Forces connect + handshake under the retry policy.
@@ -336,7 +528,7 @@ impl CatalogClient {
         )
     }
 
-    /// Runs `f` against a connected stream, reconnecting and retrying
+    /// Runs `f` against a connected client, reconnecting and retrying
     /// on transport-class failures per the [`RetryPolicy`]. With
     /// retries exhausted, fails typed: the raw error when only one
     /// attempt was allowed (pre-resilience behaviour), otherwise
@@ -349,7 +541,7 @@ impl CatalogClient {
     /// exhaust retries.
     fn with_retry<T>(
         &mut self,
-        mut f: impl FnMut(&mut TcpStream, Deadline, u64) -> Result<T, CatalogError>,
+        mut f: impl FnMut(&mut Self, Deadline, u64) -> Result<T, CatalogError>,
     ) -> Result<T, CatalogError> {
         let trace = self.config.trace.then(|| Trace::new(next_trace_id()));
         let trace_id = trace.as_ref().map_or(0, |t| t.id());
@@ -375,11 +567,10 @@ impl CatalogClient {
                 }
             }
             let deadline = self.deadline();
-            let stream = self.stream.as_mut().expect("just connected");
             let t0 = Instant::now();
             let outcome = {
                 let _span = trace.as_ref().map(|t| t.span("exchange"));
-                f(stream, deadline, trace_id)
+                f(self, deadline, trace_id)
             };
             match outcome {
                 Ok(v) => {
@@ -392,8 +583,12 @@ impl CatalogClient {
                         self.metrics.deadline_hits.inc();
                     }
                     // The stream may be mid-exchange: poison it so the
-                    // next attempt reconnects.
-                    self.stream = None;
+                    // next attempt reconnects (killing any pipelined
+                    // requests that were sharing the connection).
+                    self.poison_connection(
+                        "a sync exchange hit a transport failure and retried on a fresh \
+                         connection; pipelined requests on the old one are lost",
+                    );
                     last = Some(e);
                 }
                 Err(e) => {
@@ -411,6 +606,16 @@ impl CatalogClient {
                 attempts,
                 last: Box::new(last),
             })
+        }
+    }
+
+    /// Drops the stream and fails every in-flight pipelined request
+    /// typed: later waits on their handles report `why`.
+    fn poison_connection(&mut self, why: &str) {
+        self.stream = None;
+        if !self.mux.pending.is_empty() {
+            self.mux.pending.clear();
+            self.mux.poisoned = Some(why.to_string());
         }
     }
 
@@ -487,13 +692,15 @@ impl CatalogClient {
         }
     }
 
-    /// Reads one response frame, honouring the deadline; maps error
-    /// frames to [`CatalogError::Remote`] and deadline expiry to
+    /// Reads one response frame (ignoring its mux ids — used only for
+    /// the handshake, the sole exchange on a fresh connection),
+    /// honouring the deadline; maps error frames to
+    /// [`CatalogError::Remote`] and deadline expiry to
     /// [`CatalogError::Timeout`].
     fn read_response(stream: &mut TcpStream, deadline: Deadline) -> Result<Response, CatalogError> {
         match wire::read_frame_cancellable(stream, || deadline.expired())? {
-            Some((payload, _trace_id)) => {
-                match <Response as seaice::artifact::Artifact>::from_bytes(&payload)? {
+            Some(frame) => {
+                match <Response as seaice::artifact::Artifact>::from_bytes(&frame.payload)? {
                     Response::Error { code, message } => {
                         Err(CatalogError::Remote { code, message })
                     }
@@ -514,42 +721,185 @@ impl CatalogClient {
         }
     }
 
+    // -- The pipelined core ----------------------------------------------
+
+    /// Writes `request` on the connection under a fresh request id and
+    /// registers its demultiplexing slot. Does *not* read anything —
+    /// the returned handle is redeemed by [`CatalogClient::wait`], in
+    /// any order relative to other outstanding handles. A write failure
+    /// poisons the connection (every outstanding handle fails typed).
+    fn submit_with<T>(
+        &mut self,
+        request: &Request,
+        trace_id: u64,
+        finish: fn(Vec<Response>, Response) -> Result<T, CatalogError>,
+    ) -> Result<Pending<T>, CatalogError> {
+        self.ensure_connected()?;
+        let id = self.mux.alloc_id();
+        let stream = self.stream.as_mut().expect("just connected");
+        if let Err(e) = wire::write_message_mux(stream, request, id, trace_id) {
+            self.poison_connection(
+                "a pipelined submit failed mid-write; the connection and every request \
+                 in flight on it are lost",
+            );
+            return Err(e);
+        }
+        self.mux.pending.insert(id, Slot::default());
+        Ok(Pending { id, finish })
+    }
+
+    /// [`CatalogClient::submit_with`] minting a trace id when
+    /// [`ClientConfig::trace`] is on (the server's span log picks it
+    /// up; client-side spans only cover sync exchanges).
+    fn submit_traced<T>(
+        &mut self,
+        request: &Request,
+        finish: fn(Vec<Response>, Response) -> Result<T, CatalogError>,
+    ) -> Result<Pending<T>, CatalogError> {
+        let trace_id = if self.config.trace {
+            next_trace_id()
+        } else {
+            0
+        };
+        self.submit_with(request, trace_id, finish)
+    }
+
+    /// Blocks until `pending`'s request completes and returns its typed
+    /// answer. Frames belonging to *other* in-flight requests are
+    /// demultiplexed into their slots along the way, so handles may be
+    /// waited on in any order — including an order different from
+    /// completion order on the server. A transport failure (or
+    /// deadline expiry) fails every outstanding request on the
+    /// connection typed; an error *frame* fails only this request and
+    /// the connection stays usable.
+    pub fn wait<T>(&mut self, pending: Pending<T>) -> Result<T, CatalogError> {
+        let deadline = self.deadline();
+        self.wait_deadline(pending, deadline)
+    }
+
+    /// [`CatalogClient::wait`] under an explicit, possibly
+    /// already-running deadline (the sync facade shares one deadline
+    /// across its submit and wait).
+    fn wait_deadline<T>(
+        &mut self,
+        pending: Pending<T>,
+        deadline: Deadline,
+    ) -> Result<T, CatalogError> {
+        loop {
+            match self.mux.pending.get(&pending.id) {
+                None => {
+                    let why = self.mux.poisoned.clone().unwrap_or_else(|| {
+                        "request is not in flight (already waited on?)".to_string()
+                    });
+                    return Err(CatalogError::Protocol(why));
+                }
+                Some(slot) if slot.done.is_some() => {
+                    let slot = self
+                        .mux
+                        .pending
+                        .remove(&pending.id)
+                        .expect("slot just observed");
+                    let done = slot.done.expect("completion just observed");
+                    if let Response::Error { code, message } = done {
+                        return Err(CatalogError::Remote { code, message });
+                    }
+                    return (pending.finish)(slot.batches, done);
+                }
+                Some(_) => {}
+            }
+            let Some(stream) = self.stream.as_mut() else {
+                let why = "connection lost with pipelined requests in flight; re-submit on a \
+                     fresh connection"
+                    .to_string();
+                self.poison_connection(&why);
+                return Err(CatalogError::Protocol(why));
+            };
+            match wire::read_frame_cancellable(stream, || deadline.expired()) {
+                Ok(Some(frame)) => {
+                    if let Err(e) = self.dispatch_frame(frame) {
+                        self.poison_connection(
+                            "an undecodable or misrouted response frame poisoned the \
+                             connection; every request in flight on it is lost",
+                        );
+                        return Err(e);
+                    }
+                }
+                Ok(None) => {
+                    let expired = deadline.expired();
+                    self.poison_connection(if expired {
+                        "the request deadline expired with pipelined requests in flight"
+                    } else {
+                        "the server closed the connection with pipelined requests in flight"
+                    });
+                    return Err(if expired {
+                        CatalogError::Timeout {
+                            after: deadline.budget,
+                        }
+                    } else {
+                        CatalogError::Protocol("server closed the connection mid-exchange".into())
+                    });
+                }
+                Err(e) => {
+                    self.poison_connection(
+                        "a transport failure killed the connection; every request in \
+                         flight on it is lost",
+                    );
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Routes one received frame into its request's slot. Batch frames
+    /// accumulate; any other frame completes the slot. A frame for an
+    /// id that is not in flight is a protocol violation (the stream
+    /// cannot be trusted).
+    fn dispatch_frame(&mut self, frame: wire::Frame) -> Result<(), CatalogError> {
+        let response = <Response as seaice::artifact::Artifact>::from_bytes(&frame.payload)?;
+        let Some(slot) = self.mux.pending.get_mut(&frame.request_id) else {
+            return Err(CatalogError::Protocol(format!(
+                "response frame for request id {} which is not in flight",
+                frame.request_id
+            )));
+        };
+        match response {
+            Response::TileBatch(_) | Response::LayerBatch(_) | Response::CellBatch(_) => {
+                slot.batches.push(response)
+            }
+            done => slot.done = Some(done),
+        }
+        Ok(())
+    }
+
+    /// Number of pipelined requests currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.mux.pending.len()
+    }
+
     // -- Scoped partial/record transport --------------------------------
 
-    /// Sends `request` and reads exactly one response frame (with
-    /// deadline, reconnect, and retry per the config).
+    /// Sends `request` and waits for its scalar answer (with deadline,
+    /// reconnect, and retry per the config) — the sync facade over one
+    /// submit + wait.
     fn exchange_scalar(&mut self, request: &Request) -> Result<Response, CatalogError> {
-        self.with_retry(|stream, deadline, trace_id| {
-            wire::write_message_traced(stream, request, trace_id)?;
-            Self::read_response(stream, deadline)
+        self.with_retry(|client, deadline, trace_id| {
+            let pending = client.submit_with(request, trace_id, finish_scalar)?;
+            client.wait_deadline(pending, deadline)
         })
     }
 
-    /// Sends `request` and collects a streamed batch response,
-    /// verifying the `Done` trailer's record count. A retry re-runs the
-    /// whole exchange from scratch (partial streams are discarded).
-    fn collect_stream<T>(
+    /// Sends `request` and collects its streamed answer through
+    /// `finish` (with deadline, reconnect, and retry per the config).
+    /// A retry re-runs the whole exchange from scratch (partial
+    /// streams are discarded).
+    fn exchange_stream<T>(
         &mut self,
         request: &Request,
-        take: impl Fn(Response) -> Result<Vec<T>, CatalogError>,
-    ) -> Result<Vec<T>, CatalogError> {
-        self.with_retry(|stream, deadline, trace_id| {
-            wire::write_message_traced(stream, request, trace_id)?;
-            let mut records: Vec<T> = Vec::new();
-            loop {
-                match Self::read_response(stream, deadline)? {
-                    Response::Done { n_records } => {
-                        if records.len() as u64 != n_records {
-                            return Err(CatalogError::Protocol(format!(
-                                "stream advertised {n_records} records but carried {}",
-                                records.len()
-                            )));
-                        }
-                        return Ok(records);
-                    }
-                    other => records.append(&mut take(other)?),
-                }
-            }
+        finish: fn(Vec<Response>, Response) -> Result<T, CatalogError>,
+    ) -> Result<T, CatalogError> {
+        self.with_retry(|client, deadline, trace_id| {
+            let pending = client.submit_with(request, trace_id, finish)?;
+            client.wait_deadline(pending, deadline)
         })
     }
 
@@ -561,16 +911,13 @@ impl CatalogClient {
         time: TimeRange,
         scope: &TileScope,
     ) -> Result<Vec<TilePartial>, CatalogError> {
-        self.collect_stream(
+        self.exchange_stream(
             &Request::QueryRect {
                 rect: *rect,
                 time,
                 scope: scope.clone(),
             },
-            |r| match r {
-                Response::TileBatch(batch) => Ok(batch),
-                other => Err(unexpected(&other)),
-            },
+            finish_tile_partials,
         )
     }
 
@@ -581,16 +928,13 @@ impl CatalogClient {
         time: TimeRange,
         scope: &TileScope,
     ) -> Result<Vec<TilePartial>, CatalogError> {
-        self.collect_stream(
+        self.exchange_stream(
             &Request::QueryBbox {
                 bbox: *bbox,
                 time,
                 scope: scope.clone(),
             },
-            |r| match r {
-                Response::TileBatch(batch) => Ok(batch),
-                other => Err(unexpected(&other)),
-            },
+            finish_tile_partials,
         )
     }
 
@@ -600,15 +944,12 @@ impl CatalogClient {
         time: TimeRange,
         scope: &TileScope,
     ) -> Result<Vec<(TimeKey, TilePartial)>, CatalogError> {
-        self.collect_stream(
+        self.exchange_stream(
             &Request::QueryTimeRange {
                 time,
                 scope: scope.clone(),
             },
-            |r| match r {
-                Response::LayerBatch(batch) => Ok(batch),
-                other => Err(unexpected(&other)),
-            },
+            finish_layer_records,
         )
     }
 
@@ -619,16 +960,13 @@ impl CatalogClient {
         time: TimeRange,
         scope: &TileScope,
     ) -> Result<Vec<CellSummary>, CatalogError> {
-        self.collect_stream(
+        self.exchange_stream(
             &Request::QueryCells {
                 rect: *rect,
                 time,
                 scope: scope.clone(),
             },
-            |r| match r {
-                Response::CellBatch(batch) => Ok(batch),
-                other => Err(unexpected(&other)),
-            },
+            finish_cells,
         )
     }
 
@@ -736,6 +1074,195 @@ impl CatalogClient {
     /// Served [`crate::Catalog::validate`].
     pub fn validate(&mut self) -> Result<(), CatalogError> {
         self.validate_scoped(&TileScope::all()).map(|_| ())
+    }
+
+    // -- Served writes ----------------------------------------------------
+
+    /// Served [`crate::Catalog::ingest_beam`]: streams one beam's
+    /// freeboard product at the server, which merges it under its own
+    /// writer lease. Skip-mode duplicate policy (idempotent, so the
+    /// configured retry policy is safe to apply).
+    pub fn ingest_beam(
+        &mut self,
+        granule_id: &str,
+        beam_index: usize,
+        product: &FreeboardProduct,
+    ) -> Result<IngestReport, CatalogError> {
+        self.ingest_beam_with(granule_id, beam_index, product, IngestMode::Skip)
+    }
+
+    /// [`CatalogClient::ingest_beam`] with an explicit re-ingest
+    /// policy. A read-only server ([`crate::ServerConfig::allow_writes`]
+    /// off) answers with a typed [`CatalogError::Remote`] carrying
+    /// [`crate::wire::ERR_READ_ONLY`].
+    pub fn ingest_beam_with(
+        &mut self,
+        granule_id: &str,
+        beam_index: usize,
+        product: &FreeboardProduct,
+        mode: IngestMode,
+    ) -> Result<IngestReport, CatalogError> {
+        match self.exchange_scalar(&Request::IngestSamples {
+            granule_id: granule_id.to_string(),
+            beam: beam_index as u32,
+            mode,
+            product: product.clone(),
+        })? {
+            Response::Ingested(report) => Ok(report),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Served [`crate::Catalog::ingest_thickness_beam`]: Skip-mode
+    /// duplicate policy.
+    pub fn ingest_thickness_beam(
+        &mut self,
+        beam: &BeamThickness,
+    ) -> Result<IngestReport, CatalogError> {
+        self.ingest_thickness_beam_with(beam, IngestMode::Skip)
+    }
+
+    /// [`CatalogClient::ingest_thickness_beam`] with an explicit
+    /// re-ingest policy.
+    pub fn ingest_thickness_beam_with(
+        &mut self,
+        beam: &BeamThickness,
+        mode: IngestMode,
+    ) -> Result<IngestReport, CatalogError> {
+        match self.exchange_scalar(&Request::IngestThickness {
+            mode,
+            beam: beam.clone(),
+        })? {
+            Response::Ingested(report) => Ok(report),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    // -- The pipelined submit API -----------------------------------------
+
+    /// Pipelined [`CatalogClient::query_rect`]: submits without
+    /// reading; redeem with [`CatalogClient::wait`].
+    pub fn submit_query_rect(
+        &mut self,
+        rect: &MapRect,
+        time: TimeRange,
+    ) -> Result<Pending<QuerySummary>, CatalogError> {
+        self.submit_traced(
+            &Request::QueryRect {
+                rect: *rect,
+                time,
+                scope: TileScope::all(),
+            },
+            finish_summary,
+        )
+    }
+
+    /// Pipelined [`CatalogClient::query_bbox`].
+    pub fn submit_query_bbox(
+        &mut self,
+        bbox: &BoundingBox,
+        time: TimeRange,
+    ) -> Result<Pending<QuerySummary>, CatalogError> {
+        self.submit_traced(
+            &Request::QueryBbox {
+                bbox: *bbox,
+                time,
+                scope: TileScope::all(),
+            },
+            finish_summary,
+        )
+    }
+
+    /// Pipelined [`CatalogClient::query_point`].
+    pub fn submit_query_point(
+        &mut self,
+        point: GeoPoint,
+        time: TimeRange,
+    ) -> Result<Pending<Option<CellSummary>>, CatalogError> {
+        self.submit_traced(
+            &Request::QueryPoint {
+                point,
+                time,
+                scope: TileScope::all(),
+            },
+            finish_point,
+        )
+    }
+
+    /// Pipelined [`CatalogClient::query_time_range`].
+    pub fn submit_query_time_range(
+        &mut self,
+        time: TimeRange,
+    ) -> Result<Pending<Vec<(TimeKey, QuerySummary)>>, CatalogError> {
+        self.submit_traced(
+            &Request::QueryTimeRange {
+                time,
+                scope: TileScope::all(),
+            },
+            finish_layers,
+        )
+    }
+
+    /// Pipelined [`CatalogClient::query_cells`].
+    pub fn submit_query_cells(
+        &mut self,
+        rect: &MapRect,
+        time: TimeRange,
+    ) -> Result<Pending<Vec<CellSummary>>, CatalogError> {
+        self.submit_traced(
+            &Request::QueryCells {
+                rect: *rect,
+                time,
+                scope: TileScope::all(),
+            },
+            finish_cells,
+        )
+    }
+
+    /// Pipelined [`CatalogClient::ping`].
+    pub fn submit_ping(&mut self) -> Result<Pending<ServerStats>, CatalogError> {
+        self.submit_traced(&Request::Ping, finish_pong)
+    }
+
+    /// Pipelined [`CatalogClient::introspect`].
+    pub fn submit_introspect(&mut self) -> Result<Pending<String>, CatalogError> {
+        self.submit_traced(&Request::Introspect, finish_metrics)
+    }
+
+    /// Pipelined [`CatalogClient::ingest_beam_with`]: the server
+    /// answers ingest RPCs concurrently with queries in flight on this
+    /// same connection.
+    pub fn submit_ingest_beam(
+        &mut self,
+        granule_id: &str,
+        beam_index: usize,
+        product: &FreeboardProduct,
+        mode: IngestMode,
+    ) -> Result<Pending<IngestReport>, CatalogError> {
+        self.submit_traced(
+            &Request::IngestSamples {
+                granule_id: granule_id.to_string(),
+                beam: beam_index as u32,
+                mode,
+                product: product.clone(),
+            },
+            finish_ingested,
+        )
+    }
+
+    /// Pipelined [`CatalogClient::ingest_thickness_beam_with`].
+    pub fn submit_ingest_thickness(
+        &mut self,
+        beam: &BeamThickness,
+        mode: IngestMode,
+    ) -> Result<Pending<IngestReport>, CatalogError> {
+        self.submit_traced(
+            &Request::IngestThickness {
+                mode,
+                beam: beam.clone(),
+            },
+            finish_ingested,
+        )
     }
 }
 

@@ -76,8 +76,9 @@ pub enum FaultAction {
 /// splitmix64 — the per-site deterministic stream behind seeded plans
 /// (and the seeded retry jitter). Self-contained on purpose: fault
 /// schedules must never depend on a shared global RNG whose state
-/// other code perturbs.
-pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+/// other code perturbs. Public so seeded test harnesses (the wire
+/// fuzzer, chaos scenarios) draw from the same replayable stream.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

@@ -73,8 +73,8 @@ pub mod wire;
 
 pub use cache::{CacheStats, TileCache, TileKey};
 pub use client::{
-    BreakerState, CatalogClient, ClientConfig, ReplicaSpec, RetryPolicy, Routed, RouterConfig,
-    ShardRouter, ShardSpec,
+    BreakerState, CatalogClient, ClientConfig, Pending, ReplicaSpec, RetryPolicy, Routed,
+    RouterConfig, ShardRouter, ShardSpec,
 };
 pub use compact::{compact, CompactionConfig, CompactionReport, LayerMap};
 pub use fault::{ChaosProxy, FaultAction, FaultPlan};

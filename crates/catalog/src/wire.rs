@@ -8,46 +8,55 @@
 //! server can reject foreign or future traffic before decoding a single
 //! field, and a non-Rust client can be written from the spec alone.
 //!
-//! Layering:
+//! Layering (protocol v2 — framing revision 3):
 //!
 //! - **Frame**: `u32` little-endian payload length, `u64` little-endian
-//!   FNV-1a checksum of the trace id and payload, `u64` little-endian
-//!   **trace id** (0 = untraced; a client-minted id echoed by every
-//!   response frame of the exchange, so one request can be followed
-//!   client → router → shard server), then the payload. Payloads are
-//!   capped at [`MAX_FRAME_BYTES`]; both ends drop the connection on
-//!   oversized frames. The checksum exists for the failure model: a
-//!   flipped bit anywhere in a frame must surface as a typed protocol
-//!   error (retryable — the RPCs are read-only), never decode into a
-//!   silently wrong answer. Artifact magic/version checks alone cannot
-//!   promise that, because a flip inside an `f64` field still decodes.
-//! - **Message**: one framed [`Request`] (`SIRQ` v2) or [`Response`]
-//!   (`SIRS` v2). Version 2 carries thickness: `TilePartial`,
-//!   `CellAggregate`, and `CatalogStats` payloads gained thickness
-//!   fields when the tile format moved to v3, so both message versions
-//!   were bumped together — a v1 peer fails the version check instead
-//!   of mis-framing the longer records. The health probe
-//!   ([`Request::Ping`] / [`Response::Pong`]) is a v2-compatible
-//!   extension: a pre-Ping v2 peer answers it with a clean
-//!   [`ERR_BAD_REQUEST`] error frame and the connection survives.
-//!   [`Request::Introspect`] / [`Response::Metrics`] (the full
-//!   observability snapshot, PR 8) extends v2 the same way.
-//! - **Exchange**: one request, then one or more response frames.
-//!   Streamed record responses (tile partials, layer partials, cell
-//!   summaries) arrive as batch frames terminated by
-//!   [`Response::Done`] carrying the total record count as an
-//!   integrity check; scalar responses are a single frame. Errors
-//!   arrive as [`Response::Error`] frames and terminate the exchange.
+//!   FNV-1a checksum of the request id, trace id, and payload, `u64`
+//!   little-endian **request id** (the multiplexing key: every response
+//!   frame echoes the id of the request it answers, so one connection
+//!   carries many requests concurrently and responses may interleave
+//!   and complete out of order), `u64` little-endian **trace id** (0 =
+//!   untraced; a client-minted id echoed by every response frame of the
+//!   exchange, so one request can be followed client → router → shard
+//!   server), then the payload. Payloads are capped at
+//!   [`MAX_FRAME_BYTES`]; both ends drop the connection on oversized
+//!   frames. The checksum exists for the failure model: a flipped bit
+//!   anywhere in a frame must surface as a typed protocol error, never
+//!   decode into a silently wrong answer (or misroute a response to the
+//!   wrong in-flight request). Artifact magic/version checks alone
+//!   cannot promise that, because a flip inside an `f64` field still
+//!   decodes.
+//! - **Message**: one framed [`Request`] (`SIRQ` v3) or [`Response`]
+//!   (`SIRS` v3). Version 3 is protocol v2: the frame header gained the
+//!   request id and the message set gained the served-write RPCs
+//!   ([`Request::IngestSamples`] / [`Request::IngestThickness`] /
+//!   [`Response::Ingested`]), so both message versions were bumped
+//!   together — a v2 peer fails the version check instead of
+//!   mis-framing the longer header. (Version 2 was the thickness
+//!   revision; version 1 pre-dated thickness.)
+//! - **Exchange**: one request, then one or more response frames
+//!   carrying its request id. Streamed record responses (tile
+//!   partials, layer partials, cell summaries) arrive as batch frames
+//!   terminated by [`Response::Done`] carrying the total record count
+//!   as an integrity check; scalar responses are a single frame.
+//!   Errors arrive as [`Response::Error`] frames and terminate the
+//!   exchange. **Ordering contract**: frames of one exchange arrive in
+//!   order; frames of different exchanges may interleave arbitrarily,
+//!   and exchanges complete in any order. A client that never
+//!   pipelines (at most one id in flight) observes exactly the v1
+//!   behaviour.
 
 use std::io::{Read, Write};
 
 use icesat_geo::{BoundingBox, GeoPoint};
 use seaice::artifact::{Artifact, ArtifactError, Codec, Reader, Writer};
+use seaice::freeboard::FreeboardProduct;
+use seaice_products::BeamThickness;
 
 use crate::cache::CacheStats;
 use crate::grid::{GridConfig, MapRect, TileScope, TimeKey, TimeRange};
 use crate::server::ServerStats;
-use crate::store::{CatalogStats, CellSummary, TilePartial};
+use crate::store::{CatalogStats, CellSummary, IngestMode, IngestReport, TilePartial};
 use crate::tile::CellAggregate;
 use crate::CatalogError;
 
@@ -70,76 +79,125 @@ pub const ERR_BAD_REQUEST: u16 = 1;
 pub const ERR_BAD_VERSION: u16 = 2;
 /// Protocol error code: the catalog failed to answer.
 pub const ERR_CATALOG: u16 = 3;
+/// Protocol error code: a write RPC hit a server not configured to
+/// accept served writes ([`crate::ServerConfig::allow_writes`]).
+pub const ERR_READ_ONLY: u16 = 4;
+/// Protocol error code: a request frame reused a request id that is
+/// still in flight on the same connection.
+pub const ERR_DUP_REQUEST: u16 = 5;
+
+/// Bytes of a frame header: `u32` length, `u64` checksum, `u64`
+/// request id, `u64` trace id.
+pub const FRAME_HEADER_BYTES: usize = 28;
 
 // ---------------------------------------------------------------------------
 // Framing.
 // ---------------------------------------------------------------------------
 
-/// FNV-1a checksum of a frame's trace id and payload, as carried in
-/// the frame header. Single-bit flips anywhere in the header or
-/// payload are detected (see the `every_single_bit_flip_is_detected`
-/// test), which is what lets the failure model promise "typed error or
-/// bit-identical answer" — corruption can never decode into plausible
-/// numbers. The trace id is covered so a flipped trace-id bit cannot
-/// silently mislabel a request's timing breakdown either.
-pub fn frame_checksum(trace_id: u64, payload: &[u8]) -> u64 {
+/// One decoded frame: the payload plus its header ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The artifact-framed message bytes.
+    pub payload: Vec<u8>,
+    /// Multiplexing key: which in-flight request this frame belongs to
+    /// (0 on pre-mux exchanges like the sync handshake).
+    pub request_id: u64,
+    /// Distributed-tracing id (0 = untraced).
+    pub trace_id: u64,
+}
+
+/// FNV-1a checksum of a frame's request id, trace id, and payload, as
+/// carried in the frame header. Single-bit flips anywhere in the
+/// header or payload are detected (see the
+/// `every_single_bit_flip_is_detected` test), which is what lets the
+/// failure model promise "typed error or bit-identical answer" —
+/// corruption can never decode into plausible numbers. The ids are
+/// covered so a flipped request-id bit cannot silently route a
+/// response to the wrong in-flight request, and a flipped trace-id bit
+/// cannot mislabel a timing breakdown.
+pub fn frame_checksum(request_id: u64, trace_id: u64, payload: &[u8]) -> u64 {
     crate::fnv1a(
-        trace_id
+        request_id
             .to_le_bytes()
             .into_iter()
+            .chain(trace_id.to_le_bytes())
             .chain(payload.iter().copied()),
     )
 }
 
-/// Writes one untraced frame (trace id 0): [`write_frame_traced`].
+/// Writes one untraced, unmultiplexed frame (both ids 0):
+/// [`write_frame_mux`].
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), CatalogError> {
-    write_frame_traced(w, payload, 0)
+    write_frame_mux(w, payload, 0, 0)
 }
 
-/// Writes one length-prefixed, checksummed frame carrying `trace_id`
-/// (0 = untraced). An oversized payload is a typed
-/// [`CatalogError::Protocol`] error *before* anything hits the socket
-/// — writing it would poison the connection, because the peer rejects
-/// the length prefix and drops the stream mid-exchange.
+/// Writes one frame carrying `trace_id` with request id 0:
+/// [`write_frame_mux`].
 pub fn write_frame_traced(
     w: &mut impl Write,
     payload: &[u8],
     trace_id: u64,
 ) -> Result<(), CatalogError> {
+    write_frame_mux(w, payload, 0, trace_id)
+}
+
+/// Encodes one frame (header + payload) into a byte vector — the
+/// building block the event-loop server queues into per-connection
+/// write buffers. Same cap/typed-error contract as [`write_frame_mux`].
+pub fn encode_frame(
+    payload: &[u8],
+    request_id: u64,
+    trace_id: u64,
+) -> Result<Vec<u8>, CatalogError> {
     if payload.len() > MAX_FRAME_BYTES {
         return Err(CatalogError::Protocol(format!(
             "refusing to write a {}-byte frame (cap {MAX_FRAME_BYTES})",
             payload.len()
         )));
     }
-    w.write_all(&(payload.len() as u32).to_le_bytes())
-        .map_err(CatalogError::Io)?;
-    w.write_all(&frame_checksum(trace_id, payload).to_le_bytes())
-        .map_err(CatalogError::Io)?;
-    w.write_all(&trace_id.to_le_bytes())
-        .map_err(CatalogError::Io)?;
-    w.write_all(payload).map_err(CatalogError::Io)?;
-    Ok(())
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_checksum(request_id, trace_id, payload).to_le_bytes());
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&trace_id.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
 }
 
-/// Reads one length-prefixed frame, blocking, discarding the trace id.
+/// Writes one length-prefixed, checksummed frame carrying `request_id`
+/// (the multiplexing key; 0 on unmultiplexed exchanges) and `trace_id`
+/// (0 = untraced). An oversized payload is a typed
+/// [`CatalogError::Protocol`] error *before* anything hits the socket
+/// — writing it would poison the connection, because the peer rejects
+/// the length prefix and drops the stream mid-exchange.
+pub fn write_frame_mux(
+    w: &mut impl Write,
+    payload: &[u8],
+    request_id: u64,
+    trace_id: u64,
+) -> Result<(), CatalogError> {
+    let frame = encode_frame(payload, request_id, trace_id)?;
+    w.write_all(&frame).map_err(CatalogError::Io)
+}
+
+/// Reads one length-prefixed frame, blocking, discarding the ids.
 /// `Ok(None)` is a clean end-of-stream at a frame boundary; EOF inside
 /// a frame, an oversized length, or I/O failure are errors.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, CatalogError> {
-    Ok(read_frame_cancellable(r, || false)?.map(|(payload, _)| payload))
+    Ok(read_frame_cancellable(r, || false)?.map(|f| f.payload))
 }
 
 /// [`read_frame`] for sockets with a read timeout: on a timeout that
 /// lands *between* frames, `should_stop` decides whether to keep
 /// waiting (`false`) or end the stream cleanly (`true`). A timeout
 /// inside a frame keeps reading (the peer is mid-send) unless
-/// `should_stop` asks to abandon the connection. Returns the payload
-/// and the frame's trace id (0 = untraced).
+/// `should_stop` asks to abandon the connection. Returns the full
+/// [`Frame`] (payload + request id + trace id).
 pub fn read_frame_cancellable(
     r: &mut impl Read,
     mut should_stop: impl FnMut() -> bool,
-) -> Result<Option<(Vec<u8>, u64)>, CatalogError> {
-    let mut header = [0u8; 20];
+) -> Result<Option<Frame>, CatalogError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
     match read_full(r, &mut header, &mut should_stop)? {
         ReadOutcome::Complete => {}
         ReadOutcome::CleanEof | ReadOutcome::Stopped => return Ok(None),
@@ -151,7 +209,8 @@ pub fn read_frame_cancellable(
     }
     let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
     let expected = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
-    let trace_id = u64::from_le_bytes(header[12..].try_into().expect("8 bytes"));
+    let request_id = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    let trace_id = u64::from_le_bytes(header[20..].try_into().expect("8 bytes"));
     if len > MAX_FRAME_BYTES {
         return Err(CatalogError::Protocol(format!(
             "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
@@ -165,14 +224,60 @@ pub fn read_frame_cancellable(
             return Err(CatalogError::Protocol("connection closed mid-frame".into()))
         }
     }
-    let got = frame_checksum(trace_id, &payload);
+    let got = frame_checksum(request_id, trace_id, &payload);
     if got != expected {
         return Err(CatalogError::Protocol(format!(
             "frame checksum mismatch (header {expected:#018x}, payload {got:#018x}): \
              corrupted stream"
         )));
     }
-    Ok(Some((payload, trace_id)))
+    Ok(Some(Frame {
+        payload,
+        request_id,
+        trace_id,
+    }))
+}
+
+/// Extracts one complete frame from the front of an accumulation
+/// buffer (the nonblocking server's per-connection read buffer).
+/// Returns the frame and the bytes consumed, `Ok(None)` when the
+/// buffer does not yet hold a complete frame, and a typed error on an
+/// oversized length prefix or checksum mismatch — frame-level
+/// violations the caller answers by dropping the connection.
+pub fn try_extract_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, CatalogError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    // Reject a hostile length before waiting for bytes that are never
+    // coming — the cap check must not need the whole header.
+    if len > MAX_FRAME_BYTES {
+        return Err(CatalogError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    if buf.len() < FRAME_HEADER_BYTES + len {
+        return Ok(None);
+    }
+    let expected = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
+    let request_id = u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes"));
+    let trace_id = u64::from_le_bytes(buf[20..28].try_into().expect("8 bytes"));
+    let payload = &buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len];
+    let got = frame_checksum(request_id, trace_id, payload);
+    if got != expected {
+        return Err(CatalogError::Protocol(format!(
+            "frame checksum mismatch (header {expected:#018x}, payload {got:#018x}): \
+             corrupted stream"
+        )));
+    }
+    Ok(Some((
+        Frame {
+            payload: payload.to_vec(),
+            request_id,
+            trace_id,
+        },
+        FRAME_HEADER_BYTES + len,
+    )))
 }
 
 enum ReadOutcome {
@@ -226,13 +331,25 @@ pub fn write_message<M: Artifact>(w: &mut impl Write, message: &M) -> Result<(),
     write_frame(w, &message.to_bytes())
 }
 
-/// [`write_message`] carrying a trace id in the frame header.
+/// [`write_message`] carrying a trace id in the frame header (request
+/// id 0).
 pub fn write_message_traced<M: Artifact>(
     w: &mut impl Write,
     message: &M,
     trace_id: u64,
 ) -> Result<(), CatalogError> {
-    write_frame_traced(w, &message.to_bytes(), trace_id)
+    write_frame_mux(w, &message.to_bytes(), 0, trace_id)
+}
+
+/// [`write_message`] carrying both a request id and a trace id — the
+/// multiplexed send both ends of protocol v2 use.
+pub fn write_message_mux<M: Artifact>(
+    w: &mut impl Write,
+    message: &M,
+    request_id: u64,
+    trace_id: u64,
+) -> Result<(), CatalogError> {
+    write_frame_mux(w, &message.to_bytes(), request_id, trace_id)
 }
 
 /// Splits `records` into batch index ranges respecting both the record
@@ -355,6 +472,34 @@ pub enum Request {
     /// fixed `ServerStats` counters. Like Ping, a pre-Introspect v2
     /// server answers [`ERR_BAD_REQUEST`] and the connection survives.
     Introspect,
+    /// Served write: ingest one beam's freeboard product under the
+    /// server's own writer lease — a thin producer streams products at
+    /// a shard server instead of needing an in-process leased writer.
+    /// Answers [`Response::Ingested`]. A server without
+    /// [`crate::ServerConfig::allow_writes`] answers [`ERR_READ_ONLY`]
+    /// and the connection survives. Safe to retry: the catalog's
+    /// source-identity idempotency ([`IngestMode::Skip`] re-runs are
+    /// byte-stable no-ops, [`IngestMode::Replace`] converges) makes a
+    /// duplicate delivery harmless.
+    IngestSamples {
+        /// ATL03-style granule id (leading `YYYYMM` selects the layer).
+        granule_id: String,
+        /// Beam index in `0..6` ([`icesat_atl03::Beam::index`]).
+        beam: u32,
+        /// Re-ingest policy for an already-seen `(granule, beam)`.
+        mode: IngestMode,
+        /// The freeboard product to merge.
+        product: FreeboardProduct,
+    },
+    /// Served write of a thickness-enriched beam
+    /// ([`seaice_products::BeamThickness`]); same lease, idempotency,
+    /// and read-only-server semantics as [`Request::IngestSamples`].
+    IngestThickness {
+        /// Re-ingest policy for an already-seen `(granule, beam)`.
+        mode: IngestMode,
+        /// The enriched beam to merge.
+        beam: BeamThickness,
+    },
 }
 
 impl Codec for Request {
@@ -400,6 +545,23 @@ impl Codec for Request {
             }
             Request::Ping => w.put_u8(8),
             Request::Introspect => w.put_u8(9),
+            Request::IngestSamples {
+                granule_id,
+                beam,
+                mode,
+                product,
+            } => {
+                w.put_u8(10);
+                granule_id.encode(w);
+                w.put_u32(*beam);
+                mode.encode(w);
+                product.encode(w);
+            }
+            Request::IngestThickness { mode, beam } => {
+                w.put_u8(11);
+                mode.encode(w);
+                beam.encode(w);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
@@ -437,6 +599,16 @@ impl Codec for Request {
             },
             8 => Request::Ping,
             9 => Request::Introspect,
+            10 => Request::IngestSamples {
+                granule_id: String::decode(r)?,
+                beam: r.take_u32()?,
+                mode: IngestMode::decode(r)?,
+                product: FreeboardProduct::decode(r)?,
+            },
+            11 => Request::IngestThickness {
+                mode: IngestMode::decode(r)?,
+                beam: BeamThickness::decode(r)?,
+            },
             _ => return Err(ArtifactError::Invalid("request kind")),
         })
     }
@@ -444,7 +616,7 @@ impl Codec for Request {
 
 impl Artifact for Request {
     const TAG: [u8; 4] = *b"SIRQ";
-    const VERSION: u16 = 2;
+    const VERSION: u16 = 3;
 }
 
 // ---------------------------------------------------------------------------
@@ -494,6 +666,9 @@ pub enum Response {
     /// (`name{label="v"} value`), parseable with
     /// `seaice_obs::parse_exposition`.
     Metrics(String),
+    /// Served-write reply (answers [`Request::IngestSamples`] /
+    /// [`Request::IngestThickness`]): what the leased merge did.
+    Ingested(IngestReport),
 }
 
 impl Codec for Response {
@@ -541,6 +716,10 @@ impl Codec for Response {
                 w.put_u8(9);
                 text.encode(w);
             }
+            Response::Ingested(report) => {
+                w.put_u8(10);
+                report.encode(w);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
@@ -563,6 +742,7 @@ impl Codec for Response {
             },
             8 => Response::Pong(ServerStats::decode(r)?),
             9 => Response::Metrics(String::decode(r)?),
+            10 => Response::Ingested(IngestReport::decode(r)?),
             _ => return Err(ArtifactError::Invalid("response kind")),
         })
     }
@@ -570,7 +750,7 @@ impl Codec for Response {
 
 impl Artifact for Response {
     const TAG: [u8; 4] = *b"SIRS";
-    const VERSION: u16 = 2;
+    const VERSION: u16 = 3;
 }
 
 // ---------------------------------------------------------------------------
@@ -624,6 +804,43 @@ impl Codec for ServerStats {
             records_streamed: r.take_u64()?,
             errors: r.take_u64()?,
             idle_dropped: r.take_u64()?,
+        })
+    }
+}
+
+impl Codec for IngestMode {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            IngestMode::Skip => 0,
+            IngestMode::Replace => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(match r.take_u8()? {
+            0 => IngestMode::Skip,
+            1 => IngestMode::Replace,
+            _ => return Err(ArtifactError::Invalid("ingest mode")),
+        })
+    }
+}
+
+impl Codec for IngestReport {
+    fn encode(&self, w: &mut Writer) {
+        self.n_samples.encode(w);
+        self.n_out_of_domain.encode(w);
+        self.n_skipped.encode(w);
+        self.n_replaced.encode(w);
+        self.n_tiles.encode(w);
+        self.n_layers.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(IngestReport {
+            n_samples: usize::decode(r)?,
+            n_out_of_domain: usize::decode(r)?,
+            n_skipped: usize::decode(r)?,
+            n_replaced: usize::decode(r)?,
+            n_tiles: usize::decode(r)?,
+            n_layers: usize::decode(r)?,
         })
     }
 }
@@ -719,41 +936,109 @@ mod tests {
             Request::Validate { scope },
             Request::Ping,
             Request::Introspect,
+            Request::IngestSamples {
+                granule_id: "20191104195311_05000211".into(),
+                beam: 2,
+                mode: crate::store::IngestMode::Replace,
+                product: seaice::freeboard::FreeboardProduct {
+                    name: "wire roundtrip".into(),
+                    points: vec![seaice::freeboard::FreeboardPoint {
+                        along_track_m: 12.0,
+                        lat: -74.25,
+                        lon: -163.5,
+                        freeboard_m: 0.31,
+                        class: icesat_scene::SurfaceClass::ThickIce,
+                    }],
+                },
+            },
+            Request::IngestThickness {
+                mode: crate::store::IngestMode::Skip,
+                beam: seaice_products::BeamThickness {
+                    granule_id: "20191104195311_05000211".into(),
+                    beam: icesat_atl03::Beam::Gt2l,
+                    snow_model: "climatology".into(),
+                    points: vec![seaice_products::ProductPoint {
+                        along_track_m: 12.0,
+                        lat: -74.25,
+                        lon: -163.5,
+                        freeboard_m: 0.31,
+                        class: icesat_scene::SurfaceClass::ThickIce,
+                        snow_depth_m: 0.12,
+                        snow_sigma_m: 0.04,
+                        thickness_m: 1.7,
+                        thickness_sigma_m: 0.5,
+                    }],
+                },
+            },
         ] {
             roundtrip(&request);
         }
     }
 
     #[test]
-    fn traced_frames_carry_and_checksum_the_trace_id() {
+    fn mux_frames_carry_and_checksum_both_ids() {
         let message = Request::Ping;
         let mut buf = Vec::new();
-        write_message_traced(&mut buf, &message, 0xDEAD_BEEF_CAFE_F00D).unwrap();
-        let (payload, trace_id) =
-            read_frame_cancellable(&mut std::io::Cursor::new(buf.clone()), || false)
-                .unwrap()
-                .expect("one frame");
-        assert_eq!(trace_id, 0xDEAD_BEEF_CAFE_F00D);
-        assert_eq!(Request::from_bytes(&payload).unwrap(), message);
-        // An untraced write reads back with trace id 0.
-        let mut plain = Vec::new();
-        write_message(&mut plain, &message).unwrap();
-        let (_, id) = read_frame_cancellable(&mut std::io::Cursor::new(plain), || false)
+        write_message_mux(&mut buf, &message, 41, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        let frame = read_frame_cancellable(&mut std::io::Cursor::new(buf.clone()), || false)
             .unwrap()
             .expect("one frame");
-        assert_eq!(id, 0);
-        // Any single-bit flip of the trace-id field is caught by the
-        // checksum — a corrupted id can never mislabel a breakdown.
-        for byte in 12..20 {
+        assert_eq!(frame.request_id, 41);
+        assert_eq!(frame.trace_id, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(Request::from_bytes(&frame.payload).unwrap(), message);
+        // An unmultiplexed, untraced write reads back with both ids 0.
+        let mut plain = Vec::new();
+        write_message(&mut plain, &message).unwrap();
+        let f = read_frame_cancellable(&mut std::io::Cursor::new(plain), || false)
+            .unwrap()
+            .expect("one frame");
+        assert_eq!((f.request_id, f.trace_id), (0, 0));
+        // Any single-bit flip of the request-id or trace-id field is
+        // caught by the checksum — a corrupted request id can never
+        // route a response to the wrong in-flight exchange, and a
+        // corrupted trace id can never mislabel a breakdown.
+        for byte in 12..FRAME_HEADER_BYTES {
             for bit in 0..8 {
                 let mut corrupt = buf.clone();
                 corrupt[byte] ^= 1 << bit;
                 assert!(
                     read_frame(&mut std::io::Cursor::new(corrupt)).is_err(),
-                    "trace-id flip byte {byte} bit {bit} went undetected"
+                    "header-id flip byte {byte} bit {bit} went undetected"
                 );
             }
         }
+    }
+
+    #[test]
+    fn try_extract_frame_handles_partial_and_hostile_buffers() {
+        let mut buf = Vec::new();
+        write_message_mux(&mut buf, &Request::Ping, 7, 9).unwrap();
+        write_message_mux(&mut buf, &Request::Manifest, 8, 0).unwrap();
+        // Every strict prefix short of the first frame is incomplete.
+        let first_len = {
+            let (frame, consumed) = try_extract_frame(&buf).unwrap().expect("complete frame");
+            assert_eq!((frame.request_id, frame.trace_id), (7, 9));
+            assert_eq!(Request::from_bytes(&frame.payload).unwrap(), Request::Ping);
+            consumed
+        };
+        for cut in 0..first_len {
+            assert!(
+                try_extract_frame(&buf[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        // Consuming the first frame leaves the second extractable.
+        let (frame, consumed) = try_extract_frame(&buf[first_len..])
+            .unwrap()
+            .expect("second frame");
+        assert_eq!(frame.request_id, 8);
+        assert_eq!(first_len + consumed, buf.len());
+        // Hostile length prefix fails before the header completes.
+        assert!(try_extract_frame(&u32::MAX.to_le_bytes()).is_err());
+        // A flipped payload bit fails typed.
+        let mut corrupt = buf.clone();
+        corrupt[FRAME_HEADER_BYTES] ^= 0x10;
+        assert!(try_extract_frame(&corrupt).is_err());
     }
 
     #[test]
@@ -813,6 +1098,14 @@ mod tests {
                 idle_dropped: 1,
             }),
             Response::Metrics("server_requests_total{kind=\"query_rect\"} 7\n".into()),
+            Response::Ingested(IngestReport {
+                n_samples: 420,
+                n_out_of_domain: 3,
+                n_skipped: 0,
+                n_replaced: 17,
+                n_tiles: 9,
+                n_layers: 1,
+            }),
         ] {
             roundtrip(&response);
         }
@@ -939,28 +1232,31 @@ mod tests {
         // Future version.
         let mut payload = Vec::new();
         payload.extend_from_slice(b"SIRQ");
-        payload.extend_from_slice(&3u16.to_le_bytes());
+        payload.extend_from_slice(&4u16.to_le_bytes());
         payload.push(0);
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
         assert!(matches!(
             read_message::<Request>(&mut std::io::Cursor::new(buf)),
-            Err(CatalogError::Artifact(ArtifactError::BadVersion(3)))
+            Err(CatalogError::Artifact(ArtifactError::BadVersion(4)))
         ));
-        // Superseded version (v1, pre-thickness payload layouts).
-        let mut payload = Vec::new();
-        payload.extend_from_slice(b"SIRQ");
-        payload.extend_from_slice(&1u16.to_le_bytes());
-        payload.push(0);
-        let mut buf = Vec::new();
-        write_frame(&mut buf, &payload).unwrap();
-        assert!(matches!(
-            read_message::<Request>(&mut std::io::Cursor::new(buf)),
-            Err(CatalogError::Artifact(ArtifactError::BadVersion(1)))
-        ));
+        // Superseded versions: v1 (pre-thickness payload layouts) and
+        // v2 (pre-mux framing, no request ids or write RPCs).
+        for old in [1u16, 2] {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(b"SIRQ");
+            payload.extend_from_slice(&old.to_le_bytes());
+            payload.push(0);
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &payload).unwrap();
+            match read_message::<Request>(&mut std::io::Cursor::new(buf)) {
+                Err(CatalogError::Artifact(ArtifactError::BadVersion(v))) => assert_eq!(v, old),
+                other => panic!("superseded v{old} decoded as {other:?}"),
+            }
+        }
         // Truncated request body inside a well-formed frame.
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"SIRQ\x02\x00").unwrap();
+        write_frame(&mut buf, b"SIRQ\x03\x00").unwrap();
         assert!(read_message::<Request>(&mut std::io::Cursor::new(buf)).is_err());
     }
 }

@@ -11,9 +11,14 @@
 //! reopens cleanly and heals to a **byte-identical** store once the
 //! interrupted ingest re-runs.
 
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use seaice::artifact::Artifact as _;
+use seaice_catalog::wire::{self, Request};
 
 use icesat_geo::{MapPoint, EPSG_3976};
 use icesat_scene::SurfaceClass;
@@ -573,6 +578,7 @@ fn idle_timeout_reaps_connections_and_ping_reports_counters() {
         "127.0.0.1:0",
         ServerConfig {
             idle_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -606,4 +612,229 @@ fn idle_timeout_reaps_connections_and_ping_reports_counters() {
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Slow-loris: a connection that sends a partial frame header and then
+/// goes silent holds no worker, is reaped by the idle timer, and never
+/// degrades service for healthy connections multiplexed alongside it.
+#[test]
+fn slow_loris_partial_frames_are_reaped_without_degrading_service() {
+    let dir = temp_dir("loris");
+    let local = Arc::new(Catalog::create(&dir, grid()).unwrap());
+    ingest(&local, &workload());
+    let server = CatalogServer::serve_with(
+        Arc::clone(&local),
+        "127.0.0.1:0",
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let domain = grid().domain();
+    let truth = local.query_rect(&domain, TimeRange::all()).unwrap();
+
+    // Four attackers, each dribbling a prefix of a *valid* Ping frame —
+    // half a header, a header plus two payload bytes — then stalling.
+    let frame = wire::encode_frame(&Request::Ping.to_bytes(), 1, 0).unwrap();
+    let mut attackers = Vec::new();
+    for cut in [3usize, 9, 17, frame.len().min(30)] {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(&frame[..cut]).unwrap();
+        attackers.push(s);
+    }
+
+    // A healthy client keeps getting bit-identical answers while the
+    // stalled connections sit there.
+    let mut client = CatalogClient::connect(&addr).unwrap();
+    for _ in 0..5 {
+        let got = client.query_rect(&domain, TimeRange::all()).unwrap();
+        assert_bits_equal(&got, &truth, "query alongside slow-loris peers");
+        std::thread::sleep(Duration::from_millis(40));
+    }
+
+    // The idle timer reaps every attacker (a stalled partial frame is
+    // not "activity")...
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().idle_dropped < attackers.len() as u64 {
+        assert!(
+            Instant::now() < deadline,
+            "slow-loris connections were never reaped (idle_dropped={})",
+            server.stats().idle_dropped
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // ...and each attacker observes a clean close, not a hang.
+    for mut s in attackers {
+        let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut buf = [0u8; 64];
+        match s.read(&mut buf) {
+            Ok(0) | Err(_) => {} // EOF or reset: reaped
+            Ok(n) => panic!("reaped slow-loris socket received {n} unexpected bytes"),
+        }
+    }
+    let got = client.query_rect(&domain, TimeRange::all()).unwrap();
+    assert_bits_equal(&got, &truth, "query after slow-loris reaping");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Disconnects with requests in flight, both directions: clients that
+/// vanish mid-pipeline never wedge the worker pool, and a client whose
+/// server goes away mid-pipeline gets a typed error per in-flight id —
+/// never a hang, never a panic.
+#[test]
+fn disconnect_with_requests_in_flight_is_typed_and_survivable() {
+    let dir = temp_dir("midflight");
+    let local = Arc::new(Catalog::create(&dir, grid()).unwrap());
+    ingest(&local, &workload());
+    let server = CatalogServer::serve(Arc::clone(&local), "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+    let domain = grid().domain();
+    let truth = local.query_rect(&domain, TimeRange::all()).unwrap();
+
+    // Client side vanishes: raw connections pipeline a burst of heavy
+    // streamed queries and hang up without reading a byte. Workers
+    // find the peer dead at delivery; the pool must shrug it off.
+    let query = Request::QueryRect {
+        rect: domain,
+        time: TimeRange::all(),
+        scope: TileScope::all(),
+    };
+    for round in 0..12u64 {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        for id in 1..=4u64 {
+            s.write_all(&wire::encode_frame(&query.to_bytes(), round * 8 + id, 0).unwrap())
+                .unwrap();
+        }
+        drop(s); // in flight, never read
+    }
+    // The pool survives: a well-formed client still answers, exactly.
+    let mut client = CatalogClient::connect(&addr).unwrap();
+    let got = client.query_rect(&domain, TimeRange::all()).unwrap();
+    assert_bits_equal(&got, &truth, "query after client-side mid-flight drops");
+
+    // Server side vanishes: pipeline three requests, shut the server
+    // down, then wait on every id. Each wait must resolve — either a
+    // response that raced ahead of the shutdown (and then it must be
+    // exact) or a typed failure; later waits on the poisoned
+    // connection stay typed too.
+    let p1 = client.submit_query_rect(&domain, TimeRange::all()).unwrap();
+    let p2 = client.submit_query_time_range(TimeRange::all()).unwrap();
+    let p3 = client.submit_ping().unwrap();
+    assert_eq!(client.in_flight(), 3);
+    server.shutdown();
+    match client.wait(p1) {
+        Ok(got) => assert_bits_equal(&got, &truth, "response racing shutdown"),
+        Err(e) => assert_typed_failure(&e, "rect in flight across shutdown"),
+    }
+    if let Err(e) = client.wait(p2) {
+        assert_typed_failure(&e, "time-range in flight across shutdown");
+    }
+    if let Err(e) = client.wait(p3) {
+        assert_typed_failure(&e, "ping in flight across shutdown");
+    }
+    assert_eq!(client.in_flight(), 0, "waits must drain the pending table");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A served write that dies mid-persist (scripted crash in the tile
+/// rename path) surfaces as a typed remote error, and a restarted
+/// server healing by idempotent `Skip` re-ingest converges to the
+/// byte-identical clean-build store — the crash-recovery contract of
+/// `crash_mid_persist_reopens_and_heals_byte_identically`, now over
+/// the wire.
+#[test]
+fn crash_mid_served_write_heals_byte_identically_via_skip_reingest() {
+    let batch = workload();
+
+    // Reference: a clean local build of the same ingest.
+    let clean_dir = temp_dir("srv_crash_clean");
+    let clean = Catalog::create(&clean_dir, grid()).unwrap();
+    ingest(&clean, &batch);
+    drop(clean);
+    let want = store_bytes(&clean_dir);
+    assert!(!want.is_empty());
+
+    // The victim: a write-serving catalog scripted to crash on its 2nd
+    // tile persist.
+    let dir = temp_dir("srv_crash");
+    let plan =
+        Arc::new(FaultPlan::scripted().with(FaultPlan::TILE_BEFORE_RENAME, 1, FaultAction::Crash));
+    let victim = Arc::new(
+        Catalog::create_with(
+            &dir,
+            grid(),
+            CatalogOptions {
+                fault: Some(plan),
+                ..CatalogOptions::default()
+            },
+        )
+        .unwrap(),
+    );
+    let server = CatalogServer::serve_with(
+        Arc::clone(&victim),
+        "127.0.0.1:0",
+        ServerConfig {
+            allow_writes: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut producer = CatalogClient::connect(&server.addr().to_string()).unwrap();
+    let mut crashed = false;
+    for (granule, beam, product) in &batch {
+        match producer.ingest_beam(granule, *beam, product) {
+            Ok(_) => {}
+            Err(CatalogError::Remote { code, message }) => {
+                assert_eq!(code, wire::ERR_CATALOG, "crash must map to ERR_CATALOG");
+                assert!(
+                    message.contains("injected fault"),
+                    "remote message must name the injected crash, got: {message}"
+                );
+                crashed = true;
+                break;
+            }
+            Err(e) => panic!("unexpected served-ingest error: {e}"),
+        }
+    }
+    assert!(crashed, "the scripted mid-served-write crash never fired");
+    // The "process death": server down, in-memory state gone.
+    server.shutdown();
+    drop(producer);
+    drop(victim);
+
+    // Restart over the same directory (no plan) and replay the whole
+    // feed over the wire — Skip mode makes the delivered part a no-op
+    // and redoes the torn ingest.
+    let healed = Arc::new(Catalog::open(&dir).unwrap());
+    healed.validate().unwrap();
+    let server = CatalogServer::serve_with(
+        Arc::clone(&healed),
+        "127.0.0.1:0",
+        ServerConfig {
+            allow_writes: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut producer = CatalogClient::connect(&server.addr().to_string()).unwrap();
+    for (granule, beam, product) in &batch {
+        producer.ingest_beam(granule, *beam, product).unwrap();
+    }
+    healed.validate().unwrap();
+    server.shutdown();
+    drop(producer);
+    drop(healed);
+
+    assert_eq!(
+        store_bytes(&dir),
+        want,
+        "served re-ingest did not heal the crashed store byte-identically"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
 }

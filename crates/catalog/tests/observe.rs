@@ -314,3 +314,141 @@ fn traced_request_breakdown_reconstructs_latency_on_both_sides() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Multiplexing must not blur the serving metrics: the in-flight and
+/// worker-queue gauges rise under a pipelined burst and settle back to
+/// zero, per-kind latency histograms count *exactly* one observation
+/// per request, and an `Introspect` scrape is answered on a connection
+/// that still has pipelined queries outstanding.
+#[test]
+fn gauges_and_histograms_stay_exact_under_multiplexing() {
+    let dir = temp_dir("mux_gauges");
+    let catalog = Arc::new(Catalog::create(&dir, grid()).unwrap());
+    for g in 0..4u32 {
+        let product = line_product(
+            500,
+            -309_000.0 + 1_400.0 * g as f64,
+            -1_309_500.0,
+            18.0,
+            42.0,
+        );
+        catalog
+            .ingest_beam(&format!("20191{}04195311_0500021{g}", g % 2), 0, &product)
+            .unwrap();
+    }
+    let server = CatalogServer::serve(Arc::clone(&catalog), "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+    let domain = grid().domain();
+    let truth = catalog.query_rect(&domain, TimeRange::all()).unwrap();
+
+    let mut client = CatalogClient::connect(&addr).unwrap();
+    let base = parse_exposition(&client.introspect().unwrap());
+    let count_of = |m: &std::collections::BTreeMap<String, f64>, key: &str| -> f64 {
+        m.get(key).copied().unwrap_or(0.0)
+    };
+    let rect_count_key = r#"server_request_us_count{kind="query_rect"}"#;
+    let rect_total_key = r#"server_requests_total{kind="query_rect"}"#;
+
+    // A pipelined burst: 24 rect queries and then an Introspect, all on
+    // this one connection. The scrape is waited on FIRST — the server
+    // must answer it while the same connection's queries are
+    // outstanding from the client's point of view.
+    const BURST: usize = 24;
+    let mut pendings = Vec::new();
+    for _ in 0..BURST {
+        pendings.push(client.submit_query_rect(&domain, TimeRange::all()).unwrap());
+    }
+    let scrape = client.submit_introspect().unwrap();
+    assert_eq!(client.in_flight(), BURST + 1);
+    let mid_text = client.wait(scrape).unwrap();
+    assert!(
+        !parse_exposition(&mid_text).is_empty(),
+        "mid-pipeline scrape must parse"
+    );
+    assert!(
+        client.in_flight() > 0,
+        "introspect answered out of order, with queries still pending"
+    );
+    for pending in pendings {
+        let got = client.wait(pending).unwrap();
+        assert_eq!(
+            got.mean_ice_freeboard_m.to_bits(),
+            truth.mean_ice_freeboard_m.to_bits(),
+            "pipelined answer diverged"
+        );
+    }
+
+    // Exactness: the burst moved the per-kind histogram and counter by
+    // exactly BURST — no double-counted, no dropped observations.
+    let settled = parse_exposition(&client.introspect().unwrap());
+    assert_eq!(
+        (count_of(&settled, rect_count_key) - count_of(&base, rect_count_key)) as usize,
+        BURST,
+        "latency histogram count must be exact under multiplexing"
+    );
+    assert_eq!(
+        (count_of(&settled, rect_total_key) - count_of(&base, rect_total_key)) as usize,
+        BURST,
+        "request counter must be exact under multiplexing"
+    );
+    // Percentile fields accompany every non-empty histogram.
+    for suffix in ["_p50_us", "_p95_us", "_p99_us"] {
+        let key = format!(r#"server_request_us{suffix}{{kind="query_rect"}}"#);
+        assert!(
+            count_of(&settled, &key) > 0.0,
+            "histogram must expose {key}"
+        );
+    }
+    // A *served* scrape counts itself, so its own in-flight reading is
+    // ≥ 1 by construction; quiescence is asserted out of band, straight
+    // off the server's registry once the completion queue drains.
+    assert!(count_of(&settled, "server_requests_in_flight") >= 1.0);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let rest = parse_exposition(&server.registry().expose());
+        if count_of(&rest, "server_requests_in_flight") == 0.0
+            && count_of(&rest, "server_worker_queue_depth") == 0.0
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "gauges never settled back to zero at rest"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The gauges actually move: hammer waves of pipelined bursts from a
+    // second connection while polling the server's own registry until
+    // a nonzero in-flight reading is observed.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hammer_stop = Arc::clone(&stop);
+    let hammer_addr = addr.clone();
+    let hammer = std::thread::spawn(move || {
+        let mut c = CatalogClient::connect(&hammer_addr).unwrap();
+        let domain = grid().domain();
+        while !hammer_stop.load(std::sync::atomic::Ordering::Relaxed) {
+            let wave: Vec<_> = (0..16)
+                .map(|_| c.submit_query_rect(&domain, TimeRange::all()).unwrap())
+                .collect();
+            for pending in wave {
+                c.wait(pending).unwrap();
+            }
+        }
+    });
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut peak = 0.0f64;
+    while peak < 1.0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "in-flight gauge never observed above zero under pipelined load"
+        );
+        let live = parse_exposition(&server.registry().expose());
+        peak = peak.max(count_of(&live, "server_requests_in_flight"));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    hammer.join().unwrap();
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -87,6 +87,29 @@ impl Codec for ProductPoint {
     }
 }
 
+impl Codec for BeamThickness {
+    fn encode(&self, w: &mut Writer) {
+        self.granule_id.encode(w);
+        // The beam travels as its dense index — `Beam` itself lives in
+        // `icesat-atl03` and has no codec of its own.
+        w.put_u8(self.beam.index() as u8);
+        self.snow_model.encode(w);
+        self.points.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let granule_id = String::decode(r)?;
+        let beam = *Beam::ALL
+            .get(r.take_u8()? as usize)
+            .ok_or(ArtifactError::Invalid("beam index"))?;
+        Ok(BeamThickness {
+            granule_id,
+            beam,
+            snow_model: String::decode(r)?,
+            points: Vec::decode(r)?,
+        })
+    }
+}
+
 impl Codec for DensitySigmas {
     fn encode(&self, w: &mut Writer) {
         self.water.encode(w);

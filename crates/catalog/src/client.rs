@@ -468,9 +468,10 @@ impl CatalogClient {
 
     /// The served catalog's grid (from the connect-time handshake).
     pub fn grid(&self) -> &GridConfig {
-        self.grid
-            .as_ref()
-            .expect("a constructed client has completed the manifest handshake")
+        // `connect` only returns a client after the manifest handshake
+        // succeeds, and nothing ever clears `grid`, so this is unreachable.
+        // sanity: allow(panic_path) -- handshake completion is a construction invariant
+        self.grid.as_ref().expect("handshake completed at connect")
     }
 
     /// Health probe: the server's serving counters, via
@@ -598,7 +599,11 @@ impl CatalogClient {
             }
         }
         finish(trace, &self.trace_log);
-        let last = last.expect("at least one attempt ran");
+        let Some(last) = last else {
+            return Err(CatalogError::Protocol(
+                "retry loop exited without recording an attempt".into(),
+            ));
+        };
         if attempts == 1 {
             Err(last)
         } else {
@@ -635,7 +640,7 @@ impl CatalogClient {
         if self.stream.is_some() {
             return Ok(());
         }
-        let stream = match self.config.connect_timeout {
+        let mut stream = match self.config.connect_timeout {
             Some(timeout) => {
                 let mut last: Option<std::io::Error> = None;
                 let mut connected = None;
@@ -664,12 +669,12 @@ impl CatalogClient {
         // deadline; writes get the whole deadline budget outright.
         let _ = stream.set_read_timeout(Some(READ_TICK));
         let _ = stream.set_write_timeout(self.config.request_deadline);
-        self.stream = Some(stream);
+        // Handshake on the local stream; it is only stored (making the
+        // connection visible to submits) once the handshake succeeds.
         let deadline = self.deadline();
-        let stream = self.stream.as_mut().expect("just stored");
         let handshake = (|| {
-            wire::write_message(stream, &Request::Manifest)?;
-            match Self::read_response(stream, deadline)? {
+            wire::write_message(&mut stream, &Request::Manifest)?;
+            match Self::read_response(&mut stream, deadline)? {
                 Response::Manifest(grid) => Ok(grid),
                 other => Err(unexpected(&other)),
             }
@@ -677,18 +682,15 @@ impl CatalogClient {
         match handshake {
             Ok(grid) => {
                 if self.grid.is_some_and(|prev| prev != grid) {
-                    self.stream = None;
                     return Err(CatalogError::Protocol(
                         "server grid changed across a reconnect".into(),
                     ));
                 }
                 self.grid = Some(grid);
+                self.stream = Some(stream);
                 Ok(())
             }
-            Err(e) => {
-                self.stream = None;
-                Err(e)
-            }
+            Err(e) => Err(e),
         }
     }
 
@@ -736,7 +738,11 @@ impl CatalogClient {
     ) -> Result<Pending<T>, CatalogError> {
         self.ensure_connected()?;
         let id = self.mux.alloc_id();
-        let stream = self.stream.as_mut().expect("just connected");
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(CatalogError::Protocol(
+                "connection vanished between connect and submit".into(),
+            ));
+        };
         if let Err(e) = wire::write_message_mux(stream, request, id, trace_id) {
             self.poison_connection(
                 "a pipelined submit failed mid-write; the connection and every request \
@@ -794,12 +800,14 @@ impl CatalogClient {
                     return Err(CatalogError::Protocol(why));
                 }
                 Some(slot) if slot.done.is_some() => {
-                    let slot = self
-                        .mux
-                        .pending
-                        .remove(&pending.id)
-                        .expect("slot just observed");
-                    let done = slot.done.expect("completion just observed");
+                    let slot = self.mux.pending.remove(&pending.id).unwrap_or_default();
+                    let Some(done) = slot.done else {
+                        return Err(CatalogError::Protocol(
+                            "request slot lost its completion between observation and \
+                             removal"
+                                .into(),
+                        ));
+                    };
                     if let Response::Error { code, message } = done {
                         return Err(CatalogError::Remote { code, message });
                     }
@@ -1661,14 +1669,23 @@ impl ShardRouter {
                 }
             }
             if !connected_any {
-                return Err(last_err.expect("non-empty address list"));
+                return Err(last_err.unwrap_or_else(|| {
+                    CatalogError::Protocol(format!(
+                        "shard {} lists no replica addresses",
+                        label(spec)
+                    ))
+                }));
             }
             groups.push(Group {
                 scope: spec.scope.clone(),
                 replicas,
             });
         }
-        let grid = grid.expect("at least one replica connected");
+        let Some(grid) = grid else {
+            return Err(CatalogError::Protocol(
+                "router configured with no shards: no grid to route against".into(),
+            ));
+        };
         // A prefix longer than the grid level can never match a tile —
         // that shard's tiles would silently belong to nobody.
         for (i, group) in groups.iter().enumerate() {
@@ -1783,6 +1800,7 @@ impl ShardRouter {
                 *digit = b'0' + (i & 3) as u8;
                 i >>= 2;
             }
+            // sanity: allow(panic_path) -- every byte of `key` was written as `b'0' + (i & 3)` just above, so the slice is always ASCII
             let key_str = std::str::from_utf8(&key).expect("ascii digits");
             let owners = self
                 .groups
@@ -1875,7 +1893,9 @@ impl ShardRouter {
                     }
                 }
             }
-            let client = replica.client.as_mut().expect("just connected");
+            let Some(client) = replica.client.as_mut() else {
+                continue;
+            };
             match run(client, &scope) {
                 Ok(v) => {
                     replica.breaker.on_success();

@@ -125,6 +125,30 @@ pub fn frame_checksum(request_id: u64, trace_id: u64, payload: &[u8]) -> u64 {
     )
 }
 
+/// Reads the little-endian `u32` at byte offset `off`, as a typed
+/// protocol error when `buf` is too short — header parsing must never
+/// panic on attacker-controlled input.
+fn le_u32(buf: &[u8], off: usize) -> Result<u32, CatalogError> {
+    let bytes: [u8; 4] = buf
+        .get(off..off + 4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| {
+            CatalogError::Protocol(format!("frame header truncated at byte offset {off}"))
+        })?;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+/// Reads the little-endian `u64` at byte offset `off`: [`le_u32`].
+fn le_u64(buf: &[u8], off: usize) -> Result<u64, CatalogError> {
+    let bytes: [u8; 8] = buf
+        .get(off..off + 8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| {
+            CatalogError::Protocol(format!("frame header truncated at byte offset {off}"))
+        })?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
 /// Writes one untraced, unmultiplexed frame (both ids 0):
 /// [`write_frame_mux`].
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), CatalogError> {
@@ -207,10 +231,10 @@ pub fn read_frame_cancellable(
             ))
         }
     }
-    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
-    let expected = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
-    let request_id = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
-    let trace_id = u64::from_le_bytes(header[20..].try_into().expect("8 bytes"));
+    let len = le_u32(&header, 0)? as usize;
+    let expected = le_u64(&header, 4)?;
+    let request_id = le_u64(&header, 12)?;
+    let trace_id = le_u64(&header, 20)?;
     if len > MAX_FRAME_BYTES {
         return Err(CatalogError::Protocol(format!(
             "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
@@ -248,7 +272,7 @@ pub fn try_extract_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, CatalogEr
     if buf.len() < 4 {
         return Ok(None);
     }
-    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    let len = le_u32(buf, 0)? as usize;
     // Reject a hostile length before waiting for bytes that are never
     // coming — the cap check must not need the whole header.
     if len > MAX_FRAME_BYTES {
@@ -259,10 +283,16 @@ pub fn try_extract_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, CatalogEr
     if buf.len() < FRAME_HEADER_BYTES + len {
         return Ok(None);
     }
-    let expected = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
-    let request_id = u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes"));
-    let trace_id = u64::from_le_bytes(buf[20..28].try_into().expect("8 bytes"));
-    let payload = &buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len];
+    let expected = le_u64(buf, 4)?;
+    let request_id = le_u64(buf, 12)?;
+    let trace_id = le_u64(buf, 20)?;
+    let payload = buf
+        .get(FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len)
+        .ok_or_else(|| {
+            CatalogError::Protocol(format!(
+                "frame buffer shorter than its declared {len}-byte payload"
+            ))
+        })?;
     let got = frame_checksum(request_id, trace_id, payload);
     if got != expected {
         return Err(CatalogError::Protocol(format!(
@@ -398,7 +428,7 @@ pub fn read_message<M: Artifact>(r: &mut impl Read) -> Result<Option<M>, Catalog
 // Requests.
 // ---------------------------------------------------------------------------
 
-/// One client request (`SIRQ` v2). Every query carries the
+/// One client request (`SIRQ` v3). Every query carries the
 /// [`TileScope`] it is restricted to — the shard router sends each
 /// shard its owned prefixes, so a tile is answered by exactly one
 /// shard even when shard stores overlap.
@@ -623,7 +653,7 @@ impl Artifact for Request {
 // Responses.
 // ---------------------------------------------------------------------------
 
-/// One server response frame (`SIRS` v2).
+/// One server response frame (`SIRS` v3).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The catalog's grid (answers [`Request::Manifest`]).

@@ -1,0 +1,16 @@
+// Fixture: determinism violation — a HashMap iteration reachable from
+// the `from_partials` root through a helper. Expected findings: 1.
+
+use std::collections::HashMap;
+
+pub fn from_partials(parts: &HashMap<u64, f64>) -> f64 {
+    accumulate_parts(parts)
+}
+
+fn accumulate_parts(parts: &HashMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for v in parts.values() {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,22 @@
+// Fixture: order-safe uses of hash collections — zero findings.
+// BTreeMap iteration under a root is fine (sorted order), hash lookups
+// under a root are fine (order-free), and hash iteration in a function
+// not reachable from any root is fine.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn from_partials(parts: &BTreeMap<u64, f64>, index: &HashMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (k, v) in parts {
+        acc += v + index.get(k).copied().unwrap_or(0.0);
+    }
+    acc
+}
+
+pub fn reap_idle(conns: &HashMap<u64, u8>) -> usize {
+    let mut n = 0;
+    for c in conns.values() {
+        n += usize::from(*c > 0);
+    }
+    n
+}

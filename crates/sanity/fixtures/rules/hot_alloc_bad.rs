@@ -1,0 +1,12 @@
+// Fixture: hot_alloc violations (scanned as crates/nn/src/kernels.rs).
+// Expected findings in the `_into` kernel: vec!, .collect(), Vec::new — 3.
+
+pub fn scale_into(out: &mut [f32], xs: &[f32]) {
+    let tmp = vec![0.0f32; xs.len()];
+    let doubled: Vec<f32> = xs.iter().map(|x| x * 2.0).collect();
+    let mut scratch = Vec::new();
+    scratch.extend_from_slice(&tmp);
+    for ((o, d), s) in out.iter_mut().zip(&doubled).zip(&scratch) {
+        *o = d + s;
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: allocation-free kernel plus a non-kernel helper that may
+// allocate — zero findings.
+
+pub fn scale_into(out: &mut [f32], xs: &[f32]) {
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = *x * 2.0;
+    }
+}
+
+pub fn params(xs: &[f32]) -> Vec<f32> {
+    xs.to_vec()
+}

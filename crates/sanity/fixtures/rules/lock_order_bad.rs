@@ -1,0 +1,21 @@
+// Fixture: lock-order inversion (scanned as crates/catalog/src/cache.rs).
+// `promote` takes map -> stats, `evict` takes stats -> map: a cycle.
+
+pub struct Cache {
+    map: Mutex<u32>,
+    stats: Mutex<u32>,
+}
+
+impl Cache {
+    pub fn promote(&self) {
+        let map = self.map.lock();
+        let stats = self.stats.lock();
+        drop((map, stats));
+    }
+
+    pub fn evict(&self) {
+        let stats = self.stats.lock();
+        let map = self.map.lock();
+        drop((stats, map));
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: guard held across a blocking call (scanned as
+// crates/catalog/src/server.rs — the only file the blocking check
+// covers). `read_exact` can park the worker thread under lock.
+
+impl Server {
+    pub fn pump(&mut self) {
+        let guard = self.queue.lock();
+        self.sock.read_exact(&mut self.buf);
+        drop(guard);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: both paths take map -> stats in the same order, and the
+// blocking call happens after the guard is dropped — zero findings.
+
+impl Cache {
+    pub fn promote(&self) {
+        let map = self.map.lock();
+        let stats = self.stats.lock();
+        drop((map, stats));
+    }
+
+    pub fn evict(&self) {
+        let map = self.map.lock();
+        let stats = self.stats.lock();
+        drop((map, stats));
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: panic_path violations (scanned as crates/catalog/src/server.rs).
+// Expected findings: unwrap, panic!, arithmetic subscript, expect — 4 total.
+// `buf[..4]` and `.try_into()` must NOT be flagged.
+
+pub fn handle_frame(buf: &[u8], off: usize, len: usize) -> u8 {
+    let first = buf.first().unwrap();
+    if *first == 0 {
+        panic!("empty frame");
+    }
+    buf[off + len]
+}
+
+pub fn parse_header(buf: &[u8]) -> u32 {
+    u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"))
+}

@@ -1,0 +1,21 @@
+// Fixture: the typed-error rewrite of panic_path_bad.rs — zero findings.
+// The `#[cfg(test)]` module may unwrap freely.
+
+pub fn handle_frame(buf: &[u8], off: usize, len: usize) -> Option<u8> {
+    let first = buf.first()?;
+    if *first == 0 {
+        return None;
+    }
+    buf.get(off + len).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let buf = [1u8, 2, 3];
+        assert_eq!(handle_frame(&buf, 0, 1).unwrap(), 2);
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: suppression handling (scanned as crates/catalog/src/wire.rs).
+// Expected: the first unwrap is suppressed; the second directive has no
+// reason, so it is malformed (bad_suppression) and does NOT suppress —
+// its unwrap is still a panic_path finding.
+
+pub fn covered(v: Option<u8>) -> u8 {
+    // sanity: allow(panic_path) -- fixture: the caller guarantees Some
+    v.unwrap()
+}
+
+pub fn uncovered(v: Option<u8>) -> u8 {
+    // sanity: allow(panic_path)
+    v.unwrap()
+}

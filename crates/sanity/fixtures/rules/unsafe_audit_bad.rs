@@ -1,0 +1,5 @@
+// Fixture: an `unsafe` block with no SAFETY comment — 1 finding.
+
+pub fn read_at(p: *const u8, n: usize) -> u8 {
+    unsafe { *p.add(n) }
+}

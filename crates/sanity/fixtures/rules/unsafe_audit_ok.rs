@@ -1,0 +1,6 @@
+// Fixture: the same block with an adjacent SAFETY comment — clean.
+
+pub fn read_at(p: *const u8, n: usize) -> u8 {
+    // SAFETY: the caller guarantees `p..p+n` is inside a live allocation.
+    unsafe { *p.add(n) }
+}

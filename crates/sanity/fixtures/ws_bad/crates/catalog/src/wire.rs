@@ -1,0 +1,6 @@
+// Fixture mini-workspace with one panic_path violation: drives the
+// CLI's non-zero exit path.
+
+pub fn decode(buf: &[u8]) -> u32 {
+    u32::from_le_bytes(buf[..4].try_into().unwrap())
+}

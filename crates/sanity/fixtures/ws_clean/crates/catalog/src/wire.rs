@@ -1,0 +1,7 @@
+// Fixture mini-workspace with no violations: drives the CLI's clean
+// exit path.
+
+pub fn decode(buf: &[u8]) -> Option<u32> {
+    let bytes: [u8; 4] = buf.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}

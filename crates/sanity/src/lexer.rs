@@ -1,0 +1,386 @@
+//! A minimal Rust lexer: just enough to tokenize workspace source for
+//! the lint passes without pulling in `syn`.
+//!
+//! The lexer's one hard job is to never mistake the *inside* of a
+//! string, char, or comment for code. Everything downstream (item
+//! scanning, rule matching) assumes that guarantee. Comments are not
+//! tokens — they are collected separately with their line numbers so
+//! the suppression and `SAFETY:` passes can see them.
+
+/// Token kind. Identifier, number, and literal tokens keep their text
+/// (rules match on names, constant values, and tag literals).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `unsafe`, `foo`, ...).
+    Ident(String),
+    /// Integer or float literal, verbatim text (`28`, `0x1F`, `4_194_304`).
+    Num(String),
+    /// String, raw string, byte string, or char literal — raw
+    /// source text including quotes/prefix (protocol-drift reads tag
+    /// bytes out of `b"SIRQ"`-style literals).
+    Lit(String),
+    /// Lifetime (`'a`) — distinguished from a char literal.
+    Lifetime,
+    /// A single punctuation character (`{`, `.`, `!`, ...).
+    Punct(char),
+}
+
+/// One token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Tok::Punct(c)
+    }
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, Tok::Ident(t) if t == s)
+    }
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            Tok::Ident(t) => Some(t),
+            _ => None,
+        }
+    }
+    pub fn num(&self) -> Option<&str> {
+        match &self.kind {
+            Tok::Num(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A comment with the line it starts on. Block comments keep interior
+/// newlines, so callers can still attribute per-line directives.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Unterminated constructs (string/comment at EOF)
+/// are tolerated: the lexer consumes to EOF rather than erroring, so a
+/// half-written fixture can't wedge the whole analysis.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1u32;
+                i += 2;
+                // Rust block comments nest.
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'"' => {
+                let (start, tok_line) = (i, line);
+                i = eat_string(b, i + 1, &mut line);
+                out.tokens.push(Token {
+                    kind: Tok::Lit(src[start..i].to_string()),
+                    line: tok_line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let (start, tok_line) = (i, line);
+                i = eat_raw_or_byte_string(b, i, &mut line);
+                out.tokens.push(Token {
+                    kind: Tok::Lit(src[start..i].to_string()),
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                // `'\n'`): a lifetime is `'` + ident-start NOT
+                // followed by a closing quote.
+                let is_lifetime = i + 1 < b.len()
+                    && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                    && !(i + 2 < b.len() && b[i + 2] == b'\'');
+                if is_lifetime {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2; // skip the escape lead and escaped char
+                                // multi-char escapes (\x41, \u{..}) end at the quote below
+                    } else if i < b.len() {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    if i < b.len() && b[i] == b'\'' {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: Tok::Lit(src[start..i].to_string()),
+                        line,
+                    });
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // A fractional part: `.` followed by a digit. (`0..4`
+                // stops before the range operator.)
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: Tok::Num(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a normal (escaped) string body starting just after the
+/// opening quote; returns the index just past the closing quote.
+fn eat_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            // An escape consumes the next byte too — including a
+            // line-continuation `\<newline>`, which must still count
+            // the newline.
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// True when position `i` begins `r"`, `r#`, `b"`, `b'`, `br"`, `br#`.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match b.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(b.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Consumes a raw/byte string starting at its `r`/`b` prefix; returns
+/// the index just past the closing delimiter.
+fn eat_raw_or_byte_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'r' {
+        raw = true;
+        i += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while i < b.len() && b[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'"' {
+            i += 1;
+        }
+        // Scan for `"` + `hashes` x `#`.
+        while i < b.len() {
+            if b[i] == b'\n' {
+                *line += 1;
+                i += 1;
+                continue;
+            }
+            if b[i] == b'"' {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while j < b.len() && b[j] == b'#' && seen < hashes {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return j;
+                }
+            }
+            i += 1;
+        }
+        i
+    } else if i < b.len() && b[i] == b'\'' {
+        // Byte char `b'x'` / `b'\n'`.
+        i += 1;
+        if i < b.len() && b[i] == b'\\' {
+            i += 2;
+        } else if i < b.len() {
+            i += 1;
+        }
+        while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+            i += 1;
+        }
+        if i < b.len() {
+            i += 1;
+        }
+        i
+    } else {
+        // Plain byte string `b"..."`.
+        if i < b.len() && b[i] == b'"' {
+            i += 1;
+        }
+        eat_string(b, i, line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.tokens.iter().filter_map(|t| t.ident()).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let l = lex(r##"let x = "unwrap() // not a comment"; // real.unwrap()
+let y = r#"panic!("inside raw")"#; /* block
+spanning */ fn after() {}"##);
+        let ids = idents(&l);
+        assert!(!ids.contains(&"unwrap"));
+        assert!(!ids.contains(&"panic"));
+        assert!(ids.contains(&"after"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("real.unwrap()"));
+        // The `fn after` on the line the block comment ends on gets the
+        // right line number.
+        let after = l.tokens.iter().find(|t| t.is_ident("after"));
+        assert!(after.is_some());
+        if let Some(after) = after {
+            assert_eq!(after.line, 3);
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l.tokens.iter().filter(|t| t.kind == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, Tok::Lit(_)))
+            .count();
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_floats() {
+        let l = lex("a[0..4]; b = 1.5; c = 0x1F_u32;");
+        let nums: Vec<&str> = l.tokens.iter().filter_map(|t| t.num()).collect();
+        assert_eq!(nums, vec!["0", "4", "1.5", "0x1F_u32"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r###"let s = r##"has "# inside"##; fn tail() {}"###);
+        assert!(idents(&l).contains(&"tail"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let l = lex(r"let a = '\n'; let b = '\''; let c = '\u{1F600}'; fn t() {}");
+        assert!(idents(&l).contains(&"t"));
+    }
+
+    #[test]
+    fn line_numbers_advance_in_strings() {
+        let l = lex("let a = \"multi\nline\";\nfn g() {}");
+        let g = l.tokens.iter().find(|t| t.is_ident("g"));
+        assert!(g.is_some());
+        if let Some(g) = g {
+            assert_eq!(g.line, 3);
+        }
+    }
+}

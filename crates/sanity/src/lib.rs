@@ -1,0 +1,171 @@
+//! `sanity` — the workspace's static-analysis gate.
+//!
+//! A dependency-free source analyzer that machine-checks the repo's
+//! correctness invariants on every build: lock ordering in the catalog
+//! server, iteration-order determinism under the fold/encode roots, a
+//! panic-free serve path, allocation-free hot kernels, audited
+//! `unsafe`, and wire-constant agreement with `docs/PROTOCOL.md`.
+//! See `docs/LINTS.md` for the rule catalogue and suppression syntax.
+//!
+//! Run it two ways:
+//! - `cargo run -p sanity --release` (non-zero exit on findings),
+//! - `cargo test -q` via `tests/sanity_gate.rs` at the workspace root.
+//!
+//! Suppress a finding inline, with a reason:
+//! `// sanity: allow(rule_id) -- why this is sound`
+//! The directive covers its own line and the next one. A directive
+//! without a reason is itself a finding (`bad_suppression`).
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use report::{render_json, render_text, Finding};
+pub use scan::SourceFile;
+
+use std::path::{Path, PathBuf};
+
+/// Which rules to run (all by default) and where.
+pub struct Config {
+    pub root: PathBuf,
+    /// When non-empty, only these rule ids run.
+    pub only: Vec<String>,
+}
+
+impl Config {
+    pub fn new(root: impl Into<PathBuf>) -> Config {
+        Config {
+            root: root.into(),
+            only: Vec::new(),
+        }
+    }
+
+    fn enabled(&self, rule: &str) -> bool {
+        self.only.is_empty() || self.only.iter().any(|r| r == rule)
+    }
+}
+
+/// Locates the workspace root from the compiled-in crate path: the
+/// analyzer lives at `<root>/crates/sanity`.
+pub fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// Collects the Rust sources the rules look at: `src/`, `tests/`,
+/// `examples/`, and every crate under `crates/`. Skips build output,
+/// the analyzer's own lint fixtures, and anything that fails to read.
+pub fn collect_files(root: &Path) -> Vec<SourceFile> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for top in ["src", "tests", "examples", "crates"] {
+        walk(&root.join(top), &mut paths);
+    }
+    paths.sort();
+    let mut out = Vec::new();
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        // Fixture snippets are deliberate violations; never lint them
+        // as workspace code.
+        if rel.starts_with("crates/sanity/fixtures") {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(&p) else {
+            continue;
+        };
+        out.push(SourceFile::scan(p, rel, src));
+    }
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&p, out);
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Runs the configured rules over `files` (plus `docs/PROTOCOL.md`
+/// for the drift rule), applies inline suppressions, and reports
+/// malformed directives. Returns findings sorted by file/line/rule.
+pub fn run(config: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if config.enabled(rules::lock_order::RULE) {
+        findings.extend(rules::lock_order::check(files));
+    }
+    if config.enabled(rules::determinism::RULE) {
+        findings.extend(rules::determinism::check(files));
+    }
+    if config.enabled(rules::panic_path::RULE) {
+        findings.extend(rules::panic_path::check(files));
+    }
+    if config.enabled(rules::hot_alloc::RULE) {
+        findings.extend(rules::hot_alloc::check(files));
+    }
+    if config.enabled(rules::unsafe_audit::RULE) {
+        findings.extend(rules::unsafe_audit::check(files));
+    }
+    if config.enabled(rules::protocol_drift::RULE) {
+        let doc = std::fs::read_to_string(config.root.join("docs/PROTOCOL.md")).ok();
+        findings.extend(rules::protocol_drift::check(files, doc.as_deref()));
+    }
+
+    // Inline suppressions.
+    let by_rel: std::collections::BTreeMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.rel.as_str(), f)).collect();
+    findings.retain(|f| {
+        by_rel
+            .get(f.file.as_str())
+            .map(|sf| !sf.suppressed(&f.rule, f.line))
+            .unwrap_or(true)
+    });
+
+    // A malformed directive is a finding: silently ignoring it would
+    // leave the author believing the line is covered.
+    for f in files {
+        for s in f.suppressions.values() {
+            if let Some(why) = &s.malformed {
+                findings.push(Finding::new(
+                    f.rel.clone(),
+                    s.line,
+                    "bad_suppression",
+                    format!("malformed `sanity:` directive ({why}); use `// sanity: allow(<rule>) -- <reason>`"),
+                    f.line_text(s.line),
+                ));
+            }
+        }
+    }
+
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// Convenience: scan + run over a workspace root with every rule on.
+pub fn run_workspace(root: &Path) -> Vec<Finding> {
+    let config = Config::new(root);
+    let files = collect_files(root);
+    run(&config, &files)
+}

@@ -1,0 +1,77 @@
+//! CLI for the sanity analyzer.
+//!
+//! ```text
+//! cargo run -p sanity --release            # human output, exit 1 on findings
+//! cargo run -p sanity -- --json            # machine-readable report
+//! cargo run -p sanity -- --root <dir>      # analyze another tree
+//! cargo run -p sanity -- --rule panic_path # run a subset of rules
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = sanity::default_root();
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = dir.into(),
+                None => {
+                    eprintln!("sanity: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rule" => match args.next() {
+                Some(rule) => {
+                    if !sanity::rules::RULE_IDS.contains(&rule.as_str()) {
+                        eprintln!(
+                            "sanity: unknown rule `{rule}` (known: {})",
+                            sanity::rules::RULE_IDS.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                    only.push(rule);
+                }
+                None => {
+                    eprintln!("sanity: --rule requires a rule id argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "sanity: workspace static-analysis gate (see docs/LINTS.md)\n\
+                     usage: sanity [--json] [--root <dir>] [--rule <id>]...\n\
+                     rules: {}",
+                    sanity::rules::RULE_IDS.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sanity: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut config = sanity::Config::new(&root);
+    config.only = only;
+    let files = sanity::collect_files(&root);
+    if files.is_empty() {
+        eprintln!("sanity: no Rust sources found under {}", root.display());
+        return ExitCode::from(2);
+    }
+    let findings = sanity::run(&config, &files);
+    if json {
+        print!("{}", sanity::render_json(&findings));
+    } else {
+        print!("{}", sanity::render_text(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,127 @@
+//! Finding type and rendering (human text and machine JSON).
+
+use std::fmt::Write as _;
+
+/// One lint finding. Ordered so reports are stable regardless of the
+/// order rules ran in.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    pub line: u32,
+    /// Rule id, e.g. `panic_path`.
+    pub rule: String,
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl Finding {
+    pub fn new(
+        file: impl Into<String>,
+        line: u32,
+        rule: &str,
+        message: impl Into<String>,
+        excerpt: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            rule: rule.to_string(),
+            message: message.into(),
+            excerpt: excerpt.into(),
+        }
+    }
+}
+
+/// Renders findings as `file:line: [rule] message` lines with the
+/// offending source underneath — the format CI greps for.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        if !f.excerpt.is_empty() {
+            let _ = writeln!(out, "    | {}", f.excerpt.trim());
+        }
+    }
+    let _ = writeln!(
+        out,
+        "sanity: {} finding{}",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    out
+}
+
+/// Renders findings as a JSON document (hand-rolled: the analyzer is
+/// dependency-free by design).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"count\": ");
+    let _ = write!(out, "{}", findings.len());
+    out.push_str(",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": ");
+        json_string(&mut out, &f.file);
+        let _ = write!(out, ", \"line\": {}, \"rule\": ", f.line);
+        json_string(&mut out, &f.rule);
+        out.push_str(", \"message\": ");
+        json_string(&mut out, &f.message);
+        out.push_str(", \"excerpt\": ");
+        json_string(&mut out, f.excerpt.trim());
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        let f = vec![Finding::new("a.rs", 3, "panic_path", "say \"no\"", "x\ty")];
+        let j = render_json(&f);
+        assert!(j.contains("\\\"no\\\""));
+        assert!(j.contains("x\\ty"));
+        assert!(j.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn text_format_is_greppable() {
+        let f = vec![Finding::new(
+            "crates/a/src/x.rs",
+            7,
+            "hot_alloc",
+            "vec! in kernel",
+            "vec![0; n]",
+        )];
+        let t = render_text(&f);
+        assert!(t.contains("crates/a/src/x.rs:7: [hot_alloc] vec! in kernel"));
+        assert!(t.contains("sanity: 1 finding"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Rule `determinism`: no `HashMap`/`HashSet` *iteration* in functions
+//! reachable from the deterministic fold/encode roots.
+//!
+//! The repo's core contract is bit-identity: staged ≡ monolithic,
+//! served ≡ routed ≡ in-process, replicated ≡ partitioned. All of it
+//! funnels through `QuerySummary::from_partials`, the tile aggregation
+//! fold, and wire `encode`. Iterating a `HashMap` anywhere under those
+//! roots makes float accumulation order depend on the hasher seed —
+//! answers stay *plausible* and every approximate test keeps passing,
+//! which is exactly why this needs a lint and not a test. Lookups are
+//! fine (order-free); only iteration is flagged.
+//!
+//! Reachability is name-based over a hand-built call graph with a
+//! denylist of std-colliding method names (`insert`, `get`, `push`,
+//! ...) so `map.insert(..)` doesn't wire the whole workspace together.
+
+use crate::lexer::Tok;
+use crate::report::Finding;
+use crate::scan::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const RULE: &str = "determinism";
+
+/// Methods whose call means "iterate this collection".
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+];
+
+/// A function is a determinism root when its results must be
+/// bit-identical regardless of input arrival order.
+fn is_root(name: &str) -> bool {
+    name == "from_partials" || name == "encode" || name.contains("aggregate")
+}
+
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    // Definition sites and per-function callee names.
+    let mut defs: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    let mut callees: BTreeMap<(usize, usize), BTreeSet<String>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, func) in f.functions.iter().enumerate() {
+            if func.is_test {
+                continue;
+            }
+            defs.entry(func.name.as_str()).or_default().push((fi, gi));
+            let mut called = BTreeSet::new();
+            if let Some((open, close)) = func.body {
+                let toks = &f.lexed.tokens;
+                for i in open..=close.min(toks.len().saturating_sub(1)) {
+                    if let Some(name) = toks[i].ident() {
+                        if super::is_call(toks, i) && !super::denylisted(name) && name != func.name
+                        {
+                            called.insert(name.to_string());
+                        }
+                    }
+                }
+            }
+            callees.insert((fi, gi), called);
+        }
+    }
+
+    // BFS from the roots.
+    let mut reachable: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, func) in f.functions.iter().enumerate() {
+            if !func.is_test && is_root(&func.name) {
+                reachable.insert((fi, gi));
+                work.push((fi, gi));
+            }
+        }
+    }
+    while let Some(node) = work.pop() {
+        let Some(called) = callees.get(&node) else {
+            continue;
+        };
+        for name in called {
+            for &site in defs.get(name.as_str()).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if reachable.insert(site) {
+                    work.push(site);
+                }
+            }
+        }
+    }
+
+    // Scan reachable bodies for hash iteration. Names resolve
+    // per-file: a `names: HashSet` in one crate must not taint an
+    // unrelated `names` vector in another.
+    let mut out = Vec::new();
+    for &(fi, gi) in &reachable {
+        let f = &files[fi];
+        let hash_names: &BTreeSet<String> = &f.hash_names;
+        let func = &f.functions[gi];
+        let Some((open, close)) = func.body else {
+            continue;
+        };
+        let toks = &f.lexed.tokens;
+        for i in open..=close.min(toks.len().saturating_sub(1)) {
+            let line = toks[i].line;
+            match &toks[i].kind {
+                Tok::Ident(m)
+                    if ITER_METHODS.contains(&m.as_str())
+                        && super::method_call_arity(toks, i).is_some() =>
+                {
+                    if let Some(recv) = super::receiver_name(toks, i) {
+                        if hash_names.contains(recv.as_str()) {
+                            out.push(Finding::new(
+                                f.rel.clone(),
+                                line,
+                                RULE,
+                                format!(
+                                    "HashMap/HashSet iteration (`{recv}.{m}()`) in `{}`, reachable from a deterministic fold/encode root: iteration order is hasher-seeded",
+                                    func.name
+                                ),
+                                f.line_text(line),
+                            ));
+                        }
+                    }
+                }
+                // `for x in [&[mut]] name {` — direct IntoIterator use.
+                Tok::Ident(kw) if kw == "in" => {
+                    let mut j = i + 1;
+                    while matches!(toks.get(j), Some(t) if t.is_punct('&') || t.is_ident("mut")) {
+                        j += 1;
+                    }
+                    if let Some(name) = toks.get(j).and_then(|t| t.ident()) {
+                        if hash_names.contains(name)
+                            && matches!(toks.get(j + 1), Some(t) if t.is_punct('{'))
+                        {
+                            out.push(Finding::new(
+                                f.rel.clone(),
+                                line,
+                                RULE,
+                                format!(
+                                    "`for .. in {name}` iterates a HashMap/HashSet in `{}`, reachable from a deterministic fold/encode root",
+                                    func.name
+                                ),
+                                f.line_text(line),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::scan(PathBuf::from("/w/a.rs"), "a.rs".into(), src.into());
+        check(&[f])
+    }
+
+    #[test]
+    fn flags_iteration_reachable_from_root() {
+        let fs = run(
+            "struct S { parts: HashMap<u64, f64> }\nfn from_partials() { helper(); }\nfn helper() { for (k, v) in &parts { fold(v); } }",
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("helper"));
+    }
+
+    #[test]
+    fn lookup_is_allowed() {
+        let fs = run(
+            "struct S { parts: HashMap<u64, f64> }\nfn encode() { let v = parts.get(&1); parts.insert(2, 0.0); }",
+        );
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn unreachable_iteration_is_allowed() {
+        let fs = run(
+            "struct S { conns: HashMap<u64, C> }\nfn reap_idle() { for c in &conns { drop(c); } }",
+        );
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn btree_iteration_is_allowed() {
+        let fs = run(
+            "struct S { parts: BTreeMap<u64, f64> }\nfn from_partials() { for (k, v) in &parts { fold(v); } }",
+        );
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn iter_method_on_hash_is_flagged() {
+        let fs =
+            run("fn aggregate_tiles(seen: &HashSet<u64>) { for k in seen.iter() { use_it(k); } }");
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn denylist_blocks_false_reachability() {
+        // `insert` is a workspace fn here, but calls to `.insert(..)`
+        // must not make it reachable.
+        let fs = run(
+            "struct S { m: HashMap<u64, u64> }\nfn from_partials() { t.insert(1); }\nfn insert(x: u64) { for v in &m { } }",
+        );
+        assert!(fs.is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! The six lint passes. Each rule is a function from the scanned
+//! workspace to findings; `lib.rs` runs them all and applies
+//! suppressions afterwards, so rules never need to know about
+//! `sanity: allow` directives.
+
+pub mod determinism;
+pub mod hot_alloc;
+pub mod lock_order;
+pub mod panic_path;
+pub mod protocol_drift;
+pub mod unsafe_audit;
+
+use crate::lexer::{Tok, Token};
+
+/// Rule ids, used in findings, suppressions, and `--rule` filters.
+pub const RULE_IDS: [&str; 6] = [
+    "lock_order",
+    "determinism",
+    "panic_path",
+    "hot_alloc",
+    "unsafe_audit",
+    "protocol_drift",
+];
+
+/// At index `i` of a method-name ident (preceded by `.`), classifies
+/// the call: `Some(true)` = called with empty parens `()`, `Some(false)`
+/// = called with arguments, `None` = not a call (field access, path).
+pub fn method_call_arity(toks: &[Token], i: usize) -> Option<bool> {
+    if i == 0 || !toks[i - 1].is_punct('.') {
+        return None;
+    }
+    // Skip a turbofish: `.collect::<Vec<_>>()`.
+    let mut j = i + 1;
+    if matches!(toks.get(j), Some(t) if t.is_punct(':'))
+        && matches!(toks.get(j + 1), Some(t) if t.is_punct(':'))
+        && matches!(toks.get(j + 2), Some(t) if t.is_punct('<'))
+    {
+        let mut depth = 0i64;
+        let mut k = j + 2;
+        while k < toks.len() {
+            if toks[k].is_punct('<') {
+                depth += 1;
+            } else if toks[k].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        j = k + 1;
+    }
+    match toks.get(j) {
+        Some(t) if t.is_punct('(') => Some(matches!(toks.get(j + 1), Some(t) if t.is_punct(')'))),
+        _ => None,
+    }
+}
+
+/// Walks backwards from the `.` preceding a method name to the start
+/// of the receiver chain and returns the name of the last *named*
+/// component: `self.sites.lock()` → `sites`, `stripes[i].lock()` →
+/// `stripes`, `self.stripe(key).lock()` → `stripe`, `self.0.lock()` →
+/// `0`.
+pub fn receiver_name(toks: &[Token], method_idx: usize) -> Option<String> {
+    let mut j = method_idx.checked_sub(2)?; // skip the `.`
+    loop {
+        match &toks[j].kind {
+            // Close of a call or index: skip the matched group, then
+            // the component name is just before it.
+            Tok::Punct(')') | Tok::Punct(']') => {
+                let open = if toks[j].is_punct(')') { '(' } else { '[' };
+                let close = if toks[j].is_punct(')') { ')' } else { ']' };
+                let mut depth = 0i64;
+                loop {
+                    if toks[j].is_punct(close) {
+                        depth += 1;
+                    } else if toks[j].is_punct(open) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j = j.checked_sub(1)?;
+                }
+                j = j.checked_sub(1)?;
+            }
+            Tok::Ident(name) => return Some(name.clone()),
+            Tok::Num(name) => return Some(name.clone()),
+            _ => return None,
+        }
+    }
+}
+
+/// True when the token at `i` starts a *call* expression: an ident
+/// followed by `(` (free/path call) or preceded by `.` and followed by
+/// `(` (method call). Excludes macro invocations (`name!(...)`) and
+/// definitions (`fn name(`).
+pub fn is_call(toks: &[Token], i: usize) -> bool {
+    if toks[i].ident().is_none() {
+        return false;
+    }
+    if i > 0 && toks[i - 1].is_ident("fn") {
+        return false;
+    }
+    let mut j = i + 1;
+    // Turbofish between name and parens.
+    if matches!(toks.get(j), Some(t) if t.is_punct(':'))
+        && matches!(toks.get(j + 1), Some(t) if t.is_punct(':'))
+        && matches!(toks.get(j + 2), Some(t) if t.is_punct('<'))
+    {
+        let mut depth = 0i64;
+        let mut k = j + 2;
+        while k < toks.len() {
+            if toks[k].is_punct('<') {
+                depth += 1;
+            } else if toks[k].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        j = k + 1;
+    }
+    matches!(toks.get(j), Some(t) if t.is_punct('('))
+}
+
+/// Method/function names so common that resolving a call by bare name
+/// would wire half of `std` into the workspace call graph. Calls to
+/// these names are never followed when building reachability or lock
+/// summaries.
+pub const CALL_DENYLIST: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "ceil",
+    "chain",
+    "chunks",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "dedup",
+    "default",
+    "drain",
+    "drop",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "exp",
+    "extend",
+    "extend_from_slice",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "flush",
+    "fmt",
+    "fold",
+    "for_each",
+    "from",
+    "from_le_bytes",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_some",
+    "is_none",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "ln",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "max_by_key",
+    "min",
+    "min_by_key",
+    "ne",
+    "new",
+    "next",
+    "nth",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partition",
+    "partition_point",
+    "pop",
+    "pop_front",
+    "position",
+    "powf",
+    "powi",
+    "push",
+    "push_back",
+    "push_str",
+    "read",
+    "read_exact",
+    "recv",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "send",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "spawn",
+    "split",
+    "split_at",
+    "sqrt",
+    "starts_with",
+    "sum",
+    "swap",
+    "take",
+    "then",
+    "to_le_bytes",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "try_from",
+    "try_into",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "with_capacity",
+    "wrapping_add",
+    "write",
+    "write_all",
+    "zip",
+    "expect",
+    "ends_with",
+    "char_indices",
+    "checked_add",
+    "checked_sub",
+    "checked_mul",
+    "saturating_add",
+    "saturating_sub",
+    "min_by",
+    "max_by",
+    "rem_euclid",
+    "div_euclid",
+    "to_bits",
+    "from_bits",
+    "is_finite",
+    "is_nan",
+    "mul_add",
+    "exp2",
+    "log2",
+];
+
+pub fn denylisted(name: &str) -> bool {
+    CALL_DENYLIST.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn receiver_names() {
+        let l =
+            lex("self.sites.lock(); stripes[i].lock(); self.stripe(key).lock(); self.0.lock();");
+        let mut names = Vec::new();
+        for (i, t) in l.tokens.iter().enumerate() {
+            if t.is_ident("lock") && method_call_arity(&l.tokens, i) == Some(true) {
+                names.push(receiver_name(&l.tokens, i));
+            }
+        }
+        let names: Vec<String> = names.into_iter().flatten().collect();
+        assert_eq!(names, vec!["sites", "stripes", "stripe", "0"]);
+    }
+
+    #[test]
+    fn call_arity() {
+        let l = lex("a.lock(); b.read(&mut buf); c.collect::<Vec<_>>(); d.field");
+        let idx = |name: &str| {
+            l.tokens
+                .iter()
+                .position(|t| t.is_ident(name))
+                .unwrap_or(usize::MAX)
+        };
+        assert_eq!(method_call_arity(&l.tokens, idx("lock")), Some(true));
+        assert_eq!(method_call_arity(&l.tokens, idx("read")), Some(false));
+        assert_eq!(method_call_arity(&l.tokens, idx("collect")), Some(true));
+        assert_eq!(method_call_arity(&l.tokens, idx("field")), None);
+    }
+}

@@ -1,0 +1,462 @@
+//! Item-level scanning on top of the lexer: functions and their body
+//! ranges, `#[cfg(test)]` regions, suppression comments, and a registry
+//! of names with `HashMap`/`HashSet` types.
+//!
+//! This is deliberately *not* a parser. It tracks brace/paren/bracket
+//! depth over the token stream and recognizes the handful of shapes the
+//! rules need. Anything it cannot recognize it skips — rules degrade to
+//! "no finding", never to a crash.
+
+use crate::lexer::{lex, Lexed, Tok, Token};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// A function item (free fn, method, or nested fn) with its body span.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    pub name: String,
+    pub line: u32,
+    /// Token range of the body including both braces, when present
+    /// (trait method declarations have none).
+    pub body: Option<(usize, usize)>,
+    /// Token index where the signature (the `fn` keyword) starts.
+    pub sig_start: usize,
+    /// True when the function is test-only: `#[test]`, `#[cfg(test)]`,
+    /// or lexically inside a `#[cfg(test)]` mod/impl.
+    pub is_test: bool,
+}
+
+/// An inline `// sanity: allow(rule_a, rule_b) -- reason` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rules: Vec<String>,
+    pub reason: String,
+    pub line: u32,
+    /// Malformed directives (missing rule list or missing reason) are
+    /// kept so the driver can report them as findings instead of
+    /// silently honoring or dropping them.
+    pub malformed: Option<String>,
+}
+
+/// One scanned source file.
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with forward slashes (stable in output).
+    pub rel: String,
+    pub src: String,
+    pub lexed: Lexed,
+    pub functions: Vec<FnInfo>,
+    /// Token index ranges that are test-only regions (`#[cfg(test)]`
+    /// mods/impls), in addition to per-fn `is_test`.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Suppressions keyed by the line the directive sits on. A
+    /// directive covers findings on its own line and the next line.
+    pub suppressions: BTreeMap<u32, Suppression>,
+    /// Identifiers (fields, lets, params) with a HashMap/HashSet type
+    /// in this file.
+    pub hash_names: BTreeSet<String>,
+}
+
+impl SourceFile {
+    pub fn scan(path: PathBuf, rel: String, src: String) -> SourceFile {
+        let lexed = lex(&src);
+        let mut f = SourceFile {
+            path,
+            rel,
+            src,
+            lexed,
+            functions: Vec::new(),
+            test_regions: Vec::new(),
+            suppressions: BTreeMap::new(),
+            hash_names: BTreeSet::new(),
+        };
+        f.collect_suppressions();
+        f.collect_items();
+        f.collect_hash_names();
+        f
+    }
+
+    /// The source text of 1-based line `line`, for excerpts.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.src
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim_end()
+    }
+
+    /// True when token index `i` lies in any test-only region or in a
+    /// `#[test]`/`#[cfg(test)]` function body.
+    pub fn in_test_code(&self, i: usize) -> bool {
+        if self.test_regions.iter().any(|&(a, b)| i >= a && i <= b) {
+            return true;
+        }
+        self.functions
+            .iter()
+            .any(|f| f.is_test && f.body.map(|(a, b)| i >= a && i <= b).unwrap_or(false))
+    }
+
+    /// Whether a finding of `rule` on `line` is covered by an inline
+    /// suppression (the directive's own line or the line before).
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        for l in [line, line.saturating_sub(1)] {
+            if let Some(s) = self.suppressions.get(&l) {
+                if s.malformed.is_none() && s.rules.iter().any(|r| r == rule) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn collect_suppressions(&mut self) {
+        let mut found = Vec::new();
+        for c in &self.lexed.comments {
+            // A block comment can span lines; attribute the directive
+            // to the line within the comment where it appears. The
+            // `sanity:` marker must start the comment's content —
+            // prose that merely *mentions* the syntax mid-sentence is
+            // not a directive.
+            for (off, line_text) in c.text.lines().enumerate() {
+                let content = line_text
+                    .trim_start()
+                    .trim_start_matches(['/', '*', '!'])
+                    .trim_start();
+                let Some(directive) = content.strip_prefix("sanity:") else {
+                    continue;
+                };
+                let line = c.line + off as u32;
+                found.push(parse_suppression(directive, line));
+            }
+        }
+        for s in found {
+            self.suppressions.insert(s.line, s);
+        }
+    }
+
+    fn collect_items(&mut self) {
+        let toks = &self.lexed.tokens;
+        // Pending attribute state: set while scanning `#[...]` attrs
+        // that precede an item, consumed by the item.
+        let mut pending_test = false;
+        let mut functions: Vec<FnInfo> = Vec::new();
+        let mut test_regions: Vec<(usize, usize)> = Vec::new();
+        let mut i = 0usize;
+        while i < toks.len() {
+            match &toks[i].kind {
+                Tok::Punct('#') if matches!(toks.get(i + 1), Some(t) if t.is_punct('[')) => {
+                    let end = match_delim(toks, i + 1, '[', ']');
+                    let idents: Vec<&str> = toks[i..=end.min(toks.len() - 1)]
+                        .iter()
+                        .filter_map(|t| t.ident())
+                        .collect();
+                    let is_test_attr = idents == ["test"]
+                        || (idents.contains(&"cfg")
+                            && idents.contains(&"test")
+                            && !idents.contains(&"not"));
+                    pending_test |= is_test_attr;
+                    i = end + 1;
+                    continue;
+                }
+                Tok::Ident(kw) if kw == "fn" => {
+                    let name = toks
+                        .get(i + 1)
+                        .and_then(|t| t.ident())
+                        .unwrap_or("")
+                        .to_string();
+                    let (body, next) = fn_body(toks, i);
+                    let in_region = test_regions.iter().any(|&(a, b)| i >= a && i <= b);
+                    functions.push(FnInfo {
+                        name,
+                        line: toks[i].line,
+                        body,
+                        sig_start: i,
+                        is_test: pending_test || in_region,
+                    });
+                    pending_test = false;
+                    // Continue scanning *inside* the body so nested
+                    // fns and test mods are still discovered.
+                    i = match body {
+                        Some((open, _)) => open + 1,
+                        None => next,
+                    };
+                    continue;
+                }
+                Tok::Ident(kw) if (kw == "mod" || kw == "impl") && pending_test => {
+                    // `#[cfg(test)] mod tests { ... }` (or a test-only
+                    // impl): the whole braced region is test code.
+                    if let Some(open) = find_open_brace(toks, i) {
+                        let close = match_delim(toks, open, '{', '}');
+                        test_regions.push((open, close));
+                    }
+                    pending_test = false;
+                    i += 1;
+                    continue;
+                }
+                Tok::Ident(_) => {
+                    // Any other item keyword consumes the pending attr.
+                    pending_test = false;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        self.functions = functions;
+        self.test_regions = test_regions;
+    }
+
+    /// Registers identifiers declared with HashMap/HashSet types:
+    /// struct fields, `let` bindings, and fn params.
+    fn collect_hash_names(&mut self) {
+        let toks = &self.lexed.tokens;
+        let mut names = BTreeSet::new();
+        let mut i = 0usize;
+        while i < toks.len() {
+            match &toks[i].kind {
+                // `let [mut] name ... = HashMap::new()` or
+                // `let [mut] name: HashMap<...> = ...`
+                Tok::Ident(kw) if kw == "let" => {
+                    let mut j = i + 1;
+                    if matches!(toks.get(j), Some(t) if t.is_ident("mut")) {
+                        j += 1;
+                    }
+                    if let Some(name) = toks.get(j).and_then(|t| t.ident()) {
+                        // Scan to the terminating `;` (bounded) looking
+                        // for a hash type mention.
+                        let mut k = j + 1;
+                        let mut depth = 0i32;
+                        let mut is_hash = false;
+                        while k < toks.len() && k < j + 96 {
+                            match &toks[k].kind {
+                                Tok::Punct('(') | Tok::Punct('{') | Tok::Punct('[') => depth += 1,
+                                Tok::Punct(')') | Tok::Punct('}') | Tok::Punct(']') => {
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                    depth -= 1;
+                                }
+                                Tok::Punct(';') if depth == 0 => break,
+                                Tok::Ident(t) if t == "HashMap" || t == "HashSet" => {
+                                    is_hash = true;
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        if is_hash {
+                            names.insert(name.to_string());
+                        }
+                    }
+                    i += 1;
+                }
+                // `name: HashMap<...>` in struct bodies and fn params:
+                // ident `:` then a type mentioning HashMap/HashSet
+                // before the next `,`, `)` or `}` at the same depth.
+                Tok::Ident(name)
+                    if matches!(toks.get(i + 1), Some(t) if t.is_punct(':'))
+                        && !matches!(toks.get(i + 2), Some(t) if t.is_punct(':')) =>
+                {
+                    let mut k = i + 2;
+                    let mut depth = 0i32;
+                    let mut is_hash = false;
+                    while k < toks.len() && k < i + 64 {
+                        match &toks[k].kind {
+                            Tok::Punct('(') | Tok::Punct('{') | Tok::Punct('[') => depth += 1,
+                            Tok::Punct(')') | Tok::Punct('}') | Tok::Punct(']') => {
+                                if depth == 0 {
+                                    break;
+                                }
+                                depth -= 1;
+                            }
+                            Tok::Punct(',') | Tok::Punct(';') | Tok::Punct('=') if depth == 0 => {
+                                break
+                            }
+                            Tok::Ident(t) if t == "HashMap" || t == "HashSet" => is_hash = true,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if is_hash {
+                        names.insert(name.clone());
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        self.hash_names = names;
+    }
+}
+
+/// Parses the tail of a `sanity:` comment directive. Expected form:
+/// `allow(rule_a, rule_b) -- reason`.
+fn parse_suppression(tail: &str, line: u32) -> Suppression {
+    let tail = tail.trim();
+    let malformed = |why: &str| Suppression {
+        rules: Vec::new(),
+        reason: String::new(),
+        line,
+        malformed: Some(why.to_string()),
+    };
+    let Some(rest) = tail.strip_prefix("allow") else {
+        return malformed("expected `allow(<rule>) -- <reason>` after `sanity:`");
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return malformed("expected `(` after `allow`");
+    };
+    let Some(close) = rest.find(')') else {
+        return malformed("unclosed rule list");
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return malformed("empty rule list");
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix("--") else {
+        return malformed("missing ` -- <reason>`");
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return malformed("empty reason");
+    }
+    Suppression {
+        rules,
+        reason: reason.to_string(),
+        line,
+        malformed: None,
+    }
+}
+
+/// Given the index of an opening delimiter token, returns the index of
+/// its matching close (or the last token on unbalanced input).
+pub fn match_delim(toks: &[Token], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0i64;
+    let mut i = open_idx;
+    while i < toks.len() {
+        if toks[i].is_punct(open) {
+            depth += 1;
+        } else if toks[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// From a `fn` keyword at `fn_idx`, finds the body: the first `{` at
+/// paren/bracket depth 0, or `;` for a bodyless declaration. Returns
+/// (body range, index to resume scanning at).
+fn fn_body(toks: &[Token], fn_idx: usize) -> (Option<(usize, usize)>, usize) {
+    let mut i = fn_idx + 1;
+    let mut depth = 0i64;
+    while i < toks.len() {
+        match &toks[i].kind {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct(';') if depth == 0 => return (None, i + 1),
+            Tok::Punct('{') if depth == 0 => {
+                let close = match_delim(toks, i, '{', '}');
+                return (Some((i, close)), close + 1);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (None, toks.len())
+}
+
+/// Finds the `{` opening the body of a mod/impl item starting at
+/// `item_idx`, skipping over generics and the type path.
+fn find_open_brace(toks: &[Token], item_idx: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (off, t) in toks[item_idx..].iter().enumerate() {
+        match t.kind {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct(';') if depth == 0 => return None,
+            Tok::Punct('{') if depth == 0 => return Some(item_idx + off),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> SourceFile {
+        SourceFile::scan(PathBuf::from("/x.rs"), "x.rs".into(), src.to_string())
+    }
+
+    #[test]
+    fn finds_functions_and_bodies() {
+        let f = scan("fn a() { if x { y(); } }\nfn b();\nimpl T { fn c(&self) -> u32 { 1 } }");
+        let names: Vec<&str> = f.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(f.functions[0].body.is_some());
+        assert!(f.functions[1].body.is_none());
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_region() {
+        let f = scan(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() {}\n}\nfn live2() {}",
+        );
+        let helper = f.functions.iter().find(|x| x.name == "helper");
+        assert!(helper.is_some_and(|h| h.is_test));
+        let live2 = f.functions.iter().find(|x| x.name == "live2");
+        assert!(live2.is_some_and(|l| !l.is_test));
+        let body = f
+            .functions
+            .iter()
+            .find(|x| x.name == "helper")
+            .and_then(|h| h.body);
+        assert!(body.is_some_and(|(a, _)| f.in_test_code(a)));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live() {
+        let f = scan("#[cfg(not(test))]\nfn real() {}");
+        let real = f.functions.iter().find(|x| x.name == "real");
+        assert!(real.is_some_and(|r| !r.is_test));
+    }
+
+    #[test]
+    fn suppressions_parse() {
+        let f = scan(
+            "// sanity: allow(panic_path) -- provably unreachable\nlet x = 1;\n// sanity: allow(panic_path)\n// sanity: allow(a, b) -- two rules\n",
+        );
+        assert!(f.suppressed("panic_path", 1));
+        assert!(f.suppressed("panic_path", 2)); // next-line coverage
+        assert!(!f.suppressed("panic_path", 3)); // malformed: no reason
+        assert!(f.suppressed("b", 4));
+        let malformed: Vec<_> = f
+            .suppressions
+            .values()
+            .filter(|s| s.malformed.is_some())
+            .collect();
+        assert_eq!(malformed.len(), 1);
+    }
+
+    #[test]
+    fn hash_names_registry() {
+        let f = scan(
+            "struct S { conns: HashMap<u64, Conn>, tiles: BTreeMap<K, V> }\nfn g(seen: &mut HashSet<u64>) { let cache = HashMap::new(); let n = tiles.len(); }",
+        );
+        assert!(f.hash_names.contains("conns"));
+        assert!(f.hash_names.contains("seen"));
+        assert!(f.hash_names.contains("cache"));
+        assert!(!f.hash_names.contains("tiles"));
+        assert!(!f.hash_names.contains("n"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Fixture self-tests: every rule must fire on its positive fixture and
+//! stay silent on the negative one, suppressions must be honored (and
+//! reported when malformed), `#[cfg(test)]` code must be exempt, and
+//! the CLI must exit non-zero on a dirty tree.
+//!
+//! Fixtures live in `crates/sanity/fixtures/` and are scanned under
+//! synthetic workspace-relative paths so the path-scoped rules apply;
+//! `collect_files` deliberately never picks them up as workspace code.
+
+use sanity::{run, Config, Finding, SourceFile};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// Scans a fixture from `fixtures/rules/` under a synthetic
+/// workspace-relative path.
+fn load(name: &str, rel: &str) -> SourceFile {
+    let path = fixture_dir().join("rules").join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    SourceFile::scan(path, rel.to_string(), src)
+}
+
+fn run_rule(rule: &str, file: SourceFile) -> Vec<Finding> {
+    let config = Config {
+        root: fixture_dir(),
+        only: vec![rule.to_string()],
+    };
+    run(&config, &[file])
+}
+
+#[test]
+fn panic_path_fires_on_violations() {
+    let fs = run_rule(
+        "panic_path",
+        load("panic_path_bad.rs", "crates/catalog/src/server.rs"),
+    );
+    // unwrap, panic!, arithmetic subscript, expect — and nothing else:
+    // `buf[..4]` and `.try_into()` must not be flagged.
+    assert_eq!(fs.len(), 4, "{fs:?}");
+    assert!(fs.iter().all(|f| f.rule == "panic_path"));
+}
+
+#[test]
+fn panic_path_clean_rewrite_passes_and_tests_are_exempt() {
+    // The ok fixture unwraps inside `#[cfg(test)]` — that must not fire.
+    let fs = run_rule(
+        "panic_path",
+        load("panic_path_ok.rs", "crates/catalog/src/server.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn suppressions_cover_and_malformed_ones_are_reported() {
+    let fs = run_rule(
+        "panic_path",
+        load("suppression.rs", "crates/catalog/src/wire.rs"),
+    );
+    // The reasoned directive suppresses its unwrap. The reason-less one
+    // is malformed: it does NOT suppress (panic_path still fires) and
+    // is itself reported.
+    let panics: Vec<_> = fs.iter().filter(|f| f.rule == "panic_path").collect();
+    let bad: Vec<_> = fs.iter().filter(|f| f.rule == "bad_suppression").collect();
+    assert_eq!(panics.len(), 1, "{fs:?}");
+    assert_eq!(bad.len(), 1, "{fs:?}");
+    assert!(
+        panics[0].line > bad[0].line,
+        "the surviving finding is the uncovered unwrap"
+    );
+}
+
+#[test]
+fn hot_alloc_fires_in_kernels_only() {
+    let fs = run_rule(
+        "hot_alloc",
+        load("hot_alloc_bad.rs", "crates/nn/src/kernels.rs"),
+    );
+    // vec!, .collect(), Vec::new — `.map()` and `extend_from_slice` pass.
+    assert_eq!(fs.len(), 3, "{fs:?}");
+    let fs = run_rule(
+        "hot_alloc",
+        load("hot_alloc_ok.rs", "crates/nn/src/kernels.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn determinism_fires_on_reachable_hash_iteration() {
+    let fs = run_rule(
+        "determinism",
+        load("determinism_bad.rs", "crates/core/src/summary.rs"),
+    );
+    assert_eq!(fs.len(), 1, "{fs:?}");
+    assert!(fs[0].message.contains("accumulate_parts"), "{fs:?}");
+    let fs = run_rule(
+        "determinism",
+        load("determinism_ok.rs", "crates/core/src/summary.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn lock_order_fires_on_inversion_and_blocking_hold() {
+    let fs = run_rule(
+        "lock_order",
+        load("lock_order_bad.rs", "crates/catalog/src/cache.rs"),
+    );
+    assert!(fs.iter().any(|f| f.message.contains("cycle")), "{fs:?}");
+    let fs = run_rule(
+        "lock_order",
+        load("lock_order_blocking.rs", "crates/catalog/src/server.rs"),
+    );
+    assert!(
+        fs.iter().any(|f| f.message.contains("blocking call")),
+        "{fs:?}"
+    );
+    let fs = run_rule(
+        "lock_order",
+        load("lock_order_ok.rs", "crates/catalog/src/cache.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn unsafe_audit_requires_adjacent_safety_comment() {
+    let fs = run_rule(
+        "unsafe_audit",
+        load("unsafe_audit_bad.rs", "crates/shims/mio/src/lib.rs"),
+    );
+    assert_eq!(fs.len(), 1, "{fs:?}");
+    let fs = run_rule(
+        "unsafe_audit",
+        load("unsafe_audit_ok.rs", "crates/shims/mio/src/lib.rs"),
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn protocol_drift_catches_stale_doc_version() {
+    // Code at v3, fixture PROTOCOL.md at v2.
+    let root = fixture_dir().join("drift");
+    let path = root.join("wire.rs");
+    let src = std::fs::read_to_string(&path).expect("read drift fixture");
+    let file = SourceFile::scan(path, "crates/catalog/src/wire.rs".into(), src);
+    let config = Config {
+        root,
+        only: vec!["protocol_drift".to_string()],
+    };
+    let fs = run(&config, &[file]);
+    assert!(fs.iter().any(|f| f.rule == "protocol_drift"), "{fs:?}");
+}
+
+#[test]
+fn cli_exits_nonzero_on_a_dirty_tree_and_zero_on_a_clean_one() {
+    let bin = env!("CARGO_BIN_EXE_sanity");
+    let bad = fixture_dir().join("ws_bad");
+    let out = Command::new(bin)
+        .args(["--root", bad.to_str().expect("utf8 path")])
+        .output()
+        .expect("run sanity on ws_bad");
+    assert!(!out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("panic_path"), "{stdout}");
+
+    let clean = fixture_dir().join("ws_clean");
+    let out = Command::new(bin)
+        .args(["--root", clean.to_str().expect("utf8 path")])
+        .output()
+        .expect("run sanity on ws_clean");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 findings"), "{stdout}");
+
+    // Machine-readable mode carries the same findings.
+    let out = Command::new(bin)
+        .args(["--root", bad.to_str().expect("utf8 path"), "--json"])
+        .output()
+        .expect("run sanity --json on ws_bad");
+    assert!(!out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("panic_path"), "{stdout}");
+}

@@ -329,6 +329,8 @@ mod sys {
 
     impl Selector {
         pub fn new() -> io::Result<Selector> {
+            // SAFETY: `epoll_create1` takes only a flags word and touches no
+            // caller memory; a failure surfaces as -1 and goes through `cvt`.
             let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
             Ok(Selector { epfd })
         }
@@ -338,6 +340,9 @@ mod sys {
                 events: mask(interest),
                 data: token.0 as u64,
             };
+            // SAFETY: `ev` is a live, initialized stack value for the whole
+            // call; the kernel only reads through the pointer. `self.epfd` is
+            // the epoll fd this Selector owns until Drop.
             cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
         }
 
@@ -351,6 +356,8 @@ mod sys {
 
         pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
             let mut ev = EpollEvent { events: 0, data: 0 };
+            // SAFETY: as in `ctl` — `ev` outlives the call (pre-2.6.9 kernels
+            // dereference the event pointer even for EPOLL_CTL_DEL).
             cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
         }
 
@@ -370,6 +377,9 @@ mod sys {
                     .max(u128::from(u8::from(!d.is_zero()))) as i32,
             };
             let mut buf = vec![EpollEvent { events: 0, data: 0 }; capacity];
+            // SAFETY: `buf` holds exactly `capacity` initialized events, so
+            // the kernel writes stay in bounds of `buf.as_mut_ptr()`, and the
+            // borrow lives past the call.
             let n = match cvt(unsafe {
                 epoll_wait(self.epfd, buf.as_mut_ptr(), capacity as i32, timeout_ms)
             }) {
@@ -398,6 +408,8 @@ mod sys {
 
     impl Drop for Selector {
         fn drop(&mut self) {
+            // SAFETY: `Selector` is the sole owner of `epfd` (never cloned,
+            // never exposed), so this is the one and only close of that fd.
             unsafe {
                 close(self.epfd);
             }
@@ -510,6 +522,8 @@ mod sys {
                 Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
             };
             let n = loop {
+                // SAFETY: `fds` is a live Vec and the length passed is its own
+                // `len()`, so the kernel's revents writes stay in bounds.
                 let ret = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
                 if ret >= 0 {
                     break ret;

@@ -1,0 +1,22 @@
+//! Tier-1 gate: the workspace must be sanity-clean.
+//!
+//! This makes `cargo test -q` fail — with the full finding list — the
+//! moment anyone reintroduces a lock-order inversion, a panic on the
+//! serve path, hasher-ordered aggregation, an allocating hot kernel,
+//! an unaudited `unsafe`, or wire constants that drift from
+//! `docs/PROTOCOL.md`. See `docs/LINTS.md` for the rule catalogue and
+//! the inline suppression syntax.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_sanity_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = sanity::run_workspace(root);
+    assert!(
+        findings.is_empty(),
+        "the workspace has sanity findings; fix them or suppress with \
+         `// sanity: allow(<rule>) -- <reason>` (docs/LINTS.md):\n{}",
+        sanity::render_text(&findings)
+    );
+}
